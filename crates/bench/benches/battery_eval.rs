@@ -1,0 +1,36 @@
+//! Benchmarks the Fig. 9 battery-life evaluation and prints the figure once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sysscale::experiments::{evaluation, run_workload};
+use sysscale::{DemandPredictor, SocConfig, SysScaleGovernor};
+use sysscale_workloads::battery_workload;
+
+fn bench_battery_eval(c: &mut Criterion) {
+    let config = SocConfig::skylake_default();
+    let predictor = DemandPredictor::skylake_default();
+
+    let fig9 = evaluation::fig9(&config, &predictor).unwrap();
+    println!("{}", sysscale_bench::format_fig9(&fig9));
+
+    let video = battery_workload("video-playback").unwrap();
+    let mut group = c.benchmark_group("battery_eval");
+    group.sample_size(10);
+    group.bench_function("sysscale_run_video_playback", |b| {
+        b.iter(|| {
+            run_workload(
+                &config,
+                &video,
+                &mut SysScaleGovernor::with_default_thresholds(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fig9_full", |b| {
+        b.iter(|| evaluation::fig9(&config, &predictor).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_battery_eval);
+criterion_main!(benches);

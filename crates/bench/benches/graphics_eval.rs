@@ -1,0 +1,39 @@
+//! Benchmarks the Fig. 8 graphics evaluation and prints the figure once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sysscale::experiments::{evaluation, run_workload};
+use sysscale::{DemandPredictor, SocConfig, SysScaleGovernor};
+use sysscale_workloads::graphics_workload;
+
+fn bench_graphics_eval(c: &mut Criterion) {
+    let config = SocConfig::skylake_default();
+    let predictor = DemandPredictor::skylake_default();
+
+    let fig8 = evaluation::fig8(&config, &predictor).unwrap();
+    println!(
+        "{}",
+        sysscale_bench::format_speedup_figure("Fig. 8 — graphics (reproduced)", &fig8)
+    );
+
+    let mark06 = graphics_workload("3DMark06").unwrap();
+    let mut group = c.benchmark_group("graphics_eval");
+    group.sample_size(10);
+    group.bench_function("sysscale_run_3dmark06", |b| {
+        b.iter(|| {
+            run_workload(
+                &config,
+                &mark06,
+                &mut SysScaleGovernor::with_default_thresholds(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fig8_full", |b| {
+        b.iter(|| evaluation::fig8(&config, &predictor).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphics_eval);
+criterion_main!(benches);

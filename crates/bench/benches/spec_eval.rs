@@ -1,0 +1,47 @@
+//! Benchmarks the Fig. 7 SPEC evaluation kernel (one workload end-to-end) and
+//! prints a reduced figure once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sysscale::experiments::{evaluation, run_workload};
+use sysscale::{DemandPredictor, FixedGovernor, SocConfig, SysScaleGovernor};
+use sysscale_workloads::spec_workload;
+
+fn bench_spec_eval(c: &mut Criterion) {
+    let config = SocConfig::skylake_default();
+    let predictor = DemandPredictor::skylake_default();
+
+    // Reduced Fig. 7 printout (full version: `figures -- fig7`).
+    let fig7 = evaluation::fig7(&config, &predictor).unwrap();
+    println!(
+        "{}",
+        sysscale_bench::format_speedup_figure("Fig. 7 — SPEC CPU2006 (reproduced)", &fig7)
+    );
+
+    let gamess = spec_workload("gamess").unwrap();
+    let lbm = spec_workload("lbm").unwrap();
+    let mut group = c.benchmark_group("spec_eval");
+    group.sample_size(10);
+    group.bench_function("baseline_run_gamess", |b| {
+        b.iter(|| run_workload(&config, &gamess, &mut FixedGovernor::baseline()).unwrap())
+    });
+    group.bench_function("sysscale_run_gamess", |b| {
+        b.iter(|| {
+            run_workload(
+                &config,
+                &gamess,
+                &mut SysScaleGovernor::with_default_thresholds(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("sysscale_run_lbm", |b| {
+        b.iter(|| {
+            run_workload(&config, &lbm, &mut SysScaleGovernor::with_default_thresholds()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec_eval);
+criterion_main!(benches);

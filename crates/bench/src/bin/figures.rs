@@ -1,0 +1,142 @@
+//! Regenerates every table and figure of the SysScale evaluation.
+//!
+//! ```text
+//! cargo run --release -p sysscale-bench --bin figures -- all
+//! cargo run --release -p sysscale-bench --bin figures -- fig7 fig9
+//! ```
+//!
+//! Available targets: `table1 table2 fig2a fig2b fig2c fig3a fig3b fig4 fig6
+//! fig7 fig8 fig9 fig10 dram_sens overheads ablations all`.
+
+use sysscale::experiments::{evaluation, motivation, predictor_study, sensitivity};
+use sysscale::{calibrate, CalibrationConfig, DemandPredictor, SocConfig};
+use sysscale_bench as fmt;
+use sysscale_workloads::WorkloadGenerator;
+
+fn predictor(config: &SocConfig, quick: bool) -> DemandPredictor {
+    if quick {
+        return DemandPredictor::skylake_default();
+    }
+    // Calibrate on a synthetic representative population (Sec. 4.2).
+    let population = WorkloadGenerator::with_seed(2020).population(120);
+    match calibrate(config, &population, &CalibrationConfig::default()) {
+        Ok(outcome) => outcome.predictor(),
+        Err(_) => DemandPredictor::skylake_default(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(target: &str, config: &SocConfig, quick: bool) -> Result<(), Box<dyn std::error::Error>> {
+    match target {
+        "table1" => print!("{}", fmt::format_table1(&motivation::table1(config))),
+        "table2" => print!("{}", fmt::format_table2(config)),
+        "fig2a" => print!("{}", fmt::format_fig2a(&motivation::fig2a(config)?)),
+        "fig2b" => {
+            println!("Fig. 2(b) — bottleneck breakdown");
+            for r in motivation::fig2b(config)? {
+                println!(
+                    "  {:<16} latency {:>5.1}%  bandwidth {:>5.1}%  non-memory {:>5.1}%",
+                    r.workload,
+                    r.latency_bound * 100.0,
+                    r.bandwidth_bound * 100.0,
+                    r.non_memory * 100.0
+                );
+            }
+        }
+        "fig2c" => {
+            println!("Fig. 2(c) — memory bandwidth demand");
+            for t in motivation::fig2c(config)? {
+                println!(
+                    "  {:<16} avg {:>6.2} GiB/s   peak {:>6.2} GiB/s",
+                    t.workload, t.average_gib_s, t.peak_gib_s
+                );
+            }
+        }
+        "fig3a" => {
+            println!("Fig. 3(a) — bandwidth demand over time (downsampled)");
+            for t in motivation::fig3a(config)? {
+                let step = (t.samples.len() / 12).max(1);
+                let series: Vec<String> = t
+                    .samples
+                    .iter()
+                    .step_by(step)
+                    .map(|(_, b)| format!("{b:.1}"))
+                    .collect();
+                println!("  {:<16} [{}] GiB/s", t.workload, series.join(", "));
+            }
+        }
+        "fig3b" => print!("{}", fmt::format_fig3b(&motivation::fig3b())),
+        "fig4" => print!("{}", fmt::format_fig4(&motivation::fig4(config)?)),
+        "fig6" => {
+            let study = predictor_study::PredictorStudyConfig {
+                workloads_per_panel: if quick { 30 } else { 180 },
+                ..predictor_study::PredictorStudyConfig::default()
+            };
+            print!("{}", fmt::format_fig6(&predictor_study::fig6(config, &study)?));
+        }
+        "fig7" => {
+            let p = predictor(config, quick);
+            print!(
+                "{}",
+                fmt::format_speedup_figure(
+                    "Fig. 7 — SPEC CPU2006 performance improvement",
+                    &evaluation::fig7(config, &p)?
+                )
+            );
+        }
+        "fig8" => {
+            let p = predictor(config, quick);
+            print!(
+                "{}",
+                fmt::format_speedup_figure(
+                    "Fig. 8 — graphics performance improvement",
+                    &evaluation::fig8(config, &p)?
+                )
+            );
+        }
+        "fig9" => {
+            let p = predictor(config, quick);
+            print!("{}", fmt::format_fig9(&evaluation::fig9(config, &p)?));
+        }
+        "fig10" => {
+            let p = predictor(config, quick);
+            let tdps = [3.5, 4.5, 7.0, 15.0];
+            print!("{}", fmt::format_fig10(&sensitivity::fig10(&p, &tdps)?));
+        }
+        "dram_sens" => {
+            let p = predictor(config, quick);
+            print!(
+                "{}",
+                fmt::format_dram_sensitivity(&sensitivity::dram_sensitivity(&p)?)
+            );
+        }
+        "overheads" => print!("{}", fmt::format_overheads(&sensitivity::overheads())),
+        "ablations" => {
+            let p = predictor(config, quick);
+            print!("{}", fmt::format_ablations(&sensitivity::ablations(&p)?));
+        }
+        other => return Err(format!("unknown figure target '{other}'").into()),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let all = [
+        "table1", "table2", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig4", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "dram_sens", "overheads", "ablations",
+    ];
+    let selected: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        all.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+    let config = SocConfig::skylake_default();
+    for target in selected {
+        run(target, &config, quick)?;
+    }
+    Ok(())
+}

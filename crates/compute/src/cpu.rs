@@ -1,0 +1,396 @@
+//! CPU-core interval performance model.
+//!
+//! The model is a first-order interval (bottleneck-additive) model: the time
+//! per instruction is the sum of a core-bound term (`base CPI / f_cpu`) and a
+//! memory-bound term (`MPKI/1000 × blocking fraction × memory latency`).
+//! This is exactly the structure the paper's observations rely on:
+//!
+//! * workloads whose memory term is negligible scale with CPU frequency and
+//!   do not care about DRAM frequency (416.gamess, 444.namd — Sec. 7.1);
+//! * workloads dominated by the memory term lose performance when the memory
+//!   domain is slowed and gain nothing from more CPU frequency (433.milc,
+//!   410.bwaves, 470.lbm);
+//! * the bandwidth a workload demands follows from its achieved instruction
+//!   rate and its miss rate, which is what the Fig. 3(a) traces show.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
+
+/// Bytes transferred from DRAM per LLC miss (one cache line).
+pub const BYTES_PER_MISS: f64 = 64.0;
+
+/// Static configuration of the CPU-core complex.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of physical cores (2 on the evaluated M-6Y75, Table 2).
+    pub cores: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Throughput contribution of a second SMT thread relative to the first.
+    pub smt_yield: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            cores: 2,
+            threads_per_core: 2,
+            smt_yield: 0.30,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on zero cores/threads or an SMT
+    /// yield outside `[0, 1]`.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.cores == 0 || self.threads_per_core == 0 {
+            return Err(SimError::invalid_config("cpu must have at least one core/thread"));
+        }
+        if !(0.0..=1.0).contains(&self.smt_yield) {
+            return Err(SimError::invalid_config("smt yield must be in [0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Effective core-equivalents for `active_threads` software threads:
+    /// one per physical core, plus `smt_yield` per extra SMT thread.
+    #[must_use]
+    pub fn effective_parallelism(&self, active_threads: u32) -> f64 {
+        let max_threads = self.cores * self.threads_per_core;
+        let t = active_threads.min(max_threads);
+        let physical = t.min(self.cores) as f64;
+        let smt_extra = t.saturating_sub(self.cores) as f64;
+        (physical + smt_extra * self.smt_yield).max(0.0)
+    }
+}
+
+/// Per-phase workload characteristics of the CPU demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPhaseDemand {
+    /// Cycles per instruction with an ideal (zero-latency) memory system.
+    pub base_cpi: f64,
+    /// LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of each miss's latency that actually stalls retirement
+    /// (≈ 1 / memory-level parallelism).
+    pub blocking_fraction: f64,
+    /// Number of active software threads.
+    pub active_threads: u32,
+}
+
+impl CpuPhaseDemand {
+    /// A fully idle phase (no instructions to execute).
+    #[must_use]
+    pub fn idle() -> Self {
+        Self {
+            base_cpi: 1.0,
+            mpki: 0.0,
+            blocking_fraction: 0.0,
+            active_threads: 0,
+        }
+    }
+
+    /// Validates the demand parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive CPI, negative
+    /// MPKI, or a blocking fraction outside `[0, 1]`.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.base_cpi <= 0.0 {
+            return Err(SimError::invalid_config("base cpi must be positive"));
+        }
+        if self.mpki < 0.0 {
+            return Err(SimError::invalid_config("mpki must be non-negative"));
+        }
+        if !(0.0..=1.0).contains(&self.blocking_fraction) {
+            return Err(SimError::invalid_config("blocking fraction must be in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Result of evaluating the CPU model for one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuSliceResult {
+    /// Aggregate instructions retired per second.
+    pub instructions_per_sec: f64,
+    /// Main-memory bandwidth demanded by the cores at that instruction rate.
+    pub bandwidth_demand: Bandwidth,
+    /// Fraction of core cycles stalled on memory (the `LLC_STALLS` signal).
+    pub memory_stall_fraction: f64,
+    /// Average number of core requests outstanding at the memory controller
+    /// (the `LLC_Occupancy_Tracer` signal, via Little's law).
+    pub outstanding_requests: f64,
+}
+
+/// The CPU-core performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuModel {
+    config: CpuConfig,
+}
+
+impl CpuModel {
+    /// Creates a model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: CpuConfig) -> SimResult<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The 2-core/4-thread configuration of the evaluated system (Table 2).
+    #[must_use]
+    pub fn skylake_2core() -> Self {
+        Self::new(CpuConfig::default()).expect("default config is valid")
+    }
+
+    /// Read-only access to the configuration.
+    #[must_use]
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Evaluates one slice of execution.
+    ///
+    /// * `demand` — the workload phase characteristics.
+    /// * `freq` — effective CPU frequency (already including any HDC duty
+    ///   factor).
+    /// * `mem_latency` — effective (queuing-inflated) main-memory latency.
+    /// * `throughput_scale` — additional scaling of achieved instruction rate
+    ///   in `[0, 1]`, used by the SoC loop when the memory controller could
+    ///   not serve the full demanded bandwidth.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        demand: &CpuPhaseDemand,
+        freq: Freq,
+        mem_latency: SimTime,
+        throughput_scale: f64,
+    ) -> CpuSliceResult {
+        if demand.active_threads == 0 || freq.is_zero() {
+            return CpuSliceResult::default();
+        }
+        let parallelism = self.config.effective_parallelism(demand.active_threads);
+        if parallelism == 0.0 {
+            return CpuSliceResult::default();
+        }
+
+        // Seconds per instruction for one thread context.
+        let core_time = demand.base_cpi / freq.as_hz();
+        let memory_time =
+            demand.mpki / 1000.0 * demand.blocking_fraction * mem_latency.as_secs();
+        let seconds_per_instruction = core_time + memory_time;
+
+        let per_thread_ips = 1.0 / seconds_per_instruction;
+        let ips = per_thread_ips * parallelism * throughput_scale.clamp(0.0, 1.0);
+
+        let bandwidth_demand =
+            Bandwidth::from_bytes_per_sec(ips * demand.mpki / 1000.0 * BYTES_PER_MISS);
+
+        let memory_stall_fraction = (memory_time / seconds_per_instruction).clamp(0.0, 1.0);
+
+        // Little's law: outstanding requests = arrival rate x latency. The
+        // arrival rate counts *all* misses (not only blocking ones).
+        let miss_rate = ips * demand.mpki / 1000.0;
+        let outstanding_requests = miss_rate * mem_latency.as_secs();
+
+        CpuSliceResult {
+            instructions_per_sec: ips,
+            bandwidth_demand,
+            memory_stall_fraction,
+            outstanding_requests,
+        }
+    }
+
+    /// Performance scalability with CPU frequency (Sec. 6 footnote 8): the
+    /// relative performance gain for a unit relative frequency increase,
+    /// evaluated at (`freq`, `mem_latency`). 1.0 means perfectly
+    /// frequency-scalable; 0.0 means fully memory bound.
+    #[must_use]
+    pub fn frequency_scalability(
+        &self,
+        demand: &CpuPhaseDemand,
+        freq: Freq,
+        mem_latency: SimTime,
+    ) -> f64 {
+        let base = self.evaluate(demand, freq, mem_latency, 1.0).instructions_per_sec;
+        if base == 0.0 {
+            return 0.0;
+        }
+        let bumped = self
+            .evaluate(demand, freq * 1.05, mem_latency, 1.0)
+            .instructions_per_sec;
+        ((bumped / base) - 1.0) / 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> CpuPhaseDemand {
+        CpuPhaseDemand {
+            base_cpi: 0.8,
+            mpki: 0.3,
+            blocking_fraction: 0.4,
+            active_threads: 2,
+        }
+    }
+
+    fn memory_bound() -> CpuPhaseDemand {
+        CpuPhaseDemand {
+            base_cpi: 1.0,
+            mpki: 22.0,
+            blocking_fraction: 0.7,
+            active_threads: 2,
+        }
+    }
+
+    const MEM_LAT_NS: f64 = 70.0;
+
+    #[test]
+    fn compute_bound_workload_scales_with_frequency() {
+        let cpu = CpuModel::skylake_2core();
+        let lat = SimTime::from_nanos(MEM_LAT_NS);
+        let slow = cpu.evaluate(&compute_bound(), Freq::from_ghz(1.2), lat, 1.0);
+        let fast = cpu.evaluate(&compute_bound(), Freq::from_ghz(1.8), lat, 1.0);
+        let speedup = fast.instructions_per_sec / slow.instructions_per_sec;
+        assert!(speedup > 1.40, "speedup {speedup}");
+        let scal = cpu.frequency_scalability(&compute_bound(), Freq::from_ghz(1.2), lat);
+        assert!(scal > 0.9, "scalability {scal}");
+    }
+
+    #[test]
+    fn memory_bound_workload_barely_scales_with_frequency() {
+        let cpu = CpuModel::skylake_2core();
+        let lat = SimTime::from_nanos(MEM_LAT_NS);
+        let slow = cpu.evaluate(&memory_bound(), Freq::from_ghz(1.2), lat, 1.0);
+        let fast = cpu.evaluate(&memory_bound(), Freq::from_ghz(1.8), lat, 1.0);
+        let speedup = fast.instructions_per_sec / slow.instructions_per_sec;
+        assert!(speedup < 1.25, "speedup {speedup}");
+        let scal = cpu.frequency_scalability(&memory_bound(), Freq::from_ghz(1.2), lat);
+        assert!(scal < 0.6, "scalability {scal}");
+    }
+
+    #[test]
+    fn memory_bound_workload_is_sensitive_to_memory_latency() {
+        let cpu = CpuModel::skylake_2core();
+        let f = Freq::from_ghz(1.2);
+        let fast_mem = cpu.evaluate(&memory_bound(), f, SimTime::from_nanos(60.0), 1.0);
+        let slow_mem = cpu.evaluate(&memory_bound(), f, SimTime::from_nanos(90.0), 1.0);
+        let loss = 1.0 - slow_mem.instructions_per_sec / fast_mem.instructions_per_sec;
+        assert!(loss > 0.10, "loss {loss}");
+        // Compute-bound workloads barely notice.
+        let cb_fast = cpu.evaluate(&compute_bound(), f, SimTime::from_nanos(60.0), 1.0);
+        let cb_slow = cpu.evaluate(&compute_bound(), f, SimTime::from_nanos(90.0), 1.0);
+        let cb_loss = 1.0 - cb_slow.instructions_per_sec / cb_fast.instructions_per_sec;
+        assert!(cb_loss < 0.05, "loss {cb_loss}");
+    }
+
+    #[test]
+    fn bandwidth_demand_follows_ips_and_mpki() {
+        let cpu = CpuModel::skylake_2core();
+        let r = cpu.evaluate(
+            &memory_bound(),
+            Freq::from_ghz(1.2),
+            SimTime::from_nanos(MEM_LAT_NS),
+            1.0,
+        );
+        let expected = r.instructions_per_sec * memory_bound().mpki / 1000.0 * BYTES_PER_MISS;
+        assert!((r.bandwidth_demand.as_bytes_per_sec() - expected).abs() < 1.0);
+        // A memory-intensive phase on two cores demands GB/s-scale bandwidth.
+        assert!(r.bandwidth_demand.as_gib_s() > 1.0);
+    }
+
+    #[test]
+    fn stall_fraction_and_outstanding_requests_separate_the_classes() {
+        let cpu = CpuModel::skylake_2core();
+        let lat = SimTime::from_nanos(MEM_LAT_NS);
+        let f = Freq::from_ghz(1.2);
+        let cb = cpu.evaluate(&compute_bound(), f, lat, 1.0);
+        let mb = cpu.evaluate(&memory_bound(), f, lat, 1.0);
+        assert!(mb.memory_stall_fraction > 0.5);
+        assert!(cb.memory_stall_fraction < 0.2);
+        assert!(mb.outstanding_requests > cb.outstanding_requests);
+    }
+
+    #[test]
+    fn idle_and_degenerate_inputs_are_zero() {
+        let cpu = CpuModel::skylake_2core();
+        let r = cpu.evaluate(
+            &CpuPhaseDemand::idle(),
+            Freq::from_ghz(1.2),
+            SimTime::from_nanos(MEM_LAT_NS),
+            1.0,
+        );
+        assert_eq!(r, CpuSliceResult::default());
+        let r2 = cpu.evaluate(
+            &compute_bound(),
+            Freq::ZERO,
+            SimTime::from_nanos(MEM_LAT_NS),
+            1.0,
+        );
+        assert_eq!(r2, CpuSliceResult::default());
+    }
+
+    #[test]
+    fn throughput_scale_reduces_everything_proportionally() {
+        let cpu = CpuModel::skylake_2core();
+        let lat = SimTime::from_nanos(MEM_LAT_NS);
+        let full = cpu.evaluate(&memory_bound(), Freq::from_ghz(1.2), lat, 1.0);
+        let half = cpu.evaluate(&memory_bound(), Freq::from_ghz(1.2), lat, 0.5);
+        assert!((half.instructions_per_sec / full.instructions_per_sec - 0.5).abs() < 1e-9);
+        assert!(
+            (half.bandwidth_demand.as_bytes_per_sec() / full.bandwidth_demand.as_bytes_per_sec()
+                - 0.5)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn parallelism_accounts_for_smt_yield() {
+        let cfg = CpuConfig::default();
+        assert_eq!(cfg.effective_parallelism(0), 0.0);
+        assert_eq!(cfg.effective_parallelism(1), 1.0);
+        assert_eq!(cfg.effective_parallelism(2), 2.0);
+        assert!((cfg.effective_parallelism(4) - 2.6).abs() < 1e-12);
+        // Beyond the hardware thread count saturates.
+        assert_eq!(cfg.effective_parallelism(16), cfg.effective_parallelism(4));
+    }
+
+    #[test]
+    fn config_and_demand_validation() {
+        let mut cfg = CpuConfig::default();
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+        assert!(CpuModel::new(cfg).is_err());
+        let mut cfg2 = CpuConfig::default();
+        cfg2.smt_yield = 1.5;
+        assert!(cfg2.validate().is_err());
+        let mut d = compute_bound();
+        d.base_cpi = 0.0;
+        assert!(d.validate().is_err());
+        let mut d2 = compute_bound();
+        d2.blocking_fraction = 1.5;
+        assert!(d2.validate().is_err());
+        assert!(compute_bound().validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cpu = CpuModel::skylake_2core();
+        let json = serde_json::to_string(&cpu).unwrap();
+        let back: CpuModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cpu);
+    }
+}

@@ -1,0 +1,300 @@
+//! Idle power states (C-states) and hardware duty cycling (HDC).
+//!
+//! Battery-life workloads spend 60–90 % of their time in package idle states
+//! (Sec. 7.3): the active C0 residency is 10–40 %, and the rest is spent in
+//! C2/C6/C7/C8. DRAM is only active (not in self-refresh) in C0 and C2, which
+//! is why SysScale only applies its DVFS while in those states. At very low
+//! TDP the effective CPU frequency is further reduced below `Pn` by hardware
+//! duty cycling (Sec. 7.2).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{SimError, SimResult};
+
+/// Package idle states used by the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CState {
+    /// Active: cores executing.
+    C0,
+    /// Shallow package idle: cores clock-gated, uncore and DRAM active.
+    C2,
+    /// Deep core idle: cores power-gated, uncore partially active.
+    C6,
+    /// Deeper package idle: most of the uncore gated.
+    C7,
+    /// Deepest connected state: DRAM in self-refresh, uncore off.
+    C8,
+}
+
+impl CState {
+    /// All states, shallowest first.
+    pub const ALL: [CState; 5] = [CState::C0, CState::C2, CState::C6, CState::C7, CState::C8];
+
+    /// `true` if the CPU cores execute instructions in this state.
+    #[must_use]
+    pub fn cores_active(self) -> bool {
+        self == CState::C0
+    }
+
+    /// `true` if DRAM is active (not in self-refresh) in this state. SysScale
+    /// applies uncore DVFS only in these states (Sec. 7.3).
+    #[must_use]
+    pub fn dram_active(self) -> bool {
+        matches!(self, CState::C0 | CState::C2)
+    }
+
+    /// Fraction of the uncore (IO interconnect, memory controller) that
+    /// remains powered in this state.
+    #[must_use]
+    pub fn uncore_activity(self) -> f64 {
+        match self {
+            CState::C0 => 1.0,
+            CState::C2 => 0.85,
+            CState::C6 => 0.35,
+            CState::C7 => 0.20,
+            CState::C8 => 0.0,
+        }
+    }
+
+    /// Fraction of compute-domain leakage still burned in this state
+    /// (power gating removes most of it in C6 and deeper).
+    #[must_use]
+    pub fn compute_leakage_fraction(self) -> f64 {
+        match self {
+            CState::C0 => 1.0,
+            CState::C2 => 0.60,
+            CState::C6 => 0.10,
+            CState::C7 => 0.05,
+            CState::C8 => 0.02,
+        }
+    }
+
+    /// Name as printed in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CState::C0 => "C0",
+            CState::C2 => "C2",
+            CState::C6 => "C6",
+            CState::C7 => "C7",
+            CState::C8 => "C8",
+        }
+    }
+}
+
+/// A distribution of residencies over C-states for one workload phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CStateProfile {
+    residencies: Vec<(CState, f64)>,
+}
+
+impl CStateProfile {
+    /// A profile that is always active (CPU/graphics benchmarks).
+    #[must_use]
+    pub fn always_active() -> Self {
+        Self {
+            residencies: vec![(CState::C0, 1.0)],
+        }
+    }
+
+    /// The video-playback profile of Sec. 7.3: C0 10 %, C2 5 %, C8 85 %.
+    #[must_use]
+    pub fn video_playback() -> Self {
+        Self::new(vec![(CState::C0, 0.10), (CState::C2, 0.05), (CState::C8, 0.85)])
+            .expect("static profile is well formed")
+    }
+
+    /// Creates a profile from `(state, fraction)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if fractions are negative or do
+    /// not sum to 1 (within 0.1 %).
+    pub fn new(residencies: Vec<(CState, f64)>) -> SimResult<Self> {
+        if residencies.iter().any(|(_, f)| *f < 0.0) {
+            return Err(SimError::invalid_config("c-state residency must be non-negative"));
+        }
+        let sum: f64 = residencies.iter().map(|(_, f)| f).sum();
+        if (sum - 1.0).abs() > 1e-3 {
+            return Err(SimError::invalid_config(format!(
+                "c-state residencies must sum to 1.0 (got {sum:.4})"
+            )));
+        }
+        Ok(Self { residencies })
+    }
+
+    /// Iterates over `(state, fraction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CState, f64)> + '_ {
+        self.residencies.iter().copied()
+    }
+
+    /// Residency of one state (zero if absent).
+    #[must_use]
+    pub fn residency(&self, state: CState) -> f64 {
+        self.residencies
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of time the cores are executing (C0 residency).
+    #[must_use]
+    pub fn active_fraction(&self) -> f64 {
+        self.residency(CState::C0)
+    }
+
+    /// Fraction of time DRAM is active (not in self-refresh): the window
+    /// within which SysScale can apply its DVFS (Sec. 7.3).
+    #[must_use]
+    pub fn dram_active_fraction(&self) -> f64 {
+        self.residencies
+            .iter()
+            .filter(|(s, _)| s.dram_active())
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// Average uncore activity factor across the profile.
+    #[must_use]
+    pub fn uncore_activity(&self) -> f64 {
+        self.residencies
+            .iter()
+            .map(|(s, f)| s.uncore_activity() * f)
+            .sum()
+    }
+
+    /// Average compute-leakage fraction across the profile.
+    #[must_use]
+    pub fn compute_leakage_fraction(&self) -> f64 {
+        self.residencies
+            .iter()
+            .map(|(s, f)| s.compute_leakage_fraction() * f)
+            .sum()
+    }
+}
+
+impl Default for CStateProfile {
+    fn default() -> Self {
+        Self::always_active()
+    }
+}
+
+/// Hardware duty cycling (HDC, Sec. 7.2 footnote 10): coarse-grained duty
+/// cycling of the compute domain using power-gated idle states, applied at
+/// very low TDP to reduce the *effective* frequency below `Pn`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareDutyCycle {
+    duty: f64,
+}
+
+impl HardwareDutyCycle {
+    /// No duty cycling (the unit runs 100 % of the time).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { duty: 1.0 }
+    }
+
+    /// Creates a duty cycle with the given on-fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `0 < duty <= 1`.
+    pub fn new(duty: f64) -> SimResult<Self> {
+        if !(duty > 0.0 && duty <= 1.0) {
+            return Err(SimError::invalid_config("duty cycle must be in (0, 1]"));
+        }
+        Ok(Self { duty })
+    }
+
+    /// The on-fraction.
+    #[must_use]
+    pub fn duty(self) -> f64 {
+        self.duty
+    }
+
+    /// Effective throughput multiplier (equal to the duty factor).
+    #[must_use]
+    pub fn throughput_factor(self) -> f64 {
+        self.duty
+    }
+}
+
+impl Default for HardwareDutyCycle {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cstate_attributes_are_monotonic_with_depth() {
+        for pair in CState::ALL.windows(2) {
+            assert!(pair[0].uncore_activity() >= pair[1].uncore_activity());
+            assert!(pair[0].compute_leakage_fraction() >= pair[1].compute_leakage_fraction());
+        }
+        assert!(CState::C0.cores_active());
+        assert!(!CState::C2.cores_active());
+        assert!(CState::C0.dram_active());
+        assert!(CState::C2.dram_active());
+        assert!(!CState::C8.dram_active());
+        assert!(CState::ALL.iter().all(|s| !s.name().is_empty()));
+    }
+
+    #[test]
+    fn video_playback_profile_matches_paper() {
+        let p = CStateProfile::video_playback();
+        assert!((p.residency(CState::C0) - 0.10).abs() < 1e-12);
+        assert!((p.residency(CState::C2) - 0.05).abs() < 1e-12);
+        assert!((p.residency(CState::C8) - 0.85).abs() < 1e-12);
+        assert_eq!(p.residency(CState::C6), 0.0);
+        // DRAM is active only in C0 + C2 = 15 % of the time.
+        assert!((p.dram_active_fraction() - 0.15).abs() < 1e-12);
+        assert!((p.active_fraction() - 0.10).abs() < 1e-12);
+        assert_eq!(p.iter().count(), 3);
+    }
+
+    #[test]
+    fn always_active_profile() {
+        let p = CStateProfile::always_active();
+        assert_eq!(p.active_fraction(), 1.0);
+        assert_eq!(p.dram_active_fraction(), 1.0);
+        assert_eq!(p.uncore_activity(), 1.0);
+        assert_eq!(CStateProfile::default(), p);
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(CStateProfile::new(vec![(CState::C0, 0.5), (CState::C8, 0.4)]).is_err());
+        assert!(CStateProfile::new(vec![(CState::C0, -0.1), (CState::C8, 1.1)]).is_err());
+        assert!(CStateProfile::new(vec![(CState::C0, 0.3), (CState::C8, 0.7)]).is_ok());
+    }
+
+    #[test]
+    fn profile_averages_weight_by_residency() {
+        let p = CStateProfile::new(vec![(CState::C0, 0.5), (CState::C8, 0.5)]).unwrap();
+        assert!((p.uncore_activity() - 0.5).abs() < 1e-12);
+        assert!((p.compute_leakage_fraction() - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hdc_validation_and_factor() {
+        assert!(HardwareDutyCycle::new(0.0).is_err());
+        assert!(HardwareDutyCycle::new(1.5).is_err());
+        let h = HardwareDutyCycle::new(0.6).unwrap();
+        assert!((h.duty() - 0.6).abs() < 1e-12);
+        assert!((h.throughput_factor() - 0.6).abs() < 1e-12);
+        assert_eq!(HardwareDutyCycle::default(), HardwareDutyCycle::disabled());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = CStateProfile::video_playback();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CStateProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,247 @@
+//! Graphics-engine performance model.
+//!
+//! Graphics workloads are modelled per frame: each frame needs a fixed
+//! amount of engine work (cycles) and a fixed amount of main-memory traffic
+//! (bytes). The achieved frame rate is the minimum of the compute-limited
+//! rate (engine frequency / cycles per frame) and the bandwidth-limited rate
+//! (served bandwidth / bytes per frame). Graphics performance is "highly
+//! scalable with the graphics engine frequency" (Sec. 7.2) as long as memory
+//! bandwidth does not become the bottleneck — which is exactly the trade-off
+//! SysScale exploits when it hands the uncore's saved budget to the GFX
+//! engine.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, SimError, SimResult};
+
+/// Per-phase workload characteristics of the graphics demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GfxPhaseDemand {
+    /// Engine cycles of work per frame.
+    pub cycles_per_frame: f64,
+    /// Main-memory bytes transferred per frame (textures, render targets).
+    pub bytes_per_frame: f64,
+    /// Frame-rate cap (v-sync / content frame rate). `None` for benchmark
+    /// mode, where the engine renders as fast as it can.
+    pub target_fps: Option<f64>,
+}
+
+impl GfxPhaseDemand {
+    /// No graphics work.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self {
+            cycles_per_frame: 0.0,
+            bytes_per_frame: 0.0,
+            target_fps: None,
+        }
+    }
+
+    /// Returns `true` if the phase renders nothing.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.cycles_per_frame <= 0.0
+    }
+
+    /// Validates the demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for negative work or a
+    /// non-positive FPS cap.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.cycles_per_frame < 0.0 || self.bytes_per_frame < 0.0 {
+            return Err(SimError::invalid_config("gfx per-frame work must be non-negative"));
+        }
+        if let Some(fps) = self.target_fps {
+            if fps <= 0.0 {
+                return Err(SimError::invalid_config("target fps must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of evaluating the graphics model for one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GfxSliceResult {
+    /// Achieved frame rate.
+    pub fps: f64,
+    /// Main-memory bandwidth demanded at the desired (un-throttled) rate.
+    pub bandwidth_demand: Bandwidth,
+    /// Engine utilization in `[0, 1]` (1.0 = compute bound).
+    pub utilization: f64,
+    /// `true` if the achieved rate was limited by memory bandwidth rather
+    /// than engine throughput or the FPS cap.
+    pub bandwidth_limited: bool,
+}
+
+/// The graphics-engine performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GfxModel;
+
+impl GfxModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Frame rate achievable from engine throughput alone at `freq`.
+    #[must_use]
+    pub fn compute_limited_fps(&self, demand: &GfxPhaseDemand, freq: Freq) -> f64 {
+        if demand.is_idle() {
+            return 0.0;
+        }
+        freq.as_hz() / demand.cycles_per_frame
+    }
+
+    /// The bandwidth the engine would like to consume (at the FPS cap if one
+    /// exists, otherwise at the compute-limited rate).
+    #[must_use]
+    pub fn desired_bandwidth(&self, demand: &GfxPhaseDemand, freq: Freq) -> Bandwidth {
+        if demand.is_idle() {
+            return Bandwidth::ZERO;
+        }
+        let desired_fps = match demand.target_fps {
+            Some(cap) => cap.min(self.compute_limited_fps(demand, freq)),
+            None => self.compute_limited_fps(demand, freq),
+        };
+        Bandwidth::from_bytes_per_sec(desired_fps * demand.bytes_per_frame)
+    }
+
+    /// Evaluates one slice given the engine frequency and the memory
+    /// bandwidth actually granted to the engine.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        demand: &GfxPhaseDemand,
+        freq: Freq,
+        granted: Bandwidth,
+    ) -> GfxSliceResult {
+        if demand.is_idle() || freq.is_zero() {
+            return GfxSliceResult::default();
+        }
+        let compute_fps = self.compute_limited_fps(demand, freq);
+        let bandwidth_fps = if demand.bytes_per_frame > 0.0 {
+            granted.as_bytes_per_sec() / demand.bytes_per_frame
+        } else {
+            f64::INFINITY
+        };
+        let uncapped = compute_fps.min(bandwidth_fps);
+        let fps = match demand.target_fps {
+            Some(cap) => uncapped.min(cap),
+            None => uncapped,
+        };
+        let utilization = if compute_fps > 0.0 {
+            (fps / compute_fps).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        GfxSliceResult {
+            fps,
+            bandwidth_demand: self.desired_bandwidth(demand, freq),
+            utilization,
+            bandwidth_limited: bandwidth_fps < compute_fps * 0.999
+                && demand.target_fps.map_or(true, |cap| bandwidth_fps < cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3DMark-class scene: heavy per-frame work and significant traffic.
+    fn benchmark_scene() -> GfxPhaseDemand {
+        GfxPhaseDemand {
+            cycles_per_frame: 12.0e6,
+            bytes_per_frame: 140.0e6,
+            target_fps: None,
+        }
+    }
+
+    /// A 60 FPS game/video scene with a v-sync cap.
+    fn capped_scene() -> GfxPhaseDemand {
+        GfxPhaseDemand {
+            cycles_per_frame: 4.0e6,
+            bytes_per_frame: 50.0e6,
+            target_fps: Some(60.0),
+        }
+    }
+
+    #[test]
+    fn benchmark_fps_scales_with_engine_frequency_when_bandwidth_is_ample() {
+        let gfx = GfxModel::new();
+        let ample = Bandwidth::from_gib_s(20.0);
+        let slow = gfx.evaluate(&benchmark_scene(), Freq::from_mhz(600.0), ample);
+        let fast = gfx.evaluate(&benchmark_scene(), Freq::from_mhz(900.0), ample);
+        let speedup = fast.fps / slow.fps;
+        assert!((speedup - 1.5).abs() < 0.01, "speedup {speedup}");
+        assert!(!fast.bandwidth_limited);
+        assert!((fast.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_bandwidth_caps_fps_and_flags_it() {
+        let gfx = GfxModel::new();
+        let starved = Bandwidth::from_gib_s(3.0);
+        let r = gfx.evaluate(&benchmark_scene(), Freq::from_mhz(900.0), starved);
+        let compute_fps = gfx.compute_limited_fps(&benchmark_scene(), Freq::from_mhz(900.0));
+        assert!(r.fps < compute_fps);
+        assert!(r.bandwidth_limited);
+        assert!(r.utilization < 1.0);
+    }
+
+    #[test]
+    fn fps_cap_limits_output_and_demand() {
+        let gfx = GfxModel::new();
+        let ample = Bandwidth::from_gib_s(20.0);
+        let r = gfx.evaluate(&capped_scene(), Freq::from_mhz(800.0), ample);
+        assert!((r.fps - 60.0).abs() < 1e-9);
+        assert!(!r.bandwidth_limited);
+        // Desired bandwidth is at the cap, not at the compute-limited rate.
+        let demand = gfx.desired_bandwidth(&capped_scene(), Freq::from_mhz(800.0));
+        assert!((demand.as_bytes_per_sec() - 60.0 * 50.0e6).abs() < 1.0);
+        // Engine is not fully utilized when capped.
+        assert!(r.utilization < 0.5);
+    }
+
+    #[test]
+    fn idle_demand_produces_nothing() {
+        let gfx = GfxModel::new();
+        let r = gfx.evaluate(&GfxPhaseDemand::idle(), Freq::from_mhz(800.0), Bandwidth::ZERO);
+        assert_eq!(r, GfxSliceResult::default());
+        assert_eq!(
+            gfx.desired_bandwidth(&GfxPhaseDemand::idle(), Freq::from_mhz(800.0)),
+            Bandwidth::ZERO
+        );
+        assert!(GfxPhaseDemand::idle().is_idle());
+    }
+
+    #[test]
+    fn zero_frequency_is_degenerate() {
+        let gfx = GfxModel::new();
+        let r = gfx.evaluate(&benchmark_scene(), Freq::ZERO, Bandwidth::from_gib_s(10.0));
+        assert_eq!(r, GfxSliceResult::default());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(benchmark_scene().validate().is_ok());
+        let mut bad = benchmark_scene();
+        bad.cycles_per_frame = -1.0;
+        assert!(bad.validate().is_err());
+        let mut bad_fps = capped_scene();
+        bad_fps.target_fps = Some(0.0);
+        assert!(bad_fps.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = capped_scene();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: GfxPhaseDemand = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sysscale-compute
+//!
+//! Compute-domain models for the SysScale simulator: the CPU-core interval
+//! performance model, the graphics-engine frame model, the shared LLC (and
+//! the PMU counters measured at it), compute P-states, package C-states, and
+//! hardware duty cycling.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_compute::{CpuModel, CpuPhaseDemand};
+//! use sysscale_types::{Freq, SimTime};
+//!
+//! let cpu = CpuModel::skylake_2core();
+//! let lbm_like = CpuPhaseDemand {
+//!     base_cpi: 1.0,
+//!     mpki: 22.0,
+//!     blocking_fraction: 0.7,
+//!     active_threads: 2,
+//! };
+//! // A memory-bound phase barely benefits from a higher core clock.
+//! let scalability =
+//!     cpu.frequency_scalability(&lbm_like, Freq::from_ghz(1.2), SimTime::from_nanos(70.0));
+//! assert!(scalability < 0.6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cpu;
+mod cstate;
+mod gfx;
+mod llc;
+mod pstate;
+
+pub use cpu::{CpuConfig, CpuModel, CpuPhaseDemand, CpuSliceResult, BYTES_PER_MISS};
+pub use cstate::{CState, CStateProfile, HardwareDutyCycle};
+pub use gfx::{GfxModel, GfxPhaseDemand, GfxSliceResult};
+pub use llc::{LlcConfig, LlcModel};
+pub use pstate::{PState, PStateTable};

@@ -1,0 +1,201 @@
+//! Last-level cache (LLC) model.
+//!
+//! The LLC is shared between CPU cores and graphics engines (Fig. 1). The
+//! model captures the two behaviours the paper depends on: (1) graphics
+//! traffic occupying the cache inflates the cores' effective miss rate, and
+//! (2) the LLC is where the PMU's demand-prediction counters are measured
+//! (`LLC_STALLS`, `LLC_Occupancy_Tracer`, `GFX_LLC_MISSES` — Sec. 4.2).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, CounterKind, CounterSet, Freq, SimError, SimResult, SimTime};
+
+use crate::cpu::{CpuSliceResult, BYTES_PER_MISS};
+
+/// Static configuration of the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Capacity in MiB (4 MiB on the evaluated system, Table 2).
+    pub size_mib: f64,
+    /// Hit latency in nanoseconds.
+    pub hit_latency_ns: f64,
+    /// MPKI inflation per GiB/s of graphics traffic sharing the cache.
+    pub contention_mpki_per_gib_s: f64,
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        Self {
+            size_mib: 4.0,
+            hit_latency_ns: 8.0,
+            contention_mpki_per_gib_s: 0.12,
+        }
+    }
+}
+
+impl LlcConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive size or latency,
+    /// or negative contention.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.size_mib <= 0.0 || self.hit_latency_ns <= 0.0 {
+            return Err(SimError::invalid_config("llc size and latency must be positive"));
+        }
+        if self.contention_mpki_per_gib_s < 0.0 {
+            return Err(SimError::invalid_config("llc contention must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// The LLC model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LlcModel {
+    config: LlcConfig,
+}
+
+impl LlcModel {
+    /// Creates a model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: LlcConfig) -> SimResult<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The 4 MiB LLC of the evaluated system.
+    #[must_use]
+    pub fn skylake_4mib() -> Self {
+        Self::new(LlcConfig::default()).expect("default config is valid")
+    }
+
+    /// Read-only access to the configuration.
+    #[must_use]
+    pub fn config(&self) -> &LlcConfig {
+        &self.config
+    }
+
+    /// Effective CPU MPKI after accounting for graphics traffic occupying
+    /// part of the shared cache.
+    #[must_use]
+    pub fn contended_mpki(&self, base_mpki: f64, gfx_traffic: Bandwidth) -> f64 {
+        base_mpki + self.config.contention_mpki_per_gib_s * gfx_traffic.as_gib_s()
+    }
+
+    /// Produces the PMU counter increments attributable to this slice.
+    ///
+    /// * `duration` — slice length.
+    /// * `cpu` — evaluated CPU slice result.
+    /// * `cpu_freq` — effective CPU frequency (to convert stall fractions to
+    ///   stall cycles).
+    /// * `gfx_served` — memory bandwidth actually consumed by the graphics
+    ///   engines this slice.
+    #[must_use]
+    pub fn slice_counters(
+        &self,
+        duration: SimTime,
+        cpu: &CpuSliceResult,
+        cpu_freq: Freq,
+        gfx_served: Bandwidth,
+    ) -> CounterSet {
+        let mut counters = CounterSet::new();
+        let cycles = cpu_freq.cycles_in(duration);
+        counters.set(
+            CounterKind::LlcStalls,
+            cycles * cpu.memory_stall_fraction,
+        );
+        counters.set(
+            CounterKind::LlcOccupancyTracer,
+            cpu.outstanding_requests,
+        );
+        let gfx_misses = gfx_served.as_bytes_per_sec() * duration.as_secs() / BYTES_PER_MISS;
+        counters.set(CounterKind::GfxLlcMisses, gfx_misses);
+        counters.set(
+            CounterKind::InstructionsRetired,
+            cpu.instructions_per_sec * duration.as_secs(),
+        );
+        counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_result(stall: f64, outstanding: f64, ips: f64) -> CpuSliceResult {
+        CpuSliceResult {
+            instructions_per_sec: ips,
+            bandwidth_demand: Bandwidth::from_gib_s(2.0),
+            memory_stall_fraction: stall,
+            outstanding_requests: outstanding,
+        }
+    }
+
+    #[test]
+    fn contention_inflates_mpki_linearly() {
+        let llc = LlcModel::skylake_4mib();
+        let base = 5.0;
+        assert_eq!(llc.contended_mpki(base, Bandwidth::ZERO), base);
+        let with_gfx = llc.contended_mpki(base, Bandwidth::from_gib_s(10.0));
+        assert!((with_gfx - (base + 1.2)).abs() < 1e-9);
+        assert!(llc.contended_mpki(base, Bandwidth::from_gib_s(20.0)) > with_gfx);
+    }
+
+    #[test]
+    fn slice_counters_track_stalls_occupancy_and_gfx_misses() {
+        let llc = LlcModel::skylake_4mib();
+        let duration = SimTime::from_millis(1.0);
+        let freq = Freq::from_ghz(1.2);
+        let c = llc.slice_counters(
+            duration,
+            &cpu_result(0.5, 8.0, 2.0e9),
+            freq,
+            Bandwidth::from_gib_s(1.0),
+        );
+        // 1.2e9 cycles/s x 1 ms x 0.5 stall fraction = 6e5 stall cycles.
+        assert!((c.value(CounterKind::LlcStalls) - 6.0e5).abs() < 1.0);
+        assert_eq!(c.value(CounterKind::LlcOccupancyTracer), 8.0);
+        let expected_misses = Bandwidth::from_gib_s(1.0).as_bytes_per_sec() * 1e-3 / 64.0;
+        assert!((c.value(CounterKind::GfxLlcMisses) - expected_misses).abs() < 1.0);
+        assert!((c.value(CounterKind::InstructionsRetired) - 2.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_slice_produces_zero_counters() {
+        let llc = LlcModel::skylake_4mib();
+        let c = llc.slice_counters(
+            SimTime::from_millis(1.0),
+            &CpuSliceResult::default(),
+            Freq::from_ghz(1.2),
+            Bandwidth::ZERO,
+        );
+        for kind in CounterKind::PREDICTOR_SET {
+            assert_eq!(c.value(kind), 0.0);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LlcConfig::default().validate().is_ok());
+        let mut bad = LlcConfig::default();
+        bad.size_mib = 0.0;
+        assert!(LlcModel::new(bad).is_err());
+        let mut neg = LlcConfig::default();
+        neg.contention_mpki_per_gib_s = -0.5;
+        assert!(neg.validate().is_err());
+        assert_eq!(LlcModel::skylake_4mib().config().size_mib, 4.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let llc = LlcModel::skylake_4mib();
+        let json = serde_json::to_string(&llc).unwrap();
+        let back: LlcModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, llc);
+    }
+}

@@ -1,0 +1,305 @@
+//! P-states: the DVFS operating points of the CPU cores and graphics engines.
+//!
+//! Compute-domain DVFS states are known as P-states (Sec. 4.4); the OS and
+//! the graphics driver request them, and the PMU's power-budget manager (PBM)
+//! grants or demotes the requests to keep the compute domain within its
+//! budget. `Pn` denotes the most energy-efficient state: the maximum
+//! frequency at the minimum functional voltage (Sec. 7.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Freq, SimError, SimResult, Voltage};
+
+/// One compute-domain operating point (frequency/voltage pair).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Clock frequency of the unit at this state.
+    pub freq: Freq,
+    /// Rail voltage required for this frequency.
+    pub voltage: Voltage,
+}
+
+impl fmt::Display for PState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} GHz @ {:.0} mV",
+            self.freq.as_ghz(),
+            self.voltage.as_mv()
+        )
+    }
+}
+
+/// An ordered ladder of P-states, from lowest to highest frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    states: Vec<PState>,
+}
+
+impl PStateTable {
+    /// Creates a table from states sorted by strictly increasing frequency
+    /// and non-decreasing voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the list is empty, unsorted, or
+    /// has decreasing voltage.
+    pub fn new(states: Vec<PState>) -> SimResult<Self> {
+        if states.is_empty() {
+            return Err(SimError::invalid_config("p-state table must not be empty"));
+        }
+        for i in 1..states.len() {
+            if states[i].freq <= states[i - 1].freq {
+                return Err(SimError::invalid_config(
+                    "p-states must be sorted by strictly increasing frequency",
+                ));
+            }
+            if states[i].voltage < states[i - 1].voltage {
+                return Err(SimError::invalid_config(
+                    "p-state voltage must be non-decreasing with frequency",
+                ));
+            }
+        }
+        Ok(Self { states })
+    }
+
+    /// Builds a ladder by sampling a piecewise-linear voltage/frequency curve
+    /// between (`f_min`, `v_min`) and (`f_max`, `v_max`) in `steps` equal
+    /// frequency increments. Frequencies at or below `f_pn` stay at `v_min`
+    /// (the Vmin plateau that defines the `Pn` state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the ranges are inverted or
+    /// `steps < 2`.
+    pub fn from_vf_curve(
+        f_min: Freq,
+        f_pn: Freq,
+        f_max: Freq,
+        v_min: Voltage,
+        v_max: Voltage,
+        steps: usize,
+    ) -> SimResult<Self> {
+        if steps < 2 {
+            return Err(SimError::invalid_config("need at least two p-states"));
+        }
+        if f_min >= f_max || f_pn < f_min || f_pn > f_max || v_min > v_max {
+            return Err(SimError::invalid_config("invalid v/f curve endpoints"));
+        }
+        let mut states = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let t = i as f64 / (steps - 1) as f64;
+            let freq = f_min.lerp(f_max, t);
+            let voltage = if freq <= f_pn {
+                v_min
+            } else {
+                let span = f_max.as_hz() - f_pn.as_hz();
+                let tv = (freq.as_hz() - f_pn.as_hz()) / span;
+                v_min.lerp(v_max, tv)
+            };
+            states.push(PState { freq, voltage });
+        }
+        Self::new(states)
+    }
+
+    /// The CPU-core ladder of a Skylake-class 4.5 W mobile part
+    /// (M-6Y75-like: 0.4–2.9 GHz).
+    #[must_use]
+    pub fn skylake_cpu() -> Self {
+        Self::from_vf_curve(
+            Freq::from_ghz(0.4),
+            Freq::from_ghz(0.8),
+            Freq::from_ghz(2.9),
+            Voltage::from_mv(550.0),
+            Voltage::from_mv(1_050.0),
+            26,
+        )
+        .expect("static curve is well formed")
+    }
+
+    /// The graphics-engine ladder of the same part (0.3–1.0 GHz, base
+    /// 300 MHz per Table 2).
+    #[must_use]
+    pub fn skylake_gfx() -> Self {
+        Self::from_vf_curve(
+            Freq::from_ghz(0.3),
+            Freq::from_ghz(0.4),
+            Freq::from_ghz(1.0),
+            Voltage::from_mv(550.0),
+            Voltage::from_mv(1_000.0),
+            15,
+        )
+        .expect("static curve is well formed")
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the table is empty (never true for a constructed
+    /// table, present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// All states, lowest frequency first.
+    #[must_use]
+    pub fn states(&self) -> &[PState] {
+        &self.states
+    }
+
+    /// The lowest-frequency state.
+    #[must_use]
+    pub fn lowest(&self) -> PState {
+        self.states[0]
+    }
+
+    /// The highest-frequency state.
+    #[must_use]
+    pub fn highest(&self) -> PState {
+        self.states[self.states.len() - 1]
+    }
+
+    /// The most energy-efficient state `Pn`: the highest frequency still at
+    /// the minimum voltage (Sec. 7.2).
+    #[must_use]
+    pub fn pn(&self) -> PState {
+        let v_min = self.states[0].voltage;
+        self.states
+            .iter()
+            .rev()
+            .find(|s| (s.voltage.as_mv() - v_min.as_mv()).abs() < 1e-6)
+            .copied()
+            .unwrap_or(self.states[0])
+    }
+
+    /// The highest state whose frequency does not exceed `freq` (the lowest
+    /// state if `freq` is below all of them).
+    #[must_use]
+    pub fn floor_state(&self, freq: Freq) -> PState {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.freq <= freq * 1.000_001)
+            .copied()
+            .unwrap_or(self.states[0])
+    }
+
+    /// The lowest state whose frequency is at least `freq` (the highest state
+    /// if `freq` exceeds all of them).
+    #[must_use]
+    pub fn ceil_state(&self, freq: Freq) -> PState {
+        self.states
+            .iter()
+            .find(|s| s.freq >= freq * 0.999_999)
+            .copied()
+            .unwrap_or_else(|| self.highest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_ladders_are_well_formed() {
+        let cpu = PStateTable::skylake_cpu();
+        let gfx = PStateTable::skylake_gfx();
+        assert!(cpu.len() >= 20);
+        assert!(gfx.len() >= 10);
+        assert!(!cpu.is_empty());
+        assert!((cpu.lowest().freq.as_ghz() - 0.4).abs() < 1e-9);
+        assert!((cpu.highest().freq.as_ghz() - 2.9).abs() < 1e-9);
+        assert!((gfx.lowest().freq.as_ghz() - 0.3).abs() < 1e-9);
+        assert!(cpu.highest().voltage > cpu.lowest().voltage);
+    }
+
+    #[test]
+    fn pn_is_max_frequency_at_min_voltage() {
+        let cpu = PStateTable::skylake_cpu();
+        let pn = cpu.pn();
+        assert_eq!(pn.voltage, cpu.lowest().voltage);
+        assert!(pn.freq > cpu.lowest().freq);
+        // Every state above Pn needs more voltage.
+        for s in cpu.states() {
+            if s.freq > pn.freq {
+                assert!(s.voltage > pn.voltage);
+            }
+        }
+    }
+
+    #[test]
+    fn floor_and_ceil_state_selection() {
+        let cpu = PStateTable::skylake_cpu();
+        let target = Freq::from_ghz(1.25);
+        let floor = cpu.floor_state(target);
+        let ceil = cpu.ceil_state(target);
+        assert!(floor.freq <= target);
+        assert!(ceil.freq >= target * 0.999_999);
+        assert!(ceil.freq >= floor.freq);
+        // Saturation at the ends.
+        assert_eq!(cpu.floor_state(Freq::from_ghz(0.1)), cpu.lowest());
+        assert_eq!(cpu.ceil_state(Freq::from_ghz(9.0)), cpu.highest());
+        // Exact hits return the exact state.
+        let exact = cpu.states()[5];
+        assert_eq!(cpu.floor_state(exact.freq), exact);
+        assert_eq!(cpu.ceil_state(exact.freq), exact);
+    }
+
+    #[test]
+    fn construction_rejects_bad_tables() {
+        assert!(PStateTable::new(vec![]).is_err());
+        let a = PState {
+            freq: Freq::from_ghz(1.0),
+            voltage: Voltage::from_mv(700.0),
+        };
+        let b = PState {
+            freq: Freq::from_ghz(0.9),
+            voltage: Voltage::from_mv(750.0),
+        };
+        assert!(PStateTable::new(vec![a, b]).is_err());
+        let c = PState {
+            freq: Freq::from_ghz(1.2),
+            voltage: Voltage::from_mv(650.0),
+        };
+        assert!(PStateTable::new(vec![a, c]).is_err());
+        assert!(PStateTable::from_vf_curve(
+            Freq::from_ghz(1.0),
+            Freq::from_ghz(1.0),
+            Freq::from_ghz(0.5),
+            Voltage::from_mv(500.0),
+            Voltage::from_mv(900.0),
+            5
+        )
+        .is_err());
+        assert!(PStateTable::from_vf_curve(
+            Freq::from_ghz(0.4),
+            Freq::from_ghz(0.6),
+            Freq::from_ghz(1.0),
+            Voltage::from_mv(500.0),
+            Voltage::from_mv(900.0),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = PStateTable::skylake_cpu().highest().to_string();
+        assert!(s.contains("GHz"));
+        assert!(s.contains("mV"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cpu = PStateTable::skylake_cpu();
+        let json = serde_json::to_string(&cpu).unwrap();
+        let back: PStateTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cpu);
+    }
+}

@@ -1,0 +1,222 @@
+//! Baseline configurations and the `-Redist` projection methodology.
+//!
+//! MemScale and CoScale differ from SysScale in two platform-level ways
+//! (Sec. 8): they scale only the memory subsystem's frequency (the shared
+//! `V_SA`/`V_IO` rails and the IO interconnect stay at nominal because those
+//! are shared with components they do not manage), and they do not reload
+//! optimized MRC register values after a frequency change. The helpers here
+//! build the matching [`SocConfig`]s.
+//!
+//! The paper compares against `MemScale-Redist` / `CoScale-Redist`: variants
+//! that are *assumed* to be able to hand their measured power savings to the
+//! compute domain. Their performance is *projected* (Sec. 6) from measured
+//! power savings through the power/performance model and the workload's
+//! frequency scalability; [`project_redistributed_speedup`] reproduces that
+//! projection.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_power::ComputeRequest;
+use sysscale_soc::{SimReport, SocConfig};
+use sysscale_types::{
+    Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint,
+};
+
+/// The uncore ladder available to a memory-only DVFS policy: the DRAM/MC
+/// frequency drops, but the IO interconnect clock and the shared rail
+/// voltages stay at nominal (they serve components outside the policy's
+/// scope).
+#[must_use]
+pub fn memory_only_ladder() -> OperatingPointTable {
+    OperatingPointTable::new(vec![
+        UncoreOperatingPoint::new(Freq::from_ghz(1.0666), Freq::from_ghz(0.8), 1.0, 1.0),
+        UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
+    ])
+    .expect("static ladder is well formed")
+}
+
+/// Platform configuration for the MemScale-like policy: memory-only ladder,
+/// no MRC reload on transitions.
+#[must_use]
+pub fn memscale_config(base: &SocConfig) -> SocConfig {
+    SocConfig {
+        uncore_ladder: memory_only_ladder(),
+        reload_mrc_on_transition: false,
+        ..base.clone()
+    }
+}
+
+/// Platform configuration for the CoScale-like policy (same platform
+/// restrictions as MemScale; the additional CPU coordination lives in the
+/// governor).
+#[must_use]
+pub fn coscale_config(base: &SocConfig) -> SocConfig {
+    memscale_config(base)
+}
+
+/// The projection of a `-Redist` variant's performance improvement from its
+/// measured average power saving (the three-step methodology of Sec. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedistProjection {
+    /// Average power saved by the technique relative to the baseline.
+    pub power_saving: Power,
+    /// CPU (or graphics) frequency granted by the PBM under the baseline
+    /// compute budget.
+    pub baseline_freq: Freq,
+    /// Frequency granted when the saved power is added to the compute budget.
+    pub boosted_freq: Freq,
+    /// Measured performance scalability of the workload with frequency
+    /// (Sec. 6 footnote 8).
+    pub scalability: f64,
+    /// Projected performance improvement, percent.
+    pub projected_speedup_pct: f64,
+}
+
+/// Projects the performance improvement a power-saving technique would get if
+/// its measured savings were redistributed to the compute domain.
+///
+/// * `config` — the platform (its budget policy and P-state ladders define
+///   the power→frequency mapping).
+/// * `baseline` / `power_saver` — simulation reports of the same workload
+///   under the baseline and under the power-saving-only technique.
+/// * `scalability` — the workload's performance scalability with the boosted
+///   unit's frequency (1.0 = perfectly scalable).
+/// * `gfx_priority` — `true` to boost the graphics engine instead of the CPU
+///   cores (graphics workloads, Sec. 7.2).
+///
+/// # Errors
+///
+/// Returns an error if the baseline compute budget cannot be derived from the
+/// configuration.
+pub fn project_redistributed_speedup(
+    config: &SocConfig,
+    baseline: &SimReport,
+    power_saver: &SimReport,
+    scalability: f64,
+    gfx_priority: bool,
+) -> SimResult<RedistProjection> {
+    config.budget_policy.validate(config.tdp)?;
+    let saving = (baseline.average_power() - power_saver.average_power()).max(Power::ZERO);
+
+    let pbm = sysscale_power::PowerBudgetManager::new(
+        sysscale_power::ComputeDomainPowerModel::default(),
+        config.cpu_pstates.clone(),
+        config.gfx_pstates.clone(),
+    );
+    let budgets = config.budget_policy.worst_case_budgets(config.tdp);
+    let request = ComputeRequest {
+        cpu_requested: config.cpu_pstates.highest().freq,
+        gfx_requested: if gfx_priority {
+            config.gfx_pstates.highest().freq
+        } else {
+            config.gfx_pstates.lowest().freq
+        },
+        cpu_activity: 1.0,
+        gfx_activity: if gfx_priority { 1.0 } else { 0.0 },
+        gfx_priority,
+        c0_fraction: 1.0,
+        leakage_fraction: 1.0,
+    };
+    let base_grant = pbm.grant(budgets.compute, &request);
+    let boosted_grant = pbm.grant(budgets.compute + saving, &request);
+    let (baseline_freq, boosted_freq) = if gfx_priority {
+        (base_grant.gfx.freq, boosted_grant.gfx.freq)
+    } else {
+        (base_grant.cpu.freq, boosted_grant.cpu.freq)
+    };
+    let freq_gain = if baseline_freq.is_zero() {
+        0.0
+    } else {
+        boosted_freq / baseline_freq - 1.0
+    };
+    Ok(RedistProjection {
+        power_saving: saving,
+        baseline_freq,
+        boosted_freq,
+        scalability: scalability.clamp(0.0, 1.0),
+        projected_speedup_pct: freq_gain * scalability.clamp(0.0, 1.0) * 100.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_soc::{FixedGovernor, SocSimulator};
+    use sysscale_types::SimTime;
+    use sysscale_workloads::spec_workload;
+
+    #[test]
+    fn memory_only_ladder_keeps_io_clock_and_voltages() {
+        let ladder = memory_only_ladder();
+        let low = ladder.lowest();
+        assert!((low.io_interconnect_freq.as_ghz() - 0.8).abs() < 1e-9);
+        assert_eq!(low.vsa_scale, 1.0);
+        assert_eq!(low.vio_scale, 1.0);
+        assert!(low.dram_freq < ladder.highest().dram_freq);
+    }
+
+    #[test]
+    fn memscale_config_disables_mrc_reload() {
+        let base = SocConfig::skylake_default();
+        let cfg = memscale_config(&base);
+        assert!(!cfg.reload_mrc_on_transition);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(coscale_config(&base).uncore_ladder, cfg.uncore_ladder);
+        // SysScale's own config keeps both capabilities.
+        assert!(base.reload_mrc_on_transition);
+    }
+
+    #[test]
+    fn memscale_low_point_saves_less_power_than_full_md_dvfs() {
+        // The structural reason SysScale beats MemScale: without V_SA/V_IO
+        // scaling, IO-interconnect scaling, and MRC reload, far less power is
+        // freed (Sec. 7.1 reason 1 and 2).
+        let workload = spec_workload("gamess").unwrap();
+        let duration = SimTime::from_millis(150.0);
+
+        let mut full = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        let base = full
+            .run(&workload, &mut FixedGovernor::baseline(), duration)
+            .unwrap();
+        let full_low = full
+            .run(&workload, &mut FixedGovernor::md_dvfs(false), duration)
+            .unwrap();
+
+        let mut mem_only = SocSimulator::new(memscale_config(&SocConfig::skylake_default())).unwrap();
+        let mem_low = mem_only
+            .run(&workload, &mut FixedGovernor::md_dvfs(false), duration)
+            .unwrap();
+
+        let full_saving = base.average_power() - full_low.average_power();
+        let mem_saving = base.average_power() - mem_low.average_power();
+        assert!(full_saving > Power::ZERO);
+        assert!(mem_saving > Power::ZERO);
+        assert!(
+            full_saving.as_watts() > 1.8 * mem_saving.as_watts(),
+            "full {full_saving}, memscale {mem_saving}"
+        );
+    }
+
+    #[test]
+    fn projection_scales_with_saving_and_scalability() {
+        let config = SocConfig::skylake_default();
+        let workload = spec_workload("gamess").unwrap();
+        let duration = SimTime::from_millis(150.0);
+        let mut sim = SocSimulator::new(config.clone()).unwrap();
+        let base = sim
+            .run(&workload, &mut FixedGovernor::baseline(), duration)
+            .unwrap();
+        let low = sim
+            .run(&workload, &mut FixedGovernor::md_dvfs(false), duration)
+            .unwrap();
+        let strong = project_redistributed_speedup(&config, &base, &low, 1.0, false).unwrap();
+        let weak = project_redistributed_speedup(&config, &base, &low, 0.2, false).unwrap();
+        assert!(strong.power_saving > Power::ZERO);
+        assert!(strong.boosted_freq >= strong.baseline_freq);
+        assert!(strong.projected_speedup_pct > weak.projected_speedup_pct);
+        assert!(weak.projected_speedup_pct >= 0.0);
+        // No saving -> no projected gain.
+        let none = project_redistributed_speedup(&config, &base, &base, 1.0, false).unwrap();
+        assert_eq!(none.projected_speedup_pct, 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline calibration of the demand predictor (Sec. 4.2).
+//!
+//! The calibration runs a representative workload population at the high and
+//! low operating points, measures the actual performance degradation and the
+//! counter values at the high point, and derives:
+//!
+//! * **thresholds** — for the runs whose degradation stays below the bound,
+//!   the per-counter `µ + σ` rule of Sec. 4.2;
+//! * **an impact model** — an ordinary-least-squares fit of degradation as a
+//!   linear function of the four counters, used by the Fig. 6 study to
+//!   predict the performance impact of the lower DRAM frequency.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale_types::{stats, CounterKind, CounterSet, SimResult, SimTime};
+use sysscale_workloads::{Workload, WorkloadClass};
+
+use crate::predictor::{DemandPredictor, ImpactModel, PredictorThresholds};
+
+/// Configuration of a calibration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Performance-degradation bound (fraction) below which a run counts as
+    /// "safe at the low operating point" (1 % in the paper).
+    pub degradation_bound: f64,
+    /// How long each workload is simulated per operating point.
+    pub sim_duration: SimTime,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            degradation_bound: 0.01,
+            sim_duration: SimTime::from_millis(120.0),
+        }
+    }
+}
+
+/// One calibrated data point: a workload's counters at the high operating
+/// point and its measured degradation at the low one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSample {
+    /// Workload name.
+    pub workload: String,
+    /// Workload class (used to split the Fig. 6 panels).
+    pub class: WorkloadClass,
+    /// Per-sample (per-slice) average counter values at the high operating
+    /// point.
+    pub counters: CounterSet,
+    /// Measured performance degradation when running at the low operating
+    /// point (fraction; negative values are clamped to zero).
+    pub actual_degradation: f64,
+}
+
+/// The outcome of a calibration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationOutcome {
+    /// Thresholds derived with the µ+σ rule.
+    pub thresholds: PredictorThresholds,
+    /// Linear impact model fitted over the full sample set.
+    pub impact_model: ImpactModel,
+    /// Every measured sample (inputs to the Fig. 6 analysis).
+    pub samples: Vec<CalibrationSample>,
+}
+
+impl CalibrationOutcome {
+    /// A predictor built from this calibration.
+    #[must_use]
+    pub fn predictor(&self) -> DemandPredictor {
+        DemandPredictor::new(self.thresholds, self.impact_model)
+    }
+}
+
+/// Runs one workload at both ends of the ladder and produces its calibration
+/// sample.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_sample(
+    config: &SocConfig,
+    workload: &Workload,
+    cal: &CalibrationConfig,
+) -> SimResult<CalibrationSample> {
+    let mut sim = SocSimulator::new(config.clone())?;
+    let high = sim.run(workload, &mut FixedGovernor::baseline(), cal.sim_duration)?;
+    let low = sim.run(workload, &mut FixedGovernor::md_dvfs(false), cal.sim_duration)?;
+    let high_perf = high.metrics.throughput();
+    let degradation = if high_perf > 0.0 {
+        (1.0 - low.metrics.throughput() / high_perf).max(0.0)
+    } else {
+        0.0
+    };
+    // Convert accumulated counters into per-slice averages.
+    let slices = (cal.sim_duration.as_secs() / config.slice.as_secs()).round().max(1.0);
+    let mut averages = CounterSet::new();
+    for (kind, total) in high.counters.iter() {
+        averages.set(kind, total / slices);
+    }
+    Ok(CalibrationSample {
+        workload: workload.name.clone(),
+        class: workload.class,
+        counters: averages,
+        actual_degradation: degradation,
+    })
+}
+
+/// Runs the full calibration over a workload population.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn calibrate(
+    config: &SocConfig,
+    population: &[Workload],
+    cal: &CalibrationConfig,
+) -> SimResult<CalibrationOutcome> {
+    let samples: Vec<CalibrationSample> = population
+        .iter()
+        .map(|w| measure_sample(config, w, cal))
+        .collect::<SimResult<_>>()?;
+    let thresholds = derive_thresholds(&samples, cal.degradation_bound, config);
+    let impact_model = fit_impact_model(&samples);
+    Ok(CalibrationOutcome {
+        thresholds,
+        impact_model,
+        samples,
+    })
+}
+
+/// Derives the µ+σ thresholds from the samples whose degradation stays below
+/// the bound (Sec. 4.2). Falls back to the hand-tuned defaults for a counter
+/// that never appears in the safe set.
+#[must_use]
+pub fn derive_thresholds(
+    samples: &[CalibrationSample],
+    bound: f64,
+    config: &SocConfig,
+) -> PredictorThresholds {
+    let defaults = PredictorThresholds::skylake_default();
+    let safe: Vec<&CalibrationSample> = samples
+        .iter()
+        .filter(|s| s.actual_degradation <= bound)
+        .collect();
+    if safe.is_empty() {
+        return defaults;
+    }
+    let collect = |kind: CounterKind| -> Vec<f64> {
+        safe.iter().map(|s| s.counters.value(kind)).collect()
+    };
+    let threshold = |kind: CounterKind, fallback: f64| -> f64 {
+        let values = collect(kind);
+        let t = stats::mu_plus_sigma_threshold(&values);
+        if t > 0.0 {
+            t
+        } else {
+            fallback
+        }
+    };
+    // The static threshold stays a configuration constant: it is a property
+    // of the platform's peripherals, not of the dynamic counters.
+    let _ = config;
+    PredictorThresholds {
+        static_bw_fraction: defaults.static_bw_fraction,
+        gfx_llc_misses: threshold(CounterKind::GfxLlcMisses, defaults.gfx_llc_misses),
+        llc_occupancy: threshold(CounterKind::LlcOccupancyTracer, defaults.llc_occupancy),
+        llc_stalls: threshold(CounterKind::LlcStalls, defaults.llc_stalls),
+        io_rpq: threshold(CounterKind::IoRpq, defaults.io_rpq),
+    }
+}
+
+/// Ordinary-least-squares fit of `degradation ~ intercept + counters` over
+/// the sample set, solved with Gaussian elimination on the normal equations.
+#[must_use]
+pub fn fit_impact_model(samples: &[CalibrationSample]) -> ImpactModel {
+    if samples.len() < 6 {
+        return ImpactModel::default();
+    }
+    const FEATURES: usize = 5; // intercept + 4 counters
+    let row = |s: &CalibrationSample| -> [f64; FEATURES] {
+        [
+            1.0,
+            s.counters.value(CounterKind::GfxLlcMisses),
+            s.counters.value(CounterKind::LlcOccupancyTracer),
+            s.counters.value(CounterKind::LlcStalls),
+            s.counters.value(CounterKind::IoRpq),
+        ]
+    };
+    // Normal equations: (XᵀX) β = Xᵀy.
+    let mut xtx = [[0.0f64; FEATURES]; FEATURES];
+    let mut xty = [0.0f64; FEATURES];
+    for s in samples {
+        let x = row(s);
+        for i in 0..FEATURES {
+            for j in 0..FEATURES {
+                xtx[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * s.actual_degradation;
+        }
+    }
+    // Tikhonov damping keeps the system well conditioned when a counter is
+    // (nearly) constant across the population.
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += 1e-9 * (row[i].abs() + 1.0);
+    }
+    let Some(beta) = solve_linear_system(xtx, xty) else {
+        return ImpactModel::default();
+    };
+    ImpactModel {
+        intercept: beta[0],
+        gfx_llc_misses: beta[1],
+        llc_occupancy: beta[2],
+        llc_stalls: beta[3],
+        io_rpq: beta[4],
+    }
+}
+
+/// Solves a small dense linear system with partial-pivot Gaussian
+/// elimination. Returns `None` for a singular system.
+fn solve_linear_system<const N: usize>(mut a: [[f64; N]; N], mut b: [f64; N]) -> Option<[f64; N]> {
+    for col in 0..N {
+        // Pivot.
+        let pivot_row = (col..N).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite values")
+        })?;
+        if a[pivot_row][col].abs() < 1e-30 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // Eliminate.
+        for r in (col + 1)..N {
+            let factor = a[r][col] / a[col][col];
+            for c in col..N {
+                a[r][c] -= factor * a[col][c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; N];
+    for col in (0..N).rev() {
+        let mut sum = b[col];
+        for c in (col + 1)..N {
+            sum -= a[col][c] * x[c];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_workloads::{spec_workload, WorkloadGenerator};
+
+    fn quick_cal() -> CalibrationConfig {
+        CalibrationConfig {
+            degradation_bound: 0.01,
+            sim_duration: SimTime::from_millis(60.0),
+        }
+    }
+
+    #[test]
+    fn linear_solver_handles_known_system() {
+        let a = [[2.0, 1.0], [1.0, 3.0]];
+        let b = [5.0, 10.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!(solve_linear_system([[0.0, 0.0], [0.0, 0.0]], [1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn measured_samples_separate_memory_bound_from_core_bound() {
+        let config = SocConfig::skylake_default();
+        let cal = quick_cal();
+        let lbm = measure_sample(&config, &spec_workload("lbm").unwrap(), &cal).unwrap();
+        let gamess = measure_sample(&config, &spec_workload("gamess").unwrap(), &cal).unwrap();
+        assert!(lbm.actual_degradation > 0.05, "lbm {}", lbm.actual_degradation);
+        assert!(
+            gamess.actual_degradation < 0.01,
+            "gamess {}",
+            gamess.actual_degradation
+        );
+        assert!(
+            lbm.counters.value(CounterKind::LlcStalls)
+                > gamess.counters.value(CounterKind::LlcStalls)
+        );
+    }
+
+    #[test]
+    fn calibration_produces_discriminative_thresholds_and_model() {
+        let config = SocConfig::skylake_default();
+        let cal = quick_cal();
+        let mut population = WorkloadGenerator::with_seed(11).population(24);
+        population.push(spec_workload("lbm").unwrap());
+        population.push(spec_workload("gamess").unwrap());
+        let outcome = calibrate(&config, &population, &cal).unwrap();
+        assert_eq!(outcome.samples.len(), population.len());
+        // Thresholds are positive and finite.
+        let t = outcome.thresholds;
+        for v in [t.gfx_llc_misses, t.llc_occupancy, t.llc_stalls, t.io_rpq] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+        // The fitted impact model ranks a memory-bound sample above a
+        // core-bound one.
+        let lbm = outcome
+            .samples
+            .iter()
+            .find(|s| s.workload == "470.lbm")
+            .unwrap();
+        let gamess = outcome
+            .samples
+            .iter()
+            .find(|s| s.workload == "416.gamess")
+            .unwrap();
+        let model = outcome.impact_model;
+        assert!(model.predict(&lbm.counters) > model.predict(&gamess.counters));
+        // The derived predictor keeps lbm at the high point and lets gamess
+        // drop.
+        let predictor = outcome.predictor();
+        let peak = sysscale_types::Bandwidth::from_gib_s(23.8);
+        let static_demand = sysscale_types::Bandwidth::from_gib_s(4.3);
+        assert!(
+            predictor
+                .predict(&lbm.counters, static_demand, peak)
+                .needs_high_performance
+        );
+        assert!(
+            !predictor
+                .predict(&gamess.counters, static_demand, peak)
+                .needs_high_performance
+        );
+    }
+
+    #[test]
+    fn thresholds_fall_back_to_defaults_without_safe_samples() {
+        let config = SocConfig::skylake_default();
+        let t = derive_thresholds(&[], 0.01, &config);
+        assert_eq!(t, PredictorThresholds::skylake_default());
+        assert_eq!(fit_impact_model(&[]), ImpactModel::default());
+    }
+}

@@ -1,0 +1,262 @@
+//! The main evaluation: Fig. 7 (SPEC CPU2006), Fig. 8 (3DMark), and Fig. 9
+//! (battery-life workloads), comparing SysScale against the projected
+//! MemScale-Redist and CoScale-Redist baselines.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::CpuModel;
+use sysscale_soc::{FixedGovernor, SocConfig};
+use sysscale_types::{stats, Freq, SimResult, SimTime};
+use sysscale_workloads::{battery_life_suite, graphics_suite, spec_cpu2006_suite, Workload};
+
+use crate::baselines::{coscale_config, memscale_config, project_redistributed_speedup};
+use crate::governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
+use crate::predictor::DemandPredictor;
+
+use super::run_workload;
+
+/// Per-workload comparison row (Figs. 7 and 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub workload: String,
+    /// Projected MemScale-Redist improvement, percent.
+    pub memscale_redist_pct: f64,
+    /// Projected CoScale-Redist improvement, percent.
+    pub coscale_redist_pct: f64,
+    /// Measured SysScale improvement, percent.
+    pub sysscale_pct: f64,
+}
+
+/// A full evaluation figure: per-workload rows plus suite averages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupFigure {
+    /// Per-workload rows.
+    pub rows: Vec<SpeedupRow>,
+    /// Average MemScale-Redist improvement, percent.
+    pub memscale_avg_pct: f64,
+    /// Average CoScale-Redist improvement, percent.
+    pub coscale_avg_pct: f64,
+    /// Average SysScale improvement, percent.
+    pub sysscale_avg_pct: f64,
+    /// Maximum SysScale improvement, percent.
+    pub sysscale_max_pct: f64,
+}
+
+impl SpeedupFigure {
+    fn from_rows(rows: Vec<SpeedupRow>) -> Self {
+        let mem: Vec<f64> = rows.iter().map(|r| r.memscale_redist_pct).collect();
+        let co: Vec<f64> = rows.iter().map(|r| r.coscale_redist_pct).collect();
+        let sys: Vec<f64> = rows.iter().map(|r| r.sysscale_pct).collect();
+        Self {
+            memscale_avg_pct: stats::mean(&mem),
+            coscale_avg_pct: stats::mean(&co),
+            sysscale_avg_pct: stats::mean(&sys),
+            sysscale_max_pct: sys.iter().copied().fold(0.0, f64::max),
+            rows,
+        }
+    }
+}
+
+/// Measures the frequency scalability of a CPU workload (Sec. 6 footnote 8)
+/// from its phase descriptors at typical loaded-memory conditions.
+#[must_use]
+pub fn cpu_scalability(config: &SocConfig, workload: &Workload) -> f64 {
+    let cpu = CpuModel::new(config.cpu).expect("validated config");
+    let total = workload.iteration_length().as_secs();
+    if total == 0.0 {
+        return 0.0;
+    }
+    workload
+        .phases
+        .iter()
+        .map(|p| {
+            cpu.frequency_scalability(&p.cpu, Freq::from_ghz(1.8), SimTime::from_nanos(75.0))
+                * p.duration.as_secs()
+        })
+        .sum::<f64>()
+        / total
+}
+
+fn evaluate_one(
+    config: &SocConfig,
+    workload: &Workload,
+    predictor: &DemandPredictor,
+    gfx_priority: bool,
+    scalability: f64,
+) -> SimResult<SpeedupRow> {
+    let baseline = run_workload(config, workload, &mut FixedGovernor::baseline())?;
+
+    // SysScale: measured on the full platform.
+    let mut sysscale = SysScaleGovernor::new(*predictor);
+    let sysscale_report = run_workload(config, workload, &mut sysscale)?;
+
+    // MemScale / CoScale: power-save-only runs on the restricted platform,
+    // then the Sec. 6 projection of their -Redist performance.
+    let mem_cfg = memscale_config(config);
+    let mem_report = run_workload(&mem_cfg, workload, &mut MemScaleGovernor::new())?;
+    let mem_proj =
+        project_redistributed_speedup(config, &baseline, &mem_report, scalability, gfx_priority)?;
+
+    let co_cfg = coscale_config(config);
+    let co_report = run_workload(&co_cfg, workload, &mut CoScaleGovernor::new())?;
+    let co_proj =
+        project_redistributed_speedup(config, &baseline, &co_report, scalability, gfx_priority)?;
+
+    Ok(SpeedupRow {
+        workload: workload.name.clone(),
+        memscale_redist_pct: mem_proj.projected_speedup_pct.max(0.0),
+        coscale_redist_pct: co_proj.projected_speedup_pct.max(0.0),
+        sysscale_pct: sysscale_report.speedup_pct_over(&baseline),
+    })
+}
+
+/// Fig. 7: SPEC CPU2006 performance improvements.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig7(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
+    let rows = spec_cpu2006_suite()
+        .iter()
+        .map(|w| {
+            let scalability = cpu_scalability(config, w);
+            evaluate_one(config, w, predictor, false, scalability)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+    Ok(SpeedupFigure::from_rows(rows))
+}
+
+/// Fig. 8: 3DMark performance improvements.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig8(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
+    let rows = graphics_suite()
+        .iter()
+        .map(|w| {
+            // Graphics FPS is assumed fully scalable with engine frequency as
+            // long as bandwidth suffices (Sec. 7.2); the simulator itself
+            // enforces the bandwidth limit for the measured SysScale numbers.
+            evaluate_one(config, w, predictor, true, 1.0)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+    Ok(SpeedupFigure::from_rows(rows))
+}
+
+/// Per-workload battery-life row (Fig. 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReductionRow {
+    /// Scenario name.
+    pub workload: String,
+    /// MemScale-R average power reduction, percent.
+    pub memscale_redist_pct: f64,
+    /// CoScale-R average power reduction, percent.
+    pub coscale_redist_pct: f64,
+    /// Measured SysScale average power reduction, percent.
+    pub sysscale_pct: f64,
+    /// Baseline average power, watts (for context).
+    pub baseline_power_w: f64,
+}
+
+/// Fig. 9 result: rows plus averages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReductionFigure {
+    /// Per-scenario rows.
+    pub rows: Vec<PowerReductionRow>,
+    /// Average SysScale power reduction, percent.
+    pub sysscale_avg_pct: f64,
+    /// Maximum SysScale power reduction, percent.
+    pub sysscale_max_pct: f64,
+}
+
+/// Fig. 9: battery-life average power reduction.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig9(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<PowerReductionFigure> {
+    let mut rows = Vec::new();
+    for workload in battery_life_suite() {
+        let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
+        let mut sysscale = SysScaleGovernor::new(*predictor);
+        let sys = run_workload(config, &workload, &mut sysscale)?;
+        let mem_cfg = memscale_config(config);
+        let mem = run_workload(&mem_cfg, &workload, &mut MemScaleGovernor::new())?;
+        let co_cfg = coscale_config(config);
+        let co = run_workload(&co_cfg, &workload, &mut CoScaleGovernor::new())?;
+        rows.push(PowerReductionRow {
+            workload: workload.name.clone(),
+            memscale_redist_pct: mem.power_reduction_pct_vs(&baseline).max(0.0),
+            coscale_redist_pct: co.power_reduction_pct_vs(&baseline).max(0.0),
+            sysscale_pct: sys.power_reduction_pct_vs(&baseline),
+            baseline_power_w: baseline.average_power().as_watts(),
+        });
+    }
+    let sys: Vec<f64> = rows.iter().map(|r| r.sysscale_pct).collect();
+    Ok(PowerReductionFigure {
+        sysscale_avg_pct: stats::mean(&sys),
+        sysscale_max_pct: sys.iter().copied().fold(0.0, f64::max),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_workloads::spec_workload;
+
+    #[test]
+    fn scalability_separates_compute_bound_from_memory_bound() {
+        let config = SocConfig::skylake_default();
+        let gamess = cpu_scalability(&config, &spec_workload("gamess").unwrap());
+        let lbm = cpu_scalability(&config, &spec_workload("lbm").unwrap());
+        assert!(gamess > 0.85, "gamess {gamess}");
+        assert!(lbm < 0.6, "lbm {lbm}");
+    }
+
+    #[test]
+    fn single_workload_evaluation_orders_the_techniques() {
+        // The headline ordering of Fig. 7: SysScale > CoScale-R and
+        // MemScale-R for a frequency-scalable workload.
+        let config = SocConfig::skylake_default();
+        let predictor = DemandPredictor::skylake_default();
+        let w = spec_workload("gamess").unwrap();
+        let scal = cpu_scalability(&config, &w);
+        let row = evaluate_one(&config, &w, &predictor, false, scal).unwrap();
+        assert!(row.sysscale_pct > 3.0, "{row:?}");
+        assert!(row.sysscale_pct > row.memscale_redist_pct, "{row:?}");
+        assert!(row.sysscale_pct > row.coscale_redist_pct * 0.9, "{row:?}");
+        assert!(row.memscale_redist_pct >= 0.0);
+    }
+
+    #[test]
+    fn memory_bound_workload_sees_little_gain_but_no_large_loss() {
+        let config = SocConfig::skylake_default();
+        let predictor = DemandPredictor::skylake_default();
+        let w = spec_workload("bwaves").unwrap();
+        let scal = cpu_scalability(&config, &w);
+        let row = evaluate_one(&config, &w, &predictor, false, scal).unwrap();
+        assert!(row.sysscale_pct > -2.0, "{row:?}");
+        assert!(row.sysscale_pct < 6.0, "{row:?}");
+    }
+
+    #[test]
+    fn battery_life_row_shape() {
+        let config = SocConfig::skylake_default();
+        let predictor = DemandPredictor::skylake_default();
+        let fig = fig9(&config, &predictor).unwrap();
+        assert_eq!(fig.rows.len(), 4);
+        for row in &fig.rows {
+            assert!(row.sysscale_pct > 1.0, "{row:?}");
+            assert!(
+                row.sysscale_pct > row.memscale_redist_pct,
+                "SysScale should save more than MemScale-R: {row:?}"
+            );
+            assert!(row.baseline_power_w < 3.0);
+        }
+        assert!(fig.sysscale_avg_pct > 2.0);
+        assert!(fig.sysscale_max_pct >= fig.sysscale_avg_pct);
+    }
+}

@@ -1,0 +1,77 @@
+//! The experiment harness: one module per group of tables/figures of the
+//! paper's evaluation, each producing a serializable result that the
+//! `figures` binary and the Criterion benches print.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`motivation`] | Table 1, Fig. 2(a–c), Fig. 3(a–b), Fig. 4 |
+//! | [`predictor_study`] | Fig. 6 |
+//! | [`evaluation`] | Fig. 7, Fig. 8, Fig. 9 |
+//! | [`sensitivity`] | Fig. 10, the Sec. 7.4 DRAM sensitivity, Sec. 5 overheads, and the ablations |
+
+pub mod evaluation;
+pub mod motivation;
+pub mod predictor_study;
+pub mod sensitivity;
+
+use sysscale_soc::{Governor, SimReport, SocConfig, SocSimulator};
+use sysscale_types::{SimResult, SimTime};
+use sysscale_workloads::Workload;
+
+/// Default minimum simulated duration per run. Workloads with longer phase
+/// sequences (e.g. 473.astar) are run for at least one full iteration.
+pub const MIN_RUN: SimTime = SimTime::from_secs(0.3);
+
+/// Simulated duration used for `workload` so that at least one full phase
+/// iteration is covered.
+#[must_use]
+pub fn run_duration(workload: &Workload) -> SimTime {
+    workload.iteration_length().max(MIN_RUN)
+}
+
+/// Runs one workload on a fresh simulator under the given governor.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_workload(
+    config: &SocConfig,
+    workload: &Workload,
+    governor: &mut dyn Governor,
+) -> SimResult<SimReport> {
+    let mut sim = SocSimulator::new(config.clone())?;
+    sim.run(workload, governor, run_duration(workload))
+}
+
+/// Formats a percentage with one decimal for report tables.
+#[must_use]
+pub fn fmt_pct(value: f64) -> String {
+    format!("{value:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_soc::FixedGovernor;
+    use sysscale_workloads::spec_workload;
+
+    #[test]
+    fn run_duration_covers_one_iteration() {
+        let astar = spec_workload("astar").unwrap();
+        assert!(run_duration(&astar) >= astar.iteration_length());
+        let gamess = spec_workload("gamess").unwrap();
+        assert_eq!(run_duration(&gamess), gamess.iteration_length().max(MIN_RUN));
+    }
+
+    #[test]
+    fn run_workload_round_trips() {
+        let report = run_workload(
+            &SocConfig::skylake_default(),
+            &spec_workload("hmmer").unwrap(),
+            &mut FixedGovernor::baseline(),
+        )
+        .unwrap();
+        assert!(report.metrics.work_done > 0.0);
+        assert_eq!(fmt_pct(9.2), "+9.2%");
+    }
+}

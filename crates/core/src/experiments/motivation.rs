@@ -1,0 +1,420 @@
+//! Motivation experiments: Table 1, Fig. 2(a–c), Fig. 3(a–b), and Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::{CpuModel, GfxModel};
+use sysscale_iodev::{DisplayController, DisplayPanel, IspEngine, IspMode, Resolution};
+use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale_types::{Freq, SimResult, SimTime, Voltage};
+use sysscale_workloads::{
+    graphics_workload, spec_workload, stream_peak_bandwidth, Workload,
+};
+
+use super::{run_duration, run_workload};
+
+/// One row of Table 1: a component and its setting in the two experimental
+/// setups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Component name.
+    pub component: String,
+    /// Setting in the baseline setup.
+    pub baseline: String,
+    /// Setting in the MD-DVFS setup.
+    pub md_dvfs: String,
+}
+
+/// Regenerates Table 1 from the configured operating-point ladder.
+#[must_use]
+pub fn table1(config: &SocConfig) -> Vec<Table1Row> {
+    let high = config.uncore_ladder.highest();
+    let low = config.uncore_ladder.lowest();
+    vec![
+        Table1Row {
+            component: "DRAM frequency".into(),
+            baseline: format!("{:.2}GHz", high.dram_freq.as_ghz()),
+            md_dvfs: format!("{:.2}GHz", low.dram_freq.as_ghz()),
+        },
+        Table1Row {
+            component: "IO Interconnect".into(),
+            baseline: format!("{:.1}GHz", high.io_interconnect_freq.as_ghz()),
+            md_dvfs: format!("{:.1}GHz", low.io_interconnect_freq.as_ghz()),
+        },
+        Table1Row {
+            component: "Shared Voltage".into(),
+            baseline: "V_SA".into(),
+            md_dvfs: format!("{:.2}*V_SA", low.vsa_scale),
+        },
+        Table1Row {
+            component: "DDRIO Digital".into(),
+            baseline: "V_IO".into(),
+            md_dvfs: format!("{:.2}*V_IO", low.vio_scale),
+        },
+        Table1Row {
+            component: "2 Cores (4 threads)".into(),
+            baseline: "1.2GHz".into(),
+            md_dvfs: "1.2GHz".into(),
+        },
+    ]
+}
+
+/// Fig. 2(a): impact of the static MD-DVFS setup on one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2aRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Average-power reduction of MD-DVFS vs the baseline, percent.
+    pub power_reduction_pct: f64,
+    /// Energy reduction, percent.
+    pub energy_reduction_pct: f64,
+    /// Performance change (negative = degradation), percent.
+    pub perf_change_pct: f64,
+    /// EDP improvement, percent.
+    pub edp_improvement_pct: f64,
+    /// Performance change when the saved budget is redistributed to the
+    /// cores (the "MD-DVFS at 1.3 GHz" bar), percent.
+    pub perf_change_with_redistribution_pct: f64,
+}
+
+/// Runs the Fig. 2(a) experiment for the three motivation benchmarks.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig2a(config: &SocConfig) -> SimResult<Vec<Fig2aRow>> {
+    ["perlbench", "cactusADM", "lbm"]
+        .iter()
+        .map(|name| {
+            let workload = spec_workload(name).expect("motivation benchmarks exist");
+            let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
+            let scaled = run_workload(config, &workload, &mut FixedGovernor::md_dvfs(false))?;
+            let boosted = run_workload(config, &workload, &mut FixedGovernor::md_dvfs(true))?;
+            Ok(Fig2aRow {
+                workload: workload.name.clone(),
+                power_reduction_pct: scaled.power_reduction_pct_vs(&baseline),
+                energy_reduction_pct: scaled.metrics.energy_reduction_pct_vs(&baseline.metrics),
+                perf_change_pct: scaled.speedup_pct_over(&baseline),
+                edp_improvement_pct: scaled.edp_improvement_pct_vs(&baseline),
+                perf_change_with_redistribution_pct: boosted.speedup_pct_over(&baseline),
+            })
+        })
+        .collect()
+}
+
+/// Fig. 2(b): bottleneck breakdown of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2bRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Fraction of performance bound by main-memory latency.
+    pub latency_bound: f64,
+    /// Fraction bound by main-memory bandwidth.
+    pub bandwidth_bound: f64,
+    /// Fraction bound by non-memory events.
+    pub non_memory: f64,
+}
+
+/// Runs the Fig. 2(b) bottleneck analysis.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig2b(config: &SocConfig) -> SimResult<Vec<Fig2bRow>> {
+    let cpu = CpuModel::new(config.cpu)?;
+    ["perlbench", "cactusADM", "lbm"]
+        .iter()
+        .map(|name| {
+            let workload = spec_workload(name).expect("motivation benchmarks exist");
+            // Weight each phase's stall decomposition by its duration.
+            let total = workload.iteration_length().as_secs();
+            let mut latency = 0.0;
+            let mut bandwidth = 0.0;
+            for phase in &workload.phases {
+                let r = cpu.evaluate(
+                    &phase.cpu,
+                    Freq::from_ghz(1.2),
+                    SimTime::from_nanos(70.0),
+                    1.0,
+                );
+                let weight = phase.duration.as_secs() / total;
+                // A high blocking fraction means the exposed stalls are
+                // latency-bound; the remainder of the memory time is
+                // bandwidth/occupancy-bound.
+                latency += r.memory_stall_fraction * phase.cpu.blocking_fraction * weight;
+                bandwidth += r.memory_stall_fraction * (1.0 - phase.cpu.blocking_fraction) * weight;
+            }
+            Ok(Fig2bRow {
+                workload: workload.name.clone(),
+                latency_bound: latency,
+                bandwidth_bound: bandwidth,
+                non_memory: (1.0 - latency - bandwidth).max(0.0),
+            })
+        })
+        .collect()
+}
+
+/// Fig. 2(c) / Fig. 3(a): a memory-bandwidth-demand-over-time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Workload name.
+    pub workload: String,
+    /// `(time in seconds, demanded bandwidth in GiB/s)` samples.
+    pub samples: Vec<(f64, f64)>,
+    /// Average demand over the run, GiB/s.
+    pub average_gib_s: f64,
+    /// Peak demand over the run, GiB/s.
+    pub peak_gib_s: f64,
+}
+
+fn bandwidth_trace(config: &SocConfig, workload: &Workload) -> SimResult<BandwidthTrace> {
+    let mut sim = SocSimulator::new(config.clone())?;
+    let (_, trace) = sim.run_with_trace(
+        workload,
+        &mut FixedGovernor::baseline(),
+        run_duration(workload),
+    )?;
+    let samples: Vec<(f64, f64)> = trace
+        .iter()
+        .map(|t| (t.at.as_secs(), t.demanded_gib_s))
+        .collect();
+    let avg = samples.iter().map(|(_, b)| b).sum::<f64>() / samples.len().max(1) as f64;
+    let peak = samples.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+    Ok(BandwidthTrace {
+        workload: workload.name.clone(),
+        samples,
+        average_gib_s: avg,
+        peak_gib_s: peak,
+    })
+}
+
+/// Runs the Fig. 2(c) experiment (bandwidth demand of the three motivation
+/// benchmarks).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig2c(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
+    ["perlbench", "cactusADM", "lbm"]
+        .iter()
+        .map(|name| bandwidth_trace(config, &spec_workload(name).expect("exists")))
+        .collect()
+}
+
+/// Runs the Fig. 3(a) experiment (demand over time for three SPEC benchmarks
+/// and a 3DMark scene).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig3a(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
+    let mut traces = vec![
+        bandwidth_trace(config, &spec_workload("perlbench").expect("exists"))?,
+        bandwidth_trace(config, &spec_workload("lbm").expect("exists"))?,
+        bandwidth_trace(config, &spec_workload("astar").expect("exists"))?,
+    ];
+    traces.push(bandwidth_trace(
+        config,
+        &graphics_workload("3DMark06").expect("exists"),
+    )?);
+    Ok(traces)
+}
+
+/// Fig. 3(b): static bandwidth demand of one IO/graphics configuration, as a
+/// fraction of the dual-channel LPDDR3-1600 peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3bRow {
+    /// Configuration name.
+    pub configuration: String,
+    /// Demand in GiB/s.
+    pub demand_gib_s: f64,
+    /// Demand as a fraction of the 25.6 GB/s peak.
+    pub fraction_of_peak: f64,
+}
+
+/// Regenerates Fig. 3(b) from the IO-device models.
+#[must_use]
+pub fn fig3b() -> Vec<Fig3bRow> {
+    const PEAK: f64 = 25.6e9;
+    let mut rows = Vec::new();
+    let display_configs: [(&str, Vec<Resolution>); 4] = [
+        ("display: 1x HD", vec![Resolution::FullHd]),
+        ("display: 2x HD", vec![Resolution::FullHd, Resolution::FullHd]),
+        (
+            "display: 3x HD",
+            vec![Resolution::FullHd, Resolution::FullHd, Resolution::FullHd],
+        ),
+        ("display: 1x 4K", vec![Resolution::Uhd4k]),
+    ];
+    for (name, panels) in display_configs {
+        let mut d = DisplayController::default();
+        for r in panels {
+            d.attach(DisplayPanel::at_60hz(r)).expect("within panel limit");
+        }
+        let bw = d.bandwidth_demand().as_bytes_per_sec();
+        rows.push(Fig3bRow {
+            configuration: name.to_string(),
+            demand_gib_s: bw / (1u64 << 30) as f64,
+            fraction_of_peak: bw / PEAK,
+        });
+    }
+    for (name, mode) in [
+        ("isp: 1080p30", IspMode::Capture1080p30),
+        ("isp: 4K30", IspMode::Capture4k30),
+    ] {
+        let mut isp = IspEngine::default();
+        isp.set_mode(mode);
+        let bw = isp.bandwidth_demand().as_bytes_per_sec();
+        rows.push(Fig3bRow {
+            configuration: name.to_string(),
+            demand_gib_s: bw / (1u64 << 30) as f64,
+            fraction_of_peak: bw / PEAK,
+        });
+    }
+    let gfx = GfxModel::new();
+    for name in ["3DMark06", "3DMark11", "3DMarkVantage"] {
+        let w = graphics_workload(name).expect("exists");
+        let bw = gfx
+            .desired_bandwidth(&w.phases[0].gfx, Freq::from_mhz(800.0))
+            .as_bytes_per_sec();
+        rows.push(Fig3bRow {
+            configuration: format!("gfx: {name}"),
+            demand_gib_s: bw / (1u64 << 30) as f64,
+            fraction_of_peak: bw / PEAK,
+        });
+    }
+    rows
+}
+
+/// Fig. 4: impact of unoptimized MRC values on the peak-bandwidth
+/// microbenchmark at the low operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Average-power increase of the unoptimized configuration, percent.
+    pub power_increase_pct: f64,
+    /// Performance degradation of the unoptimized configuration, percent.
+    pub perf_degradation_pct: f64,
+    /// Memory-domain power increase (isolating the memory subsystem), percent.
+    pub memory_power_increase_pct: f64,
+}
+
+/// Runs the Fig. 4 experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig4(config: &SocConfig) -> SimResult<Fig4Result> {
+    let stream = stream_peak_bandwidth();
+    // Optimized: the SysScale flow reloads MRC values on the transition to
+    // the low point.
+    let optimized = run_workload(config, &stream, &mut FixedGovernor::md_dvfs(false))?;
+    // Unoptimized: same transition without the MRC reload step.
+    let mut naive_config = config.clone();
+    naive_config.reload_mrc_on_transition = false;
+    let unoptimized = run_workload(&naive_config, &stream, &mut FixedGovernor::md_dvfs(false))?;
+
+    let power_increase = (unoptimized.average_power().as_watts()
+        / optimized.average_power().as_watts()
+        - 1.0)
+        * 100.0;
+    let mem_increase = (unoptimized
+        .average_domain_power(sysscale_types::Domain::Memory)
+        .as_watts()
+        / optimized
+            .average_domain_power(sysscale_types::Domain::Memory)
+            .as_watts()
+        - 1.0)
+        * 100.0;
+    let perf_degradation = -unoptimized.speedup_pct_over(&optimized);
+    Ok(Fig4Result {
+        power_increase_pct: power_increase,
+        perf_degradation_pct: perf_degradation,
+        memory_power_increase_pct: mem_increase,
+    })
+}
+
+/// Voltage/frequency settings implied by Table 1, exposed for reporting.
+#[must_use]
+pub fn table1_voltages(config: &SocConfig) -> Vec<(String, Voltage)> {
+    let low = config.uncore_ladder.lowest();
+    let rails = sysscale_power::RailVoltages::for_operating_point(&config.nominal_voltages, low);
+    vec![
+        ("V_SA (low OP)".into(), rails.vsa),
+        ("V_IO (low OP)".into(), rails.vio),
+        ("VDDQ".into(), rails.vddq),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reflects_the_ladder() {
+        let rows = table1(&SocConfig::skylake_default());
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].baseline.contains("1.60GHz"));
+        assert!(rows[0].md_dvfs.contains("1.07GHz"));
+        assert!(rows[2].md_dvfs.contains("0.80"));
+        let volts = table1_voltages(&SocConfig::skylake_default());
+        assert_eq!(volts.len(), 3);
+    }
+
+    #[test]
+    fn fig2a_shape_power_drops_membound_perf_drops_redistribution_helps_perlbench() {
+        let rows = fig2a(&SocConfig::skylake_default()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.power_reduction_pct > 3.0, "{}: {row:?}", row.workload);
+        }
+        let perl = &rows[0];
+        let lbm = &rows[2];
+        // lbm loses significant performance under static MD-DVFS; perlbench
+        // barely does and gains with redistribution (Fig. 2a).
+        assert!(lbm.perf_change_pct < -5.0);
+        assert!(perl.perf_change_pct > -3.0);
+        assert!(perl.perf_change_with_redistribution_pct > 2.0);
+        assert!(perl.energy_reduction_pct > lbm.energy_reduction_pct);
+    }
+
+    #[test]
+    fn fig2b_identifies_cactusadm_as_latency_bound_and_lbm_as_bandwidth_bound() {
+        let rows = fig2b(&SocConfig::skylake_default()).unwrap();
+        let cactus = rows.iter().find(|r| r.workload.contains("cactus")).unwrap();
+        let lbm = rows.iter().find(|r| r.workload.contains("lbm")).unwrap();
+        let perl = rows.iter().find(|r| r.workload.contains("perl")).unwrap();
+        assert!(cactus.latency_bound > cactus.bandwidth_bound);
+        assert!(lbm.bandwidth_bound > lbm.latency_bound);
+        assert!(perl.non_memory > 0.7);
+        for r in &rows {
+            let total = r.latency_bound + r.bandwidth_bound + r.non_memory;
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fig3b_display_rows_match_paper_fractions() {
+        let rows = fig3b();
+        let hd = rows.iter().find(|r| r.configuration == "display: 1x HD").unwrap();
+        let three_hd = rows.iter().find(|r| r.configuration == "display: 3x HD").unwrap();
+        let uhd = rows.iter().find(|r| r.configuration == "display: 1x 4K").unwrap();
+        assert!((0.12..=0.22).contains(&hd.fraction_of_peak));
+        assert!((0.6..=0.8).contains(&uhd.fraction_of_peak));
+        assert!((three_hd.fraction_of_peak / hd.fraction_of_peak - 3.0).abs() < 1e-9);
+        assert!(rows.iter().any(|r| r.configuration.starts_with("isp")));
+        assert!(rows.iter().any(|r| r.configuration.starts_with("gfx")));
+    }
+
+    #[test]
+    fn fig4_unoptimized_mrc_costs_power_and_performance() {
+        let result = fig4(&SocConfig::skylake_default()).unwrap();
+        assert!(
+            result.perf_degradation_pct > 3.0,
+            "perf degradation {result:?}"
+        );
+        assert!(
+            result.memory_power_increase_pct > 8.0,
+            "memory power increase {result:?}"
+        );
+        assert!(result.power_increase_pct > 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The predictor-accuracy study of Fig. 6.
+//!
+//! The paper evaluates its demand predictor on >1600 workloads across three
+//! DRAM-frequency pairs and three workload classes (single-threaded CPU,
+//! multi-threaded CPU, graphics), reporting the correlation between the
+//! actual and predicted performance impact, the prediction accuracy, and the
+//! absence of false positives (a false positive would let the SoC drop to the
+//! low point and hurt performance beyond the bound).
+//!
+//! Substitution note (documented in DESIGN.md): the proprietary suites are
+//! replaced by the synthetic population generator, and the third frequency
+//! pair uses DDR4 2.13→1.33 GHz (the nearest supported bins) instead of the
+//! paper's 2.13→1.06 GHz.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_soc::SocConfig;
+use sysscale_types::{stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint};
+use sysscale_workloads::{WorkloadClass, WorkloadGenerator};
+
+use crate::calibration::{fit_impact_model, measure_sample, CalibrationConfig, CalibrationSample};
+
+/// One panel of Fig. 6: a (frequency pair, workload class) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorPanel {
+    /// Workload class of the panel's population.
+    pub class: WorkloadClass,
+    /// High DRAM frequency of the pair, GHz.
+    pub high_ghz: f64,
+    /// Low DRAM frequency of the pair, GHz.
+    pub low_ghz: f64,
+    /// Number of evaluated (test-set) workloads.
+    pub workloads: usize,
+    /// Pearson correlation between actual and predicted performance impact.
+    pub correlation: f64,
+    /// Fraction of workloads whose low-point/high-point decision was correct,
+    /// percent.
+    pub accuracy_pct: f64,
+    /// Fraction of workloads predicted safe whose actual degradation exceeded
+    /// the bound, percent (the paper reports zero).
+    pub false_positive_pct: f64,
+    /// Mean actual degradation across the panel, percent.
+    pub mean_actual_degradation_pct: f64,
+}
+
+/// Configuration of the Fig. 6 study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorStudyConfig {
+    /// Workloads generated *per panel* (9 panels; the paper's total is
+    /// >1600, i.e. ~180 per panel).
+    pub workloads_per_panel: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Degradation bound used for the accuracy/false-positive accounting.
+    pub degradation_bound: f64,
+    /// Conservative margin added to the predicted impact before declaring a
+    /// workload safe (this is what eliminates false positives).
+    pub safety_margin: f64,
+    /// Per-run simulated duration.
+    pub calibration: CalibrationConfig,
+}
+
+impl Default for PredictorStudyConfig {
+    fn default() -> Self {
+        Self {
+            workloads_per_panel: 60,
+            seed: 0xF16_6,
+            degradation_bound: 0.02,
+            safety_margin: 0.01,
+            calibration: CalibrationConfig::default(),
+        }
+    }
+}
+
+/// The three DRAM frequency pairs of the study, as platform configurations.
+#[must_use]
+pub fn frequency_pair_configs(base: &SocConfig) -> Vec<(f64, f64, SocConfig)> {
+    // Pair 1: LPDDR3 1.6 -> 0.8 GHz.
+    let pair1 = SocConfig {
+        uncore_ladder: OperatingPointTable::new(vec![
+            UncoreOperatingPoint::new(Freq::from_ghz(0.8), Freq::from_ghz(0.3), 0.80, 0.82),
+            UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
+        ])
+        .expect("static ladder"),
+        ..base.clone()
+    };
+    // Pair 2: LPDDR3 1.6 -> 1.066 GHz (the shipped configuration).
+    let pair2 = base.clone();
+    // Pair 3: DDR4 2.13 -> 1.33 GHz.
+    let mut pair3 = SocConfig::skylake_ddr4(base.tdp);
+    pair3.uncore_ladder = OperatingPointTable::new(vec![
+        UncoreOperatingPoint::new(Freq::from_ghz(1.3333), Freq::from_ghz(0.4), 0.82, 0.87),
+        UncoreOperatingPoint::new(Freq::from_ghz(2.1333), Freq::from_ghz(0.8), 1.0, 1.0),
+    ])
+    .expect("static ladder");
+    vec![
+        (1.6, 0.8, pair1),
+        (1.6, 1.0666, pair2),
+        (2.1333, 1.3333, pair3),
+    ]
+}
+
+fn panel_from_samples(
+    class: WorkloadClass,
+    high_ghz: f64,
+    low_ghz: f64,
+    samples: &[CalibrationSample],
+    config: &PredictorStudyConfig,
+) -> PredictorPanel {
+    // Train/test split: even indices train the impact model, odd indices are
+    // evaluated — the paper's offline-training/online-use separation.
+    let train: Vec<CalibrationSample> = samples.iter().step_by(2).cloned().collect();
+    let test: Vec<&CalibrationSample> = samples.iter().skip(1).step_by(2).collect();
+    let model = fit_impact_model(&train);
+
+    let actual: Vec<f64> = test.iter().map(|s| s.actual_degradation).collect();
+    let predicted: Vec<f64> = test.iter().map(|s| model.predict(&s.counters)).collect();
+    let correlation = stats::pearson_correlation(&actual, &predicted);
+
+    let bound = config.degradation_bound;
+    let mut correct = 0usize;
+    let mut false_positives = 0usize;
+    for (a, p) in actual.iter().zip(predicted.iter()) {
+        let predicted_safe = p + config.safety_margin <= bound;
+        let actually_safe = *a <= bound;
+        if predicted_safe == actually_safe {
+            correct += 1;
+        }
+        if predicted_safe && !actually_safe {
+            false_positives += 1;
+        }
+    }
+    let n = test.len().max(1) as f64;
+    PredictorPanel {
+        class,
+        high_ghz,
+        low_ghz,
+        workloads: test.len(),
+        correlation,
+        accuracy_pct: correct as f64 / n * 100.0,
+        false_positive_pct: false_positives as f64 / n * 100.0,
+        mean_actual_degradation_pct: stats::mean(&actual) * 100.0,
+    }
+}
+
+/// Runs the full Fig. 6 study: 3 frequency pairs × 3 workload classes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<PredictorPanel>> {
+    let mut panels = Vec::new();
+    for (pair_idx, (high, low, config)) in frequency_pair_configs(base).into_iter().enumerate() {
+        // One generator per pair so every pair sees the same population.
+        let mut generator = WorkloadGenerator::with_seed(study.seed + pair_idx as u64);
+        let mut by_class: Vec<(WorkloadClass, Vec<CalibrationSample>)> = vec![
+            (WorkloadClass::CpuSingleThread, Vec::new()),
+            (WorkloadClass::CpuMultiThread, Vec::new()),
+            (WorkloadClass::Graphics, Vec::new()),
+        ];
+        // Generate until every class has its quota.
+        while by_class
+            .iter()
+            .any(|(_, v)| v.len() < study.workloads_per_panel)
+        {
+            let workload = if by_class[2].1.len() < study.workloads_per_panel {
+                // Alternate sources so the graphics quota fills too.
+                if by_class[0].1.len() + by_class[1].1.len()
+                    < 2 * study.workloads_per_panel
+                {
+                    generator.next_cpu_workload()
+                } else {
+                    generator.next_graphics_workload()
+                }
+            } else {
+                generator.next_cpu_workload()
+            };
+            let slot = by_class
+                .iter_mut()
+                .find(|(class, v)| *class == workload.class && v.len() < study.workloads_per_panel);
+            let Some((_, bucket)) = slot else { continue };
+            bucket.push(measure_sample(&config, &workload, &study.calibration)?);
+        }
+        for (class, samples) in &by_class {
+            panels.push(panel_from_samples(*class, high, low, samples, study));
+        }
+    }
+    Ok(panels)
+}
+
+/// Convenience: total average power of the study platform (used by the
+/// figures binary to annotate the panels).
+#[must_use]
+pub fn study_tdp(base: &SocConfig) -> Power {
+    base.tdp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_pairs_match_the_supported_bins() {
+        let pairs = frequency_pair_configs(&SocConfig::skylake_default());
+        assert_eq!(pairs.len(), 3);
+        for (high, low, config) in &pairs {
+            assert!(high > low);
+            assert!(config.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn small_fig6_study_produces_nine_panels_with_usable_predictions() {
+        let study = PredictorStudyConfig {
+            workloads_per_panel: 16,
+            calibration: CalibrationConfig {
+                degradation_bound: 0.02,
+                sim_duration: sysscale_types::SimTime::from_millis(40.0),
+            },
+            ..PredictorStudyConfig::default()
+        };
+        let panels = fig6(&SocConfig::skylake_default(), &study).unwrap();
+        assert_eq!(panels.len(), 9);
+        for p in &panels {
+            assert!(p.workloads >= 6);
+            // With tiny test populations the statistics are noisy; the full
+            // study (figures binary / bench) uses the paper-scale population.
+            assert!(p.accuracy_pct >= 40.0, "{p:?}");
+            assert!((-1.0..=1.0).contains(&p.correlation));
+        }
+        // The larger frequency drop degrades performance more on average.
+        let big_drop: f64 = panels
+            .iter()
+            .filter(|p| (p.low_ghz - 0.8).abs() < 1e-6)
+            .map(|p| p.mean_actual_degradation_pct)
+            .sum();
+        let small_drop: f64 = panels
+            .iter()
+            .filter(|p| (p.low_ghz - 1.0666).abs() < 1e-6)
+            .map(|p| p.mean_actual_degradation_pct)
+            .sum();
+        assert!(
+            big_drop > small_drop - 0.5,
+            "big {big_drop} small {small_drop}"
+        );
+    }
+}

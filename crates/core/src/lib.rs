@@ -1,0 +1,74 @@
+//! # sysscale
+//!
+//! A full reproduction of **SysScale** (Haj-Yahya et al., ISCA 2020):
+//! multi-domain dynamic voltage and frequency scaling for energy-efficient
+//! mobile processors, built on top of a Rust mobile-SoC simulator.
+//!
+//! The crate provides:
+//!
+//! * the [`predictor`] module — SysScale's static + dynamic demand predictor
+//!   (Sec. 4.2) and the five-condition decision rule (Sec. 4.3);
+//! * the [`calibration`] module — the offline µ+σ threshold calibration and
+//!   the linear performance-impact model used by the Fig. 6 study;
+//! * the [`governor`] module — the [`SysScaleGovernor`] plus MemScale- and
+//!   CoScale-style baseline governors, all pluggable into the
+//!   [`sysscale_soc::SocSimulator`];
+//! * the [`baselines`] module — restricted platform configurations for the
+//!   baselines and the Sec. 6 `-Redist` projection;
+//! * the [`experiments`] module — one function per table/figure of the
+//!   paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sysscale::{SysScaleGovernor};
+//! use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+//! use sysscale_types::SimTime;
+//! use sysscale_workloads::spec_workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SocConfig::skylake_default();
+//! let workload = spec_workload("gamess").expect("in the suite");
+//! let mut sim = SocSimulator::new(config)?;
+//!
+//! let baseline = sim.run(&workload, &mut FixedGovernor::baseline(), SimTime::from_millis(300.0))?;
+//! let sysscale = sim.run(
+//!     &workload,
+//!     &mut SysScaleGovernor::with_default_thresholds(),
+//!     SimTime::from_millis(300.0),
+//! )?;
+//!
+//! // A compute-bound workload gains performance from the redistributed budget.
+//! assert!(sysscale.speedup_pct_over(&baseline) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod calibration;
+pub mod experiments;
+pub mod governor;
+pub mod predictor;
+
+pub use baselines::{
+    coscale_config, memory_only_ladder, memscale_config, project_redistributed_speedup,
+    RedistProjection,
+};
+pub use calibration::{
+    calibrate, derive_thresholds, fit_impact_model, measure_sample, CalibrationConfig,
+    CalibrationOutcome, CalibrationSample,
+};
+pub use governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
+pub use predictor::{
+    DemandCondition, DemandPredictor, ImpactModel, Prediction, PredictorThresholds,
+};
+
+// Re-export the simulator entry points so downstream users can depend on the
+// `sysscale` crate alone.
+pub use sysscale_soc::{FixedGovernor, Governor, SimReport, SocConfig, SocSimulator};
+pub use sysscale_types as types;
+pub use sysscale_workloads as workloads;

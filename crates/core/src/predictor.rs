@@ -1,0 +1,271 @@
+//! SysScale's demand-prediction mechanism (Sec. 4.2).
+//!
+//! The predictor combines two sources:
+//!
+//! * **Static demand** — the deterministic bandwidth requirement implied by
+//!   the peripheral CSR configuration (displays, cameras), compared against a
+//!   threshold expressed as a fraction of peak bandwidth.
+//! * **Dynamic demand** — four performance counters (`GFX_LLC_MISSES`,
+//!   `LLC_Occupancy_Tracer`, `LLC_STALLS`, `IO_RPQ`) averaged over the
+//!   evaluation interval and compared against thresholds calibrated offline
+//!   with the µ+σ rule.
+//!
+//! If *any* of the five conditions of Sec. 4.3 indicates high demand, the SoC
+//! must run (or stay) at the higher operating point; otherwise it may drop to
+//! the lower one. In addition to the binary decision, the predictor exposes a
+//! linear regression estimate of the performance impact of running at the
+//! lower point, which is what the Fig. 6 study evaluates.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, CounterKind, CounterSet};
+
+/// The five demand conditions of the power-distribution algorithm (Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DemandCondition {
+    /// Aggregated static demand exceeds `STATIC_BW_THR`.
+    StaticBandwidth,
+    /// The graphics engines are bandwidth limited (`GFX_LLC_MISSES > GFX_THR`).
+    GraphicsBandwidth,
+    /// The CPU cores are bandwidth limited (`LLC_Occupancy_Tracer > Core_THR`).
+    CoreBandwidth,
+    /// Memory latency is a bottleneck (`LLC_STALLS > LAT_THR`).
+    MemoryLatency,
+    /// IO latency is a bottleneck (`IO_RPQ > IO_THR`).
+    IoLatency,
+}
+
+impl DemandCondition {
+    /// All conditions in the order the paper lists them.
+    pub const ALL: [DemandCondition; 5] = [
+        DemandCondition::StaticBandwidth,
+        DemandCondition::GraphicsBandwidth,
+        DemandCondition::CoreBandwidth,
+        DemandCondition::MemoryLatency,
+        DemandCondition::IoLatency,
+    ];
+}
+
+/// Calibrated thresholds for one pair of adjacent operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorThresholds {
+    /// Static-demand threshold as a fraction of the peak DRAM bandwidth at
+    /// the high operating point (`STATIC_BW_THR`).
+    pub static_bw_fraction: f64,
+    /// `GFX_THR`: graphics LLC misses per sample.
+    pub gfx_llc_misses: f64,
+    /// `Core_THR`: average CPU requests outstanding at the memory controller.
+    pub llc_occupancy: f64,
+    /// `LAT_THR`: LLC stall cycles per sample.
+    pub llc_stalls: f64,
+    /// `IO_THR`: IO read-pending-queue occupancy.
+    pub io_rpq: f64,
+}
+
+impl PredictorThresholds {
+    /// Hand-tuned defaults for the Skylake-class platform with 1 ms counter
+    /// samples. The calibration pass (Sec. 4.2) replaces these with µ+σ
+    /// values derived from a representative workload population.
+    #[must_use]
+    pub fn skylake_default() -> Self {
+        Self {
+            static_bw_fraction: 0.30,
+            gfx_llc_misses: 170_000.0,
+            llc_occupancy: 3.0,
+            llc_stalls: 260_000.0,
+            io_rpq: 20.0,
+        }
+    }
+}
+
+/// Coefficients of the linear performance-impact estimator fitted during
+/// calibration: predicted degradation (fraction) =
+/// `intercept + Σ coefficient × counter`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ImpactModel {
+    /// Constant term.
+    pub intercept: f64,
+    /// Weight of `GFX_LLC_MISSES`.
+    pub gfx_llc_misses: f64,
+    /// Weight of `LLC_Occupancy_Tracer`.
+    pub llc_occupancy: f64,
+    /// Weight of `LLC_STALLS`.
+    pub llc_stalls: f64,
+    /// Weight of `IO_RPQ`.
+    pub io_rpq: f64,
+}
+
+impl ImpactModel {
+    /// Predicted performance degradation (0.0–1.0) from counter averages.
+    #[must_use]
+    pub fn predict(&self, counters: &CounterSet) -> f64 {
+        let v = self.intercept
+            + self.gfx_llc_misses * counters.value(CounterKind::GfxLlcMisses)
+            + self.llc_occupancy * counters.value(CounterKind::LlcOccupancyTracer)
+            + self.llc_stalls * counters.value(CounterKind::LlcStalls)
+            + self.io_rpq * counters.value(CounterKind::IoRpq);
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// The outcome of one prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// `true` if the SoC must run at the higher operating point.
+    pub needs_high_performance: bool,
+    /// The conditions that triggered (empty when low demand).
+    pub triggered: Vec<DemandCondition>,
+    /// Linear estimate of the performance impact of the lower operating
+    /// point (fraction, 0.0–1.0).
+    pub estimated_impact: f64,
+}
+
+/// The demand predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandPredictor {
+    thresholds: PredictorThresholds,
+    impact: ImpactModel,
+}
+
+impl DemandPredictor {
+    /// Creates a predictor from thresholds and an impact model.
+    #[must_use]
+    pub fn new(thresholds: PredictorThresholds, impact: ImpactModel) -> Self {
+        Self { thresholds, impact }
+    }
+
+    /// A predictor with the hand-tuned Skylake defaults and no impact model.
+    #[must_use]
+    pub fn skylake_default() -> Self {
+        Self::new(PredictorThresholds::skylake_default(), ImpactModel::default())
+    }
+
+    /// The thresholds in use.
+    #[must_use]
+    pub fn thresholds(&self) -> &PredictorThresholds {
+        &self.thresholds
+    }
+
+    /// The impact model in use.
+    #[must_use]
+    pub fn impact_model(&self) -> &ImpactModel {
+        &self.impact
+    }
+
+    /// Evaluates the five conditions of Sec. 4.3 on the averaged counters of
+    /// one evaluation interval.
+    ///
+    /// * `counters` — per-sample averages over the interval.
+    /// * `static_demand` — CSR-derived peripheral demand.
+    /// * `peak_bandwidth` — peak DRAM bandwidth at the high operating point.
+    #[must_use]
+    pub fn predict(
+        &self,
+        counters: &CounterSet,
+        static_demand: Bandwidth,
+        peak_bandwidth: Bandwidth,
+    ) -> Prediction {
+        let t = &self.thresholds;
+        let mut triggered = Vec::new();
+        if static_demand.ratio(peak_bandwidth) > t.static_bw_fraction {
+            triggered.push(DemandCondition::StaticBandwidth);
+        }
+        if counters.value(CounterKind::GfxLlcMisses) > t.gfx_llc_misses {
+            triggered.push(DemandCondition::GraphicsBandwidth);
+        }
+        if counters.value(CounterKind::LlcOccupancyTracer) > t.llc_occupancy {
+            triggered.push(DemandCondition::CoreBandwidth);
+        }
+        if counters.value(CounterKind::LlcStalls) > t.llc_stalls {
+            triggered.push(DemandCondition::MemoryLatency);
+        }
+        if counters.value(CounterKind::IoRpq) > t.io_rpq {
+            triggered.push(DemandCondition::IoLatency);
+        }
+        Prediction {
+            needs_high_performance: !triggered.is_empty(),
+            estimated_impact: self.impact.predict(counters),
+            triggered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(gfx: f64, occ: f64, stalls: f64, rpq: f64) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.set(CounterKind::GfxLlcMisses, gfx);
+        c.set(CounterKind::LlcOccupancyTracer, occ);
+        c.set(CounterKind::LlcStalls, stalls);
+        c.set(CounterKind::IoRpq, rpq);
+        c
+    }
+
+    const PEAK: f64 = 23.8;
+
+    fn predict(c: &CounterSet, static_gib: f64) -> Prediction {
+        DemandPredictor::skylake_default().predict(
+            c,
+            Bandwidth::from_gib_s(static_gib),
+            Bandwidth::from_gib_s(PEAK),
+        )
+    }
+
+    #[test]
+    fn quiet_counters_allow_the_low_operating_point() {
+        let p = predict(&counters(100.0, 0.5, 10_000.0, 1.0), 2.0);
+        assert!(!p.needs_high_performance);
+        assert!(p.triggered.is_empty());
+    }
+
+    #[test]
+    fn each_condition_triggers_independently() {
+        // Static demand (e.g. a 4K panel).
+        let p = predict(&counters(0.0, 0.0, 0.0, 0.0), 18.0);
+        assert_eq!(p.triggered, vec![DemandCondition::StaticBandwidth]);
+        // Graphics bandwidth.
+        let p = predict(&counters(1.0e6, 0.0, 0.0, 0.0), 0.0);
+        assert_eq!(p.triggered, vec![DemandCondition::GraphicsBandwidth]);
+        // Core bandwidth.
+        let p = predict(&counters(0.0, 12.0, 0.0, 0.0), 0.0);
+        assert_eq!(p.triggered, vec![DemandCondition::CoreBandwidth]);
+        // Memory latency.
+        let p = predict(&counters(0.0, 0.0, 9.0e5, 0.0), 0.0);
+        assert_eq!(p.triggered, vec![DemandCondition::MemoryLatency]);
+        // IO latency.
+        let p = predict(&counters(0.0, 0.0, 0.0, 50.0), 0.0);
+        assert_eq!(p.triggered, vec![DemandCondition::IoLatency]);
+        assert!(p.needs_high_performance);
+    }
+
+    #[test]
+    fn multiple_conditions_accumulate() {
+        let p = predict(&counters(1.0e6, 12.0, 9.0e5, 50.0), 18.0);
+        assert_eq!(p.triggered.len(), DemandCondition::ALL.len());
+    }
+
+    #[test]
+    fn impact_model_predicts_and_clamps() {
+        let model = ImpactModel {
+            intercept: 0.01,
+            llc_stalls: 1.0e-7,
+            ..ImpactModel::default()
+        };
+        let low = model.predict(&counters(0.0, 0.0, 50_000.0, 0.0));
+        let high = model.predict(&counters(0.0, 0.0, 900_000.0, 0.0));
+        assert!(low < high);
+        assert!((low - 0.015).abs() < 1e-12);
+        let huge = model.predict(&counters(0.0, 0.0, 1.0e12, 0.0));
+        assert_eq!(huge, 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = DemandPredictor::skylake_default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DemandPredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,340 @@
+//! The DRAM subsystem as managed by the DVFS flow: device + trained MRC SRAM
+//! + current configuration-register state + self-refresh state machine.
+//!
+//! The transition flow of Fig. 5 requires that DRAM frequency changes and
+//! configuration-register loads happen only while the device is in
+//! self-refresh (steps 4–6). [`DramChip`] enforces that ordering.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
+
+use crate::device::DramModule;
+use crate::mrc::{MrcMismatchPenalty, MrcRegisterSet, MrcSram};
+use crate::power::{DramPowerBreakdown, DramPowerModel};
+use crate::timing::TimingParams;
+
+/// Operational state of the DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramState {
+    /// Normal operation: the device services requests and burns background
+    /// power.
+    Active,
+    /// Self-refresh: contents retained internally, interface quiesced. The
+    /// only state in which the clock frequency and configuration registers
+    /// may change.
+    SelfRefresh,
+}
+
+/// The DRAM subsystem: module description, timing, MRC SRAM, power model,
+/// and the mutable frequency / register / refresh state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramChip {
+    module: DramModule,
+    timing: TimingParams,
+    mrc_sram: MrcSram,
+    power_model: DramPowerModel,
+    mismatch_penalty: MrcMismatchPenalty,
+    state: DramState,
+    freq: Freq,
+    loaded_registers: MrcRegisterSet,
+    self_refresh_entries: u64,
+    frequency_changes: u64,
+}
+
+impl DramChip {
+    /// Creates a chip at the module's default (highest) frequency bin with
+    /// optimized registers, in the active state.
+    #[must_use]
+    pub fn new(module: DramModule) -> Self {
+        let freq = module.kind.default_bin();
+        let mrc_sram = MrcSram::train_all(module.kind);
+        let loaded_registers = *mrc_sram
+            .lookup(freq)
+            .expect("default bin is always trained");
+        Self {
+            module,
+            timing: TimingParams::for_kind(module.kind),
+            mrc_sram,
+            power_model: DramPowerModel::for_kind(module.kind),
+            mismatch_penalty: MrcMismatchPenalty::default(),
+            state: DramState::Active,
+            freq,
+            loaded_registers,
+            self_refresh_entries: 0,
+            frequency_changes: 0,
+        }
+    }
+
+    /// The LPDDR3-1600 subsystem of the evaluated Skylake system.
+    #[must_use]
+    pub fn skylake_lpddr3() -> Self {
+        Self::new(DramModule::skylake_lpddr3())
+    }
+
+    /// Overrides the penalty applied when registers do not match the
+    /// operating frequency (used by the Fig. 4 ablation).
+    pub fn set_mismatch_penalty(&mut self, penalty: MrcMismatchPenalty) {
+        self.mismatch_penalty = penalty;
+    }
+
+    /// The module description.
+    #[must_use]
+    pub fn module(&self) -> &DramModule {
+        &self.module
+    }
+
+    /// Current operational state.
+    #[must_use]
+    pub fn state(&self) -> DramState {
+        self.state
+    }
+
+    /// Current DDR data frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Freq {
+        self.freq
+    }
+
+    /// The register set currently loaded into the configuration registers.
+    #[must_use]
+    pub fn loaded_registers(&self) -> &MrcRegisterSet {
+        &self.loaded_registers
+    }
+
+    /// Number of self-refresh entries performed so far.
+    #[must_use]
+    pub fn self_refresh_entries(&self) -> u64 {
+        self.self_refresh_entries
+    }
+
+    /// Number of frequency changes performed so far.
+    #[must_use]
+    pub fn frequency_changes(&self) -> u64 {
+        self.frequency_changes
+    }
+
+    /// Returns `true` if the loaded registers are the optimized set for the
+    /// current frequency.
+    #[must_use]
+    pub fn registers_optimized(&self) -> bool {
+        self.loaded_registers.matches(self.freq)
+    }
+
+    /// The MRC mismatch penalty currently in effect (no penalty when the
+    /// registers are optimized for the operating frequency).
+    #[must_use]
+    pub fn effective_penalty(&self) -> MrcMismatchPenalty {
+        if self.registers_optimized() {
+            MrcMismatchPenalty::none()
+        } else {
+            self.mismatch_penalty
+        }
+    }
+
+    /// Puts the device into self-refresh (Fig. 5 step 4). Idempotent.
+    pub fn enter_self_refresh(&mut self) {
+        if self.state != DramState::SelfRefresh {
+            self.state = DramState::SelfRefresh;
+            self.self_refresh_entries += 1;
+        }
+    }
+
+    /// Exits self-refresh back to active operation (Fig. 5 step 8).
+    /// Idempotent. Returns the exit latency the flow must absorb.
+    pub fn exit_self_refresh(&mut self) -> SimTime {
+        let latency = if self.state == DramState::SelfRefresh {
+            self.timing.self_refresh_exit()
+        } else {
+            SimTime::ZERO
+        };
+        self.state = DramState::Active;
+        latency
+    }
+
+    /// Changes the DDR data frequency (and PLL/DLL relock) to `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device is not in self-refresh (the Fig. 5 flow
+    /// requires it) or `freq` is not a supported bin.
+    pub fn set_frequency(&mut self, freq: Freq) -> SimResult<()> {
+        if self.state != DramState::SelfRefresh {
+            return Err(SimError::invalid_config(
+                "dram frequency can only change while in self-refresh",
+            ));
+        }
+        if !self.module.supports_frequency(freq) {
+            return Err(SimError::invalid_config(format!(
+                "unsupported dram frequency {:.0} MHz",
+                freq.as_mhz()
+            )));
+        }
+        if (freq.as_mhz() - self.freq.as_mhz()).abs() >= 1.0 {
+            self.frequency_changes += 1;
+        }
+        self.freq = freq;
+        Ok(())
+    }
+
+    /// Loads the optimized MRC register set for `freq` from the on-chip SRAM
+    /// into the configuration registers (Fig. 5 step 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device is not in self-refresh or `freq` is not
+    /// a trained bin.
+    pub fn load_optimized_registers(&mut self, freq: Freq) -> SimResult<()> {
+        if self.state != DramState::SelfRefresh {
+            return Err(SimError::invalid_config(
+                "mrc registers can only be loaded while in self-refresh",
+            ));
+        }
+        self.loaded_registers = *self.mrc_sram.lookup(freq)?;
+        Ok(())
+    }
+
+    /// Peak bandwidth at the current frequency, after any MRC-mismatch
+    /// derating.
+    #[must_use]
+    pub fn peak_bandwidth(&self) -> Bandwidth {
+        self.module.peak_bandwidth(self.freq) * self.effective_penalty().bandwidth_derate
+    }
+
+    /// Unloaded access latency at the current frequency, after any
+    /// MRC-mismatch penalty.
+    #[must_use]
+    pub fn idle_access_latency(&self) -> SimTime {
+        self.timing.idle_access_latency(self.freq) * self.effective_penalty().latency_factor
+    }
+
+    /// DRAM power over a window with the given consumed bandwidth and
+    /// self-refresh residency.
+    #[must_use]
+    pub fn power(&self, consumed: Bandwidth, self_refresh_fraction: f64) -> DramPowerBreakdown {
+        self.power_model.power(
+            self.freq,
+            consumed,
+            self_refresh_fraction,
+            &self.effective_penalty(),
+        )
+    }
+
+    /// The timing parameter set in use.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_starts_at_default_bin_with_optimized_registers() {
+        let chip = DramChip::skylake_lpddr3();
+        assert_eq!(chip.state(), DramState::Active);
+        assert!((chip.frequency().as_ghz() - 1.6).abs() < 1e-9);
+        assert!(chip.registers_optimized());
+        assert_eq!(chip.effective_penalty(), MrcMismatchPenalty::none());
+        assert_eq!(chip.frequency_changes(), 0);
+    }
+
+    #[test]
+    fn frequency_change_requires_self_refresh() {
+        let mut chip = DramChip::skylake_lpddr3();
+        assert!(chip.set_frequency(Freq::from_ghz(1.0666)).is_err());
+        chip.enter_self_refresh();
+        assert_eq!(chip.state(), DramState::SelfRefresh);
+        chip.set_frequency(Freq::from_ghz(1.0666)).unwrap();
+        assert_eq!(chip.frequency_changes(), 1);
+        let exit = chip.exit_self_refresh();
+        assert!(exit > SimTime::ZERO);
+        assert_eq!(chip.state(), DramState::Active);
+    }
+
+    #[test]
+    fn register_load_requires_self_refresh_and_known_bin() {
+        let mut chip = DramChip::skylake_lpddr3();
+        assert!(chip.load_optimized_registers(Freq::from_ghz(1.0666)).is_err());
+        chip.enter_self_refresh();
+        assert!(chip.load_optimized_registers(Freq::from_ghz(1.3)).is_err());
+        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.set_frequency(Freq::from_ghz(1.0666)).unwrap();
+        chip.exit_self_refresh();
+        assert!(chip.registers_optimized());
+    }
+
+    #[test]
+    fn mismatched_registers_degrade_latency_and_bandwidth() {
+        let mut chip = DramChip::skylake_lpddr3();
+        let opt_latency = chip.idle_access_latency();
+        let opt_peak = chip.peak_bandwidth();
+
+        // Change frequency without reloading registers: the naive flow the
+        // paper criticises in Observation 4.
+        chip.enter_self_refresh();
+        chip.set_frequency(Freq::from_ghz(1.0666)).unwrap();
+        chip.exit_self_refresh();
+        assert!(!chip.registers_optimized());
+        let bad_latency = chip.idle_access_latency();
+        let bad_peak = chip.peak_bandwidth();
+
+        // Now reload optimized registers and compare.
+        chip.enter_self_refresh();
+        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.exit_self_refresh();
+        let good_latency = chip.idle_access_latency();
+        let good_peak = chip.peak_bandwidth();
+
+        assert!(bad_latency > good_latency);
+        assert!(bad_peak < good_peak);
+        assert!(good_latency > opt_latency, "lower frequency is still slower");
+        assert!(good_peak < opt_peak);
+    }
+
+    #[test]
+    fn mismatched_registers_increase_power() {
+        let mut chip = DramChip::skylake_lpddr3();
+        chip.enter_self_refresh();
+        chip.set_frequency(Freq::from_ghz(1.0666)).unwrap();
+        chip.exit_self_refresh();
+        let bw = Bandwidth::from_gib_s(12.0);
+        let mismatched = chip.power(bw, 0.0).total();
+
+        chip.enter_self_refresh();
+        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.exit_self_refresh();
+        let optimized = chip.power(bw, 0.0).total();
+        assert!(mismatched > optimized);
+    }
+
+    #[test]
+    fn self_refresh_entry_is_idempotent_and_counted() {
+        let mut chip = DramChip::skylake_lpddr3();
+        chip.enter_self_refresh();
+        chip.enter_self_refresh();
+        assert_eq!(chip.self_refresh_entries(), 1);
+        assert_eq!(chip.exit_self_refresh() > SimTime::ZERO, true);
+        assert_eq!(chip.exit_self_refresh(), SimTime::ZERO);
+        chip.enter_self_refresh();
+        assert_eq!(chip.self_refresh_entries(), 2);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let chip = DramChip::skylake_lpddr3();
+        assert_eq!(chip.module().geometry.channels, 2);
+        assert!(chip.timing().burst_length > 0);
+        assert!(chip.loaded_registers().cas_latency_cycles > 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let chip = DramChip::skylake_lpddr3();
+        let json = serde_json::to_string(&chip).unwrap();
+        let back: DramChip = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chip);
+    }
+}

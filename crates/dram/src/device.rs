@@ -1,0 +1,283 @@
+//! DRAM device descriptions: technology, geometry, and frequency bins.
+//!
+//! Commercial DRAM devices only support a few discrete frequency bins
+//! (Sec. 7.4: "LPDDR3 supports only 1.6GHz, 1.06GHz, and 0.8GHz"), and the
+//! default bin for most systems is the highest frequency. The device
+//! description also determines the peak theoretical bandwidth available to
+//! the SoC (dual-channel LPDDR3-1600 peaks at 25.6 GB/s, Sec. 3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, SimError, SimResult};
+
+/// DRAM technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramKind {
+    /// Low-power DDR3, the memory of the evaluated Skylake mobile system
+    /// (Table 2: LPDDR3-1600, dual channel, 8 GB).
+    Lpddr3,
+    /// DDR4, used in the Sec. 7.4 sensitivity study (1.86 GHz → 1.33 GHz).
+    Ddr4,
+}
+
+impl DramKind {
+    /// The JEDEC-style frequency bins supported by this device kind, from
+    /// lowest to highest data frequency.
+    #[must_use]
+    pub fn frequency_bins(self) -> Vec<Freq> {
+        match self {
+            DramKind::Lpddr3 => vec![
+                Freq::from_ghz(0.8),
+                Freq::from_ghz(1.0666),
+                Freq::from_ghz(1.6),
+            ],
+            DramKind::Ddr4 => vec![
+                Freq::from_ghz(1.3333),
+                Freq::from_ghz(1.8666),
+                Freq::from_ghz(2.1333),
+            ],
+        }
+    }
+
+    /// Default (highest) frequency bin, used by the BIOS/MRC at boot
+    /// (Sec. 2.5 and footnote 4).
+    #[must_use]
+    pub fn default_bin(self) -> Freq {
+        *self
+            .frequency_bins()
+            .last()
+            .expect("every kind has at least one bin")
+    }
+
+    /// Nominal VDDQ supply voltage of the device kind, in volts.
+    #[must_use]
+    pub fn nominal_vddq(self) -> f64 {
+        match self {
+            DramKind::Lpddr3 => 1.2,
+            DramKind::Ddr4 => 1.2,
+        }
+    }
+}
+
+impl fmt::Display for DramKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramKind::Lpddr3 => f.write_str("LPDDR3"),
+            DramKind::Ddr4 => f.write_str("DDR4"),
+        }
+    }
+}
+
+/// Physical organization of the memory system attached to the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of independent channels (each with its own data bus).
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Data-bus width per channel, in bits.
+    pub bus_width_bits: u32,
+    /// Total capacity in GiB.
+    pub capacity_gib: u32,
+}
+
+impl DramGeometry {
+    /// Dual-channel 64-bit LPDDR3 configuration of the evaluated system
+    /// (Table 2: 8 GB, dual channel).
+    #[must_use]
+    pub fn skylake_mobile() -> Self {
+        Self {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            bus_width_bits: 64,
+            capacity_gib: 8,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any field is zero or the bus
+    /// width is not a multiple of 8.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.channels == 0
+            || self.ranks_per_channel == 0
+            || self.banks_per_rank == 0
+            || self.bus_width_bits == 0
+            || self.capacity_gib == 0
+        {
+            return Err(SimError::invalid_config("dram geometry fields must be non-zero"));
+        }
+        if self.bus_width_bits % 8 != 0 {
+            return Err(SimError::invalid_config(
+                "dram bus width must be a whole number of bytes",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total number of banks across the whole memory system.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+}
+
+/// A DRAM module (kind + geometry) as seen by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModule {
+    /// Technology generation.
+    pub kind: DramKind,
+    /// Physical organization.
+    pub geometry: DramGeometry,
+}
+
+impl DramModule {
+    /// Creates a module after validating its geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the geometry is invalid.
+    pub fn new(kind: DramKind, geometry: DramGeometry) -> SimResult<Self> {
+        geometry.validate()?;
+        Ok(Self { kind, geometry })
+    }
+
+    /// The dual-channel LPDDR3-1600 module of the evaluated Skylake system.
+    #[must_use]
+    pub fn skylake_lpddr3() -> Self {
+        Self {
+            kind: DramKind::Lpddr3,
+            geometry: DramGeometry::skylake_mobile(),
+        }
+    }
+
+    /// A DDR4 module with the same geometry, for the Sec. 7.4 sensitivity
+    /// study.
+    #[must_use]
+    pub fn ddr4_variant() -> Self {
+        Self {
+            kind: DramKind::Ddr4,
+            geometry: DramGeometry::skylake_mobile(),
+        }
+    }
+
+    /// Peak theoretical bandwidth at DDR data frequency `freq`:
+    /// `channels × bus_bytes × freq` (DDR transfers on both clock edges are
+    /// already folded into the data frequency the paper quotes).
+    #[must_use]
+    pub fn peak_bandwidth(&self, freq: Freq) -> Bandwidth {
+        let bytes_per_transfer = (self.geometry.bus_width_bits / 8) as f64;
+        Bandwidth::from_bytes_per_sec(
+            self.geometry.channels as f64 * bytes_per_transfer * freq.as_hz(),
+        )
+    }
+
+    /// Returns `true` if `freq` is one of the device's supported bins (within
+    /// 1 MHz tolerance).
+    #[must_use]
+    pub fn supports_frequency(&self, freq: Freq) -> bool {
+        self.kind
+            .frequency_bins()
+            .iter()
+            .any(|&bin| (bin.as_mhz() - freq.as_mhz()).abs() < 1.0)
+    }
+
+    /// Returns the nearest supported bin at or below `freq`, or the lowest
+    /// bin if `freq` is below all of them.
+    #[must_use]
+    pub fn bin_at_or_below(&self, freq: Freq) -> Freq {
+        let bins = self.kind.frequency_bins();
+        bins.iter()
+            .rev()
+            .find(|&&b| b <= freq * 1.001)
+            .copied()
+            .unwrap_or(bins[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr3_bins_match_paper() {
+        let bins = DramKind::Lpddr3.frequency_bins();
+        assert_eq!(bins.len(), 3);
+        assert!((bins[0].as_ghz() - 0.8).abs() < 1e-9);
+        assert!((bins[1].as_ghz() - 1.0666).abs() < 1e-9);
+        assert!((bins[2].as_ghz() - 1.6).abs() < 1e-9);
+        assert_eq!(DramKind::Lpddr3.default_bin(), bins[2]);
+    }
+
+    #[test]
+    fn ddr4_bins_cover_sensitivity_study() {
+        let bins = DramKind::Ddr4.frequency_bins();
+        assert!(bins.iter().any(|b| (b.as_ghz() - 1.8666).abs() < 1e-9));
+        assert!(bins.iter().any(|b| (b.as_ghz() - 1.3333).abs() < 1e-9));
+    }
+
+    #[test]
+    fn dual_channel_lpddr3_1600_peaks_at_25_6_gb_s() {
+        // Sec. 3: "peak memory bandwidth of a dual-channel LPDDR3 (25.6GB/s at
+        // 1.6GHz DRAM frequency)". The paper uses decimal GB here.
+        let module = DramModule::skylake_lpddr3();
+        let peak = module.peak_bandwidth(Freq::from_ghz(1.6));
+        let gb_s = peak.as_bytes_per_sec() / 1e9;
+        assert!((gb_s - 25.6).abs() < 0.1, "got {gb_s} GB/s");
+    }
+
+    #[test]
+    fn peak_bandwidth_scales_linearly_with_frequency() {
+        let module = DramModule::skylake_lpddr3();
+        let high = module.peak_bandwidth(Freq::from_ghz(1.6));
+        let low = module.peak_bandwidth(Freq::from_ghz(0.8));
+        assert!((high.as_bytes_per_sec() / low.as_bytes_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_support_and_binning() {
+        let module = DramModule::skylake_lpddr3();
+        assert!(module.supports_frequency(Freq::from_ghz(1.6)));
+        assert!(module.supports_frequency(Freq::from_ghz(1.0666)));
+        assert!(!module.supports_frequency(Freq::from_ghz(1.3)));
+        assert_eq!(module.bin_at_or_below(Freq::from_ghz(1.3)), Freq::from_ghz(1.0666));
+        assert_eq!(module.bin_at_or_below(Freq::from_ghz(0.5)), Freq::from_ghz(0.8));
+        assert_eq!(module.bin_at_or_below(Freq::from_ghz(1.6)), Freq::from_ghz(1.6));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let good = DramGeometry::skylake_mobile();
+        assert!(good.validate().is_ok());
+        assert_eq!(good.total_banks(), 16);
+        let mut bad = good;
+        bad.channels = 0;
+        assert!(bad.validate().is_err());
+        let mut odd = good;
+        odd.bus_width_bits = 60;
+        assert!(odd.validate().is_err());
+        assert!(DramModule::new(DramKind::Lpddr3, bad).is_err());
+        assert!(DramModule::new(DramKind::Ddr4, good).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DramKind::Lpddr3.to_string(), "LPDDR3");
+        assert_eq!(DramKind::Ddr4.to_string(), "DDR4");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = DramModule::skylake_lpddr3();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DramModule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sysscale-dram
+//!
+//! DRAM subsystem model for the SysScale simulator: device descriptions and
+//! frequency bins, JEDEC-style timing, MRC (memory reference code) register
+//! sets with an on-chip SRAM store, a Micron-style power model, and the
+//! self-refresh state machine the DVFS flow drives.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_dram::DramChip;
+//! use sysscale_types::{Bandwidth, Freq};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dram = DramChip::skylake_lpddr3();
+//!
+//! // The Fig. 5 flow: enter self-refresh, load the optimized MRC set for the
+//! // new bin, relock to the new frequency, exit self-refresh.
+//! dram.enter_self_refresh();
+//! dram.load_optimized_registers(Freq::from_ghz(1.0666))?;
+//! dram.set_frequency(Freq::from_ghz(1.0666))?;
+//! dram.exit_self_refresh();
+//!
+//! let power = dram.power(Bandwidth::from_gib_s(2.0), 0.0);
+//! assert!(power.total().as_watts() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod chip;
+mod device;
+mod mrc;
+mod power;
+mod timing;
+
+pub use chip::{DramChip, DramState};
+pub use device::{DramGeometry, DramKind, DramModule};
+pub use mrc::{MrcMismatchPenalty, MrcRegisterSet, MrcSram};
+pub use power::{DramPowerBreakdown, DramPowerModel, DramPowerParams};
+pub use timing::TimingParams;

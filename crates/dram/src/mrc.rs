@@ -1,0 +1,278 @@
+//! Memory reference code (MRC) register sets and the on-chip SRAM that
+//! stores one optimized set per DRAM frequency bin.
+//!
+//! MRC training (Sec. 2.5) runs at boot for a single DRAM frequency and
+//! writes the memory-controller, DDRIO, and DIMM configuration registers with
+//! values optimized for that frequency. SysScale pre-computes one register
+//! set per supported bin, stores them in ~0.5 KB of on-chip SRAM (Sec. 5),
+//! and reloads the matching set during every DVFS transition (Fig. 5 step 5).
+//! Running with *unoptimized* values (trained for a different frequency)
+//! degrades performance and increases power (Observation 4 / Fig. 4).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Freq, SimError, SimResult};
+
+use crate::device::DramKind;
+use crate::timing::TimingParams;
+
+/// One trained configuration-register set for a specific DRAM frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrcRegisterSet {
+    /// The DRAM data frequency this set was trained for.
+    pub trained_for: Freq,
+    /// CAS latency in command-clock cycles.
+    pub cas_latency_cycles: u32,
+    /// RAS-to-CAS delay in command-clock cycles.
+    pub rcd_cycles: u32,
+    /// Row precharge time in command-clock cycles.
+    pub rp_cycles: u32,
+    /// Refresh cycle time in command-clock cycles.
+    pub rfc_cycles: u32,
+    /// Trained receive-enable / DQS delay, in picoseconds.
+    pub dqs_delay_ps: f64,
+    /// On-die-termination impedance setting, in ohms.
+    pub odt_ohms: f64,
+    /// Reference-voltage setting as a fraction of VDDQ.
+    pub vref_fraction: f64,
+}
+
+impl MrcRegisterSet {
+    /// Trains a register set for `freq` using the device kind's timing
+    /// constraints. This mirrors what MRC training produces at boot for the
+    /// boot frequency, repeated per bin at reset time (Sec. 5).
+    #[must_use]
+    pub fn train(kind: DramKind, freq: Freq) -> Self {
+        let t = TimingParams::for_kind(kind);
+        // Trained interface parameters scale with the bit time: a faster bus
+        // needs a tighter DQS window and stronger termination.
+        let bit_time_ps = 1e12 / freq.as_hz();
+        let odt = match kind {
+            DramKind::Lpddr3 => 120.0 - 20.0 * (freq.as_ghz() - 0.8),
+            DramKind::Ddr4 => 80.0 - 10.0 * (freq.as_ghz() - 1.33),
+        };
+        Self {
+            trained_for: freq,
+            cas_latency_cycles: TimingParams::ns_to_cycles(t.t_cl_ns, freq),
+            rcd_cycles: TimingParams::ns_to_cycles(t.t_rcd_ns, freq),
+            rp_cycles: TimingParams::ns_to_cycles(t.t_rp_ns, freq),
+            rfc_cycles: TimingParams::ns_to_cycles(t.t_rfc_ns, freq),
+            dqs_delay_ps: bit_time_ps / 4.0,
+            odt_ohms: odt,
+            vref_fraction: 0.5,
+        }
+    }
+
+    /// Approximate storage footprint of one register set, in bytes, counting
+    /// each field as one 32-bit configuration register plus a handful of
+    /// per-byte-lane delay registers (8 lanes × 2 registers).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        let scalar_registers = 8;
+        let per_lane_registers = 8 * 2;
+        (scalar_registers + per_lane_registers) * 4
+    }
+
+    /// Returns `true` if this set is optimized for operation at `freq`
+    /// (within 1 MHz).
+    #[must_use]
+    pub fn matches(&self, freq: Freq) -> bool {
+        (self.trained_for.as_mhz() - freq.as_mhz()).abs() < 1.0
+    }
+}
+
+/// Performance/power penalties of operating the memory interface with
+/// register values trained for a *different* frequency.
+///
+/// The defaults reproduce the shape of Fig. 4: for a memory-bandwidth-bound
+/// microbenchmark, unoptimized values cost ~10 % performance and ~22 %
+/// average power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrcMismatchPenalty {
+    /// Multiplier on effective DRAM access latency (> 1.0): conservative
+    /// (slower-frequency) timings are applied and the interface must insert
+    /// guard cycles because the trained DQS window is off-center.
+    pub latency_factor: f64,
+    /// Multiplier (< 1.0) on achievable peak bandwidth: mis-trained
+    /// termination and receive-enable force the controller to lower the bus
+    /// efficiency (longer turnaround gaps, retries on marginal lanes).
+    pub bandwidth_derate: f64,
+    /// Multiplier (> 1.0) on DRAM interface (IO + termination) power:
+    /// over-strong ODT and off-center reference voltage burn static current.
+    pub io_power_factor: f64,
+}
+
+impl Default for MrcMismatchPenalty {
+    fn default() -> Self {
+        Self {
+            latency_factor: 1.10,
+            bandwidth_derate: 0.92,
+            io_power_factor: 1.35,
+        }
+    }
+}
+
+impl MrcMismatchPenalty {
+    /// No penalty (registers match the operating frequency).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            latency_factor: 1.0,
+            bandwidth_derate: 1.0,
+            io_power_factor: 1.0,
+        }
+    }
+
+    /// Validates that the penalty factors are on the correct side of 1.0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if a factor would *improve*
+    /// behaviour (that would be a model bug, not a penalty).
+    pub fn validate(&self) -> SimResult<()> {
+        if self.latency_factor < 1.0 || self.io_power_factor < 1.0 || self.bandwidth_derate > 1.0 {
+            return Err(SimError::invalid_config(
+                "mrc mismatch penalties must not improve performance or power",
+            ));
+        }
+        if self.bandwidth_derate <= 0.0 {
+            return Err(SimError::invalid_config("bandwidth derate must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The on-chip SRAM holding one optimized [`MrcRegisterSet`] per supported
+/// frequency bin (Sec. 5: ≈0.5 KB, <0.006 % of Skylake's die area).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrcSram {
+    kind: DramKind,
+    sets: BTreeMap<u64, MrcRegisterSet>,
+}
+
+impl MrcSram {
+    /// Trains and stores a register set for every frequency bin the device
+    /// kind supports. This models the reset-time MRC calculations (Sec. 5).
+    #[must_use]
+    pub fn train_all(kind: DramKind) -> Self {
+        let mut sets = BTreeMap::new();
+        for bin in kind.frequency_bins() {
+            sets.insert(Self::key(bin), MrcRegisterSet::train(kind, bin));
+        }
+        Self { kind, sets }
+    }
+
+    fn key(freq: Freq) -> u64 {
+        freq.as_mhz().round() as u64
+    }
+
+    /// Device kind the stored sets were trained for.
+    #[must_use]
+    pub fn kind(&self) -> DramKind {
+        self.kind
+    }
+
+    /// Number of stored register sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if no sets are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Looks up the register set trained for `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if no set was trained for `freq`
+    /// (i.e. `freq` is not a supported bin).
+    pub fn lookup(&self, freq: Freq) -> SimResult<&MrcRegisterSet> {
+        self.sets.get(&Self::key(freq)).ok_or_else(|| {
+            SimError::invalid_config(format!(
+                "no MRC register set trained for {:.0} MHz",
+                freq.as_mhz()
+            ))
+        })
+    }
+
+    /// Total SRAM footprint in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.sets.values().map(MrcRegisterSet::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trained_sets_differ_across_bins() {
+        let high = MrcRegisterSet::train(DramKind::Lpddr3, Freq::from_ghz(1.6));
+        let low = MrcRegisterSet::train(DramKind::Lpddr3, Freq::from_ghz(1.0666));
+        assert!(high.cas_latency_cycles > low.cas_latency_cycles);
+        assert!(high.dqs_delay_ps < low.dqs_delay_ps);
+        assert!(high.odt_ohms < low.odt_ohms);
+        assert!(high.matches(Freq::from_ghz(1.6)));
+        assert!(!high.matches(Freq::from_ghz(1.0666)));
+    }
+
+    #[test]
+    fn sram_holds_one_set_per_bin_and_fits_half_kb() {
+        let sram = MrcSram::train_all(DramKind::Lpddr3);
+        assert_eq!(sram.len(), DramKind::Lpddr3.frequency_bins().len());
+        assert!(!sram.is_empty());
+        assert_eq!(sram.kind(), DramKind::Lpddr3);
+        // Sec. 5: approximately 0.5 KB of SRAM is enough.
+        assert!(sram.size_bytes() <= 512, "footprint {} B", sram.size_bytes());
+        for bin in DramKind::Lpddr3.frequency_bins() {
+            let set = sram.lookup(bin).unwrap();
+            assert!(set.matches(bin));
+        }
+    }
+
+    #[test]
+    fn sram_lookup_rejects_unsupported_frequency() {
+        let sram = MrcSram::train_all(DramKind::Lpddr3);
+        assert!(sram.lookup(Freq::from_ghz(1.3)).is_err());
+    }
+
+    #[test]
+    fn mismatch_penalty_defaults_are_penalties() {
+        let p = MrcMismatchPenalty::default();
+        assert!(p.validate().is_ok());
+        assert!(p.latency_factor > 1.0);
+        assert!(p.bandwidth_derate < 1.0);
+        assert!(p.io_power_factor > 1.0);
+        let none = MrcMismatchPenalty::none();
+        assert!(none.validate().is_ok());
+        assert_eq!(none.latency_factor, 1.0);
+    }
+
+    #[test]
+    fn mismatch_penalty_validation_rejects_improvements() {
+        let mut p = MrcMismatchPenalty::default();
+        p.latency_factor = 0.9;
+        assert!(p.validate().is_err());
+        let mut q = MrcMismatchPenalty::default();
+        q.bandwidth_derate = 1.1;
+        assert!(q.validate().is_err());
+        let mut r = MrcMismatchPenalty::default();
+        r.bandwidth_derate = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sram = MrcSram::train_all(DramKind::Ddr4);
+        let json = serde_json::to_string(&sram).unwrap();
+        let back: MrcSram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sram);
+    }
+}

@@ -1,0 +1,340 @@
+//! DRAM power model.
+//!
+//! Follows the decomposition of Sec. 2.3: background power, operation power
+//! (array + IO + register), termination power, and refresh, with the
+//! frequency/voltage dependences described in Sec. 2.4:
+//!
+//! * background power scales linearly with frequency,
+//! * array energy per access is frequency independent,
+//! * IO and termination energy per byte grow as frequency drops (each
+//!   transfer takes longer at a roughly constant interface power),
+//! * termination power otherwise tracks interface utilization, not frequency.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, Power};
+
+use crate::device::DramKind;
+use crate::mrc::MrcMismatchPenalty;
+
+/// Calibration constants of the DRAM power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerParams {
+    /// Reference DDR data frequency the per-byte energies are quoted at.
+    pub nominal_freq: Freq,
+    /// Background (active standby) power per GHz of DDR frequency, in watts.
+    /// Covers DLL, input buffers, and peripheral maintenance circuitry.
+    pub background_w_per_ghz: f64,
+    /// Frequency-independent floor of background power, in watts.
+    pub background_floor_w: f64,
+    /// Power while the device is in self-refresh, in watts.
+    pub self_refresh_w: f64,
+    /// Array (bank core) energy per byte accessed, in picojoules. Frequency
+    /// independent.
+    pub array_pj_per_byte: f64,
+    /// IO + register energy per byte at the nominal frequency, in picojoules.
+    /// Scales with `nominal_freq / freq` because slower transfers keep the
+    /// interface active longer.
+    pub io_pj_per_byte_nominal: f64,
+    /// Termination energy per byte at the nominal frequency, in picojoules.
+    /// Same `nominal_freq / freq` scaling as IO energy.
+    pub termination_pj_per_byte_nominal: f64,
+    /// Average refresh power at the nominal refresh rate, in watts.
+    pub refresh_w: f64,
+}
+
+impl DramPowerParams {
+    /// Calibrated parameters for the dual-channel LPDDR3-1600 system of
+    /// Table 2.
+    #[must_use]
+    pub fn lpddr3_dual_channel() -> Self {
+        Self {
+            nominal_freq: Freq::from_ghz(1.6),
+            background_w_per_ghz: 0.130,
+            background_floor_w: 0.040,
+            self_refresh_w: 0.012,
+            array_pj_per_byte: 22.0,
+            io_pj_per_byte_nominal: 8.0,
+            termination_pj_per_byte_nominal: 5.0,
+            refresh_w: 0.018,
+        }
+    }
+
+    /// Calibrated parameters for the DDR4 variant of the Sec. 7.4
+    /// sensitivity study. DDR4 has slightly higher interface power and a
+    /// higher nominal frequency, which is why scaling it one bin down saves
+    /// ~7 % less power than LPDDR3 (Sec. 7.4).
+    #[must_use]
+    pub fn ddr4_dual_channel() -> Self {
+        Self {
+            nominal_freq: Freq::from_ghz(1.8666),
+            background_w_per_ghz: 0.125,
+            background_floor_w: 0.055,
+            self_refresh_w: 0.018,
+            array_pj_per_byte: 20.0,
+            io_pj_per_byte_nominal: 9.0,
+            termination_pj_per_byte_nominal: 6.0,
+            refresh_w: 0.028,
+        }
+    }
+
+    /// Parameters for a device kind.
+    #[must_use]
+    pub fn for_kind(kind: DramKind) -> Self {
+        match kind {
+            DramKind::Lpddr3 => Self::lpddr3_dual_channel(),
+            DramKind::Ddr4 => Self::ddr4_dual_channel(),
+        }
+    }
+}
+
+/// Per-category breakdown of DRAM power for one evaluation window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramPowerBreakdown {
+    /// Background (standby + maintenance) power.
+    pub background: Power,
+    /// Array operation power (activate/read/write core energy).
+    pub array: Power,
+    /// Interface (IO drivers, latches, DLL) power.
+    pub io: Power,
+    /// Termination power.
+    pub termination: Power,
+    /// Refresh power.
+    pub refresh: Power,
+}
+
+impl DramPowerBreakdown {
+    /// Total DRAM power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.background + self.array + self.io + self.termination + self.refresh
+    }
+
+    /// Operation power as defined by the paper (array + IO + termination).
+    #[must_use]
+    pub fn operation(&self) -> Power {
+        self.array + self.io + self.termination
+    }
+}
+
+/// The DRAM power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerModel {
+    params: DramPowerParams,
+}
+
+impl DramPowerModel {
+    /// Creates a model from calibration parameters.
+    #[must_use]
+    pub fn new(params: DramPowerParams) -> Self {
+        Self { params }
+    }
+
+    /// Model for a device kind with default calibration.
+    #[must_use]
+    pub fn for_kind(kind: DramKind) -> Self {
+        Self::new(DramPowerParams::for_kind(kind))
+    }
+
+    /// Read-only access to the calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &DramPowerParams {
+        &self.params
+    }
+
+    /// Computes the average DRAM power over a window.
+    ///
+    /// * `freq` — DDR data frequency in effect.
+    /// * `consumed` — average read+write bandwidth actually served.
+    /// * `self_refresh_fraction` — fraction of the window spent in
+    ///   self-refresh (0.0 = always active, 1.0 = always in self-refresh).
+    /// * `penalty` — MRC mismatch penalty in effect (use
+    ///   [`MrcMismatchPenalty::none`] when registers are optimized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self_refresh_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn power(
+        &self,
+        freq: Freq,
+        consumed: Bandwidth,
+        self_refresh_fraction: f64,
+        penalty: &MrcMismatchPenalty,
+    ) -> DramPowerBreakdown {
+        assert!(
+            (0.0..=1.0).contains(&self_refresh_fraction),
+            "self_refresh_fraction must be within [0, 1]"
+        );
+        let p = &self.params;
+        let active_fraction = 1.0 - self_refresh_fraction;
+
+        let background_active = p.background_floor_w + p.background_w_per_ghz * freq.as_ghz();
+        let background = Power::from_watts(
+            background_active * active_fraction + p.self_refresh_w * self_refresh_fraction,
+        );
+
+        let bytes_per_sec = consumed.as_bytes_per_sec();
+        let freq_stretch = if freq.is_zero() {
+            1.0
+        } else {
+            p.nominal_freq.as_ghz() / freq.as_ghz()
+        };
+        let array = Power::from_watts(bytes_per_sec * p.array_pj_per_byte * 1e-12);
+        let io = Power::from_watts(
+            bytes_per_sec * p.io_pj_per_byte_nominal * freq_stretch * 1e-12 * penalty.io_power_factor,
+        );
+        let termination = Power::from_watts(
+            bytes_per_sec
+                * p.termination_pj_per_byte_nominal
+                * freq_stretch
+                * 1e-12
+                * penalty.io_power_factor,
+        );
+
+        // Refresh is suppressed while in self-refresh only in the sense that
+        // the internal refresh is cheaper; fold that into the active fraction.
+        let refresh = Power::from_watts(p.refresh_w * active_fraction);
+
+        DramPowerBreakdown {
+            background,
+            array,
+            io,
+            termination,
+            refresh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramPowerModel {
+        DramPowerModel::for_kind(DramKind::Lpddr3)
+    }
+
+    #[test]
+    fn background_power_scales_linearly_with_frequency() {
+        let m = model();
+        let none = MrcMismatchPenalty::none();
+        let hi = m.power(Freq::from_ghz(1.6), Bandwidth::ZERO, 0.0, &none);
+        let lo = m.power(Freq::from_ghz(0.8), Bandwidth::ZERO, 0.0, &none);
+        let floor = m.params().background_floor_w;
+        let hi_var = hi.background.as_watts() - floor;
+        let lo_var = lo.background.as_watts() - floor;
+        assert!((hi_var / lo_var - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_refresh_power_is_much_lower_than_active_background() {
+        let m = model();
+        let none = MrcMismatchPenalty::none();
+        let active = m.power(Freq::from_ghz(1.6), Bandwidth::ZERO, 0.0, &none);
+        let sr = m.power(Freq::from_ghz(1.6), Bandwidth::ZERO, 1.0, &none);
+        assert!(sr.total().as_watts() < 0.2 * active.total().as_watts());
+    }
+
+    #[test]
+    fn operation_power_grows_with_bandwidth() {
+        let m = model();
+        let none = MrcMismatchPenalty::none();
+        let idle = m.power(Freq::from_ghz(1.6), Bandwidth::ZERO, 0.0, &none);
+        let busy = m.power(Freq::from_ghz(1.6), Bandwidth::from_gib_s(10.0), 0.0, &none);
+        assert_eq!(idle.operation(), Power::ZERO);
+        assert!(busy.operation() > Power::ZERO);
+        assert!(busy.total() > idle.total());
+        // Doubling bandwidth doubles operation power.
+        let busier = m.power(Freq::from_ghz(1.6), Bandwidth::from_gib_s(20.0), 0.0, &none);
+        assert!(
+            (busier.operation().as_watts() / busy.operation().as_watts() - 2.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn per_byte_io_energy_rises_as_frequency_drops() {
+        // Sec. 2.4: lowering DRAM frequency increases read/write/termination
+        // energy linearly because each access takes longer.
+        let m = model();
+        let none = MrcMismatchPenalty::none();
+        let bw = Bandwidth::from_gib_s(5.0);
+        let hi = m.power(Freq::from_ghz(1.6), bw, 0.0, &none);
+        let lo = m.power(Freq::from_ghz(0.8), bw, 0.0, &none);
+        assert!(lo.io > hi.io);
+        assert!(lo.termination > hi.termination);
+        // Array energy is frequency independent.
+        assert_eq!(lo.array, hi.array);
+    }
+
+    #[test]
+    fn total_power_still_drops_at_lower_frequency_for_moderate_bandwidth() {
+        // The frequency-linear background saving outweighs the per-byte IO
+        // increase at the bandwidths typical workloads demand, which is the
+        // premise of memory DVFS.
+        let m = model();
+        let none = MrcMismatchPenalty::none();
+        let bw = Bandwidth::from_gib_s(2.0);
+        let hi = m.power(Freq::from_ghz(1.6), bw, 0.0, &none);
+        let lo = m.power(Freq::from_ghz(1.0666), bw, 0.0, &none);
+        assert!(lo.total() < hi.total());
+    }
+
+    #[test]
+    fn mrc_mismatch_inflates_interface_power_only() {
+        let m = model();
+        let bw = Bandwidth::from_gib_s(10.0);
+        let good = m.power(Freq::from_ghz(1.0666), bw, 0.0, &MrcMismatchPenalty::none());
+        let bad = m.power(
+            Freq::from_ghz(1.0666),
+            bw,
+            0.0,
+            &MrcMismatchPenalty::default(),
+        );
+        assert!(bad.io > good.io);
+        assert!(bad.termination > good.termination);
+        assert_eq!(bad.array, good.array);
+        assert_eq!(bad.background, good.background);
+        assert!(bad.total() > good.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "self_refresh_fraction")]
+    fn rejects_bad_self_refresh_fraction() {
+        let _ = model().power(
+            Freq::from_ghz(1.6),
+            Bandwidth::ZERO,
+            1.5,
+            &MrcMismatchPenalty::none(),
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let m = model();
+        let b = m.power(
+            Freq::from_ghz(1.6),
+            Bandwidth::from_gib_s(7.0),
+            0.25,
+            &MrcMismatchPenalty::none(),
+        );
+        let sum = b.background + b.array + b.io + b.termination + b.refresh;
+        assert!((b.total().as_watts() - sum.as_watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ddr4_parameters_differ() {
+        let lp = DramPowerParams::lpddr3_dual_channel();
+        let d4 = DramPowerParams::ddr4_dual_channel();
+        assert!(d4.nominal_freq > lp.nominal_freq);
+        assert_ne!(lp, d4);
+        assert_eq!(DramPowerParams::for_kind(DramKind::Ddr4), d4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DramPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

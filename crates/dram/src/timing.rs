@@ -1,0 +1,184 @@
+//! DRAM timing parameters and idle access latency.
+//!
+//! Timing parameters are what the MRC training configures per frequency
+//! (Sec. 2.5). Most core timings are constant in *nanoseconds* across
+//! frequency bins (they are analog device constraints), which means their
+//! *cycle* counts change with frequency — exactly the values the MRC must
+//! rewrite when the DVFS flow switches bins.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Freq, SimTime};
+
+use crate::device::DramKind;
+
+/// JEDEC-style timing parameters for one device kind, expressed in
+/// nanoseconds (frequency independent) plus the burst length in transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// CAS latency: column access to first data.
+    pub t_cl_ns: f64,
+    /// RAS-to-CAS delay: row activate to column access.
+    pub t_rcd_ns: f64,
+    /// Row precharge time.
+    pub t_rp_ns: f64,
+    /// Row active time (activate to precharge).
+    pub t_ras_ns: f64,
+    /// Refresh cycle time (all-bank refresh duration).
+    pub t_rfc_ns: f64,
+    /// Average refresh interval.
+    pub t_refi_ns: f64,
+    /// Self-refresh exit latency.
+    pub t_xsr_ns: f64,
+    /// Burst length in data transfers per column access.
+    pub burst_length: u32,
+}
+
+impl TimingParams {
+    /// Representative LPDDR3 timings (Table 2-class device).
+    #[must_use]
+    pub fn lpddr3() -> Self {
+        Self {
+            t_cl_ns: 15.0,
+            t_rcd_ns: 18.0,
+            t_rp_ns: 18.0,
+            t_ras_ns: 42.0,
+            t_rfc_ns: 130.0,
+            t_refi_ns: 3_900.0,
+            t_xsr_ns: 140.0,
+            burst_length: 8,
+        }
+    }
+
+    /// Representative DDR4 timings for the sensitivity study.
+    #[must_use]
+    pub fn ddr4() -> Self {
+        Self {
+            t_cl_ns: 13.5,
+            t_rcd_ns: 13.5,
+            t_rp_ns: 13.5,
+            t_ras_ns: 33.0,
+            t_rfc_ns: 350.0,
+            t_refi_ns: 7_800.0,
+            t_xsr_ns: 170.0,
+            burst_length: 8,
+        }
+    }
+
+    /// Timings for a given device kind.
+    #[must_use]
+    pub fn for_kind(kind: DramKind) -> Self {
+        match kind {
+            DramKind::Lpddr3 => Self::lpddr3(),
+            DramKind::Ddr4 => Self::ddr4(),
+        }
+    }
+
+    /// Converts a nanosecond parameter to clock cycles at `freq` (DDR command
+    /// clock is half the data rate), rounding up as a real controller must.
+    #[must_use]
+    pub fn ns_to_cycles(ns: f64, freq: Freq) -> u32 {
+        let command_clock_hz = freq.as_hz() / 2.0;
+        // Guard against floating-point noise pushing an exact multiple (e.g.
+        // 15 ns at 0.8 GHz = 12.000000000000002 cycles) up an extra cycle.
+        ((ns * 1e-9 * command_clock_hz) - 1e-9).ceil() as u32
+    }
+
+    /// Time to transfer one burst (one cache line worth of data on a 64-bit
+    /// channel) at DDR data frequency `freq`.
+    #[must_use]
+    pub fn burst_time(&self, freq: Freq) -> SimTime {
+        SimTime::from_secs(self.burst_length as f64 / freq.as_hz())
+    }
+
+    /// Idle (unloaded, row-miss) access latency at DDR data frequency
+    /// `freq`: activate + CAS + burst transfer. Row-hit/row-miss mixing and
+    /// queuing are handled by the memory-controller model.
+    #[must_use]
+    pub fn idle_access_latency(&self, freq: Freq) -> SimTime {
+        SimTime::from_nanos(self.t_rcd_ns + self.t_cl_ns) + self.burst_time(freq)
+    }
+
+    /// Fraction of time the device is unavailable due to refresh:
+    /// `tRFC / tREFI`.
+    #[must_use]
+    pub fn refresh_overhead(&self) -> f64 {
+        self.t_rfc_ns / self.t_refi_ns
+    }
+
+    /// Self-refresh exit latency.
+    #[must_use]
+    pub fn self_refresh_exit(&self) -> SimTime {
+        SimTime::from_nanos(self.t_xsr_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_to_cycles_rounds_up() {
+        // 15 ns CAS at 1.6 GHz data rate = 0.8 GHz command clock -> 12 cycles.
+        assert_eq!(TimingParams::ns_to_cycles(15.0, Freq::from_ghz(1.6)), 12);
+        // At 1.066 GHz data rate -> 0.533 GHz command clock -> 8 cycles.
+        assert_eq!(TimingParams::ns_to_cycles(15.0, Freq::from_ghz(1.0666)), 8);
+        // Exact multiples do not round up an extra cycle.
+        assert_eq!(TimingParams::ns_to_cycles(10.0, Freq::from_ghz(1.6)), 8);
+    }
+
+    #[test]
+    fn cycle_counts_change_across_bins_but_ns_do_not() {
+        // This is precisely why MRC values must be reloaded per bin: the same
+        // analog constraint maps to a different register value.
+        let t = TimingParams::lpddr3();
+        let high = TimingParams::ns_to_cycles(t.t_rcd_ns, Freq::from_ghz(1.6));
+        let low = TimingParams::ns_to_cycles(t.t_rcd_ns, Freq::from_ghz(1.0666));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn idle_latency_increases_at_lower_frequency() {
+        let t = TimingParams::lpddr3();
+        let fast = t.idle_access_latency(Freq::from_ghz(1.6));
+        let slow = t.idle_access_latency(Freq::from_ghz(1.0666));
+        assert!(slow > fast);
+        // The difference is only the burst-transfer portion (a few ns).
+        let delta = slow - fast;
+        assert!(delta.as_nanos() > 0.0 && delta.as_nanos() < 10.0);
+    }
+
+    #[test]
+    fn burst_time_scales_inversely_with_frequency() {
+        let t = TimingParams::lpddr3();
+        let fast = t.burst_time(Freq::from_ghz(1.6));
+        let slow = t.burst_time(Freq::from_ghz(0.8));
+        assert!((slow.as_nanos() / fast.as_nanos() - 2.0).abs() < 1e-9);
+        assert!((fast.as_nanos() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_overhead_is_small_fraction() {
+        for kind in [DramKind::Lpddr3, DramKind::Ddr4] {
+            let t = TimingParams::for_kind(kind);
+            let overhead = t.refresh_overhead();
+            assert!(overhead > 0.0 && overhead < 0.1, "overhead {overhead}");
+        }
+    }
+
+    #[test]
+    fn self_refresh_exit_within_transition_budget() {
+        // Sec. 5 budgets <5 µs for self-refresh exit with fast relock; the raw
+        // device tXSR is far below that.
+        let t = TimingParams::lpddr3();
+        assert!(t.self_refresh_exit() < SimTime::from_micros(5.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = TimingParams::ddr4();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TimingParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,333 @@
+//! The primary scalable IO interconnect (the "SA fabric").
+//!
+//! IO controllers (display, ISP, storage, USB, ...) share the IO interconnect
+//! on their way to the memory controller (Fig. 1). The interconnect has its
+//! own clock, shares the `V_SA` rail with the memory controller — which is
+//! why the DVFS flow must scale both together — and supports *block and
+//! drain* so that a frequency change can happen with no requests in flight
+//! (Fig. 5 step 3, Sec. 5 requirement (1)).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
+
+/// Operational state of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricState {
+    /// Normal operation: requests flow.
+    Running,
+    /// Blocked for a DVFS transition: new requests are rejected and
+    /// outstanding ones have been drained.
+    Blocked,
+}
+
+/// Configuration of the IO interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricParams {
+    /// Data-path width in bytes transferred per fabric clock cycle.
+    pub bytes_per_cycle: f64,
+    /// Fraction of theoretical fabric throughput achievable by real traffic.
+    pub efficiency: f64,
+    /// Unloaded request traversal latency in fabric clock cycles.
+    pub base_latency_cycles: f64,
+    /// Strength of the queuing inflation, same form as the memory
+    /// controller's.
+    pub queuing_strength: f64,
+    /// Cap on the queuing inflation factor.
+    pub max_latency_factor: f64,
+    /// Outstanding-request buffer size (entries drained during block&drain).
+    pub request_buffer_entries: usize,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        Self {
+            bytes_per_cycle: 32.0,
+            efficiency: 0.85,
+            base_latency_cycles: 40.0,
+            queuing_strength: 0.5,
+            max_latency_factor: 5.0,
+            request_buffer_entries: 64,
+        }
+    }
+}
+
+impl FabricParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if a field is non-positive or an
+    /// efficiency/factor is out of range.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.bytes_per_cycle <= 0.0 {
+            return Err(SimError::invalid_config("fabric width must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.efficiency) || self.efficiency == 0.0 {
+            return Err(SimError::invalid_config("fabric efficiency must be in (0, 1]"));
+        }
+        if self.base_latency_cycles <= 0.0 || self.max_latency_factor < 1.0 {
+            return Err(SimError::invalid_config("fabric latency parameters out of range"));
+        }
+        if self.request_buffer_entries == 0 {
+            return Err(SimError::invalid_config("request buffer must hold at least one entry"));
+        }
+        Ok(())
+    }
+}
+
+/// Result of pushing one slice of IO traffic through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricOutcome {
+    /// Bandwidth actually carried towards the memory controller.
+    pub carried: Bandwidth,
+    /// Fabric utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Effective request traversal latency.
+    pub latency: SimTime,
+    /// Average IO read-pending-queue occupancy contributed by the fabric
+    /// (feeds the `IO_RPQ` counter).
+    pub rpq_occupancy: f64,
+}
+
+/// The IO interconnect model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoInterconnect {
+    params: FabricParams,
+    freq: Freq,
+    state: FabricState,
+    block_drain_count: u64,
+}
+
+impl IoInterconnect {
+    /// Creates an interconnect running at `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the parameters are invalid or
+    /// the frequency is zero.
+    pub fn new(params: FabricParams, freq: Freq) -> SimResult<Self> {
+        params.validate()?;
+        if freq.is_zero() {
+            return Err(SimError::invalid_config("fabric frequency must be non-zero"));
+        }
+        Ok(Self {
+            params,
+            freq,
+            state: FabricState::Running,
+            block_drain_count: 0,
+        })
+    }
+
+    /// The Skylake-like fabric at its nominal 0.8 GHz clock.
+    #[must_use]
+    pub fn skylake_default() -> Self {
+        Self::new(FabricParams::default(), Freq::from_ghz(0.8)).expect("default params are valid")
+    }
+
+    /// Current clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Freq {
+        self.freq
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> FabricState {
+        self.state
+    }
+
+    /// Number of block-and-drain operations performed.
+    #[must_use]
+    pub fn block_drain_count(&self) -> u64 {
+        self.block_drain_count
+    }
+
+    /// Read-only access to the parameters.
+    #[must_use]
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Peak sustainable bandwidth at the current frequency.
+    #[must_use]
+    pub fn sustainable_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(
+            self.params.bytes_per_cycle * self.freq.as_hz() * self.params.efficiency,
+        )
+    }
+
+    /// Blocks the interconnect and drains all outstanding requests
+    /// (Fig. 5 step 3). Returns the drain latency: the time for the request
+    /// buffer to empty at the current service rate. Idempotent — draining an
+    /// already blocked fabric costs nothing.
+    pub fn block_and_drain(&mut self) -> SimTime {
+        if self.state == FabricState::Blocked {
+            return SimTime::ZERO;
+        }
+        self.state = FabricState::Blocked;
+        self.block_drain_count += 1;
+        // Each buffered request is a cache-line-sized transfer.
+        let bytes = self.params.request_buffer_entries as f64 * 64.0;
+        let rate = self.sustainable_bandwidth().as_bytes_per_sec();
+        SimTime::from_secs(bytes / rate)
+    }
+
+    /// Releases the interconnect after a DVFS transition (Fig. 5 step 9).
+    pub fn release(&mut self) {
+        self.state = FabricState::Running;
+    }
+
+    /// Changes the fabric clock. Only legal while blocked.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fabric is running or the frequency is zero.
+    pub fn set_frequency(&mut self, freq: Freq) -> SimResult<()> {
+        if self.state != FabricState::Blocked {
+            return Err(SimError::invalid_config(
+                "io interconnect frequency can only change while blocked",
+            ));
+        }
+        if freq.is_zero() {
+            return Err(SimError::invalid_config("fabric frequency must be non-zero"));
+        }
+        self.freq = freq;
+        Ok(())
+    }
+
+    /// Carries one slice of IO traffic (demand towards memory) through the
+    /// fabric. A blocked fabric carries nothing.
+    #[must_use]
+    pub fn carry(&self, demand: Bandwidth) -> FabricOutcome {
+        if self.state == FabricState::Blocked {
+            return FabricOutcome {
+                carried: Bandwidth::ZERO,
+                utilization: 0.0,
+                latency: SimTime::ZERO,
+                rpq_occupancy: self.params.request_buffer_entries as f64,
+            };
+        }
+        let sustainable = self.sustainable_bandwidth();
+        let carried = demand.min(sustainable);
+        let utilization = if sustainable.is_zero() {
+            1.0
+        } else {
+            (carried / sustainable).clamp(0.0, 1.0)
+        };
+        let rho = utilization.min(0.995);
+        let factor = (1.0 + self.params.queuing_strength * rho / (1.0 - rho))
+            .min(self.params.max_latency_factor);
+        let base = SimTime::from_secs(self.params.base_latency_cycles / self.freq.as_hz());
+        let latency = base * factor;
+        let rpq = (carried.as_bytes_per_sec() / 64.0 * latency.as_secs())
+            .min(self.params.request_buffer_entries as f64);
+        FabricOutcome {
+            carried,
+            utilization,
+            latency,
+            rpq_occupancy: rpq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustainable_bandwidth_scales_with_frequency() {
+        let hi = IoInterconnect::skylake_default();
+        let mut lo = IoInterconnect::skylake_default();
+        lo.block_and_drain();
+        lo.set_frequency(Freq::from_ghz(0.4)).unwrap();
+        lo.release();
+        assert!(
+            (hi.sustainable_bandwidth().as_bytes_per_sec()
+                / lo.sustainable_bandwidth().as_bytes_per_sec()
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn fabric_at_0_8ghz_covers_lpddr3_peak() {
+        // The fabric must not be the bottleneck for the 25.6 GB/s DRAM peak at
+        // the high operating point.
+        let fabric = IoInterconnect::skylake_default();
+        assert!(fabric.sustainable_bandwidth() > Bandwidth::from_gib_s(20.0));
+    }
+
+    #[test]
+    fn frequency_change_requires_block_and_drain() {
+        let mut fabric = IoInterconnect::skylake_default();
+        assert!(fabric.set_frequency(Freq::from_ghz(0.4)).is_err());
+        let drain = fabric.block_and_drain();
+        assert!(drain > SimTime::ZERO);
+        assert!(drain < SimTime::from_micros(1.0), "drain within Sec. 5 budget");
+        assert_eq!(fabric.state(), FabricState::Blocked);
+        // Second drain is free.
+        assert_eq!(fabric.block_and_drain(), SimTime::ZERO);
+        assert_eq!(fabric.block_drain_count(), 1);
+        fabric.set_frequency(Freq::from_ghz(0.4)).unwrap();
+        fabric.release();
+        assert_eq!(fabric.state(), FabricState::Running);
+        assert!((fabric.frequency().as_ghz() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_fabric_carries_nothing() {
+        let mut fabric = IoInterconnect::skylake_default();
+        fabric.block_and_drain();
+        let out = fabric.carry(Bandwidth::from_gib_s(4.0));
+        assert_eq!(out.carried, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn carry_saturates_and_inflates_latency() {
+        let fabric = IoInterconnect::skylake_default();
+        let light = fabric.carry(Bandwidth::from_gib_s(1.0));
+        let heavy = fabric.carry(Bandwidth::from_gib_s(100.0));
+        assert!((light.carried.as_gib_s() - 1.0).abs() < 1e-9);
+        assert!(heavy.carried < Bandwidth::from_gib_s(100.0));
+        assert!(heavy.utilization > 0.99);
+        assert!(heavy.latency > light.latency);
+        assert!(heavy.rpq_occupancy > light.rpq_occupancy);
+    }
+
+    #[test]
+    fn lower_frequency_raises_latency_for_same_demand() {
+        let hi = IoInterconnect::skylake_default();
+        let mut lo = IoInterconnect::skylake_default();
+        lo.block_and_drain();
+        lo.set_frequency(Freq::from_ghz(0.4)).unwrap();
+        lo.release();
+        let demand = Bandwidth::from_gib_s(6.0);
+        assert!(lo.carry(demand).latency > hi.carry(demand).latency);
+        assert!(lo.carry(demand).utilization > hi.carry(demand).utilization);
+    }
+
+    #[test]
+    fn params_validation() {
+        let mut p = FabricParams::default();
+        assert!(p.validate().is_ok());
+        p.efficiency = 0.0;
+        assert!(IoInterconnect::new(p, Freq::from_ghz(0.8)).is_err());
+        let mut q = FabricParams::default();
+        q.bytes_per_cycle = -1.0;
+        assert!(q.validate().is_err());
+        let mut r = FabricParams::default();
+        r.request_buffer_entries = 0;
+        assert!(r.validate().is_err());
+        assert!(IoInterconnect::new(FabricParams::default(), Freq::ZERO).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fabric = IoInterconnect::skylake_default();
+        let json = serde_json::to_string(&fabric).unwrap();
+        let back: IoInterconnect = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fabric);
+    }
+}

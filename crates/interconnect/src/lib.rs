@@ -1,0 +1,33 @@
+//! # sysscale-interconnect
+//!
+//! The IO interconnect (SA fabric) model for the SysScale simulator:
+//! bandwidth/latency behaviour as a function of the fabric clock, the
+//! block-and-drain state machine required by the DVFS transition flow, and
+//! the `V_SA`-rail power model of the fabric and its attached IO engines.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_interconnect::IoInterconnect;
+//! use sysscale_types::{Bandwidth, Freq};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut fabric = IoInterconnect::skylake_default();
+//! let drain = fabric.block_and_drain();
+//! fabric.set_frequency(Freq::from_ghz(0.4))?;
+//! fabric.release();
+//! assert!(drain.as_micros() < 1.0);
+//! assert!(fabric.carry(Bandwidth::from_gib_s(2.0)).carried > Bandwidth::ZERO);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod fabric;
+mod power;
+
+pub use fabric::{FabricOutcome, FabricParams, FabricState, IoInterconnect};
+pub use power::{InterconnectPowerModel, InterconnectPowerParams};

@@ -1,0 +1,124 @@
+//! Power model of the IO interconnect and the miscellaneous IO
+//! engines/controllers that share the `V_SA` rail.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Freq, Power, Voltage};
+
+/// Calibration constants for the interconnect power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectPowerParams {
+    /// Reference fabric frequency.
+    pub nominal_freq: Freq,
+    /// Reference `V_SA` voltage.
+    pub nominal_voltage: Voltage,
+    /// Dynamic power at nominal voltage/frequency and full utilization, watts.
+    pub dynamic_w_at_nominal: f64,
+    /// Activity floor (clock tree, idle arbitration).
+    pub idle_activity: f64,
+    /// Leakage power at nominal voltage, watts.
+    pub leakage_w_at_nominal: f64,
+    /// Fixed power of the always-on IO engines/controllers attached to the
+    /// fabric (per active engine the IO-device models add their own demand;
+    /// this is the shared glue), watts at nominal voltage.
+    pub io_engines_w_at_nominal: f64,
+}
+
+impl Default for InterconnectPowerParams {
+    fn default() -> Self {
+        Self {
+            nominal_freq: Freq::from_ghz(0.8),
+            nominal_voltage: Voltage::from_mv(800.0),
+            dynamic_w_at_nominal: 0.200,
+            idle_activity: 0.25,
+            leakage_w_at_nominal: 0.060,
+            io_engines_w_at_nominal: 0.080,
+        }
+    }
+}
+
+/// Power model of the IO interconnect (on `V_SA`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterconnectPowerModel {
+    params: InterconnectPowerParams,
+}
+
+impl InterconnectPowerModel {
+    /// Creates a model from calibration parameters.
+    #[must_use]
+    pub fn new(params: InterconnectPowerParams) -> Self {
+        Self { params }
+    }
+
+    /// Read-only access to the calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &InterconnectPowerParams {
+        &self.params
+    }
+
+    /// Average power at fabric frequency `freq`, rail voltage `v_sa`, and
+    /// fabric utilization in `[0, 1]`.
+    #[must_use]
+    pub fn power(&self, freq: Freq, v_sa: Voltage, utilization: f64) -> Power {
+        let p = &self.params;
+        let u = utilization.clamp(0.0, 1.0);
+        let activity = p.idle_activity + (1.0 - p.idle_activity) * u;
+        let v_ratio = v_sa.as_volts() / p.nominal_voltage.as_volts();
+        let v_sq = v_ratio * v_ratio;
+        let f_ratio = freq.ratio(p.nominal_freq);
+        let dynamic = p.dynamic_w_at_nominal * v_sq * f_ratio * activity;
+        let engines = p.io_engines_w_at_nominal * v_sq;
+        let leakage = p.leakage_w_at_nominal * v_ratio.powi(3);
+        Power::from_watts(dynamic + engines + leakage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinated_vf_scaling_gives_large_savings() {
+        // Scaling the fabric 0.8 -> 0.4 GHz with V_SA at 0.8x nominal should
+        // save well over a third of the interconnect power (part of the ~10%
+        // SoC-level saving in Fig. 2a).
+        let m = InterconnectPowerModel::default();
+        let hi = m.power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), 0.4);
+        let lo = m.power(Freq::from_ghz(0.4), Voltage::from_mv(640.0), 0.4);
+        assert!(lo.as_watts() < 0.65 * hi.as_watts(), "hi {hi}, lo {lo}");
+    }
+
+    #[test]
+    fn power_monotonic_in_each_knob() {
+        let m = InterconnectPowerModel::default();
+        let f = Freq::from_ghz(0.8);
+        let v = Voltage::from_mv(800.0);
+        assert!(m.power(f, v, 0.9) > m.power(f, v, 0.1));
+        assert!(m.power(f, Voltage::from_mv(850.0), 0.5) > m.power(f, v, 0.5));
+        assert!(m.power(Freq::from_ghz(0.9), v, 0.5) > m.power(Freq::from_ghz(0.7), v, 0.5));
+    }
+
+    #[test]
+    fn idle_fabric_still_draws_floor_power() {
+        let m = InterconnectPowerModel::default();
+        let idle = m.power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), 0.0);
+        assert!(idle.as_watts() > 0.1);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let m = InterconnectPowerModel::default();
+        let f = Freq::from_ghz(0.8);
+        let v = Voltage::from_mv(800.0);
+        assert_eq!(m.power(f, v, 1.7), m.power(f, v, 1.0));
+        assert_eq!(m.power(f, v, -0.3), m.power(f, v, 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = InterconnectPowerModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: InterconnectPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

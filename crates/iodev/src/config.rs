@@ -1,0 +1,169 @@
+//! Peripheral configuration snapshot (the CSR view the PMU firmware reads).
+//!
+//! SysScale's static demand estimation (Sec. 4.2) reads the control and
+//! status registers of the peripherals — number of active displays and their
+//! resolution/refresh, camera mode, other active IO — and looks the
+//! configuration up in a firmware table of deterministic bandwidth demands.
+//! [`PeripheralConfig`] is that CSR snapshot.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Power, Voltage};
+
+use crate::display::DisplayController;
+use crate::isp::IspEngine;
+
+/// Miscellaneous best-effort IO activity level (storage, USB, network,
+/// audio). Modelled as a coarse CSR-visible level because the paper's IO
+/// demand prediction only needs its bandwidth contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IoActivity {
+    /// No best-effort IO.
+    #[default]
+    Idle,
+    /// Background activity (audio playback, light networking).
+    Light,
+    /// Sustained transfers (file copy, camera encode to storage).
+    Heavy,
+}
+
+impl IoActivity {
+    /// Best-effort bandwidth demand of the level.
+    #[must_use]
+    pub fn bandwidth_demand(self) -> Bandwidth {
+        match self {
+            IoActivity::Idle => Bandwidth::ZERO,
+            IoActivity::Light => Bandwidth::from_mib_s(150.0),
+            IoActivity::Heavy => Bandwidth::from_mib_s(900.0),
+        }
+    }
+
+    /// Controller power of the level at nominal `V_SA`.
+    #[must_use]
+    pub fn controller_power_w(self) -> f64 {
+        match self {
+            IoActivity::Idle => 0.010,
+            IoActivity::Light => 0.045,
+            IoActivity::Heavy => 0.120,
+        }
+    }
+}
+
+/// The CSR-visible peripheral configuration of the platform.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PeripheralConfig {
+    /// Display controller and its attached panels.
+    pub display: DisplayController,
+    /// ISP / camera engine.
+    pub isp: IspEngine,
+    /// Miscellaneous best-effort IO activity.
+    pub io_activity: IoActivity,
+}
+
+impl PeripheralConfig {
+    /// A platform with one HD panel and no camera — the battery-life
+    /// evaluation configuration (Sec. 7.3).
+    #[must_use]
+    pub fn single_hd_display() -> Self {
+        Self {
+            display: DisplayController::single_hd(),
+            ..Self::default()
+        }
+    }
+
+    /// Total *isochronous* bandwidth demand (display + ISP): traffic that
+    /// must be served within its deadline.
+    #[must_use]
+    pub fn isochronous_demand(&self) -> Bandwidth {
+        self.display.bandwidth_demand() + self.isp.bandwidth_demand()
+    }
+
+    /// Total best-effort IO bandwidth demand.
+    #[must_use]
+    pub fn best_effort_demand(&self) -> Bandwidth {
+        self.io_activity.bandwidth_demand()
+    }
+
+    /// Total static bandwidth demand of the peripherals (isochronous plus
+    /// best effort) — the quantity SysScale's firmware table maps the CSR
+    /// configuration to.
+    #[must_use]
+    pub fn static_demand(&self) -> Bandwidth {
+        self.isochronous_demand() + self.best_effort_demand()
+    }
+
+    /// Total IO-engine power (display controller + ISP + other controllers)
+    /// at rail voltage `v_sa`.
+    #[must_use]
+    pub fn engine_power(&self, v_sa: Voltage) -> Power {
+        let v_ratio = v_sa.as_volts() / 0.8;
+        self.display.power(v_sa)
+            + self.isp.power(v_sa)
+            + Power::from_watts(self.io_activity.controller_power_w() * v_ratio * v_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::{DisplayPanel, Resolution};
+    use crate::isp::IspMode;
+
+    #[test]
+    fn default_config_is_idle() {
+        let cfg = PeripheralConfig::default();
+        assert_eq!(cfg.isochronous_demand(), Bandwidth::ZERO);
+        assert_eq!(cfg.best_effort_demand(), Bandwidth::ZERO);
+        assert_eq!(cfg.static_demand(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn single_hd_display_config_matches_battery_life_setup() {
+        let cfg = PeripheralConfig::single_hd_display();
+        assert_eq!(cfg.display.active_panels(), 1);
+        let frac = cfg.static_demand().as_bytes_per_sec() / 25.6e9;
+        assert!((0.1..=0.25).contains(&frac));
+    }
+
+    #[test]
+    fn static_demand_sums_all_sources() {
+        let mut cfg = PeripheralConfig::single_hd_display();
+        cfg.isp.set_mode(IspMode::Capture1080p30);
+        cfg.io_activity = IoActivity::Light;
+        let total = cfg.static_demand();
+        let expected =
+            cfg.display.bandwidth_demand() + cfg.isp.bandwidth_demand() + IoActivity::Light.bandwidth_demand();
+        assert!((total.as_bytes_per_sec() - expected.as_bytes_per_sec()).abs() < 1.0);
+        assert!(cfg.isochronous_demand() < total);
+    }
+
+    #[test]
+    fn io_activity_levels_are_ordered() {
+        assert!(IoActivity::Heavy.bandwidth_demand() > IoActivity::Light.bandwidth_demand());
+        assert!(IoActivity::Light.bandwidth_demand() > IoActivity::Idle.bandwidth_demand());
+        assert!(IoActivity::Heavy.controller_power_w() > IoActivity::Idle.controller_power_w());
+    }
+
+    #[test]
+    fn engine_power_scales_with_voltage_and_configuration() {
+        let mut cfg = PeripheralConfig::single_hd_display();
+        let base = cfg.engine_power(Voltage::from_mv(800.0));
+        let scaled = cfg.engine_power(Voltage::from_mv(640.0));
+        assert!(scaled < base);
+        cfg.display
+            .attach(DisplayPanel::at_60hz(Resolution::Uhd4k))
+            .unwrap();
+        cfg.isp.set_mode(IspMode::Capture4k30);
+        cfg.io_activity = IoActivity::Heavy;
+        assert!(cfg.engine_power(Voltage::from_mv(800.0)) > base);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut cfg = PeripheralConfig::single_hd_display();
+        cfg.io_activity = IoActivity::Heavy;
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PeripheralConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,302 @@
+//! Display controller model.
+//!
+//! The display engine produces *isochronous* memory traffic: every refresh
+//! period the full frame must be fetched (and composed) or the panel
+//! underruns, which is a hard QoS violation (Sec. 1). Its bandwidth demand is
+//! *static*: it depends only on the panel configuration exposed through CSRs
+//! (number of active panels, resolution, refresh rate — Sec. 4.2), not on the
+//! running workload. Modern laptops support up to three panels.
+//!
+//! Fig. 3(b) of the paper reports that a single HD panel consumes ≈17 % of
+//! the 25.6 GB/s dual-channel LPDDR3 peak while a single 4K panel consumes
+//! ≈70 %; the default composition factor below reproduces those fractions.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Power, SimError, SimResult, Voltage};
+
+/// Maximum number of display panels a mobile SoC drives (Sec. 4.2).
+pub const MAX_PANELS: usize = 3;
+
+/// Display panel resolution classes used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resolution {
+    /// 1366×768 ("HD", typical laptop panel of the era).
+    Hd,
+    /// 1920×1080 ("Full HD").
+    FullHd,
+    /// 2560×1440 ("QHD").
+    Qhd,
+    /// 3840×2160 ("4K UHD", the highest supported quality in the evaluated
+    /// system).
+    Uhd4k,
+}
+
+impl Resolution {
+    /// Pixel dimensions `(width, height)`.
+    #[must_use]
+    pub fn dimensions(self) -> (u32, u32) {
+        match self {
+            Resolution::Hd => (1366, 768),
+            Resolution::FullHd => (1920, 1080),
+            Resolution::Qhd => (2560, 1440),
+            Resolution::Uhd4k => (3840, 2160),
+        }
+    }
+
+    /// Total pixels per frame.
+    #[must_use]
+    pub fn pixels(self) -> u64 {
+        let (w, h) = self.dimensions();
+        u64::from(w) * u64::from(h)
+    }
+}
+
+/// One active display panel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisplayPanel {
+    /// Panel resolution.
+    pub resolution: Resolution,
+    /// Refresh rate in hertz.
+    pub refresh_hz: f64,
+}
+
+impl DisplayPanel {
+    /// A 60 Hz panel at the given resolution.
+    #[must_use]
+    pub fn at_60hz(resolution: Resolution) -> Self {
+        Self {
+            resolution,
+            refresh_hz: 60.0,
+        }
+    }
+}
+
+/// Calibration parameters of the display-engine model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisplayParams {
+    /// Bytes per pixel of the scan-out surface (ARGB8888).
+    pub bytes_per_pixel: f64,
+    /// Memory-traffic amplification over the raw scan-out stream: plane
+    /// composition reads, write-back of composed frames, cursor/overlay
+    /// planes, and scaler line buffers. Chosen so a single HD panel lands at
+    /// ≈17 % and a single 4K panel at ≈70 % of the LPDDR3-1600 peak
+    /// (Fig. 3(b)).
+    pub composition_factor: f64,
+    /// Controller power when at least one panel is active, at nominal `V_SA`,
+    /// in watts (panel backlight power is off-SoC and not modelled).
+    pub active_power_w: f64,
+    /// Additional controller power per active panel beyond the first, watts.
+    pub per_extra_panel_w: f64,
+}
+
+impl Default for DisplayParams {
+    fn default() -> Self {
+        Self {
+            bytes_per_pixel: 4.0,
+            composition_factor: 8.5,
+            active_power_w: 0.110,
+            per_extra_panel_w: 0.045,
+        }
+    }
+}
+
+/// The display controller with its attached panels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisplayController {
+    params: DisplayParams,
+    panels: Vec<DisplayPanel>,
+}
+
+impl Default for DisplayController {
+    fn default() -> Self {
+        Self::new(DisplayParams::default())
+    }
+}
+
+impl DisplayController {
+    /// Creates a controller with no panels attached.
+    #[must_use]
+    pub fn new(params: DisplayParams) -> Self {
+        Self {
+            params,
+            panels: Vec::new(),
+        }
+    }
+
+    /// The single-HD-panel configuration used for the battery-life
+    /// evaluation (Sec. 7.3: "a single HD display panel ... is active").
+    /// The paper's "HD" laptop panel is a 1080p/60 Hz panel, which lands at
+    /// the ≈17 %-of-peak demand reported in Fig. 3(b).
+    #[must_use]
+    pub fn single_hd() -> Self {
+        let mut c = Self::default();
+        c.attach(DisplayPanel::at_60hz(Resolution::FullHd))
+            .expect("one panel always fits");
+        c
+    }
+
+    /// Attaches a panel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if [`MAX_PANELS`] panels are
+    /// already attached or the refresh rate is not positive.
+    pub fn attach(&mut self, panel: DisplayPanel) -> SimResult<()> {
+        if self.panels.len() >= MAX_PANELS {
+            return Err(SimError::invalid_config(format!(
+                "at most {MAX_PANELS} display panels are supported"
+            )));
+        }
+        if panel.refresh_hz <= 0.0 {
+            return Err(SimError::invalid_config("panel refresh rate must be positive"));
+        }
+        self.panels.push(panel);
+        Ok(())
+    }
+
+    /// Detaches all panels (display off / panel self-refresh).
+    pub fn detach_all(&mut self) {
+        self.panels.clear();
+    }
+
+    /// Currently attached panels.
+    #[must_use]
+    pub fn panels(&self) -> &[DisplayPanel] {
+        &self.panels
+    }
+
+    /// Number of active panels.
+    #[must_use]
+    pub fn active_panels(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Isochronous memory-bandwidth demand of the current configuration.
+    /// This is the *static* demand the CSR-driven table in SysScale's
+    /// predictor uses (Sec. 4.2) — deterministic given the configuration.
+    #[must_use]
+    pub fn bandwidth_demand(&self) -> Bandwidth {
+        let p = &self.params;
+        let total: f64 = self
+            .panels
+            .iter()
+            .map(|panel| {
+                panel.resolution.pixels() as f64
+                    * p.bytes_per_pixel
+                    * panel.refresh_hz
+                    * p.composition_factor
+            })
+            .sum();
+        Bandwidth::from_bytes_per_sec(total)
+    }
+
+    /// Display-controller power at rail voltage `v_sa` relative to 0.8 V
+    /// nominal. Zero when no panel is active (the engine is power-gated).
+    #[must_use]
+    pub fn power(&self, v_sa: Voltage) -> Power {
+        if self.panels.is_empty() {
+            return Power::ZERO;
+        }
+        let v_ratio = v_sa.as_volts() / 0.8;
+        let extra = (self.panels.len() - 1) as f64 * self.params.per_extra_panel_w;
+        Power::from_watts((self.params.active_power_w + extra) * v_ratio * v_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LPDDR3_PEAK_GB_S: f64 = 25.6e9;
+
+    fn demand_fraction(controller: &DisplayController) -> f64 {
+        controller.bandwidth_demand().as_bytes_per_sec() / LPDDR3_PEAK_GB_S
+    }
+
+    #[test]
+    fn hd_panel_consumes_about_17_percent_of_peak() {
+        let c = DisplayController::single_hd();
+        let frac = demand_fraction(&c);
+        assert!((0.12..=0.22).contains(&frac), "HD fraction {frac}");
+        // A low-end 1366x768 panel demands less than the paper's HD panel.
+        let mut low = DisplayController::default();
+        low.attach(DisplayPanel::at_60hz(Resolution::Hd)).unwrap();
+        assert!(demand_fraction(&low) < frac);
+    }
+
+    #[test]
+    fn single_4k_panel_consumes_about_70_percent_of_peak() {
+        let mut c = DisplayController::default();
+        c.attach(DisplayPanel::at_60hz(Resolution::Uhd4k)).unwrap();
+        let frac = demand_fraction(&c);
+        assert!((0.6..=0.8).contains(&frac), "4K fraction {frac}");
+    }
+
+    #[test]
+    fn three_panels_triple_the_demand() {
+        // Sec. 4.2: three identical panels demand nearly three times the
+        // bandwidth of one.
+        let mut one = DisplayController::default();
+        one.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+        let mut three = DisplayController::default();
+        for _ in 0..3 {
+            three.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+        }
+        let ratio = three.bandwidth_demand() / one.bandwidth_demand();
+        assert!((ratio - 3.0).abs() < 1e-9);
+        assert_eq!(three.active_panels(), 3);
+    }
+
+    #[test]
+    fn panel_limit_is_enforced() {
+        let mut c = DisplayController::default();
+        for _ in 0..MAX_PANELS {
+            c.attach(DisplayPanel::at_60hz(Resolution::Hd)).unwrap();
+        }
+        assert!(c.attach(DisplayPanel::at_60hz(Resolution::Hd)).is_err());
+        c.detach_all();
+        assert_eq!(c.active_panels(), 0);
+        assert_eq!(c.bandwidth_demand(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn invalid_refresh_rejected() {
+        let mut c = DisplayController::default();
+        let bad = DisplayPanel {
+            resolution: Resolution::Hd,
+            refresh_hz: 0.0,
+        };
+        assert!(c.attach(bad).is_err());
+    }
+
+    #[test]
+    fn power_gated_when_idle_and_scales_with_voltage() {
+        let mut c = DisplayController::default();
+        assert_eq!(c.power(Voltage::from_mv(800.0)), Power::ZERO);
+        c.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+        let nominal = c.power(Voltage::from_mv(800.0));
+        let reduced = c.power(Voltage::from_mv(640.0));
+        assert!(nominal > Power::ZERO);
+        assert!(reduced < nominal);
+        c.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+        assert!(c.power(Voltage::from_mv(800.0)) > nominal);
+    }
+
+    #[test]
+    fn resolution_helpers() {
+        assert_eq!(Resolution::Uhd4k.dimensions(), (3840, 2160));
+        assert_eq!(Resolution::FullHd.pixels(), 1920 * 1080);
+        assert!(Resolution::Uhd4k.pixels() > Resolution::Qhd.pixels());
+        assert!(Resolution::Qhd.pixels() > Resolution::FullHd.pixels());
+        assert!(Resolution::FullHd.pixels() > Resolution::Hd.pixels());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DisplayController::single_hd();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DisplayController = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,174 @@
+//! Image-signal-processing (ISP / camera) engine model.
+//!
+//! Like the display engine, the ISP produces isochronous traffic whose
+//! bandwidth demand is determined purely by its CSR configuration (sensor
+//! resolution and frame rate), which makes it part of the *static* demand
+//! estimation of Sec. 4.2.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, Power, Voltage};
+
+/// Camera capture mode driving the ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IspMode {
+    /// Camera off (engine power-gated).
+    #[default]
+    Off,
+    /// 720p at 30 FPS (video-conferencing front camera).
+    Capture720p30,
+    /// 1080p at 30 FPS.
+    Capture1080p30,
+    /// 1080p at 60 FPS.
+    Capture1080p60,
+    /// 4K at 30 FPS (the heaviest configuration of Fig. 3(b)).
+    Capture4k30,
+}
+
+impl IspMode {
+    /// `(pixels per frame, frames per second)` of the mode, zero when off.
+    #[must_use]
+    pub fn pixel_rate(self) -> (u64, f64) {
+        match self {
+            IspMode::Off => (0, 0.0),
+            IspMode::Capture720p30 => (1280 * 720, 30.0),
+            IspMode::Capture1080p30 => (1920 * 1080, 30.0),
+            IspMode::Capture1080p60 => (1920 * 1080, 60.0),
+            IspMode::Capture4k30 => (3840 * 2160, 30.0),
+        }
+    }
+}
+
+/// Calibration parameters of the ISP model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspParams {
+    /// Bytes per pixel of the raw sensor stream.
+    pub bytes_per_pixel: f64,
+    /// Memory-traffic amplification across the processing pipeline stages
+    /// (raw write, demosaic read/write, noise-reduction reference frames,
+    /// scaled outputs).
+    pub pipeline_factor: f64,
+    /// Engine power when capturing, at nominal `V_SA`, watts.
+    pub active_power_w: f64,
+}
+
+impl Default for IspParams {
+    fn default() -> Self {
+        Self {
+            bytes_per_pixel: 2.0,
+            pipeline_factor: 6.0,
+            active_power_w: 0.130,
+        }
+    }
+}
+
+/// The ISP engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IspEngine {
+    params: IspParams,
+    mode: IspMode,
+}
+
+impl IspEngine {
+    /// Creates an engine (off) with the given parameters.
+    #[must_use]
+    pub fn new(params: IspParams) -> Self {
+        Self {
+            params,
+            mode: IspMode::Off,
+        }
+    }
+
+    /// Sets the capture mode (CSR write by the camera driver).
+    pub fn set_mode(&mut self, mode: IspMode) {
+        self.mode = mode;
+    }
+
+    /// Current capture mode.
+    #[must_use]
+    pub fn mode(&self) -> IspMode {
+        self.mode
+    }
+
+    /// Isochronous memory-bandwidth demand of the current mode.
+    #[must_use]
+    pub fn bandwidth_demand(&self) -> Bandwidth {
+        let (pixels, fps) = self.mode.pixel_rate();
+        Bandwidth::from_bytes_per_sec(
+            pixels as f64 * fps * self.params.bytes_per_pixel * self.params.pipeline_factor,
+        )
+    }
+
+    /// Engine power at rail voltage `v_sa` (nominal 0.8 V). Zero when off.
+    #[must_use]
+    pub fn power(&self, v_sa: Voltage) -> Power {
+        if self.mode == IspMode::Off {
+            return Power::ZERO;
+        }
+        let v_ratio = v_sa.as_volts() / 0.8;
+        let (pixels, fps) = self.mode.pixel_rate();
+        // Power scales weakly with pixel rate around the 1080p30 reference.
+        let rate_scale = (pixels as f64 * fps / (1920.0 * 1080.0 * 30.0)).sqrt();
+        Power::from_watts(self.params.active_power_w * rate_scale * v_ratio * v_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_engine_demands_nothing() {
+        let isp = IspEngine::default();
+        assert_eq!(isp.mode(), IspMode::Off);
+        assert_eq!(isp.bandwidth_demand(), Bandwidth::ZERO);
+        assert_eq!(isp.power(Voltage::from_mv(800.0)), Power::ZERO);
+    }
+
+    #[test]
+    fn heavier_modes_demand_more_bandwidth_and_power() {
+        let mut isp = IspEngine::default();
+        let modes = [
+            IspMode::Capture720p30,
+            IspMode::Capture1080p30,
+            IspMode::Capture1080p60,
+            IspMode::Capture4k30,
+        ];
+        let mut last_bw = Bandwidth::ZERO;
+        let mut last_p = Power::ZERO;
+        for m in modes {
+            isp.set_mode(m);
+            let bw = isp.bandwidth_demand();
+            let p = isp.power(Voltage::from_mv(800.0));
+            assert!(bw > last_bw, "{m:?}");
+            assert!(p > last_p, "{m:?}");
+            last_bw = bw;
+            last_p = p;
+        }
+    }
+
+    #[test]
+    fn demand_is_modest_relative_to_dram_peak() {
+        // Fig. 3(b): the ISP demand is visible but well below the display's.
+        let mut isp = IspEngine::default();
+        isp.set_mode(IspMode::Capture4k30);
+        let frac = isp.bandwidth_demand().as_bytes_per_sec() / 25.6e9;
+        assert!(frac > 0.05 && frac < 0.25, "4K30 ISP fraction {frac}");
+    }
+
+    #[test]
+    fn power_scales_with_rail_voltage() {
+        let mut isp = IspEngine::default();
+        isp.set_mode(IspMode::Capture1080p30);
+        assert!(isp.power(Voltage::from_mv(640.0)) < isp.power(Voltage::from_mv(800.0)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut isp = IspEngine::default();
+        isp.set_mode(IspMode::Capture1080p60);
+        let json = serde_json::to_string(&isp).unwrap();
+        let back: IspEngine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, isp);
+    }
+}

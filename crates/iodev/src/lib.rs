@@ -1,0 +1,33 @@
+//! # sysscale-iodev
+//!
+//! IO-device models for the SysScale simulator: the display controller and
+//! ISP (camera) engine whose isochronous bandwidth demand is determined by
+//! their CSR configuration, plus a coarse model of other best-effort IO.
+//! These are the sources of the *static* performance demand SysScale's
+//! predictor estimates from configuration registers (Sec. 4.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_iodev::{DisplayPanel, PeripheralConfig, Resolution};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = PeripheralConfig::single_hd_display();
+//! cfg.display.attach(DisplayPanel::at_60hz(Resolution::Uhd4k))?;
+//! // Adding a 4K panel pushes the static demand well past half the LPDDR3 peak.
+//! assert!(cfg.static_demand().as_bytes_per_sec() > 0.5 * 25.6e9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod display;
+mod isp;
+
+pub use config::{IoActivity, PeripheralConfig};
+pub use display::{DisplayController, DisplayPanel, DisplayParams, Resolution, MAX_PANELS};
+pub use isp::{IspEngine, IspMode, IspParams};

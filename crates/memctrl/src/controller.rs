@@ -1,0 +1,356 @@
+//! Memory-controller service model: bandwidth allocation, queuing latency,
+//! and the performance counters the PMU samples.
+//!
+//! The controller is modelled analytically per slice. Isochronous traffic is
+//! served first (it carries QoS deadlines — Sec. 1 and the DASH-style
+//! schedulers the paper cites); the remaining bus capacity is shared
+//! proportionally among CPU, graphics, and best-effort IO demand. The
+//! effective access latency seen by the cores follows an M/M/1-style queuing
+//! inflation of the unloaded DRAM latency, which is how reducing DRAM
+//! frequency "increases the queuing delays at the memory controller"
+//! (Sec. 2.4).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Bandwidth, SimError, SimResult, SimTime};
+
+use crate::traffic::{ServedTraffic, TrafficDemand};
+
+/// Tunable parameters of the service model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryControllerParams {
+    /// Fraction of the theoretical peak bandwidth achievable by real request
+    /// streams (bank conflicts, read/write turnarounds, refresh). Typical
+    /// controllers sustain 70–90 %.
+    pub bus_efficiency: f64,
+    /// Strength of the queuing-latency inflation: `latency = idle × (1 +
+    /// strength × ρ / (1 − ρ))` with ρ the bus utilization.
+    pub queuing_strength: f64,
+    /// Cap on the queuing inflation factor so saturated slices stay finite.
+    pub max_latency_factor: f64,
+    /// Depth of the read-pending queue used to report RPQ occupancy.
+    pub read_pending_queue_depth: usize,
+}
+
+impl Default for MemoryControllerParams {
+    fn default() -> Self {
+        Self {
+            bus_efficiency: 0.82,
+            queuing_strength: 0.55,
+            max_latency_factor: 6.0,
+            read_pending_queue_depth: 32,
+        }
+    }
+}
+
+impl MemoryControllerParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if efficiencies or factors are out
+    /// of range.
+    pub fn validate(&self) -> SimResult<()> {
+        if !(0.0..=1.0).contains(&self.bus_efficiency) || self.bus_efficiency == 0.0 {
+            return Err(SimError::invalid_config("bus efficiency must be in (0, 1]"));
+        }
+        if self.queuing_strength < 0.0 {
+            return Err(SimError::invalid_config("queuing strength must be non-negative"));
+        }
+        if self.max_latency_factor < 1.0 {
+            return Err(SimError::invalid_config("max latency factor must be at least 1"));
+        }
+        if self.read_pending_queue_depth == 0 {
+            return Err(SimError::invalid_config("rpq depth must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of serving one slice of traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOutcome {
+    /// Bandwidth served per class.
+    pub served: ServedTraffic,
+    /// Sustainable bandwidth of the interface for this slice (peak ×
+    /// efficiency).
+    pub sustainable: Bandwidth,
+    /// Bus utilization ρ in `[0, 1]`.
+    pub utilization: f64,
+    /// Effective (queuing-inflated) access latency seen by a blocking miss.
+    pub effective_latency: SimTime,
+    /// Average read-pending-queue occupancy (entries), the `IO_RPQ`-style
+    /// congestion signal.
+    pub rpq_occupancy: f64,
+    /// `true` if isochronous demand could not be fully served (QoS
+    /// violation).
+    pub qos_violated: bool,
+}
+
+impl ServiceOutcome {
+    /// Fraction of CPU demand that was actually served (1.0 when demand was
+    /// zero).
+    #[must_use]
+    pub fn cpu_service_ratio(&self, demand: &TrafficDemand) -> f64 {
+        if demand.cpu.is_zero() {
+            1.0
+        } else {
+            (self.served.cpu / demand.cpu).min(1.0)
+        }
+    }
+}
+
+/// The memory-controller service model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryController {
+    params: MemoryControllerParams,
+}
+
+impl Default for MemoryController {
+    fn default() -> Self {
+        Self::new(MemoryControllerParams::default()).expect("default params are valid")
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the parameters are invalid.
+    pub fn new(params: MemoryControllerParams) -> SimResult<Self> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// Read-only access to the parameters.
+    #[must_use]
+    pub fn params(&self) -> &MemoryControllerParams {
+        &self.params
+    }
+
+    /// Serves one slice of traffic.
+    ///
+    /// * `demand` — per-class bandwidth demand.
+    /// * `peak` — theoretical peak bandwidth of the DRAM interface at its
+    ///   current frequency (already derated for MRC mismatch if applicable).
+    /// * `idle_latency` — unloaded access latency of the DRAM at its current
+    ///   frequency (already inflated for MRC mismatch if applicable).
+    #[must_use]
+    pub fn serve(
+        &self,
+        demand: &TrafficDemand,
+        peak: Bandwidth,
+        idle_latency: SimTime,
+    ) -> ServiceOutcome {
+        let sustainable = peak * self.params.bus_efficiency;
+
+        // Isochronous traffic is scheduled with priority; a QoS violation is
+        // recorded if even the full bus cannot cover it.
+        let iso_served = demand.isochronous.min(sustainable);
+        let qos_violated = demand.isochronous > sustainable * 1.000_001;
+        let remaining = (sustainable - iso_served).max(Bandwidth::ZERO);
+
+        // Remaining capacity is shared proportionally among the best-effort
+        // classes (a round-robin scheduler converges to this on average).
+        let best_effort_demand = demand.cpu + demand.gfx + demand.io;
+        let share = if best_effort_demand.is_zero() {
+            1.0
+        } else {
+            (remaining / best_effort_demand).min(1.0)
+        };
+        let served = ServedTraffic {
+            cpu: demand.cpu * share,
+            gfx: demand.gfx * share,
+            isochronous: iso_served,
+            io: demand.io * share,
+        };
+
+        let utilization = if sustainable.is_zero() {
+            1.0
+        } else {
+            (served.total() / sustainable).clamp(0.0, 1.0)
+        };
+
+        // Queuing inflation of the unloaded latency, capped for stability.
+        let rho = utilization.min(0.995);
+        let factor = (1.0 + self.params.queuing_strength * rho / (1.0 - rho))
+            .min(self.params.max_latency_factor);
+        let effective_latency = idle_latency * factor;
+
+        // Little's law estimate of queue occupancy: outstanding = arrival
+        // rate × latency, expressed in 64-byte requests.
+        let arrival_rate = served.total().as_bytes_per_sec() / 64.0;
+        let rpq_occupancy = (arrival_rate * effective_latency.as_secs())
+            .min(self.params.read_pending_queue_depth as f64);
+
+        ServiceOutcome {
+            served,
+            sustainable,
+            utilization,
+            effective_latency,
+            rpq_occupancy,
+            qos_violated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gib(v: f64) -> Bandwidth {
+        Bandwidth::from_gib_s(v)
+    }
+
+    fn controller() -> MemoryController {
+        MemoryController::default()
+    }
+
+    const PEAK: f64 = 23.8; // dual-channel LPDDR3-1600 in GiB/s
+    const IDLE_NS: f64 = 40.0;
+
+    fn serve(demand: TrafficDemand) -> ServiceOutcome {
+        controller().serve(&demand, gib(PEAK), SimTime::from_nanos(IDLE_NS))
+    }
+
+    #[test]
+    fn light_demand_is_fully_served_with_low_latency() {
+        let d = TrafficDemand {
+            cpu: gib(2.0),
+            gfx: gib(1.0),
+            isochronous: gib(1.0),
+            io: gib(0.2),
+        };
+        let out = serve(d);
+        assert!((out.served.total().as_gib_s() - d.total().as_gib_s()).abs() < 1e-9);
+        assert!(!out.qos_violated);
+        assert!(out.utilization < 0.3);
+        assert!(out.effective_latency.as_nanos() < 1.5 * IDLE_NS);
+        assert!((out.cpu_service_ratio(&d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_shares_proportionally_after_isochronous() {
+        let d = TrafficDemand {
+            cpu: gib(20.0),
+            gfx: gib(10.0),
+            isochronous: gib(5.0),
+            io: gib(0.0),
+        };
+        let out = serve(d);
+        // Isochronous fully served.
+        assert!((out.served.isochronous.as_gib_s() - 5.0).abs() < 1e-9);
+        assert!(!out.qos_violated);
+        // CPU and GFX get the same service ratio.
+        let cpu_ratio = out.served.cpu / d.cpu;
+        let gfx_ratio = out.served.gfx / d.gfx;
+        assert!((cpu_ratio - gfx_ratio).abs() < 1e-9);
+        assert!(cpu_ratio < 1.0);
+        // Bus is saturated.
+        assert!(out.utilization > 0.99);
+        assert!(out.effective_latency > SimTime::from_nanos(IDLE_NS));
+    }
+
+    #[test]
+    fn isochronous_demand_beyond_capacity_is_a_qos_violation() {
+        let d = TrafficDemand {
+            isochronous: gib(30.0),
+            ..TrafficDemand::IDLE
+        };
+        let out = serve(d);
+        assert!(out.qos_violated);
+        assert!(out.served.isochronous < d.isochronous);
+    }
+
+    #[test]
+    fn latency_grows_with_utilization_and_is_capped() {
+        let low = serve(TrafficDemand {
+            cpu: gib(1.0),
+            ..TrafficDemand::IDLE
+        });
+        let mid = serve(TrafficDemand {
+            cpu: gib(12.0),
+            ..TrafficDemand::IDLE
+        });
+        let high = serve(TrafficDemand {
+            cpu: gib(40.0),
+            ..TrafficDemand::IDLE
+        });
+        assert!(low.effective_latency < mid.effective_latency);
+        assert!(mid.effective_latency < high.effective_latency);
+        let cap = MemoryControllerParams::default().max_latency_factor;
+        assert!(high.effective_latency.as_nanos() <= IDLE_NS * cap + 1e-9);
+    }
+
+    #[test]
+    fn lower_peak_bandwidth_increases_latency_for_same_demand() {
+        // The mechanism behind Observation 1: at lower DRAM frequency the same
+        // demand utilizes the bus more and queues longer.
+        let d = TrafficDemand {
+            cpu: gib(8.0),
+            ..TrafficDemand::IDLE
+        };
+        let c = controller();
+        let high = c.serve(&d, gib(23.8), SimTime::from_nanos(40.0));
+        let low = c.serve(&d, gib(15.9), SimTime::from_nanos(42.0));
+        assert!(low.utilization > high.utilization);
+        assert!(low.effective_latency > high.effective_latency);
+    }
+
+    #[test]
+    fn rpq_occupancy_tracks_outstanding_requests_and_saturates() {
+        let idle = serve(TrafficDemand::IDLE);
+        assert_eq!(idle.rpq_occupancy, 0.0);
+        let busy = serve(TrafficDemand {
+            cpu: gib(40.0),
+            ..TrafficDemand::IDLE
+        });
+        assert!(busy.rpq_occupancy > 1.0);
+        assert!(
+            busy.rpq_occupancy
+                <= MemoryControllerParams::default().read_pending_queue_depth as f64
+        );
+    }
+
+    #[test]
+    fn zero_peak_bandwidth_is_degenerate_but_finite() {
+        let c = controller();
+        let out = c.serve(
+            &TrafficDemand {
+                cpu: gib(1.0),
+                ..TrafficDemand::IDLE
+            },
+            Bandwidth::ZERO,
+            SimTime::from_nanos(40.0),
+        );
+        assert_eq!(out.served.total(), Bandwidth::ZERO);
+        assert!(out.effective_latency.as_nanos().is_finite());
+        assert_eq!(out.utilization, 1.0);
+    }
+
+    #[test]
+    fn params_validation() {
+        let mut p = MemoryControllerParams::default();
+        assert!(p.validate().is_ok());
+        p.bus_efficiency = 0.0;
+        assert!(MemoryController::new(p).is_err());
+        p.bus_efficiency = 0.8;
+        p.max_latency_factor = 0.5;
+        assert!(MemoryController::new(p).is_err());
+        p.max_latency_factor = 4.0;
+        p.read_pending_queue_depth = 0;
+        assert!(MemoryController::new(p).is_err());
+        p.read_pending_queue_depth = 16;
+        p.queuing_strength = -1.0;
+        assert!(MemoryController::new(p).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = controller();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MemoryController = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sysscale-memctrl
+//!
+//! Memory-controller and DDRIO models for the SysScale simulator: per-slice
+//! bandwidth allocation with isochronous priority, a queuing-latency model,
+//! RPQ congestion counters, and the power models for the memory controller
+//! (on `V_SA`) and the DRAM interface (on `V_IO` / `VDDQ`).
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_memctrl::{MemoryController, TrafficDemand};
+//! use sysscale_types::{Bandwidth, SimTime};
+//!
+//! let mc = MemoryController::default();
+//! let demand = TrafficDemand {
+//!     cpu: Bandwidth::from_gib_s(4.0),
+//!     isochronous: Bandwidth::from_gib_s(1.5),
+//!     ..TrafficDemand::IDLE
+//! };
+//! let outcome = mc.serve(&demand, Bandwidth::from_gib_s(23.8), SimTime::from_nanos(40.0));
+//! assert!(!outcome.qos_violated);
+//! assert!(outcome.effective_latency >= SimTime::from_nanos(40.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod controller;
+mod power;
+mod traffic;
+
+pub use controller::{MemoryController, MemoryControllerParams, ServiceOutcome};
+pub use power::{
+    DdrIoPower, DdrIoPowerModel, DdrIoPowerParams, MemCtrlPowerModel, MemCtrlPowerParams,
+};
+pub use traffic::{ServedTraffic, TrafficDemand};

@@ -1,0 +1,277 @@
+//! Power models of the memory controller and the DRAM interface (DDRIO).
+//!
+//! * Memory-controller power follows Sec. 2.3: static power proportional to
+//!   the `V_SA` voltage plus dynamic power proportional to `V_SA² × f_mc`.
+//!   Because `V_SA` scales with the operating point, reducing the memory
+//!   frequency cuts controller power "approximately by a cubic factor"
+//!   (Sec. 2.4).
+//! * DDRIO-digital draws from `V_IO` and scales as `V_IO² × f_ddr` with a
+//!   utilization-dependent activity factor; DDRIO-analog draws from `VDDQ`
+//!   (fixed voltage) and scales with frequency and utilization only.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Freq, Power, Voltage};
+
+/// Calibration constants for the memory-controller power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemCtrlPowerParams {
+    /// Reference frequency for the dynamic-power coefficient.
+    pub nominal_freq: Freq,
+    /// Reference `V_SA` voltage.
+    pub nominal_voltage: Voltage,
+    /// Dynamic power at nominal voltage/frequency and 100 % activity, watts.
+    pub dynamic_w_at_nominal: f64,
+    /// Activity floor: fraction of the dynamic coefficient burned even when
+    /// the bus is idle (clocking, scheduler, PHY training logic).
+    pub idle_activity: f64,
+    /// Leakage power at nominal voltage, watts. Scales ∝ V³ with voltage
+    /// (short-channel leakage), which is a conservative fit for 14 nm.
+    pub leakage_w_at_nominal: f64,
+}
+
+impl Default for MemCtrlPowerParams {
+    fn default() -> Self {
+        Self {
+            nominal_freq: Freq::from_ghz(0.8),
+            nominal_voltage: Voltage::from_mv(800.0),
+            dynamic_w_at_nominal: 0.230,
+            idle_activity: 0.30,
+            leakage_w_at_nominal: 0.070,
+        }
+    }
+}
+
+/// Memory-controller power model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemCtrlPowerModel {
+    params: MemCtrlPowerParams,
+}
+
+impl MemCtrlPowerModel {
+    /// Creates a model from calibration parameters.
+    #[must_use]
+    pub fn new(params: MemCtrlPowerParams) -> Self {
+        Self { params }
+    }
+
+    /// Read-only access to the calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &MemCtrlPowerParams {
+        &self.params
+    }
+
+    /// Average power at controller frequency `freq`, rail voltage `v_sa`, and
+    /// bus utilization `utilization` in `[0, 1]`.
+    #[must_use]
+    pub fn power(&self, freq: Freq, v_sa: Voltage, utilization: f64) -> Power {
+        let p = &self.params;
+        let activity = p.idle_activity + (1.0 - p.idle_activity) * utilization.clamp(0.0, 1.0);
+        let v_ratio_sq = v_sa.squared() / p.nominal_voltage.squared();
+        let f_ratio = freq.ratio(p.nominal_freq);
+        let dynamic = p.dynamic_w_at_nominal * v_ratio_sq * f_ratio * activity;
+        let v_ratio = v_sa.as_volts() / p.nominal_voltage.as_volts();
+        let leakage = p.leakage_w_at_nominal * v_ratio.powi(3);
+        Power::from_watts(dynamic + leakage)
+    }
+}
+
+/// Calibration constants for the DDRIO power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrIoPowerParams {
+    /// Reference DDR data frequency.
+    pub nominal_freq: Freq,
+    /// Reference `V_IO` voltage.
+    pub nominal_vio: Voltage,
+    /// Digital (V_IO) power at nominal voltage/frequency, full utilization.
+    pub digital_w_at_nominal: f64,
+    /// Digital idle-activity floor (DLL, clock distribution).
+    pub digital_idle_activity: f64,
+    /// Analog (VDDQ) power at nominal frequency, full utilization.
+    pub analog_w_at_nominal: f64,
+    /// Analog idle-activity floor.
+    pub analog_idle_activity: f64,
+}
+
+impl Default for DdrIoPowerParams {
+    fn default() -> Self {
+        Self {
+            nominal_freq: Freq::from_ghz(1.6),
+            nominal_vio: Voltage::from_mv(950.0),
+            digital_w_at_nominal: 0.160,
+            digital_idle_activity: 0.35,
+            analog_w_at_nominal: 0.110,
+            analog_idle_activity: 0.30,
+        }
+    }
+}
+
+/// Breakdown of DDRIO power across its two rails.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DdrIoPower {
+    /// Digital PHY power, drawn from `V_IO`.
+    pub digital: Power,
+    /// Analog front-end power, drawn from `VDDQ`.
+    pub analog: Power,
+}
+
+impl DdrIoPower {
+    /// Total DDRIO power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.digital + self.analog
+    }
+}
+
+/// DDRIO power model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DdrIoPowerModel {
+    params: DdrIoPowerParams,
+}
+
+impl DdrIoPowerModel {
+    /// Creates a model from calibration parameters.
+    #[must_use]
+    pub fn new(params: DdrIoPowerParams) -> Self {
+        Self { params }
+    }
+
+    /// Read-only access to the calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &DdrIoPowerParams {
+        &self.params
+    }
+
+    /// Average DDRIO power at DDR frequency `freq`, `V_IO` voltage `v_io`,
+    /// and interface utilization in `[0, 1]`. The `mrc_io_penalty` factor
+    /// (≥ 1.0) models the extra termination/driver power of mis-trained
+    /// registers and is applied to both rails.
+    #[must_use]
+    pub fn power(
+        &self,
+        freq: Freq,
+        v_io: Voltage,
+        utilization: f64,
+        mrc_io_penalty: f64,
+    ) -> DdrIoPower {
+        let p = &self.params;
+        let u = utilization.clamp(0.0, 1.0);
+        let f_ratio = freq.ratio(p.nominal_freq);
+
+        let dig_activity = p.digital_idle_activity + (1.0 - p.digital_idle_activity) * u;
+        let v_ratio_sq = v_io.squared() / p.nominal_vio.squared();
+        let digital = p.digital_w_at_nominal * v_ratio_sq * f_ratio * dig_activity * mrc_io_penalty;
+
+        let an_activity = p.analog_idle_activity + (1.0 - p.analog_idle_activity) * u;
+        let analog = p.analog_w_at_nominal * f_ratio * an_activity * mrc_io_penalty;
+
+        DdrIoPower {
+            digital: Power::from_watts(digital),
+            analog: Power::from_watts(analog),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mc_power_reduces_cubically_with_coordinated_vf_scaling() {
+        // Sec. 2.4: memory-controller power reduces approximately by a cubic
+        // factor because voltage scales with frequency.
+        let model = MemCtrlPowerModel::default();
+        let nominal = model.power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), 0.5);
+        let scaled = model.power(Freq::from_ghz(0.533), Voltage::from_mv(640.0), 0.5);
+        let dynamic_ratio = {
+            // Isolate the dynamic part by subtracting leakage at each point.
+            let p = model.params();
+            let leak_hi = p.leakage_w_at_nominal;
+            let leak_lo = p.leakage_w_at_nominal * (0.64f64 / 0.8).powi(3);
+            (scaled.as_watts() - leak_lo) / (nominal.as_watts() - leak_hi)
+        };
+        let expected = (0.533f64 / 0.8) * (0.64f64 / 0.8).powi(2);
+        assert!((dynamic_ratio - expected).abs() < 0.01, "ratio {dynamic_ratio} vs {expected}");
+        assert!(scaled < nominal);
+    }
+
+    #[test]
+    fn mc_power_monotonic_in_utilization_and_voltage() {
+        let model = MemCtrlPowerModel::default();
+        let f = Freq::from_ghz(0.8);
+        let v = Voltage::from_mv(800.0);
+        assert!(model.power(f, v, 0.9) > model.power(f, v, 0.1));
+        assert!(model.power(f, Voltage::from_mv(850.0), 0.5) > model.power(f, v, 0.5));
+        // Idle still burns the activity floor plus leakage.
+        assert!(model.power(f, v, 0.0).as_watts() > 0.05);
+    }
+
+    #[test]
+    fn ddrio_power_splits_across_rails_and_scales() {
+        let model = DdrIoPowerModel::default();
+        let hi = model.power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), 0.6, 1.0);
+        let lo = model.power(
+            Freq::from_ghz(1.0666),
+            Voltage::from_mv(950.0 * 0.85),
+            0.6,
+            1.0,
+        );
+        assert!(hi.digital > lo.digital);
+        assert!(hi.analog > lo.analog);
+        assert!(hi.total() > lo.total());
+        // Digital scales with V², so it shrinks faster than analog.
+        let dig_ratio = lo.digital / hi.digital;
+        let an_ratio = lo.analog / hi.analog;
+        assert!(dig_ratio < an_ratio);
+    }
+
+    #[test]
+    fn ddrio_mrc_penalty_increases_power() {
+        let model = DdrIoPowerModel::default();
+        let clean = model.power(Freq::from_ghz(1.0666), Voltage::from_mv(950.0), 0.8, 1.0);
+        let penalized = model.power(Freq::from_ghz(1.0666), Voltage::from_mv(950.0), 0.8, 1.55);
+        assert!(penalized.total() > clean.total());
+        assert!((penalized.total().as_watts() / clean.total().as_watts() - 1.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let model = DdrIoPowerModel::default();
+        let over = model.power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), 2.0, 1.0);
+        let full = model.power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), 1.0, 1.0);
+        assert_eq!(over, full);
+        let mc = MemCtrlPowerModel::default();
+        assert_eq!(
+            mc.power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), -1.0),
+            mc.power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), 0.0)
+        );
+    }
+
+    #[test]
+    fn combined_uncore_memory_power_is_in_expected_range() {
+        // Sanity check against the 4.5 W TDP budget: MC + DDRIO at the high
+        // operating point and moderate load should be a few hundred mW.
+        let mc = MemCtrlPowerModel::default().power(
+            Freq::from_ghz(0.8),
+            Voltage::from_mv(800.0),
+            0.4,
+        );
+        let io = DdrIoPowerModel::default()
+            .power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), 0.4, 1.0)
+            .total();
+        let total = (mc + io).as_watts();
+        assert!(total > 0.2 && total < 0.8, "uncore memory power {total} W");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = MemCtrlPowerModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MemCtrlPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let d = DdrIoPowerModel::default();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DdrIoPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,132 @@
+//! Aggregated main-memory traffic demand for one simulation slice.
+//!
+//! The memory controller sits behind the LLC and the IO interconnect and
+//! serves four request classes: CPU-core misses, graphics-engine misses,
+//! isochronous IO traffic (display refresh, camera/ISP streaming — traffic
+//! with hard QoS deadlines, Sec. 1), and best-effort IO traffic.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::Bandwidth;
+
+/// Per-class main-memory bandwidth demand for one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficDemand {
+    /// Demand from CPU-core LLC misses.
+    pub cpu: Bandwidth,
+    /// Demand from graphics-engine LLC misses.
+    pub gfx: Bandwidth,
+    /// Isochronous IO demand (display, ISP). Must be served in full or a QoS
+    /// violation is reported.
+    pub isochronous: Bandwidth,
+    /// Best-effort IO demand (storage, USB, audio, ...).
+    pub io: Bandwidth,
+}
+
+impl TrafficDemand {
+    /// Demand with all classes zero.
+    pub const IDLE: TrafficDemand = TrafficDemand {
+        cpu: Bandwidth::ZERO,
+        gfx: Bandwidth::ZERO,
+        isochronous: Bandwidth::ZERO,
+        io: Bandwidth::ZERO,
+    };
+
+    /// Total demand across all classes.
+    #[must_use]
+    pub fn total(&self) -> Bandwidth {
+        self.cpu + self.gfx + self.isochronous + self.io
+    }
+
+    /// Returns `true` if no class demands any bandwidth.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.total().is_zero()
+    }
+
+    /// Scales every class by `factor` (used when a stall shortens the
+    /// effective service window of a slice).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            cpu: self.cpu * factor,
+            gfx: self.gfx * factor,
+            isochronous: self.isochronous * factor,
+            io: self.io * factor,
+        }
+    }
+}
+
+/// Per-class bandwidth actually served in a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServedTraffic {
+    /// Served CPU-core bandwidth.
+    pub cpu: Bandwidth,
+    /// Served graphics bandwidth.
+    pub gfx: Bandwidth,
+    /// Served isochronous bandwidth.
+    pub isochronous: Bandwidth,
+    /// Served best-effort IO bandwidth.
+    pub io: Bandwidth,
+}
+
+impl ServedTraffic {
+    /// Total served bandwidth.
+    #[must_use]
+    pub fn total(&self) -> Bandwidth {
+        self.cpu + self.gfx + self.isochronous + self.io
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_idle() {
+        assert!(TrafficDemand::IDLE.is_idle());
+        let d = TrafficDemand {
+            cpu: Bandwidth::from_gib_s(4.0),
+            gfx: Bandwidth::from_gib_s(2.0),
+            isochronous: Bandwidth::from_gib_s(1.0),
+            io: Bandwidth::from_gib_s(0.5),
+        };
+        assert!(!d.is_idle());
+        assert!((d.total().as_gib_s() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_scales_every_class() {
+        let d = TrafficDemand {
+            cpu: Bandwidth::from_gib_s(4.0),
+            gfx: Bandwidth::from_gib_s(2.0),
+            isochronous: Bandwidth::from_gib_s(1.0),
+            io: Bandwidth::from_gib_s(1.0),
+        };
+        let half = d.scaled(0.5);
+        assert!((half.total().as_gib_s() - 4.0).abs() < 1e-9);
+        assert!((half.cpu.as_gib_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn served_traffic_total() {
+        let s = ServedTraffic {
+            cpu: Bandwidth::from_gib_s(1.0),
+            gfx: Bandwidth::from_gib_s(1.0),
+            isochronous: Bandwidth::from_gib_s(1.0),
+            io: Bandwidth::from_gib_s(1.0),
+        };
+        assert!((s.total().as_gib_s() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = TrafficDemand {
+            cpu: Bandwidth::from_gib_s(3.0),
+            ..TrafficDemand::IDLE
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: TrafficDemand = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

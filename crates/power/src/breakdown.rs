@@ -1,0 +1,229 @@
+//! Per-component power breakdowns and energy accounting.
+//!
+//! Every simulation slice produces a [`PowerBreakdown`] (what each component
+//! drew on average during the slice); the [`EnergyAccount`] integrates those
+//! breakdowns over time into per-component, per-domain, and per-rail energy —
+//! the model's equivalent of the per-rail NI-DAQ measurements the paper uses
+//! (Sec. 6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Component, Domain, Energy, Power, Rail, SimTime};
+
+/// Average power drawn by each SoC component over one window.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    entries: BTreeMap<Component, Power>,
+}
+
+impl PowerBreakdown {
+    /// Creates an empty (all-zero) breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the power of a component.
+    pub fn set(&mut self, component: Component, power: Power) {
+        self.entries.insert(component, power);
+    }
+
+    /// Adds power to a component.
+    pub fn add(&mut self, component: Component, power: Power) {
+        let entry = self.entries.entry(component).or_insert(Power::ZERO);
+        *entry += power;
+    }
+
+    /// Power of a component (zero if never set).
+    #[must_use]
+    pub fn component(&self, component: Component) -> Power {
+        self.entries.get(&component).copied().unwrap_or(Power::ZERO)
+    }
+
+    /// Total SoC power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.entries.values().copied().sum()
+    }
+
+    /// Total power of one domain.
+    #[must_use]
+    pub fn domain(&self, domain: Domain) -> Power {
+        self.entries
+            .iter()
+            .filter(|(c, _)| c.domain() == domain)
+            .map(|(_, p)| *p)
+            .sum()
+    }
+
+    /// Total power drawn from one rail.
+    #[must_use]
+    pub fn rail(&self, rail: Rail) -> Power {
+        self.entries
+            .iter()
+            .filter(|(c, _)| c.rail() == rail)
+            .map(|(_, p)| *p)
+            .sum()
+    }
+
+    /// Iterates over `(component, power)` in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Power)> + '_ {
+        self.entries.iter().map(|(&c, &p)| (c, p))
+    }
+}
+
+/// Integrated energy over a simulation run, per component.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    entries: BTreeMap<Component, Energy>,
+    duration: SimTime,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one slice: every component's power integrated over `dt`.
+    pub fn accumulate(&mut self, breakdown: &PowerBreakdown, dt: SimTime) {
+        for (component, power) in breakdown.iter() {
+            let entry = self.entries.entry(component).or_insert(Energy::ZERO);
+            *entry += power * dt;
+        }
+        self.duration += dt;
+    }
+
+    /// Total simulated time accumulated.
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        self.duration
+    }
+
+    /// Energy of one component.
+    #[must_use]
+    pub fn component(&self, component: Component) -> Energy {
+        self.entries.get(&component).copied().unwrap_or(Energy::ZERO)
+    }
+
+    /// Total SoC energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.entries.values().copied().sum()
+    }
+
+    /// Energy of one domain.
+    #[must_use]
+    pub fn domain(&self, domain: Domain) -> Energy {
+        self.entries
+            .iter()
+            .filter(|(c, _)| c.domain() == domain)
+            .map(|(_, e)| *e)
+            .sum()
+    }
+
+    /// Energy drawn from one rail.
+    #[must_use]
+    pub fn rail(&self, rail: Rail) -> Energy {
+        self.entries
+            .iter()
+            .filter(|(c, _)| c.rail() == rail)
+            .map(|(_, e)| *e)
+            .sum()
+    }
+
+    /// Average SoC power over the accumulated duration.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        if self.duration.is_zero() {
+            Power::ZERO
+        } else {
+            self.total() / self.duration
+        }
+    }
+
+    /// Average power of one domain.
+    #[must_use]
+    pub fn average_domain_power(&self, domain: Domain) -> Power {
+        if self.duration.is_zero() {
+            Power::ZERO
+        } else {
+            self.domain(domain) / self.duration
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_breakdown() -> PowerBreakdown {
+        let mut b = PowerBreakdown::new();
+        b.set(Component::CpuCores, Power::from_watts(1.5));
+        b.set(Component::GraphicsEngine, Power::from_watts(0.5));
+        b.set(Component::MemoryController, Power::from_watts(0.3));
+        b.set(Component::IoInterconnect, Power::from_watts(0.25));
+        b.set(Component::Dram, Power::from_watts(0.4));
+        b.set(Component::DdrIoDigital, Power::from_watts(0.15));
+        b
+    }
+
+    #[test]
+    fn breakdown_totals_by_domain_and_rail() {
+        let b = sample_breakdown();
+        assert!((b.total().as_watts() - 3.1).abs() < 1e-12);
+        assert!((b.domain(Domain::Compute).as_watts() - 2.0).abs() < 1e-12);
+        assert!((b.domain(Domain::Memory).as_watts() - 0.85).abs() < 1e-12);
+        assert!((b.domain(Domain::Io).as_watts() - 0.25).abs() < 1e-12);
+        // V_SA carries MC + interconnect.
+        assert!((b.rail(Rail::VSa).as_watts() - 0.55).abs() < 1e-12);
+        assert!((b.rail(Rail::VIo).as_watts() - 0.15).abs() < 1e-12);
+        assert_eq!(b.component(Component::IspEngine), Power::ZERO);
+        assert_eq!(b.iter().count(), 6);
+    }
+
+    #[test]
+    fn breakdown_add_accumulates() {
+        let mut b = PowerBreakdown::new();
+        b.add(Component::Dram, Power::from_mw(200.0));
+        b.add(Component::Dram, Power::from_mw(300.0));
+        assert!((b.component(Component::Dram).as_mw() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_account_integrates_power_over_time() {
+        let mut acc = EnergyAccount::new();
+        let b = sample_breakdown();
+        for _ in 0..10 {
+            acc.accumulate(&b, SimTime::from_millis(1.0));
+        }
+        assert!((acc.duration().as_millis() - 10.0).abs() < 1e-9);
+        // 3.1 W for 10 ms = 31 mJ.
+        assert!((acc.total().as_mj() - 31.0).abs() < 1e-9);
+        assert!((acc.average_power().as_watts() - 3.1).abs() < 1e-9);
+        assert!((acc.average_domain_power(Domain::Compute).as_watts() - 2.0).abs() < 1e-9);
+        assert!((acc.domain(Domain::Memory).as_mj() - 8.5).abs() < 1e-9);
+        assert!((acc.rail(Rail::VSa).as_mj() - 5.5).abs() < 1e-9);
+        assert!(acc.component(Component::CpuCores) > Energy::ZERO);
+    }
+
+    #[test]
+    fn empty_account_is_zero() {
+        let acc = EnergyAccount::new();
+        assert_eq!(acc.total(), Energy::ZERO);
+        assert_eq!(acc.average_power(), Power::ZERO);
+        assert_eq!(acc.average_domain_power(Domain::Io), Power::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut acc = EnergyAccount::new();
+        acc.accumulate(&sample_breakdown(), SimTime::from_millis(2.0));
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: EnergyAccount = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+    }
+}

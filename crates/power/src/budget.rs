@@ -1,0 +1,375 @@
+//! TDP budgeting: domain power budgets and the compute-domain power budget
+//! manager (PBM).
+//!
+//! The PMU keeps the SoC's average power below the thermal design power by
+//! assigning each domain a power budget (Sec. 1). The baseline policy
+//! reserves a *fixed, worst-case* budget for the IO and memory domains
+//! (Observation 1); SysScale's contribution is to size that reservation from
+//! the *predicted* demand and hand the freed budget to the compute domain,
+//! whose PBM converts it into higher CPU/graphics P-states (Sec. 4.3–4.4).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::{PState, PStateTable};
+use sysscale_types::{Freq, Power, SimError, SimResult};
+
+use crate::compute_power::ComputeDomainPowerModel;
+
+/// Per-domain power budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DomainBudgets {
+    /// Budget of the compute domain (CPU cores, graphics, LLC).
+    pub compute: Power,
+    /// Budget of the IO domain (interconnect, IO engines, DDRIO-digital).
+    pub io: Power,
+    /// Budget of the memory domain (memory controller, DRAM, DDRIO-analog).
+    pub memory: Power,
+}
+
+impl DomainBudgets {
+    /// Total of the three domain budgets.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.compute + self.io + self.memory
+    }
+}
+
+/// Budget policy: how the TDP is split between the uncore (IO + memory)
+/// reservation and the compute domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPolicy {
+    /// IO-domain reservation at the *worst-case* (highest) operating point.
+    pub io_worst_case: Power,
+    /// Memory-domain reservation at the worst-case operating point.
+    pub memory_worst_case: Power,
+    /// Minimum compute budget that is always preserved (the compute domain
+    /// can never be starved completely).
+    pub min_compute: Power,
+}
+
+impl Default for BudgetPolicy {
+    fn default() -> Self {
+        Self {
+            io_worst_case: Power::from_mw(650.0),
+            memory_worst_case: Power::from_mw(900.0),
+            min_compute: Power::from_mw(500.0),
+        }
+    }
+}
+
+impl BudgetPolicy {
+    /// Validates the policy against a TDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the reservations leave less
+    /// than `min_compute` at the given TDP, or any value is non-positive.
+    pub fn validate(&self, tdp: Power) -> SimResult<()> {
+        if tdp <= Power::ZERO {
+            return Err(SimError::invalid_config("tdp must be positive"));
+        }
+        if self.io_worst_case <= Power::ZERO
+            || self.memory_worst_case <= Power::ZERO
+            || self.min_compute <= Power::ZERO
+        {
+            return Err(SimError::invalid_config("budget reservations must be positive"));
+        }
+        let compute = tdp - self.io_worst_case - self.memory_worst_case;
+        if compute < self.min_compute {
+            return Err(SimError::invalid_config(format!(
+                "tdp {tdp} leaves less than the minimum compute budget"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The baseline split: fixed worst-case reservations for IO and memory,
+    /// remainder to compute (Observation 1).
+    #[must_use]
+    pub fn worst_case_budgets(&self, tdp: Power) -> DomainBudgets {
+        let compute = (tdp - self.io_worst_case - self.memory_worst_case).max(self.min_compute);
+        DomainBudgets {
+            compute,
+            io: self.io_worst_case,
+            memory: self.memory_worst_case,
+        }
+    }
+
+    /// A demand-driven split: the governor supplies its estimate of the
+    /// uncore power at the chosen operating point, and the saved budget
+    /// (relative to the worst case) is redistributed to the compute domain
+    /// (Sec. 4.3: "the PMU reduces the power budgets of the IO and memory
+    /// domains and increases the power budget of the compute domain").
+    #[must_use]
+    pub fn demand_driven_budgets(&self, tdp: Power, io_estimate: Power, memory_estimate: Power) -> DomainBudgets {
+        // Never allocate more than the worst case to the uncore.
+        let io = io_estimate.min(self.io_worst_case);
+        let memory = memory_estimate.min(self.memory_worst_case);
+        let compute = (tdp - io - memory).max(self.min_compute);
+        DomainBudgets { compute, io, memory }
+    }
+}
+
+/// A request to the compute-domain PBM for one evaluation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeRequest {
+    /// Highest CPU frequency the OS currently requests (P-state request).
+    pub cpu_requested: Freq,
+    /// Highest graphics frequency the driver currently requests.
+    pub gfx_requested: Freq,
+    /// Expected CPU utilization in `[0, 1]` over the interval.
+    pub cpu_activity: f64,
+    /// Expected graphics utilization in `[0, 1]` over the interval.
+    pub gfx_activity: f64,
+    /// `true` if the graphics engine should be budgeted first (graphics
+    /// workloads, Sec. 7.2 — the GFX engine gets 80–90 % of the compute
+    /// budget).
+    pub gfx_priority: bool,
+    /// Package C0 residency over the interval.
+    pub c0_fraction: f64,
+    /// Compute leakage fraction retained given the C-state profile.
+    pub leakage_fraction: f64,
+}
+
+/// The P-states granted by the PBM and the power estimate they imply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeGrant {
+    /// Granted CPU P-state.
+    pub cpu: PState,
+    /// Granted graphics P-state.
+    pub gfx: PState,
+    /// Estimated compute-domain power at the granted states.
+    pub estimated_power: Power,
+}
+
+/// The compute-domain power budget manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudgetManager {
+    model: ComputeDomainPowerModel,
+    cpu_table: PStateTable,
+    gfx_table: PStateTable,
+}
+
+impl Default for PowerBudgetManager {
+    fn default() -> Self {
+        Self::new(
+            ComputeDomainPowerModel::default(),
+            PStateTable::skylake_cpu(),
+            PStateTable::skylake_gfx(),
+        )
+    }
+}
+
+impl PowerBudgetManager {
+    /// Creates a PBM from a power model and the two P-state ladders.
+    #[must_use]
+    pub fn new(
+        model: ComputeDomainPowerModel,
+        cpu_table: PStateTable,
+        gfx_table: PStateTable,
+    ) -> Self {
+        Self {
+            model,
+            cpu_table,
+            gfx_table,
+        }
+    }
+
+    /// The CPU P-state ladder in use.
+    #[must_use]
+    pub fn cpu_table(&self) -> &PStateTable {
+        &self.cpu_table
+    }
+
+    /// The graphics P-state ladder in use.
+    #[must_use]
+    pub fn gfx_table(&self) -> &PStateTable {
+        &self.gfx_table
+    }
+
+    /// The compute-domain power model in use.
+    #[must_use]
+    pub fn model(&self) -> &ComputeDomainPowerModel {
+        &self.model
+    }
+
+    fn estimate(&self, req: &ComputeRequest, cpu: PState, gfx: PState) -> Power {
+        self.model.power(
+            cpu,
+            req.cpu_activity * req.c0_fraction,
+            gfx,
+            req.gfx_activity * req.c0_fraction,
+            req.c0_fraction,
+            req.leakage_fraction,
+        )
+    }
+
+    /// Grants the highest P-states that honour the OS/driver requests and
+    /// keep the estimated compute power within `budget`. If even the lowest
+    /// states exceed the budget, the lowest states are granted (the PBM
+    /// "places the requestor in a safe lower frequency", Sec. 4.4; it cannot
+    /// go below the bottom of the ladder).
+    #[must_use]
+    pub fn grant(&self, budget: Power, req: &ComputeRequest) -> ComputeGrant {
+        let cpu_cap = self.cpu_table.floor_state(req.cpu_requested);
+        let gfx_cap = self.gfx_table.floor_state(req.gfx_requested);
+        let mut cpu = self.cpu_table.lowest();
+        let mut gfx = self.gfx_table.lowest();
+
+        // Raise the priority unit first, then the other, one ladder step at a
+        // time while the estimate stays within budget.
+        let raise_gfx_first = req.gfx_priority;
+        for round in 0..2 {
+            let raising_gfx = (round == 0) == raise_gfx_first;
+            loop {
+                let candidate = if raising_gfx {
+                    let next = self
+                        .gfx_table
+                        .states()
+                        .iter()
+                        .find(|s| s.freq > gfx.freq && s.freq <= gfx_cap.freq * 1.000_001)
+                        .copied();
+                    match next {
+                        Some(n) => (cpu, n),
+                        None => break,
+                    }
+                } else {
+                    let next = self
+                        .cpu_table
+                        .states()
+                        .iter()
+                        .find(|s| s.freq > cpu.freq && s.freq <= cpu_cap.freq * 1.000_001)
+                        .copied();
+                    match next {
+                        Some(n) => (n, gfx),
+                        None => break,
+                    }
+                };
+                if self.estimate(req, candidate.0, candidate.1) <= budget {
+                    cpu = candidate.0;
+                    gfx = candidate.1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        ComputeGrant {
+            cpu,
+            gfx,
+            estimated_power: self.estimate(req, cpu, gfx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_request(budget_friendly: bool) -> ComputeRequest {
+        ComputeRequest {
+            cpu_requested: Freq::from_ghz(2.9),
+            gfx_requested: Freq::from_ghz(0.3),
+            cpu_activity: 1.0,
+            gfx_activity: if budget_friendly { 0.0 } else { 1.0 },
+            gfx_priority: false,
+            c0_fraction: 1.0,
+            leakage_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn worst_case_budget_split() {
+        let policy = BudgetPolicy::default();
+        let tdp = Power::from_watts(4.5);
+        assert!(policy.validate(tdp).is_ok());
+        let b = policy.worst_case_budgets(tdp);
+        assert!((b.total().as_watts() - 4.5).abs() < 1e-9);
+        assert!(b.compute.as_watts() > 2.5);
+        assert_eq!(b.io, policy.io_worst_case);
+        assert_eq!(b.memory, policy.memory_worst_case);
+    }
+
+    #[test]
+    fn demand_driven_split_redistributes_savings_to_compute() {
+        let policy = BudgetPolicy::default();
+        let tdp = Power::from_watts(4.5);
+        let worst = policy.worst_case_budgets(tdp);
+        let saved = policy.demand_driven_budgets(tdp, Power::from_mw(420.0), Power::from_mw(560.0));
+        assert!(saved.compute > worst.compute);
+        assert!((saved.total().as_watts() - 4.5).abs() < 1e-9);
+        // Estimates above the worst case are clamped.
+        let clamped = policy.demand_driven_budgets(tdp, Power::from_watts(2.0), Power::from_watts(2.0));
+        assert_eq!(clamped.io, policy.io_worst_case);
+        assert_eq!(clamped.memory, policy.memory_worst_case);
+    }
+
+    #[test]
+    fn policy_validation_rejects_tiny_tdp() {
+        let policy = BudgetPolicy::default();
+        assert!(policy.validate(Power::from_watts(1.5)).is_err());
+        assert!(policy.validate(Power::ZERO).is_err());
+        assert!(policy.validate(Power::from_watts(3.5)).is_ok());
+    }
+
+    #[test]
+    fn pbm_grant_respects_budget_and_grows_with_it() {
+        let pbm = PowerBudgetManager::default();
+        let req = cpu_request(true);
+        let small = pbm.grant(Power::from_watts(2.3), &req);
+        let large = pbm.grant(Power::from_watts(2.8), &req);
+        assert!(small.estimated_power <= Power::from_watts(2.3));
+        assert!(large.estimated_power <= Power::from_watts(2.8));
+        assert!(large.cpu.freq > small.cpu.freq, "extra budget raises the CPU clock");
+        // Both stay well below the unconstrained maximum.
+        assert!(large.cpu.freq < Freq::from_ghz(2.9));
+    }
+
+    #[test]
+    fn pbm_grant_respects_os_request_cap() {
+        let pbm = PowerBudgetManager::default();
+        let mut req = cpu_request(true);
+        req.cpu_requested = Freq::from_ghz(1.2);
+        let grant = pbm.grant(Power::from_watts(4.0), &req);
+        assert!(grant.cpu.freq <= Freq::from_ghz(1.2) * 1.001);
+    }
+
+    #[test]
+    fn pbm_prioritizes_graphics_when_asked() {
+        let pbm = PowerBudgetManager::default();
+        let req = ComputeRequest {
+            cpu_requested: Freq::from_ghz(0.8),
+            gfx_requested: Freq::from_ghz(1.0),
+            cpu_activity: 0.2,
+            gfx_activity: 1.0,
+            gfx_priority: true,
+            c0_fraction: 1.0,
+            leakage_fraction: 1.0,
+        };
+        let budget = Power::from_watts(3.0);
+        let grant = pbm.grant(budget, &req);
+        assert!(grant.estimated_power <= budget);
+        // The graphics engine climbs well above its floor while the CPU stays
+        // near its cap (which is already low).
+        assert!(grant.gfx.freq > Freq::from_ghz(0.5));
+        // Graphics consumes the bulk of the compute budget.
+        let gfx_only = pbm.model().gfx.power(grant.gfx, 1.0, 1.0);
+        assert!(gfx_only.as_watts() / grant.estimated_power.as_watts() > 0.6);
+    }
+
+    #[test]
+    fn pbm_grants_floor_states_when_budget_is_tiny() {
+        let pbm = PowerBudgetManager::default();
+        let grant = pbm.grant(Power::from_mw(100.0), &cpu_request(true));
+        assert_eq!(grant.cpu, pbm.cpu_table().lowest());
+        assert_eq!(grant.gfx, pbm.gfx_table().lowest());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pbm = PowerBudgetManager::default();
+        let json = serde_json::to_string(&pbm).unwrap();
+        let back: PowerBudgetManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pbm);
+    }
+}

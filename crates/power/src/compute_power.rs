@@ -1,0 +1,238 @@
+//! Compute-domain power models: CPU cores (+LLC) and graphics engines.
+//!
+//! Dynamic power follows `C_eff · V² · f · activity`; leakage scales
+//! super-linearly with voltage and is reduced by power gating in deep
+//! C-states. The constants are calibrated so that a 2-core Skylake-class
+//! 4.5 W part is thermally limited around 1.5–2 GHz under sustained load,
+//! which is what makes the power-budget redistribution of SysScale valuable.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Power, Voltage};
+
+use sysscale_compute::PState;
+
+/// Calibration constants for one compute unit (CPU complex or GFX engine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeUnitPowerParams {
+    /// Effective switching capacitance term: watts per (V² × GHz) at 100 %
+    /// activity.
+    pub ceff_w_per_v2_ghz: f64,
+    /// Activity floor while the unit is clocked but idle.
+    pub idle_activity: f64,
+    /// Leakage at the reference voltage, watts.
+    pub leakage_w_at_ref: f64,
+    /// Reference voltage for the leakage figure.
+    pub leakage_ref_voltage: Voltage,
+}
+
+impl ComputeUnitPowerParams {
+    /// CPU-core complex (2 cores + ring + LLC slice dynamic share).
+    #[must_use]
+    pub fn skylake_cpu_2core() -> Self {
+        Self {
+            ceff_w_per_v2_ghz: 2.60,
+            idle_activity: 0.05,
+            leakage_w_at_ref: 0.30,
+            leakage_ref_voltage: Voltage::from_mv(1_050.0),
+        }
+    }
+
+    /// Graphics engines (GT2-class).
+    #[must_use]
+    pub fn skylake_gfx() -> Self {
+        Self {
+            ceff_w_per_v2_ghz: 5.60,
+            idle_activity: 0.04,
+            leakage_w_at_ref: 0.25,
+            leakage_ref_voltage: Voltage::from_mv(1_000.0),
+        }
+    }
+}
+
+/// Power model of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeUnitPowerModel {
+    params: ComputeUnitPowerParams,
+}
+
+impl ComputeUnitPowerModel {
+    /// Creates a model from calibration parameters.
+    #[must_use]
+    pub fn new(params: ComputeUnitPowerParams) -> Self {
+        Self { params }
+    }
+
+    /// Read-only access to the parameters.
+    #[must_use]
+    pub fn params(&self) -> &ComputeUnitPowerParams {
+        &self.params
+    }
+
+    /// Average power of the unit over a window.
+    ///
+    /// * `pstate` — granted frequency/voltage operating point.
+    /// * `activity` — utilization of the unit in `[0, 1]` (execution activity
+    ///   × duty cycle × C0 residency).
+    /// * `leakage_fraction` — fraction of leakage not removed by power gating
+    ///   (1.0 in C0, lower in deep C-states).
+    #[must_use]
+    pub fn power(&self, pstate: PState, activity: f64, leakage_fraction: f64) -> Power {
+        let p = &self.params;
+        let a = activity.clamp(0.0, 1.0);
+        let effective_activity = if a > 0.0 {
+            p.idle_activity + (1.0 - p.idle_activity) * a
+        } else {
+            0.0
+        };
+        let dynamic = p.ceff_w_per_v2_ghz
+            * pstate.voltage.squared()
+            * pstate.freq.as_ghz()
+            * effective_activity;
+        let v_ratio = pstate.voltage.as_volts() / p.leakage_ref_voltage.as_volts();
+        let leakage = p.leakage_w_at_ref * v_ratio.powi(3) * leakage_fraction.clamp(0.0, 1.0);
+        Power::from_watts(dynamic + leakage)
+    }
+}
+
+/// The complete compute-domain power model (CPU + GFX + a small fixed LLC
+/// and ring overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeDomainPowerModel {
+    /// CPU-core complex model.
+    pub cpu: ComputeUnitPowerModel,
+    /// Graphics-engine model.
+    pub gfx: ComputeUnitPowerModel,
+    /// Fixed LLC array + ring power while the compute domain is active, watts.
+    pub llc_active_w: f64,
+}
+
+impl Default for ComputeDomainPowerModel {
+    fn default() -> Self {
+        Self {
+            cpu: ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_cpu_2core()),
+            gfx: ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_gfx()),
+            llc_active_w: 0.12,
+        }
+    }
+}
+
+impl ComputeDomainPowerModel {
+    /// Total compute-domain power.
+    ///
+    /// * `cpu_state` / `gfx_state` — granted P-states.
+    /// * `cpu_activity` / `gfx_activity` — utilizations in `[0, 1]`.
+    /// * `c0_fraction` — fraction of time the package is in C0 (gates the LLC
+    ///   overhead).
+    /// * `leakage_fraction` — compute leakage retained given the C-state
+    ///   residency profile.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn power(
+        &self,
+        cpu_state: PState,
+        cpu_activity: f64,
+        gfx_state: PState,
+        gfx_activity: f64,
+        c0_fraction: f64,
+        leakage_fraction: f64,
+    ) -> Power {
+        let cpu = self.cpu.power(cpu_state, cpu_activity, leakage_fraction);
+        let gfx = self.gfx.power(gfx_state, gfx_activity, leakage_fraction);
+        let llc = Power::from_watts(self.llc_active_w * c0_fraction.clamp(0.0, 1.0));
+        cpu + gfx + llc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_compute::PStateTable;
+    use sysscale_types::Freq;
+
+    fn cpu_model() -> ComputeUnitPowerModel {
+        ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_cpu_2core())
+    }
+
+    #[test]
+    fn cpu_power_at_base_frequency_fits_a_4_5w_budget() {
+        let table = PStateTable::skylake_cpu();
+        let state = table.ceil_state(Freq::from_ghz(1.2));
+        let p = cpu_model().power(state, 1.0, 1.0);
+        // Leaves room for uncore + DRAM within 4.5 W.
+        assert!(p.as_watts() > 0.8 && p.as_watts() < 2.2, "cpu power {p}");
+    }
+
+    #[test]
+    fn cpu_power_at_max_frequency_exceeds_the_mobile_tdp() {
+        // This is what makes the part thermally limited and the budget
+        // redistribution valuable.
+        let table = PStateTable::skylake_cpu();
+        let p = cpu_model().power(table.highest(), 1.0, 1.0);
+        assert!(p.as_watts() > 4.5, "max cpu power {p}");
+    }
+
+    #[test]
+    fn power_is_monotonic_along_the_pstate_ladder() {
+        let table = PStateTable::skylake_cpu();
+        let model = cpu_model();
+        let mut last = Power::ZERO;
+        for &s in table.states() {
+            let p = model.power(s, 0.8, 1.0);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn activity_and_leakage_fraction_scale_power() {
+        let table = PStateTable::skylake_cpu();
+        let s = table.ceil_state(Freq::from_ghz(1.5));
+        let model = cpu_model();
+        let busy = model.power(s, 1.0, 1.0);
+        let idle_clocked = model.power(s, 0.0, 1.0);
+        let gated = model.power(s, 0.0, 0.05);
+        assert!(busy > idle_clocked);
+        assert!(idle_clocked > gated);
+        // Fully gated and idle: only residual leakage remains.
+        assert!(gated.as_watts() < 0.05);
+    }
+
+    #[test]
+    fn gfx_power_dominates_cpu_at_equal_voltage_frequency() {
+        // Sec. 7.2: while running graphics workloads the graphics engines
+        // consume 80-90% of the compute budget.
+        let cpu = cpu_model();
+        let gfx = ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_gfx());
+        let state = PState {
+            freq: Freq::from_ghz(0.8),
+            voltage: Voltage::from_mv(700.0),
+        };
+        assert!(gfx.power(state, 1.0, 1.0) > cpu.power(state, 1.0, 1.0));
+    }
+
+    #[test]
+    fn domain_model_sums_units_and_llc() {
+        let model = ComputeDomainPowerModel::default();
+        let cpu_table = PStateTable::skylake_cpu();
+        let gfx_table = PStateTable::skylake_gfx();
+        let cpu_s = cpu_table.ceil_state(Freq::from_ghz(1.2));
+        let gfx_s = gfx_table.lowest();
+        let total = model.power(cpu_s, 0.9, gfx_s, 0.1, 1.0, 1.0);
+        let parts = model.cpu.power(cpu_s, 0.9, 1.0)
+            + model.gfx.power(gfx_s, 0.1, 1.0)
+            + Power::from_watts(model.llc_active_w);
+        assert!((total.as_watts() - parts.as_watts()).abs() < 1e-12);
+        // Idle package burns almost nothing.
+        let idle = model.power(cpu_s, 0.0, gfx_s, 0.0, 0.0, 0.05);
+        assert!(idle.as_watts() < 0.1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = ComputeDomainPowerModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ComputeDomainPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

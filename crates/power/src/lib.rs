@@ -1,0 +1,44 @@
+//! # sysscale-power
+//!
+//! Power infrastructure for the SysScale simulator: voltage rails and
+//! regulators, compute-domain power models, TDP budgeting with the
+//! compute-domain power budget manager (PBM), and per-component power/energy
+//! accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_power::{BudgetPolicy, ComputeRequest, PowerBudgetManager};
+//! use sysscale_types::{Freq, Power};
+//!
+//! let policy = BudgetPolicy::default();
+//! let pbm = PowerBudgetManager::default();
+//! let budgets = policy.worst_case_budgets(Power::from_watts(4.5));
+//! let grant = pbm.grant(
+//!     budgets.compute,
+//!     &ComputeRequest {
+//!         cpu_requested: Freq::from_ghz(2.9),
+//!         gfx_requested: Freq::from_ghz(0.3),
+//!         cpu_activity: 1.0,
+//!         gfx_activity: 0.0,
+//!         gfx_priority: false,
+//!         c0_fraction: 1.0,
+//!         leakage_fraction: 1.0,
+//!     },
+//! );
+//! assert!(grant.estimated_power <= budgets.compute);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod breakdown;
+mod budget;
+mod compute_power;
+mod rails;
+
+pub use breakdown::{EnergyAccount, PowerBreakdown};
+pub use budget::{BudgetPolicy, ComputeGrant, ComputeRequest, DomainBudgets, PowerBudgetManager};
+pub use compute_power::{ComputeDomainPowerModel, ComputeUnitPowerModel, ComputeUnitPowerParams};
+pub use rails::{NominalVoltages, RailVoltages, VoltageRegulator};

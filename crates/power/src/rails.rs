@@ -1,0 +1,174 @@
+//! Voltage rails and regulator state.
+//!
+//! The SoC's components draw from five rails (Fig. 1): `V_SA` (memory
+//! controller, IO interconnect, IO engines), `V_IO` (DDRIO-digital and IO
+//! PHYs), `VDDQ` (DRAM and DDRIO-analog, not scaled), and the two compute
+//! rails (`V_CORE`, `V_GFX`). SysScale scales `V_SA` and `V_IO` together with
+//! the uncore frequencies; the compute rails follow the granted P-states.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{Rail, SimError, SimResult, SimTime, UncoreOperatingPoint, Voltage};
+
+/// Nominal (highest-operating-point) rail voltages of the modelled SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NominalVoltages {
+    /// Nominal `V_SA`.
+    pub vsa: Voltage,
+    /// Nominal `V_IO`.
+    pub vio: Voltage,
+    /// `VDDQ` (fixed; commercial DRAM does not support voltage scaling,
+    /// Sec. 2.4).
+    pub vddq: Voltage,
+}
+
+impl Default for NominalVoltages {
+    fn default() -> Self {
+        Self {
+            vsa: Voltage::from_mv(800.0),
+            vio: Voltage::from_mv(950.0),
+            vddq: Voltage::from_mv(1_200.0),
+        }
+    }
+}
+
+/// Current rail voltages of the uncore, derived from the active operating
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RailVoltages {
+    /// Current `V_SA`.
+    pub vsa: Voltage,
+    /// Current `V_IO`.
+    pub vio: Voltage,
+    /// Current `VDDQ` (never scaled).
+    pub vddq: Voltage,
+}
+
+impl RailVoltages {
+    /// Rail voltages implied by an uncore operating point.
+    #[must_use]
+    pub fn for_operating_point(nominal: &NominalVoltages, op: &UncoreOperatingPoint) -> Self {
+        Self {
+            vsa: nominal.vsa * op.vsa_scale,
+            vio: nominal.vio * op.vio_scale,
+            vddq: nominal.vddq,
+        }
+    }
+
+    /// Voltage of a named uncore rail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked for a compute rail — those are governed by P-states,
+    /// not by the uncore operating point.
+    #[must_use]
+    pub fn rail(&self, rail: Rail) -> Voltage {
+        match rail {
+            Rail::VSa => self.vsa,
+            Rail::VIo => self.vio,
+            Rail::Vddq => self.vddq,
+            Rail::VCore | Rail::VGfx => {
+                panic!("compute rail voltages are set by P-states, not the uncore operating point")
+            }
+        }
+    }
+}
+
+/// A voltage regulator with a finite slew rate, used to model the
+/// voltage-transition component of the DVFS flow latency (Sec. 5: ≈2 µs for
+/// a ±100 mV step at 50 mV/µs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageRegulator {
+    /// Slew rate in volts per second.
+    pub slew_v_per_s: f64,
+}
+
+impl Default for VoltageRegulator {
+    fn default() -> Self {
+        // 50 mV/µs (Sec. 5).
+        Self {
+            slew_v_per_s: 50_000.0,
+        }
+    }
+}
+
+impl VoltageRegulator {
+    /// Creates a regulator with the given slew rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-positive slew rate.
+    pub fn new(slew_v_per_s: f64) -> SimResult<Self> {
+        if slew_v_per_s <= 0.0 {
+            return Err(SimError::invalid_config("regulator slew rate must be positive"));
+        }
+        Ok(Self { slew_v_per_s })
+    }
+
+    /// Time to move the rail from `from` to `to`.
+    #[must_use]
+    pub fn transition_time(&self, from: Voltage, to: Voltage) -> SimTime {
+        let delta = (to.as_volts() - from.as_volts()).abs();
+        SimTime::from_secs(delta / self.slew_v_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_types::skylake_lpddr3_ladder;
+
+    #[test]
+    fn operating_point_scales_vsa_and_vio_but_not_vddq() {
+        let nominal = NominalVoltages::default();
+        let ladder = skylake_lpddr3_ladder();
+        let high = RailVoltages::for_operating_point(&nominal, ladder.highest());
+        let low = RailVoltages::for_operating_point(&nominal, ladder.lowest());
+        assert_eq!(high.vsa, nominal.vsa);
+        assert_eq!(high.vio, nominal.vio);
+        assert!((low.vsa.as_mv() - 640.0).abs() < 1e-9);
+        assert!((low.vio.as_mv() - 807.5).abs() < 1e-9);
+        assert_eq!(low.vddq, nominal.vddq);
+        assert_eq!(low.rail(Rail::VSa), low.vsa);
+        assert_eq!(low.rail(Rail::Vddq), nominal.vddq);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute rail")]
+    fn compute_rail_lookup_panics() {
+        let nominal = NominalVoltages::default();
+        let ladder = skylake_lpddr3_ladder();
+        let v = RailVoltages::for_operating_point(&nominal, ladder.highest());
+        let _ = v.rail(Rail::VCore);
+    }
+
+    #[test]
+    fn regulator_transition_time_matches_paper_budget() {
+        // ±100 mV at 50 mV/µs is 2 µs.
+        let vr = VoltageRegulator::default();
+        let t = vr.transition_time(Voltage::from_mv(800.0), Voltage::from_mv(700.0));
+        assert!((t.as_micros() - 2.0).abs() < 1e-9);
+        // The Table 1 V_SA swing (800 -> 640 mV) stays within ~3.2 µs.
+        let t2 = vr.transition_time(Voltage::from_mv(800.0), Voltage::from_mv(640.0));
+        assert!(t2.as_micros() < 3.5);
+        assert_eq!(
+            vr.transition_time(Voltage::from_mv(640.0), Voltage::from_mv(800.0)),
+            t2
+        );
+    }
+
+    #[test]
+    fn regulator_validation() {
+        assert!(VoltageRegulator::new(0.0).is_err());
+        assert!(VoltageRegulator::new(-5.0).is_err());
+        assert!(VoltageRegulator::new(40_000.0).is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let nominal = NominalVoltages::default();
+        let json = serde_json::to_string(&nominal).unwrap();
+        let back: NominalVoltages = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, nominal);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for power budgeting and accounting invariants.
+
+use proptest::prelude::*;
+
+use sysscale_compute::PStateTable;
+use sysscale_power::{
+    BudgetPolicy, ComputeRequest, ComputeUnitPowerModel, ComputeUnitPowerParams, EnergyAccount,
+    PowerBreakdown, PowerBudgetManager,
+};
+use sysscale_types::{Component, Domain, Freq, Power, SimTime};
+
+fn arb_request() -> impl Strategy<Value = ComputeRequest> {
+    (
+        0.4f64..2.9,
+        0.3f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        any::<bool>(),
+        0.05f64..1.0,
+    )
+        .prop_map(|(cpu_ghz, gfx_ghz, cpu_act, gfx_act, gfx_priority, c0)| ComputeRequest {
+            cpu_requested: Freq::from_ghz(cpu_ghz),
+            gfx_requested: Freq::from_ghz(gfx_ghz),
+            cpu_activity: cpu_act,
+            gfx_activity: gfx_act,
+            gfx_priority,
+            c0_fraction: c0,
+            leakage_fraction: c0.max(0.1),
+        })
+}
+
+proptest! {
+    /// The PBM never grants a configuration whose estimate exceeds the budget
+    /// unless even the floor states exceed it, and never exceeds the
+    /// requested frequencies.
+    #[test]
+    fn pbm_grant_is_safe(budget_w in 0.3f64..6.0, req in arb_request()) {
+        let pbm = PowerBudgetManager::default();
+        let budget = Power::from_watts(budget_w);
+        let grant = pbm.grant(budget, &req);
+        let floor_estimate = {
+            let cpu = pbm.cpu_table().lowest();
+            let gfx = pbm.gfx_table().lowest();
+            pbm.model().power(cpu, req.cpu_activity * req.c0_fraction, gfx,
+                req.gfx_activity * req.c0_fraction, req.c0_fraction, req.leakage_fraction)
+        };
+        if grant.estimated_power > budget {
+            // Only allowed when even the floor does not fit.
+            prop_assert!(floor_estimate > budget);
+        }
+        prop_assert!(grant.cpu.freq <= req.cpu_requested * 1.001 || grant.cpu == pbm.cpu_table().lowest());
+        prop_assert!(grant.gfx.freq <= req.gfx_requested * 1.001 || grant.gfx == pbm.gfx_table().lowest());
+    }
+
+    /// A larger budget never results in a lower granted frequency for the
+    /// unit budgeted first (the non-priority unit may legitimately receive
+    /// less when the priority unit absorbs the extra headroom).
+    #[test]
+    fn pbm_grant_monotonic_in_budget(b1 in 0.5f64..5.0, extra in 0.0f64..2.0, req in arb_request()) {
+        let pbm = PowerBudgetManager::default();
+        let small = pbm.grant(Power::from_watts(b1), &req);
+        let large = pbm.grant(Power::from_watts(b1 + extra), &req);
+        if req.gfx_priority {
+            prop_assert!(large.gfx.freq >= small.gfx.freq);
+        } else {
+            prop_assert!(large.cpu.freq >= small.cpu.freq);
+        }
+    }
+
+    /// Budget splits always conserve the TDP (within the minimum-compute
+    /// floor) and demand-driven compute budget is never below the worst-case
+    /// compute budget.
+    #[test]
+    fn budget_split_conservation(tdp_w in 3.5f64..15.0, io_w in 0.05f64..1.2, mem_w in 0.05f64..1.5) {
+        let policy = BudgetPolicy::default();
+        let tdp = Power::from_watts(tdp_w);
+        let worst = policy.worst_case_budgets(tdp);
+        let demand = policy.demand_driven_budgets(tdp, Power::from_watts(io_w), Power::from_watts(mem_w));
+        prop_assert!(worst.total().as_watts() <= tdp_w + 1e-9);
+        prop_assert!(demand.total().as_watts() <= tdp_w + 1e-9);
+        prop_assert!(demand.compute >= worst.compute - Power::from_mw(1e-6));
+    }
+
+    /// Compute-unit power is monotone in activity and in P-state index.
+    #[test]
+    fn unit_power_monotonic(a1 in 0.0f64..1.0, a2 in 0.0f64..1.0, idx in 0usize..25) {
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let model = ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_cpu_2core());
+        let table = PStateTable::skylake_cpu();
+        let s = table.states()[idx.min(table.len() - 1)];
+        prop_assert!(model.power(s, hi, 1.0).as_watts() >= model.power(s, lo, 1.0).as_watts() - 1e-12);
+        if idx + 1 < table.len() {
+            let s2 = table.states()[idx + 1];
+            prop_assert!(model.power(s2, hi, 1.0) >= model.power(s, hi, 1.0));
+        }
+    }
+
+    /// Energy accounting: total energy equals average power times duration,
+    /// and domain energies sum to the total.
+    #[test]
+    fn energy_account_consistency(slices in proptest::collection::vec((0.1f64..3.0, 0.05f64..1.0, 0.05f64..0.6), 1..40)) {
+        let mut acc = EnergyAccount::new();
+        for (cpu_w, dram_w, io_w) in &slices {
+            let mut b = PowerBreakdown::new();
+            b.set(Component::CpuCores, Power::from_watts(*cpu_w));
+            b.set(Component::Dram, Power::from_watts(*dram_w));
+            b.set(Component::IoInterconnect, Power::from_watts(*io_w));
+            acc.accumulate(&b, SimTime::from_millis(1.0));
+        }
+        let total = acc.total().as_joules();
+        let by_domain: f64 = [Domain::Compute, Domain::Io, Domain::Memory]
+            .iter()
+            .map(|&d| acc.domain(d).as_joules())
+            .sum();
+        prop_assert!((total - by_domain).abs() < 1e-12);
+        let avg = acc.average_power();
+        prop_assert!(((avg * acc.duration()).as_joules() - total).abs() < 1e-9);
+    }
+}

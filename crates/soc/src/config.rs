@@ -1,0 +1,214 @@
+//! SoC configuration: everything Table 2 specifies plus the model knobs.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::{CpuConfig, HardwareDutyCycle, LlcConfig, PStateTable};
+use sysscale_dram::DramModule;
+use sysscale_interconnect::FabricParams;
+use sysscale_memctrl::MemoryControllerParams;
+use sysscale_power::{BudgetPolicy, NominalVoltages};
+use sysscale_types::{
+    skylake_lpddr3_ladder, Freq, OperatingPointTable, Power, SimError, SimResult, SimTime,
+    TransitionLatency, UncoreOperatingPoint,
+};
+
+/// Complete configuration of the simulated SoC platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Thermal design power of the package (4.5 W on the M-6Y75; the part is
+    /// configurable from 3.5 W to 7 W, and the architecture scales to 91 W —
+    /// Sec. 7.4).
+    pub tdp: Power,
+    /// The ladder of uncore (IO + memory domain) operating points.
+    pub uncore_ladder: OperatingPointTable,
+    /// Nominal rail voltages.
+    pub nominal_voltages: NominalVoltages,
+    /// How the TDP is split between domains.
+    pub budget_policy: BudgetPolicy,
+    /// CPU P-state ladder.
+    pub cpu_pstates: PStateTable,
+    /// Graphics P-state ladder.
+    pub gfx_pstates: PStateTable,
+    /// CPU core configuration.
+    pub cpu: CpuConfig,
+    /// LLC configuration.
+    pub llc: LlcConfig,
+    /// Memory-controller service-model parameters.
+    pub memory_controller: MemoryControllerParams,
+    /// IO-interconnect parameters.
+    pub fabric: FabricParams,
+    /// DRAM module attached to the SoC.
+    pub dram: DramModule,
+    /// DVFS transition latency components.
+    pub transition_latency: TransitionLatency,
+    /// Length of one simulation slice (and of one PMU counter sample).
+    pub slice: SimTime,
+    /// PMU evaluation interval: how often the governor runs (30 ms default,
+    /// Sec. 4.3).
+    pub evaluation_interval: SimTime,
+    /// Whether the DVFS flow reloads optimized MRC register values on every
+    /// transition (true for SysScale; false reproduces the naive flow of
+    /// Observation 4).
+    pub reload_mrc_on_transition: bool,
+    /// Hardware duty cycling applied to the compute domain (used at very low
+    /// TDP, Sec. 7.2).
+    pub hdc: HardwareDutyCycle,
+}
+
+impl SocConfig {
+    /// The Skylake M-6Y75-like configuration of Table 2 at a given TDP.
+    #[must_use]
+    pub fn skylake_m_6y75(tdp: Power) -> Self {
+        Self {
+            tdp,
+            uncore_ladder: skylake_lpddr3_ladder(),
+            nominal_voltages: NominalVoltages::default(),
+            budget_policy: BudgetPolicy::default(),
+            cpu_pstates: PStateTable::skylake_cpu(),
+            gfx_pstates: PStateTable::skylake_gfx(),
+            cpu: CpuConfig::default(),
+            llc: LlcConfig::default(),
+            memory_controller: MemoryControllerParams::default(),
+            fabric: FabricParams::default(),
+            dram: DramModule::skylake_lpddr3(),
+            transition_latency: TransitionLatency::skylake_default(),
+            slice: SimTime::from_millis(1.0),
+            evaluation_interval: SimTime::from_millis(30.0),
+            reload_mrc_on_transition: true,
+            hdc: HardwareDutyCycle::disabled(),
+        }
+    }
+
+    /// The default 4.5 W configuration used throughout the evaluation.
+    #[must_use]
+    pub fn skylake_default() -> Self {
+        Self::skylake_m_6y75(Power::from_watts(4.5))
+    }
+
+    /// A DDR4 variant of the platform for the Sec. 7.4 sensitivity study:
+    /// DDR4-2133 scaled between 1.86 GHz and 1.33 GHz.
+    #[must_use]
+    pub fn skylake_ddr4(tdp: Power) -> Self {
+        let ladder = OperatingPointTable::new(vec![
+            UncoreOperatingPoint::new(Freq::from_ghz(1.3333), Freq::from_ghz(0.4), 0.82, 0.87),
+            UncoreOperatingPoint::new(Freq::from_ghz(1.8666), Freq::from_ghz(0.8), 1.0, 1.0),
+        ])
+        .expect("static ladder is well formed");
+        Self {
+            uncore_ladder: ladder,
+            dram: DramModule::ddr4_variant(),
+            ..Self::skylake_m_6y75(tdp)
+        }
+    }
+
+    /// A three-point LPDDR3 ladder including the 0.8 GHz bin (used by the
+    /// Sec. 7.4 operating-point-count ablation).
+    #[must_use]
+    pub fn skylake_three_point(tdp: Power) -> Self {
+        let ladder = OperatingPointTable::new(vec![
+            UncoreOperatingPoint::new(Freq::from_ghz(0.8), Freq::from_ghz(0.3), 0.80, 0.82),
+            UncoreOperatingPoint::new(Freq::from_ghz(1.0666), Freq::from_ghz(0.4), 0.80, 0.85),
+            UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
+        ])
+        .expect("static ladder is well formed");
+        Self {
+            uncore_ladder: ladder,
+            ..Self::skylake_m_6y75(tdp)
+        }
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the TDP cannot cover the budget
+    /// policy, timing intervals are inconsistent, or any ladder frequency is
+    /// unsupported by the DRAM module.
+    pub fn validate(&self) -> SimResult<()> {
+        self.budget_policy.validate(self.tdp)?;
+        self.cpu.validate()?;
+        self.llc.validate()?;
+        self.memory_controller.validate()?;
+        self.fabric.validate()?;
+        if self.slice <= SimTime::ZERO {
+            return Err(SimError::invalid_config("slice duration must be positive"));
+        }
+        if self.evaluation_interval < self.slice {
+            return Err(SimError::invalid_config(
+                "evaluation interval must be at least one slice",
+            ));
+        }
+        for (_, op) in self.uncore_ladder.iter() {
+            if !self.dram.supports_frequency(op.dram_freq) {
+                return Err(SimError::invalid_config(format!(
+                    "dram does not support the {:.0} MHz operating point",
+                    op.dram_freq.as_mhz()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self::skylake_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table2() {
+        let cfg = SocConfig::skylake_default();
+        assert!(cfg.validate().is_ok());
+        assert!((cfg.tdp.as_watts() - 4.5).abs() < 1e-12);
+        assert_eq!(cfg.cpu.cores, 2);
+        assert_eq!(cfg.llc.size_mib, 4.0);
+        assert_eq!(cfg.uncore_ladder.len(), 2);
+        assert!((cfg.evaluation_interval.as_millis() - 30.0).abs() < 1e-9);
+        assert!(cfg.reload_mrc_on_transition);
+    }
+
+    #[test]
+    fn tdp_variants_validate_across_the_paper_range() {
+        for tdp in [3.5, 4.5, 7.0, 15.0] {
+            let cfg = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
+            assert!(cfg.validate().is_ok(), "tdp {tdp}");
+        }
+        // A TDP below the uncore reservation is rejected.
+        assert!(SocConfig::skylake_m_6y75(Power::from_watts(1.0)).validate().is_err());
+    }
+
+    #[test]
+    fn ddr4_and_three_point_variants_are_consistent() {
+        assert!(SocConfig::skylake_ddr4(Power::from_watts(4.5)).validate().is_ok());
+        let three = SocConfig::skylake_three_point(Power::from_watts(4.5));
+        assert!(three.validate().is_ok());
+        assert_eq!(three.uncore_ladder.len(), 3);
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_intervals_and_frequencies() {
+        let mut cfg = SocConfig::skylake_default();
+        cfg.evaluation_interval = SimTime::from_micros(100.0);
+        assert!(cfg.validate().is_err());
+        let mut cfg2 = SocConfig::skylake_default();
+        cfg2.dram = DramModule::ddr4_variant();
+        // LPDDR3 ladder frequencies are not DDR4 bins.
+        assert!(cfg2.validate().is_err());
+        let mut cfg3 = SocConfig::skylake_default();
+        cfg3.slice = SimTime::ZERO;
+        assert!(cfg3.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SocConfig::skylake_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SocConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

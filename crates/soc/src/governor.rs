@@ -1,0 +1,179 @@
+//! The governor interface: the hook through which a power-management policy
+//! (SysScale, MemScale-like, or a fixed baseline) steers the uncore DVFS of
+//! the simulated SoC.
+//!
+//! The PMU invokes the governor once per evaluation interval (30 ms by
+//! default) with the averaged counter window, the CSR-derived static demand,
+//! and the current operating point; the governor answers with the target
+//! operating point and whether the budget it frees may be redistributed to
+//! the compute domain.
+
+use std::fmt::Debug;
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_types::{
+    Bandwidth, CounterWindow, Freq, OperatingPointId, OperatingPointTable, Power,
+};
+
+/// Everything the PMU gives the governor at an evaluation-interval boundary.
+#[derive(Debug)]
+pub struct GovernorInput<'a> {
+    /// Averaged performance-counter window collected over the elapsed
+    /// evaluation interval (one sample per slice).
+    pub counters: &'a CounterWindow,
+    /// Static (CSR-derived) bandwidth demand of the peripherals.
+    pub static_demand: Bandwidth,
+    /// The operating point the uncore is currently running at.
+    pub current_op: OperatingPointId,
+    /// The ladder of available operating points.
+    pub ladder: &'a OperatingPointTable,
+    /// Package TDP.
+    pub tdp: Power,
+    /// Peak DRAM bandwidth at the *highest* operating point (used to express
+    /// thresholds as fractions of peak).
+    pub peak_bandwidth: Bandwidth,
+    /// Duration of one counter sample (one slice), in seconds.
+    pub sample_seconds: f64,
+}
+
+/// The governor's decision for the next evaluation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorDecision {
+    /// The operating point the uncore should run at.
+    pub target_op: OperatingPointId,
+    /// Whether the power freed by running the uncore below its worst-case
+    /// reservation may be handed to the compute domain (SysScale: yes;
+    /// power-save-only policies: no).
+    pub redistribute_to_compute: bool,
+    /// Optional cap on the CPU frequency request (used by CoScale-style
+    /// coordinated policies that also slow the cores on memory-bound phases).
+    pub cpu_freq_cap: Option<Freq>,
+}
+
+impl GovernorDecision {
+    /// Keep the current operating point, no redistribution, no CPU cap.
+    #[must_use]
+    pub fn stay_at(op: OperatingPointId) -> Self {
+        Self {
+            target_op: op,
+            redistribute_to_compute: false,
+            cpu_freq_cap: None,
+        }
+    }
+}
+
+/// A power-management policy driving the uncore DVFS.
+pub trait Governor: Debug {
+    /// Short policy name used in reports.
+    fn name(&self) -> &str;
+
+    /// Decides the operating point for the next evaluation interval.
+    fn decide(&mut self, input: &GovernorInput<'_>) -> GovernorDecision;
+}
+
+/// A governor that pins the uncore at a fixed operating point. With the
+/// highest point this is the *baseline* system of the evaluation (SysScale
+/// disabled); with the lowest point it reproduces the static MD-DVFS setup of
+/// the motivation experiment (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedGovernor {
+    /// Pin to the highest (true) or lowest (false) point of the ladder.
+    pub use_highest: bool,
+    /// Whether any freed budget is redistributed (only meaningful when
+    /// pinned at the lowest point; used by the motivation experiment's
+    /// "MD-DVFS + 1.3 GHz cores" configuration).
+    pub redistribute: bool,
+}
+
+impl FixedGovernor {
+    /// The evaluation baseline: uncore pinned at the highest operating point.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            use_highest: true,
+            redistribute: false,
+        }
+    }
+
+    /// The static multi-domain-DVFS setup of the motivation experiment
+    /// (Table 1): uncore pinned at the lowest point.
+    #[must_use]
+    pub fn md_dvfs(redistribute: bool) -> Self {
+        Self {
+            use_highest: false,
+            redistribute,
+        }
+    }
+}
+
+impl Governor for FixedGovernor {
+    fn name(&self) -> &str {
+        if self.use_highest {
+            "baseline-fixed-high"
+        } else if self.redistribute {
+            "md-dvfs-redistribute"
+        } else {
+            "md-dvfs"
+        }
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> GovernorDecision {
+        let target = if self.use_highest {
+            input.ladder.highest_id()
+        } else {
+            input.ladder.lowest_id()
+        };
+        GovernorDecision {
+            target_op: target,
+            redistribute_to_compute: self.redistribute,
+            cpu_freq_cap: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_types::skylake_lpddr3_ladder;
+
+    fn input<'a>(
+        window: &'a CounterWindow,
+        ladder: &'a OperatingPointTable,
+    ) -> GovernorInput<'a> {
+        GovernorInput {
+            counters: window,
+            static_demand: Bandwidth::from_gib_s(2.0),
+            current_op: ladder.highest_id(),
+            ladder,
+            tdp: Power::from_watts(4.5),
+            peak_bandwidth: Bandwidth::from_gib_s(23.8),
+            sample_seconds: 1e-3,
+        }
+    }
+
+    #[test]
+    fn fixed_governor_pins_the_requested_end() {
+        let ladder = skylake_lpddr3_ladder();
+        let window = CounterWindow::new();
+        let mut hi = FixedGovernor::baseline();
+        let mut lo = FixedGovernor::md_dvfs(true);
+        let d_hi = hi.decide(&input(&window, &ladder));
+        let d_lo = lo.decide(&input(&window, &ladder));
+        assert_eq!(d_hi.target_op, ladder.highest_id());
+        assert!(!d_hi.redistribute_to_compute);
+        assert_eq!(d_lo.target_op, ladder.lowest_id());
+        assert!(d_lo.redistribute_to_compute);
+        assert_eq!(hi.name(), "baseline-fixed-high");
+        assert_eq!(lo.name(), "md-dvfs-redistribute");
+        assert_eq!(FixedGovernor::md_dvfs(false).name(), "md-dvfs");
+    }
+
+    #[test]
+    fn stay_at_helper() {
+        let d = GovernorDecision::stay_at(OperatingPointId(1));
+        assert_eq!(d.target_op, OperatingPointId(1));
+        assert!(!d.redistribute_to_compute);
+        assert!(d.cpu_freq_cap.is_none());
+    }
+}

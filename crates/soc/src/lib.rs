@@ -1,0 +1,42 @@
+//! # sysscale-soc
+//!
+//! The full mobile-SoC simulator: a slice-based model of the three domains
+//! (compute, IO, memory) with their shared voltage rails, the PMU evaluation
+//! loop, the Fig. 5 uncore DVFS transition flow, and the [`Governor`] trait
+//! that power-management policies (SysScale, baselines) plug into.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+//! use sysscale_types::SimTime;
+//! use sysscale_workloads::spec_workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = SocSimulator::new(SocConfig::skylake_default())?;
+//! let workload = spec_workload("perlbench").expect("part of the suite");
+//! let report = sim.run(
+//!     &workload,
+//!     &mut FixedGovernor::baseline(),
+//!     SimTime::from_millis(100.0),
+//! )?;
+//! assert!(report.average_power().as_watts() < 4.6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod governor;
+mod report;
+mod sim;
+mod transition;
+
+pub use config::SocConfig;
+pub use governor::{FixedGovernor, Governor, GovernorDecision, GovernorInput};
+pub use report::{SimReport, SliceTrace};
+pub use sim::{SocSimulator, UncoreEstimate};
+pub use transition::{TransitionFlow, TransitionStats};

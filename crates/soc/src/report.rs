@@ -1,0 +1,156 @@
+//! Simulation reports: what one run of the simulator produces.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_power::EnergyAccount;
+use sysscale_types::{
+    CounterKind, CounterSet, Domain, Power, RunMetrics, SimTime,
+};
+
+use crate::transition::TransitionStats;
+
+/// Result of simulating one workload under one governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// Name of the governor that steered the uncore.
+    pub governor: String,
+    /// Aggregate run metrics (duration, energy, work done).
+    pub metrics: RunMetrics,
+    /// Per-component integrated energy.
+    pub energy: EnergyAccount,
+    /// Total counter values accumulated over the run.
+    pub counters: CounterSet,
+    /// DVFS transition statistics.
+    pub transitions: TransitionStats,
+    /// Number of slices in which isochronous QoS was violated.
+    pub qos_violations: u64,
+    /// Fraction of the run spent at the lowest uncore operating point.
+    pub low_op_residency: f64,
+    /// Average achieved frame rate (graphics and battery-life workloads).
+    pub average_fps: f64,
+    /// Average effective CPU frequency granted by the PBM.
+    pub average_cpu_freq_ghz: f64,
+    /// Average graphics frequency granted by the PBM.
+    pub average_gfx_freq_ghz: f64,
+}
+
+impl SimReport {
+    /// Average SoC power over the run.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        self.metrics.average_power()
+    }
+
+    /// Average power of one domain over the run.
+    #[must_use]
+    pub fn average_domain_power(&self, domain: Domain) -> Power {
+        self.energy.average_domain_power(domain)
+    }
+
+    /// Average main-memory bandwidth consumed over the run.
+    #[must_use]
+    pub fn average_memory_bandwidth_gib_s(&self) -> f64 {
+        let duration = self.metrics.duration;
+        if duration.is_zero() {
+            return 0.0;
+        }
+        self.counters.value(CounterKind::MemoryBandwidthBytes)
+            / duration.as_secs()
+            / (1u64 << 30) as f64
+    }
+
+    /// Throughput relative to a baseline run of the same workload, as a
+    /// speedup percentage.
+    #[must_use]
+    pub fn speedup_pct_over(&self, baseline: &SimReport) -> f64 {
+        self.metrics.speedup_pct_over(&baseline.metrics)
+    }
+
+    /// Average-power reduction relative to a baseline run, in percent.
+    #[must_use]
+    pub fn power_reduction_pct_vs(&self, baseline: &SimReport) -> f64 {
+        self.metrics.power_reduction_pct_vs(&baseline.metrics)
+    }
+
+    /// Energy-delay-product improvement relative to a baseline run, percent.
+    #[must_use]
+    pub fn edp_improvement_pct_vs(&self, baseline: &SimReport) -> f64 {
+        self.metrics.edp_improvement_pct_vs(&baseline.metrics)
+    }
+}
+
+/// A compact per-slice record, collected when tracing is enabled. Used by the
+/// figure harness to plot bandwidth-demand-over-time curves (Fig. 3(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceTrace {
+    /// Simulated time at the start of the slice.
+    pub at: SimTime,
+    /// Memory bandwidth demanded during the slice, GiB/s.
+    pub demanded_gib_s: f64,
+    /// Memory bandwidth served during the slice, GiB/s.
+    pub served_gib_s: f64,
+    /// Total SoC power during the slice, watts.
+    pub power_w: f64,
+    /// Operating-point index the uncore ran at.
+    pub operating_point: usize,
+    /// Granted CPU frequency, GHz.
+    pub cpu_freq_ghz: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_types::Energy;
+
+    fn report(joules: f64, secs: f64, work: f64) -> SimReport {
+        SimReport {
+            workload: "w".into(),
+            governor: "g".into(),
+            metrics: RunMetrics::new(
+                SimTime::from_secs(secs),
+                Energy::from_joules(joules),
+                work,
+            ),
+            energy: EnergyAccount::new(),
+            counters: CounterSet::new(),
+            transitions: TransitionStats::default(),
+            qos_violations: 0,
+            low_op_residency: 0.0,
+            average_fps: 0.0,
+            average_cpu_freq_ghz: 0.0,
+            average_gfx_freq_ghz: 0.0,
+        }
+    }
+
+    #[test]
+    fn comparison_helpers_delegate_to_metrics() {
+        let base = report(9.0, 2.0, 100.0);
+        let better = report(8.1, 2.0, 110.0);
+        assert!((better.speedup_pct_over(&base) - 10.0).abs() < 1e-9);
+        assert!((better.power_reduction_pct_vs(&base) - 10.0).abs() < 1e-9);
+        assert!(better.edp_improvement_pct_vs(&base) > 0.0);
+        assert!((base.average_power().as_watts() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bandwidth_average_uses_counters() {
+        let mut r = report(9.0, 2.0, 100.0);
+        r.counters.set(
+            CounterKind::MemoryBandwidthBytes,
+            4.0 * (1u64 << 30) as f64,
+        );
+        assert!((r.average_memory_bandwidth_gib_s() - 2.0).abs() < 1e-9);
+        let empty = report(0.0, 0.0, 0.0);
+        assert_eq!(empty.average_memory_bandwidth_gib_s(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report(1.0, 1.0, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

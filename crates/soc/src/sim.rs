@@ -1,0 +1,692 @@
+//! The slice-based SoC simulator.
+//!
+//! Time advances in slices (1 ms by default, one PMU counter sample each).
+//! At every evaluation-interval boundary (30 ms) the PMU invokes the
+//! configured [`Governor`], executes any requested uncore DVFS transition
+//! through the Fig. 5 flow, recomputes the domain power budgets, and lets the
+//! compute-domain PBM re-grant CPU/graphics P-states. Within a slice the
+//! models are resolved with a short fixed-point iteration between the CPU's
+//! achieved instruction rate and the memory subsystem's queuing latency.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::{CpuModel, CpuPhaseDemand, GfxModel, LlcModel};
+use sysscale_dram::DramChip;
+use sysscale_interconnect::{InterconnectPowerModel, IoInterconnect};
+use sysscale_memctrl::{DdrIoPowerModel, MemCtrlPowerModel, MemoryController, TrafficDemand};
+use sysscale_power::{
+    ComputeDomainPowerModel, ComputeGrant, ComputeRequest, EnergyAccount, PowerBreakdown,
+    PowerBudgetManager, RailVoltages,
+};
+use sysscale_types::{
+    Bandwidth, Component, CounterKind, CounterSet, CounterWindow, OperatingPointId, Power,
+    RunMetrics, SimError, SimResult, SimTime, UncoreOperatingPoint,
+};
+use sysscale_workloads::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+
+use crate::config::SocConfig;
+use crate::governor::{Governor, GovernorInput};
+use crate::report::{SimReport, SliceTrace};
+use crate::transition::TransitionFlow;
+
+/// Uncore average-power estimate used for budget redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UncoreEstimate {
+    /// Estimated IO-domain power at the operating point.
+    pub io: Power,
+    /// Estimated memory-domain power at the operating point.
+    pub memory: Power,
+}
+
+/// The full-SoC simulator.
+#[derive(Debug)]
+pub struct SocSimulator {
+    config: SocConfig,
+    dram: DramChip,
+    fabric: IoInterconnect,
+    mc: MemoryController,
+    cpu: CpuModel,
+    gfx: GfxModel,
+    llc: LlcModel,
+    compute_power: ComputeDomainPowerModel,
+    mc_power: MemCtrlPowerModel,
+    ddrio_power: DdrIoPowerModel,
+    fabric_power: InterconnectPowerModel,
+    pbm: PowerBudgetManager,
+    current_op: OperatingPointId,
+}
+
+impl SocSimulator {
+    /// Creates a simulator for the given platform configuration. The uncore
+    /// starts at the highest operating point with optimized MRC registers
+    /// (the BIOS default, Sec. 2.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: SocConfig) -> SimResult<Self> {
+        config.validate()?;
+        let dram = DramChip::new(config.dram);
+        let fabric = IoInterconnect::new(
+            config.fabric,
+            config.uncore_ladder.highest().io_interconnect_freq,
+        )?;
+        let mc = MemoryController::new(config.memory_controller)?;
+        let cpu = CpuModel::new(config.cpu)?;
+        let llc = LlcModel::new(config.llc)?;
+        let pbm = PowerBudgetManager::new(
+            ComputeDomainPowerModel::default(),
+            config.cpu_pstates.clone(),
+            config.gfx_pstates.clone(),
+        );
+        let current_op = config.uncore_ladder.highest_id();
+        Ok(Self {
+            config,
+            dram,
+            fabric,
+            mc,
+            cpu,
+            gfx: GfxModel::new(),
+            llc,
+            compute_power: ComputeDomainPowerModel::default(),
+            mc_power: MemCtrlPowerModel::default(),
+            ddrio_power: DdrIoPowerModel::default(),
+            fabric_power: InterconnectPowerModel::default(),
+            pbm,
+            current_op,
+        })
+    }
+
+    /// The platform configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Peak DRAM bandwidth at the *highest* operating point.
+    #[must_use]
+    pub fn peak_bandwidth(&self) -> Bandwidth {
+        self.config
+            .dram
+            .peak_bandwidth(self.config.uncore_ladder.highest().dram_freq)
+    }
+
+    /// Runs `workload` under `governor` for `duration` of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySimulation`] for a non-positive duration and
+    /// propagates configuration errors from the transition flow.
+    pub fn run(
+        &mut self,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+    ) -> SimResult<SimReport> {
+        self.run_internal(workload, governor, duration, false)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`SocSimulator::run`], but also returns a per-slice trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SocSimulator::run`].
+    pub fn run_with_trace(
+        &mut self,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+    ) -> SimResult<(SimReport, Vec<SliceTrace>)> {
+        self.run_internal(workload, governor, duration, true)
+    }
+
+    /// Estimates the uncore average power at operating point `op` for a given
+    /// recent bandwidth and utilization level. Used to size the demand-driven
+    /// budget when the governor allows redistribution. A 10 % safety margin
+    /// is applied so the redistributed budget never starves the uncore.
+    #[must_use]
+    pub fn estimate_uncore_power(
+        &self,
+        op: &UncoreOperatingPoint,
+        bandwidth: Bandwidth,
+        isochronous: Bandwidth,
+    ) -> UncoreEstimate {
+        let rails = RailVoltages::for_operating_point(&self.config.nominal_voltages, op);
+        let peak = self.config.dram.peak_bandwidth(op.dram_freq);
+        let utilization = bandwidth.ratio(peak).clamp(0.0, 1.0);
+        let fabric_util = (bandwidth + isochronous)
+            .ratio(Bandwidth::from_bytes_per_sec(
+                self.config.fabric.bytes_per_cycle * op.io_interconnect_freq.as_hz(),
+            ))
+            .clamp(0.0, 1.0);
+
+        let fabric_p = self
+            .fabric_power
+            .power(op.io_interconnect_freq, rails.vsa, fabric_util);
+        let mc_p = self
+            .mc_power
+            .power(op.memory_controller_freq(), rails.vsa, utilization);
+        let ddrio = self
+            .ddrio_power
+            .power(op.ddrio_freq(), rails.vio, utilization, 1.0);
+        let dram_p = self.dram.power(bandwidth, 0.0).total();
+
+        let margin = 1.10;
+        UncoreEstimate {
+            io: (fabric_p + ddrio.digital) * margin,
+            memory: (mc_p + ddrio.analog + dram_p) * margin,
+        }
+    }
+
+    fn compute_request(
+        &self,
+        workload: &Workload,
+        phase: &WorkloadPhase,
+        cpu_cap: Option<sysscale_types::Freq>,
+    ) -> ComputeRequest {
+        let cpu_table = self.pbm.cpu_table();
+        let gfx_table = self.pbm.gfx_table();
+        let (cpu_requested, gfx_requested, gfx_priority) = match workload.class {
+            WorkloadClass::CpuSingleThread | WorkloadClass::CpuMultiThread | WorkloadClass::Micro => {
+                (cpu_table.highest().freq, gfx_table.lowest().freq, false)
+            }
+            WorkloadClass::Graphics => (cpu_table.pn().freq, gfx_table.highest().freq, true),
+            WorkloadClass::BatteryLife => (cpu_table.pn().freq, gfx_table.pn().freq, false),
+        };
+        let cpu_requested = match cpu_cap {
+            Some(cap) => cpu_requested.min(cap),
+            None => cpu_requested,
+        };
+        ComputeRequest {
+            cpu_requested,
+            gfx_requested,
+            cpu_activity: if phase.cpu.active_threads > 0 { 1.0 } else { 0.0 },
+            // Budget conservatively for a fully utilized engine; the actual
+            // utilization may be lower (capped frame rates), never higher.
+            gfx_activity: if phase.gfx.is_idle() { 0.0 } else { 1.0 },
+            gfx_priority,
+            c0_fraction: phase.cstates.active_fraction(),
+            leakage_fraction: phase.cstates.compute_leakage_fraction(),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_internal(
+        &mut self,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+        trace: bool,
+    ) -> SimResult<(SimReport, Vec<SliceTrace>)> {
+        if duration <= SimTime::ZERO {
+            return Err(SimError::EmptySimulation);
+        }
+        let slice = self.config.slice;
+        let n_slices = (duration.as_secs() / slice.as_secs()).round().max(1.0) as usize;
+        let slices_per_interval = (self.config.evaluation_interval.as_secs() / slice.as_secs())
+            .round()
+            .max(1.0) as usize;
+
+        // Reset mutable state to the boot configuration.
+        self.dram = DramChip::new(self.config.dram);
+        self.fabric = IoInterconnect::new(
+            self.config.fabric,
+            self.config.uncore_ladder.highest().io_interconnect_freq,
+        )?;
+        self.current_op = self.config.uncore_ladder.highest_id();
+        let mut flow = TransitionFlow::new(
+            self.config.transition_latency,
+            self.config.reload_mrc_on_transition,
+        );
+
+        let peak_at_highest = self.peak_bandwidth();
+        let static_iso = workload.peripherals.isochronous_demand();
+        let static_io = workload.peripherals.best_effort_demand();
+
+        let mut window = CounterWindow::new();
+        let mut totals = CounterSet::new();
+        let mut energy = EnergyAccount::new();
+        let mut traces = Vec::new();
+
+        let mut qos_violations = 0u64;
+        let mut low_op_slices = 0usize;
+        let mut instructions = 0.0f64;
+        let mut frames = 0.0f64;
+        let mut serviced = 0.0f64;
+        let mut cpu_freq_sum = 0.0f64;
+        let mut gfx_freq_sum = 0.0f64;
+        let mut pending_stall = SimTime::ZERO;
+        let mut recent_bandwidth = Bandwidth::ZERO;
+
+        // Initial budget/grant before the first evaluation interval.
+        let first_phase = workload.phase_at(SimTime::ZERO);
+        let mut budgets = self.config.budget_policy.worst_case_budgets(self.config.tdp);
+        let mut grant: ComputeGrant = self.pbm.grant(
+            budgets.compute,
+            &self.compute_request(workload, first_phase, None),
+        );
+
+        for slice_idx in 0..n_slices {
+            let now = SimTime::from_secs(slice_idx as f64 * slice.as_secs());
+            let phase = workload.phase_at(now).clone();
+
+            // ---- Evaluation-interval boundary: governor + PBM ----
+            if slice_idx % slices_per_interval == 0 {
+                let input = GovernorInput {
+                    counters: &window,
+                    static_demand: workload.peripherals.static_demand(),
+                    current_op: self.current_op,
+                    ladder: &self.config.uncore_ladder,
+                    tdp: self.config.tdp,
+                    peak_bandwidth: peak_at_highest,
+                    sample_seconds: slice.as_secs(),
+                };
+                let decision = governor.decide(&input);
+                window.clear();
+
+                let target = decision.target_op;
+                if self.config.uncore_ladder.get(target).is_none() {
+                    return Err(SimError::UnknownOperatingPoint {
+                        index: target.0,
+                        ladder_len: self.config.uncore_ladder.len(),
+                    });
+                }
+                if target != self.current_op {
+                    let op = *self
+                        .config
+                        .uncore_ladder
+                        .get(target)
+                        .expect("checked above");
+                    let stall = flow.execute(&op, &mut self.dram, &mut self.fabric)?;
+                    pending_stall += stall;
+                    self.current_op = target;
+                }
+
+                let op = *self
+                    .config
+                    .uncore_ladder
+                    .get(self.current_op)
+                    .expect("current op is always valid");
+                budgets = if decision.redistribute_to_compute {
+                    let estimate =
+                        self.estimate_uncore_power(&op, recent_bandwidth, static_iso);
+                    self.config.budget_policy.demand_driven_budgets(
+                        self.config.tdp,
+                        estimate.io,
+                        estimate.memory,
+                    )
+                } else {
+                    self.config.budget_policy.worst_case_budgets(self.config.tdp)
+                };
+                grant = self.pbm.grant(
+                    budgets.compute,
+                    &self.compute_request(workload, &phase, decision.cpu_freq_cap),
+                );
+            }
+
+            // ---- Slice resolution ----
+            let op = *self
+                .config
+                .uncore_ladder
+                .get(self.current_op)
+                .expect("current op is always valid");
+            let rails = RailVoltages::for_operating_point(&self.config.nominal_voltages, &op);
+            if self.current_op == self.config.uncore_ladder.lowest_id()
+                && self.config.uncore_ladder.len() > 1
+            {
+                low_op_slices += 1;
+            }
+
+            let active_frac = phase.cstates.active_fraction();
+            let dram_active_frac = phase.cstates.dram_active_fraction();
+            let uncore_activity = phase.cstates.uncore_activity();
+            let leakage_fraction = phase.cstates.compute_leakage_fraction();
+
+            let stall_fraction = (pending_stall.as_secs() / slice.as_secs()).min(1.0);
+            pending_stall = (pending_stall - slice).max(SimTime::ZERO);
+            let service_scale = 1.0 - stall_fraction;
+
+            let cpu_freq = grant.cpu.freq * self.config.hdc.throughput_factor();
+            let peak = self.dram.peak_bandwidth() * service_scale;
+            let idle_lat = self.dram.idle_access_latency();
+
+            let iso_demand = static_iso * dram_active_frac;
+            let io_demand =
+                static_io.max(phase.io.bandwidth_demand()) * dram_active_frac;
+
+            // Fixed point between achieved instruction rate and memory
+            // queuing latency.
+            let gfx_desired =
+                self.gfx.desired_bandwidth(&phase.gfx, grant.gfx.freq) * active_frac;
+            let cpu_demand_adj = CpuPhaseDemand {
+                mpki: self.llc.contended_mpki(phase.cpu.mpki, gfx_desired),
+                ..phase.cpu
+            };
+            let mut mem_latency = idle_lat;
+            let mut demand = TrafficDemand::IDLE;
+            let mut outcome = self.mc.serve(&demand, peak, idle_lat);
+            for _ in 0..4 {
+                let cpu_probe = self.cpu.evaluate(&cpu_demand_adj, cpu_freq, mem_latency, 1.0);
+                demand = TrafficDemand {
+                    cpu: cpu_probe.bandwidth_demand * active_frac,
+                    gfx: gfx_desired,
+                    isochronous: iso_demand,
+                    io: io_demand,
+                };
+                outcome = self.mc.serve(&demand, peak, idle_lat);
+                mem_latency = outcome.effective_latency;
+            }
+            let cpu_final = self.cpu.evaluate(
+                &cpu_demand_adj,
+                cpu_freq,
+                mem_latency,
+                outcome.cpu_service_ratio(&demand),
+            );
+            let gfx_granted = if active_frac > 0.0 {
+                outcome.served.gfx / active_frac
+            } else {
+                Bandwidth::ZERO
+            };
+            let gfx_final = self.gfx.evaluate(&phase.gfx, grant.gfx.freq, gfx_granted);
+
+            let fabric_out = self.fabric.carry(iso_demand + io_demand);
+            let served_total = outcome.served.total();
+            recent_bandwidth = served_total;
+
+            // ---- Work accounting ----
+            let dt = slice;
+            instructions += cpu_final.instructions_per_sec * dt.as_secs() * active_frac;
+            frames += gfx_final.fps * dt.as_secs() * active_frac;
+            serviced += dt.as_secs();
+            cpu_freq_sum += grant.cpu.freq.as_ghz();
+            gfx_freq_sum += grant.gfx.freq.as_ghz();
+
+            // ---- Counters ----
+            let mut sample = self.llc.slice_counters(dt, &cpu_final, cpu_freq, outcome.served.gfx);
+            sample.set(CounterKind::IoRpq, fabric_out.rpq_occupancy);
+            sample.set(
+                CounterKind::MemoryBandwidthBytes,
+                served_total.as_bytes_per_sec() * dt.as_secs(),
+            );
+            sample.set(
+                CounterKind::IsochronousBandwidthBytes,
+                outcome.served.isochronous.as_bytes_per_sec() * dt.as_secs(),
+            );
+            sample.set(CounterKind::FramesRendered, gfx_final.fps * dt.as_secs() * active_frac);
+            sample.set(CounterKind::C0ResidencySeconds, active_frac * dt.as_secs());
+            sample.set(
+                CounterKind::SelfRefreshSeconds,
+                (1.0 - dram_active_frac) * dt.as_secs(),
+            );
+            if outcome.qos_violated {
+                qos_violations += 1;
+                sample.add(CounterKind::QosViolations, 1.0);
+            }
+            sample.set(CounterKind::DvfsTransitions, flow.stats().count as f64);
+            totals.merge(&sample);
+            window.push(sample);
+
+            // ---- Power ----
+            let mut breakdown = PowerBreakdown::new();
+            let cpu_activity = if phase.cpu.active_threads > 0 { 1.0 } else { 0.0 }
+                * active_frac
+                * self.config.hdc.duty();
+            breakdown.set(
+                Component::CpuCores,
+                self.compute_power
+                    .cpu
+                    .power(grant.cpu, cpu_activity, leakage_fraction),
+            );
+            breakdown.set(
+                Component::GraphicsEngine,
+                self.compute_power.gfx.power(
+                    grant.gfx,
+                    gfx_final.utilization * active_frac,
+                    leakage_fraction,
+                ),
+            );
+            breakdown.set(
+                Component::Llc,
+                Power::from_watts(self.compute_power.llc_active_w * active_frac),
+            );
+            breakdown.set(
+                Component::DisplayController,
+                workload.peripherals.display.power(rails.vsa) * uncore_activity.max(dram_active_frac),
+            );
+            breakdown.set(
+                Component::IspEngine,
+                workload.peripherals.isp.power(rails.vsa) * uncore_activity.max(dram_active_frac),
+            );
+            breakdown.set(
+                Component::IoControllers,
+                Power::from_watts(
+                    workload.peripherals.io_activity.controller_power_w()
+                        * (rails.vsa.as_volts() / 0.8).powi(2),
+                ) * uncore_activity,
+            );
+            breakdown.set(
+                Component::IoInterconnect,
+                self.fabric_power
+                    .power(op.io_interconnect_freq, rails.vsa, fabric_out.utilization)
+                    * uncore_activity,
+            );
+            breakdown.set(
+                Component::MemoryController,
+                self.mc_power
+                    .power(op.memory_controller_freq(), rails.vsa, outcome.utilization)
+                    * uncore_activity,
+            );
+            let penalty = self.dram.effective_penalty();
+            let ddrio = self.ddrio_power.power(
+                op.ddrio_freq(),
+                rails.vio,
+                outcome.utilization,
+                penalty.io_power_factor,
+            );
+            breakdown.set(Component::DdrIoDigital, ddrio.digital * dram_active_frac);
+            breakdown.set(Component::DdrIoAnalog, ddrio.analog * dram_active_frac);
+            breakdown.set(
+                Component::Dram,
+                self.dram
+                    .power(served_total, 1.0 - dram_active_frac)
+                    .total(),
+            );
+            energy.accumulate(&breakdown, dt);
+
+            if trace {
+                traces.push(SliceTrace {
+                    at: now,
+                    demanded_gib_s: demand.total().as_gib_s(),
+                    served_gib_s: served_total.as_gib_s(),
+                    power_w: breakdown.total().as_watts(),
+                    operating_point: self.current_op.0,
+                    cpu_freq_ghz: grant.cpu.freq.as_ghz(),
+                });
+            }
+        }
+
+        let simulated = SimTime::from_secs(n_slices as f64 * slice.as_secs());
+        let work_done = match workload.perf_unit {
+            PerfUnit::Instructions => instructions,
+            PerfUnit::Frames => frames,
+            PerfUnit::ServicedSeconds => serviced,
+        };
+        let metrics = RunMetrics::new(simulated, energy.total(), work_done);
+        let c0_total = totals.value(CounterKind::C0ResidencySeconds).max(1e-12);
+        let report = SimReport {
+            workload: workload.name.clone(),
+            governor: governor.name().to_string(),
+            metrics,
+            energy,
+            counters: totals,
+            transitions: *flow.stats(),
+            qos_violations,
+            low_op_residency: low_op_slices as f64 / n_slices as f64,
+            average_fps: frames / c0_total,
+            average_cpu_freq_ghz: cpu_freq_sum / n_slices as f64,
+            average_gfx_freq_ghz: gfx_freq_sum / n_slices as f64,
+        };
+        Ok((report, traces))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::FixedGovernor;
+    use sysscale_types::Domain;
+    use sysscale_workloads::{battery_workload, graphics_workload, spec_workload};
+
+    fn run(workload: &Workload, governor: &mut dyn Governor, ms: f64) -> SimReport {
+        let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        sim.run(workload, governor, SimTime::from_millis(ms)).unwrap()
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_power_and_work() {
+        let lbm = spec_workload("lbm").unwrap();
+        let report = run(&lbm, &mut FixedGovernor::baseline(), 300.0);
+        let power = report.average_power().as_watts();
+        assert!(power > 1.0 && power < 4.6, "power {power}");
+        assert!(report.metrics.work_done > 0.0);
+        assert_eq!(report.qos_violations, 0);
+        assert_eq!(report.transitions.count, 0, "baseline never transitions");
+        assert!(report.average_memory_bandwidth_gib_s() > 1.0);
+        assert!(report.average_domain_power(Domain::Compute) > Power::ZERO);
+        assert!(report.average_domain_power(Domain::Memory) > Power::ZERO);
+    }
+
+    #[test]
+    fn md_dvfs_reduces_power_but_hurts_memory_bound_performance() {
+        // The motivation experiment (Fig. 2a): static multi-domain DVFS saves
+        // ~10% power but costs >10% performance on memory-bound workloads.
+        let lbm = spec_workload("lbm").unwrap();
+        let baseline = run(&lbm, &mut FixedGovernor::baseline(), 300.0);
+        let scaled = run(&lbm, &mut FixedGovernor::md_dvfs(false), 300.0);
+        assert!(scaled.average_power() < baseline.average_power());
+        let perf_loss = -scaled.speedup_pct_over(&baseline);
+        assert!(perf_loss > 5.0, "lbm perf loss {perf_loss}%");
+    }
+
+    #[test]
+    fn md_dvfs_barely_hurts_compute_bound_performance() {
+        let gamess = spec_workload("gamess").unwrap();
+        let baseline = run(&gamess, &mut FixedGovernor::baseline(), 300.0);
+        let scaled = run(&gamess, &mut FixedGovernor::md_dvfs(false), 300.0);
+        let perf_loss = -scaled.speedup_pct_over(&baseline);
+        assert!(perf_loss < 2.0, "gamess perf loss {perf_loss}%");
+        let power_saving = scaled.power_reduction_pct_vs(&baseline);
+        assert!(power_saving > 3.0, "gamess power saving {power_saving}%");
+    }
+
+    #[test]
+    fn redistribution_boosts_compute_bound_performance() {
+        // Observation 2: handing the saved uncore budget to the cores speeds
+        // up compute-bound workloads.
+        let gamess = spec_workload("gamess").unwrap();
+        let baseline = run(&gamess, &mut FixedGovernor::baseline(), 300.0);
+        let boosted = run(&gamess, &mut FixedGovernor::md_dvfs(true), 300.0);
+        let speedup = boosted.speedup_pct_over(&baseline);
+        assert!(speedup > 3.0, "gamess speedup {speedup}%");
+        assert!(boosted.average_cpu_freq_ghz > baseline.average_cpu_freq_ghz);
+        // Average power stays within the TDP.
+        assert!(boosted.average_power().as_watts() <= 4.6);
+    }
+
+    #[test]
+    fn graphics_workload_is_gfx_bound_and_benefits_from_redistribution() {
+        let mark = graphics_workload("3DMark06").unwrap();
+        let baseline = run(&mark, &mut FixedGovernor::baseline(), 300.0);
+        let boosted = run(&mark, &mut FixedGovernor::md_dvfs(true), 300.0);
+        assert!(baseline.average_fps > 10.0);
+        assert!(boosted.average_gfx_freq_ghz > baseline.average_gfx_freq_ghz);
+        assert!(boosted.speedup_pct_over(&baseline) > 2.0);
+    }
+
+    #[test]
+    fn battery_workload_power_drops_at_low_operating_point() {
+        let video = battery_workload("video-playback").unwrap();
+        let baseline = run(&video, &mut FixedGovernor::baseline(), 300.0);
+        let scaled = run(&video, &mut FixedGovernor::md_dvfs(false), 300.0);
+        // Fixed performance demand: both meet the frame rate.
+        assert!(baseline.average_fps > 50.0);
+        assert!(scaled.average_fps > 50.0);
+        let saving = scaled.power_reduction_pct_vs(&baseline);
+        assert!(saving > 2.0, "video playback saving {saving}%");
+        // Battery workloads draw far less than the TDP.
+        assert!(baseline.average_power().as_watts() < 2.5);
+    }
+
+    #[test]
+    fn display_qos_is_never_violated_at_either_operating_point() {
+        let video = battery_workload("video-playback").unwrap();
+        for gov in [FixedGovernor::baseline(), FixedGovernor::md_dvfs(false)] {
+            let mut g = gov;
+            let report = run(&video, &mut g, 200.0);
+            assert_eq!(report.qos_violations, 0, "{}", report.governor);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_slice() {
+        let astar = spec_workload("astar").unwrap();
+        let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        let (report, trace) = sim
+            .run_with_trace(
+                &astar,
+                &mut FixedGovernor::baseline(),
+                SimTime::from_millis(2_500.0),
+            )
+            .unwrap();
+        assert_eq!(trace.len(), 2_500);
+        assert!(trace.iter().all(|t| t.power_w > 0.0));
+        assert!((report.metrics.duration.as_millis() - 2_500.0).abs() < 1e-6);
+        // astar alternates phases; the demand trace should not be constant.
+        let first = trace.first().unwrap().demanded_gib_s;
+        assert!(trace.iter().any(|t| (t.demanded_gib_s - first).abs() > 0.5));
+    }
+
+    #[test]
+    fn rejects_empty_simulation_and_invalid_config() {
+        let lbm = spec_workload("lbm").unwrap();
+        let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        assert_eq!(
+            sim.run(&lbm, &mut FixedGovernor::baseline(), SimTime::ZERO)
+                .unwrap_err(),
+            SimError::EmptySimulation
+        );
+        let mut bad = SocConfig::skylake_default();
+        bad.slice = SimTime::ZERO;
+        assert!(SocSimulator::new(bad).is_err());
+    }
+
+    #[test]
+    fn uncore_estimate_scales_with_operating_point_and_bandwidth() {
+        let sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        let ladder = sysscale_types::skylake_lpddr3_ladder();
+        let low = sim.estimate_uncore_power(
+            ladder.lowest(),
+            Bandwidth::from_gib_s(1.0),
+            Bandwidth::from_gib_s(1.0),
+        );
+        let high = sim.estimate_uncore_power(
+            ladder.highest(),
+            Bandwidth::from_gib_s(1.0),
+            Bandwidth::from_gib_s(1.0),
+        );
+        assert!(high.io > low.io);
+        assert!(high.memory > low.memory);
+        let busy = sim.estimate_uncore_power(
+            ladder.highest(),
+            Bandwidth::from_gib_s(15.0),
+            Bandwidth::from_gib_s(1.0),
+        );
+        assert!(busy.memory > high.memory);
+        // The worst-case reservation of the budget policy covers the busy
+        // estimate (otherwise redistribution could starve the uncore).
+        let policy = sysscale_power::BudgetPolicy::default();
+        assert!(busy.memory <= policy.memory_worst_case * 1.6);
+    }
+}

@@ -1,0 +1,183 @@
+//! The uncore DVFS transition flow of Fig. 5.
+//!
+//! The flow orders the steps differently depending on the direction of the
+//! change: voltages rise *before* the PLL/DLL relock when frequencies
+//! increase (step 2) and drop *after* it when they decrease (step 7). The
+//! memory interface may only be reconfigured while DRAM is in self-refresh
+//! and the IO interconnect is blocked and drained. SysScale additionally
+//! loads the optimized MRC register set for the new frequency from on-chip
+//! SRAM (step 5); the naive flow skips that step, which is the Observation 4
+//! ablation.
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_dram::DramChip;
+use sysscale_interconnect::IoInterconnect;
+use sysscale_power::VoltageRegulator;
+use sysscale_types::{
+    SimResult, SimTime, TransitionLatency, UncoreOperatingPoint,
+};
+
+/// Statistics of the transitions performed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransitionStats {
+    /// Number of completed transitions.
+    pub count: u64,
+    /// Total stall time imposed on the IO and memory domains.
+    pub total_stall: SimTime,
+    /// Worst single-transition stall.
+    pub max_stall: SimTime,
+}
+
+/// Executes Fig. 5 transition flows against the DRAM chip and the IO fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionFlow {
+    latency: TransitionLatency,
+    regulator: VoltageRegulator,
+    reload_mrc: bool,
+    stats: TransitionStats,
+}
+
+impl TransitionFlow {
+    /// Creates a flow with the given fixed latency components.
+    #[must_use]
+    pub fn new(latency: TransitionLatency, reload_mrc: bool) -> Self {
+        Self {
+            latency,
+            regulator: VoltageRegulator::default(),
+            reload_mrc,
+            stats: TransitionStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &TransitionStats {
+        &self.stats
+    }
+
+    /// Whether this flow reloads optimized MRC values (SysScale does; the
+    /// naive multi-frequency flow does not).
+    #[must_use]
+    pub fn reloads_mrc(&self) -> bool {
+        self.reload_mrc
+    }
+
+    /// Executes one transition from the current state of `dram`/`fabric` to
+    /// `target`. Returns the stall time imposed on the IO and memory domains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the DRAM chip or fabric (e.g. an
+    /// unsupported frequency bin).
+    pub fn execute(
+        &mut self,
+        target: &UncoreOperatingPoint,
+        dram: &mut DramChip,
+        fabric: &mut IoInterconnect,
+    ) -> SimResult<SimTime> {
+        let increasing = target.dram_freq > dram.frequency();
+
+        // Step 3: block and drain the IO interconnect and LLC traffic.
+        let drain = fabric.block_and_drain();
+        // Step 4: DRAM enters self-refresh.
+        dram.enter_self_refresh();
+        // Step 5: load optimized MRC values for the new frequency (SysScale
+        // only).
+        if self.reload_mrc {
+            dram.load_optimized_registers(target.dram_freq)?;
+        }
+        // Step 6: relock PLLs/DLLs to the new frequencies.
+        dram.set_frequency(target.dram_freq)?;
+        fabric.set_frequency(target.io_interconnect_freq)?;
+        // Step 8: DRAM exits self-refresh.
+        let sr_exit = dram.exit_self_refresh();
+        // Step 9: release the interconnect and LLC traffic.
+        fabric.release();
+
+        // Stall accounting per Sec. 5: the fixed flow latencies dominate; the
+        // measured drain/self-refresh-exit components replace the fixed ones
+        // when they are larger (they never are with default parameters).
+        let base = if increasing {
+            self.latency.stall_on_increase()
+        } else {
+            self.latency.stall_on_decrease()
+        };
+        let stall = base.max(drain + sr_exit + self.latency.mrc_load + self.latency.firmware);
+
+        self.stats.count += 1;
+        self.stats.total_stall += stall;
+        self.stats.max_stall = self.stats.max_stall.max(stall);
+        Ok(stall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_types::skylake_lpddr3_ladder;
+
+    fn setup() -> (DramChip, IoInterconnect, TransitionFlow) {
+        (
+            DramChip::skylake_lpddr3(),
+            IoInterconnect::skylake_default(),
+            TransitionFlow::new(TransitionLatency::skylake_default(), true),
+        )
+    }
+
+    #[test]
+    fn transition_down_and_up_stays_under_10us_and_updates_state() {
+        let (mut dram, mut fabric, mut flow) = setup();
+        let ladder = skylake_lpddr3_ladder();
+        let low = ladder.lowest();
+        let high = ladder.highest();
+
+        let down = flow.execute(low, &mut dram, &mut fabric).unwrap();
+        assert!(down < SimTime::from_micros(10.0));
+        assert!((dram.frequency().as_mhz() - low.dram_freq.as_mhz()).abs() < 1.0);
+        assert!((fabric.frequency().as_ghz() - 0.4).abs() < 1e-9);
+        assert!(dram.registers_optimized());
+
+        let up = flow.execute(high, &mut dram, &mut fabric).unwrap();
+        assert!(up < SimTime::from_micros(10.0));
+        // Increasing transitions pay the voltage ramp on the critical path.
+        assert!(up > down);
+        assert_eq!(flow.stats().count, 2);
+        assert!(flow.stats().max_stall >= flow.stats().total_stall - flow.stats().max_stall);
+    }
+
+    #[test]
+    fn naive_flow_leaves_registers_unoptimized() {
+        let (mut dram, mut fabric, _) = setup();
+        let mut naive = TransitionFlow::new(TransitionLatency::skylake_default(), false);
+        assert!(!naive.reloads_mrc());
+        let ladder = skylake_lpddr3_ladder();
+        naive.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
+        assert!(!dram.registers_optimized());
+        // The SysScale flow fixes it up on the next transition.
+        let mut sysscale = TransitionFlow::new(TransitionLatency::skylake_default(), true);
+        sysscale.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
+        assert!(dram.registers_optimized());
+    }
+
+    #[test]
+    fn fabric_is_released_even_after_same_frequency_transition() {
+        let (mut dram, mut fabric, mut flow) = setup();
+        let ladder = skylake_lpddr3_ladder();
+        flow.execute(ladder.highest(), &mut dram, &mut fabric).unwrap();
+        assert_eq!(fabric.state(), sysscale_interconnect::FabricState::Running);
+        assert_eq!(dram.state(), sysscale_dram::DramState::Active);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut dram, mut fabric, mut flow) = setup();
+        let ladder = skylake_lpddr3_ladder();
+        for _ in 0..5 {
+            flow.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
+            flow.execute(ladder.highest(), &mut dram, &mut fabric).unwrap();
+        }
+        assert_eq!(flow.stats().count, 10);
+        assert!(flow.stats().total_stall > flow.stats().max_stall);
+    }
+}

@@ -1,0 +1,325 @@
+//! Performance counters sampled by the PMU.
+//!
+//! SysScale's dynamic demand prediction is driven by four counters
+//! (Sec. 4.2): `GFX_LLC_MISSES`, `LLC_Occupancy_Tracer`, `LLC_STALLS`, and
+//! `IO_RPQ`. The simulator additionally exposes a handful of bookkeeping
+//! counters (bandwidth, C-state residency, QoS violations) used by the
+//! experiments and the baselines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of performance counters the PMU can sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Number of LLC misses caused by the graphics engines per sample period.
+    /// Indicates graphics bandwidth demand.
+    GfxLlcMisses,
+    /// Number of CPU requests waiting for data from the memory controller
+    /// (occupancy-over-time). Indicates the cores are bandwidth limited.
+    LlcOccupancyTracer,
+    /// Number of stall cycles due to a busy LLC. Indicates the workload is
+    /// memory-latency limited.
+    LlcStalls,
+    /// IO read-pending-queue occupancy. Indicates the workload is IO limited.
+    IoRpq,
+    /// Total main-memory read+write bandwidth consumed, in bytes per sample
+    /// period.
+    MemoryBandwidthBytes,
+    /// Main-memory bandwidth consumed by isochronous IO traffic (display,
+    /// ISP), in bytes per sample period.
+    IsochronousBandwidthBytes,
+    /// Instructions retired by the CPU cores in the sample period.
+    InstructionsRetired,
+    /// Frames produced by the graphics engine in the sample period.
+    FramesRendered,
+    /// Time (in seconds) spent in active C0 state during the sample period.
+    C0ResidencySeconds,
+    /// Time (in seconds) the DRAM spent in self-refresh during the sample period.
+    SelfRefreshSeconds,
+    /// Count of isochronous QoS violations (display underruns etc.).
+    QosViolations,
+    /// Number of uncore DVFS transitions performed.
+    DvfsTransitions,
+}
+
+impl CounterKind {
+    /// The four counters used by SysScale's prediction algorithm (Sec. 4.2).
+    pub const PREDICTOR_SET: [CounterKind; 4] = [
+        CounterKind::GfxLlcMisses,
+        CounterKind::LlcOccupancyTracer,
+        CounterKind::LlcStalls,
+        CounterKind::IoRpq,
+    ];
+
+    /// Short name matching the paper's nomenclature where applicable.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::GfxLlcMisses => "GFX_LLC_MISSES",
+            CounterKind::LlcOccupancyTracer => "LLC_Occupancy_Tracer",
+            CounterKind::LlcStalls => "LLC_STALLS",
+            CounterKind::IoRpq => "IO_RPQ",
+            CounterKind::MemoryBandwidthBytes => "MEM_BW_BYTES",
+            CounterKind::IsochronousBandwidthBytes => "ISOC_BW_BYTES",
+            CounterKind::InstructionsRetired => "INST_RETIRED",
+            CounterKind::FramesRendered => "FRAMES_RENDERED",
+            CounterKind::C0ResidencySeconds => "C0_RESIDENCY_S",
+            CounterKind::SelfRefreshSeconds => "SELF_REFRESH_S",
+            CounterKind::QosViolations => "QOS_VIOLATIONS",
+            CounterKind::DvfsTransitions => "DVFS_TRANSITIONS",
+        }
+    }
+}
+
+impl fmt::Display for CounterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of counter values for one sample period.
+///
+/// Counters not present read as zero, mirroring hardware counters that are
+/// not incremented during a period.
+///
+/// ```
+/// use sysscale_types::{CounterKind, CounterSet};
+/// let mut c = CounterSet::new();
+/// c.add(CounterKind::LlcStalls, 120.0);
+/// c.add(CounterKind::LlcStalls, 30.0);
+/// assert_eq!(c.value(CounterKind::LlcStalls), 150.0);
+/// assert_eq!(c.value(CounterKind::IoRpq), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSet {
+    values: BTreeMap<CounterKind, f64>,
+}
+
+impl CounterSet {
+    /// Creates an empty (all-zero) counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a counter value (zero if never written).
+    #[must_use]
+    pub fn value(&self, kind: CounterKind) -> f64 {
+        self.values.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn set(&mut self, kind: CounterKind, value: f64) {
+        self.values.insert(kind, value);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn add(&mut self, kind: CounterKind, delta: f64) {
+        *self.values.entry(kind).or_insert(0.0) += delta;
+    }
+
+    /// Merges another counter set into this one by summation.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (&k, &v) in &other.values {
+            self.add(k, v);
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Returns `true` if no counter has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(kind, value)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterKind, f64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// A sliding window of [`CounterSet`] samples collected over an evaluation
+/// interval.
+///
+/// The PMU samples counters every ~1 ms and uses the per-sample *average*
+/// over the 30 ms evaluation interval in the power-distribution algorithm
+/// (Sec. 4.3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterWindow {
+    samples: Vec<CounterSet>,
+}
+
+impl CounterWindow {
+    /// Creates an empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample (the counters accumulated over one sample period).
+    pub fn push(&mut self, sample: CounterSet) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the window holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Average value of `kind` across all samples (zero for an empty window).
+    #[must_use]
+    pub fn average(&self, kind: CounterKind) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.value(kind)).sum();
+        sum / self.samples.len() as f64
+    }
+
+    /// Maximum value of `kind` across all samples (zero for an empty window).
+    #[must_use]
+    pub fn max(&self, kind: CounterKind) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.value(kind))
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of `kind` across all samples.
+    #[must_use]
+    pub fn total(&self, kind: CounterKind) -> f64 {
+        self.samples.iter().map(|s| s.value(kind)).sum()
+    }
+
+    /// A [`CounterSet`] holding the per-sample averages of every counter that
+    /// appears in the window.
+    #[must_use]
+    pub fn averages(&self) -> CounterSet {
+        let mut avg = CounterSet::new();
+        if self.samples.is_empty() {
+            return avg;
+        }
+        let mut totals = CounterSet::new();
+        for s in &self.samples {
+            totals.merge(s);
+        }
+        for (k, v) in totals.iter() {
+            avg.set(k, v / self.samples.len() as f64);
+        }
+        avg
+    }
+
+    /// Clears all samples (start of a new evaluation interval).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_set_matches_paper() {
+        let names: Vec<_> = CounterKind::PREDICTOR_SET.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "GFX_LLC_MISSES",
+                "LLC_Occupancy_Tracer",
+                "LLC_STALLS",
+                "IO_RPQ"
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_set_read_write_merge() {
+        let mut a = CounterSet::new();
+        assert!(a.is_empty());
+        a.set(CounterKind::IoRpq, 5.0);
+        a.add(CounterKind::IoRpq, 2.0);
+        let mut b = CounterSet::new();
+        b.add(CounterKind::IoRpq, 3.0);
+        b.add(CounterKind::LlcStalls, 10.0);
+        a.merge(&b);
+        assert_eq!(a.value(CounterKind::IoRpq), 10.0);
+        assert_eq!(a.value(CounterKind::LlcStalls), 10.0);
+        assert_eq!(a.value(CounterKind::GfxLlcMisses), 0.0);
+        assert_eq!(a.iter().count(), 2);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn window_average_max_total() {
+        let mut w = CounterWindow::new();
+        assert_eq!(w.average(CounterKind::LlcStalls), 0.0);
+        for v in [10.0, 20.0, 30.0] {
+            let mut s = CounterSet::new();
+            s.set(CounterKind::LlcStalls, v);
+            s.set(CounterKind::MemoryBandwidthBytes, v * 100.0);
+            w.push(s);
+        }
+        assert_eq!(w.len(), 3);
+        assert!((w.average(CounterKind::LlcStalls) - 20.0).abs() < 1e-12);
+        assert_eq!(w.max(CounterKind::LlcStalls), 30.0);
+        assert_eq!(w.total(CounterKind::LlcStalls), 60.0);
+        let avgs = w.averages();
+        assert!((avgs.value(CounterKind::MemoryBandwidthBytes) - 2000.0).abs() < 1e-9);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn averages_of_empty_window_are_empty() {
+        let w = CounterWindow::new();
+        assert!(w.averages().is_empty());
+    }
+
+    #[test]
+    fn counter_kind_display_names_are_unique() {
+        let all = [
+            CounterKind::GfxLlcMisses,
+            CounterKind::LlcOccupancyTracer,
+            CounterKind::LlcStalls,
+            CounterKind::IoRpq,
+            CounterKind::MemoryBandwidthBytes,
+            CounterKind::IsochronousBandwidthBytes,
+            CounterKind::InstructionsRetired,
+            CounterKind::FramesRendered,
+            CounterKind::C0ResidencySeconds,
+            CounterKind::SelfRefreshSeconds,
+            CounterKind::QosViolations,
+            CounterKind::DvfsTransitions,
+        ];
+        let mut names: Vec<_> = all.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = CounterSet::new();
+        s.set(CounterKind::GfxLlcMisses, 42.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CounterSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

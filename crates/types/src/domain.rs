@@ -1,0 +1,363 @@
+//! SoC domains, voltage rails, and component identifiers.
+//!
+//! A modern mobile SoC (Fig. 1 of the paper) has three domains — compute, IO,
+//! and memory — and a small number of shared voltage rails. These enums are
+//! the vocabulary the rest of the simulator uses to attribute power, assign
+//! budgets, and describe DVFS actions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three main domains of a mobile SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Domain {
+    /// CPU cores, graphics engines, and the LLC.
+    Compute,
+    /// Display controller, ISP engine, IO controllers, and the IO interconnect.
+    Io,
+    /// Memory controller, DDRIO, and DRAM.
+    Memory,
+}
+
+impl Domain {
+    /// All domains, in the order used for reporting.
+    pub const ALL: [Domain; 3] = [Domain::Compute, Domain::Io, Domain::Memory];
+
+    /// Short lowercase name used in reports and CSV headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Compute => "compute",
+            Domain::Io => "io",
+            Domain::Memory => "memory",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A voltage rail of the SoC, following the regulator layout of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rail {
+    /// System-agent rail shared by the memory controller, the IO interconnect,
+    /// and the IO engines/controllers (`V_SA`, marker 1 in Fig. 1).
+    VSa,
+    /// IO rail shared by the DDRIO-digital logic and the IO PHYs (`V_IO`,
+    /// marker 4 in Fig. 1).
+    VIo,
+    /// DRAM device rail, also powering the DDRIO-analog front end (`VDDQ`,
+    /// markers 2 and 3 in Fig. 1). Not scaled by DVFS on commercial DRAM.
+    Vddq,
+    /// Compute rail shared by CPU cores and the LLC.
+    VCore,
+    /// Compute rail for the graphics engines.
+    VGfx,
+}
+
+impl Rail {
+    /// All rails, in the order used for reporting.
+    pub const ALL: [Rail; 5] = [Rail::VSa, Rail::VIo, Rail::Vddq, Rail::VCore, Rail::VGfx];
+
+    /// Short name used in reports (matches the paper's nomenclature).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rail::VSa => "V_SA",
+            Rail::VIo => "V_IO",
+            Rail::Vddq => "VDDQ",
+            Rail::VCore => "V_CORE",
+            Rail::VGfx => "V_GFX",
+        }
+    }
+
+    /// The domain whose power budget this rail is accounted against.
+    ///
+    /// `V_SA` powers both IO-domain components and the memory controller; the
+    /// paper accounts it with the IO/memory (uncore) side, and we attribute it
+    /// to [`Domain::Io`] for budget purposes while the memory-controller share
+    /// is reported under [`Domain::Memory`] by the power model itself.
+    #[must_use]
+    pub fn primary_domain(self) -> Domain {
+        match self {
+            Rail::VSa => Domain::Io,
+            Rail::VIo => Domain::Io,
+            Rail::Vddq => Domain::Memory,
+            Rail::VCore | Rail::VGfx => Domain::Compute,
+        }
+    }
+}
+
+impl fmt::Display for Rail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A component of the SoC that consumes power and/or produces memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Component {
+    /// A CPU core (all cores are aggregated in the slice model).
+    CpuCores,
+    /// The last-level cache.
+    Llc,
+    /// The graphics engines.
+    GraphicsEngine,
+    /// The display controller.
+    DisplayController,
+    /// The image-signal-processing engine (camera pipeline).
+    IspEngine,
+    /// Miscellaneous IO controllers (USB, storage, audio, ...).
+    IoControllers,
+    /// The IO interconnect (primary scalable fabric).
+    IoInterconnect,
+    /// The memory controller.
+    MemoryController,
+    /// The digital part of the DRAM interface.
+    DdrIoDigital,
+    /// The analog part of the DRAM interface.
+    DdrIoAnalog,
+    /// The DRAM devices themselves.
+    Dram,
+}
+
+impl Component {
+    /// All components, in reporting order.
+    pub const ALL: [Component; 11] = [
+        Component::CpuCores,
+        Component::Llc,
+        Component::GraphicsEngine,
+        Component::DisplayController,
+        Component::IspEngine,
+        Component::IoControllers,
+        Component::IoInterconnect,
+        Component::MemoryController,
+        Component::DdrIoDigital,
+        Component::DdrIoAnalog,
+        Component::Dram,
+    ];
+
+    /// The domain the component belongs to.
+    #[must_use]
+    pub fn domain(self) -> Domain {
+        match self {
+            Component::CpuCores | Component::Llc | Component::GraphicsEngine => Domain::Compute,
+            Component::DisplayController
+            | Component::IspEngine
+            | Component::IoControllers
+            | Component::IoInterconnect => Domain::Io,
+            Component::MemoryController
+            | Component::DdrIoDigital
+            | Component::DdrIoAnalog
+            | Component::Dram => Domain::Memory,
+        }
+    }
+
+    /// The voltage rail the component draws from (Fig. 1).
+    #[must_use]
+    pub fn rail(self) -> Rail {
+        match self {
+            Component::CpuCores | Component::Llc => Rail::VCore,
+            Component::GraphicsEngine => Rail::VGfx,
+            Component::DisplayController
+            | Component::IspEngine
+            | Component::IoControllers
+            | Component::IoInterconnect
+            | Component::MemoryController => Rail::VSa,
+            Component::DdrIoDigital => Rail::VIo,
+            Component::DdrIoAnalog | Component::Dram => Rail::Vddq,
+        }
+    }
+
+    /// Short snake_case name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::CpuCores => "cpu_cores",
+            Component::Llc => "llc",
+            Component::GraphicsEngine => "graphics_engine",
+            Component::DisplayController => "display_controller",
+            Component::IspEngine => "isp_engine",
+            Component::IoControllers => "io_controllers",
+            Component::IoInterconnect => "io_interconnect",
+            Component::MemoryController => "memory_controller",
+            Component::DdrIoDigital => "ddrio_digital",
+            Component::DdrIoAnalog => "ddrio_analog",
+            Component::Dram => "dram",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A per-domain map, indexed by [`Domain`].
+///
+/// ```
+/// use sysscale_types::{Domain, DomainMap};
+/// let mut budgets: DomainMap<f64> = DomainMap::default();
+/// budgets[Domain::Compute] = 3.0;
+/// assert_eq!(budgets[Domain::Compute], 3.0);
+/// assert_eq!(budgets[Domain::Memory], 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DomainMap<T> {
+    /// Value for the compute domain.
+    pub compute: T,
+    /// Value for the IO domain.
+    pub io: T,
+    /// Value for the memory domain.
+    pub memory: T,
+}
+
+impl<T> DomainMap<T> {
+    /// Creates a map with the given per-domain values.
+    pub fn new(compute: T, io: T, memory: T) -> Self {
+        Self { compute, io, memory }
+    }
+
+    /// Creates a map by evaluating `f` for every domain.
+    pub fn from_fn(mut f: impl FnMut(Domain) -> T) -> Self {
+        Self {
+            compute: f(Domain::Compute),
+            io: f(Domain::Io),
+            memory: f(Domain::Memory),
+        }
+    }
+
+    /// Returns an iterator over `(Domain, &T)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (Domain, &T)> {
+        [
+            (Domain::Compute, &self.compute),
+            (Domain::Io, &self.io),
+            (Domain::Memory, &self.memory),
+        ]
+        .into_iter()
+    }
+
+    /// Maps every value to a new type.
+    pub fn map<U>(&self, mut f: impl FnMut(Domain, &T) -> U) -> DomainMap<U> {
+        DomainMap {
+            compute: f(Domain::Compute, &self.compute),
+            io: f(Domain::Io, &self.io),
+            memory: f(Domain::Memory, &self.memory),
+        }
+    }
+}
+
+impl<T> std::ops::Index<Domain> for DomainMap<T> {
+    type Output = T;
+    fn index(&self, d: Domain) -> &T {
+        match d {
+            Domain::Compute => &self.compute,
+            Domain::Io => &self.io,
+            Domain::Memory => &self.memory,
+        }
+    }
+}
+
+impl<T> std::ops::IndexMut<Domain> for DomainMap<T> {
+    fn index_mut(&mut self, d: Domain) -> &mut T {
+        match d {
+            Domain::Compute => &mut self.compute,
+            Domain::Io => &mut self.io,
+            Domain::Memory => &mut self.memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_component_belongs_to_its_rail_domain_consistently() {
+        for c in Component::ALL {
+            // A component on a compute rail must be in the compute domain.
+            match c.rail() {
+                Rail::VCore | Rail::VGfx => assert_eq!(c.domain(), Domain::Compute),
+                Rail::Vddq => assert_eq!(c.domain(), Domain::Memory),
+                // DDRIO-digital is a memory-domain component that draws from the
+                // IO rail (paper Sec. 2.1); both uncore domains are legal here.
+                Rail::VIo | Rail::VSa => assert!(matches!(c.domain(), Domain::Io | Domain::Memory)),
+            }
+        }
+    }
+
+    #[test]
+    fn memory_controller_shares_vsa_with_io_interconnect() {
+        // Key structural fact the paper relies on: MC and IO interconnect share V_SA,
+        // which is why their frequencies must scale together (Sec. 3).
+        assert_eq!(Component::MemoryController.rail(), Rail::VSa);
+        assert_eq!(Component::IoInterconnect.rail(), Rail::VSa);
+        assert_eq!(Component::IoControllers.rail(), Rail::VSa);
+    }
+
+    #[test]
+    fn ddrio_split_across_rails() {
+        // DDRIO-digital shares V_IO; DDRIO-analog shares VDDQ with DRAM.
+        assert_eq!(Component::DdrIoDigital.rail(), Rail::VIo);
+        assert_eq!(Component::DdrIoAnalog.rail(), Rail::Vddq);
+        assert_eq!(Component::Dram.rail(), Rail::Vddq);
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = Component::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        assert!(names.iter().all(|n| !n.is_empty()));
+        assert!(Domain::ALL.iter().all(|d| !d.name().is_empty()));
+        assert!(Rail::ALL.iter().all(|r| !r.name().is_empty()));
+    }
+
+    #[test]
+    fn domain_map_indexing_and_iteration() {
+        let mut m = DomainMap::new(1, 2, 3);
+        assert_eq!(m[Domain::Compute], 1);
+        assert_eq!(m[Domain::Io], 2);
+        assert_eq!(m[Domain::Memory], 3);
+        m[Domain::Io] = 20;
+        assert_eq!(m[Domain::Io], 20);
+        let collected: Vec<_> = m.iter().map(|(d, v)| (d, *v)).collect();
+        assert_eq!(
+            collected,
+            vec![(Domain::Compute, 1), (Domain::Io, 20), (Domain::Memory, 3)]
+        );
+        let doubled = m.map(|_, v| v * 2);
+        assert_eq!(doubled[Domain::Memory], 6);
+    }
+
+    #[test]
+    fn domain_map_from_fn() {
+        let m = DomainMap::from_fn(|d| d.name().len());
+        assert_eq!(m[Domain::Compute], "compute".len());
+        assert_eq!(m[Domain::Io], 2);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Domain::Memory.to_string(), "memory");
+        assert_eq!(Rail::VSa.to_string(), "V_SA");
+        assert_eq!(Component::Dram.to_string(), "dram");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = DomainMap::new(1u32, 2, 3);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DomainMap<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let d: Domain = serde_json::from_str("\"Memory\"").unwrap();
+        assert_eq!(d, Domain::Memory);
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types shared across the simulator crates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandwidth, Domain, Power};
+
+/// Top-level error type returned by simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A configuration value is invalid or inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A referenced operating point does not exist in the configured ladder.
+    UnknownOperatingPoint {
+        /// The offending index.
+        index: usize,
+        /// Number of points in the ladder.
+        ladder_len: usize,
+    },
+    /// An isochronous client (display, ISP) could not be served within its
+    /// quality-of-service constraint.
+    QosViolation {
+        /// Demand that was requested.
+        demanded: Bandwidth,
+        /// Bandwidth actually provided.
+        provided: Bandwidth,
+    },
+    /// A domain exceeded its allocated power budget beyond tolerance.
+    BudgetExceeded {
+        /// The offending domain.
+        domain: Domain,
+        /// The allocated budget.
+        budget: Power,
+        /// The measured average power.
+        measured: Power,
+    },
+    /// A workload referenced by name does not exist in the suite.
+    UnknownWorkload {
+        /// The requested name.
+        name: String,
+    },
+    /// The simulation was asked to run for a non-positive duration.
+    EmptySimulation,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::UnknownOperatingPoint { index, ladder_len } => write!(
+                f,
+                "operating point {index} does not exist (ladder has {ladder_len} points)"
+            ),
+            SimError::QosViolation { demanded, provided } => write!(
+                f,
+                "isochronous QoS violation: demanded {demanded}, provided {provided}"
+            ),
+            SimError::BudgetExceeded {
+                domain,
+                budget,
+                measured,
+            } => write!(
+                f,
+                "{domain} domain exceeded its power budget: {measured} > {budget}"
+            ),
+            SimError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            SimError::EmptySimulation => write!(f, "simulation duration must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias used throughout the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+impl SimError {
+    /// Creates an [`SimError::InvalidConfig`] from anything displayable.
+    pub fn invalid_config(reason: impl fmt::Display) -> Self {
+        SimError::InvalidConfig {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = vec![
+            SimError::invalid_config("tdp must be positive"),
+            SimError::UnknownOperatingPoint {
+                index: 3,
+                ladder_len: 2,
+            },
+            SimError::QosViolation {
+                demanded: Bandwidth::from_gib_s(4.0),
+                provided: Bandwidth::from_gib_s(2.0),
+            },
+            SimError::BudgetExceeded {
+                domain: Domain::Compute,
+                budget: Power::from_watts(3.0),
+                measured: Power::from_watts(3.6),
+            },
+            SimError::UnknownWorkload {
+                name: "470.lbm".into(),
+            },
+            SimError::EmptySimulation,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = SimError::UnknownWorkload {
+            name: "433.milc".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: SimError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sysscale-types
+//!
+//! Shared vocabulary types for the SysScale mobile-SoC simulator: physical
+//! units, SoC domains and voltage rails, DVFS operating points, PMU
+//! performance counters, run metrics, statistics helpers, and error types.
+//!
+//! This crate is dependency-free (besides `serde`) and is consumed by every
+//! other crate in the workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_types::{Domain, Freq, Power, SimTime};
+//!
+//! // Table 1 of the paper: the low operating point runs DRAM at 1.06 GHz.
+//! let dram = Freq::from_ghz(1.06);
+//! assert!(dram < Freq::from_ghz(1.6));
+//!
+//! // 4.5 W TDP over a 30 ms evaluation interval is a 135 mJ energy budget.
+//! let budget = Power::from_watts(4.5) * SimTime::from_millis(30.0);
+//! assert!((budget.as_mj() - 135.0).abs() < 1e-9);
+//! assert_eq!(Domain::ALL.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod counters;
+mod domain;
+mod error;
+mod metrics;
+mod operating_point;
+pub mod stats;
+mod units;
+
+pub use counters::{CounterKind, CounterSet, CounterWindow};
+pub use domain::{Component, Domain, DomainMap, Rail};
+pub use error::{SimError, SimResult};
+pub use metrics::RunMetrics;
+pub use operating_point::{
+    skylake_lpddr3_ladder, OperatingPointId, OperatingPointTable, OperatingPointTableError,
+    TransitionLatency, UncoreOperatingPoint,
+};
+pub use units::{Bandwidth, DataVolume, Energy, Freq, Power, SimTime, Voltage};

@@ -1,0 +1,176 @@
+//! Energy-efficiency metrics: energy, average power, and energy-delay product.
+//!
+//! The paper evaluates SysScale with three metrics (Sec. 7): performance
+//! (SPEC score / FPS), average power (battery-life workloads), and EDP as the
+//! combined energy-efficiency measure (footnote 2: lower EDP is better).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Energy, Power, SimTime};
+
+/// Aggregate run metrics for one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Wall-clock (simulated) duration of the run.
+    pub duration: SimTime,
+    /// Total energy consumed by the SoC over the run.
+    pub energy: Energy,
+    /// Work completed, in abstract work units (instructions for CPU
+    /// workloads, frames for graphics workloads, played seconds for
+    /// battery-life workloads). Comparisons are only meaningful between runs
+    /// of the same workload.
+    pub work_done: f64,
+}
+
+impl RunMetrics {
+    /// Creates run metrics from duration, energy, and completed work.
+    #[must_use]
+    pub fn new(duration: SimTime, energy: Energy, work_done: f64) -> Self {
+        Self {
+            duration,
+            energy,
+            work_done,
+        }
+    }
+
+    /// Average power over the run. Zero for a zero-length run.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        if self.duration.is_zero() {
+            Power::ZERO
+        } else {
+            self.energy / self.duration
+        }
+    }
+
+    /// Throughput in work units per second. Zero for a zero-length run.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.duration.is_zero() {
+            0.0
+        } else {
+            self.work_done / self.duration.as_secs()
+        }
+    }
+
+    /// Energy-delay product: `energy × delay`, where delay is the time to
+    /// complete one unit of work (the inverse of throughput). Lower is
+    /// better. Zero-work runs return infinity.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        if self.work_done <= 0.0 {
+            return f64::INFINITY;
+        }
+        let delay_per_work = self.duration.as_secs() / self.work_done;
+        self.energy.as_joules() * delay_per_work
+    }
+
+    /// Relative speedup of `self` over `baseline`, in percent (positive =
+    /// faster). Uses throughput so runs of different durations compare
+    /// correctly.
+    #[must_use]
+    pub fn speedup_pct_over(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.throughput();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.throughput() / base - 1.0) * 100.0
+    }
+
+    /// Relative average-power reduction of `self` versus `baseline`, in
+    /// percent (positive = `self` consumes less power).
+    #[must_use]
+    pub fn power_reduction_pct_vs(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.average_power().as_watts();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.average_power().as_watts() / base) * 100.0
+    }
+
+    /// Relative energy reduction of `self` versus `baseline`, in percent.
+    #[must_use]
+    pub fn energy_reduction_pct_vs(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.energy.as_joules();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.energy.as_joules() / base) * 100.0
+    }
+
+    /// Relative EDP improvement of `self` versus `baseline`, in percent
+    /// (positive = better energy efficiency).
+    #[must_use]
+    pub fn edp_improvement_pct_vs(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.edp();
+        if !base.is_finite() || base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.edp() / base) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(secs: f64, joules: f64, work: f64) -> RunMetrics {
+        RunMetrics::new(
+            SimTime::from_secs(secs),
+            Energy::from_joules(joules),
+            work,
+        )
+    }
+
+    #[test]
+    fn average_power_and_throughput() {
+        let m = metrics(2.0, 9.0, 100.0);
+        assert!((m.average_power().as_watts() - 4.5).abs() < 1e-12);
+        assert!((m.throughput() - 50.0).abs() < 1e-12);
+        let empty = RunMetrics::default();
+        assert_eq!(empty.average_power(), Power::ZERO);
+        assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn edp_lower_is_better_for_faster_same_energy() {
+        let slow = metrics(2.0, 9.0, 100.0);
+        let fast = metrics(1.0, 9.0, 100.0);
+        assert!(fast.edp() < slow.edp());
+        assert!(metrics(1.0, 1.0, 0.0).edp().is_infinite());
+    }
+
+    #[test]
+    fn speedup_and_reductions() {
+        let baseline = metrics(2.0, 9.0, 100.0);
+        let improved = metrics(2.0, 8.1, 110.0);
+        assert!((improved.speedup_pct_over(&baseline) - 10.0).abs() < 1e-9);
+        assert!((improved.power_reduction_pct_vs(&baseline) - 10.0).abs() < 1e-9);
+        assert!((improved.energy_reduction_pct_vs(&baseline) - 10.0).abs() < 1e-9);
+        assert!(improved.edp_improvement_pct_vs(&baseline) > 0.0);
+        // Degenerate baselines yield 0, not NaN.
+        let zero = RunMetrics::default();
+        assert_eq!(improved.speedup_pct_over(&zero), 0.0);
+        assert_eq!(improved.power_reduction_pct_vs(&zero), 0.0);
+        assert_eq!(improved.energy_reduction_pct_vs(&zero), 0.0);
+        assert_eq!(improved.edp_improvement_pct_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn edp_improves_proportionally_with_perf_at_fixed_power() {
+        // Footnote 9 of the paper: EDP improves proportionally to performance
+        // (fixed power) or to average power (fixed performance).
+        let baseline = metrics(2.0, 9.0, 100.0);
+        let faster = metrics(2.0, 9.0, 110.0);
+        // Same energy & duration, 10% more work -> EDP improves.
+        assert!(faster.edp() < baseline.edp());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = metrics(1.5, 3.0, 42.0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,388 @@
+//! DVFS operating points for the IO and memory domains.
+//!
+//! SysScale scales the *uncore* (IO interconnect, memory controller, DDRIO,
+//! DRAM) between a small number of operating points (the paper implements
+//! two: LPDDR3 1.6 GHz and 1.06 GHz, Table 1 / Sec. 7.4). An
+//! [`UncoreOperatingPoint`] captures the frequencies and relative rail
+//! voltages of one such point, and an [`OperatingPointTable`] holds the
+//! ordered ladder a governor may move along.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Freq, SimTime};
+
+/// Identifier of an operating point within an [`OperatingPointTable`].
+///
+/// Index 0 is the *lowest* performance point; higher indices are higher
+/// performance (and power).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct OperatingPointId(pub usize);
+
+impl fmt::Display for OperatingPointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OP{}", self.0)
+    }
+}
+
+/// One DVFS operating point of the IO and memory domains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncoreOperatingPoint {
+    /// DRAM (DDR data) frequency for this point, e.g. 1.6 GHz for LPDDR3-1600.
+    pub dram_freq: Freq,
+    /// IO interconnect clock frequency. Scales with the memory controller
+    /// because both share the `V_SA` rail (Sec. 3).
+    pub io_interconnect_freq: Freq,
+    /// `V_SA` voltage as a fraction of its nominal value (1.0 = nominal).
+    pub vsa_scale: f64,
+    /// `V_IO` voltage as a fraction of its nominal value (1.0 = nominal).
+    pub vio_scale: f64,
+    /// Whether the memory-controller/DDRIO/DRAM configuration registers hold
+    /// MRC values optimized for `dram_freq`. SysScale reloads optimized values
+    /// on every transition; naive multi-frequency operation does not
+    /// (Observation 4 / Fig. 4).
+    pub mrc_optimized: bool,
+}
+
+impl UncoreOperatingPoint {
+    /// Creates an operating point with optimized MRC values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a voltage scale is not in `(0, 1.5]` or a frequency is zero.
+    #[must_use]
+    pub fn new(dram_freq: Freq, io_interconnect_freq: Freq, vsa_scale: f64, vio_scale: f64) -> Self {
+        assert!(
+            vsa_scale > 0.0 && vsa_scale <= 1.5 && vio_scale > 0.0 && vio_scale <= 1.5,
+            "voltage scale out of range"
+        );
+        assert!(
+            !dram_freq.is_zero() && !io_interconnect_freq.is_zero(),
+            "operating point frequencies must be non-zero"
+        );
+        Self {
+            dram_freq,
+            io_interconnect_freq,
+            vsa_scale,
+            vio_scale,
+            mrc_optimized: true,
+        }
+    }
+
+    /// Returns a copy of this point with unoptimized MRC register values
+    /// (used to reproduce the Fig. 4 ablation).
+    #[must_use]
+    pub fn with_unoptimized_mrc(mut self) -> Self {
+        self.mrc_optimized = false;
+        self
+    }
+
+    /// Memory-controller frequency; operates at half the DDR data rate
+    /// (Sec. 3: "MC ... normally operates at half the DDR frequency").
+    #[must_use]
+    pub fn memory_controller_freq(&self) -> Freq {
+        self.dram_freq / 2.0
+    }
+
+    /// DDRIO frequency, equal to the DDR data frequency.
+    #[must_use]
+    pub fn ddrio_freq(&self) -> Freq {
+        self.dram_freq
+    }
+}
+
+/// The high/low (LPDDR3-1600 / LPDDR3-1066) pair of Table 1, expressed as the
+/// two-point ladder implemented on the real Skylake system.
+#[must_use]
+pub fn skylake_lpddr3_ladder() -> OperatingPointTable {
+    OperatingPointTable::new(vec![
+        // Low-performance point: DDR 1.06 GHz, IO interconnect 0.4 GHz,
+        // V_SA at 0.8x nominal, V_IO at 0.85x nominal (Table 1).
+        UncoreOperatingPoint::new(
+            Freq::from_ghz(1.0666),
+            Freq::from_ghz(0.4),
+            0.80,
+            0.85,
+        ),
+        // High-performance point: DDR 1.6 GHz, IO interconnect 0.8 GHz,
+        // nominal voltages.
+        UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
+    ])
+    .expect("static ladder is well formed")
+}
+
+/// Error returned when an [`OperatingPointTable`] is malformed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatingPointTableError {
+    /// The table contains no points.
+    Empty,
+    /// Points are not strictly increasing in DRAM frequency.
+    NotSorted {
+        /// Index of the first offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for OperatingPointTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "operating point table is empty"),
+            Self::NotSorted { index } => write!(
+                f,
+                "operating points must be sorted by increasing DRAM frequency (violated at index {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OperatingPointTableError {}
+
+/// An ordered ladder of uncore operating points, from lowest to highest
+/// performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPointTable {
+    points: Vec<UncoreOperatingPoint>,
+}
+
+impl OperatingPointTable {
+    /// Creates a table from points sorted by increasing DRAM frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or not strictly increasing in
+    /// DRAM frequency.
+    pub fn new(points: Vec<UncoreOperatingPoint>) -> Result<Self, OperatingPointTableError> {
+        if points.is_empty() {
+            return Err(OperatingPointTableError::Empty);
+        }
+        for i in 1..points.len() {
+            if points[i].dram_freq <= points[i - 1].dram_freq {
+                return Err(OperatingPointTableError::NotSorted { index: i });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Number of points in the ladder.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the ladder holds a single point (DVFS disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The lowest-performance point.
+    #[must_use]
+    pub fn lowest(&self) -> &UncoreOperatingPoint {
+        &self.points[0]
+    }
+
+    /// The highest-performance point.
+    #[must_use]
+    pub fn highest(&self) -> &UncoreOperatingPoint {
+        &self.points[self.points.len() - 1]
+    }
+
+    /// Identifier of the highest-performance point.
+    #[must_use]
+    pub fn highest_id(&self) -> OperatingPointId {
+        OperatingPointId(self.points.len() - 1)
+    }
+
+    /// Identifier of the lowest-performance point.
+    #[must_use]
+    pub fn lowest_id(&self) -> OperatingPointId {
+        OperatingPointId(0)
+    }
+
+    /// Returns the point with the given id, if it exists.
+    #[must_use]
+    pub fn get(&self, id: OperatingPointId) -> Option<&UncoreOperatingPoint> {
+        self.points.get(id.0)
+    }
+
+    /// Returns the next point up the ladder (towards higher performance),
+    /// saturating at the top.
+    #[must_use]
+    pub fn step_up(&self, id: OperatingPointId) -> OperatingPointId {
+        OperatingPointId((id.0 + 1).min(self.points.len() - 1))
+    }
+
+    /// Returns the next point down the ladder (towards lower power),
+    /// saturating at the bottom.
+    #[must_use]
+    pub fn step_down(&self, id: OperatingPointId) -> OperatingPointId {
+        OperatingPointId(id.0.saturating_sub(1))
+    }
+
+    /// Iterates over `(OperatingPointId, &UncoreOperatingPoint)` from lowest
+    /// to highest performance.
+    pub fn iter(&self) -> impl Iterator<Item = (OperatingPointId, &UncoreOperatingPoint)> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (OperatingPointId(i), p))
+    }
+}
+
+/// Latency breakdown of one uncore DVFS transition (Sec. 5, "SysScale
+/// Transition Time Overhead").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionLatency {
+    /// Voltage-regulator ramp time for `V_SA` / `V_IO` (≈2 µs at 50 mV/µs for
+    /// a ±100 mV step).
+    pub voltage_ramp: SimTime,
+    /// Draining the IO interconnect request buffers (<1 µs).
+    pub interconnect_drain: SimTime,
+    /// DRAM self-refresh exit with fast relock (<5 µs).
+    pub self_refresh_exit: SimTime,
+    /// Loading optimized MRC values from on-chip SRAM (<1 µs).
+    pub mrc_load: SimTime,
+    /// PMU firmware execution and other flow overheads (<1 µs).
+    pub firmware: SimTime,
+}
+
+impl TransitionLatency {
+    /// The latency budget of the Skylake implementation (Sec. 5): the total
+    /// must stay below 10 µs.
+    #[must_use]
+    pub fn skylake_default() -> Self {
+        Self {
+            voltage_ramp: SimTime::from_micros(2.0),
+            interconnect_drain: SimTime::from_micros(0.9),
+            self_refresh_exit: SimTime::from_micros(4.5),
+            mrc_load: SimTime::from_micros(0.9),
+            firmware: SimTime::from_micros(0.9),
+        }
+    }
+
+    /// Total stall time experienced by the IO and memory domains during the
+    /// transition. The voltage ramp overlaps with execution when *decreasing*
+    /// frequency (voltages drop after the relock), so callers may exclude it;
+    /// this method reports the conservative serial sum.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.voltage_ramp
+            + self.interconnect_drain
+            + self.self_refresh_exit
+            + self.mrc_load
+            + self.firmware
+    }
+
+    /// Stall contribution when frequencies are being *decreased*: the voltage
+    /// reduction happens after execution resumes (Fig. 5, step 7), so it does
+    /// not stall the domains.
+    #[must_use]
+    pub fn stall_on_decrease(&self) -> SimTime {
+        self.interconnect_drain + self.self_refresh_exit + self.mrc_load + self.firmware
+    }
+
+    /// Stall contribution when frequencies are being *increased*: the voltage
+    /// ramp must complete before the PLL relock (Fig. 5, step 2), so it is on
+    /// the critical path.
+    #[must_use]
+    pub fn stall_on_increase(&self) -> SimTime {
+        self.total()
+    }
+}
+
+impl Default for TransitionLatency {
+    fn default() -> Self {
+        Self::skylake_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ghz: f64) -> UncoreOperatingPoint {
+        UncoreOperatingPoint::new(Freq::from_ghz(ghz), Freq::from_ghz(ghz / 2.0), 1.0, 1.0)
+    }
+
+    #[test]
+    fn mc_runs_at_half_ddr_frequency() {
+        let op = point(1.6);
+        assert!((op.memory_controller_freq().as_ghz() - 0.8).abs() < 1e-12);
+        assert_eq!(op.ddrio_freq(), op.dram_freq);
+    }
+
+    #[test]
+    fn skylake_ladder_matches_table1() {
+        let ladder = skylake_lpddr3_ladder();
+        assert_eq!(ladder.len(), 2);
+        let low = ladder.lowest();
+        let high = ladder.highest();
+        assert!((high.dram_freq.as_ghz() - 1.6).abs() < 1e-9);
+        assert!((low.dram_freq.as_ghz() - 1.0666).abs() < 1e-9);
+        assert!((low.io_interconnect_freq.as_ghz() - 0.4).abs() < 1e-9);
+        assert!((high.io_interconnect_freq.as_ghz() - 0.8).abs() < 1e-9);
+        assert!((low.vsa_scale - 0.8).abs() < 1e-12);
+        assert!((low.vio_scale - 0.85).abs() < 1e-12);
+        assert!(high.mrc_optimized && low.mrc_optimized);
+    }
+
+    #[test]
+    fn table_rejects_empty_and_unsorted() {
+        assert_eq!(
+            OperatingPointTable::new(vec![]).unwrap_err(),
+            OperatingPointTableError::Empty
+        );
+        let err = OperatingPointTable::new(vec![point(1.6), point(1.06)]).unwrap_err();
+        assert_eq!(err, OperatingPointTableError::NotSorted { index: 1 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn step_up_down_saturate() {
+        let ladder =
+            OperatingPointTable::new(vec![point(0.8), point(1.06), point(1.6)]).unwrap();
+        let lo = ladder.lowest_id();
+        let hi = ladder.highest_id();
+        assert_eq!(ladder.step_down(lo), lo);
+        assert_eq!(ladder.step_up(hi), hi);
+        assert_eq!(ladder.step_up(lo), OperatingPointId(1));
+        assert_eq!(ladder.step_down(hi), OperatingPointId(1));
+        assert_eq!(ladder.iter().count(), 3);
+        assert!(ladder.get(OperatingPointId(7)).is_none());
+    }
+
+    #[test]
+    fn transition_latency_under_10us_budget() {
+        let t = TransitionLatency::skylake_default();
+        assert!(t.total() <= SimTime::from_micros(10.0));
+        assert!(t.stall_on_decrease() < t.stall_on_increase());
+    }
+
+    #[test]
+    fn unoptimized_mrc_flag() {
+        let op = point(1.06).with_unoptimized_mrc();
+        assert!(!op.mrc_optimized);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage scale out of range")]
+    fn rejects_bad_voltage_scale() {
+        let _ = UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 0.0, 1.0);
+    }
+
+    #[test]
+    fn operating_point_id_display() {
+        assert_eq!(OperatingPointId(1).to_string(), "OP1");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ladder = skylake_lpddr3_ladder();
+        let json = serde_json::to_string(&ladder).unwrap();
+        let back: OperatingPointTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ladder);
+    }
+}

@@ -1,0 +1,192 @@
+//! Small statistics helpers used by threshold calibration (µ + σ, Sec. 4.2),
+//! the predictor-accuracy study (correlation coefficients, Fig. 6), and the
+//! violin/summary plots (Fig. 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice. Returns 0.0 for fewer than two
+/// elements.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient between two equally sized series.
+///
+/// Returns 0.0 if either series has zero variance or the lengths differ
+/// (callers in the figure harness treat that as "no correlation" rather than
+/// an error).
+#[must_use]
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Linear interpolation percentile (inclusive), `p` in `[0, 100]`.
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics of a distribution, as used for the violin plot of
+/// Fig. 10 and the per-suite averages of Figs. 7–9.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`. Returns the default
+    /// (all-zero) summary for an empty slice.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+        Self {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: sorted[0],
+            p25: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            p75: percentile(values, 75.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// The calibration threshold rule of Sec. 4.2: `threshold = µ + σ` of the
+/// counter values observed in runs whose degradation stays below the bound.
+#[must_use]
+pub fn mu_plus_sigma_threshold(values: &[f64]) -> f64 {
+    mean(values) + std_dev(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &inv) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson_correlation(&x, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(pearson_correlation(&x, &y[..3]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert!((percentile(&v, 25.0) - 2.0).abs() < 1e-12);
+        assert!((percentile(&v, 10.0) - 1.4).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_of_distribution() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75);
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn threshold_rule_is_mu_plus_sigma() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mu_plus_sigma_threshold(&v) - 7.0).abs() < 1e-12);
+    }
+}

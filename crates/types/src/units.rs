@@ -1,0 +1,674 @@
+//! Physical unit newtypes used throughout the simulator.
+//!
+//! All quantities are stored as `f64` in SI base units (hertz, volts, watts,
+//! joules, seconds, bytes per second, bytes). The newtypes provide static
+//! distinction between quantities (`C-NEWTYPE`), convenient constructors for
+//! the scales that appear in the paper (GHz, MHz, mW, GB/s, ...), and the
+//! arithmetic that is physically meaningful for each quantity.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Generates a standard f64-backed unit newtype with common constructors,
+/// accessors, arithmetic, and formatting.
+macro_rules! unit_newtype {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base:ident, display = $display:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value for this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a value from the SI base unit.
+            #[must_use]
+            pub const fn $base(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in the SI base unit.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the larger of two values.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two values.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "invalid clamp range");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinity).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Linear interpolation between `self` and `other` with factor
+            /// `t` in `[0, 1]` (values outside the range extrapolate).
+            #[must_use]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + (other.0 - self.0) * t)
+            }
+
+            /// Ratio of this value to `other` as a plain number.
+            ///
+            /// Returns `0.0` when `other` is zero to keep downstream models
+            /// well-defined for idle components.
+            #[must_use]
+            pub fn ratio(self, other: Self) -> f64 {
+                if other.0 == 0.0 {
+                    0.0
+                } else {
+                    self.0 / other.0
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.4} ", $display), self.0)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A frequency in hertz.
+    ///
+    /// ```
+    /// use sysscale_types::Freq;
+    /// let dram = Freq::from_ghz(1.6);
+    /// assert_eq!(dram.as_mhz(), 1600.0);
+    /// ```
+    Freq, base = from_hz, display = "Hz"
+);
+
+unit_newtype!(
+    /// An electric potential in volts.
+    ///
+    /// ```
+    /// use sysscale_types::Voltage;
+    /// let v_sa = Voltage::from_mv(800.0);
+    /// assert!((v_sa.as_volts() - 0.8).abs() < 1e-12);
+    /// ```
+    Voltage, base = from_volts, display = "V"
+);
+
+unit_newtype!(
+    /// A power in watts.
+    ///
+    /// ```
+    /// use sysscale_types::Power;
+    /// let tdp = Power::from_watts(4.5);
+    /// assert_eq!(tdp.as_mw(), 4500.0);
+    /// ```
+    Power, base = from_watts, display = "W"
+);
+
+unit_newtype!(
+    /// An energy in joules.
+    ///
+    /// ```
+    /// use sysscale_types::{Energy, Power, SimTime};
+    /// let e = Power::from_watts(2.0) * SimTime::from_millis(500.0);
+    /// assert!((e.as_joules() - 1.0).abs() < 1e-12);
+    /// ```
+    Energy, base = from_joules, display = "J"
+);
+
+unit_newtype!(
+    /// A duration of simulated time in seconds.
+    ///
+    /// ```
+    /// use sysscale_types::SimTime;
+    /// let interval = SimTime::from_millis(30.0);
+    /// assert_eq!(interval.as_micros(), 30_000.0);
+    /// ```
+    SimTime, base = from_secs, display = "s"
+);
+
+unit_newtype!(
+    /// A data rate in bytes per second.
+    ///
+    /// ```
+    /// use sysscale_types::Bandwidth;
+    /// let peak = Bandwidth::from_gib_s(25.6);
+    /// assert!(peak > Bandwidth::from_gib_s(10.0));
+    /// ```
+    Bandwidth, base = from_bytes_per_sec, display = "B/s"
+);
+
+unit_newtype!(
+    /// An amount of data in bytes.
+    ///
+    /// ```
+    /// use sysscale_types::DataVolume;
+    /// let cacheline = DataVolume::from_bytes(64.0);
+    /// assert_eq!(cacheline.as_kib(), 0.0625);
+    /// ```
+    DataVolume, base = from_bytes, display = "B"
+);
+
+impl Freq {
+    /// Creates a frequency from kilohertz.
+    #[must_use]
+    pub fn from_khz(khz: f64) -> Self {
+        Self::from_hz(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::from_hz(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::from_hz(ghz * 1e9)
+    }
+
+    /// Returns the frequency in hertz.
+    #[must_use]
+    pub fn as_hz(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the frequency in megahertz.
+    #[must_use]
+    pub fn as_mhz(self) -> f64 {
+        self.get() / 1e6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub fn as_ghz(self) -> f64 {
+        self.get() / 1e9
+    }
+
+    /// Returns the period of one cycle at this frequency.
+    ///
+    /// Returns [`SimTime::ZERO`] for a zero frequency (a gated clock never
+    /// ticks, so no time is attributed to it).
+    #[must_use]
+    pub fn period(self) -> SimTime {
+        if self.is_zero() {
+            SimTime::ZERO
+        } else {
+            SimTime::from_secs(1.0 / self.get())
+        }
+    }
+
+    /// Number of cycles elapsed at this frequency over `duration`.
+    #[must_use]
+    pub fn cycles_in(self, duration: SimTime) -> f64 {
+        self.get() * duration.as_secs()
+    }
+}
+
+impl Voltage {
+    /// Creates a voltage from millivolts.
+    #[must_use]
+    pub fn from_mv(mv: f64) -> Self {
+        Self::from_volts(mv / 1e3)
+    }
+
+    /// Returns the voltage in volts.
+    #[must_use]
+    pub fn as_volts(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the voltage in millivolts.
+    #[must_use]
+    pub fn as_mv(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Returns the square of the voltage in volts², as used by `C·V²·f`
+    /// dynamic power models.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.get() * self.get()
+    }
+}
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_mw(mw: f64) -> Self {
+        Self::from_watts(mw / 1e3)
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub fn as_watts(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn as_mw(self) -> f64 {
+        self.get() * 1e3
+    }
+}
+
+impl Energy {
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub fn from_mj(mj: f64) -> Self {
+        Self::from_joules(mj / 1e3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub fn from_uj(uj: f64) -> Self {
+        Self::from_joules(uj / 1e6)
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub fn as_joules(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the energy in millijoules.
+    #[must_use]
+    pub fn as_mj(self) -> f64 {
+        self.get() * 1e3
+    }
+}
+
+impl SimTime {
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us / 1e6)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns / 1e9)
+    }
+
+    /// Returns the time in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the time in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.get() * 1e6
+    }
+
+    /// Returns the time in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> f64 {
+        self.get() * 1e9
+    }
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from gibibytes per second (2³⁰ bytes/s).
+    #[must_use]
+    pub fn from_gib_s(gib: f64) -> Self {
+        Self::from_bytes_per_sec(gib * (1u64 << 30) as f64)
+    }
+
+    /// Creates a bandwidth from mebibytes per second (2²⁰ bytes/s).
+    #[must_use]
+    pub fn from_mib_s(mib: f64) -> Self {
+        Self::from_bytes_per_sec(mib * (1u64 << 20) as f64)
+    }
+
+    /// Returns the bandwidth in bytes per second.
+    #[must_use]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the bandwidth in gibibytes per second.
+    #[must_use]
+    pub fn as_gib_s(self) -> f64 {
+        self.get() / (1u64 << 30) as f64
+    }
+
+    /// Returns the bandwidth in mebibytes per second.
+    #[must_use]
+    pub fn as_mib_s(self) -> f64 {
+        self.get() / (1u64 << 20) as f64
+    }
+}
+
+impl DataVolume {
+    /// Creates a data volume from kibibytes.
+    #[must_use]
+    pub fn from_kib(kib: f64) -> Self {
+        Self::from_bytes(kib * 1024.0)
+    }
+
+    /// Creates a data volume from mebibytes.
+    #[must_use]
+    pub fn from_mib(mib: f64) -> Self {
+        Self::from_bytes(mib * (1u64 << 20) as f64)
+    }
+
+    /// Creates a data volume from gibibytes.
+    #[must_use]
+    pub fn from_gib(gib: f64) -> Self {
+        Self::from_bytes(gib * (1u64 << 30) as f64)
+    }
+
+    /// Returns the data volume in bytes.
+    #[must_use]
+    pub fn as_bytes(self) -> f64 {
+        self.get()
+    }
+
+    /// Returns the data volume in kibibytes.
+    #[must_use]
+    pub fn as_kib(self) -> f64 {
+        self.get() / 1024.0
+    }
+
+    /// Returns the data volume in gibibytes.
+    #[must_use]
+    pub fn as_gib(self) -> f64 {
+        self.get() / (1u64 << 30) as f64
+    }
+}
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<SimTime> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: SimTime) -> Energy {
+        Energy::from_joules(self.as_watts() * rhs.as_secs())
+    }
+}
+
+impl Mul<Power> for SimTime {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<SimTime> for Energy {
+    type Output = Power;
+    fn div(self, rhs: SimTime) -> Power {
+        Power::from_watts(self.as_joules() / rhs.as_secs())
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = SimTime;
+    fn div(self, rhs: Power) -> SimTime {
+        SimTime::from_secs(self.as_joules() / rhs.as_watts())
+    }
+}
+
+impl Mul<SimTime> for Bandwidth {
+    type Output = DataVolume;
+    fn mul(self, rhs: SimTime) -> DataVolume {
+        DataVolume::from_bytes(self.as_bytes_per_sec() * rhs.as_secs())
+    }
+}
+
+impl Mul<Bandwidth> for SimTime {
+    type Output = DataVolume;
+    fn mul(self, rhs: Bandwidth) -> DataVolume {
+        rhs * self
+    }
+}
+
+impl Div<SimTime> for DataVolume {
+    type Output = Bandwidth;
+    fn div(self, rhs: SimTime) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.as_bytes() / rhs.as_secs())
+    }
+}
+
+impl Div<Bandwidth> for DataVolume {
+    type Output = SimTime;
+    fn div(self, rhs: Bandwidth) -> SimTime {
+        SimTime::from_secs(self.as_bytes() / rhs.as_bytes_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_constructors_agree() {
+        assert_eq!(Freq::from_ghz(1.6), Freq::from_mhz(1600.0));
+        assert_eq!(Freq::from_mhz(1.0), Freq::from_khz(1000.0));
+        assert_eq!(Freq::from_khz(1.0), Freq::from_hz(1000.0));
+    }
+
+    #[test]
+    fn freq_period_and_cycles() {
+        let f = Freq::from_ghz(1.0);
+        assert!((f.period().as_nanos() - 1.0).abs() < 1e-12);
+        assert!((f.cycles_in(SimTime::from_micros(1.0)) - 1000.0).abs() < 1e-6);
+        assert_eq!(Freq::ZERO.period(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn voltage_scaling() {
+        let v = Voltage::from_mv(800.0);
+        assert!((v.squared() - 0.64).abs() < 1e-12);
+        let reduced = v * 0.85;
+        assert!((reduced.as_mv() - 680.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_time_energy_roundtrip() {
+        let p = Power::from_mw(4500.0);
+        let t = SimTime::from_millis(100.0);
+        let e = p * t;
+        assert!((e.as_joules() - 0.45).abs() < 1e-12);
+        let p2 = e / t;
+        assert!((p2.as_watts() - p.as_watts()).abs() < 1e-12);
+        let t2 = e / p;
+        assert!((t2.as_secs() - t.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_volume_roundtrip() {
+        let bw = Bandwidth::from_gib_s(25.6);
+        let t = SimTime::from_millis(1.0);
+        let v = bw * t;
+        assert!((v.as_gib() - 0.0256).abs() < 1e-9);
+        let bw2 = v / t;
+        assert!((bw2.as_gib_s() - 25.6).abs() < 1e-9);
+        let t2 = v / bw;
+        assert!((t2.as_millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Bandwidth::from_gib_s(1.0).ratio(Bandwidth::ZERO), 0.0);
+        assert!((Freq::from_ghz(1.06).ratio(Freq::from_ghz(1.6)) - 0.6625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Power::from_watts(1.0);
+        let b = Power::from_watts(2.0);
+        assert_eq!(a + b, Power::from_watts(3.0));
+        assert_eq!(b - a, Power::from_watts(1.0));
+        assert_eq!(b * 2.0, Power::from_watts(4.0));
+        assert_eq!(2.0 * b, Power::from_watts(4.0));
+        assert_eq!(b / 2.0, a);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert_eq!(-a, Power::from_watts(-1.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Power::from_watts(3.0));
+        c -= a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Power = [1.0, 2.0, 3.5].iter().map(|&w| Power::from_watts(w)).sum();
+        assert!((total.as_watts() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_min_max_lerp() {
+        let lo = Freq::from_ghz(0.8);
+        let hi = Freq::from_ghz(1.6);
+        assert_eq!(Freq::from_ghz(2.0).clamp(lo, hi), hi);
+        assert_eq!(Freq::from_ghz(0.5).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+        let mid = lo.lerp(hi, 0.5);
+        assert!((mid.as_ghz() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn clamp_panics_on_inverted_range() {
+        let _ = Freq::from_ghz(1.0).clamp(Freq::from_ghz(2.0), Freq::from_ghz(1.0));
+    }
+
+    #[test]
+    fn display_formats_nonempty() {
+        assert!(!format!("{}", Freq::from_ghz(1.6)).is_empty());
+        assert!(format!("{}", Power::from_watts(4.5)).contains('W'));
+        assert!(format!("{}", Voltage::from_volts(0.8)).contains('V'));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let f = Freq::from_ghz(1.06);
+        let json = serde_json::to_string(&f).unwrap();
+        // Transparent newtype: serializes as a bare number.
+        assert!(!json.contains('{'));
+        let back: Freq = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,200 @@
+//! Battery-life workload descriptors.
+//!
+//! Battery-life workloads (Sec. 7.3) have two defining characteristics: their
+//! performance demand is *fixed* (e.g. decode and display 60 frames per
+//! second, no more), and they spend most of their time in package idle
+//! states — C0 residency between 10 % and 40 %, with DRAM active only in C0
+//! and C2. The metric is average power, not throughput.
+
+use sysscale_compute::{CState, CStateProfile, CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_iodev::{IoActivity, IspMode, PeripheralConfig};
+use sysscale_types::SimTime;
+
+use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+
+/// Names of the four battery-life scenarios in evaluation order (Fig. 9).
+pub const BATTERY_LIFE_NAMES: [&str; 4] = [
+    "web-browsing",
+    "light-gaming",
+    "video-conferencing",
+    "video-playback",
+];
+
+fn light_cpu(mpki: f64, threads: u32) -> CpuPhaseDemand {
+    CpuPhaseDemand {
+        base_cpi: 1.1,
+        mpki,
+        blocking_fraction: 0.5,
+        active_threads: threads,
+    }
+}
+
+fn capped_gfx(cycles_per_frame: f64, bytes_per_frame: f64, fps: f64) -> GfxPhaseDemand {
+    GfxPhaseDemand {
+        cycles_per_frame,
+        bytes_per_frame,
+        target_fps: Some(fps),
+    }
+}
+
+/// Builds one battery-life workload by name.
+///
+/// Returns `None` for unknown names; see [`BATTERY_LIFE_NAMES`].
+#[must_use]
+pub fn battery_workload(name: &str) -> Option<Workload> {
+    let (phase, peripherals) = match name {
+        "web-browsing" => {
+            let cstates = CStateProfile::new(vec![
+                (CState::C0, 0.20),
+                (CState::C2, 0.10),
+                (CState::C6, 0.20),
+                (CState::C8, 0.50),
+            ])
+            .expect("static profile");
+            let phase = WorkloadPhase {
+                duration: SimTime::from_millis(2_000.0),
+                cpu: light_cpu(3.0, 2),
+                gfx: capped_gfx(1.2e6, 25.0e6, 60.0),
+                cstates,
+                io: IoActivity::Light,
+            };
+            (phase, PeripheralConfig::single_hd_display())
+        }
+        "light-gaming" => {
+            let cstates = CStateProfile::new(vec![
+                (CState::C0, 0.40),
+                (CState::C2, 0.10),
+                (CState::C6, 0.20),
+                (CState::C8, 0.30),
+            ])
+            .expect("static profile");
+            let phase = WorkloadPhase {
+                duration: SimTime::from_millis(2_000.0),
+                cpu: light_cpu(2.0, 2),
+                gfx: capped_gfx(5.0e6, 60.0e6, 30.0),
+                cstates,
+                io: IoActivity::Light,
+            };
+            (phase, PeripheralConfig::single_hd_display())
+        }
+        "video-conferencing" => {
+            let cstates = CStateProfile::new(vec![
+                (CState::C0, 0.30),
+                (CState::C2, 0.10),
+                (CState::C6, 0.20),
+                (CState::C8, 0.40),
+            ])
+            .expect("static profile");
+            let mut peripherals = PeripheralConfig::single_hd_display();
+            peripherals.isp.set_mode(IspMode::Capture720p30);
+            peripherals.io_activity = IoActivity::Light;
+            let phase = WorkloadPhase {
+                duration: SimTime::from_millis(2_000.0),
+                cpu: light_cpu(2.5, 2),
+                gfx: capped_gfx(2.0e6, 35.0e6, 30.0),
+                cstates,
+                io: IoActivity::Light,
+            };
+            (phase, peripherals)
+        }
+        "video-playback" => {
+            // Sec. 7.3: C0 10 %, C2 5 %, C8 85 %.
+            let cstates = CStateProfile::video_playback();
+            let phase = WorkloadPhase {
+                duration: SimTime::from_millis(2_000.0),
+                cpu: light_cpu(1.5, 1),
+                gfx: capped_gfx(2.5e6, 45.0e6, 60.0),
+                cstates,
+                io: IoActivity::Light,
+            };
+            (phase, PeripheralConfig::single_hd_display())
+        }
+        _ => return None,
+    };
+    Some(
+        Workload::new(
+            name,
+            WorkloadClass::BatteryLife,
+            PerfUnit::ServicedSeconds,
+            vec![phase],
+            peripherals,
+        )
+        .expect("static descriptors are well formed"),
+    )
+}
+
+/// The full battery-life suite in Fig. 9 order.
+#[must_use]
+pub fn battery_life_suite() -> Vec<Workload> {
+    BATTERY_LIFE_NAMES
+        .iter()
+        .map(|n| battery_workload(n).expect("all names are known"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_four_scenarios_in_paper_order() {
+        let suite = battery_life_suite();
+        assert_eq!(suite.len(), 4);
+        let names: Vec<_> = suite.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, BATTERY_LIFE_NAMES.to_vec());
+        assert!(battery_workload("crypto-mining").is_none());
+    }
+
+    #[test]
+    fn active_residency_is_between_10_and_40_percent() {
+        // Sec. 7.3: "the active state (i.e., C0 power state) residency of
+        // these workloads is between 10%-40%".
+        for w in battery_life_suite() {
+            for p in &w.phases {
+                let c0 = p.cstates.active_fraction();
+                assert!((0.10..=0.40).contains(&c0), "{}: C0 {c0}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn video_playback_matches_the_paper_residencies() {
+        let w = battery_workload("video-playback").unwrap();
+        let p = &w.phases[0];
+        assert!((p.cstates.active_fraction() - 0.10).abs() < 1e-9);
+        assert!((p.cstates.dram_active_fraction() - 0.15).abs() < 1e-9);
+        assert_eq!(p.gfx.target_fps, Some(60.0));
+    }
+
+    #[test]
+    fn all_scenarios_have_fixed_performance_demands() {
+        for w in battery_life_suite() {
+            assert_eq!(w.class, WorkloadClass::BatteryLife);
+            assert_eq!(w.perf_unit, PerfUnit::ServicedSeconds);
+            for p in &w.phases {
+                assert!(p.gfx.target_fps.is_some(), "{} must have an FPS cap", w.name);
+            }
+            // Every battery-life scenario drives the laptop panel.
+            assert_eq!(w.peripherals.display.active_panels(), 1);
+        }
+    }
+
+    #[test]
+    fn video_conferencing_uses_the_camera() {
+        let w = battery_workload("video-conferencing").unwrap();
+        assert_ne!(w.peripherals.isp.mode(), IspMode::Off);
+        assert!(w.peripherals.isochronous_demand() > battery_workload("video-playback").unwrap().peripherals.isochronous_demand());
+    }
+
+    #[test]
+    fn demands_are_modest_relative_to_peak() {
+        // The premise of Observation 1/3: typical (battery-life) use has
+        // modest demands relative to the worst case.
+        for w in battery_life_suite() {
+            let frac = (w.nominal_bandwidth_hint()
+                + w.peripherals.static_demand().as_bytes_per_sec())
+                / 25.6e9;
+            assert!(frac < 0.5, "{}: fraction {frac}", w.name);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic workload population generator.
+//!
+//! The predictor study of Fig. 6 runs "more than 1600 workloads" drawn from
+//! representative performance and office-productivity suites (SPEC CPU2006,
+//! SYSmark, MobileMark, 3DMark). Those suites cannot ship here, so this
+//! generator produces a population of synthetic workloads whose
+//! characteristics (CPI, MPKI, memory-level parallelism, thread count,
+//! graphics intensity) span the same space. The same population is used for
+//! the offline threshold-calibration step of Sec. 4.2.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sysscale_compute::{CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_iodev::PeripheralConfig;
+use sysscale_types::SimTime;
+
+use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+
+/// Configuration of the synthetic population generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed (the study is deterministic given the seed).
+    pub seed: u64,
+    /// Duration of each generated workload's single phase.
+    pub phase_duration: SimTime,
+    /// Range of base CPI values.
+    pub cpi_range: (f64, f64),
+    /// Range of MPKI values (log-uniformly sampled so both core-bound and
+    /// memory-bound workloads are well represented).
+    pub mpki_range: (f64, f64),
+    /// Range of blocking fractions.
+    pub blocking_range: (f64, f64),
+    /// Probability that a generated CPU workload is multi-threaded.
+    pub multithread_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5CA1E,
+            phase_duration: SimTime::from_millis(500.0),
+            cpi_range: (0.6, 1.6),
+            mpki_range: (0.05, 45.0),
+            blocking_range: (0.2, 0.8),
+            multithread_probability: 0.5,
+        }
+    }
+}
+
+/// Synthetic workload population generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+    generated: usize,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given configuration.
+    #[must_use]
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            generated: 0,
+        }
+    }
+
+    /// Creates a generator with the default configuration and a caller-chosen
+    /// seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = Uniform::new(lo.ln(), hi.ln()).sample(&mut self.rng);
+        u.exp()
+    }
+
+    /// Generates one CPU workload (single- or multi-threaded).
+    pub fn next_cpu_workload(&mut self) -> Workload {
+        let cfg = self.config;
+        let base_cpi = self.rng.gen_range(cfg.cpi_range.0..cfg.cpi_range.1);
+        let mpki = self.log_uniform(cfg.mpki_range.0, cfg.mpki_range.1);
+        let blocking_fraction = self
+            .rng
+            .gen_range(cfg.blocking_range.0..cfg.blocking_range.1);
+        let multithreaded = self.rng.gen_bool(cfg.multithread_probability);
+        let threads = if multithreaded { 4 } else { 1 };
+        let class = if multithreaded {
+            WorkloadClass::CpuMultiThread
+        } else {
+            WorkloadClass::CpuSingleThread
+        };
+        self.generated += 1;
+        let phase = WorkloadPhase::cpu_only(
+            cfg.phase_duration,
+            CpuPhaseDemand {
+                base_cpi,
+                mpki,
+                blocking_fraction,
+                active_threads: threads,
+            },
+        );
+        Workload::new(
+            format!("synthetic-cpu-{:05}", self.generated),
+            class,
+            PerfUnit::Instructions,
+            vec![phase],
+            PeripheralConfig::single_hd_display(),
+        )
+        .expect("generated parameters are within validated ranges")
+    }
+
+    /// Generates one graphics workload.
+    pub fn next_graphics_workload(&mut self) -> Workload {
+        let cfg = self.config;
+        let cycles_per_frame = self.rng.gen_range(3.0e6..30.0e6);
+        let bytes_per_frame = self.rng.gen_range(30.0e6..280.0e6);
+        let cpu_mpki = self.rng.gen_range(0.5..4.0);
+        self.generated += 1;
+        let phase = WorkloadPhase {
+            duration: cfg.phase_duration,
+            cpu: CpuPhaseDemand {
+                base_cpi: 1.0,
+                mpki: cpu_mpki,
+                blocking_fraction: 0.4,
+                active_threads: 1,
+            },
+            gfx: GfxPhaseDemand {
+                cycles_per_frame,
+                bytes_per_frame,
+                target_fps: None,
+            },
+            cstates: sysscale_compute::CStateProfile::always_active(),
+            io: sysscale_iodev::IoActivity::Idle,
+        };
+        Workload::new(
+            format!("synthetic-gfx-{:05}", self.generated),
+            WorkloadClass::Graphics,
+            PerfUnit::Frames,
+            vec![phase],
+            PeripheralConfig::single_hd_display(),
+        )
+        .expect("generated parameters are within validated ranges")
+    }
+
+    /// Generates a mixed population of `count` workloads with the class mix
+    /// of the Fig. 6 study (1/3 single-thread CPU, 1/3 multi-thread CPU,
+    /// 1/3 graphics — approximately, driven by the configured probability).
+    pub fn population(&mut self, count: usize) -> Vec<Workload> {
+        (0..count)
+            .map(|i| {
+                if i % 3 == 2 {
+                    self.next_graphics_workload()
+                } else {
+                    self.next_cpu_workload()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let a: Vec<_> = WorkloadGenerator::with_seed(7).population(20);
+        let b: Vec<_> = WorkloadGenerator::with_seed(7).population(20);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.phases, y.phases);
+        }
+        let c: Vec<_> = WorkloadGenerator::with_seed(8).population(20);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.phases != y.phases));
+    }
+
+    #[test]
+    fn population_mixes_classes() {
+        let pop = WorkloadGenerator::with_seed(1).population(120);
+        let gfx = pop.iter().filter(|w| w.class == WorkloadClass::Graphics).count();
+        let st = pop
+            .iter()
+            .filter(|w| w.class == WorkloadClass::CpuSingleThread)
+            .count();
+        let mt = pop
+            .iter()
+            .filter(|w| w.class == WorkloadClass::CpuMultiThread)
+            .count();
+        assert_eq!(gfx + st + mt, 120);
+        assert!(gfx >= 30);
+        assert!(st >= 15);
+        assert!(mt >= 15);
+    }
+
+    #[test]
+    fn population_spans_core_bound_to_memory_bound() {
+        let pop = WorkloadGenerator::with_seed(2).population(300);
+        let hints: Vec<f64> = pop.iter().map(|w| w.nominal_bandwidth_hint() / 1e9).collect();
+        let min = hints.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = hints.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 0.5, "some near-idle demand ({min} GB/s)");
+        assert!(max > 5.0, "some heavy demand ({max} GB/s)");
+    }
+
+    #[test]
+    fn generated_workloads_are_valid() {
+        let pop = WorkloadGenerator::with_seed(3).population(50);
+        for w in pop {
+            for p in &w.phases {
+                assert!(p.validate().is_ok(), "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn supports_study_scale_populations() {
+        // The Fig. 6 study uses >1600 workloads; make sure generating that
+        // many is cheap and well formed.
+        let pop = WorkloadGenerator::with_seed(4).population(1_700);
+        assert_eq!(pop.len(), 1_700);
+    }
+}

@@ -1,0 +1,148 @@
+//! Graphics (3DMark-like) workload descriptors.
+//!
+//! The three 3DMark variants of the evaluation (3DMark06, 3DMark11, 3DMark
+//! Vantage — Sec. 7.2) are modelled as uncapped frame-rendering workloads
+//! with different per-frame engine work and memory traffic. While a graphics
+//! workload runs, the CPU cores only feed the engine (low activity at the
+//! most efficient frequency), which is why the PBM gives the graphics engine
+//! 80–90 % of the compute budget.
+
+use sysscale_compute::{CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_iodev::PeripheralConfig;
+use sysscale_types::SimTime;
+
+use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+
+/// Descriptor of one graphics benchmark scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphicsDescriptor {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Engine cycles of work per frame.
+    pub cycles_per_frame: f64,
+    /// Main-memory bytes per frame.
+    pub bytes_per_frame: f64,
+    /// CPU misses per kilo-instruction of the driver/feeding thread.
+    pub cpu_mpki: f64,
+}
+
+/// The three 3DMark-like scenes of the evaluation.
+pub const GRAPHICS_BENCHMARKS: &[GraphicsDescriptor] = &[
+    GraphicsDescriptor {
+        name: "3DMark06",
+        cycles_per_frame: 9.0e6,
+        bytes_per_frame: 75.0e6,
+        cpu_mpki: 2.0,
+    },
+    GraphicsDescriptor {
+        name: "3DMark11",
+        cycles_per_frame: 22.0e6,
+        bytes_per_frame: 200.0e6,
+        cpu_mpki: 1.5,
+    },
+    GraphicsDescriptor {
+        name: "3DMarkVantage",
+        cycles_per_frame: 14.0e6,
+        bytes_per_frame: 115.0e6,
+        cpu_mpki: 1.8,
+    },
+];
+
+/// Builds the workload for one graphics descriptor.
+#[must_use]
+pub fn build_graphics_workload(desc: &GraphicsDescriptor) -> Workload {
+    let phase = WorkloadPhase {
+        duration: SimTime::from_millis(2_000.0),
+        cpu: CpuPhaseDemand {
+            base_cpi: 1.0,
+            mpki: desc.cpu_mpki,
+            blocking_fraction: 0.4,
+            active_threads: 1,
+        },
+        gfx: GfxPhaseDemand {
+            cycles_per_frame: desc.cycles_per_frame,
+            bytes_per_frame: desc.bytes_per_frame,
+            target_fps: None,
+        },
+        cstates: sysscale_compute::CStateProfile::always_active(),
+        io: sysscale_iodev::IoActivity::Idle,
+    };
+    Workload::new(
+        desc.name,
+        WorkloadClass::Graphics,
+        PerfUnit::Frames,
+        vec![phase],
+        PeripheralConfig::single_hd_display(),
+    )
+    .expect("static descriptors are well formed")
+}
+
+/// The full graphics suite.
+#[must_use]
+pub fn graphics_suite() -> Vec<Workload> {
+    GRAPHICS_BENCHMARKS.iter().map(build_graphics_workload).collect()
+}
+
+/// Looks a graphics benchmark up by name (case insensitive).
+#[must_use]
+pub fn graphics_workload(name: &str) -> Option<Workload> {
+    GRAPHICS_BENCHMARKS
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .map(build_graphics_workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_compute::GfxModel;
+    use sysscale_types::{Bandwidth, Freq};
+
+    #[test]
+    fn suite_has_the_three_3dmark_variants() {
+        let suite = graphics_suite();
+        assert_eq!(suite.len(), 3);
+        assert!(graphics_workload("3dmark06").is_some());
+        assert!(graphics_workload("3DMark11").is_some());
+        assert!(graphics_workload("3dmarkvantage").is_some());
+        assert!(graphics_workload("gfxbench").is_none());
+        assert!(suite.iter().all(|w| w.class == WorkloadClass::Graphics));
+        assert!(suite.iter().all(|w| w.perf_unit == PerfUnit::Frames));
+    }
+
+    #[test]
+    fn scenes_are_gfx_frequency_scalable_with_ample_bandwidth() {
+        // Graphics performance is highly scalable with engine frequency
+        // (Sec. 7.2) when bandwidth is not the bottleneck.
+        let gfx = GfxModel::new();
+        for w in graphics_suite() {
+            let scene = &w.phases[0].gfx;
+            let slow = gfx.evaluate(scene, Freq::from_mhz(500.0), Bandwidth::from_gib_s(20.0));
+            let fast = gfx.evaluate(scene, Freq::from_mhz(750.0), Bandwidth::from_gib_s(20.0));
+            let speedup = fast.fps / slow.fps;
+            assert!((speedup - 1.5).abs() < 0.05, "{}: {speedup}", w.name);
+        }
+    }
+
+    #[test]
+    fn scenes_demand_significant_memory_bandwidth() {
+        // Fig. 3(b): graphics configurations demand a sizeable share of the
+        // DRAM peak, so scaling the uncore down blindly would hurt them.
+        for w in graphics_suite() {
+            let hint = w.nominal_bandwidth_hint() / 25.6e9;
+            assert!(hint > 0.1, "{}: fraction {hint}", w.name);
+        }
+    }
+
+    #[test]
+    fn heavier_scenes_run_slower() {
+        let gfx = GfxModel::new();
+        let light = graphics_workload("3DMark06").unwrap();
+        let heavy = graphics_workload("3DMark11").unwrap();
+        let f = Freq::from_mhz(600.0);
+        let bw = Bandwidth::from_gib_s(20.0);
+        let fps_light = gfx.evaluate(&light.phases[0].gfx, f, bw).fps;
+        let fps_heavy = gfx.evaluate(&heavy.phases[0].gfx, f, bw).fps;
+        assert!(fps_light > fps_heavy);
+    }
+}

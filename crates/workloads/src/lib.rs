@@ -1,0 +1,43 @@
+//! # sysscale-workloads
+//!
+//! Workload descriptors and generators for the SysScale simulator: a SPEC
+//! CPU2006-like suite, 3DMark-like graphics scenes, the four battery-life
+//! scenarios of the evaluation, STREAM-like microbenchmarks, and a synthetic
+//! population generator for the predictor-accuracy study (Fig. 6) and
+//! threshold calibration.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_workloads::{spec_workload, battery_life_suite};
+//!
+//! let lbm = spec_workload("lbm").expect("470.lbm is part of the suite");
+//! let perl = spec_workload("perlbench").unwrap();
+//! // lbm is bandwidth bound; perlbench is not (Fig. 2(c)).
+//! assert!(lbm.nominal_bandwidth_hint() > 5.0 * perl.nominal_bandwidth_hint());
+//! assert_eq!(battery_life_suite().len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod battery;
+mod generator;
+mod graphics;
+mod micro;
+mod spec;
+mod workload;
+
+pub use battery::{battery_life_suite, battery_workload, BATTERY_LIFE_NAMES};
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use graphics::{
+    build_graphics_workload, graphics_suite, graphics_workload, GraphicsDescriptor,
+    GRAPHICS_BENCHMARKS,
+};
+pub use micro::{idle_display_on, stream_peak_bandwidth};
+pub use spec::{
+    build_workload, build_workload_with_threads, spec_cpu2006_rate_suite, spec_cpu2006_suite,
+    spec_workload, PhasePattern, SpecDescriptor, SPEC_CPU2006,
+};
+pub use workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};

@@ -1,0 +1,82 @@
+//! Microbenchmarks: the STREAM-like peak-bandwidth kernel used for the MRC
+//! ablation (Fig. 4) and an idle workload used as a power-floor reference.
+
+use sysscale_compute::{CStateProfile, CState, CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_iodev::{IoActivity, PeripheralConfig};
+use sysscale_types::SimTime;
+
+use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+
+/// A microbenchmark that exercises peak DRAM bandwidth (similar to STREAM,
+/// Sec. 3 / Fig. 4): streaming accesses with very high MPKI, high
+/// memory-level parallelism (low blocking fraction), on all threads.
+#[must_use]
+pub fn stream_peak_bandwidth() -> Workload {
+    let phase = WorkloadPhase::cpu_only(
+        SimTime::from_millis(1_000.0),
+        CpuPhaseDemand {
+            base_cpi: 0.6,
+            mpki: 150.0,
+            blocking_fraction: 0.03,
+            active_threads: 4,
+        },
+    );
+    Workload::new(
+        "stream-peak-bw",
+        WorkloadClass::Micro,
+        PerfUnit::Instructions,
+        vec![phase],
+        PeripheralConfig::default(),
+    )
+    .expect("static descriptor is well formed")
+}
+
+/// A near-idle workload: the platform sits with the display on and the SoC
+/// mostly in deep idle. Used as the power floor in sanity checks.
+#[must_use]
+pub fn idle_display_on() -> Workload {
+    let cstates = CStateProfile::new(vec![(CState::C0, 0.05), (CState::C8, 0.95)])
+        .expect("static profile");
+    let phase = WorkloadPhase {
+        duration: SimTime::from_millis(1_000.0),
+        cpu: CpuPhaseDemand {
+            base_cpi: 1.0,
+            mpki: 1.0,
+            blocking_fraction: 0.5,
+            active_threads: 1,
+        },
+        gfx: GfxPhaseDemand::idle(),
+        cstates,
+        io: IoActivity::Idle,
+    };
+    Workload::new(
+        "idle-display-on",
+        WorkloadClass::BatteryLife,
+        PerfUnit::ServicedSeconds,
+        vec![phase],
+        PeripheralConfig::single_hd_display(),
+    )
+    .expect("static descriptor is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_workload;
+
+    #[test]
+    fn stream_demands_more_bandwidth_than_any_spec_benchmark() {
+        let stream = stream_peak_bandwidth();
+        let lbm = spec_workload("lbm").unwrap();
+        assert!(stream.nominal_bandwidth_hint() > lbm.nominal_bandwidth_hint());
+        // It should be able to approach the LPDDR3 peak.
+        assert!(stream.nominal_bandwidth_hint() / 25.6e9 > 0.5);
+    }
+
+    #[test]
+    fn idle_workload_is_mostly_asleep() {
+        let idle = idle_display_on();
+        assert!(idle.phases[0].cstates.active_fraction() <= 0.05);
+        assert!(idle.nominal_bandwidth_hint() / 25.6e9 < 0.05);
+    }
+}

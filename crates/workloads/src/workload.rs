@@ -1,0 +1,308 @@
+//! Workload descriptors: phases, classes, and performance units.
+//!
+//! A workload is a sequence of *phases*. Each phase carries the demand
+//! characteristics the SoC models consume (CPU interval-model parameters,
+//! graphics per-frame work, C-state residency, best-effort IO activity) plus
+//! a duration. This is the synthetic stand-in for SPEC CPU2006 / 3DMark /
+//! battery-life content the paper runs on real hardware: the descriptors are
+//! calibrated to the per-benchmark characteristics the paper reports
+//! (memory-boundedness, bandwidth demand over time, frequency scalability,
+//! idle residency).
+
+use serde::{Deserialize, Serialize};
+
+use sysscale_compute::{CStateProfile, CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_iodev::{IoActivity, PeripheralConfig};
+use sysscale_types::{SimError, SimResult, SimTime};
+
+/// Class of a workload, used for reporting and for picking the right
+/// performance metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Single-threaded CPU benchmark (SPEC CPU2006 style).
+    CpuSingleThread,
+    /// Multi-threaded CPU benchmark.
+    CpuMultiThread,
+    /// Graphics benchmark (3DMark style), scored in frames per second.
+    Graphics,
+    /// Battery-life scenario with fixed performance demands, scored by
+    /// average power.
+    BatteryLife,
+    /// Microbenchmark (e.g. STREAM-like peak-bandwidth kernel).
+    Micro,
+}
+
+impl WorkloadClass {
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::CpuSingleThread => "cpu-1t",
+            WorkloadClass::CpuMultiThread => "cpu-nt",
+            WorkloadClass::Graphics => "graphics",
+            WorkloadClass::BatteryLife => "battery",
+            WorkloadClass::Micro => "micro",
+        }
+    }
+}
+
+/// The unit in which a workload's completed work is counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerfUnit {
+    /// Instructions retired (CPU benchmarks).
+    Instructions,
+    /// Frames rendered (graphics benchmarks).
+    Frames,
+    /// Seconds of content played back / serviced (battery-life scenarios).
+    ServicedSeconds,
+}
+
+/// One phase of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Duration of the phase.
+    pub duration: SimTime,
+    /// CPU demand during the phase.
+    pub cpu: CpuPhaseDemand,
+    /// Graphics demand during the phase.
+    pub gfx: GfxPhaseDemand,
+    /// Package C-state residency during the phase.
+    pub cstates: CStateProfile,
+    /// Best-effort IO activity during the phase.
+    pub io: IoActivity,
+}
+
+impl WorkloadPhase {
+    /// A purely CPU-driven phase that stays in C0.
+    #[must_use]
+    pub fn cpu_only(duration: SimTime, cpu: CpuPhaseDemand) -> Self {
+        Self {
+            duration,
+            cpu,
+            gfx: GfxPhaseDemand::idle(),
+            cstates: CStateProfile::always_active(),
+            io: IoActivity::Idle,
+        }
+    }
+
+    /// Validates the phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the duration is not positive or
+    /// a nested demand is invalid.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.duration <= SimTime::ZERO {
+            return Err(SimError::invalid_config("phase duration must be positive"));
+        }
+        self.cpu.validate()?;
+        self.gfx.validate()?;
+        Ok(())
+    }
+}
+
+/// A complete workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable name (e.g. `470.lbm`, `3DMark06`, `video-playback`).
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Performance unit of the score.
+    pub perf_unit: PerfUnit,
+    /// Phases executed in order (the sequence repeats if the simulation runs
+    /// longer than the sum of phase durations).
+    pub phases: Vec<WorkloadPhase>,
+    /// Platform peripheral configuration while this workload runs.
+    pub peripherals: PeripheralConfig,
+}
+
+impl Workload {
+    /// Creates a workload after validating its phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if there are no phases or a phase
+    /// is invalid.
+    pub fn new(
+        name: impl Into<String>,
+        class: WorkloadClass,
+        perf_unit: PerfUnit,
+        phases: Vec<WorkloadPhase>,
+        peripherals: PeripheralConfig,
+    ) -> SimResult<Self> {
+        if phases.is_empty() {
+            return Err(SimError::invalid_config("workload must have at least one phase"));
+        }
+        for p in &phases {
+            p.validate()?;
+        }
+        Ok(Self {
+            name: name.into(),
+            class,
+            perf_unit,
+            phases,
+            peripherals,
+        })
+    }
+
+    /// Sum of all phase durations (one iteration of the phase sequence).
+    #[must_use]
+    pub fn iteration_length(&self) -> SimTime {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The phase active at simulated time `t`, wrapping around the phase
+    /// sequence for runs longer than one iteration.
+    #[must_use]
+    pub fn phase_at(&self, t: SimTime) -> &WorkloadPhase {
+        let total = self.iteration_length();
+        let mut remaining = if total.is_zero() {
+            SimTime::ZERO
+        } else {
+            SimTime::from_secs(t.as_secs() % total.as_secs())
+        };
+        for phase in &self.phases {
+            if remaining < phase.duration {
+                return phase;
+            }
+            remaining -= phase.duration;
+        }
+        // Floating-point edge: t landed exactly on the boundary.
+        self.phases.last().expect("validated to be non-empty")
+    }
+
+    /// Average main-memory bandwidth demand *hint* across the phases (at a
+    /// nominal 1.2 GHz CPU and unloaded memory), used for reporting the
+    /// Fig. 2(c)/3(a)-style demand without running the full simulator.
+    #[must_use]
+    pub fn nominal_bandwidth_hint(&self) -> f64 {
+        use sysscale_compute::CpuModel;
+        use sysscale_types::Freq;
+        let cpu = CpuModel::skylake_2core();
+        let total = self.iteration_length().as_secs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| {
+                let r = cpu.evaluate(
+                    &p.cpu,
+                    Freq::from_ghz(1.2),
+                    SimTime::from_nanos(70.0),
+                    1.0,
+                );
+                let gfx = GfxBwHint::hint(&p.gfx);
+                (r.bandwidth_demand.as_bytes_per_sec() + gfx) * p.duration.as_secs()
+            })
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Helper for the graphics part of the bandwidth hint.
+struct GfxBwHint;
+
+impl GfxBwHint {
+    fn hint(gfx: &GfxPhaseDemand) -> f64 {
+        use sysscale_compute::GfxModel;
+        use sysscale_types::Freq;
+        GfxModel::new()
+            .desired_bandwidth(gfx, Freq::from_mhz(600.0))
+            .as_bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(duration_ms: f64, mpki: f64) -> WorkloadPhase {
+        WorkloadPhase::cpu_only(
+            SimTime::from_millis(duration_ms),
+            CpuPhaseDemand {
+                base_cpi: 1.0,
+                mpki,
+                blocking_fraction: 0.3,
+                active_threads: 1,
+            },
+        )
+    }
+
+    fn workload(phases: Vec<WorkloadPhase>) -> Workload {
+        Workload::new(
+            "test",
+            WorkloadClass::CpuSingleThread,
+            PerfUnit::Instructions,
+            phases,
+            PeripheralConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn phase_lookup_walks_and_wraps() {
+        let w = workload(vec![phase(10.0, 1.0), phase(20.0, 5.0), phase(30.0, 20.0)]);
+        assert!((w.iteration_length().as_millis() - 60.0).abs() < 1e-9);
+        assert_eq!(w.phase_at(SimTime::from_millis(5.0)).cpu.mpki, 1.0);
+        assert_eq!(w.phase_at(SimTime::from_millis(15.0)).cpu.mpki, 5.0);
+        assert_eq!(w.phase_at(SimTime::from_millis(45.0)).cpu.mpki, 20.0);
+        // Wraps around after one iteration.
+        assert_eq!(w.phase_at(SimTime::from_millis(65.0)).cpu.mpki, 1.0);
+        assert_eq!(w.phase_at(SimTime::from_millis(105.0)).cpu.mpki, 20.0);
+    }
+
+    #[test]
+    fn workload_validation() {
+        assert!(Workload::new(
+            "empty",
+            WorkloadClass::Micro,
+            PerfUnit::Instructions,
+            vec![],
+            PeripheralConfig::default()
+        )
+        .is_err());
+        let mut bad = phase(10.0, 1.0);
+        bad.duration = SimTime::ZERO;
+        assert!(Workload::new(
+            "bad",
+            WorkloadClass::Micro,
+            PerfUnit::Instructions,
+            vec![bad],
+            PeripheralConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bandwidth_hint_orders_phases_by_intensity() {
+        let light = workload(vec![phase(10.0, 0.5)]);
+        let heavy = workload(vec![phase(10.0, 25.0)]);
+        assert!(heavy.nominal_bandwidth_hint() > light.nominal_bandwidth_hint());
+        assert!(light.nominal_bandwidth_hint() > 0.0);
+    }
+
+    #[test]
+    fn class_names_are_unique() {
+        let names = [
+            WorkloadClass::CpuSingleThread.name(),
+            WorkloadClass::CpuMultiThread.name(),
+            WorkloadClass::Graphics.name(),
+            WorkloadClass::BatteryLife.name(),
+            WorkloadClass::Micro.name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = workload(vec![phase(10.0, 1.0)]);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

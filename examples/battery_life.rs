@@ -1,0 +1,37 @@
+//! Reproduces the Fig. 9 battery-life evaluation: average power reduction of
+//! SysScale (and the baselines) on web browsing, light gaming, video
+//! conferencing, and video playback.
+//!
+//! ```text
+//! cargo run --release --example battery_life
+//! ```
+
+use sysscale::experiments::evaluation;
+use sysscale::{DemandPredictor, SocConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SocConfig::skylake_default();
+    let predictor = DemandPredictor::skylake_default();
+    let figure = evaluation::fig9(&config, &predictor)?;
+
+    println!("Fig. 9 — average power reduction on battery-life workloads");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>10}",
+        "workload", "baseline W", "MemScale-R", "CoScale-R", "SysScale"
+    );
+    for row in &figure.rows {
+        println!(
+            "{:<20} {:>10.3} {:>11.1}% {:>11.1}% {:>9.1}%",
+            row.workload,
+            row.baseline_power_w,
+            row.memscale_redist_pct,
+            row.coscale_redist_pct,
+            row.sysscale_pct
+        );
+    }
+    println!(
+        "SysScale average reduction: {:.1}% (paper: 8.5% average, up to 10.7%)",
+        figure.sysscale_avg_pct
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run one SPEC-like workload under the baseline and under
+//! SysScale on the simulated Skylake-class mobile SoC and compare them.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sysscale::{FixedGovernor, SocConfig, SocSimulator, SysScaleGovernor};
+use sysscale_types::{Domain, SimTime};
+use sysscale_workloads::spec_workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SocConfig::skylake_default();
+    println!(
+        "Platform: 2-core Skylake-class SoC, TDP {:.1} W, LPDDR3-1600 dual channel",
+        config.tdp.as_watts()
+    );
+
+    let workload = spec_workload("gamess").expect("416.gamess is part of the suite");
+    let duration = SimTime::from_millis(500.0);
+    let mut sim = SocSimulator::new(config)?;
+
+    let baseline = sim.run(&workload, &mut FixedGovernor::baseline(), duration)?;
+    let sysscale = sim.run(
+        &workload,
+        &mut SysScaleGovernor::with_default_thresholds(),
+        duration,
+    )?;
+
+    println!("\nWorkload: {} ({} simulated)", workload.name, duration);
+    println!(
+        "  baseline : {:6.3} W average, {:5.2} GHz average CPU clock",
+        baseline.average_power().as_watts(),
+        baseline.average_cpu_freq_ghz
+    );
+    println!(
+        "  sysscale : {:6.3} W average, {:5.2} GHz average CPU clock",
+        sysscale.average_power().as_watts(),
+        sysscale.average_cpu_freq_ghz
+    );
+    println!(
+        "  speedup  : {:+.1} %  (low-OP residency {:.0} %, {} DVFS transitions)",
+        sysscale.speedup_pct_over(&baseline),
+        sysscale.low_op_residency * 100.0,
+        sysscale.transitions.count
+    );
+    for domain in Domain::ALL {
+        println!(
+            "  {:8}: {:6.3} W -> {:6.3} W",
+            domain.name(),
+            baseline.average_domain_power(domain).as_watts(),
+            sysscale.average_domain_power(domain).as_watts()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Integration tests of the governors: SysScale versus the baselines on the
+//! full simulator.
+
+use sysscale::{
+    calibrate, memscale_config, CalibrationConfig, CoScaleGovernor, FixedGovernor,
+    MemScaleGovernor, SocConfig, SocSimulator, SysScaleGovernor,
+};
+use sysscale_types::SimTime;
+use sysscale_workloads::{
+    battery_workload, graphics_workload, spec_cpu2006_suite, spec_workload, WorkloadGenerator,
+};
+
+fn run(
+    config: &SocConfig,
+    workload: &sysscale_workloads::Workload,
+    governor: &mut dyn sysscale::Governor,
+) -> sysscale::SimReport {
+    let mut sim = SocSimulator::new(config.clone()).unwrap();
+    let duration = workload.iteration_length().max(SimTime::from_millis(300.0));
+    sim.run(workload, governor, duration).unwrap()
+}
+
+#[test]
+fn sysscale_speeds_up_compute_bound_and_spares_memory_bound_workloads() {
+    let config = SocConfig::skylake_default();
+    let mut results = Vec::new();
+    for name in ["gamess", "namd", "povray", "lbm", "bwaves", "milc"] {
+        let w = spec_workload(name).unwrap();
+        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
+        let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
+        results.push((name, sys.speedup_pct_over(&baseline), sys.qos_violations));
+    }
+    for (name, speedup, qos) in &results {
+        assert_eq!(*qos, 0, "{name} had QoS violations");
+        assert!(*speedup > -3.0, "{name} regressed by {speedup}%");
+    }
+    let compute_bound_avg =
+        (results[0].1 + results[1].1 + results[2].1) / 3.0;
+    let memory_bound_avg = (results[3].1 + results[4].1 + results[5].1) / 3.0;
+    assert!(
+        compute_bound_avg > 4.0,
+        "compute-bound average speedup {compute_bound_avg}%"
+    );
+    assert!(
+        compute_bound_avg > memory_bound_avg + 2.0,
+        "compute {compute_bound_avg}% vs memory {memory_bound_avg}%"
+    );
+}
+
+#[test]
+fn sysscale_outperforms_memscale_and_coscale_on_the_spec_suite_average() {
+    let config = SocConfig::skylake_default();
+    let restricted = memscale_config(&config);
+    let mut sys_total = 0.0;
+    let mut mem_total = 0.0;
+    let mut co_total = 0.0;
+    // A representative subset keeps the test fast.
+    for name in ["gamess", "namd", "perlbench", "astar", "sphinx3", "lbm"] {
+        let w = spec_workload(name).unwrap();
+        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
+        sys_total += run(&config, &w, &mut SysScaleGovernor::with_default_thresholds())
+            .speedup_pct_over(&baseline);
+        mem_total += run(&restricted, &w, &mut MemScaleGovernor::redistributing())
+            .speedup_pct_over(&baseline);
+        co_total += run(&restricted, &w, &mut CoScaleGovernor::redistributing())
+            .speedup_pct_over(&baseline);
+    }
+    assert!(
+        sys_total > mem_total && sys_total > co_total,
+        "sysscale {sys_total} vs memscale {mem_total} vs coscale {co_total}"
+    );
+}
+
+#[test]
+fn sysscale_reduces_battery_life_power_without_missing_frames() {
+    let config = SocConfig::skylake_default();
+    for name in ["video-playback", "web-browsing"] {
+        let w = battery_workload(name).unwrap();
+        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
+        let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
+        let reduction = sys.power_reduction_pct_vs(&baseline);
+        assert!(reduction > 2.0, "{name}: {reduction}%");
+        assert_eq!(sys.qos_violations, 0);
+        let target = w.phases[0].gfx.target_fps.unwrap();
+        assert!(sys.average_fps >= target * 0.9, "{name}: {} fps", sys.average_fps);
+    }
+}
+
+#[test]
+fn sysscale_boosts_graphics_frame_rate() {
+    let config = SocConfig::skylake_default();
+    let w = graphics_workload("3DMark06").unwrap();
+    let baseline = run(&config, &w, &mut FixedGovernor::baseline());
+    let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
+    assert!(sys.average_gfx_freq_ghz >= baseline.average_gfx_freq_ghz);
+    assert!(sys.speedup_pct_over(&baseline) > 1.0);
+}
+
+#[test]
+fn calibrated_predictor_has_no_false_positives_on_the_spec_suite() {
+    // Calibrate on a synthetic population, then check the paper's headline
+    // property (Sec. 4.2): the predictor never sends a workload to the low
+    // point when that would cost more than the bound.
+    let config = SocConfig::skylake_default();
+    let cal_cfg = CalibrationConfig {
+        degradation_bound: 0.02,
+        sim_duration: SimTime::from_millis(60.0),
+    };
+    let population = WorkloadGenerator::with_seed(99).population(30);
+    let outcome = calibrate(&config, &population, &cal_cfg).unwrap();
+    let predictor = outcome.predictor();
+    let peak = sysscale_types::Bandwidth::from_bytes_per_sec(
+        config
+            .dram
+            .peak_bandwidth(config.uncore_ladder.highest().dram_freq)
+            .as_bytes_per_sec(),
+    );
+
+    let mut false_positives = 0;
+    let mut checked = 0;
+    for w in spec_cpu2006_suite() {
+        let sample = sysscale::measure_sample(&config, &w, &cal_cfg).unwrap();
+        let prediction = predictor.predict(
+            &sample.counters,
+            w.peripherals.static_demand(),
+            peak,
+        );
+        checked += 1;
+        if !prediction.needs_high_performance && sample.actual_degradation > 0.05 {
+            false_positives += 1;
+        }
+    }
+    assert!(checked > 20);
+    assert_eq!(
+        false_positives, 0,
+        "{false_positives}/{checked} severe false positives"
+    );
+}

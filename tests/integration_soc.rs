@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: full-SoC runs across the workload suites
+//! under the fixed governors.
+
+use sysscale::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale_types::{Domain, Power, SimTime};
+use sysscale_workloads::{
+    battery_life_suite, graphics_suite, idle_display_on, spec_workload, stream_peak_bandwidth,
+};
+
+fn run_ms(
+    config: &SocConfig,
+    workload: &sysscale_workloads::Workload,
+    governor: &mut dyn sysscale::Governor,
+    ms: f64,
+) -> sysscale::SimReport {
+    let mut sim = SocSimulator::new(config.clone()).unwrap();
+    sim.run(workload, governor, SimTime::from_millis(ms)).unwrap()
+}
+
+#[test]
+fn average_power_never_exceeds_tdp_by_more_than_tolerance() {
+    let config = SocConfig::skylake_default();
+    let mut workloads = vec![
+        spec_workload("lbm").unwrap(),
+        spec_workload("gamess").unwrap(),
+        stream_peak_bandwidth(),
+    ];
+    workloads.extend(graphics_suite());
+    for w in &workloads {
+        for use_high in [true, false] {
+            let mut gov = if use_high {
+                FixedGovernor::baseline()
+            } else {
+                FixedGovernor::md_dvfs(true)
+            };
+            let report = run_ms(&config, w, &mut gov, 300.0);
+            let power = report.average_power().as_watts();
+            assert!(
+                power <= config.tdp.as_watts() * 1.05,
+                "{} under {} drew {power} W",
+                w.name,
+                report.governor
+            );
+        }
+    }
+}
+
+#[test]
+fn domain_power_split_is_plausible_for_cpu_workloads() {
+    let config = SocConfig::skylake_default();
+    let report = run_ms(
+        &config,
+        &spec_workload("lbm").unwrap(),
+        &mut FixedGovernor::baseline(),
+        300.0,
+    );
+    let compute = report.average_domain_power(Domain::Compute).as_watts();
+    let memory = report.average_domain_power(Domain::Memory).as_watts();
+    let io = report.average_domain_power(Domain::Io).as_watts();
+    // Compute dominates, memory is substantial for a bandwidth-bound
+    // workload, IO is smallest but non-zero.
+    assert!(compute > memory && memory > io && io > 0.05, "{compute}/{memory}/{io}");
+    let total = compute + memory + io;
+    assert!((total - report.average_power().as_watts()).abs() < 1e-6);
+}
+
+#[test]
+fn idle_platform_draws_a_small_fraction_of_tdp() {
+    let config = SocConfig::skylake_default();
+    let report = run_ms(
+        &config,
+        &idle_display_on(),
+        &mut FixedGovernor::baseline(),
+        300.0,
+    );
+    assert!(report.average_power() < Power::from_watts(1.0));
+}
+
+#[test]
+fn battery_life_scenarios_meet_their_frame_rate_at_both_operating_points() {
+    let config = SocConfig::skylake_default();
+    for w in battery_life_suite() {
+        let target = w.phases[0].gfx.target_fps.unwrap();
+        for use_high in [true, false] {
+            let mut gov = if use_high {
+                FixedGovernor::baseline()
+            } else {
+                FixedGovernor::md_dvfs(false)
+            };
+            let report = run_ms(&config, &w, &mut gov, 300.0);
+            assert!(
+                report.average_fps >= target * 0.9,
+                "{} at {}: {} fps vs target {target}",
+                w.name,
+                report.governor,
+                report.average_fps
+            );
+            assert_eq!(report.qos_violations, 0);
+        }
+    }
+}
+
+#[test]
+fn stream_microbenchmark_approaches_peak_bandwidth_at_the_high_point() {
+    let config = SocConfig::skylake_default();
+    let mut sim = SocSimulator::new(config).unwrap();
+    let report = sim
+        .run(
+            &stream_peak_bandwidth(),
+            &mut FixedGovernor::baseline(),
+            SimTime::from_millis(300.0),
+        )
+        .unwrap();
+    let peak = sim.peak_bandwidth().as_gib_s();
+    let achieved = report.average_memory_bandwidth_gib_s();
+    assert!(
+        achieved > 0.55 * peak,
+        "achieved {achieved} GiB/s of {peak} GiB/s peak"
+    );
+}
+
+#[test]
+fn tdp_sweep_scales_compute_throughput() {
+    // More TDP means more compute budget and more throughput for a
+    // compute-bound workload.
+    let gamess = spec_workload("gamess").unwrap();
+    let mut last = 0.0;
+    for tdp in [3.5, 4.5, 7.0] {
+        let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
+        let report = run_ms(&config, &gamess, &mut FixedGovernor::baseline(), 200.0);
+        let throughput = report.metrics.throughput();
+        assert!(throughput > last, "tdp {tdp}: {throughput} vs {last}");
+        last = throughput;
+    }
+}
