@@ -1,23 +1,16 @@
 //! Benchmarks the ablation study over SysScale's design choices and prints
 //! the resulting table once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sysscale::experiments::sensitivity;
 use sysscale::DemandPredictor;
+use sysscale_bench::timing::bench;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let predictor = DemandPredictor::skylake_default();
     let rows = sensitivity::ablations(&predictor).unwrap();
     println!("{}", sysscale_bench::format_ablations(&rows));
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("full_ablation_sweep", |b| {
-        b.iter(|| sensitivity::ablations(&predictor).unwrap())
+    bench("ablations", "full_ablation_sweep", 5, || {
+        sensitivity::ablations(&predictor).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

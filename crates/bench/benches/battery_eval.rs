@@ -1,36 +1,27 @@
 //! Benchmarks the Fig. 9 battery-life evaluation and prints the figure once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use sysscale::experiments::{evaluation, run_workload};
-use sysscale::{DemandPredictor, SocConfig, SysScaleGovernor};
+use sysscale::experiments::evaluation;
+use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
+use sysscale_bench::timing::bench;
 use sysscale_workloads::battery_workload;
 
-fn bench_battery_eval(c: &mut Criterion) {
+fn main() {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
     let fig9 = evaluation::fig9(&config, &predictor).unwrap();
     println!("{}", sysscale_bench::format_fig9(&fig9));
 
-    let video = battery_workload("video-playback").unwrap();
-    let mut group = c.benchmark_group("battery_eval");
-    group.sample_size(10);
-    group.bench_function("sysscale_run_video_playback", |b| {
-        b.iter(|| {
-            run_workload(
-                &config,
-                &video,
-                &mut SysScaleGovernor::with_default_thresholds(),
-            )
-            .unwrap()
-        })
+    let mut session = SimSession::new();
+    let video = Scenario::builder(battery_workload("video-playback").unwrap())
+        .config(config.clone())
+        .governor("sysscale")
+        .build()
+        .unwrap();
+    bench("battery_eval", "sysscale_run_video_playback", 10, || {
+        session.run(&video).unwrap()
     });
-    group.bench_function("fig9_full", |b| {
-        b.iter(|| evaluation::fig9(&config, &predictor).unwrap())
+    bench("battery_eval", "fig9_full", 10, || {
+        evaluation::fig9(&config, &predictor).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_battery_eval);
-criterion_main!(benches);

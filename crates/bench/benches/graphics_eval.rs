@@ -1,12 +1,11 @@
 //! Benchmarks the Fig. 8 graphics evaluation and prints the figure once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use sysscale::experiments::{evaluation, run_workload};
-use sysscale::{DemandPredictor, SocConfig, SysScaleGovernor};
+use sysscale::experiments::evaluation;
+use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
+use sysscale_bench::timing::bench;
 use sysscale_workloads::graphics_workload;
 
-fn bench_graphics_eval(c: &mut Criterion) {
+fn main() {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
@@ -16,24 +15,16 @@ fn bench_graphics_eval(c: &mut Criterion) {
         sysscale_bench::format_speedup_figure("Fig. 8 — graphics (reproduced)", &fig8)
     );
 
-    let mark06 = graphics_workload("3DMark06").unwrap();
-    let mut group = c.benchmark_group("graphics_eval");
-    group.sample_size(10);
-    group.bench_function("sysscale_run_3dmark06", |b| {
-        b.iter(|| {
-            run_workload(
-                &config,
-                &mark06,
-                &mut SysScaleGovernor::with_default_thresholds(),
-            )
-            .unwrap()
-        })
+    let mut session = SimSession::new();
+    let mark06 = Scenario::builder(graphics_workload("3DMark06").unwrap())
+        .config(config.clone())
+        .governor("sysscale")
+        .build()
+        .unwrap();
+    bench("graphics_eval", "sysscale_run_3dmark06", 10, || {
+        session.run(&mark06).unwrap()
     });
-    group.bench_function("fig8_full", |b| {
-        b.iter(|| evaluation::fig8(&config, &predictor).unwrap())
+    bench("graphics_eval", "fig8_full", 10, || {
+        evaluation::fig8(&config, &predictor).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_graphics_eval);
-criterion_main!(benches);

@@ -1,36 +1,34 @@
 //! Benchmarks the motivation experiments (Table 1, Fig. 2–4) and prints the
 //! regenerated data once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sysscale::experiments::motivation;
 use sysscale::SocConfig;
-use sysscale_bench as fmt;
+use sysscale_bench::{self as fmt, timing::bench};
 
-fn bench_motivation(c: &mut Criterion) {
+fn main() {
     let config = SocConfig::skylake_default();
 
     // Print the regenerated figures once so `cargo bench` output carries the
     // reproduced data.
     println!("{}", fmt::format_table1(&motivation::table1(&config)));
     println!("{}", fmt::format_table2(&config));
-    println!("{}", fmt::format_fig2a(&motivation::fig2a(&config).unwrap()));
+    println!(
+        "{}",
+        fmt::format_fig2a(&motivation::fig2a(&config).unwrap())
+    );
     println!("{}", fmt::format_fig3b(&motivation::fig3b()));
     println!("{}", fmt::format_fig4(&motivation::fig4(&config).unwrap()));
 
-    let mut group = c.benchmark_group("motivation");
-    group.sample_size(10);
-    group.bench_function("fig2a_md_dvfs_impact", |b| {
-        b.iter(|| motivation::fig2a(&config).unwrap())
+    bench("motivation", "fig2a_md_dvfs_impact", 10, || {
+        motivation::fig2a(&config).unwrap()
     });
-    group.bench_function("fig3b_static_demand_table", |b| {
-        b.iter(motivation::fig3b)
+    bench(
+        "motivation",
+        "fig3b_static_demand_table",
+        10,
+        motivation::fig3b,
+    );
+    bench("motivation", "fig4_mrc_ablation", 10, || {
+        motivation::fig4(&config).unwrap()
     });
-    group.bench_function("fig4_mrc_ablation", |b| {
-        b.iter(|| motivation::fig4(&config).unwrap())
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_motivation);
-criterion_main!(benches);

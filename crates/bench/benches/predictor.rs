@@ -1,14 +1,13 @@
 //! Benchmarks the Fig. 6 predictor study: calibration, fitting, and the
 //! per-interval prediction kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sysscale::experiments::predictor_study::{fig6, PredictorStudyConfig};
 use sysscale::{calibrate, CalibrationConfig, DemandPredictor, SocConfig};
+use sysscale_bench::timing::bench;
 use sysscale_types::{Bandwidth, CounterKind, CounterSet};
 use sysscale_workloads::WorkloadGenerator;
 
-fn bench_predictor(c: &mut Criterion) {
+fn main() {
     let config = SocConfig::skylake_default();
 
     // Reduced Fig. 6 printout (full version: `figures -- fig6`).
@@ -19,23 +18,18 @@ fn bench_predictor(c: &mut Criterion) {
     let panels = fig6(&config, &study).unwrap();
     println!("{}", sysscale_bench::format_fig6(&panels));
 
-    let mut group = c.benchmark_group("predictor");
-    group.sample_size(10);
-
     let predictor = DemandPredictor::skylake_default();
     let mut counters = CounterSet::new();
     counters.set(CounterKind::LlcStalls, 4.2e5);
     counters.set(CounterKind::LlcOccupancyTracer, 2.1);
     counters.set(CounterKind::GfxLlcMisses, 1.5e4);
     counters.set(CounterKind::IoRpq, 3.0);
-    group.bench_function("predict_one_interval", |b| {
-        b.iter(|| {
-            predictor.predict(
-                &counters,
-                Bandwidth::from_gib_s(4.3),
-                Bandwidth::from_gib_s(23.8),
-            )
-        })
+    bench("predictor", "predict_one_interval", 1000, || {
+        predictor.predict(
+            &counters,
+            Bandwidth::from_gib_s(4.3),
+            Bandwidth::from_gib_s(23.8),
+        )
     });
 
     let population = WorkloadGenerator::with_seed(5).population(10);
@@ -43,11 +37,7 @@ fn bench_predictor(c: &mut Criterion) {
         degradation_bound: 0.01,
         sim_duration: sysscale_types::SimTime::from_millis(60.0),
     };
-    group.bench_function("calibrate_10_workloads", |b| {
-        b.iter(|| calibrate(&config, &population, &cal).unwrap())
+    bench("predictor", "calibrate_10_workloads", 10, || {
+        calibrate(&config, &population, &cal).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictor);
-criterion_main!(benches);

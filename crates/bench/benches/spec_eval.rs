@@ -1,13 +1,12 @@
-//! Benchmarks the Fig. 7 SPEC evaluation kernel (one workload end-to-end) and
-//! prints a reduced figure once.
+//! Benchmarks the Fig. 7 SPEC evaluation kernel (one workload end-to-end
+//! through the scenario API) and prints a reduced figure once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use sysscale::experiments::{evaluation, run_workload};
-use sysscale::{DemandPredictor, FixedGovernor, SocConfig, SysScaleGovernor};
+use sysscale::experiments::evaluation;
+use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
+use sysscale_bench::timing::bench;
 use sysscale_workloads::spec_workload;
 
-fn bench_spec_eval(c: &mut Criterion) {
+fn main() {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
@@ -18,30 +17,24 @@ fn bench_spec_eval(c: &mut Criterion) {
         sysscale_bench::format_speedup_figure("Fig. 7 — SPEC CPU2006 (reproduced)", &fig7)
     );
 
-    let gamess = spec_workload("gamess").unwrap();
-    let lbm = spec_workload("lbm").unwrap();
-    let mut group = c.benchmark_group("spec_eval");
-    group.sample_size(10);
-    group.bench_function("baseline_run_gamess", |b| {
-        b.iter(|| run_workload(&config, &gamess, &mut FixedGovernor::baseline()).unwrap())
-    });
-    group.bench_function("sysscale_run_gamess", |b| {
-        b.iter(|| {
-            run_workload(
-                &config,
-                &gamess,
-                &mut SysScaleGovernor::with_default_thresholds(),
-            )
+    let mut session = SimSession::new();
+    let scenario = |workload: &str, governor: &str| {
+        Scenario::builder(spec_workload(workload).unwrap())
+            .config(config.clone())
+            .governor(governor)
+            .build()
             .unwrap()
-        })
+    };
+    let baseline_gamess = scenario("gamess", "baseline");
+    let sysscale_gamess = scenario("gamess", "sysscale");
+    let sysscale_lbm = scenario("lbm", "sysscale");
+    bench("spec_eval", "baseline_run_gamess", 10, || {
+        session.run(&baseline_gamess).unwrap()
     });
-    group.bench_function("sysscale_run_lbm", |b| {
-        b.iter(|| {
-            run_workload(&config, &lbm, &mut SysScaleGovernor::with_default_thresholds()).unwrap()
-        })
+    bench("spec_eval", "sysscale_run_gamess", 10, || {
+        session.run(&sysscale_gamess).unwrap()
     });
-    group.finish();
+    bench("spec_eval", "sysscale_run_lbm", 10, || {
+        session.run(&sysscale_lbm).unwrap()
+    });
 }
-
-criterion_group!(benches, bench_spec_eval);
-criterion_main!(benches);

@@ -1,23 +1,16 @@
 //! Benchmarks the Fig. 10 TDP sensitivity study and prints the summaries once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sysscale::experiments::sensitivity;
 use sysscale::DemandPredictor;
+use sysscale_bench::timing::bench;
 
-fn bench_tdp_sensitivity(c: &mut Criterion) {
+fn main() {
     let predictor = DemandPredictor::skylake_default();
 
     let points = sensitivity::fig10(&predictor, &[3.5, 4.5, 7.0, 15.0]).unwrap();
     println!("{}", sysscale_bench::format_fig10(&points));
 
-    let mut group = c.benchmark_group("tdp_sensitivity");
-    group.sample_size(10);
-    group.bench_function("fig10_single_tdp_4_5w", |b| {
-        b.iter(|| sensitivity::fig10(&predictor, &[4.5]).unwrap())
+    bench("tdp_sensitivity", "fig10_single_tdp_4_5w", 5, || {
+        sensitivity::fig10(&predictor, &[4.5]).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_tdp_sensitivity);
-criterion_main!(benches);

@@ -1,58 +1,43 @@
 //! Benchmarks the Fig. 5 DVFS transition flow and the per-slice simulator
 //! kernel, and prints the Sec. 5 overhead accounting once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sysscale::experiments::sensitivity;
-use sysscale::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale::{Scenario, SimSession, SocConfig};
+use sysscale_bench::timing::bench;
 use sysscale_soc::TransitionFlow;
 use sysscale_types::{skylake_lpddr3_ladder, SimTime, TransitionLatency};
 use sysscale_workloads::spec_workload;
 
-fn bench_transition_flow(c: &mut Criterion) {
+fn main() {
     println!(
         "{}",
         sysscale_bench::format_overheads(&sensitivity::overheads())
     );
 
-    let mut group = c.benchmark_group("transition_flow");
-    group.sample_size(20);
-
     let ladder = skylake_lpddr3_ladder();
-    group.bench_function("fig5_down_up_transition_pair", |b| {
-        b.iter(|| {
-            let mut dram = sysscale_dram_chip();
-            let mut fabric = sysscale_interconnect_fabric();
+    bench(
+        "transition_flow",
+        "fig5_down_up_transition_pair",
+        100,
+        || {
+            let mut dram = sysscale_dram::DramChip::skylake_lpddr3();
+            let mut fabric = sysscale_interconnect::IoInterconnect::skylake_default();
             let mut flow = TransitionFlow::new(TransitionLatency::skylake_default(), true);
-            flow.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
-            flow.execute(ladder.highest(), &mut dram, &mut fabric).unwrap();
+            flow.execute(ladder.lowest(), &mut dram, &mut fabric)
+                .unwrap();
+            flow.execute(ladder.highest(), &mut dram, &mut fabric)
+                .unwrap();
             flow.stats().total_stall
-        })
+        },
+    );
+
+    let mut session = SimSession::new();
+    let scenario = Scenario::builder(spec_workload("astar").unwrap())
+        .config(SocConfig::skylake_default())
+        .duration(SimTime::from_millis(100.0))
+        .build()
+        .unwrap();
+    bench("transition_flow", "simulate_100ms_slice_loop", 20, || {
+        session.run(&scenario).unwrap()
     });
-
-    let config = SocConfig::skylake_default();
-    let workload = spec_workload("astar").unwrap();
-    group.bench_function("simulate_100ms_slice_loop", |b| {
-        b.iter(|| {
-            let mut sim = SocSimulator::new(config.clone()).unwrap();
-            sim.run(
-                &workload,
-                &mut FixedGovernor::baseline(),
-                SimTime::from_millis(100.0),
-            )
-            .unwrap()
-        })
-    });
-    group.finish();
 }
-
-fn sysscale_dram_chip() -> sysscale_dram::DramChip {
-    sysscale_dram::DramChip::skylake_lpddr3()
-}
-
-fn sysscale_interconnect_fabric() -> sysscale_interconnect::IoInterconnect {
-    sysscale_interconnect::IoInterconnect::skylake_default()
-}
-
-criterion_group!(benches, bench_transition_flow);
-criterion_main!(benches);

@@ -72,7 +72,10 @@ fn run(target: &str, config: &SocConfig, quick: bool) -> Result<(), Box<dyn std:
                 workloads_per_panel: if quick { 30 } else { 180 },
                 ..predictor_study::PredictorStudyConfig::default()
             };
-            print!("{}", fmt::format_fig6(&predictor_study::fig6(config, &study)?));
+            print!(
+                "{}",
+                fmt::format_fig6(&predictor_study::fig6(config, &study)?)
+            );
         }
         "fig7" => {
             let p = predictor(config, quick);
@@ -126,8 +129,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = args.iter().any(|a| a == "--quick");
     let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let all = [
-        "table1", "table2", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig4", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "dram_sens", "overheads", "ablations",
+        "table1",
+        "table2",
+        "fig2a",
+        "fig2b",
+        "fig2c",
+        "fig3a",
+        "fig3b",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "dram_sens",
+        "overheads",
+        "ablations",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
         all.to_vec()

@@ -18,9 +18,15 @@ use sysscale::SocConfig;
 #[must_use]
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::from("Table 1 — experimental setups\n");
-    out.push_str(&format!("{:<22} {:>12} {:>12}\n", "component", "baseline", "MD-DVFS"));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12}\n",
+        "component", "baseline", "MD-DVFS"
+    ));
     for r in rows {
-        out.push_str(&format!("{:<22} {:>12} {:>12}\n", r.component, r.baseline, r.md_dvfs));
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>12}\n",
+            r.component, r.baseline, r.md_dvfs
+        ));
     }
     out
 }
@@ -29,9 +35,18 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
 #[must_use]
 pub fn format_table2(config: &SocConfig) -> String {
     let mut out = String::from("Table 2 — SoC and memory parameters\n");
-    out.push_str(&format!("  CPU cores           : {} (x{} threads)\n", config.cpu.cores, config.cpu.threads_per_core));
-    out.push_str(&format!("  LLC                 : {:.0} MiB\n", config.llc.size_mib));
-    out.push_str(&format!("  TDP                 : {:.1} W\n", config.tdp.as_watts()));
+    out.push_str(&format!(
+        "  CPU cores           : {} (x{} threads)\n",
+        config.cpu.cores, config.cpu.threads_per_core
+    ));
+    out.push_str(&format!(
+        "  LLC                 : {:.0} MiB\n",
+        config.llc.size_mib
+    ));
+    out.push_str(&format!(
+        "  TDP                 : {:.1} W\n",
+        config.tdp.as_watts()
+    ));
     out.push_str(&format!(
         "  DRAM                : {} dual-channel, {:.2} GHz default bin\n",
         config.dram.kind,
@@ -51,9 +66,7 @@ pub fn format_table2(config: &SocConfig) -> String {
 /// Formats the Fig. 2(a) rows.
 #[must_use]
 pub fn format_fig2a(rows: &[Fig2aRow]) -> String {
-    let mut out = String::from(
-        "Fig. 2(a) — impact of static MD-DVFS (vs baseline)\n",
-    );
+    let mut out = String::from("Fig. 2(a) — impact of static MD-DVFS (vs baseline)\n");
     out.push_str(&format!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>14}\n",
         "workload", "power", "energy", "perf", "EDP", "perf@redist"
@@ -158,7 +171,11 @@ pub fn format_fig9(figure: &PowerReductionFigure) -> String {
     for r in &figure.rows {
         out.push_str(&format!(
             "{:<20} {:>10.3} {:>11.1}% {:>11.1}% {:>9.1}%\n",
-            r.workload, r.baseline_power_w, r.memscale_redist_pct, r.coscale_redist_pct, r.sysscale_pct
+            r.workload,
+            r.baseline_power_w,
+            r.memscale_redist_pct,
+            r.coscale_redist_pct,
+            r.sysscale_pct
         ));
     }
     out.push_str(&format!(
@@ -225,7 +242,8 @@ pub fn format_overheads(o: &Overheads) -> String {
 /// Formats the ablation rows.
 #[must_use]
 pub fn format_ablations(rows: &[AblationRow]) -> String {
-    let mut out = String::from("Ablations — SPEC-subset speedup / video-playback power reduction\n");
+    let mut out =
+        String::from("Ablations — SPEC-subset speedup / video-playback power reduction\n");
     for r in rows {
         out.push_str(&format!(
             "  {:<24} {:>7.1}% {:>7.1}%\n",
@@ -233,6 +251,52 @@ pub fn format_ablations(rows: &[AblationRow]) -> String {
         ));
     }
     out
+}
+
+/// A minimal wall-clock benchmarking harness.
+///
+/// The workspace builds offline, so the Criterion dependency is replaced by
+/// this deliberately small timer: each measurement runs one warm-up
+/// iteration, then `iters` timed iterations, and prints the mean and
+/// fastest time per iteration. Benches are wired with `harness = false`
+/// and run through `cargo bench`.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Result of one measurement.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Measurement {
+        /// Mean time per iteration.
+        pub mean: Duration,
+        /// Fastest single iteration.
+        pub min: Duration,
+    }
+
+    /// Times `f` over `iters` iterations (after one warm-up call), prints a
+    /// `group/name  mean .. min ..` line, and returns the measurement.
+    pub fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+        let iters = iters.max(1);
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        let m = Measurement {
+            mean: total / iters,
+            min,
+        };
+        println!(
+            "{group}/{name}: mean {:.3} ms, min {:.3} ms over {iters} iters",
+            m.mean.as_secs_f64() * 1e3,
+            m.min.as_secs_f64() * 1e3,
+        );
+        m
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +310,18 @@ mod tests {
         assert!(format_table1(&motivation::table1(&config)).contains("DRAM"));
         assert!(format_table2(&config).contains("TDP"));
         assert!(format_fig3b(&motivation::fig3b()).contains("display"));
-        assert!(format_overheads(&sysscale::experiments::sensitivity::overheads())
-            .contains("transition"));
+        assert!(
+            format_overheads(&sysscale::experiments::sensitivity::overheads())
+                .contains("transition")
+        );
+    }
+
+    #[test]
+    fn timing_harness_reports_plausible_numbers() {
+        let m = timing::bench("test", "spin", 3, || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(m.mean >= std::time::Duration::from_millis(1));
+        assert!(m.min <= m.mean);
     }
 }

@@ -13,15 +13,13 @@
 //! * the bandwidth a workload demands follows from its achieved instruction
 //!   rate and its miss rate, which is what the Fig. 3(a) traces show.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
 
 /// Bytes transferred from DRAM per LLC miss (one cache line).
 pub const BYTES_PER_MISS: f64 = 64.0;
 
 /// Static configuration of the CPU-core complex.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuConfig {
     /// Number of physical cores (2 on the evaluated M-6Y75, Table 2).
     pub cores: u32,
@@ -50,7 +48,9 @@ impl CpuConfig {
     /// yield outside `[0, 1]`.
     pub fn validate(&self) -> SimResult<()> {
         if self.cores == 0 || self.threads_per_core == 0 {
-            return Err(SimError::invalid_config("cpu must have at least one core/thread"));
+            return Err(SimError::invalid_config(
+                "cpu must have at least one core/thread",
+            ));
         }
         if !(0.0..=1.0).contains(&self.smt_yield) {
             return Err(SimError::invalid_config("smt yield must be in [0, 1]"));
@@ -71,7 +71,7 @@ impl CpuConfig {
 }
 
 /// Per-phase workload characteristics of the CPU demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuPhaseDemand {
     /// Cycles per instruction with an ideal (zero-latency) memory system.
     pub base_cpi: f64,
@@ -110,14 +110,16 @@ impl CpuPhaseDemand {
             return Err(SimError::invalid_config("mpki must be non-negative"));
         }
         if !(0.0..=1.0).contains(&self.blocking_fraction) {
-            return Err(SimError::invalid_config("blocking fraction must be in [0, 1]"));
+            return Err(SimError::invalid_config(
+                "blocking fraction must be in [0, 1]",
+            ));
         }
         Ok(())
     }
 }
 
 /// Result of evaluating the CPU model for one slice.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CpuSliceResult {
     /// Aggregate instructions retired per second.
     pub instructions_per_sec: f64,
@@ -131,7 +133,7 @@ pub struct CpuSliceResult {
 }
 
 /// The CPU-core performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CpuModel {
     config: CpuConfig,
 }
@@ -186,8 +188,7 @@ impl CpuModel {
 
         // Seconds per instruction for one thread context.
         let core_time = demand.base_cpi / freq.as_hz();
-        let memory_time =
-            demand.mpki / 1000.0 * demand.blocking_fraction * mem_latency.as_secs();
+        let memory_time = demand.mpki / 1000.0 * demand.blocking_fraction * mem_latency.as_secs();
         let seconds_per_instruction = core_time + memory_time;
 
         let per_thread_ips = 1.0 / seconds_per_instruction;
@@ -222,7 +223,9 @@ impl CpuModel {
         freq: Freq,
         mem_latency: SimTime,
     ) -> f64 {
-        let base = self.evaluate(demand, freq, mem_latency, 1.0).instructions_per_sec;
+        let base = self
+            .evaluate(demand, freq, mem_latency, 1.0)
+            .instructions_per_sec;
         if base == 0.0 {
             return 0.0;
         }
@@ -370,12 +373,16 @@ mod tests {
 
     #[test]
     fn config_and_demand_validation() {
-        let mut cfg = CpuConfig::default();
-        cfg.cores = 0;
+        let cfg = CpuConfig {
+            cores: 0,
+            ..CpuConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(CpuModel::new(cfg).is_err());
-        let mut cfg2 = CpuConfig::default();
-        cfg2.smt_yield = 1.5;
+        let cfg2 = CpuConfig {
+            smt_yield: 1.5,
+            ..CpuConfig::default()
+        };
         assert!(cfg2.validate().is_err());
         let mut d = compute_bound();
         d.base_cpi = 0.0;
@@ -384,13 +391,5 @@ mod tests {
         d2.blocking_fraction = 1.5;
         assert!(d2.validate().is_err());
         assert!(compute_bound().validate().is_ok());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let cpu = CpuModel::skylake_2core();
-        let json = serde_json::to_string(&cpu).unwrap();
-        let back: CpuModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, cpu);
     }
 }

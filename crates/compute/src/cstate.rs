@@ -7,12 +7,10 @@
 //! TDP the effective CPU frequency is further reduced below `Pn` by hardware
 //! duty cycling (Sec. 7.2).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{SimError, SimResult};
 
 /// Package idle states used by the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CState {
     /// Active: cores executing.
     C0,
@@ -83,7 +81,7 @@ impl CState {
 }
 
 /// A distribution of residencies over C-states for one workload phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CStateProfile {
     residencies: Vec<(CState, f64)>,
 }
@@ -100,8 +98,12 @@ impl CStateProfile {
     /// The video-playback profile of Sec. 7.3: C0 10 %, C2 5 %, C8 85 %.
     #[must_use]
     pub fn video_playback() -> Self {
-        Self::new(vec![(CState::C0, 0.10), (CState::C2, 0.05), (CState::C8, 0.85)])
-            .expect("static profile is well formed")
+        Self::new(vec![
+            (CState::C0, 0.10),
+            (CState::C2, 0.05),
+            (CState::C8, 0.85),
+        ])
+        .expect("static profile is well formed")
     }
 
     /// Creates a profile from `(state, fraction)` pairs.
@@ -112,7 +114,9 @@ impl CStateProfile {
     /// not sum to 1 (within 0.1 %).
     pub fn new(residencies: Vec<(CState, f64)>) -> SimResult<Self> {
         if residencies.iter().any(|(_, f)| *f < 0.0) {
-            return Err(SimError::invalid_config("c-state residency must be non-negative"));
+            return Err(SimError::invalid_config(
+                "c-state residency must be non-negative",
+            ));
         }
         let sum: f64 = residencies.iter().map(|(_, f)| f).sum();
         if (sum - 1.0).abs() > 1e-3 {
@@ -183,7 +187,7 @@ impl Default for CStateProfile {
 /// Hardware duty cycling (HDC, Sec. 7.2 footnote 10): coarse-grained duty
 /// cycling of the compute domain using power-gated idle states, applied at
 /// very low TDP to reduce the *effective* frequency below `Pn`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareDutyCycle {
     duty: f64,
 }
@@ -288,13 +292,5 @@ mod tests {
         assert!((h.duty() - 0.6).abs() < 1e-12);
         assert!((h.throughput_factor() - 0.6).abs() < 1e-12);
         assert_eq!(HardwareDutyCycle::default(), HardwareDutyCycle::disabled());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let p = CStateProfile::video_playback();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: CStateProfile = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, p);
     }
 }

@@ -10,12 +10,10 @@
 //! SysScale exploits when it hands the uncore's saved budget to the GFX
 //! engine.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, SimError, SimResult};
 
 /// Per-phase workload characteristics of the graphics demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GfxPhaseDemand {
     /// Engine cycles of work per frame.
     pub cycles_per_frame: f64,
@@ -51,7 +49,9 @@ impl GfxPhaseDemand {
     /// non-positive FPS cap.
     pub fn validate(&self) -> SimResult<()> {
         if self.cycles_per_frame < 0.0 || self.bytes_per_frame < 0.0 {
-            return Err(SimError::invalid_config("gfx per-frame work must be non-negative"));
+            return Err(SimError::invalid_config(
+                "gfx per-frame work must be non-negative",
+            ));
         }
         if let Some(fps) = self.target_fps {
             if fps <= 0.0 {
@@ -63,7 +63,7 @@ impl GfxPhaseDemand {
 }
 
 /// Result of evaluating the graphics model for one slice.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GfxSliceResult {
     /// Achieved frame rate.
     pub fps: f64,
@@ -77,7 +77,7 @@ pub struct GfxSliceResult {
 }
 
 /// The graphics-engine performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GfxModel;
 
 impl GfxModel {
@@ -210,7 +210,11 @@ mod tests {
     #[test]
     fn idle_demand_produces_nothing() {
         let gfx = GfxModel::new();
-        let r = gfx.evaluate(&GfxPhaseDemand::idle(), Freq::from_mhz(800.0), Bandwidth::ZERO);
+        let r = gfx.evaluate(
+            &GfxPhaseDemand::idle(),
+            Freq::from_mhz(800.0),
+            Bandwidth::ZERO,
+        );
         assert_eq!(r, GfxSliceResult::default());
         assert_eq!(
             gfx.desired_bandwidth(&GfxPhaseDemand::idle(), Freq::from_mhz(800.0)),
@@ -235,13 +239,5 @@ mod tests {
         let mut bad_fps = capped_scene();
         bad_fps.target_fps = Some(0.0);
         assert!(bad_fps.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let d = capped_scene();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: GfxPhaseDemand = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, d);
     }
 }

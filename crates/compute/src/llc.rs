@@ -6,14 +6,12 @@
 //! (2) the LLC is where the PMU's demand-prediction counters are measured
 //! (`LLC_STALLS`, `LLC_Occupancy_Tracer`, `GFX_LLC_MISSES` — Sec. 4.2).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, CounterKind, CounterSet, Freq, SimError, SimResult, SimTime};
 
 use crate::cpu::{CpuSliceResult, BYTES_PER_MISS};
 
 /// Static configuration of the LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LlcConfig {
     /// Capacity in MiB (4 MiB on the evaluated system, Table 2).
     pub size_mib: f64,
@@ -42,17 +40,21 @@ impl LlcConfig {
     /// or negative contention.
     pub fn validate(&self) -> SimResult<()> {
         if self.size_mib <= 0.0 || self.hit_latency_ns <= 0.0 {
-            return Err(SimError::invalid_config("llc size and latency must be positive"));
+            return Err(SimError::invalid_config(
+                "llc size and latency must be positive",
+            ));
         }
         if self.contention_mpki_per_gib_s < 0.0 {
-            return Err(SimError::invalid_config("llc contention must be non-negative"));
+            return Err(SimError::invalid_config(
+                "llc contention must be non-negative",
+            ));
         }
         Ok(())
     }
 }
 
 /// The LLC model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LlcModel {
     config: LlcConfig,
 }
@@ -105,14 +107,8 @@ impl LlcModel {
     ) -> CounterSet {
         let mut counters = CounterSet::new();
         let cycles = cpu_freq.cycles_in(duration);
-        counters.set(
-            CounterKind::LlcStalls,
-            cycles * cpu.memory_stall_fraction,
-        );
-        counters.set(
-            CounterKind::LlcOccupancyTracer,
-            cpu.outstanding_requests,
-        );
+        counters.set(CounterKind::LlcStalls, cycles * cpu.memory_stall_fraction);
+        counters.set(CounterKind::LlcOccupancyTracer, cpu.outstanding_requests);
         let gfx_misses = gfx_served.as_bytes_per_sec() * duration.as_secs() / BYTES_PER_MISS;
         counters.set(CounterKind::GfxLlcMisses, gfx_misses);
         counters.set(
@@ -182,20 +178,16 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(LlcConfig::default().validate().is_ok());
-        let mut bad = LlcConfig::default();
-        bad.size_mib = 0.0;
+        let bad = LlcConfig {
+            size_mib: 0.0,
+            ..LlcConfig::default()
+        };
         assert!(LlcModel::new(bad).is_err());
-        let mut neg = LlcConfig::default();
-        neg.contention_mpki_per_gib_s = -0.5;
+        let neg = LlcConfig {
+            contention_mpki_per_gib_s: -0.5,
+            ..LlcConfig::default()
+        };
         assert!(neg.validate().is_err());
         assert_eq!(LlcModel::skylake_4mib().config().size_mib, 4.0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let llc = LlcModel::skylake_4mib();
-        let json = serde_json::to_string(&llc).unwrap();
-        let back: LlcModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, llc);
     }
 }

@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Freq, SimError, SimResult, Voltage};
 
 /// One compute-domain operating point (frequency/voltage pair).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PState {
     /// Clock frequency of the unit at this state.
     pub freq: Freq,
@@ -33,7 +31,7 @@ impl fmt::Display for PState {
 }
 
 /// An ordered ladder of P-states, from lowest to highest frequency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PStateTable {
     states: Vec<PState>,
 }
@@ -293,13 +291,5 @@ mod tests {
         let s = PStateTable::skylake_cpu().highest().to_string();
         assert!(s.contains("GHz"));
         assert!(s.contains("mV"));
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let cpu = PStateTable::skylake_cpu();
-        let json = serde_json::to_string(&cpu).unwrap();
-        let back: PStateTable = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, cpu);
     }
 }

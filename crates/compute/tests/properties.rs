@@ -1,120 +1,166 @@
-//! Property-based tests for the compute-domain models.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the compute-domain models.
+//!
+//! Each test draws a deterministic sample population from [`SplitMix64`]
+//! (the workspace has no external property-testing dependency) and asserts
+//! the model invariants over every sample.
 
 use sysscale_compute::{
-    CpuModel, CpuPhaseDemand, CStateProfile, CState, GfxModel, GfxPhaseDemand, PStateTable,
+    CState, CStateProfile, CpuModel, CpuPhaseDemand, GfxModel, GfxPhaseDemand, PStateTable,
 };
+use sysscale_types::rng::SplitMix64;
 use sysscale_types::{Bandwidth, Freq, SimTime};
 
-fn arb_demand() -> impl Strategy<Value = CpuPhaseDemand> {
-    (0.3f64..3.0, 0.0f64..40.0, 0.0f64..1.0, 1u32..4).prop_map(
-        |(base_cpi, mpki, blocking_fraction, active_threads)| CpuPhaseDemand {
-            base_cpi,
-            mpki,
-            blocking_fraction,
-            active_threads,
-        },
-    )
+const CASES: usize = 200;
+
+fn sample_demand(rng: &mut SplitMix64) -> CpuPhaseDemand {
+    CpuPhaseDemand {
+        base_cpi: rng.gen_range(0.3, 3.0),
+        mpki: rng.gen_range(0.0, 40.0),
+        blocking_fraction: rng.gen_range(0.0, 1.0),
+        active_threads: 1 + (rng.next_u64() % 3) as u32,
+    }
 }
 
-proptest! {
-    /// Higher CPU frequency never reduces throughput; lower memory latency
-    /// never reduces throughput.
-    #[test]
-    fn cpu_monotonicity(
-        demand in arb_demand(),
-        f_lo in 0.4f64..2.0,
-        f_delta in 0.0f64..0.9,
-        lat_lo in 40.0f64..100.0,
-        lat_delta in 0.0f64..100.0,
-    ) {
-        let cpu = CpuModel::skylake_2core();
+/// Higher CPU frequency never reduces throughput; lower memory latency
+/// never reduces throughput.
+#[test]
+fn cpu_monotonicity() {
+    let cpu = CpuModel::skylake_2core();
+    let mut rng = SplitMix64::new(0xC0_01);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let f_lo = rng.gen_range(0.4, 2.0);
+        let f_delta = rng.gen_range(0.0, 0.9);
+        let lat_lo = rng.gen_range(40.0, 100.0);
+        let lat_delta = rng.gen_range(0.0, 100.0);
+
         let lat = SimTime::from_nanos(lat_lo);
         let slow = cpu.evaluate(&demand, Freq::from_ghz(f_lo), lat, 1.0);
         let fast = cpu.evaluate(&demand, Freq::from_ghz(f_lo + f_delta), lat, 1.0);
-        prop_assert!(fast.instructions_per_sec >= slow.instructions_per_sec - 1e-6);
+        assert!(
+            fast.instructions_per_sec >= slow.instructions_per_sec - 1e-6,
+            "{demand:?} f {f_lo}+{f_delta}"
+        );
 
-        let worse_mem = cpu.evaluate(&demand, Freq::from_ghz(f_lo), SimTime::from_nanos(lat_lo + lat_delta), 1.0);
-        prop_assert!(worse_mem.instructions_per_sec <= slow.instructions_per_sec + 1e-6);
+        let worse_mem = cpu.evaluate(
+            &demand,
+            Freq::from_ghz(f_lo),
+            SimTime::from_nanos(lat_lo + lat_delta),
+            1.0,
+        );
+        assert!(
+            worse_mem.instructions_per_sec <= slow.instructions_per_sec + 1e-6,
+            "{demand:?} lat {lat_lo}+{lat_delta}"
+        );
     }
+}
 
-    /// Stall fraction and frequency scalability stay in [0, 1]-ish bounds and
-    /// are complementary: highly stalled phases have low scalability.
-    #[test]
-    fn cpu_stall_and_scalability_bounds(demand in arb_demand(), f in 0.4f64..2.9) {
-        let cpu = CpuModel::skylake_2core();
+/// Stall fraction and frequency scalability stay in [0, 1]-ish bounds and
+/// are complementary: highly stalled phases have low scalability.
+#[test]
+fn cpu_stall_and_scalability_bounds() {
+    let cpu = CpuModel::skylake_2core();
+    let mut rng = SplitMix64::new(0xC0_02);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let freq = Freq::from_ghz(rng.gen_range(0.4, 2.9));
         let lat = SimTime::from_nanos(70.0);
-        let freq = Freq::from_ghz(f);
         let r = cpu.evaluate(&demand, freq, lat, 1.0);
-        prop_assert!((0.0..=1.0).contains(&r.memory_stall_fraction));
+        assert!((0.0..=1.0).contains(&r.memory_stall_fraction));
         let s = cpu.frequency_scalability(&demand, freq, lat);
-        prop_assert!((-0.01..=1.01).contains(&s), "scalability {}", s);
+        assert!((-0.01..=1.01).contains(&s), "scalability {s}");
         // Scalability ~ 1 - stall fraction (same decomposition).
-        prop_assert!((s - (1.0 - r.memory_stall_fraction)).abs() < 0.1);
+        assert!((s - (1.0 - r.memory_stall_fraction)).abs() < 0.1);
     }
+}
 
-    /// CPU bandwidth demand is proportional to MPKI at fixed achieved IPS,
-    /// and zero for a zero-MPKI phase.
-    #[test]
-    fn cpu_bandwidth_consistency(demand in arb_demand(), f in 0.4f64..2.9) {
-        let cpu = CpuModel::skylake_2core();
+/// CPU bandwidth demand is proportional to MPKI at fixed achieved IPS,
+/// and zero for a zero-MPKI phase.
+#[test]
+fn cpu_bandwidth_consistency() {
+    let cpu = CpuModel::skylake_2core();
+    let mut rng = SplitMix64::new(0xC0_03);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let f = rng.gen_range(0.4, 2.9);
         let r = cpu.evaluate(&demand, Freq::from_ghz(f), SimTime::from_nanos(70.0), 1.0);
         let expected = r.instructions_per_sec * demand.mpki / 1000.0 * 64.0;
-        prop_assert!((r.bandwidth_demand.as_bytes_per_sec() - expected).abs() < 1.0);
+        assert!((r.bandwidth_demand.as_bytes_per_sec() - expected).abs() < 1.0);
     }
+}
 
-    /// GFX: more granted bandwidth or higher engine frequency never lowers
-    /// the achieved FPS, and the FPS cap is always respected.
-    #[test]
-    fn gfx_monotonicity_and_cap(
-        cycles in 1.0e6f64..30.0e6,
-        bytes in 1.0e6f64..300.0e6,
-        cap in proptest::option::of(20.0f64..120.0),
-        f_lo in 0.3f64..0.9,
-        f_delta in 0.0f64..0.4,
-        bw_lo in 0.5f64..10.0,
-        bw_delta in 0.0f64..15.0,
-    ) {
-        let gfx = GfxModel::new();
-        let demand = GfxPhaseDemand { cycles_per_frame: cycles, bytes_per_frame: bytes, target_fps: cap };
+/// GFX: more granted bandwidth or higher engine frequency never lowers
+/// the achieved FPS, and the FPS cap is always respected.
+#[test]
+fn gfx_monotonicity_and_cap() {
+    let gfx = GfxModel::new();
+    let mut rng = SplitMix64::new(0xC0_04);
+    for _ in 0..CASES {
+        let cap = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(20.0, 120.0))
+        } else {
+            None
+        };
+        let demand = GfxPhaseDemand {
+            cycles_per_frame: rng.gen_range(1.0e6, 30.0e6),
+            bytes_per_frame: rng.gen_range(1.0e6, 300.0e6),
+            target_fps: cap,
+        };
+        let f_lo = rng.gen_range(0.3, 0.9);
+        let f_delta = rng.gen_range(0.0, 0.4);
+        let bw_lo = rng.gen_range(0.5, 10.0);
+        let bw_delta = rng.gen_range(0.0, 15.0);
+
         let lo = gfx.evaluate(&demand, Freq::from_ghz(f_lo), Bandwidth::from_gib_s(bw_lo));
-        let hi_f = gfx.evaluate(&demand, Freq::from_ghz(f_lo + f_delta), Bandwidth::from_gib_s(bw_lo));
-        let hi_bw = gfx.evaluate(&demand, Freq::from_ghz(f_lo), Bandwidth::from_gib_s(bw_lo + bw_delta));
-        prop_assert!(hi_f.fps >= lo.fps - 1e-9);
-        prop_assert!(hi_bw.fps >= lo.fps - 1e-9);
+        let hi_f = gfx.evaluate(
+            &demand,
+            Freq::from_ghz(f_lo + f_delta),
+            Bandwidth::from_gib_s(bw_lo),
+        );
+        let hi_bw = gfx.evaluate(
+            &demand,
+            Freq::from_ghz(f_lo),
+            Bandwidth::from_gib_s(bw_lo + bw_delta),
+        );
+        assert!(hi_f.fps >= lo.fps - 1e-9);
+        assert!(hi_bw.fps >= lo.fps - 1e-9);
         if let Some(cap) = cap {
-            prop_assert!(lo.fps <= cap + 1e-9);
+            assert!(lo.fps <= cap + 1e-9);
         }
-        prop_assert!((0.0..=1.0).contains(&lo.utilization));
+        assert!((0.0..=1.0).contains(&lo.utilization));
     }
+}
 
-    /// Any valid C-state residency mix keeps derived fractions inside [0, 1]
-    /// and DRAM-active ⊇ cores-active.
-    #[test]
-    fn cstate_profile_fractions(c0 in 0.0f64..1.0, c2_frac in 0.0f64..1.0, c6_frac in 0.0f64..1.0) {
+/// Any valid C-state residency mix keeps derived fractions inside [0, 1]
+/// and DRAM-active ⊇ cores-active.
+#[test]
+fn cstate_profile_fractions() {
+    let mut rng = SplitMix64::new(0xC0_05);
+    for _ in 0..CASES {
+        let c0 = rng.gen_range(0.0, 1.0);
         let rest = 1.0 - c0;
-        let c2 = rest * c2_frac;
-        let c6 = (rest - c2) * c6_frac;
+        let c2 = rest * rng.gen_range(0.0, 1.0);
+        let c6 = (rest - c2) * rng.gen_range(0.0, 1.0);
         let c8 = (rest - c2 - c6).max(0.0);
         let profile = CStateProfile::new(vec![
             (CState::C0, c0),
             (CState::C2, c2),
             (CState::C6, c6),
             (CState::C8, c8),
-        ]).unwrap();
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&profile.active_fraction()));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&profile.dram_active_fraction()));
-        prop_assert!(profile.dram_active_fraction() >= profile.active_fraction() - 1e-9);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&profile.uncore_activity()));
+        ])
+        .unwrap();
+        assert!((0.0..=1.0 + 1e-9).contains(&profile.active_fraction()));
+        assert!((0.0..=1.0 + 1e-9).contains(&profile.dram_active_fraction()));
+        assert!(profile.dram_active_fraction() >= profile.active_fraction() - 1e-9);
+        assert!((0.0..=1.0 + 1e-9).contains(&profile.uncore_activity()));
     }
 }
 
 #[test]
 fn pstate_ladders_have_monotone_power_ordering() {
-    // Not strictly a proptest, but an invariant over the whole static table:
-    // V²·f is strictly increasing along the ladder, so a higher P-state never
-    // costs less power at equal activity.
+    // An invariant over the whole static table: V²·f is strictly increasing
+    // along the ladder, so a higher P-state never costs less power at equal
+    // activity.
     for table in [PStateTable::skylake_cpu(), PStateTable::skylake_gfx()] {
         let mut last = 0.0;
         for s in table.states() {

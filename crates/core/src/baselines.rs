@@ -14,13 +14,9 @@
 //! frequency scalability; [`project_redistributed_speedup`] reproduces that
 //! projection.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_power::ComputeRequest;
 use sysscale_soc::{SimReport, SocConfig};
-use sysscale_types::{
-    Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint,
-};
+use sysscale_types::{Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint};
 
 /// The uncore ladder available to a memory-only DVFS policy: the DRAM/MC
 /// frequency drops, but the IO interconnect clock and the shared rail
@@ -56,7 +52,7 @@ pub fn coscale_config(base: &SocConfig) -> SocConfig {
 
 /// The projection of a `-Redist` variant's performance improvement from its
 /// measured average power saving (the three-step methodology of Sec. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedistProjection {
     /// Average power saved by the technique relative to the baseline.
     pub power_saving: Power,
@@ -182,7 +178,8 @@ mod tests {
             .run(&workload, &mut FixedGovernor::md_dvfs(false), duration)
             .unwrap();
 
-        let mut mem_only = SocSimulator::new(memscale_config(&SocConfig::skylake_default())).unwrap();
+        let mut mem_only =
+            SocSimulator::new(memscale_config(&SocConfig::skylake_default())).unwrap();
         let mem_low = mem_only
             .run(&workload, &mut FixedGovernor::md_dvfs(false), duration)
             .unwrap();

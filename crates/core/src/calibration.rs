@@ -10,16 +10,15 @@
 //!   linear function of the four counters, used by the Fig. 6 study to
 //!   predict the performance impact of the lower DRAM frequency.
 
-use serde::{Deserialize, Serialize};
-
-use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale_soc::SocConfig;
 use sysscale_types::{stats, CounterKind, CounterSet, SimResult, SimTime};
 use sysscale_workloads::{Workload, WorkloadClass};
 
 use crate::predictor::{DemandPredictor, ImpactModel, PredictorThresholds};
+use crate::scenario::{Scenario, SimSession};
 
 /// Configuration of a calibration pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationConfig {
     /// Performance-degradation bound (fraction) below which a run counts as
     /// "safe at the low operating point" (1 % in the paper).
@@ -39,7 +38,7 @@ impl Default for CalibrationConfig {
 
 /// One calibrated data point: a workload's counters at the high operating
 /// point and its measured degradation at the low one.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationSample {
     /// Workload name.
     pub workload: String,
@@ -54,7 +53,7 @@ pub struct CalibrationSample {
 }
 
 /// The outcome of a calibration pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationOutcome {
     /// Thresholds derived with the µ+σ rule.
     pub thresholds: PredictorThresholds,
@@ -83,9 +82,31 @@ pub fn measure_sample(
     workload: &Workload,
     cal: &CalibrationConfig,
 ) -> SimResult<CalibrationSample> {
-    let mut sim = SocSimulator::new(config.clone())?;
-    let high = sim.run(workload, &mut FixedGovernor::baseline(), cal.sim_duration)?;
-    let low = sim.run(workload, &mut FixedGovernor::md_dvfs(false), cal.sim_duration)?;
+    measure_sample_in(&mut SimSession::new(), config, workload, cal)
+}
+
+/// Like [`measure_sample`], but reuses a caller-provided session so large
+/// calibration populations share one simulator per platform configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_sample_in(
+    session: &mut SimSession,
+    config: &SocConfig,
+    workload: &Workload,
+    cal: &CalibrationConfig,
+) -> SimResult<CalibrationSample> {
+    let run = |session: &mut SimSession, governor: &str| -> SimResult<_> {
+        let scenario = Scenario::builder(workload.clone())
+            .config(config.clone())
+            .governor(governor)
+            .duration(cal.sim_duration)
+            .build()?;
+        Ok(session.run(&scenario)?.report)
+    };
+    let high = run(session, "baseline")?;
+    let low = run(session, "md-dvfs")?;
     let high_perf = high.metrics.throughput();
     let degradation = if high_perf > 0.0 {
         (1.0 - low.metrics.throughput() / high_perf).max(0.0)
@@ -93,7 +114,9 @@ pub fn measure_sample(
         0.0
     };
     // Convert accumulated counters into per-slice averages.
-    let slices = (cal.sim_duration.as_secs() / config.slice.as_secs()).round().max(1.0);
+    let slices = (cal.sim_duration.as_secs() / config.slice.as_secs())
+        .round()
+        .max(1.0);
     let mut averages = CounterSet::new();
     for (kind, total) in high.counters.iter() {
         averages.set(kind, total / slices);
@@ -116,9 +139,10 @@ pub fn calibrate(
     population: &[Workload],
     cal: &CalibrationConfig,
 ) -> SimResult<CalibrationOutcome> {
+    let mut session = SimSession::new();
     let samples: Vec<CalibrationSample> = population
         .iter()
-        .map(|w| measure_sample(config, w, cal))
+        .map(|w| measure_sample_in(&mut session, config, w, cal))
         .collect::<SimResult<_>>()?;
     let thresholds = derive_thresholds(&samples, cal.degradation_bound, config);
     let impact_model = fit_impact_model(&samples);
@@ -146,9 +170,8 @@ pub fn derive_thresholds(
     if safe.is_empty() {
         return defaults;
     }
-    let collect = |kind: CounterKind| -> Vec<f64> {
-        safe.iter().map(|s| s.counters.value(kind)).collect()
-    };
+    let collect =
+        |kind: CounterKind| -> Vec<f64> { safe.iter().map(|s| s.counters.value(kind)).collect() };
     let threshold = |kind: CounterKind, fallback: f64| -> f64 {
         let values = collect(kind);
         let t = stats::mu_plus_sigma_threshold(&values);
@@ -233,10 +256,11 @@ fn solve_linear_system<const N: usize>(mut a: [[f64; N]; N], mut b: [f64; N]) ->
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
         // Eliminate.
+        let pivot = a[col];
         for r in (col + 1)..N {
-            let factor = a[r][col] / a[col][col];
-            for c in col..N {
-                a[r][c] -= factor * a[col][c];
+            let factor = a[r][col] / pivot[col];
+            for (entry, p) in a[r][col..].iter_mut().zip(&pivot[col..]) {
+                *entry -= factor * p;
             }
             b[r] -= factor * b[col];
         }
@@ -281,7 +305,11 @@ mod tests {
         let cal = quick_cal();
         let lbm = measure_sample(&config, &spec_workload("lbm").unwrap(), &cal).unwrap();
         let gamess = measure_sample(&config, &spec_workload("gamess").unwrap(), &cal).unwrap();
-        assert!(lbm.actual_degradation > 0.05, "lbm {}", lbm.actual_degradation);
+        assert!(
+            lbm.actual_degradation > 0.05,
+            "lbm {}",
+            lbm.actual_degradation
+        );
         assert!(
             gamess.actual_degradation < 0.01,
             "gamess {}",

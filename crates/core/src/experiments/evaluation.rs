@@ -1,22 +1,23 @@
 //! The main evaluation: Fig. 7 (SPEC CPU2006), Fig. 8 (3DMark), and Fig. 9
 //! (battery-life workloads), comparing SysScale against the projected
 //! MemScale-Redist and CoScale-Redist baselines.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Every figure is one [`ScenarioSet`] execution: the full
+//! `workloads × {baseline, sysscale, memscale, coscale}` matrix runs through
+//! a single [`ScenarioSet::run`] call and the rows are read off the
+//! resulting [`RunSet`].
 
 use sysscale_compute::CpuModel;
-use sysscale_soc::{FixedGovernor, SocConfig};
+use sysscale_soc::SocConfig;
 use sysscale_types::{stats, Freq, SimResult, SimTime};
 use sysscale_workloads::{battery_life_suite, graphics_suite, spec_cpu2006_suite, Workload};
 
-use crate::baselines::{coscale_config, memscale_config, project_redistributed_speedup};
-use crate::governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
+use crate::baselines::project_redistributed_speedup;
 use crate::predictor::DemandPredictor;
-
-use super::run_workload;
+use crate::scenario::{sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SimSession};
 
 /// Per-workload comparison row (Figs. 7 and 8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupRow {
     /// Workload name.
     pub workload: String,
@@ -29,7 +30,7 @@ pub struct SpeedupRow {
 }
 
 /// A full evaluation figure: per-workload rows plus suite averages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupFigure {
     /// Per-workload rows.
     pub rows: Vec<SpeedupRow>,
@@ -78,36 +79,65 @@ pub fn cpu_scalability(config: &SocConfig, workload: &Workload) -> f64 {
         / total
 }
 
-fn evaluate_one(
+/// The evaluation's governor columns: the measured baseline and SysScale
+/// plus the restricted-platform MemScale/CoScale power savers whose
+/// `-Redist` performance is projected afterwards.
+pub const EVALUATION_GOVERNORS: [&str; 4] = ["baseline", "sysscale", "memscale", "coscale"];
+
+/// Runs the full `workloads × {baseline, SysScale, MemScale, CoScale}`
+/// matrix through one [`ScenarioSet::run`] call, with `predictor` wired into
+/// the SysScale column and the baseline designated for relative deltas.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_matrix(
     config: &SocConfig,
-    workload: &Workload,
     predictor: &DemandPredictor,
+    workloads: &[Workload],
+) -> SimResult<RunSet> {
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale_factory(*predictor));
+    ScenarioSet::matrix_with(&registry, config, workloads, &EVALUATION_GOVERNORS)?
+        .with_baseline("baseline")
+        .run(&mut SimSession::new())
+}
+
+fn row_from_runs(
+    config: &SocConfig,
+    runs: &RunSet,
+    workload: &Workload,
     gfx_priority: bool,
     scalability: f64,
 ) -> SimResult<SpeedupRow> {
-    let baseline = run_workload(config, workload, &mut FixedGovernor::baseline())?;
+    let name = workload.name.as_str();
+    let baseline = runs.require(name, "baseline")?;
 
-    // SysScale: measured on the full platform.
-    let mut sysscale = SysScaleGovernor::new(*predictor);
-    let sysscale_report = run_workload(config, workload, &mut sysscale)?;
+    // MemScale / CoScale ran power-save-only on the restricted platform;
+    // project their -Redist performance from the measured savings (Sec. 6).
+    let mem = runs.require(name, "memscale")?;
+    let mem_proj = project_redistributed_speedup(
+        config,
+        &baseline.report,
+        &mem.report,
+        scalability,
+        gfx_priority,
+    )?;
+    let co = runs.require(name, "coscale")?;
+    let co_proj = project_redistributed_speedup(
+        config,
+        &baseline.report,
+        &co.report,
+        scalability,
+        gfx_priority,
+    )?;
 
-    // MemScale / CoScale: power-save-only runs on the restricted platform,
-    // then the Sec. 6 projection of their -Redist performance.
-    let mem_cfg = memscale_config(config);
-    let mem_report = run_workload(&mem_cfg, workload, &mut MemScaleGovernor::new())?;
-    let mem_proj =
-        project_redistributed_speedup(config, &baseline, &mem_report, scalability, gfx_priority)?;
-
-    let co_cfg = coscale_config(config);
-    let co_report = run_workload(&co_cfg, workload, &mut CoScaleGovernor::new())?;
-    let co_proj =
-        project_redistributed_speedup(config, &baseline, &co_report, scalability, gfx_priority)?;
-
+    let sysscale = runs.require_cell(name, "sysscale")?;
     Ok(SpeedupRow {
         workload: workload.name.clone(),
         memscale_redist_pct: mem_proj.projected_speedup_pct.max(0.0),
         coscale_redist_pct: co_proj.projected_speedup_pct.max(0.0),
-        sysscale_pct: sysscale_report.speedup_pct_over(&baseline),
+        sysscale_pct: sysscale.speedup_pct,
     })
 }
 
@@ -117,11 +147,13 @@ fn evaluate_one(
 ///
 /// Propagates simulator errors.
 pub fn fig7(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
-    let rows = spec_cpu2006_suite()
+    let suite = spec_cpu2006_suite();
+    let runs = evaluation_matrix(config, predictor, &suite)?;
+    let rows = suite
         .iter()
         .map(|w| {
             let scalability = cpu_scalability(config, w);
-            evaluate_one(config, w, predictor, false, scalability)
+            row_from_runs(config, &runs, w, false, scalability)
         })
         .collect::<SimResult<Vec<_>>>()?;
     Ok(SpeedupFigure::from_rows(rows))
@@ -133,20 +165,22 @@ pub fn fig7(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<Speedu
 ///
 /// Propagates simulator errors.
 pub fn fig8(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
-    let rows = graphics_suite()
+    let suite = graphics_suite();
+    let runs = evaluation_matrix(config, predictor, &suite)?;
+    let rows = suite
         .iter()
         .map(|w| {
             // Graphics FPS is assumed fully scalable with engine frequency as
             // long as bandwidth suffices (Sec. 7.2); the simulator itself
             // enforces the bandwidth limit for the measured SysScale numbers.
-            evaluate_one(config, w, predictor, true, 1.0)
+            row_from_runs(config, &runs, w, true, 1.0)
         })
         .collect::<SimResult<Vec<_>>>()?;
     Ok(SpeedupFigure::from_rows(rows))
 }
 
 /// Per-workload battery-life row (Fig. 9).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerReductionRow {
     /// Scenario name.
     pub workload: String,
@@ -161,7 +195,7 @@ pub struct PowerReductionRow {
 }
 
 /// Fig. 9 result: rows plus averages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerReductionFigure {
     /// Per-scenario rows.
     pub rows: Vec<PowerReductionRow>,
@@ -177,23 +211,24 @@ pub struct PowerReductionFigure {
 ///
 /// Propagates simulator errors.
 pub fn fig9(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<PowerReductionFigure> {
-    let mut rows = Vec::new();
-    for workload in battery_life_suite() {
-        let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
-        let mut sysscale = SysScaleGovernor::new(*predictor);
-        let sys = run_workload(config, &workload, &mut sysscale)?;
-        let mem_cfg = memscale_config(config);
-        let mem = run_workload(&mem_cfg, &workload, &mut MemScaleGovernor::new())?;
-        let co_cfg = coscale_config(config);
-        let co = run_workload(&co_cfg, &workload, &mut CoScaleGovernor::new())?;
-        rows.push(PowerReductionRow {
-            workload: workload.name.clone(),
-            memscale_redist_pct: mem.power_reduction_pct_vs(&baseline).max(0.0),
-            coscale_redist_pct: co.power_reduction_pct_vs(&baseline).max(0.0),
-            sysscale_pct: sys.power_reduction_pct_vs(&baseline),
-            baseline_power_w: baseline.average_power().as_watts(),
-        });
-    }
+    let suite = battery_life_suite();
+    let runs = evaluation_matrix(config, predictor, &suite)?;
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let name = w.name.as_str();
+            let mem = runs.require_cell(name, "memscale")?;
+            let co = runs.require_cell(name, "coscale")?;
+            let sys = runs.require_cell(name, "sysscale")?;
+            Ok(PowerReductionRow {
+                workload: w.name.clone(),
+                memscale_redist_pct: mem.power_reduction_pct.max(0.0),
+                coscale_redist_pct: co.power_reduction_pct.max(0.0),
+                sysscale_pct: sys.power_reduction_pct,
+                baseline_power_w: sys.baseline_power_w,
+            })
+        })
+        .collect::<SimResult<Vec<_>>>()?;
     let sys: Vec<f64> = rows.iter().map(|r| r.sysscale_pct).collect();
     Ok(PowerReductionFigure {
         sysscale_avg_pct: stats::mean(&sys),
@@ -224,7 +259,9 @@ mod tests {
         let predictor = DemandPredictor::skylake_default();
         let w = spec_workload("gamess").unwrap();
         let scal = cpu_scalability(&config, &w);
-        let row = evaluate_one(&config, &w, &predictor, false, scal).unwrap();
+        let runs = evaluation_matrix(&config, &predictor, std::slice::from_ref(&w)).unwrap();
+        assert_eq!(runs.len(), EVALUATION_GOVERNORS.len());
+        let row = row_from_runs(&config, &runs, &w, false, scal).unwrap();
         assert!(row.sysscale_pct > 3.0, "{row:?}");
         assert!(row.sysscale_pct > row.memscale_redist_pct, "{row:?}");
         assert!(row.sysscale_pct > row.coscale_redist_pct * 0.9, "{row:?}");
@@ -237,7 +274,8 @@ mod tests {
         let predictor = DemandPredictor::skylake_default();
         let w = spec_workload("bwaves").unwrap();
         let scal = cpu_scalability(&config, &w);
-        let row = evaluate_one(&config, &w, &predictor, false, scal).unwrap();
+        let runs = evaluation_matrix(&config, &predictor, std::slice::from_ref(&w)).unwrap();
+        let row = row_from_runs(&config, &runs, &w, false, scal).unwrap();
         assert!(row.sysscale_pct > -2.0, "{row:?}");
         assert!(row.sysscale_pct < 6.0, "{row:?}");
     }

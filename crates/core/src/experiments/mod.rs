@@ -1,6 +1,10 @@
 //! The experiment harness: one module per group of tables/figures of the
-//! paper's evaluation, each producing a serializable result that the
-//! `figures` binary and the Criterion benches print.
+//! paper's evaluation, each producing a result that the `figures` binary and
+//! the benches print.
+//!
+//! Every module is implemented on top of the [`crate::scenario`] API — the
+//! figures are [`crate::ScenarioSet`] matrices (or individual
+//! [`crate::Scenario`]s) executed through a [`crate::SimSession`].
 //!
 //! | Module | Reproduces |
 //! |---|---|
@@ -14,19 +18,21 @@ pub mod motivation;
 pub mod predictor_study;
 pub mod sensitivity;
 
-use sysscale_soc::{Governor, SimReport, SocConfig, SocSimulator};
+use sysscale_soc::{Governor, SimReport, SocConfig};
 use sysscale_types::{SimResult, SimTime};
 use sysscale_workloads::Workload;
 
+use crate::scenario::SimSession;
+
 /// Default minimum simulated duration per run. Workloads with longer phase
 /// sequences (e.g. 473.astar) are run for at least one full iteration.
-pub const MIN_RUN: SimTime = SimTime::from_secs(0.3);
+pub const MIN_RUN: SimTime = crate::scenario::DEFAULT_MIN_RUN;
 
 /// Simulated duration used for `workload` so that at least one full phase
 /// iteration is covered.
 #[must_use]
 pub fn run_duration(workload: &Workload) -> SimTime {
-    workload.iteration_length().max(MIN_RUN)
+    crate::scenario::auto_duration(workload)
 }
 
 /// Runs one workload on a fresh simulator under the given governor.
@@ -34,13 +40,18 @@ pub fn run_duration(workload: &Workload) -> SimTime {
 /// # Errors
 ///
 /// Propagates simulator errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sysscale::Scenario` and execute it with `sysscale::SimSession` instead"
+)]
 pub fn run_workload(
     config: &SocConfig,
     workload: &Workload,
     governor: &mut dyn Governor,
 ) -> SimResult<SimReport> {
-    let mut sim = SocSimulator::new(config.clone())?;
-    sim.run(workload, governor, run_duration(workload))
+    SimSession::new()
+        .run_with(config, workload, governor, run_duration(workload), false)
+        .map(|(report, _)| report)
 }
 
 /// Formats a percentage with one decimal for report tables.
@@ -60,11 +71,15 @@ mod tests {
         let astar = spec_workload("astar").unwrap();
         assert!(run_duration(&astar) >= astar.iteration_length());
         let gamess = spec_workload("gamess").unwrap();
-        assert_eq!(run_duration(&gamess), gamess.iteration_length().max(MIN_RUN));
+        assert_eq!(
+            run_duration(&gamess),
+            gamess.iteration_length().max(MIN_RUN)
+        );
     }
 
     #[test]
-    fn run_workload_round_trips() {
+    #[allow(deprecated)]
+    fn deprecated_run_workload_shim_still_works() {
         let report = run_workload(
             &SocConfig::skylake_default(),
             &spec_workload("hmmer").unwrap(),

@@ -1,20 +1,16 @@
 //! Motivation experiments: Table 1, Fig. 2(a–c), Fig. 3(a–b), and Fig. 4.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::{CpuModel, GfxModel};
 use sysscale_iodev::{DisplayController, DisplayPanel, IspEngine, IspMode, Resolution};
-use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
-use sysscale_types::{Freq, SimResult, SimTime, Voltage};
-use sysscale_workloads::{
-    graphics_workload, spec_workload, stream_peak_bandwidth, Workload,
-};
+use sysscale_soc::SocConfig;
+use sysscale_types::{Freq, SimError, SimResult, SimTime, Voltage};
+use sysscale_workloads::{graphics_workload, spec_workload, stream_peak_bandwidth, Workload};
 
-use super::{run_duration, run_workload};
+use crate::scenario::{Scenario, ScenarioSet, SimSession};
 
 /// One row of Table 1: a component and its setting in the two experimental
 /// setups.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Component name.
     pub component: String,
@@ -59,7 +55,7 @@ pub fn table1(config: &SocConfig) -> Vec<Table1Row> {
 }
 
 /// Fig. 2(a): impact of the static MD-DVFS setup on one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2aRow {
     /// Benchmark name.
     pub workload: String,
@@ -76,33 +72,47 @@ pub struct Fig2aRow {
     pub perf_change_with_redistribution_pct: f64,
 }
 
-/// Runs the Fig. 2(a) experiment for the three motivation benchmarks.
+/// Runs the Fig. 2(a) experiment for the three motivation benchmarks: one
+/// `workloads x {baseline, md-dvfs, md-dvfs-redist}` scenario matrix.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn fig2a(config: &SocConfig) -> SimResult<Vec<Fig2aRow>> {
-    ["perlbench", "cactusADM", "lbm"]
+    let workloads: Vec<Workload> = ["perlbench", "cactusADM", "lbm"]
         .iter()
-        .map(|name| {
-            let workload = spec_workload(name).expect("motivation benchmarks exist");
-            let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
-            let scaled = run_workload(config, &workload, &mut FixedGovernor::md_dvfs(false))?;
-            let boosted = run_workload(config, &workload, &mut FixedGovernor::md_dvfs(true))?;
+        .map(|name| spec_workload(name).expect("motivation benchmarks exist"))
+        .collect();
+    let runs = ScenarioSet::matrix(
+        config,
+        &workloads,
+        &["baseline", "md-dvfs", "md-dvfs-redist"],
+    )?
+    .with_baseline("baseline")
+    .run(&mut SimSession::new())?;
+    workloads
+        .iter()
+        .map(|w| {
+            let cell = |gov: &str| {
+                runs.cell(&w.name, gov)
+                    .ok_or_else(|| SimError::invalid_config(format!("({}, {gov}) missing", w.name)))
+            };
+            let scaled = cell("md-dvfs")?;
+            let boosted = cell("md-dvfs-redist")?;
             Ok(Fig2aRow {
-                workload: workload.name.clone(),
-                power_reduction_pct: scaled.power_reduction_pct_vs(&baseline),
-                energy_reduction_pct: scaled.metrics.energy_reduction_pct_vs(&baseline.metrics),
-                perf_change_pct: scaled.speedup_pct_over(&baseline),
-                edp_improvement_pct: scaled.edp_improvement_pct_vs(&baseline),
-                perf_change_with_redistribution_pct: boosted.speedup_pct_over(&baseline),
+                workload: w.name.clone(),
+                power_reduction_pct: scaled.power_reduction_pct,
+                energy_reduction_pct: scaled.energy_reduction_pct,
+                perf_change_pct: scaled.speedup_pct,
+                edp_improvement_pct: scaled.edp_improvement_pct,
+                perf_change_with_redistribution_pct: boosted.speedup_pct,
             })
         })
         .collect()
 }
 
 /// Fig. 2(b): bottleneck breakdown of one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2bRow {
     /// Benchmark name.
     pub workload: String,
@@ -154,7 +164,7 @@ pub fn fig2b(config: &SocConfig) -> SimResult<Vec<Fig2bRow>> {
 }
 
 /// Fig. 2(c) / Fig. 3(a): a memory-bandwidth-demand-over-time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthTrace {
     /// Workload name.
     pub workload: String,
@@ -166,13 +176,17 @@ pub struct BandwidthTrace {
     pub peak_gib_s: f64,
 }
 
-fn bandwidth_trace(config: &SocConfig, workload: &Workload) -> SimResult<BandwidthTrace> {
-    let mut sim = SocSimulator::new(config.clone())?;
-    let (_, trace) = sim.run_with_trace(
-        workload,
-        &mut FixedGovernor::baseline(),
-        run_duration(workload),
-    )?;
+fn bandwidth_trace(
+    session: &mut SimSession,
+    config: &SocConfig,
+    workload: &Workload,
+) -> SimResult<BandwidthTrace> {
+    let scenario = Scenario::builder(workload.clone())
+        .config(config.clone())
+        .trace(true)
+        .build()?;
+    let record = session.run(&scenario)?;
+    let trace = record.trace.expect("trace was requested");
     let samples: Vec<(f64, f64)> = trace
         .iter()
         .map(|t| (t.at.as_secs(), t.demanded_gib_s))
@@ -194,9 +208,10 @@ fn bandwidth_trace(config: &SocConfig, workload: &Workload) -> SimResult<Bandwid
 ///
 /// Propagates simulator errors.
 pub fn fig2c(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
+    let mut session = SimSession::new();
     ["perlbench", "cactusADM", "lbm"]
         .iter()
-        .map(|name| bandwidth_trace(config, &spec_workload(name).expect("exists")))
+        .map(|name| bandwidth_trace(&mut session, config, &spec_workload(name).expect("exists")))
         .collect()
 }
 
@@ -207,12 +222,22 @@ pub fn fig2c(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
 ///
 /// Propagates simulator errors.
 pub fn fig3a(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
+    let mut session = SimSession::new();
     let mut traces = vec![
-        bandwidth_trace(config, &spec_workload("perlbench").expect("exists"))?,
-        bandwidth_trace(config, &spec_workload("lbm").expect("exists"))?,
-        bandwidth_trace(config, &spec_workload("astar").expect("exists"))?,
+        bandwidth_trace(
+            &mut session,
+            config,
+            &spec_workload("perlbench").expect("exists"),
+        )?,
+        bandwidth_trace(&mut session, config, &spec_workload("lbm").expect("exists"))?,
+        bandwidth_trace(
+            &mut session,
+            config,
+            &spec_workload("astar").expect("exists"),
+        )?,
     ];
     traces.push(bandwidth_trace(
+        &mut session,
         config,
         &graphics_workload("3DMark06").expect("exists"),
     )?);
@@ -221,7 +246,7 @@ pub fn fig3a(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
 
 /// Fig. 3(b): static bandwidth demand of one IO/graphics configuration, as a
 /// fraction of the dual-channel LPDDR3-1600 peak.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3bRow {
     /// Configuration name.
     pub configuration: String,
@@ -238,7 +263,10 @@ pub fn fig3b() -> Vec<Fig3bRow> {
     let mut rows = Vec::new();
     let display_configs: [(&str, Vec<Resolution>); 4] = [
         ("display: 1x HD", vec![Resolution::FullHd]),
-        ("display: 2x HD", vec![Resolution::FullHd, Resolution::FullHd]),
+        (
+            "display: 2x HD",
+            vec![Resolution::FullHd, Resolution::FullHd],
+        ),
         (
             "display: 3x HD",
             vec![Resolution::FullHd, Resolution::FullHd, Resolution::FullHd],
@@ -248,7 +276,8 @@ pub fn fig3b() -> Vec<Fig3bRow> {
     for (name, panels) in display_configs {
         let mut d = DisplayController::default();
         for r in panels {
-            d.attach(DisplayPanel::at_60hz(r)).expect("within panel limit");
+            d.attach(DisplayPanel::at_60hz(r))
+                .expect("within panel limit");
         }
         let bw = d.bandwidth_demand().as_bytes_per_sec();
         rows.push(Fig3bRow {
@@ -287,7 +316,7 @@ pub fn fig3b() -> Vec<Fig3bRow> {
 
 /// Fig. 4: impact of unoptimized MRC values on the peak-bandwidth
 /// microbenchmark at the low operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig4Result {
     /// Average-power increase of the unoptimized configuration, percent.
     pub power_increase_pct: f64,
@@ -304,18 +333,32 @@ pub struct Fig4Result {
 /// Propagates simulator errors.
 pub fn fig4(config: &SocConfig) -> SimResult<Fig4Result> {
     let stream = stream_peak_bandwidth();
+    let mut session = SimSession::new();
     // Optimized: the SysScale flow reloads MRC values on the transition to
     // the low point.
-    let optimized = run_workload(config, &stream, &mut FixedGovernor::md_dvfs(false))?;
+    let optimized = session
+        .run(
+            &Scenario::builder(stream.clone())
+                .config(config.clone())
+                .governor("md-dvfs")
+                .build()?,
+        )?
+        .report;
     // Unoptimized: same transition without the MRC reload step.
     let mut naive_config = config.clone();
     naive_config.reload_mrc_on_transition = false;
-    let unoptimized = run_workload(&naive_config, &stream, &mut FixedGovernor::md_dvfs(false))?;
+    let unoptimized = session
+        .run(
+            &Scenario::builder(stream)
+                .config(naive_config)
+                .governor("md-dvfs")
+                .build()?,
+        )?
+        .report;
 
-    let power_increase = (unoptimized.average_power().as_watts()
-        / optimized.average_power().as_watts()
-        - 1.0)
-        * 100.0;
+    let power_increase =
+        (unoptimized.average_power().as_watts() / optimized.average_power().as_watts() - 1.0)
+            * 100.0;
     let mem_increase = (unoptimized
         .average_domain_power(sysscale_types::Domain::Memory)
         .as_watts()
@@ -394,9 +437,18 @@ mod tests {
     #[test]
     fn fig3b_display_rows_match_paper_fractions() {
         let rows = fig3b();
-        let hd = rows.iter().find(|r| r.configuration == "display: 1x HD").unwrap();
-        let three_hd = rows.iter().find(|r| r.configuration == "display: 3x HD").unwrap();
-        let uhd = rows.iter().find(|r| r.configuration == "display: 1x 4K").unwrap();
+        let hd = rows
+            .iter()
+            .find(|r| r.configuration == "display: 1x HD")
+            .unwrap();
+        let three_hd = rows
+            .iter()
+            .find(|r| r.configuration == "display: 3x HD")
+            .unwrap();
+        let uhd = rows
+            .iter()
+            .find(|r| r.configuration == "display: 1x 4K")
+            .unwrap();
         assert!((0.12..=0.22).contains(&hd.fraction_of_peak));
         assert!((0.6..=0.8).contains(&uhd.fraction_of_peak));
         assert!((three_hd.fraction_of_peak / hd.fraction_of_peak - 3.0).abs() < 1e-9);

@@ -12,16 +12,17 @@
 //! pair uses DDR4 2.13→1.33 GHz (the nearest supported bins) instead of the
 //! paper's 2.13→1.06 GHz.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_soc::SocConfig;
 use sysscale_types::{stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint};
 use sysscale_workloads::{WorkloadClass, WorkloadGenerator};
 
-use crate::calibration::{fit_impact_model, measure_sample, CalibrationConfig, CalibrationSample};
+use crate::calibration::{
+    fit_impact_model, measure_sample_in, CalibrationConfig, CalibrationSample,
+};
+use crate::scenario::SimSession;
 
 /// One panel of Fig. 6: a (frequency pair, workload class) combination.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictorPanel {
     /// Workload class of the panel's population.
     pub class: WorkloadClass,
@@ -44,7 +45,7 @@ pub struct PredictorPanel {
 }
 
 /// Configuration of the Fig. 6 study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictorStudyConfig {
     /// Workloads generated *per panel* (9 panels; the paper's total is
     /// >1600, i.e. ~180 per panel).
@@ -64,7 +65,7 @@ impl Default for PredictorStudyConfig {
     fn default() -> Self {
         Self {
             workloads_per_panel: 60,
-            seed: 0xF16_6,
+            seed: 0xF166,
             degradation_bound: 0.02,
             safety_margin: 0.01,
             calibration: CalibrationConfig::default(),
@@ -150,6 +151,7 @@ fn panel_from_samples(
 /// Propagates simulator errors.
 pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<PredictorPanel>> {
     let mut panels = Vec::new();
+    let mut session = SimSession::new();
     for (pair_idx, (high, low, config)) in frequency_pair_configs(base).into_iter().enumerate() {
         // One generator per pair so every pair sees the same population.
         let mut generator = WorkloadGenerator::with_seed(study.seed + pair_idx as u64);
@@ -165,9 +167,7 @@ pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<Pre
         {
             let workload = if by_class[2].1.len() < study.workloads_per_panel {
                 // Alternate sources so the graphics quota fills too.
-                if by_class[0].1.len() + by_class[1].1.len()
-                    < 2 * study.workloads_per_panel
-                {
+                if by_class[0].1.len() + by_class[1].1.len() < 2 * study.workloads_per_panel {
                     generator.next_cpu_workload()
                 } else {
                     generator.next_graphics_workload()
@@ -179,7 +179,12 @@ pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<Pre
                 .iter_mut()
                 .find(|(class, v)| *class == workload.class && v.len() < study.workloads_per_panel);
             let Some((_, bucket)) = slot else { continue };
-            bucket.push(measure_sample(&config, &workload, &study.calibration)?);
+            bucket.push(measure_sample_in(
+                &mut session,
+                &config,
+                &workload,
+                &study.calibration,
+            )?);
         }
         for (class, samples) in &by_class {
             panels.push(panel_from_samples(*class, high, low, samples, study));

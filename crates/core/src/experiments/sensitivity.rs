@@ -1,23 +1,27 @@
 //! Sensitivity studies and ablations: Fig. 10 (TDP), the Sec. 7.4 DRAM
 //! frequency/type sensitivity, the Sec. 5 overhead accounting, and the
 //! design-choice ablations called out in DESIGN.md.
+//!
+//! All sweeps are [`ScenarioSet`] matrices; the ablations express each
+//! design variant as a platform-restricting [`FnGovernorFactory`], so the
+//! whole study is a single `workloads × variants` batch.
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use sysscale_dram::{DramKind, MrcSram};
-use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
-use sysscale_types::{
-    stats::Summary, Power, SimResult, SimTime, TransitionLatency,
-};
-use sysscale_workloads::{battery_life_suite, spec_cpu2006_suite, spec_workload};
+use sysscale_soc::SocConfig;
+use sysscale_types::{stats::Summary, Power, SimError, SimResult, SimTime, TransitionLatency};
+use sysscale_workloads::{battery_life_suite, spec_cpu2006_suite, spec_workload, Workload};
 
 use crate::governor::SysScaleGovernor;
 use crate::predictor::DemandPredictor;
-
-use super::{run_duration, run_workload};
+use crate::scenario::{
+    sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell, RunSet,
+    Scenario, ScenarioSet, SimSession,
+};
 
 /// One TDP point of Fig. 10.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TdpPoint {
     /// Package TDP, watts.
     pub tdp_w: f64,
@@ -25,6 +29,35 @@ pub struct TdpPoint {
     pub speedups_pct: Vec<f64>,
     /// Summary statistics of the distribution.
     pub summary: Summary,
+}
+
+fn baseline_vs_sysscale(
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+    workloads: &[Workload],
+) -> SimResult<RunSet> {
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale_factory(*predictor));
+    ScenarioSet::matrix_with(&registry, config, workloads, &["baseline", "sysscale"])?
+        .with_baseline("baseline")
+        .run(&mut SimSession::new())
+}
+
+fn sysscale_cells(
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+    workloads: &[Workload],
+    metric: impl Fn(&RunCell) -> f64,
+) -> SimResult<Vec<f64>> {
+    let runs = baseline_vs_sysscale(config, predictor, workloads)?;
+    workloads
+        .iter()
+        .map(|w| {
+            runs.cell(&w.name, "sysscale")
+                .map(|c| metric(&c))
+                .ok_or_else(|| SimError::invalid_config(format!("({}, sysscale) missing", w.name)))
+        })
+        .collect()
 }
 
 /// Fig. 10: SysScale benefit versus TDP on the SPEC-like suite.
@@ -38,13 +71,7 @@ pub fn fig10(predictor: &DemandPredictor, tdps_w: &[f64]) -> SimResult<Vec<TdpPo
         .iter()
         .map(|&tdp| {
             let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
-            let mut speedups = Vec::with_capacity(suite.len());
-            for workload in &suite {
-                let baseline = run_workload(&config, workload, &mut FixedGovernor::baseline())?;
-                let mut gov = SysScaleGovernor::new(*predictor);
-                let sys = run_workload(&config, workload, &mut gov)?;
-                speedups.push(sys.speedup_pct_over(&baseline));
-            }
+            let speedups = sysscale_cells(&config, predictor, &suite, |c| c.speedup_pct)?;
             Ok(TdpPoint {
                 tdp_w: tdp,
                 summary: Summary::of(&speedups),
@@ -55,7 +82,7 @@ pub fn fig10(predictor: &DemandPredictor, tdps_w: &[f64]) -> SimResult<Vec<TdpPo
 }
 
 /// Result of the Sec. 7.4 DRAM sensitivity study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramSensitivity {
     /// Average SysScale power reduction on battery-life workloads with
     /// LPDDR3 scaled 1.6 → 1.066 GHz, percent.
@@ -72,28 +99,15 @@ pub struct DramSensitivity {
     pub three_point_avg_speedup_pct: f64,
 }
 
-fn battery_avg_power_reduction(
-    config: &SocConfig,
-    predictor: &DemandPredictor,
-) -> SimResult<f64> {
-    let mut reductions = Vec::new();
-    for workload in battery_life_suite() {
-        let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
-        let mut gov = SysScaleGovernor::new(*predictor);
-        let sys = run_workload(config, &workload, &mut gov)?;
-        reductions.push(sys.power_reduction_pct_vs(&baseline));
-    }
+fn battery_avg_power_reduction(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<f64> {
+    let reductions = sysscale_cells(config, predictor, &battery_life_suite(), |c| {
+        c.power_reduction_pct
+    })?;
     Ok(sysscale_types::stats::mean(&reductions))
 }
 
 fn spec_avg_speedup(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<f64> {
-    let mut speedups = Vec::new();
-    for workload in spec_cpu2006_suite() {
-        let baseline = run_workload(config, &workload, &mut FixedGovernor::baseline())?;
-        let mut gov = SysScaleGovernor::new(*predictor);
-        let sys = run_workload(config, &workload, &mut gov)?;
-        speedups.push(sys.speedup_pct_over(&baseline));
-    }
+    let speedups = sysscale_cells(config, predictor, &spec_cpu2006_suite(), |c| c.speedup_pct)?;
     Ok(sysscale_types::stats::mean(&speedups))
 }
 
@@ -122,7 +136,7 @@ pub fn dram_sensitivity(predictor: &DemandPredictor) -> SimResult<DramSensitivit
 }
 
 /// The Sec. 5 implementation-overhead accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Overheads {
     /// Worst-case transition stall, microseconds (budget: <10 µs).
     pub transition_stall_us: f64,
@@ -150,7 +164,7 @@ pub fn overheads() -> Overheads {
 }
 
 /// One row of the ablation study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// Name of the configuration.
     pub name: String,
@@ -160,91 +174,116 @@ pub struct AblationRow {
     pub video_playback_power_reduction_pct: f64,
 }
 
+/// The design variants of the ablation study, each expressed as a governor
+/// factory whose platform restriction applies the variant's configuration.
+fn ablation_variants(
+    base: &SocConfig,
+    predictor: &DemandPredictor,
+) -> Vec<Arc<dyn GovernorFactory>> {
+    let variant = |name: &str, config: SocConfig, redistribute: bool| {
+        let predictor = *predictor;
+        Arc::new(
+            FnGovernorFactory::new(name, move || {
+                let g = SysScaleGovernor::new(predictor);
+                Box::new(if redistribute {
+                    g
+                } else {
+                    g.without_redistribution()
+                })
+            })
+            .with_platform(move |_| config.clone()),
+        ) as Arc<dyn GovernorFactory>
+    };
+    vec![
+        variant("sysscale", base.clone(), true),
+        variant(
+            "no-mrc-reload",
+            SocConfig {
+                reload_mrc_on_transition: false,
+                ..base.clone()
+            },
+            true,
+        ),
+        variant("no-redistribution", base.clone(), false),
+        variant(
+            "interval-10ms",
+            SocConfig {
+                evaluation_interval: SimTime::from_millis(10.0),
+                ..base.clone()
+            },
+            true,
+        ),
+        variant(
+            "interval-100ms",
+            SocConfig {
+                evaluation_interval: SimTime::from_millis(100.0),
+                ..base.clone()
+            },
+            true,
+        ),
+        variant(
+            "slow-transition-100us",
+            SocConfig {
+                transition_latency: TransitionLatency {
+                    voltage_ramp: SimTime::from_micros(20.0),
+                    interconnect_drain: SimTime::from_micros(10.0),
+                    self_refresh_exit: SimTime::from_micros(50.0),
+                    mrc_load: SimTime::from_micros(10.0),
+                    firmware: SimTime::from_micros(10.0),
+                },
+                ..base.clone()
+            },
+            true,
+        ),
+    ]
+}
+
 /// The ablation study over the design choices DESIGN.md calls out:
 /// MRC reload on/off, redistribution on/off, evaluation-interval length, and
-/// pessimistic transition cost.
+/// pessimistic transition cost. One scenario matrix:
+/// `(SPEC subset + video playback) × (baseline + variants)`.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn ablations(predictor: &DemandPredictor) -> SimResult<Vec<AblationRow>> {
     let base = SocConfig::skylake_default();
-    let spec_subset: Vec<_> = ["gamess", "namd", "perlbench", "astar", "lbm", "milc"]
+    let spec_subset: Vec<Workload> = ["gamess", "namd", "perlbench", "astar", "lbm", "milc"]
         .iter()
         .map(|n| spec_workload(n).expect("subset exists"))
         .collect();
     let video = sysscale_workloads::battery_workload("video-playback").expect("exists");
 
-    let mut variants: Vec<(String, SocConfig, bool)> = Vec::new();
-    variants.push(("sysscale".into(), base.clone(), true));
-    variants.push((
-        "no-mrc-reload".into(),
-        SocConfig {
-            reload_mrc_on_transition: false,
-            ..base.clone()
-        },
-        true,
-    ));
-    variants.push(("no-redistribution".into(), base.clone(), false));
-    variants.push((
-        "interval-10ms".into(),
-        SocConfig {
-            evaluation_interval: SimTime::from_millis(10.0),
-            ..base.clone()
-        },
-        true,
-    ));
-    variants.push((
-        "interval-100ms".into(),
-        SocConfig {
-            evaluation_interval: SimTime::from_millis(100.0),
-            ..base.clone()
-        },
-        true,
-    ));
-    variants.push((
-        "slow-transition-100us".into(),
-        SocConfig {
-            transition_latency: TransitionLatency {
-                voltage_ramp: SimTime::from_micros(20.0),
-                interconnect_drain: SimTime::from_micros(10.0),
-                self_refresh_exit: SimTime::from_micros(50.0),
-                mrc_load: SimTime::from_micros(10.0),
-                firmware: SimTime::from_micros(10.0),
-            },
-            ..base.clone()
-        },
-        true,
-    ));
-
-    let mut rows = Vec::new();
-    for (name, config, redistribute) in variants {
-        let make_gov = || {
-            let g = SysScaleGovernor::new(*predictor);
-            if redistribute {
-                g
-            } else {
-                g.without_redistribution()
-            }
-        };
-        let mut speedups = Vec::new();
-        for w in &spec_subset {
-            let baseline = run_workload(&base, w, &mut FixedGovernor::baseline())?;
-            let mut gov = make_gov();
-            let sys = run_workload(&config, w, &mut gov)?;
-            speedups.push(sys.speedup_pct_over(&baseline));
-        }
-        let video_baseline = run_workload(&base, &video, &mut FixedGovernor::baseline())?;
-        let mut gov = make_gov();
-        let video_sys = run_workload(&config, &video, &mut gov)?;
-        rows.push(AblationRow {
-            name,
-            avg_speedup_pct: sysscale_types::stats::mean(&speedups),
-            video_playback_power_reduction_pct: video_sys
-                .power_reduction_pct_vs(&video_baseline),
-        });
+    let mut registry = GovernorRegistry::builtin();
+    let variants = ablation_variants(&base, predictor);
+    for v in &variants {
+        registry.register(Arc::clone(v));
     }
-    Ok(rows)
+    let mut workloads = spec_subset.clone();
+    workloads.push(video.clone());
+    let mut columns: Vec<String> = vec!["baseline".into()];
+    columns.extend(variants.iter().map(|v| v.name().to_string()));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    let runs = ScenarioSet::matrix_with(&registry, &base, &workloads, &column_refs)?
+        .with_baseline("baseline")
+        .run(&mut SimSession::new())?;
+
+    variants
+        .iter()
+        .map(|v| {
+            let speedups = spec_subset
+                .iter()
+                .map(|w| runs.require_cell(&w.name, v.name()).map(|c| c.speedup_pct))
+                .collect::<SimResult<Vec<f64>>>()?;
+            let video_cell = runs.require_cell(&video.name, v.name())?;
+            Ok(AblationRow {
+                name: v.name().to_string(),
+                avg_speedup_pct: sysscale_types::stats::mean(&speedups),
+                video_playback_power_reduction_pct: video_cell.power_reduction_pct,
+            })
+        })
+        .collect()
 }
 
 /// Measures the worst-case transition stall on the real flow (used by the
@@ -254,11 +293,12 @@ pub fn ablations(predictor: &DemandPredictor) -> SimResult<Vec<AblationRow>> {
 ///
 /// Propagates simulator errors.
 pub fn measured_transition_stall(config: &SocConfig) -> SimResult<SimTime> {
-    let workload = spec_workload("astar").expect("exists");
-    let mut sim = SocSimulator::new(config.clone())?;
-    let mut gov = SysScaleGovernor::with_default_thresholds();
-    let report = sim.run(&workload, &mut gov, run_duration(&workload))?;
-    Ok(report.transitions.max_stall)
+    let scenario = Scenario::builder(spec_workload("astar").expect("exists"))
+        .config(config.clone())
+        .governor("sysscale")
+        .build()?;
+    let record = SimSession::new().run(&scenario)?;
+    Ok(record.report.transitions.max_stall)
 }
 
 #[cfg(test)]
@@ -281,8 +321,12 @@ mod tests {
         assert_eq!(points.len(), 2);
         let constrained = &points[0];
         let ample = &points[1];
-        assert!(constrained.summary.mean > ample.summary.mean,
-            "3.5W mean {} vs 15W mean {}", constrained.summary.mean, ample.summary.mean);
+        assert!(
+            constrained.summary.mean > ample.summary.mean,
+            "3.5W mean {} vs 15W mean {}",
+            constrained.summary.mean,
+            ample.summary.mean
+        );
         assert!(constrained.summary.max > constrained.summary.mean);
         assert!(constrained.speedups_pct.len() >= 25);
     }

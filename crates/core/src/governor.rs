@@ -10,15 +10,13 @@
 //! [`crate::baselines::memscale_config`] to build the matching platform
 //! configuration.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_soc::{Governor, GovernorDecision, GovernorInput};
 use sysscale_types::{CounterKind, Freq};
 
 use crate::predictor::DemandPredictor;
 
 /// The SysScale multi-domain DVFS governor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SysScaleGovernor {
     predictor: DemandPredictor,
     /// Whether the freed uncore budget is redistributed to the compute
@@ -97,7 +95,7 @@ impl Governor for SysScaleGovernor {
 /// A MemScale-style memory-only DVFS governor: it lowers the memory operating
 /// point whenever the consumed bandwidth fits comfortably below the capacity
 /// of the lower point, and raises it otherwise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemScaleGovernor {
     /// Utilization of the *low* operating point's sustainable bandwidth above
     /// which the governor returns to the high point.
@@ -142,8 +140,8 @@ fn bandwidth_utilization_of_low_point(input: &GovernorInput<'_>) -> f64 {
     let consumed = bytes_per_sample / input.sample_seconds;
     let low = input.ladder.lowest();
     let high = input.ladder.highest();
-    let low_peak = input.peak_bandwidth.as_bytes_per_sec()
-        * (low.dram_freq.as_hz() / high.dram_freq.as_hz());
+    let low_peak =
+        input.peak_bandwidth.as_bytes_per_sec() * (low.dram_freq.as_hz() / high.dram_freq.as_hz());
     if low_peak <= 0.0 {
         1.0
     } else {
@@ -178,7 +176,7 @@ impl Governor for MemScaleGovernor {
 /// A CoScale-style coordinated CPU + memory DVFS governor: memory decisions
 /// follow the MemScale rule, and on memory-bound intervals the CPU frequency
 /// request is additionally capped (slowing cores that are stalled anyway).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoScaleGovernor {
     /// The embedded memory policy.
     pub memory: MemScaleGovernor,
@@ -301,7 +299,10 @@ mod tests {
         let mut gov = SysScaleGovernor::default().without_redistribution();
         assert_eq!(gov.name(), "sysscale-no-redist");
         let quiet = CounterWindow::new();
-        assert!(!gov.decide(&input(&quiet, &ladder, 1.0)).redistribute_to_compute);
+        assert!(
+            !gov.decide(&input(&quiet, &ladder, 1.0))
+                .redistribute_to_compute
+        );
     }
 
     #[test]
@@ -342,13 +343,5 @@ mod tests {
         let d2 = gov.decide(&input(&calm, &ladder, 2.0));
         assert!(d2.cpu_freq_cap.is_none());
         assert_eq!(CoScaleGovernor::new().name(), "coscale");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let gov = SysScaleGovernor::default();
-        let json = serde_json::to_string(&gov).unwrap();
-        let back: SysScaleGovernor = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, gov);
     }
 }

@@ -15,31 +15,48 @@
 //!   [`sysscale_soc::SocSimulator`];
 //! * the [`baselines`] module — restricted platform configurations for the
 //!   baselines and the Sec. 6 `-Redist` projection;
+//! * the [`scenario`] module — the unified run API: a builder-based
+//!   [`Scenario`], the [`SimSession`] executor, and the [`ScenarioSet`]
+//!   batch runner producing a [`RunSet`] keyed by `(workload, governor)`;
 //! * the [`experiments`] module — one function per table/figure of the
-//!   paper's evaluation.
+//!   paper's evaluation, implemented on top of the scenario API.
 //!
 //! ## Quickstart
 //!
+//! Describe runs as [`Scenario`] values and execute them through a
+//! [`SimSession`]; batches go through [`ScenarioSet`]:
+//!
 //! ```
-//! use sysscale::{SysScaleGovernor};
-//! use sysscale_soc::{FixedGovernor, SocConfig, SocSimulator};
+//! use sysscale::{Scenario, ScenarioSet, SimSession};
+//! use sysscale_soc::SocConfig;
 //! use sysscale_types::SimTime;
 //! use sysscale_workloads::spec_workload;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let config = SocConfig::skylake_default();
-//! let workload = spec_workload("gamess").expect("in the suite");
-//! let mut sim = SocSimulator::new(config)?;
+//! // One run: the builder fills in platform (Skylake M-6Y75) and duration.
+//! let mut session = SimSession::new();
+//! let one = Scenario::builder(spec_workload("gamess").expect("in the suite"))
+//!     .governor("sysscale")
+//!     .duration(SimTime::from_millis(300.0))
+//!     .build()?;
+//! let record = session.run(&one)?;
+//! assert!(record.report.average_power().as_watts() < 4.6);
 //!
-//! let baseline = sim.run(&workload, &mut FixedGovernor::baseline(), SimTime::from_millis(300.0))?;
-//! let sysscale = sim.run(
-//!     &workload,
-//!     &mut SysScaleGovernor::with_default_thresholds(),
-//!     SimTime::from_millis(300.0),
-//! )?;
+//! // A batch: workloads x governors, with baseline-relative deltas.
+//! let suite = vec![
+//!     spec_workload("gamess").unwrap(),
+//!     spec_workload("lbm").unwrap(),
+//! ];
+//! let runs = ScenarioSet::matrix(
+//!     &SocConfig::skylake_default(),
+//!     &suite,
+//!     &["baseline", "sysscale"],
+//! )?
+//! .with_baseline("baseline")
+//! .run(&mut session)?;
 //!
 //! // A compute-bound workload gains performance from the redistributed budget.
-//! assert!(sysscale.speedup_pct_over(&baseline) > 0.0);
+//! assert!(runs.cell("416.gamess", "sysscale").unwrap().speedup_pct > 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,18 +70,23 @@ pub mod calibration;
 pub mod experiments;
 pub mod governor;
 pub mod predictor;
+pub mod scenario;
 
 pub use baselines::{
     coscale_config, memory_only_ladder, memscale_config, project_redistributed_speedup,
     RedistProjection,
 };
 pub use calibration::{
-    calibrate, derive_thresholds, fit_impact_model, measure_sample, CalibrationConfig,
-    CalibrationOutcome, CalibrationSample,
+    calibrate, derive_thresholds, fit_impact_model, measure_sample, measure_sample_in,
+    CalibrationConfig, CalibrationOutcome, CalibrationSample,
 };
 pub use governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
 pub use predictor::{
     DemandCondition, DemandPredictor, ImpactModel, Prediction, PredictorThresholds,
+};
+pub use scenario::{
+    auto_duration, sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell,
+    RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, SimSession,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the

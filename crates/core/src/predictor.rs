@@ -16,12 +16,10 @@
 //! linear regression estimate of the performance impact of running at the
 //! lower point, which is what the Fig. 6 study evaluates.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, CounterKind, CounterSet};
 
 /// The five demand conditions of the power-distribution algorithm (Sec. 4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DemandCondition {
     /// Aggregated static demand exceeds `STATIC_BW_THR`.
     StaticBandwidth,
@@ -47,7 +45,7 @@ impl DemandCondition {
 }
 
 /// Calibrated thresholds for one pair of adjacent operating points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictorThresholds {
     /// Static-demand threshold as a fraction of the peak DRAM bandwidth at
     /// the high operating point (`STATIC_BW_THR`).
@@ -81,7 +79,7 @@ impl PredictorThresholds {
 /// Coefficients of the linear performance-impact estimator fitted during
 /// calibration: predicted degradation (fraction) =
 /// `intercept + Σ coefficient × counter`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ImpactModel {
     /// Constant term.
     pub intercept: f64,
@@ -109,7 +107,7 @@ impl ImpactModel {
 }
 
 /// The outcome of one prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// `true` if the SoC must run at the higher operating point.
     pub needs_high_performance: bool,
@@ -121,7 +119,7 @@ pub struct Prediction {
 }
 
 /// The demand predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandPredictor {
     thresholds: PredictorThresholds,
     impact: ImpactModel,
@@ -137,7 +135,10 @@ impl DemandPredictor {
     /// A predictor with the hand-tuned Skylake defaults and no impact model.
     #[must_use]
     pub fn skylake_default() -> Self {
-        Self::new(PredictorThresholds::skylake_default(), ImpactModel::default())
+        Self::new(
+            PredictorThresholds::skylake_default(),
+            ImpactModel::default(),
+        )
     }
 
     /// The thresholds in use.
@@ -259,13 +260,5 @@ mod tests {
         assert!((low - 0.015).abs() < 1e-12);
         let huge = model.predict(&counters(0.0, 0.0, 1.0e12, 0.0));
         assert_eq!(huge, 1.0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let p = DemandPredictor::skylake_default();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: DemandPredictor = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, p);
     }
 }

@@ -1,0 +1,949 @@
+//! The unified simulation entry point: scenarios, sessions, and batch runs.
+//!
+//! SysScale's evaluation is a matrix of {platform configuration × workload ×
+//! governor × duration} runs. This module turns that matrix into first-class
+//! values:
+//!
+//! * [`Scenario`] — one run, assembled with a builder: platform config,
+//!   workload, a *named* governor, duration, and trace options;
+//! * [`GovernorFactory`] / [`GovernorRegistry`] — governors as named,
+//!   buildable-per-run values (instead of `&mut` trait objects threaded by
+//!   hand), including the platform restrictions the paper applies to the
+//!   MemScale/CoScale baselines;
+//! * [`SimSession`] — a reusable executor that caches one [`SocSimulator`]
+//!   per distinct platform configuration and guarantees fresh per-run state;
+//! * [`ScenarioSet`] — a batch of scenarios (typically a workload × governor
+//!   matrix) executed through one call;
+//! * [`RunSet`] / [`RunCell`] — the structured result, keyed by
+//!   `(workload, governor)`, with speedup/power/energy deltas computed
+//!   against a designated baseline governor.
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale::{Scenario, ScenarioSet, SimSession};
+//! use sysscale_soc::SocConfig;
+//! use sysscale_workloads::spec_workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workloads = vec![
+//!     spec_workload("gamess").unwrap(),
+//!     spec_workload("lbm").unwrap(),
+//! ];
+//! let runs = ScenarioSet::matrix(
+//!     &SocConfig::skylake_default(),
+//!     &workloads,
+//!     &["baseline", "sysscale"],
+//! )?
+//! .with_baseline("baseline")
+//! .run(&mut SimSession::new())?;
+//!
+//! let cell = runs.cell("416.gamess", "sysscale").unwrap();
+//! assert!(cell.speedup_pct > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use sysscale_soc::{FixedGovernor, Governor, SimReport, SliceTrace, SocConfig, SocSimulator};
+use sysscale_types::{SimError, SimResult, SimTime};
+use sysscale_workloads::Workload;
+
+use crate::baselines::memscale_config;
+use crate::governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
+use crate::predictor::DemandPredictor;
+
+/// Default minimum simulated duration when a scenario does not pin one.
+pub const DEFAULT_MIN_RUN: SimTime = SimTime::from_secs(0.3);
+
+/// The simulated duration used for `workload` when no explicit duration is
+/// requested: at least one full phase iteration, and no shorter than
+/// [`DEFAULT_MIN_RUN`].
+#[must_use]
+pub fn auto_duration(workload: &Workload) -> SimTime {
+    workload.iteration_length().max(DEFAULT_MIN_RUN)
+}
+
+// ---------------------------------------------------------------------------
+// Governor factories
+// ---------------------------------------------------------------------------
+
+/// A named, buildable-per-run power-management policy.
+///
+/// A factory produces a *fresh* governor for every run, so scenario batches
+/// never share mutable governor state, and it can restrict the platform the
+/// governor runs on (the paper's MemScale/CoScale baselines cannot scale the
+/// shared `V_SA`/`V_IO` rails or reload MRC values — Sec. 8).
+pub trait GovernorFactory: fmt::Debug + Send + Sync {
+    /// Stable name used to key runs and look the factory up in a registry.
+    fn name(&self) -> &str;
+
+    /// Builds a fresh governor instance for one run.
+    fn build(&self) -> Box<dyn Governor>;
+
+    /// The platform configuration this policy runs on, derived from the
+    /// experiment's base configuration. Defaults to the unrestricted base.
+    fn platform(&self, base: &SocConfig) -> SocConfig {
+        base.clone()
+    }
+}
+
+type BuildFn = Arc<dyn Fn() -> Box<dyn Governor> + Send + Sync>;
+type PlatformFn = Arc<dyn Fn(&SocConfig) -> SocConfig + Send + Sync>;
+
+/// A [`GovernorFactory`] assembled from closures. The building block for both
+/// the built-in registry entries and ad-hoc user-defined governors.
+#[derive(Clone)]
+pub struct FnGovernorFactory {
+    name: String,
+    build: BuildFn,
+    platform: Option<PlatformFn>,
+}
+
+impl FnGovernorFactory {
+    /// Creates a factory with the given name and builder.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn() -> Box<dyn Governor> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            build: Arc::new(build),
+            platform: None,
+        }
+    }
+
+    /// Adds a platform restriction applied to the base configuration before
+    /// every run of this governor.
+    #[must_use]
+    pub fn with_platform(
+        mut self,
+        platform: impl Fn(&SocConfig) -> SocConfig + Send + Sync + 'static,
+    ) -> Self {
+        self.platform = Some(Arc::new(platform));
+        self
+    }
+}
+
+impl fmt::Debug for FnGovernorFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnGovernorFactory")
+            .field("name", &self.name)
+            .field("restricted_platform", &self.platform.is_some())
+            .finish()
+    }
+}
+
+impl GovernorFactory for FnGovernorFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self) -> Box<dyn Governor> {
+        (self.build)()
+    }
+
+    fn platform(&self, base: &SocConfig) -> SocConfig {
+        match &self.platform {
+            Some(p) => p(base),
+            None => base.clone(),
+        }
+    }
+}
+
+/// A factory for the SysScale governor with a specific calibrated predictor.
+#[must_use]
+pub fn sysscale_factory(predictor: DemandPredictor) -> Arc<dyn GovernorFactory> {
+    Arc::new(FnGovernorFactory::new("sysscale", move || {
+        Box::new(SysScaleGovernor::new(predictor))
+    }))
+}
+
+/// Registry of named governor factories.
+///
+/// [`GovernorRegistry::builtin`] knows every policy of the paper's
+/// evaluation; custom factories can be added (or built-ins replaced) with
+/// [`GovernorRegistry::register`].
+#[derive(Debug, Clone)]
+pub struct GovernorRegistry {
+    entries: Vec<Arc<dyn GovernorFactory>>,
+}
+
+impl GovernorRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of built-in policies:
+    ///
+    /// | Name | Policy | Platform |
+    /// |---|---|---|
+    /// | `baseline` | uncore pinned at the highest operating point | full |
+    /// | `md-dvfs` | uncore pinned at the lowest point (Table 1) | full |
+    /// | `md-dvfs-redist` | `md-dvfs` plus budget redistribution | full |
+    /// | `sysscale` | the Sec. 4 SysScale governor | full |
+    /// | `sysscale-no-redist` | SysScale without redistribution | full |
+    /// | `memscale` | MemScale-like memory-only DVFS | restricted |
+    /// | `memscale-redist` | MemScale with redistribution | restricted |
+    /// | `coscale` | CoScale-like coordinated CPU+memory DVFS | restricted |
+    /// | `coscale-redist` | CoScale with redistribution | restricted |
+    ///
+    /// "Restricted" platforms keep the `V_SA`/`V_IO` rails and the IO
+    /// interconnect at nominal and skip the MRC reload
+    /// ([`crate::baselines::memscale_config`]).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut r = Self::new();
+        r.register(Arc::new(FnGovernorFactory::new("baseline", || {
+            Box::new(FixedGovernor::baseline())
+        })));
+        r.register(Arc::new(FnGovernorFactory::new("md-dvfs", || {
+            Box::new(FixedGovernor::md_dvfs(false))
+        })));
+        r.register(Arc::new(FnGovernorFactory::new("md-dvfs-redist", || {
+            Box::new(FixedGovernor::md_dvfs(true))
+        })));
+        r.register(Arc::new(FnGovernorFactory::new("sysscale", || {
+            Box::new(SysScaleGovernor::with_default_thresholds())
+        })));
+        r.register(Arc::new(FnGovernorFactory::new(
+            "sysscale-no-redist",
+            || Box::new(SysScaleGovernor::with_default_thresholds().without_redistribution()),
+        )));
+        r.register(Arc::new(
+            FnGovernorFactory::new("memscale", || Box::new(MemScaleGovernor::new()))
+                .with_platform(memscale_config),
+        ));
+        r.register(Arc::new(
+            FnGovernorFactory::new("memscale-redist", || {
+                Box::new(MemScaleGovernor::redistributing())
+            })
+            .with_platform(memscale_config),
+        ));
+        r.register(Arc::new(
+            FnGovernorFactory::new("coscale", || Box::new(CoScaleGovernor::new()))
+                .with_platform(memscale_config),
+        ));
+        r.register(Arc::new(
+            FnGovernorFactory::new("coscale-redist", || {
+                Box::new(CoScaleGovernor::redistributing())
+            })
+            .with_platform(memscale_config),
+        ));
+        r
+    }
+
+    /// Registers a factory, replacing any existing entry with the same name.
+    pub fn register(&mut self, factory: Arc<dyn GovernorFactory>) {
+        self.entries.retain(|e| e.name() != factory.name());
+        self.entries.push(factory);
+    }
+
+    /// Looks a factory up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<dyn GovernorFactory>> {
+        self.entries.iter().find(|e| e.name() == name).cloned()
+    }
+
+    /// Looks a factory up by name, producing a descriptive error when the
+    /// name is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an unknown governor name.
+    pub fn resolve(&self, name: &str) -> SimResult<Arc<dyn GovernorFactory>> {
+        self.get(name).ok_or_else(|| {
+            SimError::invalid_config(format!(
+                "unknown governor '{name}' (available: {})",
+                self.names().join(", ")
+            ))
+        })
+    }
+
+    /// The registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name().to_string()).collect()
+    }
+}
+
+impl Default for GovernorRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+/// One fully-specified simulation run.
+///
+/// Built with [`Scenario::builder`]; executed by [`SimSession::run`] or as
+/// part of a [`ScenarioSet`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: SocConfig,
+    workload: Workload,
+    governor: Arc<dyn GovernorFactory>,
+    duration: Option<SimTime>,
+    trace: bool,
+}
+
+impl Scenario {
+    /// Starts building a scenario for the given workload. The platform
+    /// defaults to [`SocConfig::skylake_default`], the governor to
+    /// `baseline`, and the duration to [`auto_duration`].
+    #[must_use]
+    pub fn builder(workload: Workload) -> ScenarioBuilder {
+        ScenarioBuilder {
+            config: SocConfig::skylake_default(),
+            workload,
+            governor: None,
+            duration: None,
+            trace: false,
+        }
+    }
+
+    /// The base platform configuration (before any governor restriction).
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The workload this scenario runs.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The governor factory this scenario runs under.
+    #[must_use]
+    pub fn governor(&self) -> &Arc<dyn GovernorFactory> {
+        &self.governor
+    }
+
+    /// Whether a per-slice trace is collected.
+    #[must_use]
+    pub fn traced(&self) -> bool {
+        self.trace
+    }
+
+    /// The simulated duration of this scenario (explicit, or derived from
+    /// the workload's phase iteration).
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        self.duration
+            .unwrap_or_else(|| auto_duration(&self.workload))
+    }
+
+    /// The platform configuration the run actually uses: the base
+    /// configuration with the governor's restriction applied.
+    #[must_use]
+    pub fn effective_config(&self) -> SocConfig {
+        self.governor.platform(&self.config)
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    config: SocConfig,
+    workload: Workload,
+    // None = the default `baseline` governor, resolved lazily in build() so
+    // the common governor_factory() path never constructs a registry.
+    governor: Option<SimResult<Arc<dyn GovernorFactory>>>,
+    duration: Option<SimTime>,
+    trace: bool,
+}
+
+impl ScenarioBuilder {
+    /// Sets the base platform configuration.
+    #[must_use]
+    pub fn config(mut self, config: SocConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the governor by name from the built-in registry
+    /// ([`GovernorRegistry::builtin`]). An unknown name surfaces as an error
+    /// from [`ScenarioBuilder::build`].
+    #[must_use]
+    pub fn governor(mut self, name: &str) -> Self {
+        self.governor = Some(GovernorRegistry::builtin().resolve(name));
+        self
+    }
+
+    /// Uses a custom governor factory (e.g. [`sysscale_factory`] with a
+    /// calibrated predictor, or any [`FnGovernorFactory`]).
+    #[must_use]
+    pub fn governor_factory(mut self, factory: Arc<dyn GovernorFactory>) -> Self {
+        self.governor = Some(Ok(factory));
+        self
+    }
+
+    /// Pins the simulated duration (defaults to [`auto_duration`]).
+    #[must_use]
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Enables per-slice trace collection for this run.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Finishes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the governor name did not
+    /// resolve or the configuration is inconsistent, and
+    /// [`SimError::EmptySimulation`] if an explicit duration is not
+    /// positive.
+    pub fn build(self) -> SimResult<Scenario> {
+        let governor = match self.governor {
+            Some(resolved) => resolved?,
+            None => GovernorRegistry::builtin().resolve("baseline")?,
+        };
+        governor.platform(&self.config).validate()?;
+        if let Some(d) = self.duration {
+            if d <= SimTime::ZERO {
+                return Err(SimError::EmptySimulation);
+            }
+        }
+        Ok(Scenario {
+            config: self.config,
+            workload: self.workload,
+            governor,
+            duration: self.duration,
+            trace: self.trace,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimSession
+// ---------------------------------------------------------------------------
+
+/// The result of executing one [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload name (the row key).
+    pub workload: String,
+    /// Governor factory name (the column key).
+    pub governor: String,
+    /// The full simulation report.
+    pub report: SimReport,
+    /// The per-slice trace, when the scenario requested one.
+    pub trace: Option<Vec<SliceTrace>>,
+}
+
+/// A reusable scenario executor.
+///
+/// The session owns one [`SocSimulator`] per distinct platform configuration
+/// it has seen and reuses it across runs; the simulator itself guarantees
+/// fresh per-run state (see [`SocSimulator::reset`]), so repeated executions
+/// of the same scenario are deterministic.
+#[derive(Debug, Default)]
+pub struct SimSession {
+    simulators: Vec<(SocConfig, SocSimulator)>,
+}
+
+impl SimSession {
+    /// Creates an empty session.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct platform configurations this session has built
+    /// simulators for.
+    #[must_use]
+    pub fn cached_platforms(&self) -> usize {
+        self.simulators.len()
+    }
+
+    fn simulator_for(&mut self, config: &SocConfig) -> SimResult<&mut SocSimulator> {
+        if let Some(idx) = self.simulators.iter().position(|(c, _)| c == config) {
+            return Ok(&mut self.simulators[idx].1);
+        }
+        let sim = SocSimulator::new(config.clone())?;
+        self.simulators.push((config.clone(), sim));
+        Ok(&mut self.simulators.last_mut().expect("just pushed").1)
+    }
+
+    /// Executes one scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run(&mut self, scenario: &Scenario) -> SimResult<RunRecord> {
+        let config = scenario.effective_config();
+        let mut governor = scenario.governor.build();
+        let (report, trace) = self.run_with(
+            &config,
+            &scenario.workload,
+            governor.as_mut(),
+            scenario.duration(),
+            scenario.trace,
+        )?;
+        Ok(RunRecord {
+            workload: scenario.workload.name.clone(),
+            governor: scenario.governor.name().to_string(),
+            report,
+            trace,
+        })
+    }
+
+    /// Low-level escape hatch: runs a workload under an existing governor
+    /// instance on the session's cached simulator for `config`.
+    ///
+    /// Prefer [`SimSession::run`] with a [`Scenario`]; this exists for code
+    /// that needs to thread a stateful governor through consecutive runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_with(
+        &mut self,
+        config: &SocConfig,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+        trace: bool,
+    ) -> SimResult<(SimReport, Option<Vec<SliceTrace>>)> {
+        let sim = self.simulator_for(config)?;
+        if trace {
+            let (report, slices) = sim.run_with_trace(workload, governor, duration)?;
+            Ok((report, Some(slices)))
+        } else {
+            let report = sim.run(workload, governor, duration)?;
+            Ok((report, None))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSet
+// ---------------------------------------------------------------------------
+
+/// A batch of scenarios executed through one call, typically a full
+/// workload × governor matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSet {
+    scenarios: Vec<Scenario>,
+    baseline: Option<String>,
+}
+
+impl ScenarioSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the full `workloads × governors` matrix on one base platform,
+    /// resolving governor names against the built-in registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an unknown governor name.
+    pub fn matrix(
+        config: &SocConfig,
+        workloads: &[Workload],
+        governors: &[&str],
+    ) -> SimResult<Self> {
+        Self::matrix_with(&GovernorRegistry::builtin(), config, workloads, governors)
+    }
+
+    /// Like [`ScenarioSet::matrix`], but resolves governor names against a
+    /// caller-provided registry (e.g. one carrying a calibrated SysScale
+    /// predictor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an unknown governor name.
+    pub fn matrix_with(
+        registry: &GovernorRegistry,
+        config: &SocConfig,
+        workloads: &[Workload],
+        governors: &[&str],
+    ) -> SimResult<Self> {
+        let mut set = Self::new();
+        for name in governors {
+            let factory = registry.resolve(name)?;
+            for workload in workloads {
+                set.push(
+                    Scenario::builder(workload.clone())
+                        .config(config.clone())
+                        .governor_factory(Arc::clone(&factory))
+                        .build()?,
+                );
+            }
+        }
+        Ok(set)
+    }
+
+    /// Adds one scenario to the set.
+    pub fn push(&mut self, scenario: Scenario) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Designates the governor whose runs serve as the per-workload baseline
+    /// for the [`RunSet`]'s relative deltas.
+    #[must_use]
+    pub fn with_baseline(mut self, governor: &str) -> Self {
+        self.baseline = Some(governor.to_string());
+        self
+    }
+
+    /// The scenarios in the set.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Executes every scenario in the set on `session` and collects the
+    /// structured result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error.
+    pub fn run(&self, session: &mut SimSession) -> SimResult<RunSet> {
+        let records = self
+            .scenarios
+            .iter()
+            .map(|s| session.run(s))
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(RunSet {
+            records,
+            baseline: self.baseline.clone(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunSet
+// ---------------------------------------------------------------------------
+
+/// One `(workload, governor)` cell of a [`RunSet`], with deltas relative to
+/// the designated baseline run of the same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCell {
+    /// Workload name.
+    pub workload: String,
+    /// Governor name.
+    pub governor: String,
+    /// Throughput improvement over the baseline, percent.
+    pub speedup_pct: f64,
+    /// Average-power reduction versus the baseline, percent.
+    pub power_reduction_pct: f64,
+    /// Energy reduction versus the baseline, percent.
+    pub energy_reduction_pct: f64,
+    /// Energy-delay-product improvement versus the baseline, percent.
+    pub edp_improvement_pct: f64,
+    /// Average power of this run, watts.
+    pub average_power_w: f64,
+    /// Average power of the baseline run, watts.
+    pub baseline_power_w: f64,
+}
+
+/// The structured result of a [`ScenarioSet`] execution, keyed by
+/// `(workload, governor)`.
+#[derive(Debug, Clone)]
+pub struct RunSet {
+    records: Vec<RunRecord>,
+    baseline: Option<String>,
+}
+
+impl RunSet {
+    /// Every run in execution order.
+    #[must_use]
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the set holds no runs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The designated baseline governor, if any.
+    #[must_use]
+    pub fn baseline_governor(&self) -> Option<&str> {
+        self.baseline.as_deref()
+    }
+
+    /// The distinct workload names, in first-seen order.
+    #[must_use]
+    pub fn workloads(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.records {
+            if !seen.contains(&r.workload.as_str()) {
+                seen.push(r.workload.as_str());
+            }
+        }
+        seen
+    }
+
+    /// The distinct governor names, in first-seen order.
+    #[must_use]
+    pub fn governors(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.records {
+            if !seen.contains(&r.governor.as_str()) {
+                seen.push(r.governor.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Looks one run up by its `(workload, governor)` key.
+    #[must_use]
+    pub fn get(&self, workload: &str, governor: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.workload == workload && r.governor == governor)
+    }
+
+    /// Like [`RunSet::get`], but a missing cell is an error instead of
+    /// `None` — for callers that know the matrix shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the missing key.
+    pub fn require(&self, workload: &str, governor: &str) -> SimResult<&RunRecord> {
+        self.get(workload, governor).ok_or_else(|| {
+            SimError::invalid_config(format!(
+                "run ({workload}, {governor}) missing from the matrix"
+            ))
+        })
+    }
+
+    /// Like [`RunSet::cell`], but a missing run or baseline is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the missing key.
+    pub fn require_cell(&self, workload: &str, governor: &str) -> SimResult<RunCell> {
+        self.cell(workload, governor).ok_or_else(|| {
+            SimError::invalid_config(format!(
+                "cell ({workload}, {governor}) or its baseline missing from the matrix"
+            ))
+        })
+    }
+
+    /// The baseline run for `workload`.
+    #[must_use]
+    pub fn baseline_for(&self, workload: &str) -> Option<&RunRecord> {
+        self.get(workload, self.baseline.as_deref()?)
+    }
+
+    /// The baseline-relative deltas of one `(workload, governor)` cell.
+    /// `None` when either the run or the workload's baseline run is missing.
+    #[must_use]
+    pub fn cell(&self, workload: &str, governor: &str) -> Option<RunCell> {
+        let run = self.get(workload, governor)?;
+        let baseline = self.baseline_for(workload)?;
+        Some(RunCell {
+            workload: run.workload.clone(),
+            governor: run.governor.clone(),
+            speedup_pct: run.report.speedup_pct_over(&baseline.report),
+            power_reduction_pct: run.report.power_reduction_pct_vs(&baseline.report),
+            energy_reduction_pct: run
+                .report
+                .metrics
+                .energy_reduction_pct_vs(&baseline.report.metrics),
+            edp_improvement_pct: run.report.edp_improvement_pct_vs(&baseline.report),
+            average_power_w: run.report.average_power().as_watts(),
+            baseline_power_w: baseline.report.average_power().as_watts(),
+        })
+    }
+
+    /// All non-baseline cells, in record order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<RunCell> {
+        self.records
+            .iter()
+            .filter(|r| Some(r.governor.as_str()) != self.baseline.as_deref())
+            .filter_map(|r| self.cell(&r.workload, &r.governor))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_workloads::spec_workload;
+
+    #[test]
+    fn builtin_registry_knows_the_papers_policies() {
+        let registry = GovernorRegistry::builtin();
+        for name in [
+            "baseline",
+            "md-dvfs",
+            "md-dvfs-redist",
+            "sysscale",
+            "sysscale-no-redist",
+            "memscale",
+            "memscale-redist",
+            "coscale",
+            "coscale-redist",
+        ] {
+            let factory = registry.resolve(name).unwrap();
+            assert_eq!(factory.name(), name);
+            let _ = factory.build();
+        }
+        assert!(registry.resolve("does-not-exist").is_err());
+        let err = registry.resolve("nope").unwrap_err().to_string();
+        assert!(err.contains("sysscale"), "error lists names: {err}");
+    }
+
+    #[test]
+    fn restricted_governors_run_on_the_memscale_platform() {
+        let registry = GovernorRegistry::builtin();
+        let base = SocConfig::skylake_default();
+        for name in ["memscale", "coscale", "memscale-redist", "coscale-redist"] {
+            let cfg = registry.resolve(name).unwrap().platform(&base);
+            assert!(!cfg.reload_mrc_on_transition, "{name}");
+            assert_eq!(cfg.uncore_ladder.lowest().vsa_scale, 1.0, "{name}");
+        }
+        // Unrestricted policies keep the full platform.
+        let full = registry.resolve("sysscale").unwrap().platform(&base);
+        assert_eq!(full, base);
+    }
+
+    #[test]
+    fn registry_register_replaces_by_name() {
+        let mut registry = GovernorRegistry::builtin();
+        let before = registry.names().len();
+        registry.register(sysscale_factory(DemandPredictor::skylake_default()));
+        assert_eq!(registry.names().len(), before);
+    }
+
+    #[test]
+    fn scenario_builder_defaults_and_overrides() {
+        let w = spec_workload("gamess").unwrap();
+        let s = Scenario::builder(w.clone()).build().unwrap();
+        assert_eq!(s.governor().name(), "baseline");
+        assert_eq!(s.duration(), auto_duration(&w));
+        assert!(!s.traced());
+
+        let s2 = Scenario::builder(w.clone())
+            .governor("sysscale")
+            .duration(SimTime::from_millis(50.0))
+            .trace(true)
+            .build()
+            .unwrap();
+        assert_eq!(s2.governor().name(), "sysscale");
+        assert!((s2.duration().as_millis() - 50.0).abs() < 1e-9);
+        assert!(s2.traced());
+
+        assert!(Scenario::builder(w.clone())
+            .governor("bogus")
+            .build()
+            .is_err());
+        assert!(Scenario::builder(w)
+            .duration(SimTime::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn session_reuses_simulators_per_platform() {
+        let w = spec_workload("hmmer").unwrap();
+        let mut session = SimSession::new();
+        let duration = SimTime::from_millis(60.0);
+        for gov in ["baseline", "sysscale"] {
+            let s = Scenario::builder(w.clone())
+                .governor(gov)
+                .duration(duration)
+                .build()
+                .unwrap();
+            session.run(&s).unwrap();
+        }
+        // baseline + sysscale share the full platform -> one simulator.
+        assert_eq!(session.cached_platforms(), 1);
+        let restricted = Scenario::builder(w)
+            .governor("memscale")
+            .duration(duration)
+            .build()
+            .unwrap();
+        session.run(&restricted).unwrap();
+        assert_eq!(session.cached_platforms(), 2);
+    }
+
+    #[test]
+    fn traced_scenario_returns_slices() {
+        let w = spec_workload("astar").unwrap();
+        let s = Scenario::builder(w)
+            .duration(SimTime::from_millis(80.0))
+            .trace(true)
+            .build()
+            .unwrap();
+        let record = SimSession::new().run(&s).unwrap();
+        let trace = record.trace.expect("trace requested");
+        assert_eq!(trace.len(), 80);
+        let untraced = Scenario::builder(spec_workload("astar").unwrap())
+            .duration(SimTime::from_millis(10.0))
+            .build()
+            .unwrap();
+        assert!(SimSession::new().run(&untraced).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn matrix_runs_every_cell_and_computes_baseline_deltas() {
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let config = SocConfig::skylake_default();
+        let set = ScenarioSet::matrix(&config, &workloads, &["baseline", "md-dvfs"])
+            .unwrap()
+            .with_baseline("baseline");
+        assert_eq!(set.len(), 4);
+        let mut session = SimSession::new();
+        let runs = set.run(&mut session).unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs.workloads().len(), 2);
+        assert_eq!(runs.governors(), vec!["baseline", "md-dvfs"]);
+        // Baseline cell of itself: zero speedup by construction.
+        let self_cell = runs.cell("470.lbm", "baseline").unwrap();
+        assert!(self_cell.speedup_pct.abs() < 1e-9);
+        // md-dvfs hurts the memory-bound workload and saves power.
+        let lbm = runs.cell("470.lbm", "md-dvfs").unwrap();
+        assert!(lbm.speedup_pct < -5.0, "{lbm:?}");
+        assert!(lbm.power_reduction_pct > 3.0, "{lbm:?}");
+        // cells() excludes the baseline column.
+        assert_eq!(runs.cells().len(), 2);
+    }
+}

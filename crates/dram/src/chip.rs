@@ -5,8 +5,6 @@
 //! configuration-register loads happen only while the device is in
 //! self-refresh (steps 4–6). [`DramChip`] enforces that ordering.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
 
 use crate::device::DramModule;
@@ -15,7 +13,7 @@ use crate::power::{DramPowerBreakdown, DramPowerModel};
 use crate::timing::TimingParams;
 
 /// Operational state of the DRAM device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramState {
     /// Normal operation: the device services requests and burns background
     /// power.
@@ -28,7 +26,7 @@ pub enum DramState {
 
 /// The DRAM subsystem: module description, timing, MRC SRAM, power model,
 /// and the mutable frequency / register / refresh state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramChip {
     module: DramModule,
     timing: TimingParams,
@@ -257,10 +255,13 @@ mod tests {
     #[test]
     fn register_load_requires_self_refresh_and_known_bin() {
         let mut chip = DramChip::skylake_lpddr3();
-        assert!(chip.load_optimized_registers(Freq::from_ghz(1.0666)).is_err());
+        assert!(chip
+            .load_optimized_registers(Freq::from_ghz(1.0666))
+            .is_err());
         chip.enter_self_refresh();
         assert!(chip.load_optimized_registers(Freq::from_ghz(1.3)).is_err());
-        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.load_optimized_registers(Freq::from_ghz(1.0666))
+            .unwrap();
         chip.set_frequency(Freq::from_ghz(1.0666)).unwrap();
         chip.exit_self_refresh();
         assert!(chip.registers_optimized());
@@ -283,14 +284,18 @@ mod tests {
 
         // Now reload optimized registers and compare.
         chip.enter_self_refresh();
-        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.load_optimized_registers(Freq::from_ghz(1.0666))
+            .unwrap();
         chip.exit_self_refresh();
         let good_latency = chip.idle_access_latency();
         let good_peak = chip.peak_bandwidth();
 
         assert!(bad_latency > good_latency);
         assert!(bad_peak < good_peak);
-        assert!(good_latency > opt_latency, "lower frequency is still slower");
+        assert!(
+            good_latency > opt_latency,
+            "lower frequency is still slower"
+        );
         assert!(good_peak < opt_peak);
     }
 
@@ -304,7 +309,8 @@ mod tests {
         let mismatched = chip.power(bw, 0.0).total();
 
         chip.enter_self_refresh();
-        chip.load_optimized_registers(Freq::from_ghz(1.0666)).unwrap();
+        chip.load_optimized_registers(Freq::from_ghz(1.0666))
+            .unwrap();
         chip.exit_self_refresh();
         let optimized = chip.power(bw, 0.0).total();
         assert!(mismatched > optimized);
@@ -316,7 +322,7 @@ mod tests {
         chip.enter_self_refresh();
         chip.enter_self_refresh();
         assert_eq!(chip.self_refresh_entries(), 1);
-        assert_eq!(chip.exit_self_refresh() > SimTime::ZERO, true);
+        assert!(chip.exit_self_refresh() > SimTime::ZERO);
         assert_eq!(chip.exit_self_refresh(), SimTime::ZERO);
         chip.enter_self_refresh();
         assert_eq!(chip.self_refresh_entries(), 2);
@@ -328,13 +334,5 @@ mod tests {
         assert_eq!(chip.module().geometry.channels, 2);
         assert!(chip.timing().burst_length > 0);
         assert!(chip.loaded_registers().cas_latency_cycles > 0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let chip = DramChip::skylake_lpddr3();
-        let json = serde_json::to_string(&chip).unwrap();
-        let back: DramChip = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, chip);
     }
 }

@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, SimError, SimResult};
 
 /// DRAM technology generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramKind {
     /// Low-power DDR3, the memory of the evaluated Skylake mobile system
     /// (Table 2: LPDDR3-1600, dual channel, 8 GB).
@@ -71,7 +69,7 @@ impl fmt::Display for DramKind {
 }
 
 /// Physical organization of the memory system attached to the SoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramGeometry {
     /// Number of independent channels (each with its own data bus).
     pub channels: u32,
@@ -112,7 +110,9 @@ impl DramGeometry {
             || self.bus_width_bits == 0
             || self.capacity_gib == 0
         {
-            return Err(SimError::invalid_config("dram geometry fields must be non-zero"));
+            return Err(SimError::invalid_config(
+                "dram geometry fields must be non-zero",
+            ));
         }
         if self.bus_width_bits % 8 != 0 {
             return Err(SimError::invalid_config(
@@ -130,7 +130,7 @@ impl DramGeometry {
 }
 
 /// A DRAM module (kind + geometry) as seen by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramModule {
     /// Technology generation.
     pub kind: DramKind,
@@ -247,9 +247,18 @@ mod tests {
         assert!(module.supports_frequency(Freq::from_ghz(1.6)));
         assert!(module.supports_frequency(Freq::from_ghz(1.0666)));
         assert!(!module.supports_frequency(Freq::from_ghz(1.3)));
-        assert_eq!(module.bin_at_or_below(Freq::from_ghz(1.3)), Freq::from_ghz(1.0666));
-        assert_eq!(module.bin_at_or_below(Freq::from_ghz(0.5)), Freq::from_ghz(0.8));
-        assert_eq!(module.bin_at_or_below(Freq::from_ghz(1.6)), Freq::from_ghz(1.6));
+        assert_eq!(
+            module.bin_at_or_below(Freq::from_ghz(1.3)),
+            Freq::from_ghz(1.0666)
+        );
+        assert_eq!(
+            module.bin_at_or_below(Freq::from_ghz(0.5)),
+            Freq::from_ghz(0.8)
+        );
+        assert_eq!(
+            module.bin_at_or_below(Freq::from_ghz(1.6)),
+            Freq::from_ghz(1.6)
+        );
     }
 
     #[test]
@@ -271,13 +280,5 @@ mod tests {
     fn display_names() {
         assert_eq!(DramKind::Lpddr3.to_string(), "LPDDR3");
         assert_eq!(DramKind::Ddr4.to_string(), "DDR4");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = DramModule::skylake_lpddr3();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: DramModule = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
     }
 }

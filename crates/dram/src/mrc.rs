@@ -11,15 +11,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Freq, SimError, SimResult};
 
 use crate::device::DramKind;
 use crate::timing::TimingParams;
 
 /// One trained configuration-register set for a specific DRAM frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MrcRegisterSet {
     /// The DRAM data frequency this set was trained for.
     pub trained_for: Freq,
@@ -89,7 +87,7 @@ impl MrcRegisterSet {
 /// The defaults reproduce the shape of Fig. 4: for a memory-bandwidth-bound
 /// microbenchmark, unoptimized values cost ~10 % performance and ~22 %
 /// average power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MrcMismatchPenalty {
     /// Multiplier on effective DRAM access latency (> 1.0): conservative
     /// (slower-frequency) timings are applied and the interface must insert
@@ -138,7 +136,9 @@ impl MrcMismatchPenalty {
             ));
         }
         if self.bandwidth_derate <= 0.0 {
-            return Err(SimError::invalid_config("bandwidth derate must be positive"));
+            return Err(SimError::invalid_config(
+                "bandwidth derate must be positive",
+            ));
         }
         Ok(())
     }
@@ -146,7 +146,7 @@ impl MrcMismatchPenalty {
 
 /// The on-chip SRAM holding one optimized [`MrcRegisterSet`] per supported
 /// frequency bin (Sec. 5: ≈0.5 KB, <0.006 % of Skylake's die area).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MrcSram {
     kind: DramKind,
     sets: BTreeMap<u64, MrcRegisterSet>,
@@ -230,7 +230,11 @@ mod tests {
         assert!(!sram.is_empty());
         assert_eq!(sram.kind(), DramKind::Lpddr3);
         // Sec. 5: approximately 0.5 KB of SRAM is enough.
-        assert!(sram.size_bytes() <= 512, "footprint {} B", sram.size_bytes());
+        assert!(
+            sram.size_bytes() <= 512,
+            "footprint {} B",
+            sram.size_bytes()
+        );
         for bin in DramKind::Lpddr3.frequency_bins() {
             let set = sram.lookup(bin).unwrap();
             assert!(set.matches(bin));
@@ -257,22 +261,20 @@ mod tests {
 
     #[test]
     fn mismatch_penalty_validation_rejects_improvements() {
-        let mut p = MrcMismatchPenalty::default();
-        p.latency_factor = 0.9;
+        let p = MrcMismatchPenalty {
+            latency_factor: 0.9,
+            ..MrcMismatchPenalty::default()
+        };
         assert!(p.validate().is_err());
-        let mut q = MrcMismatchPenalty::default();
-        q.bandwidth_derate = 1.1;
+        let q = MrcMismatchPenalty {
+            bandwidth_derate: 1.1,
+            ..MrcMismatchPenalty::default()
+        };
         assert!(q.validate().is_err());
-        let mut r = MrcMismatchPenalty::default();
-        r.bandwidth_derate = 0.0;
+        let r = MrcMismatchPenalty {
+            bandwidth_derate: 0.0,
+            ..MrcMismatchPenalty::default()
+        };
         assert!(r.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let sram = MrcSram::train_all(DramKind::Ddr4);
-        let json = serde_json::to_string(&sram).unwrap();
-        let back: MrcSram = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, sram);
     }
 }

@@ -10,15 +10,13 @@
 //!   transfer takes longer at a roughly constant interface power),
 //! * termination power otherwise tracks interface utilization, not frequency.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, Power};
 
 use crate::device::DramKind;
 use crate::mrc::MrcMismatchPenalty;
 
 /// Calibration constants of the DRAM power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramPowerParams {
     /// Reference DDR data frequency the per-byte energies are quoted at.
     pub nominal_freq: Freq,
@@ -89,7 +87,7 @@ impl DramPowerParams {
 }
 
 /// Per-category breakdown of DRAM power for one evaluation window.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DramPowerBreakdown {
     /// Background (standby + maintenance) power.
     pub background: Power,
@@ -118,7 +116,7 @@ impl DramPowerBreakdown {
 }
 
 /// The DRAM power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramPowerModel {
     params: DramPowerParams,
 }
@@ -182,7 +180,11 @@ impl DramPowerModel {
         };
         let array = Power::from_watts(bytes_per_sec * p.array_pj_per_byte * 1e-12);
         let io = Power::from_watts(
-            bytes_per_sec * p.io_pj_per_byte_nominal * freq_stretch * 1e-12 * penalty.io_power_factor,
+            bytes_per_sec
+                * p.io_pj_per_byte_nominal
+                * freq_stretch
+                * 1e-12
+                * penalty.io_power_factor,
         );
         let termination = Power::from_watts(
             bytes_per_sec
@@ -246,9 +248,7 @@ mod tests {
         assert!(busy.total() > idle.total());
         // Doubling bandwidth doubles operation power.
         let busier = m.power(Freq::from_ghz(1.6), Bandwidth::from_gib_s(20.0), 0.0, &none);
-        assert!(
-            (busier.operation().as_watts() / busy.operation().as_watts() - 2.0).abs() < 1e-9
-        );
+        assert!((busier.operation().as_watts() / busy.operation().as_watts() - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -328,13 +328,5 @@ mod tests {
         assert!(d4.nominal_freq > lp.nominal_freq);
         assert_ne!(lp, d4);
         assert_eq!(DramPowerParams::for_kind(DramKind::Ddr4), d4);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = model();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: DramPowerModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
     }
 }

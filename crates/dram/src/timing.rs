@@ -6,15 +6,13 @@
 //! *cycle* counts change with frequency — exactly the values the MRC must
 //! rewrite when the DVFS flow switches bins.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Freq, SimTime};
 
 use crate::device::DramKind;
 
 /// JEDEC-style timing parameters for one device kind, expressed in
 /// nanoseconds (frequency independent) plus the burst length in transfers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingParams {
     /// CAS latency: column access to first data.
     pub t_cl_ns: f64,
@@ -172,13 +170,5 @@ mod tests {
         // device tXSR is far below that.
         let t = TimingParams::lpddr3();
         assert!(t.self_refresh_exit() < SimTime::from_micros(5.0));
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let t = TimingParams::ddr4();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: TimingParams = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, t);
     }
 }

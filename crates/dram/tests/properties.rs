@@ -1,118 +1,156 @@
-//! Property-based tests for the DRAM model invariants.
+//! Randomized invariant tests for the DRAM model, sampled deterministically
+//! with [`SplitMix64`] (no external property-testing dependency).
 
-use proptest::prelude::*;
-
-use sysscale_dram::{DramChip, DramKind, DramModule, DramPowerModel, MrcMismatchPenalty, TimingParams};
+use sysscale_dram::{
+    DramChip, DramKind, DramModule, DramPowerModel, MrcMismatchPenalty, TimingParams,
+};
+use sysscale_types::rng::SplitMix64;
 use sysscale_types::{Bandwidth, Freq, Power};
 
-fn arb_kind() -> impl Strategy<Value = DramKind> {
-    prop_oneof![Just(DramKind::Lpddr3), Just(DramKind::Ddr4)]
+const CASES: usize = 200;
+
+fn sample_kind(rng: &mut SplitMix64) -> DramKind {
+    if rng.gen_bool(0.5) {
+        DramKind::Lpddr3
+    } else {
+        DramKind::Ddr4
+    }
 }
 
-proptest! {
-    /// DRAM power is monotonically non-decreasing in consumed bandwidth.
-    #[test]
-    fn power_monotonic_in_bandwidth(
-        kind in arb_kind(),
-        bw_lo in 0.0f64..20.0,
-        bw_delta in 0.0f64..10.0,
-        sr in 0.0f64..1.0,
-    ) {
+/// DRAM power is monotonically non-decreasing in consumed bandwidth.
+#[test]
+fn power_monotonic_in_bandwidth() {
+    let mut rng = SplitMix64::new(0xD0_01);
+    for _ in 0..CASES {
+        let kind = sample_kind(&mut rng);
+        let bw_lo = rng.gen_range(0.0, 20.0);
+        let bw_delta = rng.gen_range(0.0, 10.0);
+        let sr = rng.gen_range(0.0, 1.0);
         let model = DramPowerModel::for_kind(kind);
         let freq = kind.default_bin();
         let none = MrcMismatchPenalty::none();
-        let lo = model.power(freq, Bandwidth::from_gib_s(bw_lo), sr, &none).total();
-        let hi = model.power(freq, Bandwidth::from_gib_s(bw_lo + bw_delta), sr, &none).total();
-        prop_assert!(hi.as_watts() >= lo.as_watts() - 1e-12);
+        let lo = model
+            .power(freq, Bandwidth::from_gib_s(bw_lo), sr, &none)
+            .total();
+        let hi = model
+            .power(freq, Bandwidth::from_gib_s(bw_lo + bw_delta), sr, &none)
+            .total();
+        assert!(hi.as_watts() >= lo.as_watts() - 1e-12);
     }
+}
 
-    /// Background power is monotonically non-decreasing in frequency across
-    /// the supported bins (at zero bandwidth, total power only contains
-    /// background + refresh).
-    #[test]
-    fn idle_power_monotonic_in_frequency(kind in arb_kind(), sr in 0.0f64..1.0) {
+/// Background power is monotonically non-decreasing in frequency across the
+/// supported bins (at zero bandwidth, total power only contains background +
+/// refresh).
+#[test]
+fn idle_power_monotonic_in_frequency() {
+    let mut rng = SplitMix64::new(0xD0_02);
+    for _ in 0..CASES {
+        let kind = sample_kind(&mut rng);
+        let sr = rng.gen_range(0.0, 1.0);
         let model = DramPowerModel::for_kind(kind);
         let none = MrcMismatchPenalty::none();
-        let bins = kind.frequency_bins();
-        for pair in bins.windows(2) {
+        for pair in kind.frequency_bins().windows(2) {
             let lo = model.power(pair[0], Bandwidth::ZERO, sr, &none).total();
             let hi = model.power(pair[1], Bandwidth::ZERO, sr, &none).total();
-            prop_assert!(hi.as_watts() >= lo.as_watts() - 1e-12);
+            assert!(hi.as_watts() >= lo.as_watts() - 1e-12);
         }
     }
+}
 
-    /// More self-refresh residency never increases power.
-    #[test]
-    fn power_monotonic_in_self_refresh(
-        kind in arb_kind(),
-        sr_lo in 0.0f64..1.0,
-        sr_delta in 0.0f64..1.0,
-    ) {
-        let sr_hi = (sr_lo + sr_delta).min(1.0);
+/// More self-refresh residency never increases power.
+#[test]
+fn power_monotonic_in_self_refresh() {
+    let mut rng = SplitMix64::new(0xD0_03);
+    for _ in 0..CASES {
+        let kind = sample_kind(&mut rng);
+        let sr_lo = rng.gen_range(0.0, 1.0);
+        let sr_hi = (sr_lo + rng.gen_range(0.0, 1.0)).min(1.0);
         let model = DramPowerModel::for_kind(kind);
         let freq = kind.default_bin();
         let none = MrcMismatchPenalty::none();
         let more_active = model.power(freq, Bandwidth::ZERO, sr_lo, &none).total();
         let more_sr = model.power(freq, Bandwidth::ZERO, sr_hi, &none).total();
-        prop_assert!(more_sr.as_watts() <= more_active.as_watts() + 1e-12);
+        assert!(more_sr.as_watts() <= more_active.as_watts() + 1e-12);
     }
+}
 
-    /// MRC mismatch never *reduces* power or *improves* latency/bandwidth.
-    #[test]
-    fn mismatch_is_never_beneficial(kind in arb_kind(), bw in 0.0f64..25.0) {
+/// MRC mismatch never *reduces* power or *improves* latency/bandwidth.
+#[test]
+fn mismatch_is_never_beneficial() {
+    let mut rng = SplitMix64::new(0xD0_04);
+    for _ in 0..CASES {
+        let kind = sample_kind(&mut rng);
+        let bw = rng.gen_range(0.0, 25.0);
         let model = DramPowerModel::for_kind(kind);
         let freq = kind.frequency_bins()[0];
-        let good = model.power(freq, Bandwidth::from_gib_s(bw), 0.0, &MrcMismatchPenalty::none());
-        let bad = model.power(freq, Bandwidth::from_gib_s(bw), 0.0, &MrcMismatchPenalty::default());
-        prop_assert!(bad.total().as_watts() >= good.total().as_watts() - 1e-15);
+        let good = model.power(
+            freq,
+            Bandwidth::from_gib_s(bw),
+            0.0,
+            &MrcMismatchPenalty::none(),
+        );
+        let bad = model.power(
+            freq,
+            Bandwidth::from_gib_s(bw),
+            0.0,
+            &MrcMismatchPenalty::default(),
+        );
+        assert!(bad.total().as_watts() >= good.total().as_watts() - 1e-15);
     }
+}
 
-    /// Peak bandwidth is strictly increasing across frequency bins and the
-    /// idle access latency is strictly decreasing.
-    #[test]
-    fn bins_order_bandwidth_and_latency(kind in arb_kind()) {
+/// Peak bandwidth is strictly increasing across frequency bins and the idle
+/// access latency is strictly decreasing.
+#[test]
+fn bins_order_bandwidth_and_latency() {
+    for kind in [DramKind::Lpddr3, DramKind::Ddr4] {
         let module = match kind {
             DramKind::Lpddr3 => DramModule::skylake_lpddr3(),
             DramKind::Ddr4 => DramModule::ddr4_variant(),
         };
         let timing = TimingParams::for_kind(kind);
-        let bins = kind.frequency_bins();
-        for pair in bins.windows(2) {
-            prop_assert!(module.peak_bandwidth(pair[1]) > module.peak_bandwidth(pair[0]));
-            prop_assert!(timing.idle_access_latency(pair[1]) < timing.idle_access_latency(pair[0]));
+        for pair in kind.frequency_bins().windows(2) {
+            assert!(module.peak_bandwidth(pair[1]) > module.peak_bandwidth(pair[0]));
+            assert!(timing.idle_access_latency(pair[1]) < timing.idle_access_latency(pair[0]));
         }
     }
+}
 
-    /// The chip's DVFS sequencing invariant: after a legal Fig. 5 sequence
-    /// the chip is active, at the requested bin, with optimized registers,
-    /// and its power at any bandwidth is finite and positive.
-    #[test]
-    fn legal_transition_sequences_preserve_invariants(
-        target_idx in 0usize..3,
-        bw in 0.0f64..25.0,
-    ) {
-        let mut chip = DramChip::skylake_lpddr3();
+/// The chip's DVFS sequencing invariant: after a legal Fig. 5 sequence the
+/// chip is active, at the requested bin, with optimized registers, and its
+/// power at any bandwidth is finite and positive.
+#[test]
+fn legal_transition_sequences_preserve_invariants() {
+    let mut rng = SplitMix64::new(0xD0_05);
+    for _ in 0..CASES {
         let bins = DramKind::Lpddr3.frequency_bins();
-        let target = bins[target_idx.min(bins.len() - 1)];
+        let target = bins[(rng.next_u64() as usize % 3).min(bins.len() - 1)];
+        let bw = rng.gen_range(0.0, 25.0);
+        let mut chip = DramChip::skylake_lpddr3();
         chip.enter_self_refresh();
         chip.load_optimized_registers(target).unwrap();
         chip.set_frequency(target).unwrap();
         chip.exit_self_refresh();
-        prop_assert!(chip.registers_optimized());
-        prop_assert!((chip.frequency().as_mhz() - target.as_mhz()).abs() < 1.0);
+        assert!(chip.registers_optimized());
+        assert!((chip.frequency().as_mhz() - target.as_mhz()).abs() < 1.0);
         let p = chip.power(Bandwidth::from_gib_s(bw), 0.0).total();
-        prop_assert!(p > Power::ZERO);
-        prop_assert!(p.as_watts().is_finite());
+        assert!(p > Power::ZERO);
+        assert!(p.as_watts().is_finite());
     }
+}
 
-    /// Frequency changes outside self-refresh are always rejected and leave
-    /// the chip untouched.
-    #[test]
-    fn illegal_frequency_change_is_rejected(ghz in 0.5f64..2.5) {
+/// Frequency changes outside self-refresh are always rejected and leave the
+/// chip untouched.
+#[test]
+fn illegal_frequency_change_is_rejected() {
+    let mut rng = SplitMix64::new(0xD0_06);
+    for _ in 0..CASES {
+        let ghz = rng.gen_range(0.5, 2.5);
         let mut chip = DramChip::skylake_lpddr3();
         let before = chip.frequency();
         let result = chip.set_frequency(Freq::from_ghz(ghz));
-        prop_assert!(result.is_err());
-        prop_assert_eq!(chip.frequency(), before);
+        assert!(result.is_err());
+        assert_eq!(chip.frequency(), before);
     }
 }

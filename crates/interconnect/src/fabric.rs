@@ -7,12 +7,10 @@
 //! drain* so that a frequency change can happen with no requests in flight
 //! (Fig. 5 step 3, Sec. 5 requirement (1)).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Freq, SimError, SimResult, SimTime};
 
 /// Operational state of the interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FabricState {
     /// Normal operation: requests flow.
     Running,
@@ -22,7 +20,7 @@ pub enum FabricState {
 }
 
 /// Configuration of the IO interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricParams {
     /// Data-path width in bytes transferred per fabric clock cycle.
     pub bytes_per_cycle: f64,
@@ -64,20 +62,26 @@ impl FabricParams {
             return Err(SimError::invalid_config("fabric width must be positive"));
         }
         if !(0.0..=1.0).contains(&self.efficiency) || self.efficiency == 0.0 {
-            return Err(SimError::invalid_config("fabric efficiency must be in (0, 1]"));
+            return Err(SimError::invalid_config(
+                "fabric efficiency must be in (0, 1]",
+            ));
         }
         if self.base_latency_cycles <= 0.0 || self.max_latency_factor < 1.0 {
-            return Err(SimError::invalid_config("fabric latency parameters out of range"));
+            return Err(SimError::invalid_config(
+                "fabric latency parameters out of range",
+            ));
         }
         if self.request_buffer_entries == 0 {
-            return Err(SimError::invalid_config("request buffer must hold at least one entry"));
+            return Err(SimError::invalid_config(
+                "request buffer must hold at least one entry",
+            ));
         }
         Ok(())
     }
 }
 
 /// Result of pushing one slice of IO traffic through the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricOutcome {
     /// Bandwidth actually carried towards the memory controller.
     pub carried: Bandwidth,
@@ -91,7 +95,7 @@ pub struct FabricOutcome {
 }
 
 /// The IO interconnect model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IoInterconnect {
     params: FabricParams,
     freq: Freq,
@@ -109,7 +113,9 @@ impl IoInterconnect {
     pub fn new(params: FabricParams, freq: Freq) -> SimResult<Self> {
         params.validate()?;
         if freq.is_zero() {
-            return Err(SimError::invalid_config("fabric frequency must be non-zero"));
+            return Err(SimError::invalid_config(
+                "fabric frequency must be non-zero",
+            ));
         }
         Ok(Self {
             params,
@@ -190,7 +196,9 @@ impl IoInterconnect {
             ));
         }
         if freq.is_zero() {
-            return Err(SimError::invalid_config("fabric frequency must be non-zero"));
+            return Err(SimError::invalid_config(
+                "fabric frequency must be non-zero",
+            ));
         }
         self.freq = freq;
         Ok(())
@@ -265,7 +273,10 @@ mod tests {
         assert!(fabric.set_frequency(Freq::from_ghz(0.4)).is_err());
         let drain = fabric.block_and_drain();
         assert!(drain > SimTime::ZERO);
-        assert!(drain < SimTime::from_micros(1.0), "drain within Sec. 5 budget");
+        assert!(
+            drain < SimTime::from_micros(1.0),
+            "drain within Sec. 5 budget"
+        );
         assert_eq!(fabric.state(), FabricState::Blocked);
         // Second drain is free.
         assert_eq!(fabric.block_and_drain(), SimTime::ZERO);
@@ -314,20 +325,16 @@ mod tests {
         assert!(p.validate().is_ok());
         p.efficiency = 0.0;
         assert!(IoInterconnect::new(p, Freq::from_ghz(0.8)).is_err());
-        let mut q = FabricParams::default();
-        q.bytes_per_cycle = -1.0;
+        let q = FabricParams {
+            bytes_per_cycle: -1.0,
+            ..FabricParams::default()
+        };
         assert!(q.validate().is_err());
-        let mut r = FabricParams::default();
-        r.request_buffer_entries = 0;
+        let r = FabricParams {
+            request_buffer_entries: 0,
+            ..FabricParams::default()
+        };
         assert!(r.validate().is_err());
         assert!(IoInterconnect::new(FabricParams::default(), Freq::ZERO).is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let fabric = IoInterconnect::skylake_default();
-        let json = serde_json::to_string(&fabric).unwrap();
-        let back: IoInterconnect = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, fabric);
     }
 }

@@ -1,12 +1,10 @@
 //! Power model of the IO interconnect and the miscellaneous IO
 //! engines/controllers that share the `V_SA` rail.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Freq, Power, Voltage};
 
 /// Calibration constants for the interconnect power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterconnectPowerParams {
     /// Reference fabric frequency.
     pub nominal_freq: Freq,
@@ -38,7 +36,7 @@ impl Default for InterconnectPowerParams {
 }
 
 /// Power model of the IO interconnect (on `V_SA`).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct InterconnectPowerModel {
     params: InterconnectPowerParams,
 }
@@ -112,13 +110,5 @@ mod tests {
         let v = Voltage::from_mv(800.0);
         assert_eq!(m.power(f, v, 1.7), m.power(f, v, 1.0));
         assert_eq!(m.power(f, v, -0.3), m.power(f, v, 0.0));
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = InterconnectPowerModel::default();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: InterconnectPowerModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
     }
 }

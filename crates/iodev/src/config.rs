@@ -6,8 +6,6 @@
 //! configuration up in a firmware table of deterministic bandwidth demands.
 //! [`PeripheralConfig`] is that CSR snapshot.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Power, Voltage};
 
 use crate::display::DisplayController;
@@ -16,7 +14,7 @@ use crate::isp::IspEngine;
 /// Miscellaneous best-effort IO activity level (storage, USB, network,
 /// audio). Modelled as a coarse CSR-visible level because the paper's IO
 /// demand prediction only needs its bandwidth contribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IoActivity {
     /// No best-effort IO.
     #[default]
@@ -50,7 +48,7 @@ impl IoActivity {
 }
 
 /// The CSR-visible peripheral configuration of the platform.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PeripheralConfig {
     /// Display controller and its attached panels.
     pub display: DisplayController,
@@ -131,8 +129,9 @@ mod tests {
         cfg.isp.set_mode(IspMode::Capture1080p30);
         cfg.io_activity = IoActivity::Light;
         let total = cfg.static_demand();
-        let expected =
-            cfg.display.bandwidth_demand() + cfg.isp.bandwidth_demand() + IoActivity::Light.bandwidth_demand();
+        let expected = cfg.display.bandwidth_demand()
+            + cfg.isp.bandwidth_demand()
+            + IoActivity::Light.bandwidth_demand();
         assert!((total.as_bytes_per_sec() - expected.as_bytes_per_sec()).abs() < 1.0);
         assert!(cfg.isochronous_demand() < total);
     }
@@ -156,14 +155,5 @@ mod tests {
         cfg.isp.set_mode(IspMode::Capture4k30);
         cfg.io_activity = IoActivity::Heavy;
         assert!(cfg.engine_power(Voltage::from_mv(800.0)) > base);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut cfg = PeripheralConfig::single_hd_display();
-        cfg.io_activity = IoActivity::Heavy;
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: PeripheralConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, cfg);
     }
 }

@@ -11,15 +11,13 @@
 //! the 25.6 GB/s dual-channel LPDDR3 peak while a single 4K panel consumes
 //! ≈70 %; the default composition factor below reproduces those fractions.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Power, SimError, SimResult, Voltage};
 
 /// Maximum number of display panels a mobile SoC drives (Sec. 4.2).
 pub const MAX_PANELS: usize = 3;
 
 /// Display panel resolution classes used in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resolution {
     /// 1366×768 ("HD", typical laptop panel of the era).
     Hd,
@@ -53,7 +51,7 @@ impl Resolution {
 }
 
 /// One active display panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisplayPanel {
     /// Panel resolution.
     pub resolution: Resolution,
@@ -73,7 +71,7 @@ impl DisplayPanel {
 }
 
 /// Calibration parameters of the display-engine model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisplayParams {
     /// Bytes per pixel of the scan-out surface (ARGB8888).
     pub bytes_per_pixel: f64,
@@ -102,7 +100,7 @@ impl Default for DisplayParams {
 }
 
 /// The display controller with its attached panels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DisplayController {
     params: DisplayParams,
     panels: Vec<DisplayPanel>,
@@ -149,7 +147,9 @@ impl DisplayController {
             )));
         }
         if panel.refresh_hz <= 0.0 {
-            return Err(SimError::invalid_config("panel refresh rate must be positive"));
+            return Err(SimError::invalid_config(
+                "panel refresh rate must be positive",
+            ));
         }
         self.panels.push(panel);
         Ok(())
@@ -238,10 +238,13 @@ mod tests {
         // Sec. 4.2: three identical panels demand nearly three times the
         // bandwidth of one.
         let mut one = DisplayController::default();
-        one.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+        one.attach(DisplayPanel::at_60hz(Resolution::FullHd))
+            .unwrap();
         let mut three = DisplayController::default();
         for _ in 0..3 {
-            three.attach(DisplayPanel::at_60hz(Resolution::FullHd)).unwrap();
+            three
+                .attach(DisplayPanel::at_60hz(Resolution::FullHd))
+                .unwrap();
         }
         let ratio = three.bandwidth_demand() / one.bandwidth_demand();
         assert!((ratio - 3.0).abs() < 1e-9);
@@ -290,13 +293,5 @@ mod tests {
         assert!(Resolution::Uhd4k.pixels() > Resolution::Qhd.pixels());
         assert!(Resolution::Qhd.pixels() > Resolution::FullHd.pixels());
         assert!(Resolution::FullHd.pixels() > Resolution::Hd.pixels());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let c = DisplayController::single_hd();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: DisplayController = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
     }
 }

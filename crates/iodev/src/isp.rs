@@ -5,12 +5,10 @@
 //! resolution and frame rate), which makes it part of the *static* demand
 //! estimation of Sec. 4.2.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, Power, Voltage};
 
 /// Camera capture mode driving the ISP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IspMode {
     /// Camera off (engine power-gated).
     #[default]
@@ -40,7 +38,7 @@ impl IspMode {
 }
 
 /// Calibration parameters of the ISP model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IspParams {
     /// Bytes per pixel of the raw sensor stream.
     pub bytes_per_pixel: f64,
@@ -63,7 +61,7 @@ impl Default for IspParams {
 }
 
 /// The ISP engine.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct IspEngine {
     params: IspParams,
     mode: IspMode,
@@ -161,14 +159,5 @@ mod tests {
         let mut isp = IspEngine::default();
         isp.set_mode(IspMode::Capture1080p30);
         assert!(isp.power(Voltage::from_mv(640.0)) < isp.power(Voltage::from_mv(800.0)));
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut isp = IspEngine::default();
-        isp.set_mode(IspMode::Capture1080p60);
-        let json = serde_json::to_string(&isp).unwrap();
-        let back: IspEngine = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, isp);
     }
 }

@@ -10,14 +10,12 @@
 //! frequency "increases the queuing delays at the memory controller"
 //! (Sec. 2.4).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Bandwidth, SimError, SimResult, SimTime};
 
 use crate::traffic::{ServedTraffic, TrafficDemand};
 
 /// Tunable parameters of the service model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryControllerParams {
     /// Fraction of the theoretical peak bandwidth achievable by real request
     /// streams (bank conflicts, read/write turnarounds, refresh). Typical
@@ -55,10 +53,14 @@ impl MemoryControllerParams {
             return Err(SimError::invalid_config("bus efficiency must be in (0, 1]"));
         }
         if self.queuing_strength < 0.0 {
-            return Err(SimError::invalid_config("queuing strength must be non-negative"));
+            return Err(SimError::invalid_config(
+                "queuing strength must be non-negative",
+            ));
         }
         if self.max_latency_factor < 1.0 {
-            return Err(SimError::invalid_config("max latency factor must be at least 1"));
+            return Err(SimError::invalid_config(
+                "max latency factor must be at least 1",
+            ));
         }
         if self.read_pending_queue_depth == 0 {
             return Err(SimError::invalid_config("rpq depth must be non-zero"));
@@ -68,7 +70,7 @@ impl MemoryControllerParams {
 }
 
 /// Outcome of serving one slice of traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceOutcome {
     /// Bandwidth served per class.
     pub served: ServedTraffic,
@@ -101,7 +103,7 @@ impl ServiceOutcome {
 }
 
 /// The memory-controller service model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryController {
     params: MemoryControllerParams,
 }
@@ -308,8 +310,7 @@ mod tests {
         });
         assert!(busy.rpq_occupancy > 1.0);
         assert!(
-            busy.rpq_occupancy
-                <= MemoryControllerParams::default().read_pending_queue_depth as f64
+            busy.rpq_occupancy <= MemoryControllerParams::default().read_pending_queue_depth as f64
         );
     }
 
@@ -344,13 +345,5 @@ mod tests {
         p.read_pending_queue_depth = 16;
         p.queuing_strength = -1.0;
         assert!(MemoryController::new(p).is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let c = controller();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: MemoryController = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
     }
 }

@@ -9,12 +9,10 @@
 //!   utilization-dependent activity factor; DDRIO-analog draws from `VDDQ`
 //!   (fixed voltage) and scales with frequency and utilization only.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Freq, Power, Voltage};
 
 /// Calibration constants for the memory-controller power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemCtrlPowerParams {
     /// Reference frequency for the dynamic-power coefficient.
     pub nominal_freq: Freq,
@@ -43,7 +41,7 @@ impl Default for MemCtrlPowerParams {
 }
 
 /// Memory-controller power model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MemCtrlPowerModel {
     params: MemCtrlPowerParams,
 }
@@ -77,7 +75,7 @@ impl MemCtrlPowerModel {
 }
 
 /// Calibration constants for the DDRIO power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdrIoPowerParams {
     /// Reference DDR data frequency.
     pub nominal_freq: Freq,
@@ -107,7 +105,7 @@ impl Default for DdrIoPowerParams {
 }
 
 /// Breakdown of DDRIO power across its two rails.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DdrIoPower {
     /// Digital PHY power, drawn from `V_IO`.
     pub digital: Power,
@@ -124,7 +122,7 @@ impl DdrIoPower {
 }
 
 /// DDRIO power model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DdrIoPowerModel {
     params: DdrIoPowerParams,
 }
@@ -191,7 +189,10 @@ mod tests {
             (scaled.as_watts() - leak_lo) / (nominal.as_watts() - leak_hi)
         };
         let expected = (0.533f64 / 0.8) * (0.64f64 / 0.8).powi(2);
-        assert!((dynamic_ratio - expected).abs() < 0.01, "ratio {dynamic_ratio} vs {expected}");
+        assert!(
+            (dynamic_ratio - expected).abs() < 0.01,
+            "ratio {dynamic_ratio} vs {expected}"
+        );
         assert!(scaled < nominal);
     }
 
@@ -251,27 +252,12 @@ mod tests {
     fn combined_uncore_memory_power_is_in_expected_range() {
         // Sanity check against the 4.5 W TDP budget: MC + DDRIO at the high
         // operating point and moderate load should be a few hundred mW.
-        let mc = MemCtrlPowerModel::default().power(
-            Freq::from_ghz(0.8),
-            Voltage::from_mv(800.0),
-            0.4,
-        );
+        let mc =
+            MemCtrlPowerModel::default().power(Freq::from_ghz(0.8), Voltage::from_mv(800.0), 0.4);
         let io = DdrIoPowerModel::default()
             .power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), 0.4, 1.0)
             .total();
         let total = (mc + io).as_watts();
         assert!(total > 0.2 && total < 0.8, "uncore memory power {total} W");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = MemCtrlPowerModel::default();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: MemCtrlPowerModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
-        let d = DdrIoPowerModel::default();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DdrIoPowerModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, d);
     }
 }

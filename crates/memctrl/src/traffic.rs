@@ -5,12 +5,10 @@
 //! isochronous IO traffic (display refresh, camera/ISP streaming — traffic
 //! with hard QoS deadlines, Sec. 1), and best-effort IO traffic.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::Bandwidth;
 
 /// Per-class main-memory bandwidth demand for one slice.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TrafficDemand {
     /// Demand from CPU-core LLC misses.
     pub cpu: Bandwidth,
@@ -58,7 +56,7 @@ impl TrafficDemand {
 }
 
 /// Per-class bandwidth actually served in a slice.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServedTraffic {
     /// Served CPU-core bandwidth.
     pub cpu: Bandwidth,
@@ -117,16 +115,5 @@ mod tests {
             io: Bandwidth::from_gib_s(1.0),
         };
         assert!((s.total().as_gib_s() - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let d = TrafficDemand {
-            cpu: Bandwidth::from_gib_s(3.0),
-            ..TrafficDemand::IDLE
-        };
-        let json = serde_json::to_string(&d).unwrap();
-        let back: TrafficDemand = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, d);
     }
 }

@@ -1,83 +1,117 @@
-//! Property-based tests for the memory-controller service and power models.
+//! Randomized invariant tests for the memory-controller service and power
+//! models, sampled deterministically with [`SplitMix64`] (no external
+//! property-testing dependency).
 
-use proptest::prelude::*;
-
-use sysscale_memctrl::{
-    DdrIoPowerModel, MemCtrlPowerModel, MemoryController, TrafficDemand,
-};
+use sysscale_memctrl::{DdrIoPowerModel, MemCtrlPowerModel, MemoryController, TrafficDemand};
+use sysscale_types::rng::SplitMix64;
 use sysscale_types::{Bandwidth, Freq, SimTime, Voltage};
 
-fn arb_demand() -> impl Strategy<Value = TrafficDemand> {
-    (0.0f64..20.0, 0.0f64..15.0, 0.0f64..18.0, 0.0f64..3.0).prop_map(|(cpu, gfx, iso, io)| {
-        TrafficDemand {
-            cpu: Bandwidth::from_gib_s(cpu),
-            gfx: Bandwidth::from_gib_s(gfx),
-            isochronous: Bandwidth::from_gib_s(iso),
-            io: Bandwidth::from_gib_s(io),
-        }
-    })
+const CASES: usize = 200;
+
+fn sample_demand(rng: &mut SplitMix64) -> TrafficDemand {
+    TrafficDemand {
+        cpu: Bandwidth::from_gib_s(rng.gen_range(0.0, 20.0)),
+        gfx: Bandwidth::from_gib_s(rng.gen_range(0.0, 15.0)),
+        isochronous: Bandwidth::from_gib_s(rng.gen_range(0.0, 18.0)),
+        io: Bandwidth::from_gib_s(rng.gen_range(0.0, 3.0)),
+    }
 }
 
-proptest! {
-    /// Served bandwidth never exceeds demand (per class) nor the sustainable
-    /// bus capacity (in total), and latency never drops below the unloaded
-    /// DRAM latency.
-    #[test]
-    fn service_conservation(demand in arb_demand(), peak_gib in 5.0f64..30.0, idle_ns in 20.0f64..80.0) {
-        let mc = MemoryController::default();
-        let peak = Bandwidth::from_gib_s(peak_gib);
-        let idle = SimTime::from_nanos(idle_ns);
+/// Served bandwidth never exceeds demand (per class) nor the sustainable bus
+/// capacity (in total), and latency never drops below the unloaded DRAM
+/// latency.
+#[test]
+fn service_conservation() {
+    let mc = MemoryController::default();
+    let mut rng = SplitMix64::new(0xE0_01);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let peak = Bandwidth::from_gib_s(rng.gen_range(5.0, 30.0));
+        let idle = SimTime::from_nanos(rng.gen_range(20.0, 80.0));
         let out = mc.serve(&demand, peak, idle);
-        prop_assert!(out.served.cpu.as_bytes_per_sec() <= demand.cpu.as_bytes_per_sec() + 1.0);
-        prop_assert!(out.served.gfx.as_bytes_per_sec() <= demand.gfx.as_bytes_per_sec() + 1.0);
-        prop_assert!(out.served.io.as_bytes_per_sec() <= demand.io.as_bytes_per_sec() + 1.0);
-        prop_assert!(out.served.isochronous.as_bytes_per_sec() <= demand.isochronous.as_bytes_per_sec() + 1.0);
-        prop_assert!(out.served.total().as_bytes_per_sec() <= out.sustainable.as_bytes_per_sec() * 1.000_001);
-        prop_assert!(out.effective_latency >= idle);
-        prop_assert!((0.0..=1.0).contains(&out.utilization));
+        assert!(out.served.cpu.as_bytes_per_sec() <= demand.cpu.as_bytes_per_sec() + 1.0);
+        assert!(out.served.gfx.as_bytes_per_sec() <= demand.gfx.as_bytes_per_sec() + 1.0);
+        assert!(out.served.io.as_bytes_per_sec() <= demand.io.as_bytes_per_sec() + 1.0);
+        assert!(
+            out.served.isochronous.as_bytes_per_sec()
+                <= demand.isochronous.as_bytes_per_sec() + 1.0
+        );
+        assert!(
+            out.served.total().as_bytes_per_sec() <= out.sustainable.as_bytes_per_sec() * 1.000_001
+        );
+        assert!(out.effective_latency >= idle);
+        assert!((0.0..=1.0).contains(&out.utilization));
     }
+}
 
-    /// Isochronous traffic is never throttled before best-effort traffic:
-    /// if a QoS violation is reported, the whole sustainable bus was devoted
-    /// to the isochronous class.
-    #[test]
-    fn isochronous_has_priority(demand in arb_demand(), peak_gib in 5.0f64..30.0) {
-        let mc = MemoryController::default();
-        let out = mc.serve(&demand, Bandwidth::from_gib_s(peak_gib), SimTime::from_nanos(40.0));
+/// Isochronous traffic is never throttled before best-effort traffic: if a
+/// QoS violation is reported, the whole sustainable bus was devoted to the
+/// isochronous class.
+#[test]
+fn isochronous_has_priority() {
+    let mc = MemoryController::default();
+    let mut rng = SplitMix64::new(0xE0_02);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let peak = Bandwidth::from_gib_s(rng.gen_range(5.0, 30.0));
+        let out = mc.serve(&demand, peak, SimTime::from_nanos(40.0));
         if out.qos_violated {
-            prop_assert!((out.served.isochronous.as_bytes_per_sec()
-                - out.sustainable.as_bytes_per_sec()).abs() < 1.0);
-            prop_assert!(out.served.cpu.as_bytes_per_sec() < 1.0);
+            assert!(
+                (out.served.isochronous.as_bytes_per_sec() - out.sustainable.as_bytes_per_sec())
+                    .abs()
+                    < 1.0
+            );
+            assert!(out.served.cpu.as_bytes_per_sec() < 1.0);
         } else {
-            prop_assert!((out.served.isochronous.as_bytes_per_sec()
-                - demand.isochronous.as_bytes_per_sec()).abs() < 1.0);
+            assert!(
+                (out.served.isochronous.as_bytes_per_sec() - demand.isochronous.as_bytes_per_sec())
+                    .abs()
+                    < 1.0
+            );
         }
     }
+}
 
-    /// A higher peak bandwidth never yields less served traffic or more
-    /// latency for the same demand.
-    #[test]
-    fn more_bandwidth_never_hurts(demand in arb_demand(), lo in 5.0f64..20.0, extra in 0.0f64..15.0) {
-        let mc = MemoryController::default();
+/// A higher peak bandwidth never yields less served traffic or more latency
+/// for the same demand.
+#[test]
+fn more_bandwidth_never_hurts() {
+    let mc = MemoryController::default();
+    let mut rng = SplitMix64::new(0xE0_03);
+    for _ in 0..CASES {
+        let demand = sample_demand(&mut rng);
+        let lo = rng.gen_range(5.0, 20.0);
+        let extra = rng.gen_range(0.0, 15.0);
         let idle = SimTime::from_nanos(40.0);
         let low = mc.serve(&demand, Bandwidth::from_gib_s(lo), idle);
         let high = mc.serve(&demand, Bandwidth::from_gib_s(lo + extra), idle);
-        prop_assert!(high.served.total().as_bytes_per_sec() >= low.served.total().as_bytes_per_sec() - 1.0);
-        prop_assert!(high.effective_latency <= low.effective_latency + SimTime::from_nanos(1e-3));
+        assert!(
+            high.served.total().as_bytes_per_sec() >= low.served.total().as_bytes_per_sec() - 1.0
+        );
+        assert!(high.effective_latency <= low.effective_latency + SimTime::from_nanos(1e-3));
     }
+}
 
-    /// Power models are monotonic in utilization and finite.
-    #[test]
-    fn power_models_monotonic(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+/// Power models are monotonic in utilization and finite.
+#[test]
+fn power_models_monotonic() {
+    let mut rng = SplitMix64::new(0xE0_04);
+    for _ in 0..CASES {
+        let u1 = rng.gen_range(0.0, 1.0);
+        let u2 = rng.gen_range(0.0, 1.0);
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
         let mc = MemCtrlPowerModel::default();
         let f = Freq::from_ghz(0.8);
         let v = Voltage::from_mv(800.0);
-        prop_assert!(mc.power(f, v, hi).as_watts() >= mc.power(f, v, lo).as_watts() - 1e-12);
+        assert!(mc.power(f, v, hi).as_watts() >= mc.power(f, v, lo).as_watts() - 1e-12);
         let io = DdrIoPowerModel::default();
-        let a = io.power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), lo, 1.0).total();
-        let b = io.power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), hi, 1.0).total();
-        prop_assert!(b.as_watts() >= a.as_watts() - 1e-12);
-        prop_assert!(b.as_watts().is_finite());
+        let a = io
+            .power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), lo, 1.0)
+            .total();
+        let b = io
+            .power(Freq::from_ghz(1.6), Voltage::from_mv(950.0), hi, 1.0)
+            .total();
+        assert!(b.as_watts() >= a.as_watts() - 1e-12);
+        assert!(b.as_watts().is_finite());
     }
 }

@@ -8,12 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Component, Domain, Energy, Power, Rail, SimTime};
 
 /// Average power drawn by each SoC component over one window.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PowerBreakdown {
     entries: BTreeMap<Component, Power>,
 }
@@ -75,7 +73,7 @@ impl PowerBreakdown {
 }
 
 /// Integrated energy over a simulation run, per component.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyAccount {
     entries: BTreeMap<Component, Energy>,
     duration: SimTime,
@@ -106,7 +104,10 @@ impl EnergyAccount {
     /// Energy of one component.
     #[must_use]
     pub fn component(&self, component: Component) -> Energy {
-        self.entries.get(&component).copied().unwrap_or(Energy::ZERO)
+        self.entries
+            .get(&component)
+            .copied()
+            .unwrap_or(Energy::ZERO)
     }
 
     /// Total SoC energy.
@@ -216,14 +217,5 @@ mod tests {
         assert_eq!(acc.total(), Energy::ZERO);
         assert_eq!(acc.average_power(), Power::ZERO);
         assert_eq!(acc.average_domain_power(Domain::Io), Power::ZERO);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut acc = EnergyAccount::new();
-        acc.accumulate(&sample_breakdown(), SimTime::from_millis(2.0));
-        let json = serde_json::to_string(&acc).unwrap();
-        let back: EnergyAccount = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, acc);
     }
 }

@@ -8,15 +8,13 @@
 //! the *predicted* demand and hand the freed budget to the compute domain,
 //! whose PBM converts it into higher CPU/graphics P-states (Sec. 4.3–4.4).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::{PState, PStateTable};
 use sysscale_types::{Freq, Power, SimError, SimResult};
 
 use crate::compute_power::ComputeDomainPowerModel;
 
 /// Per-domain power budgets.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DomainBudgets {
     /// Budget of the compute domain (CPU cores, graphics, LLC).
     pub compute: Power,
@@ -36,7 +34,7 @@ impl DomainBudgets {
 
 /// Budget policy: how the TDP is split between the uncore (IO + memory)
 /// reservation and the compute domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetPolicy {
     /// IO-domain reservation at the *worst-case* (highest) operating point.
     pub io_worst_case: Power,
@@ -72,7 +70,9 @@ impl BudgetPolicy {
             || self.memory_worst_case <= Power::ZERO
             || self.min_compute <= Power::ZERO
         {
-            return Err(SimError::invalid_config("budget reservations must be positive"));
+            return Err(SimError::invalid_config(
+                "budget reservations must be positive",
+            ));
         }
         let compute = tdp - self.io_worst_case - self.memory_worst_case;
         if compute < self.min_compute {
@@ -101,17 +101,26 @@ impl BudgetPolicy {
     /// (Sec. 4.3: "the PMU reduces the power budgets of the IO and memory
     /// domains and increases the power budget of the compute domain").
     #[must_use]
-    pub fn demand_driven_budgets(&self, tdp: Power, io_estimate: Power, memory_estimate: Power) -> DomainBudgets {
+    pub fn demand_driven_budgets(
+        &self,
+        tdp: Power,
+        io_estimate: Power,
+        memory_estimate: Power,
+    ) -> DomainBudgets {
         // Never allocate more than the worst case to the uncore.
         let io = io_estimate.min(self.io_worst_case);
         let memory = memory_estimate.min(self.memory_worst_case);
         let compute = (tdp - io - memory).max(self.min_compute);
-        DomainBudgets { compute, io, memory }
+        DomainBudgets {
+            compute,
+            io,
+            memory,
+        }
     }
 }
 
 /// A request to the compute-domain PBM for one evaluation interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeRequest {
     /// Highest CPU frequency the OS currently requests (P-state request).
     pub cpu_requested: Freq,
@@ -132,7 +141,7 @@ pub struct ComputeRequest {
 }
 
 /// The P-states granted by the PBM and the power estimate they imply.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeGrant {
     /// Granted CPU P-state.
     pub cpu: PState,
@@ -143,7 +152,7 @@ pub struct ComputeGrant {
 }
 
 /// The compute-domain power budget manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerBudgetManager {
     model: ComputeDomainPowerModel,
     cpu_table: PStateTable,
@@ -299,7 +308,8 @@ mod tests {
         assert!(saved.compute > worst.compute);
         assert!((saved.total().as_watts() - 4.5).abs() < 1e-9);
         // Estimates above the worst case are clamped.
-        let clamped = policy.demand_driven_budgets(tdp, Power::from_watts(2.0), Power::from_watts(2.0));
+        let clamped =
+            policy.demand_driven_budgets(tdp, Power::from_watts(2.0), Power::from_watts(2.0));
         assert_eq!(clamped.io, policy.io_worst_case);
         assert_eq!(clamped.memory, policy.memory_worst_case);
     }
@@ -320,7 +330,10 @@ mod tests {
         let large = pbm.grant(Power::from_watts(2.8), &req);
         assert!(small.estimated_power <= Power::from_watts(2.3));
         assert!(large.estimated_power <= Power::from_watts(2.8));
-        assert!(large.cpu.freq > small.cpu.freq, "extra budget raises the CPU clock");
+        assert!(
+            large.cpu.freq > small.cpu.freq,
+            "extra budget raises the CPU clock"
+        );
         // Both stay well below the unconstrained maximum.
         assert!(large.cpu.freq < Freq::from_ghz(2.9));
     }
@@ -363,13 +376,5 @@ mod tests {
         let grant = pbm.grant(Power::from_mw(100.0), &cpu_request(true));
         assert_eq!(grant.cpu, pbm.cpu_table().lowest());
         assert_eq!(grant.gfx, pbm.gfx_table().lowest());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let pbm = PowerBudgetManager::default();
-        let json = serde_json::to_string(&pbm).unwrap();
-        let back: PowerBudgetManager = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, pbm);
     }
 }

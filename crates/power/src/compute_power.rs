@@ -6,14 +6,12 @@
 //! 4.5 W part is thermally limited around 1.5–2 GHz under sustained load,
 //! which is what makes the power-budget redistribution of SysScale valuable.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Power, Voltage};
 
 use sysscale_compute::PState;
 
 /// Calibration constants for one compute unit (CPU complex or GFX engine).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeUnitPowerParams {
     /// Effective switching capacitance term: watts per (V² × GHz) at 100 %
     /// activity.
@@ -51,7 +49,7 @@ impl ComputeUnitPowerParams {
 }
 
 /// Power model of one compute unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeUnitPowerModel {
     params: ComputeUnitPowerParams,
 }
@@ -97,7 +95,7 @@ impl ComputeUnitPowerModel {
 
 /// The complete compute-domain power model (CPU + GFX + a small fixed LLC
 /// and ring overhead).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeDomainPowerModel {
     /// CPU-core complex model.
     pub cpu: ComputeUnitPowerModel,
@@ -226,13 +224,5 @@ mod tests {
         // Idle package burns almost nothing.
         let idle = model.power(cpu_s, 0.0, gfx_s, 0.0, 0.0, 0.05);
         assert!(idle.as_watts() < 0.1);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = ComputeDomainPowerModel::default();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: ComputeDomainPowerModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
     }
 }

@@ -6,12 +6,10 @@
 //! rails (`V_CORE`, `V_GFX`). SysScale scales `V_SA` and `V_IO` together with
 //! the uncore frequencies; the compute rails follow the granted P-states.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{Rail, SimError, SimResult, SimTime, UncoreOperatingPoint, Voltage};
 
 /// Nominal (highest-operating-point) rail voltages of the modelled SoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NominalVoltages {
     /// Nominal `V_SA`.
     pub vsa: Voltage,
@@ -34,7 +32,7 @@ impl Default for NominalVoltages {
 
 /// Current rail voltages of the uncore, derived from the active operating
 /// point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RailVoltages {
     /// Current `V_SA`.
     pub vsa: Voltage,
@@ -77,7 +75,7 @@ impl RailVoltages {
 /// A voltage regulator with a finite slew rate, used to model the
 /// voltage-transition component of the DVFS flow latency (Sec. 5: ≈2 µs for
 /// a ±100 mV step at 50 mV/µs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoltageRegulator {
     /// Slew rate in volts per second.
     pub slew_v_per_s: f64,
@@ -100,7 +98,9 @@ impl VoltageRegulator {
     /// Returns [`SimError::InvalidConfig`] for a non-positive slew rate.
     pub fn new(slew_v_per_s: f64) -> SimResult<Self> {
         if slew_v_per_s <= 0.0 {
-            return Err(SimError::invalid_config("regulator slew rate must be positive"));
+            return Err(SimError::invalid_config(
+                "regulator slew rate must be positive",
+            ));
         }
         Ok(Self { slew_v_per_s })
     }
@@ -162,13 +162,5 @@ mod tests {
         assert!(VoltageRegulator::new(0.0).is_err());
         assert!(VoltageRegulator::new(-5.0).is_err());
         assert!(VoltageRegulator::new(40_000.0).is_ok());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let nominal = NominalVoltages::default();
-        let json = serde_json::to_string(&nominal).unwrap();
-        let back: NominalVoltages = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, nominal);
     }
 }

@@ -1,110 +1,147 @@
-//! Property-based tests for power budgeting and accounting invariants.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for power budgeting and accounting, sampled
+//! deterministically with [`SplitMix64`] (no external property-testing
+//! dependency).
 
 use sysscale_compute::PStateTable;
 use sysscale_power::{
     BudgetPolicy, ComputeRequest, ComputeUnitPowerModel, ComputeUnitPowerParams, EnergyAccount,
     PowerBreakdown, PowerBudgetManager,
 };
+use sysscale_types::rng::SplitMix64;
 use sysscale_types::{Component, Domain, Freq, Power, SimTime};
 
-fn arb_request() -> impl Strategy<Value = ComputeRequest> {
-    (
-        0.4f64..2.9,
-        0.3f64..1.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-        any::<bool>(),
-        0.05f64..1.0,
-    )
-        .prop_map(|(cpu_ghz, gfx_ghz, cpu_act, gfx_act, gfx_priority, c0)| ComputeRequest {
-            cpu_requested: Freq::from_ghz(cpu_ghz),
-            gfx_requested: Freq::from_ghz(gfx_ghz),
-            cpu_activity: cpu_act,
-            gfx_activity: gfx_act,
-            gfx_priority,
-            c0_fraction: c0,
-            leakage_fraction: c0.max(0.1),
-        })
+const CASES: usize = 200;
+
+fn sample_request(rng: &mut SplitMix64) -> ComputeRequest {
+    let c0 = rng.gen_range(0.05, 1.0);
+    ComputeRequest {
+        cpu_requested: Freq::from_ghz(rng.gen_range(0.4, 2.9)),
+        gfx_requested: Freq::from_ghz(rng.gen_range(0.3, 1.0)),
+        cpu_activity: rng.gen_range(0.0, 1.0),
+        gfx_activity: rng.gen_range(0.0, 1.0),
+        gfx_priority: rng.gen_bool(0.5),
+        c0_fraction: c0,
+        leakage_fraction: c0.max(0.1),
+    }
 }
 
-proptest! {
-    /// The PBM never grants a configuration whose estimate exceeds the budget
-    /// unless even the floor states exceed it, and never exceeds the
-    /// requested frequencies.
-    #[test]
-    fn pbm_grant_is_safe(budget_w in 0.3f64..6.0, req in arb_request()) {
-        let pbm = PowerBudgetManager::default();
-        let budget = Power::from_watts(budget_w);
+/// The PBM never grants a configuration whose estimate exceeds the budget
+/// unless even the floor states exceed it, and never exceeds the requested
+/// frequencies.
+#[test]
+fn pbm_grant_is_safe() {
+    let pbm = PowerBudgetManager::default();
+    let mut rng = SplitMix64::new(0xB0_01);
+    for _ in 0..CASES {
+        let budget = Power::from_watts(rng.gen_range(0.3, 6.0));
+        let req = sample_request(&mut rng);
         let grant = pbm.grant(budget, &req);
         let floor_estimate = {
             let cpu = pbm.cpu_table().lowest();
             let gfx = pbm.gfx_table().lowest();
-            pbm.model().power(cpu, req.cpu_activity * req.c0_fraction, gfx,
-                req.gfx_activity * req.c0_fraction, req.c0_fraction, req.leakage_fraction)
+            pbm.model().power(
+                cpu,
+                req.cpu_activity * req.c0_fraction,
+                gfx,
+                req.gfx_activity * req.c0_fraction,
+                req.c0_fraction,
+                req.leakage_fraction,
+            )
         };
         if grant.estimated_power > budget {
             // Only allowed when even the floor does not fit.
-            prop_assert!(floor_estimate > budget);
+            assert!(floor_estimate > budget);
         }
-        prop_assert!(grant.cpu.freq <= req.cpu_requested * 1.001 || grant.cpu == pbm.cpu_table().lowest());
-        prop_assert!(grant.gfx.freq <= req.gfx_requested * 1.001 || grant.gfx == pbm.gfx_table().lowest());
+        assert!(
+            grant.cpu.freq <= req.cpu_requested * 1.001 || grant.cpu == pbm.cpu_table().lowest()
+        );
+        assert!(
+            grant.gfx.freq <= req.gfx_requested * 1.001 || grant.gfx == pbm.gfx_table().lowest()
+        );
     }
+}
 
-    /// A larger budget never results in a lower granted frequency for the
-    /// unit budgeted first (the non-priority unit may legitimately receive
-    /// less when the priority unit absorbs the extra headroom).
-    #[test]
-    fn pbm_grant_monotonic_in_budget(b1 in 0.5f64..5.0, extra in 0.0f64..2.0, req in arb_request()) {
-        let pbm = PowerBudgetManager::default();
+/// A larger budget never results in a lower granted frequency for the unit
+/// budgeted first (the non-priority unit may legitimately receive less when
+/// the priority unit absorbs the extra headroom).
+#[test]
+fn pbm_grant_monotonic_in_budget() {
+    let pbm = PowerBudgetManager::default();
+    let mut rng = SplitMix64::new(0xB0_02);
+    for _ in 0..CASES {
+        let b1 = rng.gen_range(0.5, 5.0);
+        let extra = rng.gen_range(0.0, 2.0);
+        let req = sample_request(&mut rng);
         let small = pbm.grant(Power::from_watts(b1), &req);
         let large = pbm.grant(Power::from_watts(b1 + extra), &req);
         if req.gfx_priority {
-            prop_assert!(large.gfx.freq >= small.gfx.freq);
+            assert!(large.gfx.freq >= small.gfx.freq);
         } else {
-            prop_assert!(large.cpu.freq >= small.cpu.freq);
+            assert!(large.cpu.freq >= small.cpu.freq);
         }
     }
+}
 
-    /// Budget splits always conserve the TDP (within the minimum-compute
-    /// floor) and demand-driven compute budget is never below the worst-case
-    /// compute budget.
-    #[test]
-    fn budget_split_conservation(tdp_w in 3.5f64..15.0, io_w in 0.05f64..1.2, mem_w in 0.05f64..1.5) {
-        let policy = BudgetPolicy::default();
+/// Budget splits always conserve the TDP (within the minimum-compute floor)
+/// and demand-driven compute budget is never below the worst-case compute
+/// budget.
+#[test]
+fn budget_split_conservation() {
+    let policy = BudgetPolicy::default();
+    let mut rng = SplitMix64::new(0xB0_03);
+    for _ in 0..CASES {
+        let tdp_w = rng.gen_range(3.5, 15.0);
+        let io_w = rng.gen_range(0.05, 1.2);
+        let mem_w = rng.gen_range(0.05, 1.5);
         let tdp = Power::from_watts(tdp_w);
         let worst = policy.worst_case_budgets(tdp);
-        let demand = policy.demand_driven_budgets(tdp, Power::from_watts(io_w), Power::from_watts(mem_w));
-        prop_assert!(worst.total().as_watts() <= tdp_w + 1e-9);
-        prop_assert!(demand.total().as_watts() <= tdp_w + 1e-9);
-        prop_assert!(demand.compute >= worst.compute - Power::from_mw(1e-6));
+        let demand =
+            policy.demand_driven_budgets(tdp, Power::from_watts(io_w), Power::from_watts(mem_w));
+        assert!(worst.total().as_watts() <= tdp_w + 1e-9);
+        assert!(demand.total().as_watts() <= tdp_w + 1e-9);
+        assert!(demand.compute >= worst.compute - Power::from_mw(1e-6));
     }
+}
 
-    /// Compute-unit power is monotone in activity and in P-state index.
-    #[test]
-    fn unit_power_monotonic(a1 in 0.0f64..1.0, a2 in 0.0f64..1.0, idx in 0usize..25) {
+/// Compute-unit power is monotone in activity and in P-state index.
+#[test]
+fn unit_power_monotonic() {
+    let model = ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_cpu_2core());
+    let table = PStateTable::skylake_cpu();
+    let mut rng = SplitMix64::new(0xB0_04);
+    for _ in 0..CASES {
+        let a1 = rng.gen_range(0.0, 1.0);
+        let a2 = rng.gen_range(0.0, 1.0);
+        let idx = rng.next_u64() as usize % 25;
         let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
-        let model = ComputeUnitPowerModel::new(ComputeUnitPowerParams::skylake_cpu_2core());
-        let table = PStateTable::skylake_cpu();
         let s = table.states()[idx.min(table.len() - 1)];
-        prop_assert!(model.power(s, hi, 1.0).as_watts() >= model.power(s, lo, 1.0).as_watts() - 1e-12);
+        assert!(model.power(s, hi, 1.0).as_watts() >= model.power(s, lo, 1.0).as_watts() - 1e-12);
         if idx + 1 < table.len() {
             let s2 = table.states()[idx + 1];
-            prop_assert!(model.power(s2, hi, 1.0) >= model.power(s, hi, 1.0));
+            assert!(model.power(s2, hi, 1.0) >= model.power(s, hi, 1.0));
         }
     }
+}
 
-    /// Energy accounting: total energy equals average power times duration,
-    /// and domain energies sum to the total.
-    #[test]
-    fn energy_account_consistency(slices in proptest::collection::vec((0.1f64..3.0, 0.05f64..1.0, 0.05f64..0.6), 1..40)) {
+/// Energy accounting: total energy equals average power times duration, and
+/// domain energies sum to the total.
+#[test]
+fn energy_account_consistency() {
+    let mut rng = SplitMix64::new(0xB0_05);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_u64() as usize % 39;
         let mut acc = EnergyAccount::new();
-        for (cpu_w, dram_w, io_w) in &slices {
+        for _ in 0..n {
             let mut b = PowerBreakdown::new();
-            b.set(Component::CpuCores, Power::from_watts(*cpu_w));
-            b.set(Component::Dram, Power::from_watts(*dram_w));
-            b.set(Component::IoInterconnect, Power::from_watts(*io_w));
+            b.set(
+                Component::CpuCores,
+                Power::from_watts(rng.gen_range(0.1, 3.0)),
+            );
+            b.set(Component::Dram, Power::from_watts(rng.gen_range(0.05, 1.0)));
+            b.set(
+                Component::IoInterconnect,
+                Power::from_watts(rng.gen_range(0.05, 0.6)),
+            );
             acc.accumulate(&b, SimTime::from_millis(1.0));
         }
         let total = acc.total().as_joules();
@@ -112,8 +149,8 @@ proptest! {
             .iter()
             .map(|&d| acc.domain(d).as_joules())
             .sum();
-        prop_assert!((total - by_domain).abs() < 1e-12);
+        assert!((total - by_domain).abs() < 1e-12);
         let avg = acc.average_power();
-        prop_assert!(((avg * acc.duration()).as_joules() - total).abs() < 1e-9);
+        assert!(((avg * acc.duration()).as_joules() - total).abs() < 1e-9);
     }
 }

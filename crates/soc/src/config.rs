@@ -1,7 +1,5 @@
 //! SoC configuration: everything Table 2 specifies plus the model knobs.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::{CpuConfig, HardwareDutyCycle, LlcConfig, PStateTable};
 use sysscale_dram::DramModule;
 use sysscale_interconnect::FabricParams;
@@ -13,7 +11,7 @@ use sysscale_types::{
 };
 
 /// Complete configuration of the simulated SoC platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
     /// Thermal design power of the package (4.5 W on the M-6Y75; the part is
     /// configurable from 3.5 W to 7 W, and the architecture scales to 91 W —
@@ -179,12 +177,16 @@ mod tests {
             assert!(cfg.validate().is_ok(), "tdp {tdp}");
         }
         // A TDP below the uncore reservation is rejected.
-        assert!(SocConfig::skylake_m_6y75(Power::from_watts(1.0)).validate().is_err());
+        assert!(SocConfig::skylake_m_6y75(Power::from_watts(1.0))
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn ddr4_and_three_point_variants_are_consistent() {
-        assert!(SocConfig::skylake_ddr4(Power::from_watts(4.5)).validate().is_ok());
+        assert!(SocConfig::skylake_ddr4(Power::from_watts(4.5))
+            .validate()
+            .is_ok());
         let three = SocConfig::skylake_three_point(Power::from_watts(4.5));
         assert!(three.validate().is_ok());
         assert_eq!(three.uncore_ladder.len(), 3);
@@ -202,13 +204,5 @@ mod tests {
         let mut cfg3 = SocConfig::skylake_default();
         cfg3.slice = SimTime::ZERO;
         assert!(cfg3.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let cfg = SocConfig::skylake_default();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SocConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, cfg);
     }
 }

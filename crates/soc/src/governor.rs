@@ -10,8 +10,6 @@
 
 use std::fmt::Debug;
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_types::{
     Bandwidth, CounterWindow, Freq, OperatingPointId, OperatingPointTable, Power,
 };
@@ -38,7 +36,7 @@ pub struct GovernorInput<'a> {
 }
 
 /// The governor's decision for the next evaluation interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorDecision {
     /// The operating point the uncore should run at.
     pub target_op: OperatingPointId,
@@ -76,7 +74,7 @@ pub trait Governor: Debug {
 /// highest point this is the *baseline* system of the evaluation (SysScale
 /// disabled); with the lowest point it reproduces the static MD-DVFS setup of
 /// the motivation experiment (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FixedGovernor {
     /// Pin to the highest (true) or lowest (false) point of the ladder.
     pub use_highest: bool,
@@ -137,10 +135,7 @@ mod tests {
     use super::*;
     use sysscale_types::skylake_lpddr3_ladder;
 
-    fn input<'a>(
-        window: &'a CounterWindow,
-        ladder: &'a OperatingPointTable,
-    ) -> GovernorInput<'a> {
+    fn input<'a>(window: &'a CounterWindow, ladder: &'a OperatingPointTable) -> GovernorInput<'a> {
         GovernorInput {
             counters: window,
             static_demand: Bandwidth::from_gib_s(2.0),

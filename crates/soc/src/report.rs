@@ -1,16 +1,12 @@
 //! Simulation reports: what one run of the simulator produces.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_power::EnergyAccount;
-use sysscale_types::{
-    CounterKind, CounterSet, Domain, Power, RunMetrics, SimTime,
-};
+use sysscale_types::{CounterKind, CounterSet, Domain, Power, RunMetrics, SimTime};
 
 use crate::transition::TransitionStats;
 
 /// Result of simulating one workload under one governor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the workload that ran.
     pub workload: String,
@@ -83,7 +79,7 @@ impl SimReport {
 
 /// A compact per-slice record, collected when tracing is enabled. Used by the
 /// figure harness to plot bandwidth-demand-over-time curves (Fig. 3(a)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SliceTrace {
     /// Simulated time at the start of the slice.
     pub at: SimTime,
@@ -108,11 +104,7 @@ mod tests {
         SimReport {
             workload: "w".into(),
             governor: "g".into(),
-            metrics: RunMetrics::new(
-                SimTime::from_secs(secs),
-                Energy::from_joules(joules),
-                work,
-            ),
+            metrics: RunMetrics::new(SimTime::from_secs(secs), Energy::from_joules(joules), work),
             energy: EnergyAccount::new(),
             counters: CounterSet::new(),
             transitions: TransitionStats::default(),
@@ -137,20 +129,10 @@ mod tests {
     #[test]
     fn memory_bandwidth_average_uses_counters() {
         let mut r = report(9.0, 2.0, 100.0);
-        r.counters.set(
-            CounterKind::MemoryBandwidthBytes,
-            4.0 * (1u64 << 30) as f64,
-        );
+        r.counters
+            .set(CounterKind::MemoryBandwidthBytes, 4.0 * (1u64 << 30) as f64);
         assert!((r.average_memory_bandwidth_gib_s() - 2.0).abs() < 1e-9);
         let empty = report(0.0, 0.0, 0.0);
         assert_eq!(empty.average_memory_bandwidth_gib_s(), 0.0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let r = report(1.0, 1.0, 1.0);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: SimReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, r);
     }
 }

@@ -8,8 +8,6 @@
 //! models are resolved with a short fixed-point iteration between the CPU's
 //! achieved instruction rate and the memory subsystem's queuing latency.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::{CpuModel, CpuPhaseDemand, GfxModel, LlcModel};
 use sysscale_dram::DramChip;
 use sysscale_interconnect::{InterconnectPowerModel, IoInterconnect};
@@ -30,7 +28,7 @@ use crate::report::{SimReport, SliceTrace};
 use crate::transition::TransitionFlow;
 
 /// Uncore average-power estimate used for budget redistribution.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct UncoreEstimate {
     /// Estimated IO-domain power at the operating point.
     pub io: Power,
@@ -112,7 +110,31 @@ impl SocSimulator {
             .peak_bandwidth(self.config.uncore_ladder.highest().dram_freq)
     }
 
+    /// Restores every piece of mutable run state (DRAM chip, interconnect,
+    /// current operating point) to the boot configuration.
+    ///
+    /// [`SocSimulator::run`] calls this automatically before every run, so a
+    /// single simulator can execute any number of scenarios back to back
+    /// without state leaking between them; there is no manual reset to
+    /// forget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from rebuilding the interconnect.
+    pub fn reset(&mut self) -> SimResult<()> {
+        self.dram = DramChip::new(self.config.dram);
+        self.fabric = IoInterconnect::new(
+            self.config.fabric,
+            self.config.uncore_ladder.highest().io_interconnect_freq,
+        )?;
+        self.current_op = self.config.uncore_ladder.highest_id();
+        Ok(())
+    }
+
     /// Runs `workload` under `governor` for `duration` of simulated time.
+    ///
+    /// The simulator is reset to the boot configuration first, so repeated
+    /// runs on the same instance are independent and deterministic.
     ///
     /// # Errors
     ///
@@ -189,9 +211,9 @@ impl SocSimulator {
         let cpu_table = self.pbm.cpu_table();
         let gfx_table = self.pbm.gfx_table();
         let (cpu_requested, gfx_requested, gfx_priority) = match workload.class {
-            WorkloadClass::CpuSingleThread | WorkloadClass::CpuMultiThread | WorkloadClass::Micro => {
-                (cpu_table.highest().freq, gfx_table.lowest().freq, false)
-            }
+            WorkloadClass::CpuSingleThread
+            | WorkloadClass::CpuMultiThread
+            | WorkloadClass::Micro => (cpu_table.highest().freq, gfx_table.lowest().freq, false),
             WorkloadClass::Graphics => (cpu_table.pn().freq, gfx_table.highest().freq, true),
             WorkloadClass::BatteryLife => (cpu_table.pn().freq, gfx_table.pn().freq, false),
         };
@@ -202,7 +224,11 @@ impl SocSimulator {
         ComputeRequest {
             cpu_requested,
             gfx_requested,
-            cpu_activity: if phase.cpu.active_threads > 0 { 1.0 } else { 0.0 },
+            cpu_activity: if phase.cpu.active_threads > 0 {
+                1.0
+            } else {
+                0.0
+            },
             // Budget conservatively for a fully utilized engine; the actual
             // utilization may be lower (capped frame rates), never higher.
             gfx_activity: if phase.gfx.is_idle() { 0.0 } else { 1.0 },
@@ -229,13 +255,8 @@ impl SocSimulator {
             .round()
             .max(1.0) as usize;
 
-        // Reset mutable state to the boot configuration.
-        self.dram = DramChip::new(self.config.dram);
-        self.fabric = IoInterconnect::new(
-            self.config.fabric,
-            self.config.uncore_ladder.highest().io_interconnect_freq,
-        )?;
-        self.current_op = self.config.uncore_ladder.highest_id();
+        // Fresh per-run state: every run starts from the boot configuration.
+        self.reset()?;
         let mut flow = TransitionFlow::new(
             self.config.transition_latency,
             self.config.reload_mrc_on_transition,
@@ -262,7 +283,10 @@ impl SocSimulator {
 
         // Initial budget/grant before the first evaluation interval.
         let first_phase = workload.phase_at(SimTime::ZERO);
-        let mut budgets = self.config.budget_policy.worst_case_budgets(self.config.tdp);
+        let mut budgets = self
+            .config
+            .budget_policy
+            .worst_case_budgets(self.config.tdp);
         let mut grant: ComputeGrant = self.pbm.grant(
             budgets.compute,
             &self.compute_request(workload, first_phase, None),
@@ -310,15 +334,16 @@ impl SocSimulator {
                     .get(self.current_op)
                     .expect("current op is always valid");
                 budgets = if decision.redistribute_to_compute {
-                    let estimate =
-                        self.estimate_uncore_power(&op, recent_bandwidth, static_iso);
+                    let estimate = self.estimate_uncore_power(&op, recent_bandwidth, static_iso);
                     self.config.budget_policy.demand_driven_budgets(
                         self.config.tdp,
                         estimate.io,
                         estimate.memory,
                     )
                 } else {
-                    self.config.budget_policy.worst_case_budgets(self.config.tdp)
+                    self.config
+                        .budget_policy
+                        .worst_case_budgets(self.config.tdp)
                 };
                 grant = self.pbm.grant(
                     budgets.compute,
@@ -353,13 +378,11 @@ impl SocSimulator {
             let idle_lat = self.dram.idle_access_latency();
 
             let iso_demand = static_iso * dram_active_frac;
-            let io_demand =
-                static_io.max(phase.io.bandwidth_demand()) * dram_active_frac;
+            let io_demand = static_io.max(phase.io.bandwidth_demand()) * dram_active_frac;
 
             // Fixed point between achieved instruction rate and memory
             // queuing latency.
-            let gfx_desired =
-                self.gfx.desired_bandwidth(&phase.gfx, grant.gfx.freq) * active_frac;
+            let gfx_desired = self.gfx.desired_bandwidth(&phase.gfx, grant.gfx.freq) * active_frac;
             let cpu_demand_adj = CpuPhaseDemand {
                 mpki: self.llc.contended_mpki(phase.cpu.mpki, gfx_desired),
                 ..phase.cpu
@@ -368,7 +391,9 @@ impl SocSimulator {
             let mut demand = TrafficDemand::IDLE;
             let mut outcome = self.mc.serve(&demand, peak, idle_lat);
             for _ in 0..4 {
-                let cpu_probe = self.cpu.evaluate(&cpu_demand_adj, cpu_freq, mem_latency, 1.0);
+                let cpu_probe = self
+                    .cpu
+                    .evaluate(&cpu_demand_adj, cpu_freq, mem_latency, 1.0);
                 demand = TrafficDemand {
                     cpu: cpu_probe.bandwidth_demand * active_frac,
                     gfx: gfx_desired,
@@ -404,7 +429,9 @@ impl SocSimulator {
             gfx_freq_sum += grant.gfx.freq.as_ghz();
 
             // ---- Counters ----
-            let mut sample = self.llc.slice_counters(dt, &cpu_final, cpu_freq, outcome.served.gfx);
+            let mut sample = self
+                .llc
+                .slice_counters(dt, &cpu_final, cpu_freq, outcome.served.gfx);
             sample.set(CounterKind::IoRpq, fabric_out.rpq_occupancy);
             sample.set(
                 CounterKind::MemoryBandwidthBytes,
@@ -414,7 +441,10 @@ impl SocSimulator {
                 CounterKind::IsochronousBandwidthBytes,
                 outcome.served.isochronous.as_bytes_per_sec() * dt.as_secs(),
             );
-            sample.set(CounterKind::FramesRendered, gfx_final.fps * dt.as_secs() * active_frac);
+            sample.set(
+                CounterKind::FramesRendered,
+                gfx_final.fps * dt.as_secs() * active_frac,
+            );
             sample.set(CounterKind::C0ResidencySeconds, active_frac * dt.as_secs());
             sample.set(
                 CounterKind::SelfRefreshSeconds,
@@ -430,8 +460,11 @@ impl SocSimulator {
 
             // ---- Power ----
             let mut breakdown = PowerBreakdown::new();
-            let cpu_activity = if phase.cpu.active_threads > 0 { 1.0 } else { 0.0 }
-                * active_frac
+            let cpu_activity = if phase.cpu.active_threads > 0 {
+                1.0
+            } else {
+                0.0
+            } * active_frac
                 * self.config.hdc.duty();
             breakdown.set(
                 Component::CpuCores,
@@ -453,7 +486,8 @@ impl SocSimulator {
             );
             breakdown.set(
                 Component::DisplayController,
-                workload.peripherals.display.power(rails.vsa) * uncore_activity.max(dram_active_frac),
+                workload.peripherals.display.power(rails.vsa)
+                    * uncore_activity.max(dram_active_frac),
             );
             breakdown.set(
                 Component::IspEngine,
@@ -541,7 +575,8 @@ mod tests {
 
     fn run(workload: &Workload, governor: &mut dyn Governor, ms: f64) -> SimReport {
         let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
-        sim.run(workload, governor, SimTime::from_millis(ms)).unwrap()
+        sim.run(workload, governor, SimTime::from_millis(ms))
+            .unwrap()
     }
 
     #[test]

@@ -9,17 +9,13 @@
 //! SRAM (step 5); the naive flow skips that step, which is the Observation 4
 //! ablation.
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_dram::DramChip;
 use sysscale_interconnect::IoInterconnect;
 use sysscale_power::VoltageRegulator;
-use sysscale_types::{
-    SimResult, SimTime, TransitionLatency, UncoreOperatingPoint,
-};
+use sysscale_types::{SimResult, SimTime, TransitionLatency, UncoreOperatingPoint};
 
 /// Statistics of the transitions performed so far.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TransitionStats {
     /// Number of completed transitions.
     pub count: u64,
@@ -30,7 +26,7 @@ pub struct TransitionStats {
 }
 
 /// Executes Fig. 5 transition flows against the DRAM chip and the IO fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionFlow {
     latency: TransitionLatency,
     regulator: VoltageRegulator,
@@ -152,11 +148,15 @@ mod tests {
         let mut naive = TransitionFlow::new(TransitionLatency::skylake_default(), false);
         assert!(!naive.reloads_mrc());
         let ladder = skylake_lpddr3_ladder();
-        naive.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
+        naive
+            .execute(ladder.lowest(), &mut dram, &mut fabric)
+            .unwrap();
         assert!(!dram.registers_optimized());
         // The SysScale flow fixes it up on the next transition.
         let mut sysscale = TransitionFlow::new(TransitionLatency::skylake_default(), true);
-        sysscale.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
+        sysscale
+            .execute(ladder.lowest(), &mut dram, &mut fabric)
+            .unwrap();
         assert!(dram.registers_optimized());
     }
 
@@ -164,7 +164,8 @@ mod tests {
     fn fabric_is_released_even_after_same_frequency_transition() {
         let (mut dram, mut fabric, mut flow) = setup();
         let ladder = skylake_lpddr3_ladder();
-        flow.execute(ladder.highest(), &mut dram, &mut fabric).unwrap();
+        flow.execute(ladder.highest(), &mut dram, &mut fabric)
+            .unwrap();
         assert_eq!(fabric.state(), sysscale_interconnect::FabricState::Running);
         assert_eq!(dram.state(), sysscale_dram::DramState::Active);
     }
@@ -174,8 +175,10 @@ mod tests {
         let (mut dram, mut fabric, mut flow) = setup();
         let ladder = skylake_lpddr3_ladder();
         for _ in 0..5 {
-            flow.execute(ladder.lowest(), &mut dram, &mut fabric).unwrap();
-            flow.execute(ladder.highest(), &mut dram, &mut fabric).unwrap();
+            flow.execute(ladder.lowest(), &mut dram, &mut fabric)
+                .unwrap();
+            flow.execute(ladder.highest(), &mut dram, &mut fabric)
+                .unwrap();
         }
         assert_eq!(flow.stats().count, 10);
         assert!(flow.stats().total_stall > flow.stats().max_stall);

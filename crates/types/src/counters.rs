@@ -9,10 +9,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The kinds of performance counters the PMU can sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CounterKind {
     /// Number of LLC misses caused by the graphics engines per sample period.
     /// Indicates graphics bandwidth demand.
@@ -93,7 +91,7 @@ impl fmt::Display for CounterKind {
 /// assert_eq!(c.value(CounterKind::LlcStalls), 150.0);
 /// assert_eq!(c.value(CounterKind::IoRpq), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CounterSet {
     values: BTreeMap<CounterKind, f64>,
 }
@@ -151,7 +149,7 @@ impl CounterSet {
 /// The PMU samples counters every ~1 ms and uses the per-sample *average*
 /// over the 30 ms evaluation interval in the power-distribution algorithm
 /// (Sec. 4.3).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CounterWindow {
     samples: Vec<CounterSet>,
 }
@@ -235,7 +233,10 @@ mod tests {
 
     #[test]
     fn predictor_set_matches_paper() {
-        let names: Vec<_> = CounterKind::PREDICTOR_SET.iter().map(|c| c.name()).collect();
+        let names: Vec<_> = CounterKind::PREDICTOR_SET
+            .iter()
+            .map(|c| c.name())
+            .collect();
         assert_eq!(
             names,
             vec![
@@ -312,14 +313,5 @@ mod tests {
         let n = names.len();
         names.dedup();
         assert_eq!(n, names.len());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut s = CounterSet::new();
-        s.set(CounterKind::GfxLlcMisses, 42.0);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CounterSet = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, s);
     }
 }

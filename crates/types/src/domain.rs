@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of the three main domains of a mobile SoC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Domain {
     /// CPU cores, graphics engines, and the LLC.
     Compute,
@@ -42,7 +40,7 @@ impl fmt::Display for Domain {
 }
 
 /// A voltage rail of the SoC, following the regulator layout of Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rail {
     /// System-agent rail shared by the memory controller, the IO interconnect,
     /// and the IO engines/controllers (`V_SA`, marker 1 in Fig. 1).
@@ -99,7 +97,7 @@ impl fmt::Display for Rail {
 }
 
 /// A component of the SoC that consumes power and/or produces memory traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Component {
     /// A CPU core (all cores are aggregated in the slice model).
     CpuCores,
@@ -207,7 +205,7 @@ impl fmt::Display for Component {
 /// assert_eq!(budgets[Domain::Compute], 3.0);
 /// assert_eq!(budgets[Domain::Memory], 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DomainMap<T> {
     /// Value for the compute domain.
     pub compute: T,
@@ -220,7 +218,11 @@ pub struct DomainMap<T> {
 impl<T> DomainMap<T> {
     /// Creates a map with the given per-domain values.
     pub fn new(compute: T, io: T, memory: T) -> Self {
-        Self { compute, io, memory }
+        Self {
+            compute,
+            io,
+            memory,
+        }
     }
 
     /// Creates a map by evaluating `f` for every domain.
@@ -349,15 +351,5 @@ mod tests {
         assert_eq!(Domain::Memory.to_string(), "memory");
         assert_eq!(Rail::VSa.to_string(), "V_SA");
         assert_eq!(Component::Dram.to_string(), "dram");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = DomainMap::new(1u32, 2, 3);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: DomainMap<u32> = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
-        let d: Domain = serde_json::from_str("\"Memory\"").unwrap();
-        assert_eq!(d, Domain::Memory);
     }
 }

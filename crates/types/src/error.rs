@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Bandwidth, Domain, Power};
 
 /// Top-level error type returned by simulator configuration and execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// A configuration value is invalid or inconsistent.
     InvalidConfig {
@@ -125,15 +123,5 @@ mod tests {
     fn error_trait_object_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let e = SimError::UnknownWorkload {
-            name: "433.milc".into(),
-        };
-        let json = serde_json::to_string(&e).unwrap();
-        let back: SimError = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, e);
     }
 }

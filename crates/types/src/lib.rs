@@ -4,7 +4,7 @@
 //! units, SoC domains and voltage rails, DVFS operating points, PMU
 //! performance counters, run metrics, statistics helpers, and error types.
 //!
-//! This crate is dependency-free (besides `serde`) and is consumed by every
+//! This crate is dependency-free and is consumed by every
 //! other crate in the workspace.
 //!
 //! ## Example
@@ -31,6 +31,7 @@ mod domain;
 mod error;
 mod metrics;
 mod operating_point;
+pub mod rng;
 pub mod stats;
 mod units;
 

@@ -4,12 +4,10 @@
 //! (SPEC score / FPS), average power (battery-life workloads), and EDP as the
 //! combined energy-efficiency measure (footnote 2: lower EDP is better).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Energy, Power, SimTime};
 
 /// Aggregate run metrics for one simulated execution.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunMetrics {
     /// Wall-clock (simulated) duration of the run.
     pub duration: SimTime,
@@ -115,11 +113,7 @@ mod tests {
     use super::*;
 
     fn metrics(secs: f64, joules: f64, work: f64) -> RunMetrics {
-        RunMetrics::new(
-            SimTime::from_secs(secs),
-            Energy::from_joules(joules),
-            work,
-        )
+        RunMetrics::new(SimTime::from_secs(secs), Energy::from_joules(joules), work)
     }
 
     #[test]
@@ -164,13 +158,5 @@ mod tests {
         let faster = metrics(2.0, 9.0, 110.0);
         // Same energy & duration, 10% more work -> EDP improves.
         assert!(faster.edp() < baseline.edp());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = metrics(1.5, 3.0, 42.0);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: RunMetrics = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m);
     }
 }

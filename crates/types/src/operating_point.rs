@@ -9,17 +9,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Freq, SimTime};
 
 /// Identifier of an operating point within an [`OperatingPointTable`].
 ///
 /// Index 0 is the *lowest* performance point; higher indices are higher
 /// performance (and power).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct OperatingPointId(pub usize);
 
 impl fmt::Display for OperatingPointId {
@@ -29,7 +25,7 @@ impl fmt::Display for OperatingPointId {
 }
 
 /// One DVFS operating point of the IO and memory domains.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UncoreOperatingPoint {
     /// DRAM (DDR data) frequency for this point, e.g. 1.6 GHz for LPDDR3-1600.
     pub dram_freq: Freq,
@@ -54,7 +50,12 @@ impl UncoreOperatingPoint {
     ///
     /// Panics if a voltage scale is not in `(0, 1.5]` or a frequency is zero.
     #[must_use]
-    pub fn new(dram_freq: Freq, io_interconnect_freq: Freq, vsa_scale: f64, vio_scale: f64) -> Self {
+    pub fn new(
+        dram_freq: Freq,
+        io_interconnect_freq: Freq,
+        vsa_scale: f64,
+        vio_scale: f64,
+    ) -> Self {
         assert!(
             vsa_scale > 0.0 && vsa_scale <= 1.5 && vio_scale > 0.0 && vio_scale <= 1.5,
             "voltage scale out of range"
@@ -101,12 +102,7 @@ pub fn skylake_lpddr3_ladder() -> OperatingPointTable {
     OperatingPointTable::new(vec![
         // Low-performance point: DDR 1.06 GHz, IO interconnect 0.4 GHz,
         // V_SA at 0.8x nominal, V_IO at 0.85x nominal (Table 1).
-        UncoreOperatingPoint::new(
-            Freq::from_ghz(1.0666),
-            Freq::from_ghz(0.4),
-            0.80,
-            0.85,
-        ),
+        UncoreOperatingPoint::new(Freq::from_ghz(1.0666), Freq::from_ghz(0.4), 0.80, 0.85),
         // High-performance point: DDR 1.6 GHz, IO interconnect 0.8 GHz,
         // nominal voltages.
         UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
@@ -115,7 +111,7 @@ pub fn skylake_lpddr3_ladder() -> OperatingPointTable {
 }
 
 /// Error returned when an [`OperatingPointTable`] is malformed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OperatingPointTableError {
     /// The table contains no points.
     Empty,
@@ -142,7 +138,7 @@ impl std::error::Error for OperatingPointTableError {}
 
 /// An ordered ladder of uncore operating points, from lowest to highest
 /// performance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPointTable {
     points: Vec<UncoreOperatingPoint>,
 }
@@ -234,7 +230,7 @@ impl OperatingPointTable {
 
 /// Latency breakdown of one uncore DVFS transition (Sec. 5, "SysScale
 /// Transition Time Overhead").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionLatency {
     /// Voltage-regulator ramp time for `V_SA` / `V_IO` (≈2 µs at 50 mV/µs for
     /// a ±100 mV step).
@@ -342,8 +338,7 @@ mod tests {
 
     #[test]
     fn step_up_down_saturate() {
-        let ladder =
-            OperatingPointTable::new(vec![point(0.8), point(1.06), point(1.6)]).unwrap();
+        let ladder = OperatingPointTable::new(vec![point(0.8), point(1.06), point(1.6)]).unwrap();
         let lo = ladder.lowest_id();
         let hi = ladder.highest_id();
         assert_eq!(ladder.step_down(lo), lo);
@@ -376,13 +371,5 @@ mod tests {
     #[test]
     fn operating_point_id_display() {
         assert_eq!(OperatingPointId(1).to_string(), "OP1");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let ladder = skylake_lpddr3_ladder();
-        let json = serde_json::to_string(&ladder).unwrap();
-        let back: OperatingPointTable = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, ladder);
     }
 }

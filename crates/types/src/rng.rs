@@ -1,0 +1,88 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The synthetic-population generator only needs a seedable, reproducible
+//! stream of uniform samples; SplitMix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators") provides that in a dozen lines without an
+//! external dependency. It is *not* cryptographically secure and must not be
+//! used for anything security-sensitive.
+
+/// SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. The same seed always yields the same
+    /// sequence.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0, 1) double.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns a uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn samples_are_in_range_and_well_spread() {
+        let mut rng = SplitMix64::new(7);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.gen_range(2.0, 5.0)).collect();
+        assert!(samples.iter().all(|&x| (2.0..5.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+        let below_mid = samples.iter().filter(|&&x| x < 3.5).count();
+        assert!((4_500..5_500).contains(&below_mid));
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SplitMix64::new(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+        assert!(!SplitMix64::new(1).gen_bool(0.0));
+        assert!(SplitMix64::new(1).gen_bool(1.0));
+    }
+}

@@ -2,8 +2,6 @@
 //! the predictor-accuracy study (correlation coefficients, Fig. 6), and the
 //! violin/summary plots (Fig. 10).
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
 #[must_use]
 pub fn mean(values: &[f64]) -> f64 {
@@ -79,7 +77,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 
 /// Summary statistics of a distribution, as used for the violin plot of
 /// Fig. 10 and the per-suite averages of Figs. 7–9.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

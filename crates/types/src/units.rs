@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Generates a standard f64-backed unit newtype with common constructors,
 /// accessors, arithmetic, and formatting.
 macro_rules! unit_newtype {
@@ -20,8 +18,7 @@ macro_rules! unit_newtype {
         $name:ident, base = $base:ident, display = $display:literal
     ) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -660,15 +657,5 @@ mod tests {
         assert!(!format!("{}", Freq::from_ghz(1.6)).is_empty());
         assert!(format!("{}", Power::from_watts(4.5)).contains('W'));
         assert!(format!("{}", Voltage::from_volts(0.8)).contains('V'));
-    }
-
-    #[test]
-    fn serde_roundtrip_is_transparent() {
-        let f = Freq::from_ghz(1.06);
-        let json = serde_json::to_string(&f).unwrap();
-        // Transparent newtype: serializes as a bare number.
-        assert!(!json.contains('{'));
-        let back: Freq = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, f);
     }
 }

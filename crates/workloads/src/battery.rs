@@ -172,7 +172,11 @@ mod tests {
             assert_eq!(w.class, WorkloadClass::BatteryLife);
             assert_eq!(w.perf_unit, PerfUnit::ServicedSeconds);
             for p in &w.phases {
-                assert!(p.gfx.target_fps.is_some(), "{} must have an FPS cap", w.name);
+                assert!(
+                    p.gfx.target_fps.is_some(),
+                    "{} must have an FPS cap",
+                    w.name
+                );
             }
             // Every battery-life scenario drives the laptop panel.
             assert_eq!(w.peripherals.display.active_panels(), 1);
@@ -183,7 +187,13 @@ mod tests {
     fn video_conferencing_uses_the_camera() {
         let w = battery_workload("video-conferencing").unwrap();
         assert_ne!(w.peripherals.isp.mode(), IspMode::Off);
-        assert!(w.peripherals.isochronous_demand() > battery_workload("video-playback").unwrap().peripherals.isochronous_demand());
+        assert!(
+            w.peripherals.isochronous_demand()
+                > battery_workload("video-playback")
+                    .unwrap()
+                    .peripherals
+                    .isochronous_demand()
+        );
     }
 
     #[test]

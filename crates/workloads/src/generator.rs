@@ -8,13 +8,11 @@
 //! graphics intensity) span the same space. The same population is used for
 //! the offline threshold-calibration step of Sec. 4.2.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sysscale_compute::{CpuPhaseDemand, GfxPhaseDemand};
 use sysscale_iodev::PeripheralConfig;
 use sysscale_types::SimTime;
+
+use sysscale_types::rng::SplitMix64;
 
 use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
 
@@ -53,7 +51,7 @@ impl Default for GeneratorConfig {
 #[derive(Debug)]
 pub struct WorkloadGenerator {
     config: GeneratorConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     generated: usize,
 }
 
@@ -62,7 +60,7 @@ impl WorkloadGenerator {
     #[must_use]
     pub fn new(config: GeneratorConfig) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SplitMix64::new(config.seed),
             config,
             generated: 0,
         }
@@ -79,18 +77,17 @@ impl WorkloadGenerator {
     }
 
     fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        let u = Uniform::new(lo.ln(), hi.ln()).sample(&mut self.rng);
-        u.exp()
+        self.rng.gen_range(lo.ln(), hi.ln()).exp()
     }
 
     /// Generates one CPU workload (single- or multi-threaded).
     pub fn next_cpu_workload(&mut self) -> Workload {
         let cfg = self.config;
-        let base_cpi = self.rng.gen_range(cfg.cpi_range.0..cfg.cpi_range.1);
+        let base_cpi = self.rng.gen_range(cfg.cpi_range.0, cfg.cpi_range.1);
         let mpki = self.log_uniform(cfg.mpki_range.0, cfg.mpki_range.1);
         let blocking_fraction = self
             .rng
-            .gen_range(cfg.blocking_range.0..cfg.blocking_range.1);
+            .gen_range(cfg.blocking_range.0, cfg.blocking_range.1);
         let multithreaded = self.rng.gen_bool(cfg.multithread_probability);
         let threads = if multithreaded { 4 } else { 1 };
         let class = if multithreaded {
@@ -121,9 +118,9 @@ impl WorkloadGenerator {
     /// Generates one graphics workload.
     pub fn next_graphics_workload(&mut self) -> Workload {
         let cfg = self.config;
-        let cycles_per_frame = self.rng.gen_range(3.0e6..30.0e6);
-        let bytes_per_frame = self.rng.gen_range(30.0e6..280.0e6);
-        let cpu_mpki = self.rng.gen_range(0.5..4.0);
+        let cycles_per_frame = self.rng.gen_range(3.0e6, 30.0e6);
+        let bytes_per_frame = self.rng.gen_range(30.0e6, 280.0e6);
+        let cpu_mpki = self.rng.gen_range(0.5, 4.0);
         self.generated += 1;
         let phase = WorkloadPhase {
             duration: cfg.phase_duration,
@@ -186,7 +183,10 @@ mod tests {
     #[test]
     fn population_mixes_classes() {
         let pop = WorkloadGenerator::with_seed(1).population(120);
-        let gfx = pop.iter().filter(|w| w.class == WorkloadClass::Graphics).count();
+        let gfx = pop
+            .iter()
+            .filter(|w| w.class == WorkloadClass::Graphics)
+            .count();
         let st = pop
             .iter()
             .filter(|w| w.class == WorkloadClass::CpuSingleThread)
@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn population_spans_core_bound_to_memory_bound() {
         let pop = WorkloadGenerator::with_seed(2).population(300);
-        let hints: Vec<f64> = pop.iter().map(|w| w.nominal_bandwidth_hint() / 1e9).collect();
+        let hints: Vec<f64> = pop
+            .iter()
+            .map(|w| w.nominal_bandwidth_hint() / 1e9)
+            .collect();
         let min = hints.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = hints.iter().cloned().fold(0.0, f64::max);
         assert!(min < 0.5, "some near-idle demand ({min} GB/s)");

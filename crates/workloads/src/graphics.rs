@@ -80,7 +80,10 @@ pub fn build_graphics_workload(desc: &GraphicsDescriptor) -> Workload {
 /// The full graphics suite.
 #[must_use]
 pub fn graphics_suite() -> Vec<Workload> {
-    GRAPHICS_BENCHMARKS.iter().map(build_graphics_workload).collect()
+    GRAPHICS_BENCHMARKS
+        .iter()
+        .map(build_graphics_workload)
+        .collect()
 }
 
 /// Looks a graphics benchmark up by name (case insensitive).

@@ -1,7 +1,7 @@
 //! Microbenchmarks: the STREAM-like peak-bandwidth kernel used for the MRC
 //! ablation (Fig. 4) and an idle workload used as a power-floor reference.
 
-use sysscale_compute::{CStateProfile, CState, CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_compute::{CState, CStateProfile, CpuPhaseDemand, GfxPhaseDemand};
 use sysscale_iodev::{IoActivity, PeripheralConfig};
 use sysscale_types::SimTime;
 
@@ -35,8 +35,8 @@ pub fn stream_peak_bandwidth() -> Workload {
 /// mostly in deep idle. Used as the power floor in sanity checks.
 #[must_use]
 pub fn idle_display_on() -> Workload {
-    let cstates = CStateProfile::new(vec![(CState::C0, 0.05), (CState::C8, 0.95)])
-        .expect("static profile");
+    let cstates =
+        CStateProfile::new(vec![(CState::C0, 0.05), (CState::C8, 0.95)]).expect("static profile");
     let phase = WorkloadPhase {
         duration: SimTime::from_millis(1_000.0),
         cpu: CpuPhaseDemand {

@@ -15,8 +15,6 @@
 //! * 400.perlbench has low demand with occasional spikes and 473.astar
 //!   alternates seconds-long low-/high-bandwidth phases (Fig. 3(a)).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::CpuPhaseDemand;
 use sysscale_iodev::PeripheralConfig;
 use sysscale_types::SimTime;
@@ -24,7 +22,7 @@ use sysscale_types::SimTime;
 use crate::workload::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
 
 /// Calibration descriptor of one SPEC-like benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpecDescriptor {
     /// Benchmark name (SPEC numbering).
     pub name: &'static str,
@@ -39,7 +37,7 @@ pub struct SpecDescriptor {
 }
 
 /// Temporal pattern of a benchmark's memory demand (Fig. 3(a)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhasePattern {
     /// Roughly constant demand.
     Steady,
@@ -51,34 +49,202 @@ pub enum PhasePattern {
 
 /// The calibration table for the modelled subset of SPEC CPU2006.
 pub const SPEC_CPU2006: &[SpecDescriptor] = &[
-    SpecDescriptor { name: "400.perlbench", base_cpi: 0.90, mpki: 1.0, blocking_fraction: 0.50, pattern: PhasePattern::Spiky },
-    SpecDescriptor { name: "401.bzip2", base_cpi: 1.00, mpki: 3.0, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "403.gcc", base_cpi: 1.10, mpki: 6.0, blocking_fraction: 0.60, pattern: PhasePattern::Spiky },
-    SpecDescriptor { name: "410.bwaves", base_cpi: 1.00, mpki: 19.0, blocking_fraction: 0.35, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "416.gamess", base_cpi: 0.80, mpki: 0.3, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "429.mcf", base_cpi: 1.40, mpki: 30.0, blocking_fraction: 0.70, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "433.milc", base_cpi: 1.10, mpki: 16.0, blocking_fraction: 0.45, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "434.zeusmp", base_cpi: 1.00, mpki: 5.0, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "435.gromacs", base_cpi: 0.90, mpki: 0.8, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "436.cactusADM", base_cpi: 1.00, mpki: 9.0, blocking_fraction: 0.75, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "437.leslie3d", base_cpi: 1.00, mpki: 12.0, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "444.namd", base_cpi: 0.80, mpki: 0.4, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "445.gobmk", base_cpi: 1.10, mpki: 0.8, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "447.dealII", base_cpi: 0.90, mpki: 1.5, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "450.soplex", base_cpi: 1.10, mpki: 10.0, blocking_fraction: 0.55, pattern: PhasePattern::Spiky },
-    SpecDescriptor { name: "453.povray", base_cpi: 0.85, mpki: 0.1, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "454.calculix", base_cpi: 0.90, mpki: 1.0, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "456.hmmer", base_cpi: 0.85, mpki: 0.6, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "458.sjeng", base_cpi: 1.00, mpki: 0.5, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "459.GemsFDTD", base_cpi: 1.00, mpki: 14.0, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "462.libquantum", base_cpi: 1.00, mpki: 22.0, blocking_fraction: 0.30, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "464.h264ref", base_cpi: 0.85, mpki: 1.2, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "465.tonto", base_cpi: 0.90, mpki: 0.9, blocking_fraction: 0.40, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "470.lbm", base_cpi: 1.00, mpki: 24.0, blocking_fraction: 0.30, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "471.omnetpp", base_cpi: 1.30, mpki: 12.0, blocking_fraction: 0.70, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "473.astar", base_cpi: 1.10, mpki: 7.0, blocking_fraction: 0.60, pattern: PhasePattern::Alternating },
-    SpecDescriptor { name: "482.sphinx3", base_cpi: 1.00, mpki: 8.0, blocking_fraction: 0.50, pattern: PhasePattern::Steady },
-    SpecDescriptor { name: "483.xalancbmk", base_cpi: 1.20, mpki: 4.0, blocking_fraction: 0.60, pattern: PhasePattern::Spiky },
+    SpecDescriptor {
+        name: "400.perlbench",
+        base_cpi: 0.90,
+        mpki: 1.0,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Spiky,
+    },
+    SpecDescriptor {
+        name: "401.bzip2",
+        base_cpi: 1.00,
+        mpki: 3.0,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "403.gcc",
+        base_cpi: 1.10,
+        mpki: 6.0,
+        blocking_fraction: 0.60,
+        pattern: PhasePattern::Spiky,
+    },
+    SpecDescriptor {
+        name: "410.bwaves",
+        base_cpi: 1.00,
+        mpki: 19.0,
+        blocking_fraction: 0.35,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "416.gamess",
+        base_cpi: 0.80,
+        mpki: 0.3,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "429.mcf",
+        base_cpi: 1.40,
+        mpki: 30.0,
+        blocking_fraction: 0.70,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "433.milc",
+        base_cpi: 1.10,
+        mpki: 16.0,
+        blocking_fraction: 0.45,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "434.zeusmp",
+        base_cpi: 1.00,
+        mpki: 5.0,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "435.gromacs",
+        base_cpi: 0.90,
+        mpki: 0.8,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "436.cactusADM",
+        base_cpi: 1.00,
+        mpki: 9.0,
+        blocking_fraction: 0.75,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "437.leslie3d",
+        base_cpi: 1.00,
+        mpki: 12.0,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "444.namd",
+        base_cpi: 0.80,
+        mpki: 0.4,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "445.gobmk",
+        base_cpi: 1.10,
+        mpki: 0.8,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "447.dealII",
+        base_cpi: 0.90,
+        mpki: 1.5,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "450.soplex",
+        base_cpi: 1.10,
+        mpki: 10.0,
+        blocking_fraction: 0.55,
+        pattern: PhasePattern::Spiky,
+    },
+    SpecDescriptor {
+        name: "453.povray",
+        base_cpi: 0.85,
+        mpki: 0.1,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "454.calculix",
+        base_cpi: 0.90,
+        mpki: 1.0,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "456.hmmer",
+        base_cpi: 0.85,
+        mpki: 0.6,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "458.sjeng",
+        base_cpi: 1.00,
+        mpki: 0.5,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "459.GemsFDTD",
+        base_cpi: 1.00,
+        mpki: 14.0,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "462.libquantum",
+        base_cpi: 1.00,
+        mpki: 22.0,
+        blocking_fraction: 0.30,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "464.h264ref",
+        base_cpi: 0.85,
+        mpki: 1.2,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "465.tonto",
+        base_cpi: 0.90,
+        mpki: 0.9,
+        blocking_fraction: 0.40,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "470.lbm",
+        base_cpi: 1.00,
+        mpki: 24.0,
+        blocking_fraction: 0.30,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "471.omnetpp",
+        base_cpi: 1.30,
+        mpki: 12.0,
+        blocking_fraction: 0.70,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "473.astar",
+        base_cpi: 1.10,
+        mpki: 7.0,
+        blocking_fraction: 0.60,
+        pattern: PhasePattern::Alternating,
+    },
+    SpecDescriptor {
+        name: "482.sphinx3",
+        base_cpi: 1.00,
+        mpki: 8.0,
+        blocking_fraction: 0.50,
+        pattern: PhasePattern::Steady,
+    },
+    SpecDescriptor {
+        name: "483.xalancbmk",
+        base_cpi: 1.20,
+        mpki: 4.0,
+        blocking_fraction: 0.60,
+        pattern: PhasePattern::Spiky,
+    },
 ];
 
 fn demand(desc: &SpecDescriptor, mpki: f64, threads: u32) -> CpuPhaseDemand {
@@ -232,7 +398,9 @@ mod tests {
     #[test]
     fn rate_suite_uses_multiple_threads() {
         let rate = spec_cpu2006_rate_suite();
-        assert!(rate.iter().all(|w| w.class == WorkloadClass::CpuMultiThread));
+        assert!(rate
+            .iter()
+            .all(|w| w.class == WorkloadClass::CpuMultiThread));
         assert!(rate.iter().all(|w| w.phases[0].cpu.active_threads == 4));
         assert!(rate.iter().all(|w| w.name.ends_with("-4t")));
         // Multi-threaded variants demand more bandwidth.
@@ -245,7 +413,10 @@ mod tests {
     fn cactusadm_is_latency_sensitive() {
         // Fig. 2(b): cactusADM's bottleneck is main-memory latency; in the
         // descriptor this shows up as a high blocking fraction.
-        let desc = SPEC_CPU2006.iter().find(|d| d.name == "436.cactusADM").unwrap();
+        let desc = SPEC_CPU2006
+            .iter()
+            .find(|d| d.name == "436.cactusADM")
+            .unwrap();
         assert!(desc.blocking_fraction >= 0.7);
         let lbm = SPEC_CPU2006.iter().find(|d| d.name == "470.lbm").unwrap();
         assert!(lbm.blocking_fraction < desc.blocking_fraction);

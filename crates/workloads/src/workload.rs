@@ -9,15 +9,13 @@
 //! (memory-boundedness, bandwidth demand over time, frequency scalability,
 //! idle residency).
 
-use serde::{Deserialize, Serialize};
-
 use sysscale_compute::{CStateProfile, CpuPhaseDemand, GfxPhaseDemand};
 use sysscale_iodev::{IoActivity, PeripheralConfig};
 use sysscale_types::{SimError, SimResult, SimTime};
 
 /// Class of a workload, used for reporting and for picking the right
 /// performance metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Single-threaded CPU benchmark (SPEC CPU2006 style).
     CpuSingleThread,
@@ -47,7 +45,7 @@ impl WorkloadClass {
 }
 
 /// The unit in which a workload's completed work is counted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PerfUnit {
     /// Instructions retired (CPU benchmarks).
     Instructions,
@@ -58,7 +56,7 @@ pub enum PerfUnit {
 }
 
 /// One phase of a workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadPhase {
     /// Duration of the phase.
     pub duration: SimTime,
@@ -102,7 +100,7 @@ impl WorkloadPhase {
 }
 
 /// A complete workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Human-readable name (e.g. `470.lbm`, `3DMark06`, `video-playback`).
     pub name: String,
@@ -132,7 +130,9 @@ impl Workload {
         peripherals: PeripheralConfig,
     ) -> SimResult<Self> {
         if phases.is_empty() {
-            return Err(SimError::invalid_config("workload must have at least one phase"));
+            return Err(SimError::invalid_config(
+                "workload must have at least one phase",
+            ));
         }
         for p in &phases {
             p.validate()?;
@@ -187,12 +187,7 @@ impl Workload {
         self.phases
             .iter()
             .map(|p| {
-                let r = cpu.evaluate(
-                    &p.cpu,
-                    Freq::from_ghz(1.2),
-                    SimTime::from_nanos(70.0),
-                    1.0,
-                );
+                let r = cpu.evaluate(&p.cpu, Freq::from_ghz(1.2), SimTime::from_nanos(70.0), 1.0);
                 let gfx = GfxBwHint::hint(&p.gfx);
                 (r.bandwidth_demand.as_bytes_per_sec() + gfx) * p.duration.as_secs()
             })
@@ -296,13 +291,5 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let w = workload(vec![phase(10.0, 1.0)]);
-        let json = serde_json::to_string(&w).unwrap();
-        let back: Workload = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, w);
     }
 }

@@ -1,11 +1,12 @@
-//! Quickstart: run one SPEC-like workload under the baseline and under
-//! SysScale on the simulated Skylake-class mobile SoC and compare them.
+//! Quickstart: describe runs as `Scenario`s, execute them through one
+//! `SimSession`, and compare SysScale against the baseline on a SPEC-like
+//! workload.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use sysscale::{FixedGovernor, SocConfig, SocSimulator, SysScaleGovernor};
+use sysscale::{Scenario, ScenarioSet, SimSession, SocConfig};
 use sysscale_types::{Domain, SimTime};
 use sysscale_workloads::spec_workload;
 
@@ -18,14 +19,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let workload = spec_workload("gamess").expect("416.gamess is part of the suite");
     let duration = SimTime::from_millis(500.0);
-    let mut sim = SocSimulator::new(config)?;
 
-    let baseline = sim.run(&workload, &mut FixedGovernor::baseline(), duration)?;
-    let sysscale = sim.run(
-        &workload,
-        &mut SysScaleGovernor::with_default_thresholds(),
-        duration,
-    )?;
+    // One ScenarioSet run covers the whole {baseline, sysscale} column pair
+    // and computes the baseline-relative deltas.
+    let mut session = SimSession::new();
+    let runs = ScenarioSet::matrix(
+        &config,
+        std::slice::from_ref(&workload),
+        &["baseline", "sysscale"],
+    )?
+    .with_baseline("baseline")
+    .run(&mut session)?;
+
+    let baseline = &runs.baseline_for(&workload.name).expect("ran").report;
+    let sysscale = &runs.get(&workload.name, "sysscale").expect("ran").report;
+    let cell = runs.cell(&workload.name, "sysscale").expect("ran");
 
     println!("\nWorkload: {} ({} simulated)", workload.name, duration);
     println!(
@@ -40,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  speedup  : {:+.1} %  (low-OP residency {:.0} %, {} DVFS transitions)",
-        sysscale.speedup_pct_over(&baseline),
+        cell.speedup_pct,
         sysscale.low_op_residency * 100.0,
         sysscale.transitions.count
     );
@@ -52,5 +60,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sysscale.average_domain_power(domain).as_watts()
         );
     }
+
+    // Single custom runs go through the Scenario builder.
+    let traced = Scenario::builder(workload)
+        .config(config)
+        .governor("sysscale")
+        .duration(duration)
+        .trace(true)
+        .build()?;
+    let record = session.run(&traced)?;
+    let trace = record.trace.expect("trace requested");
+    println!(
+        "\nTraced re-run: {} slices, first-slice demand {:.2} GiB/s",
+        trace.len(),
+        trace[0].demanded_gib_s
+    );
     Ok(())
 }

@@ -1,5 +1,7 @@
 //! Reproduces the Fig. 7 comparison on the SPEC CPU2006-like suite:
-//! MemScale-Redist and CoScale-Redist (projected) versus SysScale (measured).
+//! MemScale-Redist and CoScale-Redist (projected) versus SysScale
+//! (measured). The whole suite × governor matrix runs through one
+//! `ScenarioSet::run` call inside `evaluation::fig7`.
 //!
 //! ```text
 //! cargo run --release --example spec_cpu_sweep
@@ -7,12 +9,24 @@
 
 use sysscale::experiments::evaluation;
 use sysscale::{DemandPredictor, SocConfig};
+use sysscale_workloads::spec_cpu2006_suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
-    let figure = evaluation::fig7(&config, &predictor)?;
 
+    // The raw matrix is available too: one call, one simulator per platform,
+    // every (workload, governor) cell keyed in the RunSet.
+    let suite = spec_cpu2006_suite();
+    let runs = evaluation::evaluation_matrix(&config, &predictor, &suite)?;
+    println!(
+        "matrix: {} runs over {} workloads x {:?}",
+        runs.len(),
+        runs.workloads().len(),
+        runs.governors()
+    );
+
+    let figure = evaluation::fig7(&config, &predictor)?;
     println!("Fig. 7 — SPEC CPU2006 performance improvement over the baseline");
     println!(
         "{:<18} {:>12} {:>12} {:>10}",
@@ -32,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "paper reports     {:>11} {:>12} {:>10}",
         "1.7%", "3.8%", "9.2%"
     );
-    println!("measured max SysScale gain: {:.1}% (paper: up to 16%)", figure.sysscale_max_pct);
+    println!(
+        "measured max SysScale gain: {:.1}% (paper: up to 16%)",
+        figure.sysscale_max_pct
+    );
     Ok(())
 }

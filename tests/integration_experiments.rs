@@ -28,8 +28,14 @@ fn motivation_experiments_have_the_paper_shape() {
     assert!(astar.peak_gib_s > astar.average_gib_s + 0.25);
     // Fig. 3(b): a 4K panel demands ~4x the bandwidth of an HD panel.
     let fig3b = motivation::fig3b();
-    let hd = fig3b.iter().find(|r| r.configuration == "display: 1x HD").unwrap();
-    let uhd = fig3b.iter().find(|r| r.configuration == "display: 1x 4K").unwrap();
+    let hd = fig3b
+        .iter()
+        .find(|r| r.configuration == "display: 1x HD")
+        .unwrap();
+    let uhd = fig3b
+        .iter()
+        .find(|r| r.configuration == "display: 1x 4K")
+        .unwrap();
     assert!(uhd.fraction_of_peak / hd.fraction_of_peak > 3.0);
     // Fig. 4: unoptimized MRC costs both power and performance.
     let fig4 = motivation::fig4(&config).unwrap();
@@ -60,8 +66,7 @@ fn overheads_and_transition_budget_hold_on_the_real_flow() {
     let o = sensitivity::overheads();
     assert!(o.transition_stall_us < 10.0);
     assert!(o.mrc_sram_bytes <= 512);
-    let measured =
-        sensitivity::measured_transition_stall(&SocConfig::skylake_default()).unwrap();
+    let measured = sensitivity::measured_transition_stall(&SocConfig::skylake_default()).unwrap();
     assert!(measured.as_micros() < 10.0);
 }
 

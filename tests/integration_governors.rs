@@ -1,42 +1,46 @@
 //! Integration tests of the governors: SysScale versus the baselines on the
-//! full simulator.
+//! full simulator, driven through the Scenario/SimSession API.
 
-use sysscale::{
-    calibrate, memscale_config, CalibrationConfig, CoScaleGovernor, FixedGovernor,
-    MemScaleGovernor, SocConfig, SocSimulator, SysScaleGovernor,
-};
+use sysscale::{calibrate, CalibrationConfig, ScenarioSet, SimSession, SocConfig};
 use sysscale_types::SimTime;
 use sysscale_workloads::{
-    battery_workload, graphics_workload, spec_cpu2006_suite, spec_workload, WorkloadGenerator,
+    battery_workload, graphics_workload, spec_cpu2006_suite, spec_workload, Workload,
+    WorkloadGenerator,
 };
 
-fn run(
-    config: &SocConfig,
-    workload: &sysscale_workloads::Workload,
-    governor: &mut dyn sysscale::Governor,
-) -> sysscale::SimReport {
-    let mut sim = SocSimulator::new(config.clone()).unwrap();
-    let duration = workload.iteration_length().max(SimTime::from_millis(300.0));
-    sim.run(workload, governor, duration).unwrap()
+fn matrix(config: &SocConfig, workloads: &[Workload], governors: &[&str]) -> sysscale::RunSet {
+    ScenarioSet::matrix(config, workloads, governors)
+        .unwrap()
+        .with_baseline("baseline")
+        .run(&mut SimSession::new())
+        .unwrap()
 }
 
 #[test]
 fn sysscale_speeds_up_compute_bound_and_spares_memory_bound_workloads() {
     let config = SocConfig::skylake_default();
-    let mut results = Vec::new();
-    for name in ["gamess", "namd", "povray", "lbm", "bwaves", "milc"] {
-        let w = spec_workload(name).unwrap();
-        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
-        let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
-        results.push((name, sys.speedup_pct_over(&baseline), sys.qos_violations));
+    let names = ["gamess", "namd", "povray", "lbm", "bwaves", "milc"];
+    let workloads: Vec<Workload> = names.iter().map(|n| spec_workload(n).unwrap()).collect();
+    let runs = matrix(&config, &workloads, &["baseline", "sysscale"]);
+    let mut speedups = Vec::new();
+    for w in &workloads {
+        let record = runs.get(&w.name, "sysscale").unwrap();
+        assert_eq!(
+            record.report.qos_violations, 0,
+            "{} had QoS violations",
+            w.name
+        );
+        let cell = runs.cell(&w.name, "sysscale").unwrap();
+        assert!(
+            cell.speedup_pct > -3.0,
+            "{} regressed by {}%",
+            w.name,
+            cell.speedup_pct
+        );
+        speedups.push(cell.speedup_pct);
     }
-    for (name, speedup, qos) in &results {
-        assert_eq!(*qos, 0, "{name} had QoS violations");
-        assert!(*speedup > -3.0, "{name} regressed by {speedup}%");
-    }
-    let compute_bound_avg =
-        (results[0].1 + results[1].1 + results[2].1) / 3.0;
-    let memory_bound_avg = (results[3].1 + results[4].1 + results[5].1) / 3.0;
+    let compute_bound_avg = (speedups[0] + speedups[1] + speedups[2]) / 3.0;
+    let memory_bound_avg = (speedups[3] + speedups[4] + speedups[5]) / 3.0;
     assert!(
         compute_bound_avg > 4.0,
         "compute-bound average speedup {compute_bound_avg}%"
@@ -50,21 +54,26 @@ fn sysscale_speeds_up_compute_bound_and_spares_memory_bound_workloads() {
 #[test]
 fn sysscale_outperforms_memscale_and_coscale_on_the_spec_suite_average() {
     let config = SocConfig::skylake_default();
-    let restricted = memscale_config(&config);
-    let mut sys_total = 0.0;
-    let mut mem_total = 0.0;
-    let mut co_total = 0.0;
-    // A representative subset keeps the test fast.
-    for name in ["gamess", "namd", "perlbench", "astar", "sphinx3", "lbm"] {
-        let w = spec_workload(name).unwrap();
-        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
-        sys_total += run(&config, &w, &mut SysScaleGovernor::with_default_thresholds())
-            .speedup_pct_over(&baseline);
-        mem_total += run(&restricted, &w, &mut MemScaleGovernor::redistributing())
-            .speedup_pct_over(&baseline);
-        co_total += run(&restricted, &w, &mut CoScaleGovernor::redistributing())
-            .speedup_pct_over(&baseline);
-    }
+    // A representative subset keeps the test fast. The restricted MemScale /
+    // CoScale platforms are applied automatically by the governor registry.
+    let workloads: Vec<Workload> = ["gamess", "namd", "perlbench", "astar", "sphinx3", "lbm"]
+        .iter()
+        .map(|n| spec_workload(n).unwrap())
+        .collect();
+    let runs = matrix(
+        &config,
+        &workloads,
+        &["baseline", "sysscale", "memscale-redist", "coscale-redist"],
+    );
+    let total = |gov: &str| -> f64 {
+        workloads
+            .iter()
+            .map(|w| runs.cell(&w.name, gov).unwrap().speedup_pct)
+            .sum()
+    };
+    let sys_total = total("sysscale");
+    let mem_total = total("memscale-redist");
+    let co_total = total("coscale-redist");
     assert!(
         sys_total > mem_total && sys_total > co_total,
         "sysscale {sys_total} vs memscale {mem_total} vs coscale {co_total}"
@@ -74,15 +83,28 @@ fn sysscale_outperforms_memscale_and_coscale_on_the_spec_suite_average() {
 #[test]
 fn sysscale_reduces_battery_life_power_without_missing_frames() {
     let config = SocConfig::skylake_default();
-    for name in ["video-playback", "web-browsing"] {
-        let w = battery_workload(name).unwrap();
-        let baseline = run(&config, &w, &mut FixedGovernor::baseline());
-        let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
-        let reduction = sys.power_reduction_pct_vs(&baseline);
-        assert!(reduction > 2.0, "{name}: {reduction}%");
-        assert_eq!(sys.qos_violations, 0);
+    let workloads: Vec<Workload> = ["video-playback", "web-browsing"]
+        .iter()
+        .map(|n| battery_workload(n).unwrap())
+        .collect();
+    let runs = matrix(&config, &workloads, &["baseline", "sysscale"]);
+    for w in &workloads {
+        let cell = runs.cell(&w.name, "sysscale").unwrap();
+        assert!(
+            cell.power_reduction_pct > 2.0,
+            "{}: {}%",
+            w.name,
+            cell.power_reduction_pct
+        );
+        let report = &runs.get(&w.name, "sysscale").unwrap().report;
+        assert_eq!(report.qos_violations, 0);
         let target = w.phases[0].gfx.target_fps.unwrap();
-        assert!(sys.average_fps >= target * 0.9, "{name}: {} fps", sys.average_fps);
+        assert!(
+            report.average_fps >= target * 0.9,
+            "{}: {} fps",
+            w.name,
+            report.average_fps
+        );
     }
 }
 
@@ -90,10 +112,11 @@ fn sysscale_reduces_battery_life_power_without_missing_frames() {
 fn sysscale_boosts_graphics_frame_rate() {
     let config = SocConfig::skylake_default();
     let w = graphics_workload("3DMark06").unwrap();
-    let baseline = run(&config, &w, &mut FixedGovernor::baseline());
-    let sys = run(&config, &w, &mut SysScaleGovernor::with_default_thresholds());
+    let runs = matrix(&config, std::slice::from_ref(&w), &["baseline", "sysscale"]);
+    let baseline = &runs.baseline_for(&w.name).unwrap().report;
+    let sys = &runs.get(&w.name, "sysscale").unwrap().report;
     assert!(sys.average_gfx_freq_ghz >= baseline.average_gfx_freq_ghz);
-    assert!(sys.speedup_pct_over(&baseline) > 1.0);
+    assert!(runs.cell(&w.name, "sysscale").unwrap().speedup_pct > 1.0);
 }
 
 #[test]
@@ -116,15 +139,12 @@ fn calibrated_predictor_has_no_false_positives_on_the_spec_suite() {
             .as_bytes_per_sec(),
     );
 
+    let mut session = SimSession::new();
     let mut false_positives = 0;
     let mut checked = 0;
     for w in spec_cpu2006_suite() {
-        let sample = sysscale::measure_sample(&config, &w, &cal_cfg).unwrap();
-        let prediction = predictor.predict(
-            &sample.counters,
-            w.peripherals.static_demand(),
-            peak,
-        );
+        let sample = sysscale::measure_sample_in(&mut session, &config, &w, &cal_cfg).unwrap();
+        let prediction = predictor.predict(&sample.counters, w.peripherals.static_demand(), peak);
         checked += 1;
         if !prediction.needs_high_performance && sample.actual_degradation > 0.05 {
             false_positives += 1;

@@ -1,57 +1,84 @@
-//! Property-based integration tests over the full simulator and the SysScale
-//! governor.
-
-use proptest::prelude::*;
+//! Randomized integration tests over the full simulator and the SysScale
+//! governor, sampled deterministically over a fixed seed set.
 
 use sysscale::{FixedGovernor, SocConfig, SocSimulator, SysScaleGovernor};
 use sysscale_types::{Domain, SimTime};
 use sysscale_workloads::WorkloadGenerator;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const SEEDS: [u64; 12] = [0, 1, 7, 42, 99, 123, 256, 389, 512, 640, 777, 999];
 
-    /// For any synthetic workload: energy accounting is consistent
-    /// (energy = average power × duration, domains sum to the total), the
-    /// average power respects the TDP, and SysScale never causes an
-    /// isochronous QoS violation.
-    #[test]
-    fn full_system_invariants(seed in 0u64..1_000) {
-        let config = SocConfig::skylake_default();
-        let workload = WorkloadGenerator::with_seed(seed).population(1).pop().unwrap();
+/// For any synthetic workload: energy accounting is consistent
+/// (energy = average power × duration, domains sum to the total), the
+/// average power respects the TDP, and SysScale never causes an
+/// isochronous QoS violation.
+#[test]
+fn full_system_invariants() {
+    let config = SocConfig::skylake_default();
+    let duration = SimTime::from_millis(120.0);
+    for seed in SEEDS {
+        let workload = WorkloadGenerator::with_seed(seed)
+            .population(1)
+            .pop()
+            .unwrap();
         let mut sim = SocSimulator::new(config.clone()).unwrap();
-        let duration = SimTime::from_millis(120.0);
 
         for use_sysscale in [false, true] {
             let report = if use_sysscale {
-                sim.run(&workload, &mut SysScaleGovernor::with_default_thresholds(), duration).unwrap()
+                sim.run(
+                    &workload,
+                    &mut SysScaleGovernor::with_default_thresholds(),
+                    duration,
+                )
+                .unwrap()
             } else {
-                sim.run(&workload, &mut FixedGovernor::baseline(), duration).unwrap()
+                sim.run(&workload, &mut FixedGovernor::baseline(), duration)
+                    .unwrap()
             };
             let total = report.metrics.energy.as_joules();
-            let by_domain: f64 = Domain::ALL.iter().map(|&d| report.energy.domain(d).as_joules()).sum();
-            prop_assert!((total - by_domain).abs() < 1e-9);
+            let by_domain: f64 = Domain::ALL
+                .iter()
+                .map(|&d| report.energy.domain(d).as_joules())
+                .sum();
+            assert!((total - by_domain).abs() < 1e-9, "seed {seed}");
             let avg = report.average_power();
-            prop_assert!(((avg * report.metrics.duration).as_joules() - total).abs() < 1e-9);
-            prop_assert!(avg.as_watts() <= config.tdp.as_watts() * 1.05,
-                "{}: {} W", report.governor, avg.as_watts());
-            prop_assert_eq!(report.qos_violations, 0);
-            prop_assert!(report.metrics.work_done >= 0.0);
+            assert!(((avg * report.metrics.duration).as_joules() - total).abs() < 1e-9);
+            assert!(
+                avg.as_watts() <= config.tdp.as_watts() * 1.05,
+                "seed {seed} {}: {} W",
+                report.governor,
+                avg.as_watts()
+            );
+            assert_eq!(report.qos_violations, 0, "seed {seed}");
+            assert!(report.metrics.work_done >= 0.0);
         }
     }
+}
 
-    /// SysScale never loses more than a small fraction of performance
-    /// relative to the baseline (the predictor errs towards the high point),
-    /// and never consumes more average power than the baseline on the same
-    /// workload by more than the TDP tolerance.
-    #[test]
-    fn sysscale_is_safe_relative_to_baseline(seed in 0u64..1_000) {
-        let config = SocConfig::skylake_default();
-        let workload = WorkloadGenerator::with_seed(seed ^ 0xABCD).population(1).pop().unwrap();
-        let mut sim = SocSimulator::new(config).unwrap();
-        let duration = SimTime::from_millis(120.0);
-        let baseline = sim.run(&workload, &mut FixedGovernor::baseline(), duration).unwrap();
-        let sys = sim.run(&workload, &mut SysScaleGovernor::with_default_thresholds(), duration).unwrap();
+/// SysScale never loses more than a small fraction of performance relative
+/// to the baseline (the predictor errs towards the high point), and never
+/// consumes more average power than the baseline on the same workload by
+/// more than the TDP tolerance.
+#[test]
+fn sysscale_is_safe_relative_to_baseline() {
+    let config = SocConfig::skylake_default();
+    let duration = SimTime::from_millis(120.0);
+    for seed in SEEDS {
+        let workload = WorkloadGenerator::with_seed(seed ^ 0xABCD)
+            .population(1)
+            .pop()
+            .unwrap();
+        let mut sim = SocSimulator::new(config.clone()).unwrap();
+        let baseline = sim
+            .run(&workload, &mut FixedGovernor::baseline(), duration)
+            .unwrap();
+        let sys = sim
+            .run(
+                &workload,
+                &mut SysScaleGovernor::with_default_thresholds(),
+                duration,
+            )
+            .unwrap();
         let speedup = sys.speedup_pct_over(&baseline);
-        prop_assert!(speedup > -8.0, "speedup {}%", speedup);
+        assert!(speedup > -8.0, "seed {seed}: speedup {speedup}%");
     }
 }

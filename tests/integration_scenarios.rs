@@ -1,0 +1,158 @@
+//! Integration tests of the Scenario/SimSession/ScenarioSet API: matrix
+//! coverage, determinism across re-runs, and baseline-relative deltas.
+
+use sysscale::{GovernorRegistry, Scenario, ScenarioSet, SimSession, SocConfig, SocSimulator};
+use sysscale_soc::FixedGovernor;
+use sysscale_types::SimTime;
+use sysscale_workloads::{spec_workload, Workload};
+
+fn spec_suite_subset() -> Vec<Workload> {
+    ["gamess", "perlbench", "lbm"]
+        .iter()
+        .map(|n| spec_workload(n).unwrap())
+        .collect()
+}
+
+#[test]
+fn scenario_set_produces_one_metrics_record_per_cell() {
+    // (a) A workloads x governors matrix yields exactly one RunMetrics per
+    // (workload, governor) cell.
+    let workloads = spec_suite_subset();
+    let governors = ["baseline", "sysscale"];
+    let runs = ScenarioSet::matrix(&SocConfig::skylake_default(), &workloads, &governors)
+        .unwrap()
+        .with_baseline("baseline")
+        .run(&mut SimSession::new())
+        .unwrap();
+
+    assert_eq!(runs.len(), workloads.len() * governors.len());
+    for w in &workloads {
+        for gov in governors {
+            let record = runs
+                .get(&w.name, gov)
+                .unwrap_or_else(|| panic!("missing cell ({}, {gov})", w.name));
+            assert_eq!(record.workload, w.name);
+            assert_eq!(record.governor, gov);
+            assert!(record.report.metrics.work_done > 0.0);
+            assert!(record.report.metrics.energy.as_joules() > 0.0);
+            assert!(record.report.metrics.duration > SimTime::ZERO);
+        }
+    }
+    // Exactly one record per key: no duplicates hiding behind get().
+    let mut keys: Vec<(String, String)> = runs
+        .records()
+        .iter()
+        .map(|r| (r.workload.clone(), r.governor.clone()))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), runs.len());
+}
+
+#[test]
+fn rerunning_a_scenario_on_one_simulator_is_deterministic() {
+    // (b) No state leaks between runs: the same scenario executed twice on
+    // the same session (and the same underlying SocSimulator) produces
+    // identical metrics, counters, and transition statistics.
+    let scenario = Scenario::builder(spec_workload("astar").unwrap())
+        .governor("sysscale")
+        .duration(SimTime::from_millis(250.0))
+        .build()
+        .unwrap();
+    let mut session = SimSession::new();
+    let first = session.run(&scenario).unwrap();
+    let second = session.run(&scenario).unwrap();
+    assert_eq!(
+        session.cached_platforms(),
+        1,
+        "same platform, same simulator"
+    );
+    assert_eq!(first.report, second.report);
+
+    // The same holds on a bare simulator driven directly.
+    let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+    let w = spec_workload("lbm").unwrap();
+    let a = sim
+        .run(
+            &w,
+            &mut FixedGovernor::md_dvfs(true),
+            SimTime::from_millis(150.0),
+        )
+        .unwrap();
+    let b = sim
+        .run(
+            &w,
+            &mut FixedGovernor::md_dvfs(true),
+            SimTime::from_millis(150.0),
+        )
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn runset_speedup_matches_hand_computed_value() {
+    // (c) The RunSet's baseline-relative speedup equals speedup_pct_over
+    // computed by hand from the underlying reports.
+    let workloads = spec_suite_subset();
+    let runs = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads,
+        &["baseline", "md-dvfs-redist"],
+    )
+    .unwrap()
+    .with_baseline("baseline")
+    .run(&mut SimSession::new())
+    .unwrap();
+
+    for w in &workloads {
+        let baseline = runs.baseline_for(&w.name).unwrap();
+        let run = runs.get(&w.name, "md-dvfs-redist").unwrap();
+        let cell = runs.cell(&w.name, "md-dvfs-redist").unwrap();
+        let by_hand = run.report.speedup_pct_over(&baseline.report);
+        assert!(
+            (cell.speedup_pct - by_hand).abs() < 1e-12,
+            "{}: {} vs {}",
+            w.name,
+            cell.speedup_pct,
+            by_hand
+        );
+        let power_by_hand = run.report.power_reduction_pct_vs(&baseline.report);
+        assert!((cell.power_reduction_pct - power_by_hand).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn governor_restrictions_flow_through_the_matrix() {
+    // The MemScale column runs on the restricted platform; the session keeps
+    // one simulator per distinct platform.
+    let workloads = spec_suite_subset();
+    let mut session = SimSession::new();
+    let runs = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads,
+        &["baseline", "memscale"],
+    )
+    .unwrap()
+    .with_baseline("baseline")
+    .run(&mut session)
+    .unwrap();
+    assert_eq!(session.cached_platforms(), 2);
+    assert_eq!(runs.len(), 6);
+}
+
+#[test]
+fn unknown_governor_names_error_cleanly() {
+    let workloads = spec_suite_subset();
+    let err = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads,
+        &["baseline", "turbo-mode"],
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("turbo-mode"), "{msg}");
+    // The registry advertises what IS available.
+    assert!(GovernorRegistry::builtin()
+        .names()
+        .contains(&"sysscale".to_string()));
+}

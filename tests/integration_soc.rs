@@ -1,25 +1,34 @@
 //! Cross-crate integration tests: full-SoC runs across the workload suites
-//! under the fixed governors.
+//! under the fixed governors, driven through the Scenario/SimSession API.
 
-use sysscale::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale::{Scenario, SimSession, SocConfig, SocSimulator};
+use sysscale_soc::FixedGovernor;
 use sysscale_types::{Domain, Power, SimTime};
 use sysscale_workloads::{
     battery_life_suite, graphics_suite, idle_display_on, spec_workload, stream_peak_bandwidth,
+    Workload,
 };
 
 fn run_ms(
+    session: &mut SimSession,
     config: &SocConfig,
-    workload: &sysscale_workloads::Workload,
-    governor: &mut dyn sysscale::Governor,
+    workload: &Workload,
+    governor: &str,
     ms: f64,
 ) -> sysscale::SimReport {
-    let mut sim = SocSimulator::new(config.clone()).unwrap();
-    sim.run(workload, governor, SimTime::from_millis(ms)).unwrap()
+    let scenario = Scenario::builder(workload.clone())
+        .config(config.clone())
+        .governor(governor)
+        .duration(SimTime::from_millis(ms))
+        .build()
+        .unwrap();
+    session.run(&scenario).unwrap().report
 }
 
 #[test]
 fn average_power_never_exceeds_tdp_by_more_than_tolerance() {
     let config = SocConfig::skylake_default();
+    let mut session = SimSession::new();
     let mut workloads = vec![
         spec_workload("lbm").unwrap(),
         spec_workload("gamess").unwrap(),
@@ -27,13 +36,8 @@ fn average_power_never_exceeds_tdp_by_more_than_tolerance() {
     ];
     workloads.extend(graphics_suite());
     for w in &workloads {
-        for use_high in [true, false] {
-            let mut gov = if use_high {
-                FixedGovernor::baseline()
-            } else {
-                FixedGovernor::md_dvfs(true)
-            };
-            let report = run_ms(&config, w, &mut gov, 300.0);
+        for gov in ["baseline", "md-dvfs-redist"] {
+            let report = run_ms(&mut session, &config, w, gov, 300.0);
             let power = report.average_power().as_watts();
             assert!(
                 power <= config.tdp.as_watts() * 1.05,
@@ -49,9 +53,10 @@ fn average_power_never_exceeds_tdp_by_more_than_tolerance() {
 fn domain_power_split_is_plausible_for_cpu_workloads() {
     let config = SocConfig::skylake_default();
     let report = run_ms(
+        &mut SimSession::new(),
         &config,
         &spec_workload("lbm").unwrap(),
-        &mut FixedGovernor::baseline(),
+        "baseline",
         300.0,
     );
     let compute = report.average_domain_power(Domain::Compute).as_watts();
@@ -59,7 +64,10 @@ fn domain_power_split_is_plausible_for_cpu_workloads() {
     let io = report.average_domain_power(Domain::Io).as_watts();
     // Compute dominates, memory is substantial for a bandwidth-bound
     // workload, IO is smallest but non-zero.
-    assert!(compute > memory && memory > io && io > 0.05, "{compute}/{memory}/{io}");
+    assert!(
+        compute > memory && memory > io && io > 0.05,
+        "{compute}/{memory}/{io}"
+    );
     let total = compute + memory + io;
     assert!((total - report.average_power().as_watts()).abs() < 1e-6);
 }
@@ -68,9 +76,10 @@ fn domain_power_split_is_plausible_for_cpu_workloads() {
 fn idle_platform_draws_a_small_fraction_of_tdp() {
     let config = SocConfig::skylake_default();
     let report = run_ms(
+        &mut SimSession::new(),
         &config,
         &idle_display_on(),
-        &mut FixedGovernor::baseline(),
+        "baseline",
         300.0,
     );
     assert!(report.average_power() < Power::from_watts(1.0));
@@ -79,15 +88,11 @@ fn idle_platform_draws_a_small_fraction_of_tdp() {
 #[test]
 fn battery_life_scenarios_meet_their_frame_rate_at_both_operating_points() {
     let config = SocConfig::skylake_default();
+    let mut session = SimSession::new();
     for w in battery_life_suite() {
         let target = w.phases[0].gfx.target_fps.unwrap();
-        for use_high in [true, false] {
-            let mut gov = if use_high {
-                FixedGovernor::baseline()
-            } else {
-                FixedGovernor::md_dvfs(false)
-            };
-            let report = run_ms(&config, &w, &mut gov, 300.0);
+        for gov in ["baseline", "md-dvfs"] {
+            let report = run_ms(&mut session, &config, &w, gov, 300.0);
             assert!(
                 report.average_fps >= target * 0.9,
                 "{} at {}: {} fps vs target {target}",
@@ -103,6 +108,8 @@ fn battery_life_scenarios_meet_their_frame_rate_at_both_operating_points() {
 #[test]
 fn stream_microbenchmark_approaches_peak_bandwidth_at_the_high_point() {
     let config = SocConfig::skylake_default();
+    // The low-level simulator API remains available next to the scenario
+    // layer for direct experiments.
     let mut sim = SocSimulator::new(config).unwrap();
     let report = sim
         .run(
@@ -122,14 +129,16 @@ fn stream_microbenchmark_approaches_peak_bandwidth_at_the_high_point() {
 #[test]
 fn tdp_sweep_scales_compute_throughput() {
     // More TDP means more compute budget and more throughput for a
-    // compute-bound workload.
+    // compute-bound workload. One session caches all three platforms.
     let gamess = spec_workload("gamess").unwrap();
+    let mut session = SimSession::new();
     let mut last = 0.0;
     for tdp in [3.5, 4.5, 7.0] {
         let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
-        let report = run_ms(&config, &gamess, &mut FixedGovernor::baseline(), 200.0);
+        let report = run_ms(&mut session, &config, &gamess, "baseline", 200.0);
         let throughput = report.metrics.throughput();
         assert!(throughput > last, "tdp {tdp}: {throughput} vs {last}");
         last = throughput;
     }
+    assert_eq!(session.cached_platforms(), 3);
 }
