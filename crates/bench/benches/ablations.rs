@@ -3,11 +3,19 @@
 
 use sysscale::experiments::sensitivity;
 use sysscale::DemandPredictor;
-use sysscale_bench::timing::bench;
+use sysscale_bench::timing::{bench, time_matrix};
+use sysscale_types::exec;
 
 fn main() {
     let predictor = DemandPredictor::skylake_default();
-    let rows = sensitivity::ablations(&predictor).unwrap();
+    // (6 SPEC + video playback) x (baseline + 6 variants) cells.
+    let (_, rows) = time_matrix(
+        "ablations",
+        "full_sweep",
+        49,
+        exec::default_threads(),
+        || sensitivity::ablations(&predictor).unwrap(),
+    );
     println!("{}", sysscale_bench::format_ablations(&rows));
 
     bench("ablations", "full_ablation_sweep", 5, || {

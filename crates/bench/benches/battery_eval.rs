@@ -2,14 +2,23 @@
 
 use sysscale::experiments::evaluation;
 use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
-use sysscale_bench::timing::bench;
-use sysscale_workloads::battery_workload;
+use sysscale_bench::timing::{bench, time_matrix};
+use sysscale_types::exec;
+use sysscale_workloads::{battery_life_suite, battery_workload};
 
 fn main() {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
-    let fig9 = evaluation::fig9(&config, &predictor).unwrap();
+    // fig9 runs the battery-life suite x 4 governors as one matrix.
+    let cells = battery_life_suite().len() * 4;
+    let (_, fig9) = time_matrix(
+        "battery_eval",
+        "fig9",
+        cells,
+        exec::default_threads(),
+        || evaluation::fig9(&config, &predictor).unwrap(),
+    );
     println!("{}", sysscale_bench::format_fig9(&fig9));
 
     let mut session = SimSession::new();

@@ -2,14 +2,23 @@
 
 use sysscale::experiments::evaluation;
 use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
-use sysscale_bench::timing::bench;
-use sysscale_workloads::graphics_workload;
+use sysscale_bench::timing::{bench, time_matrix};
+use sysscale_types::exec;
+use sysscale_workloads::{graphics_suite, graphics_workload};
 
 fn main() {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
-    let fig8 = evaluation::fig8(&config, &predictor).unwrap();
+    // fig8 runs the graphics suite x 4 governors as one matrix.
+    let cells = graphics_suite().len() * 4;
+    let (_, fig8) = time_matrix(
+        "graphics_eval",
+        "fig8",
+        cells,
+        exec::default_threads(),
+        || evaluation::fig8(&config, &predictor).unwrap(),
+    );
     println!(
         "{}",
         sysscale_bench::format_speedup_figure("Fig. 8 — graphics (reproduced)", &fig8)

@@ -3,7 +3,8 @@
 
 use sysscale::experiments::motivation;
 use sysscale::SocConfig;
-use sysscale_bench::{self as fmt, timing::bench};
+use sysscale_bench::{self as fmt, timing::bench, timing::time_matrix};
+use sysscale_types::exec;
 
 fn main() {
     let config = SocConfig::skylake_default();
@@ -12,10 +13,11 @@ fn main() {
     // reproduced data.
     println!("{}", fmt::format_table1(&motivation::table1(&config)));
     println!("{}", fmt::format_table2(&config));
-    println!(
-        "{}",
-        fmt::format_fig2a(&motivation::fig2a(&config).unwrap())
-    );
+    // fig2a is a 3 workloads x 3 governors matrix.
+    let (_, fig2a) = time_matrix("motivation", "fig2a", 9, exec::default_threads(), || {
+        motivation::fig2a(&config).unwrap()
+    });
+    println!("{}", fmt::format_fig2a(&fig2a));
     println!("{}", fmt::format_fig3b(&motivation::fig3b()));
     println!("{}", fmt::format_fig4(&motivation::fig4(&config).unwrap()));
 

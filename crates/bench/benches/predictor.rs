@@ -3,7 +3,7 @@
 
 use sysscale::experiments::predictor_study::{fig6, PredictorStudyConfig};
 use sysscale::{calibrate, CalibrationConfig, DemandPredictor, SocConfig};
-use sysscale_bench::timing::bench;
+use sysscale_bench::timing::{bench, time_matrix};
 use sysscale_types::{Bandwidth, CounterKind, CounterSet};
 use sysscale_workloads::WorkloadGenerator;
 
@@ -15,7 +15,15 @@ fn main() {
         workloads_per_panel: 24,
         ..PredictorStudyConfig::default()
     };
-    let panels = fig6(&config, &study).unwrap();
+    // 3 pairs x 3 classes x 24 workloads x 2 operating points.
+    let cells = 3 * 3 * study.workloads_per_panel * 2;
+    let (_, panels) = time_matrix(
+        "predictor",
+        "fig6_reduced",
+        cells,
+        sysscale_types::exec::default_threads(),
+        || fig6(&config, &study).unwrap(),
+    );
     println!("{}", sysscale_bench::format_fig6(&panels));
 
     let predictor = DemandPredictor::skylake_default();

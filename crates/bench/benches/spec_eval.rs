@@ -1,10 +1,18 @@
-//! Benchmarks the Fig. 7 SPEC evaluation kernel (one workload end-to-end
-//! through the scenario API) and prints a reduced figure once.
+//! Benchmarks the Fig. 7 SPEC evaluation: the full
+//! `SPEC06 × {baseline, sysscale, memscale, coscale}` matrix through the
+//! sequential and the parallel scenario runner (the headline speedup of the
+//! deterministic executor), plus the single-run kernels.
+//!
+//! Each matrix execution emits one machine-readable JSON line
+//! (`"kind":"matrix_perf"`) carrying wall-clock, cells/sec, and thread
+//! count, so the perf trajectory is trackable across PRs.
 
-use sysscale::experiments::evaluation;
-use sysscale::{DemandPredictor, Scenario, SimSession, SocConfig};
-use sysscale_bench::timing::bench;
-use sysscale_workloads::spec_workload;
+use sysscale::experiments::evaluation::{self, EVALUATION_GOVERNORS};
+use sysscale::{
+    DemandPredictor, GovernorRegistry, Scenario, ScenarioSet, SessionPool, SimSession, SocConfig,
+};
+use sysscale_bench::timing::{bench, time_matrix};
+use sysscale_workloads::{spec_cpu2006_suite, spec_workload};
 
 fn main() {
     let config = SocConfig::skylake_default();
@@ -17,6 +25,35 @@ fn main() {
         sysscale_bench::format_speedup_figure("Fig. 7 — SPEC CPU2006 (reproduced)", &fig7)
     );
 
+    // ---- The executor benchmark: sequential vs 4 workers on the full
+    // SPEC06 × 4-governor matrix. ----
+    let suite = spec_cpu2006_suite();
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale::sysscale_factory(predictor));
+    let matrix = ScenarioSet::matrix_with(&registry, &config, &suite, &EVALUATION_GOVERNORS)
+        .unwrap()
+        .with_baseline("baseline");
+    let cells = matrix.len();
+
+    let (seq_perf, sequential) = time_matrix("spec_eval", "spec06x4_seq", cells, 1, || {
+        matrix.run(&mut SimSession::new()).unwrap()
+    });
+    let (par_perf, parallel) = time_matrix("spec_eval", "spec06x4_par4", cells, 4, || {
+        matrix.run_parallel(&mut SessionPool::new(), 4).unwrap()
+    });
+    assert_eq!(
+        sequential, parallel,
+        "parallel RunSet must be bit-identical to the sequential one"
+    );
+    println!(
+        "spec_eval/matrix_speedup_4_threads: {:.2}x ({} cells, {:.1} -> {:.1} cells/sec)",
+        seq_perf.wall.as_secs_f64() / par_perf.wall.as_secs_f64().max(1e-12),
+        cells,
+        seq_perf.cells_per_sec(),
+        par_perf.cells_per_sec(),
+    );
+
+    // ---- Single-run kernels. ----
     let mut session = SimSession::new();
     let scenario = |workload: &str, governor: &str| {
         Scenario::builder(spec_workload(workload).unwrap())

@@ -2,12 +2,22 @@
 
 use sysscale::experiments::sensitivity;
 use sysscale::DemandPredictor;
-use sysscale_bench::timing::bench;
+use sysscale_bench::timing::{bench, time_matrix};
+use sysscale_types::exec;
+use sysscale_workloads::spec_cpu2006_suite;
 
 fn main() {
     let predictor = DemandPredictor::skylake_default();
 
-    let points = sensitivity::fig10(&predictor, &[3.5, 4.5, 7.0, 15.0]).unwrap();
+    // Each TDP point is one SPEC suite x {baseline, sysscale} matrix.
+    let cells_per_tdp = spec_cpu2006_suite().len() * 2;
+    let (_, points) = time_matrix(
+        "tdp_sensitivity",
+        "fig10_4_tdps",
+        cells_per_tdp * 4,
+        exec::default_threads(),
+        || sensitivity::fig10(&predictor, &[3.5, 4.5, 7.0, 15.0]).unwrap(),
+    );
     println!("{}", sysscale_bench::format_fig10(&points));
 
     bench("tdp_sensitivity", "fig10_single_tdp_4_5w", 5, || {

@@ -49,12 +49,12 @@ pub fn format_table2(config: &SocConfig) -> String {
     ));
     out.push_str(&format!(
         "  DRAM                : {} dual-channel, {:.2} GHz default bin\n",
-        config.dram.kind,
-        config.uncore_ladder.highest().dram_freq.as_ghz()
+        config.dram().kind,
+        config.uncore_ladder().highest().dram_freq.as_ghz()
     ));
     out.push_str(&format!(
         "  Uncore ladder       : {} operating points\n",
-        config.uncore_ladder.len()
+        config.uncore_ladder().len()
     ));
     out.push_str(&format!(
         "  Evaluation interval : {:.0} ms\n",
@@ -263,6 +263,67 @@ pub fn format_ablations(rows: &[AblationRow]) -> String {
 pub mod timing {
     use std::time::{Duration, Instant};
 
+    /// Wall-clock measurement of one scenario-matrix execution, emitted as a
+    /// machine-readable JSON line so the perf trajectory can be tracked
+    /// across PRs (`grep '"kind":"matrix_perf"'` over bench logs).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct MatrixPerf {
+        /// Number of scenario cells in the matrix.
+        pub cells: usize,
+        /// Worker-thread count the matrix ran at.
+        pub threads: usize,
+        /// Wall-clock time of the execution.
+        pub wall: Duration,
+    }
+
+    impl MatrixPerf {
+        /// Cells executed per wall-clock second.
+        #[must_use]
+        pub fn cells_per_sec(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.cells as f64 / secs
+            } else {
+                0.0
+            }
+        }
+
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"matrix_perf","bench":…,"matrix":…,"cells":…,"threads":…,
+        /// "wall_clock_ms":…,"cells_per_sec":…}`.
+        pub fn emit(&self, bench: &str, matrix: &str) {
+            println!(
+                "{{\"kind\":\"matrix_perf\",\"bench\":\"{bench}\",\"matrix\":\"{matrix}\",\
+                 \"cells\":{},\"threads\":{},\"wall_clock_ms\":{:.3},\"cells_per_sec\":{:.3}}}",
+                self.cells,
+                self.threads,
+                self.wall.as_secs_f64() * 1e3,
+                self.cells_per_sec(),
+            );
+        }
+    }
+
+    /// Times `run` once, emits the JSON record, and returns the measurement
+    /// together with `run`'s output. The recorded thread count is clamped to
+    /// the cell count, mirroring what the executor actually uses.
+    pub fn time_matrix<T>(
+        bench: &str,
+        matrix: &str,
+        cells: usize,
+        threads: usize,
+        run: impl FnOnce() -> T,
+    ) -> (MatrixPerf, T) {
+        let start = Instant::now();
+        let out = run();
+        let perf = MatrixPerf {
+            cells,
+            threads: sysscale_types::exec::effective_workers(threads, cells),
+            wall: start.elapsed(),
+        };
+        perf.emit(bench, matrix);
+        (perf, out)
+    }
+
     /// Result of one measurement.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Measurement {
@@ -314,6 +375,21 @@ mod tests {
             format_overheads(&sysscale::experiments::sensitivity::overheads())
                 .contains("transition")
         );
+    }
+
+    #[test]
+    fn matrix_perf_json_has_the_expected_fields() {
+        let (perf, value) = timing::time_matrix("test", "demo", 8, 4, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(perf.cells, 8);
+        assert_eq!(perf.threads, 4);
+        assert!(perf.cells_per_sec() > 0.0);
+        let zero = timing::MatrixPerf {
+            cells: 1,
+            threads: 1,
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(zero.cells_per_sec(), 0.0);
     }
 
     #[test]

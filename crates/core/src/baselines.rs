@@ -35,11 +35,9 @@ pub fn memory_only_ladder() -> OperatingPointTable {
 /// no MRC reload on transitions.
 #[must_use]
 pub fn memscale_config(base: &SocConfig) -> SocConfig {
-    SocConfig {
-        uncore_ladder: memory_only_ladder(),
-        reload_mrc_on_transition: false,
-        ..base.clone()
-    }
+    let mut config = base.clone().with_uncore_ladder(memory_only_ladder());
+    config.reload_mrc_on_transition = false;
+    config
 }
 
 /// Platform configuration for the CoScale-like policy (same platform
@@ -96,16 +94,16 @@ pub fn project_redistributed_speedup(
 
     let pbm = sysscale_power::PowerBudgetManager::new(
         sysscale_power::ComputeDomainPowerModel::default(),
-        config.cpu_pstates.clone(),
-        config.gfx_pstates.clone(),
+        config.cpu_pstates().clone(),
+        config.gfx_pstates().clone(),
     );
     let budgets = config.budget_policy.worst_case_budgets(config.tdp);
     let request = ComputeRequest {
-        cpu_requested: config.cpu_pstates.highest().freq,
+        cpu_requested: config.cpu_pstates().highest().freq,
         gfx_requested: if gfx_priority {
-            config.gfx_pstates.highest().freq
+            config.gfx_pstates().highest().freq
         } else {
-            config.gfx_pstates.lowest().freq
+            config.gfx_pstates().lowest().freq
         },
         cpu_activity: 1.0,
         gfx_activity: if gfx_priority { 1.0 } else { 0.0 },
@@ -157,7 +155,7 @@ mod tests {
         let cfg = memscale_config(&base);
         assert!(!cfg.reload_mrc_on_transition);
         assert!(cfg.validate().is_ok());
-        assert_eq!(coscale_config(&base).uncore_ladder, cfg.uncore_ladder);
+        assert_eq!(coscale_config(&base).uncore_ladder(), cfg.uncore_ladder());
         // SysScale's own config keeps both capabilities.
         assert!(base.reload_mrc_on_transition);
     }

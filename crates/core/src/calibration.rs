@@ -15,7 +15,9 @@ use sysscale_types::{stats, CounterKind, CounterSet, SimResult, SimTime};
 use sysscale_workloads::{Workload, WorkloadClass};
 
 use crate::predictor::{DemandPredictor, ImpactModel, PredictorThresholds};
-use crate::scenario::{Scenario, SimSession};
+use crate::scenario::{Scenario, ScenarioSet, SessionPool, SimSession};
+use sysscale_soc::SimReport;
+use sysscale_types::exec;
 
 /// Configuration of a calibration pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +109,18 @@ pub fn measure_sample_in(
     };
     let high = run(session, "baseline")?;
     let low = run(session, "md-dvfs")?;
+    Ok(sample_from_reports(workload, config, cal, &high, &low))
+}
+
+/// Builds one calibration sample from the measured high-point and low-point
+/// reports of a workload.
+fn sample_from_reports(
+    workload: &Workload,
+    config: &SocConfig,
+    cal: &CalibrationConfig,
+    high: &SimReport,
+    low: &SimReport,
+) -> CalibrationSample {
     let high_perf = high.metrics.throughput();
     let degradation = if high_perf > 0.0 {
         (1.0 - low.metrics.throughput() / high_perf).max(0.0)
@@ -121,15 +135,61 @@ pub fn measure_sample_in(
     for (kind, total) in high.counters.iter() {
         averages.set(kind, total / slices);
     }
-    Ok(CalibrationSample {
+    CalibrationSample {
         workload: workload.name.clone(),
         class: workload.class,
         counters: averages,
         actual_degradation: degradation,
-    })
+    }
 }
 
-/// Runs the full calibration over a workload population.
+/// Measures every workload of a population at both ends of the ladder as
+/// one parallel batch on the caller's [`SessionPool`] and returns one
+/// [`CalibrationSample`] per workload, in population order.
+///
+/// This is the batch form of [`measure_sample_in`]: both spellings produce
+/// identical samples (the parallel runner is deterministic), but the batch
+/// shards the `2 × population` runs across `threads` workers.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_population(
+    pool: &mut SessionPool,
+    config: &SocConfig,
+    population: &[Workload],
+    cal: &CalibrationConfig,
+    threads: usize,
+) -> SimResult<Vec<CalibrationSample>> {
+    let mut set = ScenarioSet::new();
+    for workload in population {
+        // Workload names may repeat in synthetic populations, so samples are
+        // extracted positionally (records 2i / 2i+1), not by name.
+        let shared = std::sync::Arc::new(workload.clone());
+        for governor in ["baseline", "md-dvfs"] {
+            set.push(
+                Scenario::builder(std::sync::Arc::clone(&shared))
+                    .config(config.clone())
+                    .governor(governor)
+                    .duration(cal.sim_duration)
+                    .build()?,
+            );
+        }
+    }
+    let runs = set.run_parallel(pool, threads)?;
+    Ok(population
+        .iter()
+        .enumerate()
+        .map(|(i, workload)| {
+            let high = &runs.records()[2 * i].report;
+            let low = &runs.records()[2 * i + 1].report;
+            sample_from_reports(workload, config, cal, high, low)
+        })
+        .collect())
+}
+
+/// Runs the full calibration over a workload population, sharding the
+/// measurement runs across [`exec::default_threads`] workers.
 ///
 /// # Errors
 ///
@@ -139,11 +199,13 @@ pub fn calibrate(
     population: &[Workload],
     cal: &CalibrationConfig,
 ) -> SimResult<CalibrationOutcome> {
-    let mut session = SimSession::new();
-    let samples: Vec<CalibrationSample> = population
-        .iter()
-        .map(|w| measure_sample_in(&mut session, config, w, cal))
-        .collect::<SimResult<_>>()?;
+    let samples = measure_population(
+        &mut SessionPool::new(),
+        config,
+        population,
+        cal,
+        exec::default_threads(),
+    )?;
     let thresholds = derive_thresholds(&samples, cal.degradation_bound, config);
     let impact_model = fit_impact_model(&samples);
     Ok(CalibrationOutcome {

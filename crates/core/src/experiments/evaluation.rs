@@ -9,12 +9,12 @@
 
 use sysscale_compute::CpuModel;
 use sysscale_soc::SocConfig;
-use sysscale_types::{stats, Freq, SimResult, SimTime};
+use sysscale_types::{exec, stats, Freq, SimResult, SimTime};
 use sysscale_workloads::{battery_life_suite, graphics_suite, spec_cpu2006_suite, Workload};
 
 use crate::baselines::project_redistributed_speedup;
 use crate::predictor::DemandPredictor;
-use crate::scenario::{sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SimSession};
+use crate::scenario::{sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SessionPool};
 
 /// Per-workload comparison row (Figs. 7 and 8).
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +85,9 @@ pub fn cpu_scalability(config: &SocConfig, workload: &Workload) -> f64 {
 pub const EVALUATION_GOVERNORS: [&str; 4] = ["baseline", "sysscale", "memscale", "coscale"];
 
 /// Runs the full `workloads × {baseline, SysScale, MemScale, CoScale}`
-/// matrix through one [`ScenarioSet::run`] call, with `predictor` wired into
-/// the SysScale column and the baseline designated for relative deltas.
+/// matrix through one parallel [`ScenarioSet::run_parallel`] batch on a
+/// fresh [`SessionPool`], with `predictor` wired into the SysScale column
+/// and the baseline designated for relative deltas.
 ///
 /// # Errors
 ///
@@ -96,11 +97,29 @@ pub fn evaluation_matrix(
     predictor: &DemandPredictor,
     workloads: &[Workload],
 ) -> SimResult<RunSet> {
+    evaluation_matrix_in(&mut SessionPool::new(), config, predictor, workloads)
+}
+
+/// Like [`evaluation_matrix`], but reuses a caller-provided pool so
+/// consecutive matrices on the same platforms share their cached
+/// simulators. The worker count comes from
+/// [`exec::default_threads`] (`SYSSCALE_THREADS` overrides it; `1` is the
+/// sequential path and produces a bit-identical [`RunSet`]).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_matrix_in(
+    pool: &mut SessionPool,
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+    workloads: &[Workload],
+) -> SimResult<RunSet> {
     let mut registry = GovernorRegistry::builtin();
     registry.register(sysscale_factory(*predictor));
     ScenarioSet::matrix_with(&registry, config, workloads, &EVALUATION_GOVERNORS)?
         .with_baseline("baseline")
-        .run(&mut SimSession::new())
+        .run_parallel(pool, exec::default_threads())
 }
 
 fn row_from_runs(

@@ -4,7 +4,12 @@
 //!
 //! Every module is implemented on top of the [`crate::scenario`] API — the
 //! figures are [`crate::ScenarioSet`] matrices (or individual
-//! [`crate::Scenario`]s) executed through a [`crate::SimSession`].
+//! [`crate::Scenario`]s) executed through a [`crate::SessionPool`] by the
+//! deterministic parallel runner ([`crate::ScenarioSet::run_parallel`]),
+//! with the worker count taken from
+//! [`sysscale_types::exec::default_threads`] (override with the
+//! `SYSSCALE_THREADS` environment variable; `1` reproduces the sequential
+//! path).
 //!
 //! | Module | Reproduces |
 //! |---|---|
@@ -18,11 +23,8 @@ pub mod motivation;
 pub mod predictor_study;
 pub mod sensitivity;
 
-use sysscale_soc::{Governor, SimReport, SocConfig};
-use sysscale_types::{SimResult, SimTime};
+use sysscale_types::SimTime;
 use sysscale_workloads::Workload;
-
-use crate::scenario::SimSession;
 
 /// Default minimum simulated duration per run. Workloads with longer phase
 /// sequences (e.g. 473.astar) are run for at least one full iteration.
@@ -35,25 +37,6 @@ pub fn run_duration(workload: &Workload) -> SimTime {
     crate::scenario::auto_duration(workload)
 }
 
-/// Runs one workload on a fresh simulator under the given governor.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `sysscale::Scenario` and execute it with `sysscale::SimSession` instead"
-)]
-pub fn run_workload(
-    config: &SocConfig,
-    workload: &Workload,
-    governor: &mut dyn Governor,
-) -> SimResult<SimReport> {
-    SimSession::new()
-        .run_with(config, workload, governor, run_duration(workload), false)
-        .map(|(report, _)| report)
-}
-
 /// Formats a percentage with one decimal for report tables.
 #[must_use]
 pub fn fmt_pct(value: f64) -> String {
@@ -63,7 +46,7 @@ pub fn fmt_pct(value: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sysscale_soc::FixedGovernor;
+    use crate::scenario::{Scenario, SimSession};
     use sysscale_workloads::spec_workload;
 
     #[test]
@@ -78,15 +61,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_workload_shim_still_works() {
-        let report = run_workload(
-            &SocConfig::skylake_default(),
-            &spec_workload("hmmer").unwrap(),
-            &mut FixedGovernor::baseline(),
-        )
-        .unwrap();
-        assert!(report.metrics.work_done > 0.0);
+    fn single_runs_go_through_the_scenario_api() {
+        // What the removed `run_workload` shim used to do, spelled with the
+        // scenario API: default duration comes from `auto_duration`.
+        let workload = spec_workload("hmmer").unwrap();
+        let scenario = Scenario::builder(workload.clone()).build().unwrap();
+        assert_eq!(scenario.duration(), run_duration(&workload));
+        let record = SimSession::new().run(&scenario).unwrap();
+        assert!(record.report.metrics.work_done > 0.0);
         assert_eq!(fmt_pct(9.2), "+9.2%");
     }
 }

@@ -3,10 +3,10 @@
 use sysscale_compute::{CpuModel, GfxModel};
 use sysscale_iodev::{DisplayController, DisplayPanel, IspEngine, IspMode, Resolution};
 use sysscale_soc::SocConfig;
-use sysscale_types::{Freq, SimError, SimResult, SimTime, Voltage};
+use sysscale_types::{exec, Freq, SimError, SimResult, SimTime, Voltage};
 use sysscale_workloads::{graphics_workload, spec_workload, stream_peak_bandwidth, Workload};
 
-use crate::scenario::{Scenario, ScenarioSet, SimSession};
+use crate::scenario::{Scenario, ScenarioSet, SessionPool};
 
 /// One row of Table 1: a component and its setting in the two experimental
 /// setups.
@@ -23,8 +23,8 @@ pub struct Table1Row {
 /// Regenerates Table 1 from the configured operating-point ladder.
 #[must_use]
 pub fn table1(config: &SocConfig) -> Vec<Table1Row> {
-    let high = config.uncore_ladder.highest();
-    let low = config.uncore_ladder.lowest();
+    let high = config.uncore_ladder().highest();
+    let low = config.uncore_ladder().lowest();
     vec![
         Table1Row {
             component: "DRAM frequency".into(),
@@ -89,7 +89,7 @@ pub fn fig2a(config: &SocConfig) -> SimResult<Vec<Fig2aRow>> {
         &["baseline", "md-dvfs", "md-dvfs-redist"],
     )?
     .with_baseline("baseline")
-    .run(&mut SimSession::new())?;
+    .run_parallel(&mut SessionPool::new(), exec::default_threads())?;
     workloads
         .iter()
         .map(|w| {
@@ -176,29 +176,41 @@ pub struct BandwidthTrace {
     pub peak_gib_s: f64,
 }
 
-fn bandwidth_trace(
-    session: &mut SimSession,
+/// Runs each workload once with tracing enabled (one parallel batch) and
+/// converts the slice traces into demand-over-time series.
+fn bandwidth_traces(
     config: &SocConfig,
-    workload: &Workload,
-) -> SimResult<BandwidthTrace> {
-    let scenario = Scenario::builder(workload.clone())
-        .config(config.clone())
-        .trace(true)
-        .build()?;
-    let record = session.run(&scenario)?;
-    let trace = record.trace.expect("trace was requested");
-    let samples: Vec<(f64, f64)> = trace
+    workloads: Vec<Workload>,
+) -> SimResult<Vec<BandwidthTrace>> {
+    let mut set = ScenarioSet::new();
+    for workload in workloads {
+        set.push(
+            Scenario::builder(workload)
+                .config(config.clone())
+                .trace(true)
+                .build()?,
+        );
+    }
+    let runs = set.run_parallel(&mut SessionPool::new(), exec::default_threads())?;
+    Ok(runs
+        .records()
         .iter()
-        .map(|t| (t.at.as_secs(), t.demanded_gib_s))
-        .collect();
-    let avg = samples.iter().map(|(_, b)| b).sum::<f64>() / samples.len().max(1) as f64;
-    let peak = samples.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-    Ok(BandwidthTrace {
-        workload: workload.name.clone(),
-        samples,
-        average_gib_s: avg,
-        peak_gib_s: peak,
-    })
+        .map(|record| {
+            let trace = record.trace.as_ref().expect("trace was requested");
+            let samples: Vec<(f64, f64)> = trace
+                .iter()
+                .map(|t| (t.at.as_secs(), t.demanded_gib_s))
+                .collect();
+            let avg = samples.iter().map(|(_, b)| b).sum::<f64>() / samples.len().max(1) as f64;
+            let peak = samples.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+            BandwidthTrace {
+                workload: record.workload.clone(),
+                samples,
+                average_gib_s: avg,
+                peak_gib_s: peak,
+            }
+        })
+        .collect())
 }
 
 /// Runs the Fig. 2(c) experiment (bandwidth demand of the three motivation
@@ -208,11 +220,11 @@ fn bandwidth_trace(
 ///
 /// Propagates simulator errors.
 pub fn fig2c(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
-    let mut session = SimSession::new();
-    ["perlbench", "cactusADM", "lbm"]
+    let workloads = ["perlbench", "cactusADM", "lbm"]
         .iter()
-        .map(|name| bandwidth_trace(&mut session, config, &spec_workload(name).expect("exists")))
-        .collect()
+        .map(|name| spec_workload(name).expect("exists"))
+        .collect();
+    bandwidth_traces(config, workloads)
 }
 
 /// Runs the Fig. 3(a) experiment (demand over time for three SPEC benchmarks
@@ -222,26 +234,13 @@ pub fn fig2c(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
 ///
 /// Propagates simulator errors.
 pub fn fig3a(config: &SocConfig) -> SimResult<Vec<BandwidthTrace>> {
-    let mut session = SimSession::new();
-    let mut traces = vec![
-        bandwidth_trace(
-            &mut session,
-            config,
-            &spec_workload("perlbench").expect("exists"),
-        )?,
-        bandwidth_trace(&mut session, config, &spec_workload("lbm").expect("exists"))?,
-        bandwidth_trace(
-            &mut session,
-            config,
-            &spec_workload("astar").expect("exists"),
-        )?,
+    let workloads = vec![
+        spec_workload("perlbench").expect("exists"),
+        spec_workload("lbm").expect("exists"),
+        spec_workload("astar").expect("exists"),
+        graphics_workload("3DMark06").expect("exists"),
     ];
-    traces.push(bandwidth_trace(
-        &mut session,
-        config,
-        &graphics_workload("3DMark06").expect("exists"),
-    )?);
-    Ok(traces)
+    bandwidth_traces(config, workloads)
 }
 
 /// Fig. 3(b): static bandwidth demand of one IO/graphics configuration, as a
@@ -333,28 +332,28 @@ pub struct Fig4Result {
 /// Propagates simulator errors.
 pub fn fig4(config: &SocConfig) -> SimResult<Fig4Result> {
     let stream = stream_peak_bandwidth();
-    let mut session = SimSession::new();
-    // Optimized: the SysScale flow reloads MRC values on the transition to
-    // the low point.
-    let optimized = session
-        .run(
-            &Scenario::builder(stream.clone())
-                .config(config.clone())
-                .governor("md-dvfs")
-                .build()?,
-        )?
-        .report;
-    // Unoptimized: same transition without the MRC reload step.
+    // Unoptimized variant: same transition without the MRC reload step.
     let mut naive_config = config.clone();
     naive_config.reload_mrc_on_transition = false;
-    let unoptimized = session
-        .run(
-            &Scenario::builder(stream)
-                .config(naive_config)
-                .governor("md-dvfs")
-                .build()?,
-        )?
-        .report;
+
+    let mut set = ScenarioSet::new();
+    // Optimized: the SysScale flow reloads MRC values on the transition to
+    // the low point.
+    set.push(
+        Scenario::builder(stream.clone())
+            .config(config.clone())
+            .governor("md-dvfs")
+            .build()?,
+    );
+    set.push(
+        Scenario::builder(stream)
+            .config(naive_config)
+            .governor("md-dvfs")
+            .build()?,
+    );
+    let runs = set.run_parallel(&mut SessionPool::new(), exec::default_threads())?;
+    let optimized = runs.records()[0].report.clone();
+    let unoptimized = runs.records()[1].report.clone();
 
     let power_increase =
         (unoptimized.average_power().as_watts() / optimized.average_power().as_watts() - 1.0)
@@ -378,7 +377,7 @@ pub fn fig4(config: &SocConfig) -> SimResult<Fig4Result> {
 /// Voltage/frequency settings implied by Table 1, exposed for reporting.
 #[must_use]
 pub fn table1_voltages(config: &SocConfig) -> Vec<(String, Voltage)> {
-    let low = config.uncore_ladder.lowest();
+    let low = config.uncore_ladder().lowest();
     let rails = sysscale_power::RailVoltages::for_operating_point(&config.nominal_voltages, low);
     vec![
         ("V_SA (low OP)".into(), rails.vsa),

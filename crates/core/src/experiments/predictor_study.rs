@@ -13,13 +13,15 @@
 //! paper's 2.13→1.06 GHz.
 
 use sysscale_soc::SocConfig;
-use sysscale_types::{stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint};
-use sysscale_workloads::{WorkloadClass, WorkloadGenerator};
+use sysscale_types::{
+    exec, stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint,
+};
+use sysscale_workloads::{Workload, WorkloadClass, WorkloadGenerator};
 
 use crate::calibration::{
-    fit_impact_model, measure_sample_in, CalibrationConfig, CalibrationSample,
+    fit_impact_model, measure_population, CalibrationConfig, CalibrationSample,
 };
-use crate::scenario::SimSession;
+use crate::scenario::SessionPool;
 
 /// One panel of Fig. 6: a (frequency pair, workload class) combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,28 +79,60 @@ impl Default for PredictorStudyConfig {
 #[must_use]
 pub fn frequency_pair_configs(base: &SocConfig) -> Vec<(f64, f64, SocConfig)> {
     // Pair 1: LPDDR3 1.6 -> 0.8 GHz.
-    let pair1 = SocConfig {
-        uncore_ladder: OperatingPointTable::new(vec![
+    let pair1 = base.clone().with_uncore_ladder(
+        OperatingPointTable::new(vec![
             UncoreOperatingPoint::new(Freq::from_ghz(0.8), Freq::from_ghz(0.3), 0.80, 0.82),
             UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
         ])
         .expect("static ladder"),
-        ..base.clone()
-    };
+    );
     // Pair 2: LPDDR3 1.6 -> 1.066 GHz (the shipped configuration).
     let pair2 = base.clone();
     // Pair 3: DDR4 2.13 -> 1.33 GHz.
-    let mut pair3 = SocConfig::skylake_ddr4(base.tdp);
-    pair3.uncore_ladder = OperatingPointTable::new(vec![
-        UncoreOperatingPoint::new(Freq::from_ghz(1.3333), Freq::from_ghz(0.4), 0.82, 0.87),
-        UncoreOperatingPoint::new(Freq::from_ghz(2.1333), Freq::from_ghz(0.8), 1.0, 1.0),
-    ])
-    .expect("static ladder");
+    let pair3 = SocConfig::skylake_ddr4(base.tdp).with_uncore_ladder(
+        OperatingPointTable::new(vec![
+            UncoreOperatingPoint::new(Freq::from_ghz(1.3333), Freq::from_ghz(0.4), 0.82, 0.87),
+            UncoreOperatingPoint::new(Freq::from_ghz(2.1333), Freq::from_ghz(0.8), 1.0, 1.0),
+        ])
+        .expect("static ladder"),
+    );
     vec![
         (1.6, 0.8, pair1),
         (1.6, 1.0666, pair2),
         (2.1333, 1.3333, pair3),
     ]
+}
+
+/// Generates the study population for one frequency pair: the class-bucketed
+/// workloads, filled to `quota` per class with the same alternation the
+/// measurement loop used to drive (generation is independent of the
+/// measurements, so it is split out and the measurement itself batches).
+fn generate_buckets(seed: u64, quota: usize) -> Vec<(WorkloadClass, Vec<Workload>)> {
+    let mut generator = WorkloadGenerator::with_seed(seed);
+    let mut by_class: Vec<(WorkloadClass, Vec<Workload>)> = vec![
+        (WorkloadClass::CpuSingleThread, Vec::new()),
+        (WorkloadClass::CpuMultiThread, Vec::new()),
+        (WorkloadClass::Graphics, Vec::new()),
+    ];
+    while by_class.iter().any(|(_, v)| v.len() < quota) {
+        let workload = if by_class[2].1.len() < quota {
+            // Alternate sources so the graphics quota fills too.
+            if by_class[0].1.len() + by_class[1].1.len() < 2 * quota {
+                generator.next_cpu_workload()
+            } else {
+                generator.next_graphics_workload()
+            }
+        } else {
+            generator.next_cpu_workload()
+        };
+        if let Some((_, bucket)) = by_class
+            .iter_mut()
+            .find(|(class, v)| *class == workload.class && v.len() < quota)
+        {
+            bucket.push(workload);
+        }
+    }
+    by_class
 }
 
 fn panel_from_samples(
@@ -151,43 +185,17 @@ fn panel_from_samples(
 /// Propagates simulator errors.
 pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<PredictorPanel>> {
     let mut panels = Vec::new();
-    let mut session = SimSession::new();
+    // One pool for the whole study: each worker keeps its per-platform
+    // simulators across the three frequency pairs.
+    let mut pool = SessionPool::new();
+    let threads = exec::default_threads();
     for (pair_idx, (high, low, config)) in frequency_pair_configs(base).into_iter().enumerate() {
         // One generator per pair so every pair sees the same population.
-        let mut generator = WorkloadGenerator::with_seed(study.seed + pair_idx as u64);
-        let mut by_class: Vec<(WorkloadClass, Vec<CalibrationSample>)> = vec![
-            (WorkloadClass::CpuSingleThread, Vec::new()),
-            (WorkloadClass::CpuMultiThread, Vec::new()),
-            (WorkloadClass::Graphics, Vec::new()),
-        ];
-        // Generate until every class has its quota.
-        while by_class
-            .iter()
-            .any(|(_, v)| v.len() < study.workloads_per_panel)
-        {
-            let workload = if by_class[2].1.len() < study.workloads_per_panel {
-                // Alternate sources so the graphics quota fills too.
-                if by_class[0].1.len() + by_class[1].1.len() < 2 * study.workloads_per_panel {
-                    generator.next_cpu_workload()
-                } else {
-                    generator.next_graphics_workload()
-                }
-            } else {
-                generator.next_cpu_workload()
-            };
-            let slot = by_class
-                .iter_mut()
-                .find(|(class, v)| *class == workload.class && v.len() < study.workloads_per_panel);
-            let Some((_, bucket)) = slot else { continue };
-            bucket.push(measure_sample_in(
-                &mut session,
-                &config,
-                &workload,
-                &study.calibration,
-            )?);
-        }
-        for (class, samples) in &by_class {
-            panels.push(panel_from_samples(*class, high, low, samples, study));
+        let buckets = generate_buckets(study.seed + pair_idx as u64, study.workloads_per_panel);
+        for (class, workloads) in &buckets {
+            let samples =
+                measure_population(&mut pool, &config, workloads, &study.calibration, threads)?;
+            panels.push(panel_from_samples(*class, high, low, &samples, study));
         }
     }
     Ok(panels)

@@ -10,14 +10,16 @@ use std::sync::Arc;
 
 use sysscale_dram::{DramKind, MrcSram};
 use sysscale_soc::SocConfig;
-use sysscale_types::{stats::Summary, Power, SimError, SimResult, SimTime, TransitionLatency};
+use sysscale_types::{
+    exec, stats::Summary, Power, SimError, SimResult, SimTime, TransitionLatency,
+};
 use sysscale_workloads::{battery_life_suite, spec_cpu2006_suite, spec_workload, Workload};
 
 use crate::governor::SysScaleGovernor;
 use crate::predictor::DemandPredictor;
 use crate::scenario::{
     sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell, RunSet,
-    Scenario, ScenarioSet, SimSession,
+    Scenario, ScenarioSet, SessionPool, SimSession,
 };
 
 /// One TDP point of Fig. 10.
@@ -40,7 +42,7 @@ fn baseline_vs_sysscale(
     registry.register(sysscale_factory(*predictor));
     ScenarioSet::matrix_with(&registry, config, workloads, &["baseline", "sysscale"])?
         .with_baseline("baseline")
-        .run(&mut SimSession::new())
+        .run_parallel(&mut SessionPool::new(), exec::default_threads())
 }
 
 fn sysscale_cells(
@@ -267,7 +269,7 @@ pub fn ablations(predictor: &DemandPredictor) -> SimResult<Vec<AblationRow>> {
 
     let runs = ScenarioSet::matrix_with(&registry, &base, &workloads, &column_refs)?
         .with_baseline("baseline")
-        .run(&mut SimSession::new())?;
+        .run_parallel(&mut SessionPool::new(), exec::default_threads())?;
 
     variants
         .iter()

@@ -16,8 +16,10 @@
 //! * the [`baselines`] module — restricted platform configurations for the
 //!   baselines and the Sec. 6 `-Redist` projection;
 //! * the [`scenario`] module — the unified run API: a builder-based
-//!   [`Scenario`], the [`SimSession`] executor, and the [`ScenarioSet`]
-//!   batch runner producing a [`RunSet`] keyed by `(workload, governor)`;
+//!   [`Scenario`], the [`SimSession`] executor, the [`SessionPool`]-backed
+//!   deterministic parallel batch runner ([`ScenarioSet::run_parallel`]),
+//!   and the [`ScenarioSet`] matrix producing a [`RunSet`] keyed by
+//!   `(workload, governor)`;
 //! * the [`experiments`] module — one function per table/figure of the
 //!   paper's evaluation, implemented on top of the scenario API.
 //!
@@ -27,22 +29,25 @@
 //! [`SimSession`]; batches go through [`ScenarioSet`]:
 //!
 //! ```
-//! use sysscale::{Scenario, ScenarioSet, SimSession};
+//! use sysscale::{Scenario, ScenarioSet, SessionPool, SimSession};
 //! use sysscale_soc::SocConfig;
 //! use sysscale_types::SimTime;
 //! use sysscale_workloads::spec_workload;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // One run: the builder fills in platform (Skylake M-6Y75) and duration.
-//! let mut session = SimSession::new();
+//! let mut pool = SessionPool::new();
 //! let one = Scenario::builder(spec_workload("gamess").expect("in the suite"))
 //!     .governor("sysscale")
 //!     .duration(SimTime::from_millis(300.0))
 //!     .build()?;
-//! let record = session.run(&one)?;
+//! let record = pool.session().run(&one)?;
 //! assert!(record.report.average_power().as_watts() < 4.6);
 //!
-//! // A batch: workloads x governors, with baseline-relative deltas.
+//! // A batch: workloads x governors, with baseline-relative deltas,
+//! // executed across the deterministic worker pool. The result is
+//! // bit-identical at any worker count (2 here; pass
+//! // `sysscale_types::exec::default_threads()` to use every core).
 //! let suite = vec![
 //!     spec_workload("gamess").unwrap(),
 //!     spec_workload("lbm").unwrap(),
@@ -53,7 +58,7 @@
 //!     &["baseline", "sysscale"],
 //! )?
 //! .with_baseline("baseline")
-//! .run(&mut session)?;
+//! .run_parallel(&mut pool, 2)?;
 //!
 //! // A compute-bound workload gains performance from the redistributed budget.
 //! assert!(runs.cell("416.gamess", "sysscale").unwrap().speedup_pct > 0.0);
@@ -77,8 +82,8 @@ pub use baselines::{
     RedistProjection,
 };
 pub use calibration::{
-    calibrate, derive_thresholds, fit_impact_model, measure_sample, measure_sample_in,
-    CalibrationConfig, CalibrationOutcome, CalibrationSample,
+    calibrate, derive_thresholds, fit_impact_model, measure_population, measure_sample,
+    measure_sample_in, CalibrationConfig, CalibrationOutcome, CalibrationSample,
 };
 pub use governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
 pub use predictor::{
@@ -86,11 +91,13 @@ pub use predictor::{
 };
 pub use scenario::{
     auto_duration, sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell,
-    RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, SimSession,
+    RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, SessionPool, SimSession,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the
 // `sysscale` crate alone.
-pub use sysscale_soc::{FixedGovernor, Governor, SimReport, SocConfig, SocSimulator};
+pub use sysscale_soc::{
+    FixedGovernor, Governor, PlatformArtifacts, SimReport, SocConfig, SocSimulator,
+};
 pub use sysscale_types as types;
 pub use sysscale_workloads as workloads;

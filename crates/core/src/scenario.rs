@@ -12,11 +12,23 @@
 //!   MemScale/CoScale baselines;
 //! * [`SimSession`] — a reusable executor that caches one [`SocSimulator`]
 //!   per distinct platform configuration and guarantees fresh per-run state;
+//! * [`SessionPool`] — a pool of sessions, one per worker, reused across
+//!   matrices by the parallel runner;
 //! * [`ScenarioSet`] — a batch of scenarios (typically a workload × governor
-//!   matrix) executed through one call;
+//!   matrix) executed through one call, sequentially
+//!   ([`ScenarioSet::run`]) or across a deterministic worker pool
+//!   ([`ScenarioSet::run_parallel`]);
 //! * [`RunSet`] / [`RunCell`] — the structured result, keyed by
 //!   `(workload, governor)`, with speedup/power/energy deltas computed
 //!   against a designated baseline governor.
+//!
+//! ## Determinism
+//!
+//! [`ScenarioSet::run_parallel`] shards cells across workers statically
+//! (round-robin, no work stealing; see [`sysscale_types::exec`]) and merges
+//! the records back in scenario order, and every run executes on a freshly
+//! reset simulator with a freshly built governor. The resulting [`RunSet`]
+//! is therefore bit-identical to the sequential path at *any* worker count.
 //!
 //! ## Example
 //!
@@ -48,7 +60,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use sysscale_soc::{FixedGovernor, Governor, SimReport, SliceTrace, SocConfig, SocSimulator};
-use sysscale_types::{SimError, SimResult, SimTime};
+use sysscale_types::{exec, SimError, SimResult, SimTime};
 use sysscale_workloads::Workload;
 
 use crate::baselines::memscale_config;
@@ -266,10 +278,17 @@ impl GovernorRegistry {
         })
     }
 
-    /// The registered names, in registration order.
+    /// The registered names, sorted lexicographically.
+    ///
+    /// The ordering is part of the API: error messages (e.g. from
+    /// [`GovernorRegistry::resolve`]) embed this list, and a stable order
+    /// keeps them reproducible regardless of the sequence in which factories
+    /// were registered.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        self.entries.iter().map(|e| e.name().to_string()).collect()
+        let mut names: Vec<String> = self.entries.iter().map(|e| e.name().to_string()).collect();
+        names.sort_unstable();
+        names
     }
 }
 
@@ -287,24 +306,30 @@ impl Default for GovernorRegistry {
 ///
 /// Built with [`Scenario::builder`]; executed by [`SimSession::run`] or as
 /// part of a [`ScenarioSet`].
+///
+/// Scenarios are cheap to clone and to share across worker threads: the
+/// workload lives behind an [`Arc`], the governor is a shared factory, and
+/// the platform configuration shares its large tables through
+/// [`sysscale_soc::PlatformArtifacts`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     config: SocConfig,
-    workload: Workload,
+    workload: Arc<Workload>,
     governor: Arc<dyn GovernorFactory>,
     duration: Option<SimTime>,
     trace: bool,
 }
 
 impl Scenario {
-    /// Starts building a scenario for the given workload. The platform
-    /// defaults to [`SocConfig::skylake_default`], the governor to
-    /// `baseline`, and the duration to [`auto_duration`].
+    /// Starts building a scenario for the given workload (by value or as a
+    /// pre-shared [`Arc`]). The platform defaults to
+    /// [`SocConfig::skylake_default`], the governor to `baseline`, and the
+    /// duration to [`auto_duration`].
     #[must_use]
-    pub fn builder(workload: Workload) -> ScenarioBuilder {
+    pub fn builder(workload: impl Into<Arc<Workload>>) -> ScenarioBuilder {
         ScenarioBuilder {
             config: SocConfig::skylake_default(),
-            workload,
+            workload: workload.into(),
             governor: None,
             duration: None,
             trace: false,
@@ -355,7 +380,7 @@ impl Scenario {
 #[derive(Debug)]
 pub struct ScenarioBuilder {
     config: SocConfig,
-    workload: Workload,
+    workload: Arc<Workload>,
     // None = the default `baseline` governor, resolved lazily in build() so
     // the common governor_factory() path never constructs a registry.
     governor: Option<SimResult<Arc<dyn GovernorFactory>>>,
@@ -436,7 +461,7 @@ impl ScenarioBuilder {
 // ---------------------------------------------------------------------------
 
 /// The result of executing one [`Scenario`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Workload name (the row key).
     pub workload: String,
@@ -534,6 +559,61 @@ impl SimSession {
 }
 
 // ---------------------------------------------------------------------------
+// SessionPool
+// ---------------------------------------------------------------------------
+
+/// A pool of [`SimSession`]s, one per worker of the parallel scenario
+/// runner.
+///
+/// The pool grows on demand to the requested worker count and keeps its
+/// sessions — and therefore their cached per-platform simulators — alive
+/// across matrices, so a sweep that executes many [`ScenarioSet`]s on the
+/// same platforms pays the simulator construction cost once per
+/// `(worker, platform)` instead of once per matrix.
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    sessions: Vec<SimSession>,
+}
+
+impl SessionPool {
+    /// Creates an empty pool; sessions are created lazily as workers are
+    /// requested.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker sessions currently held.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total number of cached `(worker, platform)` simulators across the
+    /// pool.
+    #[must_use]
+    pub fn cached_platforms(&self) -> usize {
+        self.sessions.iter().map(SimSession::cached_platforms).sum()
+    }
+
+    /// The first worker's session, for interleaving single
+    /// [`SimSession::run`]s with pooled batches without a second cache.
+    pub fn session(&mut self) -> &mut SimSession {
+        &mut self.workers_mut(1)[0]
+    }
+
+    /// Grows the pool to at least `n` sessions and returns the first `n` as
+    /// the worker contexts of one parallel batch.
+    fn workers_mut(&mut self, n: usize) -> &mut [SimSession] {
+        let n = n.max(1);
+        while self.sessions.len() < n {
+            self.sessions.push(SimSession::new());
+        }
+        &mut self.sessions[..n]
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ScenarioSet
 // ---------------------------------------------------------------------------
 
@@ -580,11 +660,14 @@ impl ScenarioSet {
         governors: &[&str],
     ) -> SimResult<Self> {
         let mut set = Self::new();
+        // One shared workload handle per row: every governor column's
+        // scenario points at the same `Arc<Workload>`.
+        let shared: Vec<Arc<Workload>> = workloads.iter().cloned().map(Arc::new).collect();
         for name in governors {
             let factory = registry.resolve(name)?;
-            for workload in workloads {
+            for workload in &shared {
                 set.push(
-                    Scenario::builder(workload.clone())
+                    Scenario::builder(Arc::clone(workload))
                         .config(config.clone())
                         .governor_factory(Arc::clone(&factory))
                         .build()?,
@@ -628,6 +711,10 @@ impl ScenarioSet {
     /// Executes every scenario in the set on `session` and collects the
     /// structured result.
     ///
+    /// This is the sequential path; it is exactly
+    /// [`ScenarioSet::run_parallel`] with one worker (modulo which session
+    /// caches the simulators).
+    ///
     /// # Errors
     ///
     /// Propagates the first simulator error.
@@ -637,6 +724,42 @@ impl ScenarioSet {
             .iter()
             .map(|s| session.run(s))
             .collect::<SimResult<Vec<_>>>()?;
+        Ok(RunSet {
+            records,
+            baseline: self.baseline.clone(),
+        })
+    }
+
+    /// Executes the set across up to `threads` pool workers and collects the
+    /// structured result.
+    ///
+    /// Scenario `i` runs on worker `i % threads` (static round-robin — no
+    /// work stealing), each worker executes its shard in index order on its
+    /// own [`SimSession`], and the records are merged back in scenario
+    /// order. Because every run starts from a freshly reset simulator with a
+    /// freshly built governor, the returned [`RunSet`] is **bit-identical**
+    /// to [`ScenarioSet::run`] at any `threads` value; see the module-level
+    /// determinism notes.
+    ///
+    /// `threads` is clamped to `[1, len()]`; pass
+    /// [`sysscale_types::exec::default_threads`] to honour the
+    /// `SYSSCALE_THREADS` environment variable and the detected core count.
+    /// With one effective worker the batch runs inline on the calling
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in scenario order (the same
+    /// error the sequential path would report, though later scenarios may
+    /// already have executed on other workers).
+    pub fn run_parallel(&self, pool: &mut SessionPool, threads: usize) -> SimResult<RunSet> {
+        let workers = exec::effective_workers(threads, self.scenarios.len());
+        let sessions = pool.workers_mut(workers);
+        let records = exec::map_with_workers(sessions, &self.scenarios, |session, _, scenario| {
+            session.run(scenario)
+        })
+        .into_iter()
+        .collect::<SimResult<Vec<_>>>()?;
         Ok(RunSet {
             records,
             baseline: self.baseline.clone(),
@@ -672,7 +795,7 @@ pub struct RunCell {
 
 /// The structured result of a [`ScenarioSet`] execution, keyed by
 /// `(workload, governor)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSet {
     records: Vec<RunRecord>,
     baseline: Option<String>,
@@ -835,7 +958,7 @@ mod tests {
         for name in ["memscale", "coscale", "memscale-redist", "coscale-redist"] {
             let cfg = registry.resolve(name).unwrap().platform(&base);
             assert!(!cfg.reload_mrc_on_transition, "{name}");
-            assert_eq!(cfg.uncore_ladder.lowest().vsa_scale, 1.0, "{name}");
+            assert_eq!(cfg.uncore_ladder().lowest().vsa_scale, 1.0, "{name}");
         }
         // Unrestricted policies keep the full platform.
         let full = registry.resolve("sysscale").unwrap().platform(&base);

@@ -8,6 +8,8 @@
 //! the *predicted* demand and hand the freed budget to the compute domain,
 //! whose PBM converts it into higher CPU/graphics P-states (Sec. 4.3–4.4).
 
+use std::sync::Arc;
+
 use sysscale_compute::{PState, PStateTable};
 use sysscale_types::{Freq, Power, SimError, SimResult};
 
@@ -152,11 +154,15 @@ pub struct ComputeGrant {
 }
 
 /// The compute-domain power budget manager.
+///
+/// The P-state ladders are held behind [`Arc`] so per-run/per-worker PBM
+/// construction shares the immutable tables instead of deep-cloning them
+/// (see `sysscale_soc::PlatformArtifacts`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerBudgetManager {
     model: ComputeDomainPowerModel,
-    cpu_table: PStateTable,
-    gfx_table: PStateTable,
+    cpu_table: Arc<PStateTable>,
+    gfx_table: Arc<PStateTable>,
 }
 
 impl Default for PowerBudgetManager {
@@ -170,17 +176,18 @@ impl Default for PowerBudgetManager {
 }
 
 impl PowerBudgetManager {
-    /// Creates a PBM from a power model and the two P-state ladders.
+    /// Creates a PBM from a power model and the two P-state ladders. Tables
+    /// may be passed by value or as pre-shared [`Arc`]s.
     #[must_use]
     pub fn new(
         model: ComputeDomainPowerModel,
-        cpu_table: PStateTable,
-        gfx_table: PStateTable,
+        cpu_table: impl Into<Arc<PStateTable>>,
+        gfx_table: impl Into<Arc<PStateTable>>,
     ) -> Self {
         Self {
             model,
-            cpu_table,
-            gfx_table,
+            cpu_table: cpu_table.into(),
+            gfx_table: gfx_table.into(),
         }
     }
 
@@ -194,6 +201,19 @@ impl PowerBudgetManager {
     #[must_use]
     pub fn gfx_table(&self) -> &PStateTable {
         &self.gfx_table
+    }
+
+    /// The CPU ladder's shared handle (for constructing further PBMs without
+    /// cloning the table).
+    #[must_use]
+    pub fn cpu_table_shared(&self) -> Arc<PStateTable> {
+        Arc::clone(&self.cpu_table)
+    }
+
+    /// The graphics ladder's shared handle.
+    #[must_use]
+    pub fn gfx_table_shared(&self) -> Arc<PStateTable> {
+        Arc::clone(&self.gfx_table)
     }
 
     /// The compute-domain power model in use.

@@ -1,4 +1,17 @@
 //! SoC configuration: everything Table 2 specifies plus the model knobs.
+//!
+//! The configuration is split in two:
+//!
+//! * [`PlatformArtifacts`] — the large immutable tables a platform is built
+//!   from (uncore operating-point ladder, CPU/graphics P-state ladders, the
+//!   DRAM module with its timing bins). They are held behind an [`Arc`] and
+//!   shared between every clone of a configuration, so per-run and
+//!   per-worker simulator construction never deep-clones them;
+//! * [`SocConfig`] — the cheaply cloneable per-experiment knobs (TDP, budget
+//!   policy, intervals, transition latencies, flags) plus a handle to the
+//!   shared artifacts.
+
+use std::sync::Arc;
 
 use sysscale_compute::{CpuConfig, HardwareDutyCycle, LlcConfig, PStateTable};
 use sysscale_dram::DramModule;
@@ -10,6 +23,35 @@ use sysscale_types::{
     TransitionLatency, UncoreOperatingPoint,
 };
 
+/// The immutable platform tables shared (via [`Arc`]) by every simulator
+/// built for the same platform: the uncore operating-point ladder, the two
+/// P-state calibration ladders, and the DRAM module (which carries the
+/// supported timing bins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformArtifacts {
+    /// The ladder of uncore (IO + memory domain) operating points.
+    pub uncore_ladder: OperatingPointTable,
+    /// CPU P-state ladder (shared with every PBM built from this platform).
+    pub cpu_pstates: Arc<PStateTable>,
+    /// Graphics P-state ladder.
+    pub gfx_pstates: Arc<PStateTable>,
+    /// DRAM module attached to the SoC.
+    pub dram: DramModule,
+}
+
+impl PlatformArtifacts {
+    /// The Skylake M-6Y75-like platform tables of Table 2.
+    #[must_use]
+    pub fn skylake_lpddr3() -> Self {
+        Self {
+            uncore_ladder: skylake_lpddr3_ladder(),
+            cpu_pstates: Arc::new(PStateTable::skylake_cpu()),
+            gfx_pstates: Arc::new(PStateTable::skylake_gfx()),
+            dram: DramModule::skylake_lpddr3(),
+        }
+    }
+}
+
 /// Complete configuration of the simulated SoC platform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
@@ -17,16 +59,12 @@ pub struct SocConfig {
     /// configurable from 3.5 W to 7 W, and the architecture scales to 91 W —
     /// Sec. 7.4).
     pub tdp: Power,
-    /// The ladder of uncore (IO + memory domain) operating points.
-    pub uncore_ladder: OperatingPointTable,
+    /// The shared immutable platform tables (ladders, P-states, DRAM).
+    pub artifacts: Arc<PlatformArtifacts>,
     /// Nominal rail voltages.
     pub nominal_voltages: NominalVoltages,
     /// How the TDP is split between domains.
     pub budget_policy: BudgetPolicy,
-    /// CPU P-state ladder.
-    pub cpu_pstates: PStateTable,
-    /// Graphics P-state ladder.
-    pub gfx_pstates: PStateTable,
     /// CPU core configuration.
     pub cpu: CpuConfig,
     /// LLC configuration.
@@ -35,8 +73,6 @@ pub struct SocConfig {
     pub memory_controller: MemoryControllerParams,
     /// IO-interconnect parameters.
     pub fabric: FabricParams,
-    /// DRAM module attached to the SoC.
-    pub dram: DramModule,
     /// DVFS transition latency components.
     pub transition_latency: TransitionLatency,
     /// Length of one simulation slice (and of one PMU counter sample).
@@ -59,16 +95,13 @@ impl SocConfig {
     pub fn skylake_m_6y75(tdp: Power) -> Self {
         Self {
             tdp,
-            uncore_ladder: skylake_lpddr3_ladder(),
+            artifacts: Arc::new(PlatformArtifacts::skylake_lpddr3()),
             nominal_voltages: NominalVoltages::default(),
             budget_policy: BudgetPolicy::default(),
-            cpu_pstates: PStateTable::skylake_cpu(),
-            gfx_pstates: PStateTable::skylake_gfx(),
             cpu: CpuConfig::default(),
             llc: LlcConfig::default(),
             memory_controller: MemoryControllerParams::default(),
             fabric: FabricParams::default(),
-            dram: DramModule::skylake_lpddr3(),
             transition_latency: TransitionLatency::skylake_default(),
             slice: SimTime::from_millis(1.0),
             evaluation_interval: SimTime::from_millis(30.0),
@@ -92,11 +125,9 @@ impl SocConfig {
             UncoreOperatingPoint::new(Freq::from_ghz(1.8666), Freq::from_ghz(0.8), 1.0, 1.0),
         ])
         .expect("static ladder is well formed");
-        Self {
-            uncore_ladder: ladder,
-            dram: DramModule::ddr4_variant(),
-            ..Self::skylake_m_6y75(tdp)
-        }
+        Self::skylake_m_6y75(tdp)
+            .with_uncore_ladder(ladder)
+            .with_dram(DramModule::ddr4_variant())
     }
 
     /// A three-point LPDDR3 ladder including the 0.8 GHz bin (used by the
@@ -109,10 +140,58 @@ impl SocConfig {
             UncoreOperatingPoint::new(Freq::from_ghz(1.6), Freq::from_ghz(0.8), 1.0, 1.0),
         ])
         .expect("static ladder is well formed");
-        Self {
-            uncore_ladder: ladder,
-            ..Self::skylake_m_6y75(tdp)
-        }
+        Self::skylake_m_6y75(tdp).with_uncore_ladder(ladder)
+    }
+
+    /// The uncore operating-point ladder.
+    #[must_use]
+    pub fn uncore_ladder(&self) -> &OperatingPointTable {
+        &self.artifacts.uncore_ladder
+    }
+
+    /// The CPU P-state ladder.
+    #[must_use]
+    pub fn cpu_pstates(&self) -> &Arc<PStateTable> {
+        &self.artifacts.cpu_pstates
+    }
+
+    /// The graphics P-state ladder.
+    #[must_use]
+    pub fn gfx_pstates(&self) -> &Arc<PStateTable> {
+        &self.artifacts.gfx_pstates
+    }
+
+    /// The DRAM module attached to the SoC.
+    #[must_use]
+    pub fn dram(&self) -> DramModule {
+        self.artifacts.dram
+    }
+
+    /// Returns this configuration with a different uncore ladder. The other
+    /// artifacts stay shared; only the enclosing [`PlatformArtifacts`] handle
+    /// is replaced.
+    #[must_use]
+    pub fn with_uncore_ladder(mut self, ladder: OperatingPointTable) -> Self {
+        let mut artifacts = (*self.artifacts).clone();
+        artifacts.uncore_ladder = ladder;
+        self.artifacts = Arc::new(artifacts);
+        self
+    }
+
+    /// Returns this configuration with a different DRAM module.
+    #[must_use]
+    pub fn with_dram(mut self, dram: DramModule) -> Self {
+        let mut artifacts = (*self.artifacts).clone();
+        artifacts.dram = dram;
+        self.artifacts = Arc::new(artifacts);
+        self
+    }
+
+    /// Returns `true` if `other` shares this configuration's platform
+    /// artifacts *by handle* (no table comparison).
+    #[must_use]
+    pub fn shares_artifacts_with(&self, other: &SocConfig) -> bool {
+        Arc::ptr_eq(&self.artifacts, &other.artifacts)
     }
 
     /// Validates cross-field consistency.
@@ -136,8 +215,8 @@ impl SocConfig {
                 "evaluation interval must be at least one slice",
             ));
         }
-        for (_, op) in self.uncore_ladder.iter() {
-            if !self.dram.supports_frequency(op.dram_freq) {
+        for (_, op) in self.uncore_ladder().iter() {
+            if !self.dram().supports_frequency(op.dram_freq) {
                 return Err(SimError::invalid_config(format!(
                     "dram does not support the {:.0} MHz operating point",
                     op.dram_freq.as_mhz()
@@ -165,7 +244,7 @@ mod tests {
         assert!((cfg.tdp.as_watts() - 4.5).abs() < 1e-12);
         assert_eq!(cfg.cpu.cores, 2);
         assert_eq!(cfg.llc.size_mib, 4.0);
-        assert_eq!(cfg.uncore_ladder.len(), 2);
+        assert_eq!(cfg.uncore_ladder().len(), 2);
         assert!((cfg.evaluation_interval.as_millis() - 30.0).abs() < 1e-9);
         assert!(cfg.reload_mrc_on_transition);
     }
@@ -189,7 +268,7 @@ mod tests {
             .is_ok());
         let three = SocConfig::skylake_three_point(Power::from_watts(4.5));
         assert!(three.validate().is_ok());
-        assert_eq!(three.uncore_ladder.len(), 3);
+        assert_eq!(three.uncore_ladder().len(), 3);
     }
 
     #[test]
@@ -197,12 +276,40 @@ mod tests {
         let mut cfg = SocConfig::skylake_default();
         cfg.evaluation_interval = SimTime::from_micros(100.0);
         assert!(cfg.validate().is_err());
-        let mut cfg2 = SocConfig::skylake_default();
-        cfg2.dram = DramModule::ddr4_variant();
         // LPDDR3 ladder frequencies are not DDR4 bins.
+        let cfg2 = SocConfig::skylake_default().with_dram(DramModule::ddr4_variant());
         assert!(cfg2.validate().is_err());
         let mut cfg3 = SocConfig::skylake_default();
         cfg3.slice = SimTime::ZERO;
         assert!(cfg3.validate().is_err());
+    }
+
+    #[test]
+    fn clones_share_artifacts_and_mutators_replace_the_handle() {
+        let base = SocConfig::skylake_default();
+        let clone = base.clone();
+        assert!(base.shares_artifacts_with(&clone));
+        assert_eq!(base, clone);
+
+        // Scalar tweaks keep the artifacts shared.
+        let mut tweaked = base.clone();
+        tweaked.reload_mrc_on_transition = false;
+        assert!(base.shares_artifacts_with(&tweaked));
+        assert_ne!(base, tweaked);
+
+        // Artifact mutators replace the handle (copy-on-write) but leave the
+        // untouched tables shared one level down.
+        let reladdered = base.clone().with_uncore_ladder(
+            OperatingPointTable::new(vec![UncoreOperatingPoint::new(
+                Freq::from_ghz(1.6),
+                Freq::from_ghz(0.8),
+                1.0,
+                1.0,
+            )])
+            .unwrap(),
+        );
+        assert!(!base.shares_artifacts_with(&reladdered));
+        assert!(Arc::ptr_eq(base.cpu_pstates(), reladdered.cpu_pstates()));
+        assert_eq!(reladdered.uncore_ladder().len(), 1);
     }
 }

@@ -62,7 +62,11 @@ impl GovernorDecision {
 }
 
 /// A power-management policy driving the uncore DVFS.
-pub trait Governor: Debug {
+///
+/// Governors are required to be [`Send`] so a boxed instance can be handed
+/// to a worker thread of the parallel scenario executor (each run gets a
+/// fresh governor, so no `Sync` requirement is needed).
+pub trait Governor: Debug + Send {
     /// Short policy name used in reports.
     fn name(&self) -> &str;
 

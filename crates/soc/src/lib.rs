@@ -35,7 +35,7 @@ mod report;
 mod sim;
 mod transition;
 
-pub use config::SocConfig;
+pub use config::{PlatformArtifacts, SocConfig};
 pub use governor::{FixedGovernor, Governor, GovernorDecision, GovernorInput};
 pub use report::{SimReport, SliceTrace};
 pub use sim::{SocSimulator, UncoreEstimate};

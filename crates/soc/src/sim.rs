@@ -65,20 +65,20 @@ impl SocSimulator {
     /// inconsistent.
     pub fn new(config: SocConfig) -> SimResult<Self> {
         config.validate()?;
-        let dram = DramChip::new(config.dram);
+        let dram = DramChip::new(config.dram());
         let fabric = IoInterconnect::new(
             config.fabric,
-            config.uncore_ladder.highest().io_interconnect_freq,
+            config.uncore_ladder().highest().io_interconnect_freq,
         )?;
         let mc = MemoryController::new(config.memory_controller)?;
         let cpu = CpuModel::new(config.cpu)?;
         let llc = LlcModel::new(config.llc)?;
         let pbm = PowerBudgetManager::new(
             ComputeDomainPowerModel::default(),
-            config.cpu_pstates.clone(),
-            config.gfx_pstates.clone(),
+            config.cpu_pstates().clone(),
+            config.gfx_pstates().clone(),
         );
-        let current_op = config.uncore_ladder.highest_id();
+        let current_op = config.uncore_ladder().highest_id();
         Ok(Self {
             config,
             dram,
@@ -106,8 +106,8 @@ impl SocSimulator {
     #[must_use]
     pub fn peak_bandwidth(&self) -> Bandwidth {
         self.config
-            .dram
-            .peak_bandwidth(self.config.uncore_ladder.highest().dram_freq)
+            .dram()
+            .peak_bandwidth(self.config.uncore_ladder().highest().dram_freq)
     }
 
     /// Restores every piece of mutable run state (DRAM chip, interconnect,
@@ -122,12 +122,12 @@ impl SocSimulator {
     ///
     /// Propagates configuration errors from rebuilding the interconnect.
     pub fn reset(&mut self) -> SimResult<()> {
-        self.dram = DramChip::new(self.config.dram);
+        self.dram = DramChip::new(self.config.dram());
         self.fabric = IoInterconnect::new(
             self.config.fabric,
-            self.config.uncore_ladder.highest().io_interconnect_freq,
+            self.config.uncore_ladder().highest().io_interconnect_freq,
         )?;
-        self.current_op = self.config.uncore_ladder.highest_id();
+        self.current_op = self.config.uncore_ladder().highest_id();
         Ok(())
     }
 
@@ -176,7 +176,7 @@ impl SocSimulator {
         isochronous: Bandwidth,
     ) -> UncoreEstimate {
         let rails = RailVoltages::for_operating_point(&self.config.nominal_voltages, op);
-        let peak = self.config.dram.peak_bandwidth(op.dram_freq);
+        let peak = self.config.dram().peak_bandwidth(op.dram_freq);
         let utilization = bandwidth.ratio(peak).clamp(0.0, 1.0);
         let fabric_util = (bandwidth + isochronous)
             .ratio(Bandwidth::from_bytes_per_sec(
@@ -302,7 +302,7 @@ impl SocSimulator {
                     counters: &window,
                     static_demand: workload.peripherals.static_demand(),
                     current_op: self.current_op,
-                    ladder: &self.config.uncore_ladder,
+                    ladder: self.config.uncore_ladder(),
                     tdp: self.config.tdp,
                     peak_bandwidth: peak_at_highest,
                     sample_seconds: slice.as_secs(),
@@ -311,16 +311,16 @@ impl SocSimulator {
                 window.clear();
 
                 let target = decision.target_op;
-                if self.config.uncore_ladder.get(target).is_none() {
+                if self.config.uncore_ladder().get(target).is_none() {
                     return Err(SimError::UnknownOperatingPoint {
                         index: target.0,
-                        ladder_len: self.config.uncore_ladder.len(),
+                        ladder_len: self.config.uncore_ladder().len(),
                     });
                 }
                 if target != self.current_op {
                     let op = *self
                         .config
-                        .uncore_ladder
+                        .uncore_ladder()
                         .get(target)
                         .expect("checked above");
                     let stall = flow.execute(&op, &mut self.dram, &mut self.fabric)?;
@@ -330,7 +330,7 @@ impl SocSimulator {
 
                 let op = *self
                     .config
-                    .uncore_ladder
+                    .uncore_ladder()
                     .get(self.current_op)
                     .expect("current op is always valid");
                 budgets = if decision.redistribute_to_compute {
@@ -354,12 +354,12 @@ impl SocSimulator {
             // ---- Slice resolution ----
             let op = *self
                 .config
-                .uncore_ladder
+                .uncore_ladder()
                 .get(self.current_op)
                 .expect("current op is always valid");
             let rails = RailVoltages::for_operating_point(&self.config.nominal_voltages, &op);
-            if self.current_op == self.config.uncore_ladder.lowest_id()
-                && self.config.uncore_ladder.len() > 1
+            if self.current_op == self.config.uncore_ladder().lowest_id()
+                && self.config.uncore_ladder().len() > 1
             {
                 low_op_slices += 1;
             }
@@ -577,6 +577,16 @@ mod tests {
         let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
         sim.run(workload, governor, SimTime::from_millis(ms))
             .unwrap()
+    }
+
+    #[test]
+    fn simulator_and_boxed_governors_are_send() {
+        // The parallel scenario executor moves simulators and freshly built
+        // governors onto worker threads; this must keep compiling.
+        fn assert_send<T: Send>() {}
+        assert_send::<SocSimulator>();
+        assert_send::<Box<dyn Governor>>();
+        assert_send::<SocConfig>();
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! A small, deterministic, work-stealing-free scoped worker pool.
+//!
+//! The SysScale evaluation is an embarrassingly parallel matrix of
+//! independent simulation cells. This module provides the minimal execution
+//! primitive that matrix needs — and deliberately nothing more:
+//!
+//! * **static sharding** — worker `w` of `n` processes items
+//!   `w, w + n, w + 2n, …` (round-robin). There is no work stealing and no
+//!   shared queue, so the item→worker assignment is a pure function of
+//!   `(item index, worker count)` and every run of the same input is
+//!   scheduled identically;
+//! * **stable output order** — results are returned indexed by the *input*
+//!   position, never by completion order, so callers observe output that is
+//!   independent of thread interleaving;
+//! * **scoped threads** — built on [`std::thread::scope`], so borrowed items
+//!   and per-worker contexts need no `'static` lifetimes and no reference
+//!   counting.
+//!
+//! Determinism caveat: the pool guarantees deterministic *scheduling* and
+//! *ordering*. Bit-identical results additionally require that the mapped
+//! function itself is a pure function of `(index, item, worker context)` and
+//! that per-worker contexts are interchangeable (e.g. caches only).
+//!
+//! ## Example
+//!
+//! ```
+//! use sysscale_types::exec;
+//!
+//! let squares = exec::map_indexed(4, &[1, 2, 3, 4, 5], |_i, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! // Per-worker mutable contexts (one accumulator per worker):
+//! let mut sums = vec![0u64; 2];
+//! let doubled = exec::map_with_workers(&mut sums, &[1u64, 2, 3], |sum, _i, x| {
+//!     *sum += x;
+//!     x * 2
+//! });
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! assert_eq!(sums.iter().sum::<u64>(), 6);
+//! ```
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding [`default_threads`].
+pub const THREADS_ENV: &str = "SYSSCALE_THREADS";
+
+/// Upper bound [`default_threads`] applies to the detected parallelism (an
+/// explicit [`THREADS_ENV`] value may exceed it).
+pub const MAX_AUTO_THREADS: usize = 16;
+
+/// The worker count batch executors use when the caller does not pin one:
+/// the `SYSSCALE_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] capped at
+/// [`MAX_AUTO_THREADS`] (one simulation cell saturates one core; beyond the
+/// physical core count extra workers only cost memory).
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_AUTO_THREADS)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers and returns the
+/// results in input order.
+///
+/// Sharding is static round-robin (worker `w` takes indices
+/// `w, w + threads, …`), so both the schedule and the output order are
+/// deterministic for a given `(items.len(), threads)`. A `threads` of 1 (or
+/// a single-item input) runs inline on the calling thread without spawning.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the remaining workers finish.
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut contexts = vec![(); effective_workers(threads, items.len())];
+    map_with_workers(&mut contexts, items, |(), i, x| f(i, x))
+}
+
+/// Like [`map_indexed`], but each worker additionally owns one mutable
+/// context from `contexts` for the duration of the run (a simulator cache, an
+/// accumulator, a scratch buffer). The worker count *is* `contexts.len()`.
+///
+/// Item `i` is processed by worker `i % contexts.len()` — the same static
+/// round-robin shard as [`map_indexed`] — and results come back in input
+/// order.
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty; propagates a panic from `f`.
+pub fn map_with_workers<C, T, R, F>(contexts: &mut [C], items: &[T], f: F) -> Vec<R>
+where
+    C: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    assert!(!contexts.is_empty(), "exec requires at least one worker");
+    if contexts.len() == 1 || items.len() <= 1 {
+        let ctx = &mut contexts[0];
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(ctx, i, x))
+            .collect();
+    }
+    let threads = contexts.len();
+    merge_in_order(
+        items.len(),
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = contexts
+                .iter_mut()
+                .enumerate()
+                .map(|(w, ctx)| {
+                    scope.spawn(move || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(i, x)| (i, f(ctx, i, x)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exec worker panicked"))
+                .collect::<Vec<_>>()
+        }),
+    )
+}
+
+/// The worker count actually used for an input: at least 1, never more than
+/// the number of items.
+#[must_use]
+pub fn effective_workers(threads: usize, items: usize) -> usize {
+    threads.max(1).min(items.max(1))
+}
+
+/// Merges per-worker `(index, result)` shards back into input order.
+fn merge_in_order<R>(len: usize, shards: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for shard in shards {
+        for (i, r) in shard {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_indexed(threads, &items, |i, x| {
+                assert_eq!(i, *x);
+                x * 3
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_indexed(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(map_indexed(4, &[7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_with_workers_shards_round_robin() {
+        // Record which worker saw which index: index i must land on worker
+        // i % workers, by construction.
+        let items: Vec<usize> = (0..20).collect();
+        let mut seen: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        let _ = map_with_workers(&mut seen, &items, |bucket, i, _| {
+            bucket.push(i);
+            i
+        });
+        for (w, bucket) in seen.iter().enumerate() {
+            let expected: Vec<usize> = (0..20).skip(w).step_by(3).collect();
+            assert_eq!(bucket, &expected, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn map_with_workers_single_context_runs_inline() {
+        let mut ctx = vec![0u64];
+        let out = map_with_workers(&mut ctx, &[1u64, 2, 3], |c, _, x| {
+            *c += x;
+            *x
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(ctx[0], 6);
+    }
+
+    #[test]
+    fn effective_workers_clamps_both_ends() {
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(4, 0), 1);
+        assert_eq!(effective_workers(2, 100), 2);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

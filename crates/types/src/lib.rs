@@ -2,7 +2,9 @@
 //!
 //! Shared vocabulary types for the SysScale mobile-SoC simulator: physical
 //! units, SoC domains and voltage rails, DVFS operating points, PMU
-//! performance counters, run metrics, statistics helpers, and error types.
+//! performance counters, run metrics, statistics helpers, error types, and
+//! the deterministic scoped worker pool ([`exec`]) the batch runners build
+//! on.
 //!
 //! This crate is dependency-free and is consumed by every
 //! other crate in the workspace.
@@ -29,6 +31,7 @@
 mod counters;
 mod domain;
 mod error;
+pub mod exec;
 mod metrics;
 mod operating_point;
 pub mod rng;

@@ -1,13 +1,14 @@
-//! Quickstart: describe runs as `Scenario`s, execute them through one
-//! `SimSession`, and compare SysScale against the baseline on a SPEC-like
-//! workload.
+//! Quickstart: describe runs as `Scenario`s, execute them through the
+//! deterministic parallel runner (a `SessionPool`), and compare SysScale
+//! against the baseline on a SPEC-like workload. Set `SYSSCALE_THREADS` to
+//! pin the worker count (`1` reproduces the sequential path bit for bit).
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use sysscale::{Scenario, ScenarioSet, SimSession, SocConfig};
-use sysscale_types::{Domain, SimTime};
+use sysscale::{Scenario, ScenarioSet, SessionPool, SocConfig};
+use sysscale_types::{exec, Domain, SimTime};
 use sysscale_workloads::spec_workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,15 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let duration = SimTime::from_millis(500.0);
 
     // One ScenarioSet run covers the whole {baseline, sysscale} column pair
-    // and computes the baseline-relative deltas.
-    let mut session = SimSession::new();
+    // and computes the baseline-relative deltas. The matrix is sharded
+    // across the pool's workers; the RunSet is identical at any thread
+    // count.
+    let mut pool = SessionPool::new();
+    let threads = exec::default_threads();
+    println!("Executor: {threads} worker thread(s) (override with SYSSCALE_THREADS)");
     let runs = ScenarioSet::matrix(
         &config,
         std::slice::from_ref(&workload),
         &["baseline", "sysscale"],
     )?
     .with_baseline("baseline")
-    .run(&mut session)?;
+    .run_parallel(&mut pool, threads)?;
 
     let baseline = &runs.baseline_for(&workload.name).expect("ran").report;
     let sysscale = &runs.get(&workload.name, "sysscale").expect("ran").report;
@@ -68,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .duration(duration)
         .trace(true)
         .build()?;
-    let record = session.run(&traced)?;
+    let record = pool.session().run(&traced)?;
     let trace = record.trace.expect("trace requested");
     println!(
         "\nTraced re-run: {} slices, first-slice demand {:.2} GiB/s",

@@ -1,7 +1,9 @@
 //! Reproduces the Fig. 7 comparison on the SPEC CPU2006-like suite:
 //! MemScale-Redist and CoScale-Redist (projected) versus SysScale
-//! (measured). The whole suite × governor matrix runs through one
-//! `ScenarioSet::run` call inside `evaluation::fig7`.
+//! (measured). The whole suite × governor matrix runs through one parallel
+//! `ScenarioSet::run_parallel` batch inside `evaluation::fig7`
+//! (`SYSSCALE_THREADS` pins the worker count; the result is identical at
+//! any value).
 //!
 //! ```text
 //! cargo run --release --example spec_cpu_sweep
@@ -15,15 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SocConfig::skylake_default();
     let predictor = DemandPredictor::skylake_default();
 
-    // The raw matrix is available too: one call, one simulator per platform,
-    // every (workload, governor) cell keyed in the RunSet.
+    // The raw matrix is available too: one call, sharded across the worker
+    // pool, every (workload, governor) cell keyed in the RunSet in stable
+    // scenario order.
     let suite = spec_cpu2006_suite();
     let runs = evaluation::evaluation_matrix(&config, &predictor, &suite)?;
     println!(
-        "matrix: {} runs over {} workloads x {:?}",
+        "matrix: {} runs over {} workloads x {:?} on {} worker(s)",
         runs.len(),
         runs.workloads().len(),
-        runs.governors()
+        runs.governors(),
+        sysscale_types::exec::default_threads()
     );
 
     let figure = evaluation::fig7(&config, &predictor)?;

@@ -134,8 +134,8 @@ fn calibrated_predictor_has_no_false_positives_on_the_spec_suite() {
     let predictor = outcome.predictor();
     let peak = sysscale_types::Bandwidth::from_bytes_per_sec(
         config
-            .dram
-            .peak_bandwidth(config.uncore_ladder.highest().dram_freq)
+            .dram()
+            .peak_bandwidth(config.uncore_ladder().highest().dram_freq)
             .as_bytes_per_sec(),
     );
 

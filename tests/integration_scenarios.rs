@@ -1,7 +1,10 @@
 //! Integration tests of the Scenario/SimSession/ScenarioSet API: matrix
-//! coverage, determinism across re-runs, and baseline-relative deltas.
+//! coverage, determinism across re-runs and across worker counts, session
+//! pooling, and baseline-relative deltas.
 
-use sysscale::{GovernorRegistry, Scenario, ScenarioSet, SimSession, SocConfig, SocSimulator};
+use sysscale::{
+    GovernorRegistry, Scenario, ScenarioSet, SessionPool, SimSession, SocConfig, SocSimulator,
+};
 use sysscale_soc::FixedGovernor;
 use sysscale_types::SimTime;
 use sysscale_workloads::{spec_workload, Workload};
@@ -138,6 +141,92 @@ fn governor_restrictions_flow_through_the_matrix() {
     .unwrap();
     assert_eq!(session.cached_platforms(), 2);
     assert_eq!(runs.len(), 6);
+}
+
+#[test]
+fn run_parallel_is_bit_identical_to_sequential_at_every_thread_count() {
+    // The acceptance property of the parallel executor: the RunSet from
+    // run_parallel(n) equals the sequential run() byte for byte, for a
+    // matrix that spans both platforms (memscale restricts the platform) and
+    // a stateful adaptive governor (sysscale transitions at runtime).
+    let workloads = spec_suite_subset();
+    let set = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads,
+        &["baseline", "sysscale", "memscale", "md-dvfs-redist"],
+    )
+    .unwrap()
+    .with_baseline("baseline");
+
+    let sequential = set.run(&mut SimSession::new()).unwrap();
+    for threads in [1, 2, 8] {
+        let mut pool = SessionPool::new();
+        let parallel = set.run_parallel(&mut pool, threads).unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "run_parallel({threads}) diverged from the sequential path"
+        );
+        // Stable scenario order, not completion order.
+        let keys: Vec<(&str, &str)> = parallel
+            .records()
+            .iter()
+            .map(|r| (r.workload.as_str(), r.governor.as_str()))
+            .collect();
+        let expected: Vec<(&str, &str)> = sequential
+            .records()
+            .iter()
+            .map(|r| (r.workload.as_str(), r.governor.as_str()))
+            .collect();
+        assert_eq!(keys, expected);
+        // Debug formatting is part of "bit-identical" for downstream
+        // snapshotting.
+        assert_eq!(format!("{sequential:?}"), format!("{parallel:?}"));
+    }
+}
+
+#[test]
+fn session_pool_caches_simulators_across_matrices() {
+    // Re-running matrices on the same pool must not rebuild simulators: the
+    // cached (worker, platform) count stays flat after the first batch.
+    let workloads = spec_suite_subset();
+    let set = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads,
+        &["baseline", "memscale"],
+    )
+    .unwrap()
+    .with_baseline("baseline");
+
+    let mut pool = SessionPool::new();
+    let first = set.run_parallel(&mut pool, 2).unwrap();
+    assert_eq!(pool.workers(), 2);
+    let after_first = pool.cached_platforms();
+    // Two platforms (full + memscale-restricted), at most one simulator per
+    // (worker, platform).
+    assert!((2..=4).contains(&after_first), "{after_first}");
+
+    // Same matrix again: everything is served from the cached simulators.
+    let second = set.run_parallel(&mut pool, 2).unwrap();
+    assert_eq!(pool.cached_platforms(), after_first);
+    assert_eq!(first, second);
+
+    // A different matrix on the same platforms also reuses the cache.
+    let other = ScenarioSet::matrix(
+        &SocConfig::skylake_default(),
+        &workloads[..1],
+        &["md-dvfs", "memscale"],
+    )
+    .unwrap()
+    .run_parallel(&mut pool, 2)
+    .unwrap();
+    assert_eq!(pool.cached_platforms(), after_first);
+    assert_eq!(other.len(), 2);
+
+    // Requesting more workers later grows the pool without disturbing the
+    // existing sessions.
+    let wide = set.run_parallel(&mut pool, 4).unwrap();
+    assert_eq!(pool.workers(), 4);
+    assert_eq!(wide, first);
 }
 
 #[test]
