@@ -1,0 +1,100 @@
+//! Microbenchmark of the simulator's per-slice hot path.
+//!
+//! Runs the SPEC06 × {baseline, sysscale, memscale, coscale} evaluation
+//! matrix and reports *slices per second* plus the average memory
+//! fixed-point iterations each slice paid — the two quantities the
+//! slice-loop optimisations move. Each measurement emits one
+//! machine-readable `{"kind":"slice_perf",…}` JSON line next to the
+//! existing `matrix_perf` lines, and appends both to the
+//! `SYSSCALE_BENCH_HISTORY` JSONL file when that variable is set (tagged
+//! via `SYSSCALE_BENCH_TAG`), so cells/sec and slices/sec regressions are
+//! visible in review.
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench slice_loop            # full matrix
+//! cargo bench -p sysscale-bench --bench slice_loop -- --short # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use sysscale::experiments::evaluation::EVALUATION_GOVERNORS;
+use sysscale::{DemandPredictor, GovernorRegistry, RunSet, ScenarioSet, SessionPool, SocConfig};
+use sysscale_bench::timing::SlicePerf;
+use sysscale_types::exec;
+use sysscale_workloads::{spec_cpu2006_suite, Workload};
+
+/// Executes `matrix` on a fresh pool at `threads` workers and emits the
+/// slice-perf record for the run.
+fn measure(label: &str, matrix: &ScenarioSet, threads: usize) -> (SlicePerf, RunSet) {
+    let mut pool = SessionPool::new();
+    let start = Instant::now();
+    let runs = matrix
+        .run_parallel(&mut pool, threads)
+        .expect("matrix executes");
+    let wall = start.elapsed();
+
+    let (slices, fixed_point_iters) = runs.records().iter().fold((0u64, 0u64), |(s, i), r| {
+        (
+            s + r.report.loop_stats.slices,
+            i + r.report.loop_stats.fixed_point_iters,
+        )
+    });
+    let perf = SlicePerf {
+        cells: matrix.len(),
+        threads: exec::effective_workers(threads, matrix.len()),
+        slices,
+        fixed_point_iters,
+        wall,
+    };
+    perf.emit("slice_loop", label);
+    (perf, runs)
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let config = SocConfig::skylake_default();
+
+    let suite: Vec<Workload> = if short {
+        spec_cpu2006_suite().into_iter().take(6).collect()
+    } else {
+        spec_cpu2006_suite()
+    };
+    let governors: &[&str] = if short {
+        &["baseline", "sysscale"]
+    } else {
+        &EVALUATION_GOVERNORS
+    };
+
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale::sysscale_factory(
+        DemandPredictor::skylake_default(),
+    ));
+    let matrix = ScenarioSet::matrix_with(&registry, &config, &suite, governors)
+        .expect("evaluation matrix builds")
+        .with_baseline("baseline");
+
+    let label = if short { "spec_smoke" } else { "spec06x4" };
+    let (seq, sequential) = measure(&format!("{label}_seq"), &matrix, 1);
+    let threads = exec::default_threads().max(2);
+    let (par, parallel) = measure(&format!("{label}_par{threads}"), &matrix, threads);
+
+    assert_eq!(
+        sequential, parallel,
+        "parallel RunSet must be bit-identical to the sequential one"
+    );
+    assert!(seq.slices > 0, "matrix must simulate slices");
+    assert_eq!(seq.slices, par.slices, "slice count is deterministic");
+    assert!(
+        seq.iters_per_slice() >= 1.0 && seq.iters_per_slice() <= 4.0,
+        "fixed point runs 1..=4 iterations per slice, got {}",
+        seq.iters_per_slice()
+    );
+
+    println!(
+        "slice_loop/{label}: {:.0} slices/sec seq, {:.0} slices/sec par{threads}, \
+         {:.2} fixed-point iters/slice",
+        seq.slices_per_sec(),
+        par.slices_per_sec(),
+        seq.iters_per_slice(),
+    );
+}

@@ -263,6 +263,63 @@ pub fn format_ablations(rows: &[AblationRow]) -> String {
 pub mod timing {
     use std::time::{Duration, Instant};
 
+    /// Environment variable naming the JSONL file perf records are appended
+    /// to (in addition to stdout). Unset = no history is written.
+    pub const HISTORY_ENV: &str = "SYSSCALE_BENCH_HISTORY";
+
+    /// Environment variable carrying the PR/commit tag stamped on each
+    /// history record (defaults to `untagged`).
+    pub const TAG_ENV: &str = "SYSSCALE_BENCH_TAG";
+
+    /// The tag stamped on history records: `SYSSCALE_BENCH_TAG`, or
+    /// `untagged`.
+    #[must_use]
+    pub fn history_tag() -> String {
+        std::env::var(TAG_ENV).unwrap_or_else(|_| "untagged".to_string())
+    }
+
+    /// JSON-string-escapes a tag so a quote/backslash/control character in
+    /// `SYSSCALE_BENCH_TAG` cannot corrupt the append-only history file.
+    fn escape_tag(tag: &str) -> String {
+        let mut out = String::with_capacity(tag.len());
+        for c in tag.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Appends one perf JSON line to the `SYSSCALE_BENCH_HISTORY` file (if
+    /// configured), prefixing it with the [`history_tag`]. `line` must be a
+    /// one-line JSON object starting with `{`. IO errors are reported on
+    /// stderr but never fail the bench.
+    pub fn append_history(line: &str) {
+        let Ok(path) = std::env::var(HISTORY_ENV) else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let tagged = format!(
+            "{{\"tag\":\"{}\",{}\n",
+            escape_tag(&history_tag()),
+            line.trim_start_matches('{')
+        );
+        use std::io::Write;
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(tagged.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("bench history append to {path} failed: {e}");
+        }
+    }
+
     /// Wall-clock measurement of one scenario-matrix execution, emitted as a
     /// machine-readable JSON line so the perf trajectory can be tracked
     /// across PRs (`grep '"kind":"matrix_perf"'` over bench logs).
@@ -290,9 +347,10 @@ pub mod timing {
 
         /// Prints the canonical one-line JSON record:
         /// `{"kind":"matrix_perf","bench":…,"matrix":…,"cells":…,"threads":…,
-        /// "wall_clock_ms":…,"cells_per_sec":…}`.
+        /// "wall_clock_ms":…,"cells_per_sec":…}` — and appends it to the
+        /// [`HISTORY_ENV`] file when configured.
         pub fn emit(&self, bench: &str, matrix: &str) {
-            println!(
+            let line = format!(
                 "{{\"kind\":\"matrix_perf\",\"bench\":\"{bench}\",\"matrix\":\"{matrix}\",\
                  \"cells\":{},\"threads\":{},\"wall_clock_ms\":{:.3},\"cells_per_sec\":{:.3}}}",
                 self.cells,
@@ -300,6 +358,73 @@ pub mod timing {
                 self.wall.as_secs_f64() * 1e3,
                 self.cells_per_sec(),
             );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
+    /// Wall-clock measurement of the simulator's inner slice loop over one
+    /// matrix execution, emitted as a machine-readable JSON line
+    /// (`"kind":"slice_perf"`). Where [`MatrixPerf`] tracks whole-cell
+    /// throughput, this tracks the per-slice hot path: slices per second
+    /// and how many memory fixed-point iterations each slice paid.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct SlicePerf {
+        /// Number of scenario cells executed.
+        pub cells: usize,
+        /// Worker-thread count the matrix ran at.
+        pub threads: usize,
+        /// Total simulated slices across all cells.
+        pub slices: u64,
+        /// Total memory fixed-point iterations across all slices.
+        pub fixed_point_iters: u64,
+        /// Wall-clock time of the execution.
+        pub wall: Duration,
+    }
+
+    impl SlicePerf {
+        /// Simulated slices executed per wall-clock second.
+        #[must_use]
+        pub fn slices_per_sec(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.slices as f64 / secs
+            } else {
+                0.0
+            }
+        }
+
+        /// Average memory fixed-point iterations per slice (delegates to
+        /// [`sysscale::SliceLoopStats`], the single definition of the
+        /// metric).
+        #[must_use]
+        pub fn iters_per_slice(&self) -> f64 {
+            sysscale::SliceLoopStats {
+                slices: self.slices,
+                fixed_point_iters: self.fixed_point_iters,
+            }
+            .iters_per_slice()
+        }
+
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"slice_perf","bench":…,"matrix":…,"cells":…,"threads":…,
+        /// "slices":…,"wall_clock_ms":…,"slices_per_sec":…,
+        /// "fixed_point_iters_per_slice":…}` — and appends it to the
+        /// [`HISTORY_ENV`] file when configured.
+        pub fn emit(&self, bench: &str, matrix: &str) {
+            let line = format!(
+                "{{\"kind\":\"slice_perf\",\"bench\":\"{bench}\",\"matrix\":\"{matrix}\",\
+                 \"cells\":{},\"threads\":{},\"slices\":{},\"wall_clock_ms\":{:.3},\
+                 \"slices_per_sec\":{:.1},\"fixed_point_iters_per_slice\":{:.4}}}",
+                self.cells,
+                self.threads,
+                self.slices,
+                self.wall.as_secs_f64() * 1e3,
+                self.slices_per_sec(),
+                self.iters_per_slice(),
+            );
+            println!("{line}");
+            append_history(&line);
         }
     }
 
@@ -358,6 +483,19 @@ pub mod timing {
         );
         m
     }
+
+    #[cfg(test)]
+    mod timing_tests {
+        use super::escape_tag;
+
+        #[test]
+        fn tags_with_quotes_backslashes_and_controls_stay_valid_json() {
+            assert_eq!(escape_tag("pr3"), "pr3");
+            assert_eq!(escape_tag(r#"PR 3 "rerun""#), r#"PR 3 \"rerun\""#);
+            assert_eq!(escape_tag(r"a\b"), r"a\\b");
+            assert_eq!(escape_tag("a\nb"), "a\\u000ab");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +528,28 @@ mod tests {
             wall: std::time::Duration::ZERO,
         };
         assert_eq!(zero.cells_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn slice_perf_rates_are_well_defined() {
+        let perf = timing::SlicePerf {
+            cells: 4,
+            threads: 2,
+            slices: 1200,
+            fixed_point_iters: 3000,
+            wall: std::time::Duration::from_millis(100),
+        };
+        assert!((perf.slices_per_sec() - 12_000.0).abs() < 1e-6);
+        assert!((perf.iters_per_slice() - 2.5).abs() < 1e-12);
+        let zero = timing::SlicePerf {
+            cells: 0,
+            threads: 1,
+            slices: 0,
+            fixed_point_iters: 0,
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(zero.slices_per_sec(), 0.0);
+        assert_eq!(zero.iters_per_slice(), 0.0);
     }
 
     #[test]

@@ -92,12 +92,14 @@ pub use predictor::{
 pub use scenario::{
     auto_duration, sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell,
     RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, SessionPool, SimSession,
+    TraceSinkFactory,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the
 // `sysscale` crate alone.
 pub use sysscale_soc::{
-    FixedGovernor, Governor, PlatformArtifacts, SimReport, SocConfig, SocSimulator,
+    ChannelTraceSink, FixedGovernor, FnTraceSink, Governor, PlatformArtifacts, SimReport,
+    SliceLoopStats, SocConfig, SocSimulator, TraceSink, VecTraceSink,
 };
 pub use sysscale_types as types;
 pub use sysscale_workloads as workloads;

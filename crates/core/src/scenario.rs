@@ -59,7 +59,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use sysscale_soc::{FixedGovernor, Governor, SimReport, SliceTrace, SocConfig, SocSimulator};
+use sysscale_soc::{
+    FixedGovernor, Governor, SimReport, SliceTrace, SocConfig, SocSimulator, TraceSink,
+};
 use sysscale_types::{exec, SimError, SimResult, SimTime};
 use sysscale_workloads::Workload;
 
@@ -302,6 +304,36 @@ impl Default for GovernorRegistry {
 // Scenario
 // ---------------------------------------------------------------------------
 
+/// Builds one fresh [`TraceSink`] per traced run.
+///
+/// Scenarios are cloned onto worker threads, so a streaming scenario carries
+/// a *factory* rather than a sink instance: every run gets its own sink (for
+/// a channel-backed sink, typically a clone of one shared bounded sender).
+pub type TraceSinkFactory = Arc<dyn Fn() -> Box<dyn TraceSink> + Send + Sync>;
+
+/// How a scenario handles its per-slice trace.
+#[derive(Clone, Default)]
+enum TraceSpec {
+    /// No trace is produced.
+    #[default]
+    Off,
+    /// Every slice is buffered and returned in [`RunRecord::trace`].
+    Collect,
+    /// Every slice is streamed into a sink built by the factory;
+    /// [`RunRecord::trace`] stays `None` and memory stays flat.
+    Stream(TraceSinkFactory),
+}
+
+impl fmt::Debug for TraceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSpec::Off => f.write_str("Off"),
+            TraceSpec::Collect => f.write_str("Collect"),
+            TraceSpec::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
+}
+
 /// One fully-specified simulation run.
 ///
 /// Built with [`Scenario::builder`]; executed by [`SimSession::run`] or as
@@ -317,7 +349,7 @@ pub struct Scenario {
     workload: Arc<Workload>,
     governor: Arc<dyn GovernorFactory>,
     duration: Option<SimTime>,
-    trace: bool,
+    trace: TraceSpec,
 }
 
 impl Scenario {
@@ -332,7 +364,7 @@ impl Scenario {
             workload: workload.into(),
             governor: None,
             duration: None,
-            trace: false,
+            trace: TraceSpec::Off,
         }
     }
 
@@ -354,10 +386,18 @@ impl Scenario {
         &self.governor
     }
 
-    /// Whether a per-slice trace is collected.
+    /// Whether a per-slice trace is collected into [`RunRecord::trace`].
+    /// `false` for streaming scenarios — their slices go to the sink, not
+    /// into the record.
     #[must_use]
     pub fn traced(&self) -> bool {
-        self.trace
+        matches!(self.trace, TraceSpec::Collect)
+    }
+
+    /// Whether this scenario streams its trace through a [`TraceSinkFactory`].
+    #[must_use]
+    pub fn streams_trace(&self) -> bool {
+        matches!(self.trace, TraceSpec::Stream(_))
     }
 
     /// The simulated duration of this scenario (explicit, or derived from
@@ -385,7 +425,7 @@ pub struct ScenarioBuilder {
     // the common governor_factory() path never constructs a registry.
     governor: Option<SimResult<Arc<dyn GovernorFactory>>>,
     duration: Option<SimTime>,
-    trace: bool,
+    trace: TraceSpec,
 }
 
 impl ScenarioBuilder {
@@ -420,10 +460,31 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Enables per-slice trace collection for this run.
+    /// Enables per-slice trace collection for this run: every slice is
+    /// buffered and returned in [`RunRecord::trace`]. For long runs prefer
+    /// [`ScenarioBuilder::stream_trace`], which holds memory flat.
     #[must_use]
     pub fn trace(mut self, trace: bool) -> Self {
-        self.trace = trace;
+        self.trace = if trace {
+            TraceSpec::Collect
+        } else {
+            TraceSpec::Off
+        };
+        self
+    }
+
+    /// Streams the per-slice trace through a sink built by `factory` at the
+    /// start of each run, instead of buffering it. [`RunRecord::trace`]
+    /// stays `None`; the run's trace memory is bounded by the sink (e.g. a
+    /// [`sysscale_soc::ChannelTraceSink`] with a small capacity), no matter
+    /// how long the run is or how many workers execute traced scenarios
+    /// concurrently.
+    #[must_use]
+    pub fn stream_trace(
+        mut self,
+        factory: impl Fn() -> Box<dyn TraceSink> + Send + Sync + 'static,
+    ) -> Self {
+        self.trace = TraceSpec::Stream(Arc::new(factory));
         self
     }
 
@@ -515,13 +576,26 @@ impl SimSession {
     pub fn run(&mut self, scenario: &Scenario) -> SimResult<RunRecord> {
         let config = scenario.effective_config();
         let mut governor = scenario.governor.build();
-        let (report, trace) = self.run_with(
-            &config,
-            &scenario.workload,
-            governor.as_mut(),
-            scenario.duration(),
-            scenario.trace,
-        )?;
+        let (report, trace) = match &scenario.trace {
+            TraceSpec::Off | TraceSpec::Collect => self.run_with(
+                &config,
+                &scenario.workload,
+                governor.as_mut(),
+                scenario.duration(),
+                scenario.traced(),
+            )?,
+            TraceSpec::Stream(factory) => {
+                let mut sink = factory();
+                let report = self.run_streaming(
+                    &config,
+                    &scenario.workload,
+                    governor.as_mut(),
+                    scenario.duration(),
+                    sink.as_mut(),
+                )?;
+                (report, None)
+            }
+        };
         Ok(RunRecord {
             workload: scenario.workload.name.clone(),
             governor: scenario.governor.name().to_string(),
@@ -555,6 +629,24 @@ impl SimSession {
             let report = sim.run(workload, governor, duration)?;
             Ok((report, None))
         }
+    }
+
+    /// Low-level streaming variant of [`SimSession::run_with`]: the
+    /// per-slice trace goes straight into `sink` and is never buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_streaming(
+        &mut self,
+        config: &SocConfig,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+        sink: &mut dyn TraceSink,
+    ) -> SimResult<SimReport> {
+        let sim = self.simulator_for(config)?;
+        sim.run_streaming(workload, governor, duration, sink)
     }
 }
 
@@ -1041,6 +1133,80 @@ mod tests {
             .build()
             .unwrap();
         assert!(SimSession::new().run(&untraced).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn streaming_scenario_feeds_the_sink_and_keeps_the_record_lean() {
+        use sysscale_soc::ChannelTraceSink;
+
+        let w = spec_workload("astar").unwrap();
+        // Capacity far below the slice count: completing the run proves the
+        // executor streams instead of buffering.
+        let (sender, receiver) = std::sync::mpsc::sync_channel(8);
+        let scenario = Scenario::builder(w)
+            .duration(SimTime::from_millis(400.0))
+            .stream_trace(move || Box::new(ChannelTraceSink::from_sender(sender.clone())))
+            .build()
+            .unwrap();
+        assert!(scenario.streams_trace());
+        assert!(!scenario.traced());
+
+        let consumer = std::thread::spawn(move || receiver.iter().count());
+        let record = SimSession::new().run(&scenario).unwrap();
+        // The scenario (and its factory, holding the last sender clone) must
+        // be dropped for the consumer's iterator to terminate.
+        drop(scenario);
+        assert!(record.trace.is_none(), "streamed slices are not buffered");
+        assert_eq!(consumer.join().unwrap(), 400);
+    }
+
+    #[test]
+    fn parallel_streaming_matrix_shares_one_bounded_channel() {
+        use sysscale_soc::ChannelTraceSink;
+
+        // Four traced runs across two workers feed a single bounded channel;
+        // the reports must stay bit-identical to the untraced runs and the
+        // consumer must see every slice from every run.
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let duration = SimTime::from_millis(90.0);
+        let untraced: Vec<Scenario> = workloads
+            .iter()
+            .map(|w| {
+                Scenario::builder(w.clone())
+                    .duration(duration)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let (sender, receiver) = std::sync::mpsc::sync_channel(4);
+        let mut set = ScenarioSet::new();
+        for w in &workloads {
+            let sender = sender.clone();
+            set.push(
+                Scenario::builder(w.clone())
+                    .duration(duration)
+                    .stream_trace(move || Box::new(ChannelTraceSink::from_sender(sender.clone())))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        drop(sender);
+        let consumer = std::thread::spawn(move || receiver.iter().count());
+
+        let mut pool = SessionPool::new();
+        let runs = set.run_parallel(&mut pool, 2).unwrap();
+        drop(set);
+        assert_eq!(consumer.join().unwrap(), 2 * 90);
+
+        let mut plain = SimSession::new();
+        for (i, s) in untraced.iter().enumerate() {
+            let expected = plain.run(s).unwrap();
+            assert_eq!(expected.report, runs.records()[i].report);
+            assert!(runs.records()[i].trace.is_none());
+        }
     }
 
     #[test]

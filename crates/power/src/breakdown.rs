@@ -6,14 +6,26 @@
 //! the model's equivalent of the per-rail NI-DAQ measurements the paper uses
 //! (Sec. 6).
 
-use std::collections::BTreeMap;
-
 use sysscale_types::{Component, Domain, Energy, Power, Rail, SimTime};
 
+const N_COMPONENTS: usize = Component::ALL.len();
+
+// The presence masks must be able to hold one bit per component.
+const _: () = assert!(N_COMPONENTS <= u16::BITS as usize);
+
 /// Average power drawn by each SoC component over one window.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Backed by a fixed inline array indexed by [`Component::index`] plus a
+/// presence bitmask: building and dropping one breakdown per simulation
+/// slice performs no heap allocation. Iteration (and therefore every sum)
+/// visits present components in [`Component::ALL`] order, keeping totals
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerBreakdown {
-    entries: BTreeMap<Component, Power>,
+    // Invariant: a slot whose presence bit is clear always holds zero, so
+    // the derived PartialEq matches map semantics.
+    entries: [Power; N_COMPONENTS],
+    present: u16,
 }
 
 impl PowerBreakdown {
@@ -25,57 +37,64 @@ impl PowerBreakdown {
 
     /// Sets the power of a component.
     pub fn set(&mut self, component: Component, power: Power) {
-        self.entries.insert(component, power);
+        self.entries[component.index()] = power;
+        self.present |= 1 << component.index();
     }
 
     /// Adds power to a component.
     pub fn add(&mut self, component: Component, power: Power) {
-        let entry = self.entries.entry(component).or_insert(Power::ZERO);
-        *entry += power;
+        self.entries[component.index()] += power;
+        self.present |= 1 << component.index();
     }
 
     /// Power of a component (zero if never set).
     #[must_use]
     pub fn component(&self, component: Component) -> Power {
-        self.entries.get(&component).copied().unwrap_or(Power::ZERO)
+        self.entries[component.index()]
     }
 
     /// Total SoC power.
     #[must_use]
     pub fn total(&self) -> Power {
-        self.entries.values().copied().sum()
+        self.iter().map(|(_, p)| p).sum()
     }
 
     /// Total power of one domain.
     #[must_use]
     pub fn domain(&self, domain: Domain) -> Power {
-        self.entries
-            .iter()
+        self.iter()
             .filter(|(c, _)| c.domain() == domain)
-            .map(|(_, p)| *p)
+            .map(|(_, p)| p)
             .sum()
     }
 
     /// Total power drawn from one rail.
     #[must_use]
     pub fn rail(&self, rail: Rail) -> Power {
-        self.entries
-            .iter()
+        self.iter()
             .filter(|(c, _)| c.rail() == rail)
-            .map(|(_, p)| *p)
+            .map(|(_, p)| p)
             .sum()
     }
 
-    /// Iterates over `(component, power)` in a stable order.
+    /// Iterates over the `(component, power)` pairs that have been written,
+    /// in [`Component::ALL`] order.
     pub fn iter(&self) -> impl Iterator<Item = (Component, Power)> + '_ {
-        self.entries.iter().map(|(&c, &p)| (c, p))
+        Component::ALL
+            .iter()
+            .filter(|c| self.present & (1 << c.index()) != 0)
+            .map(|&c| (c, self.entries[c.index()]))
     }
 }
 
 /// Integrated energy over a simulation run, per component.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Like [`PowerBreakdown`], the account stores a fixed per-component array,
+/// so accumulating a slice never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyAccount {
-    entries: BTreeMap<Component, Energy>,
+    entries: [Energy; N_COMPONENTS],
+    present: u16,
     duration: SimTime,
 }
 
@@ -89,8 +108,8 @@ impl EnergyAccount {
     /// Accumulates one slice: every component's power integrated over `dt`.
     pub fn accumulate(&mut self, breakdown: &PowerBreakdown, dt: SimTime) {
         for (component, power) in breakdown.iter() {
-            let entry = self.entries.entry(component).or_insert(Energy::ZERO);
-            *entry += power * dt;
+            self.entries[component.index()] += power * dt;
+            self.present |= 1 << component.index();
         }
         self.duration += dt;
     }
@@ -104,35 +123,39 @@ impl EnergyAccount {
     /// Energy of one component.
     #[must_use]
     pub fn component(&self, component: Component) -> Energy {
-        self.entries
-            .get(&component)
-            .copied()
-            .unwrap_or(Energy::ZERO)
+        self.entries[component.index()]
+    }
+
+    /// Iterates over the `(component, energy)` pairs that have accumulated
+    /// energy, in [`Component::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Energy)> + '_ {
+        Component::ALL
+            .iter()
+            .filter(|c| self.present & (1 << c.index()) != 0)
+            .map(|&c| (c, self.entries[c.index()]))
     }
 
     /// Total SoC energy.
     #[must_use]
     pub fn total(&self) -> Energy {
-        self.entries.values().copied().sum()
+        self.iter().map(|(_, e)| e).sum()
     }
 
     /// Energy of one domain.
     #[must_use]
     pub fn domain(&self, domain: Domain) -> Energy {
-        self.entries
-            .iter()
+        self.iter()
             .filter(|(c, _)| c.domain() == domain)
-            .map(|(_, e)| *e)
+            .map(|(_, e)| e)
             .sum()
     }
 
     /// Energy drawn from one rail.
     #[must_use]
     pub fn rail(&self, rail: Rail) -> Energy {
-        self.entries
-            .iter()
+        self.iter()
             .filter(|(c, _)| c.rail() == rail)
-            .map(|(_, e)| *e)
+            .map(|(_, e)| e)
             .sum()
     }
 

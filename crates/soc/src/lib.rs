@@ -33,10 +33,12 @@ mod config;
 mod governor;
 mod report;
 mod sim;
+mod trace;
 mod transition;
 
 pub use config::{PlatformArtifacts, SocConfig};
 pub use governor::{FixedGovernor, Governor, GovernorDecision, GovernorInput};
-pub use report::{SimReport, SliceTrace};
+pub use report::{SimReport, SliceLoopStats, SliceTrace};
 pub use sim::{SocSimulator, UncoreEstimate};
+pub use trace::{ChannelTraceSink, FnTraceSink, TraceSink, VecTraceSink};
 pub use transition::{TransitionFlow, TransitionStats};

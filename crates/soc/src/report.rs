@@ -30,6 +30,38 @@ pub struct SimReport {
     pub average_cpu_freq_ghz: f64,
     /// Average graphics frequency granted by the PBM.
     pub average_gfx_freq_ghz: f64,
+    /// Slice-loop execution statistics (slice count, memory fixed-point
+    /// iterations) — the microbenchmark signal for the hot path.
+    pub loop_stats: SliceLoopStats,
+}
+
+/// Execution statistics of the simulator's inner slice loop, reported per
+/// run. These describe *how much work the model performed*, not the model's
+/// outputs: benches use them to track slices/sec and the cost of the
+/// CPU↔memory fixed point across revisions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SliceLoopStats {
+    /// Number of slices executed.
+    pub slices: u64,
+    /// Total memory fixed-point iterations executed (each one CPU-model
+    /// probe plus one memory-controller service evaluation). The fixed
+    /// point exits as soon as the effective memory latency is bitwise
+    /// stable, so this is at most `4 × slices` (the legacy fixed cost);
+    /// saturating and idle phases exit earlier, while non-saturated active
+    /// phases generally pay the full cap.
+    pub fixed_point_iters: u64,
+}
+
+impl SliceLoopStats {
+    /// Average fixed-point iterations per slice.
+    #[must_use]
+    pub fn iters_per_slice(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.fixed_point_iters as f64 / self.slices as f64
+        }
+    }
 }
 
 impl SimReport {
@@ -113,6 +145,7 @@ mod tests {
             average_fps: 0.0,
             average_cpu_freq_ghz: 0.0,
             average_gfx_freq_ghz: 0.0,
+            loop_stats: SliceLoopStats::default(),
         }
     }
 
@@ -124,6 +157,17 @@ mod tests {
         assert!((better.power_reduction_pct_vs(&base) - 10.0).abs() < 1e-9);
         assert!(better.edp_improvement_pct_vs(&base) > 0.0);
         assert!((base.average_power().as_watts() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_stats_average_is_well_defined() {
+        let empty = SliceLoopStats::default();
+        assert_eq!(empty.iters_per_slice(), 0.0);
+        let stats = SliceLoopStats {
+            slices: 100,
+            fixed_point_iters: 250,
+        };
+        assert!((stats.iters_per_slice() - 2.5).abs() < 1e-12);
     }
 
     #[test]

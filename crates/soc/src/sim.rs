@@ -20,12 +20,36 @@ use sysscale_types::{
     Bandwidth, Component, CounterKind, CounterSet, CounterWindow, OperatingPointId, Power,
     RunMetrics, SimError, SimResult, SimTime, UncoreOperatingPoint,
 };
-use sysscale_workloads::{PerfUnit, Workload, WorkloadClass, WorkloadPhase};
+use sysscale_workloads::{PerfUnit, PhaseSchedule, ResolvedPhase, Workload, WorkloadClass};
 
 use crate::config::SocConfig;
 use crate::governor::{Governor, GovernorInput};
-use crate::report::{SimReport, SliceTrace};
+use crate::report::{SimReport, SliceLoopStats, SliceTrace};
+use crate::trace::{TraceSink, VecTraceSink};
 use crate::transition::TransitionFlow;
+
+/// The memory fixed point's iteration cap: the legacy fixed probe count,
+/// still the worst case when the latency never becomes bitwise stable.
+const FIXED_POINT_MAX_ITERS: u32 = 4;
+
+/// Per-operating-point state the slice loop would otherwise re-derive every
+/// slice (ladder lookup, rail voltages, lowest-point flag). Recomputed only
+/// when the uncore actually transitions.
+#[derive(Debug, Clone, Copy)]
+struct OpState {
+    op: UncoreOperatingPoint,
+    rails: RailVoltages,
+    is_lowest: bool,
+}
+
+/// DRAM-derived quantities that only change across a DVFS transition
+/// (frequency or MRC penalty change), hoisted out of the slice loop.
+#[derive(Debug, Clone, Copy)]
+struct DramDerived {
+    peak: Bandwidth,
+    idle_latency: SimTime,
+    io_power_factor: f64,
+}
 
 /// Uncore average-power estimate used for budget redistribution.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -146,11 +170,15 @@ impl SocSimulator {
         governor: &mut dyn Governor,
         duration: SimTime,
     ) -> SimResult<SimReport> {
-        self.run_internal(workload, governor, duration, false)
-            .map(|(report, _)| report)
+        self.run_internal(workload, governor, duration, None)
     }
 
-    /// Like [`SocSimulator::run`], but also returns a per-slice trace.
+    /// Like [`SocSimulator::run`], but also returns a per-slice trace,
+    /// collected through a [`VecTraceSink`].
+    ///
+    /// For long traced runs prefer [`SocSimulator::run_streaming`] with a
+    /// bounded sink, which keeps memory flat instead of buffering every
+    /// slice.
     ///
     /// # Errors
     ///
@@ -161,7 +189,29 @@ impl SocSimulator {
         governor: &mut dyn Governor,
         duration: SimTime,
     ) -> SimResult<(SimReport, Vec<SliceTrace>)> {
-        self.run_internal(workload, governor, duration, true)
+        let mut sink = VecTraceSink::new();
+        let report = self.run_internal(workload, governor, duration, Some(&mut sink))?;
+        Ok((report, sink.into_vec()))
+    }
+
+    /// Like [`SocSimulator::run`], but streams every [`SliceTrace`] into
+    /// `sink` as soon as its slice resolves ([`TraceSink::record`] is called
+    /// once per slice, in slice order). The simulator itself buffers
+    /// nothing, so a bounded sink (e.g.
+    /// [`ChannelTraceSink`](crate::ChannelTraceSink)) caps a traced run's
+    /// memory regardless of its length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SocSimulator::run`].
+    pub fn run_streaming(
+        &mut self,
+        workload: &Workload,
+        governor: &mut dyn Governor,
+        duration: SimTime,
+        sink: &mut dyn TraceSink,
+    ) -> SimResult<SimReport> {
+        self.run_internal(workload, governor, duration, Some(sink))
     }
 
     /// Estimates the uncore average power at operating point `op` for a given
@@ -205,7 +255,7 @@ impl SocSimulator {
     fn compute_request(
         &self,
         workload: &Workload,
-        phase: &WorkloadPhase,
+        phase: &ResolvedPhase,
         cpu_cap: Option<sysscale_types::Freq>,
     ) -> ComputeRequest {
         let cpu_table = self.pbm.cpu_table();
@@ -224,17 +274,37 @@ impl SocSimulator {
         ComputeRequest {
             cpu_requested,
             gfx_requested,
-            cpu_activity: if phase.cpu.active_threads > 0 {
-                1.0
-            } else {
-                0.0
-            },
+            cpu_activity: if phase.cpu_active { 1.0 } else { 0.0 },
             // Budget conservatively for a fully utilized engine; the actual
             // utilization may be lower (capped frame rates), never higher.
-            gfx_activity: if phase.gfx.is_idle() { 0.0 } else { 1.0 },
+            gfx_activity: if phase.gfx_active { 1.0 } else { 0.0 },
             gfx_priority,
-            c0_fraction: phase.cstates.active_fraction(),
-            leakage_fraction: phase.cstates.compute_leakage_fraction(),
+            c0_fraction: phase.active_fraction,
+            leakage_fraction: phase.compute_leakage_fraction,
+        }
+    }
+
+    /// Snapshot of the per-operating-point values the slice loop consumes;
+    /// refreshed only when [`SocSimulator::current_op`] changes.
+    fn op_state(&self) -> OpState {
+        let ladder = self.config.uncore_ladder();
+        let op = *ladder
+            .get(self.current_op)
+            .expect("current op is always valid");
+        OpState {
+            op,
+            rails: RailVoltages::for_operating_point(&self.config.nominal_voltages, &op),
+            is_lowest: self.current_op == ladder.lowest_id() && ladder.len() > 1,
+        }
+    }
+
+    /// Snapshot of the DRAM-derived values the slice loop consumes;
+    /// refreshed only after a DVFS transition touches the chip.
+    fn dram_derived(&self) -> DramDerived {
+        DramDerived {
+            peak: self.dram.peak_bandwidth(),
+            idle_latency: self.dram.idle_access_latency(),
+            io_power_factor: self.dram.effective_penalty().io_power_factor,
         }
     }
 
@@ -244,14 +314,15 @@ impl SocSimulator {
         workload: &Workload,
         governor: &mut dyn Governor,
         duration: SimTime,
-        trace: bool,
-    ) -> SimResult<(SimReport, Vec<SliceTrace>)> {
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> SimResult<SimReport> {
         if duration <= SimTime::ZERO {
             return Err(SimError::EmptySimulation);
         }
         let slice = self.config.slice;
-        let n_slices = (duration.as_secs() / slice.as_secs()).round().max(1.0) as usize;
-        let slices_per_interval = (self.config.evaluation_interval.as_secs() / slice.as_secs())
+        let slice_secs = slice.as_secs();
+        let n_slices = (duration.as_secs() / slice_secs).round().max(1.0) as usize;
+        let slices_per_interval = (self.config.evaluation_interval.as_secs() / slice_secs)
             .round()
             .max(1.0) as usize;
 
@@ -262,17 +333,26 @@ impl SocSimulator {
             self.config.reload_mrc_on_transition,
         );
 
+        // Resolve the phase sequence once; the cursor serves every slice's
+        // phase lookup in O(1) amortized without cloning.
+        let schedule = PhaseSchedule::compile(workload);
+        let mut cursor = schedule.cursor();
+
         let peak_at_highest = self.peak_bandwidth();
         let static_iso = workload.peripherals.isochronous_demand();
-        let static_io = workload.peripherals.best_effort_demand();
+        let static_demand = workload.peripherals.static_demand();
+        let hdc_throughput = self.config.hdc.throughput_factor();
+        let hdc_duty = self.config.hdc.duty();
 
-        let mut window = CounterWindow::new();
+        // Sized to one evaluation interval so pushes between clears never
+        // reallocate: the slice loop itself performs no heap allocation.
+        let mut window = CounterWindow::with_capacity(slices_per_interval);
         let mut totals = CounterSet::new();
         let mut energy = EnergyAccount::new();
-        let mut traces = Vec::new();
 
         let mut qos_violations = 0u64;
         let mut low_op_slices = 0usize;
+        let mut fixed_point_iters = 0u64;
         let mut instructions = 0.0f64;
         let mut frames = 0.0f64;
         let mut serviced = 0.0f64;
@@ -281,8 +361,13 @@ impl SocSimulator {
         let mut pending_stall = SimTime::ZERO;
         let mut recent_bandwidth = Bandwidth::ZERO;
 
+        // Operating-point- and DRAM-derived values, cached across slices and
+        // invalidated only by an actual transition.
+        let mut op_state = self.op_state();
+        let mut dram_state = self.dram_derived();
+
         // Initial budget/grant before the first evaluation interval.
-        let first_phase = workload.phase_at(SimTime::ZERO);
+        let first_phase = schedule.phase(cursor.index_at(SimTime::ZERO));
         let mut budgets = self
             .config
             .budget_policy
@@ -292,20 +377,28 @@ impl SocSimulator {
             &self.compute_request(workload, first_phase, None),
         );
 
+        // Demand terms derived from (phase, grant); recomputed only when
+        // either changes.
+        let mut cached_phase_idx = usize::MAX;
+        let mut gfx_desired = Bandwidth::ZERO;
+        let mut cpu_demand_adj = CpuPhaseDemand::idle();
+
         for slice_idx in 0..n_slices {
-            let now = SimTime::from_secs(slice_idx as f64 * slice.as_secs());
-            let phase = workload.phase_at(now).clone();
+            let now = SimTime::from_secs(slice_idx as f64 * slice_secs);
+            let phase_idx = cursor.index_at(now);
+            let phase = schedule.phase(phase_idx);
+            let mut grant_changed = false;
 
             // ---- Evaluation-interval boundary: governor + PBM ----
             if slice_idx % slices_per_interval == 0 {
                 let input = GovernorInput {
                     counters: &window,
-                    static_demand: workload.peripherals.static_demand(),
+                    static_demand,
                     current_op: self.current_op,
                     ladder: self.config.uncore_ladder(),
                     tdp: self.config.tdp,
                     peak_bandwidth: peak_at_highest,
-                    sample_seconds: slice.as_secs(),
+                    sample_seconds: slice_secs,
                 };
                 let decision = governor.decide(&input);
                 window.clear();
@@ -326,15 +419,13 @@ impl SocSimulator {
                     let stall = flow.execute(&op, &mut self.dram, &mut self.fabric)?;
                     pending_stall += stall;
                     self.current_op = target;
+                    op_state = self.op_state();
+                    dram_state = self.dram_derived();
                 }
 
-                let op = *self
-                    .config
-                    .uncore_ladder()
-                    .get(self.current_op)
-                    .expect("current op is always valid");
                 budgets = if decision.redistribute_to_compute {
-                    let estimate = self.estimate_uncore_power(&op, recent_bandwidth, static_iso);
+                    let estimate =
+                        self.estimate_uncore_power(&op_state.op, recent_bandwidth, static_iso);
                     self.config.budget_policy.demand_driven_budgets(
                         self.config.tdp,
                         estimate.io,
@@ -347,53 +438,62 @@ impl SocSimulator {
                 };
                 grant = self.pbm.grant(
                     budgets.compute,
-                    &self.compute_request(workload, &phase, decision.cpu_freq_cap),
+                    &self.compute_request(workload, phase, decision.cpu_freq_cap),
                 );
+                grant_changed = true;
             }
 
             // ---- Slice resolution ----
-            let op = *self
-                .config
-                .uncore_ladder()
-                .get(self.current_op)
-                .expect("current op is always valid");
-            let rails = RailVoltages::for_operating_point(&self.config.nominal_voltages, &op);
-            if self.current_op == self.config.uncore_ladder().lowest_id()
-                && self.config.uncore_ladder().len() > 1
-            {
+            let OpState { op, rails, .. } = op_state;
+            if op_state.is_lowest {
                 low_op_slices += 1;
             }
 
-            let active_frac = phase.cstates.active_fraction();
-            let dram_active_frac = phase.cstates.dram_active_fraction();
-            let uncore_activity = phase.cstates.uncore_activity();
-            let leakage_fraction = phase.cstates.compute_leakage_fraction();
+            let active_frac = phase.active_fraction;
+            let dram_active_frac = phase.dram_active_fraction;
+            let uncore_activity = phase.uncore_activity;
+            let leakage_fraction = phase.compute_leakage_fraction;
 
-            let stall_fraction = (pending_stall.as_secs() / slice.as_secs()).min(1.0);
+            let stall_fraction = (pending_stall.as_secs() / slice_secs).min(1.0);
             pending_stall = (pending_stall - slice).max(SimTime::ZERO);
             let service_scale = 1.0 - stall_fraction;
 
-            let cpu_freq = grant.cpu.freq * self.config.hdc.throughput_factor();
-            let peak = self.dram.peak_bandwidth() * service_scale;
-            let idle_lat = self.dram.idle_access_latency();
+            let cpu_freq = grant.cpu.freq * hdc_throughput;
+            let peak = dram_state.peak * service_scale;
+            let idle_lat = dram_state.idle_latency;
 
-            let iso_demand = static_iso * dram_active_frac;
-            let io_demand = static_io.max(phase.io.bandwidth_demand()) * dram_active_frac;
+            let iso_demand = phase.iso_demand;
+            let io_demand = phase.io_demand;
+
+            // Demand terms depend only on (phase, grant); both persist for
+            // many slices, so recompute lazily.
+            if grant_changed || phase_idx != cached_phase_idx {
+                cached_phase_idx = phase_idx;
+                gfx_desired = self.gfx.desired_bandwidth(&phase.gfx, grant.gfx.freq) * active_frac;
+                cpu_demand_adj = CpuPhaseDemand {
+                    mpki: self.llc.contended_mpki(phase.cpu.mpki, gfx_desired),
+                    ..phase.cpu
+                };
+            }
 
             // Fixed point between achieved instruction rate and memory
-            // queuing latency.
-            let gfx_desired = self.gfx.desired_bandwidth(&phase.gfx, grant.gfx.freq) * active_frac;
-            let cpu_demand_adj = CpuPhaseDemand {
-                mpki: self.llc.contended_mpki(phase.cpu.mpki, gfx_desired),
-                ..phase.cpu
-            };
-            let mut mem_latency = idle_lat;
-            let mut demand = TrafficDemand::IDLE;
-            let mut outcome = self.mc.serve(&demand, peak, idle_lat);
-            for _ in 0..4 {
-                let cpu_probe = self
-                    .cpu
-                    .evaluate(&cpu_demand_adj, cpu_freq, mem_latency, 1.0);
+            // queuing latency. The legacy loop always ran
+            // `FIXED_POINT_MAX_ITERS` probe/serve pairs; this one exits as
+            // soon as the latency sequence is bitwise stable — either a
+            // true fixed point (`l_i == l_{i-1}`: every further iteration
+            // reproduces the same state) or a period-2 cycle
+            // (`l_i == l_{i-2}`: the sequence alternates, so the legacy
+            // final state is the cycle element with the cap's parity). Both
+            // exits reproduce the 4-iteration result exactly, in strictly
+            // fewer model evaluations.
+            let mut input = idle_lat; // latency fed into the next probe
+            let mut prev_input = SimTime::ZERO; // latency two steps back
+            let mut prev_state: Option<(TrafficDemand, _)> = None;
+            let mut demand;
+            let mut outcome;
+            let mut iters = 0u32;
+            loop {
+                let cpu_probe = self.cpu.evaluate(&cpu_demand_adj, cpu_freq, input, 1.0);
                 demand = TrafficDemand {
                     cpu: cpu_probe.bandwidth_demand * active_frac,
                     gfx: gfx_desired,
@@ -401,8 +501,30 @@ impl SocSimulator {
                     io: io_demand,
                 };
                 outcome = self.mc.serve(&demand, peak, idle_lat);
-                mem_latency = outcome.effective_latency;
+                iters += 1;
+                let out = outcome.effective_latency;
+                if out == input || iters >= FIXED_POINT_MAX_ITERS {
+                    input = out;
+                    break;
+                }
+                if iters >= 2 && out == prev_input {
+                    if (FIXED_POINT_MAX_ITERS - iters) % 2 == 0 {
+                        input = out;
+                    } else {
+                        let (prev_demand, prev_outcome) =
+                            prev_state.expect("set from the second iteration on");
+                        demand = prev_demand;
+                        outcome = prev_outcome;
+                        input = prev_outcome.effective_latency;
+                    }
+                    break;
+                }
+                prev_input = input;
+                prev_state = Some((demand, outcome));
+                input = out;
             }
+            let mem_latency = input;
+            fixed_point_iters += u64::from(iters);
             let cpu_final = self.cpu.evaluate(
                 &cpu_demand_adj,
                 cpu_freq,
@@ -460,12 +582,7 @@ impl SocSimulator {
 
             // ---- Power ----
             let mut breakdown = PowerBreakdown::new();
-            let cpu_activity = if phase.cpu.active_threads > 0 {
-                1.0
-            } else {
-                0.0
-            } * active_frac
-                * self.config.hdc.duty();
+            let cpu_activity = if phase.cpu_active { 1.0 } else { 0.0 } * active_frac * hdc_duty;
             breakdown.set(
                 Component::CpuCores,
                 self.compute_power
@@ -512,12 +629,11 @@ impl SocSimulator {
                     .power(op.memory_controller_freq(), rails.vsa, outcome.utilization)
                     * uncore_activity,
             );
-            let penalty = self.dram.effective_penalty();
             let ddrio = self.ddrio_power.power(
                 op.ddrio_freq(),
                 rails.vio,
                 outcome.utilization,
-                penalty.io_power_factor,
+                dram_state.io_power_factor,
             );
             breakdown.set(Component::DdrIoDigital, ddrio.digital * dram_active_frac);
             breakdown.set(Component::DdrIoAnalog, ddrio.analog * dram_active_frac);
@@ -529,8 +645,8 @@ impl SocSimulator {
             );
             energy.accumulate(&breakdown, dt);
 
-            if trace {
-                traces.push(SliceTrace {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.record(SliceTrace {
                     at: now,
                     demanded_gib_s: demand.total().as_gib_s(),
                     served_gib_s: served_total.as_gib_s(),
@@ -541,7 +657,7 @@ impl SocSimulator {
             }
         }
 
-        let simulated = SimTime::from_secs(n_slices as f64 * slice.as_secs());
+        let simulated = SimTime::from_secs(n_slices as f64 * slice_secs);
         let work_done = match workload.perf_unit {
             PerfUnit::Instructions => instructions,
             PerfUnit::Frames => frames,
@@ -561,8 +677,12 @@ impl SocSimulator {
             average_fps: frames / c0_total,
             average_cpu_freq_ghz: cpu_freq_sum / n_slices as f64,
             average_gfx_freq_ghz: gfx_freq_sum / n_slices as f64,
+            loop_stats: SliceLoopStats {
+                slices: n_slices as u64,
+                fixed_point_iters,
+            },
         };
-        Ok((report, traces))
+        Ok(report)
     }
 }
 
@@ -691,6 +811,121 @@ mod tests {
         // astar alternates phases; the demand trace should not be constant.
         let first = trace.first().unwrap().demanded_gib_s;
         assert!(trace.iter().any(|t| (t.demanded_gib_s - first).abs() > 0.5));
+    }
+
+    #[test]
+    fn streaming_sink_sees_exactly_the_collected_trace() {
+        let astar = spec_workload("astar").unwrap();
+        let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        let duration = SimTime::from_millis(500.0);
+        let (collected_report, collected) = sim
+            .run_with_trace(&astar, &mut FixedGovernor::baseline(), duration)
+            .unwrap();
+
+        let mut streamed = Vec::new();
+        let mut sink = crate::FnTraceSink::new(|s: SliceTrace| streamed.push(s));
+        let streamed_report = sim
+            .run_streaming(&astar, &mut FixedGovernor::baseline(), duration, &mut sink)
+            .unwrap();
+
+        assert_eq!(collected_report, streamed_report);
+        assert_eq!(collected, streamed);
+        assert_eq!(streamed.len(), 500);
+    }
+
+    #[test]
+    fn bounded_channel_sink_keeps_a_long_traced_run_flat() {
+        // A multi-second traced run through a channel bounded to 16 slices:
+        // if the simulator buffered O(n_slices) anywhere in the trace path,
+        // the producer would deadlock against the tiny capacity; completing
+        // the run proves at most `capacity` slices were ever in flight.
+        let video = battery_workload("video-playback").unwrap();
+        let (mut sink, receiver) = crate::ChannelTraceSink::bounded(16);
+        let producer = std::thread::spawn(move || {
+            let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+            sim.run_streaming(
+                &video,
+                &mut FixedGovernor::baseline(),
+                SimTime::from_secs(120.0),
+                &mut sink,
+            )
+            .unwrap()
+        });
+        let mut count = 0usize;
+        let mut last_at = SimTime::ZERO;
+        for slice in receiver {
+            count += 1;
+            assert!(slice.at >= last_at, "slices arrive in order");
+            last_at = slice.at;
+        }
+        let report = producer.join().unwrap();
+        assert_eq!(count, 120_000);
+        assert_eq!(report.loop_stats.slices, 120_000);
+    }
+
+    #[test]
+    fn fixed_point_stats_show_convergence_savings() {
+        // The fixed point exits once the memory latency is bitwise stable,
+        // so the per-slice iteration count must stay within [1, 4] and, on
+        // real workloads, below the legacy fixed cost of 4.
+        let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+        for name in ["lbm", "gamess", "astar"] {
+            let w = spec_workload(name).unwrap();
+            let report = sim
+                .run(
+                    &w,
+                    &mut FixedGovernor::baseline(),
+                    SimTime::from_millis(300.0),
+                )
+                .unwrap();
+            let stats = report.loop_stats;
+            assert_eq!(stats.slices, 300, "{name}");
+            let per_slice = stats.iters_per_slice();
+            assert!(per_slice >= 1.0, "{name}: {per_slice}");
+            assert!(per_slice <= 4.0, "{name}: {per_slice}");
+        }
+        // A saturating workload alternates between the capped and the
+        // uncapped latency (a period-2 cycle); the loop detects the cycle
+        // and exits before paying the legacy 4 iterations.
+        let stream = sysscale_workloads::stream_peak_bandwidth();
+        let report = sim
+            .run(
+                &stream,
+                &mut FixedGovernor::baseline(),
+                SimTime::from_millis(300.0),
+            )
+            .unwrap();
+        assert!(
+            report.loop_stats.iters_per_slice() < 4.0,
+            "saturated slices must exit the fixed point early: {}",
+            report.loop_stats.iters_per_slice()
+        );
+
+        // A fully idle phase produces constant (zero) CPU demand, which is
+        // the other guaranteed-convergent case.
+        let idle = Workload::new(
+            "all-idle",
+            WorkloadClass::BatteryLife,
+            sysscale_workloads::PerfUnit::ServicedSeconds,
+            vec![sysscale_workloads::WorkloadPhase::cpu_only(
+                SimTime::from_millis(100.0),
+                CpuPhaseDemand::idle(),
+            )],
+            Default::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run(
+                &idle,
+                &mut FixedGovernor::baseline(),
+                SimTime::from_millis(100.0),
+            )
+            .unwrap();
+        assert!(
+            report.loop_stats.iters_per_slice() <= 2.0,
+            "idle slices converge immediately: {}",
+            report.loop_stats.iters_per_slice()
+        );
     }
 
     #[test]

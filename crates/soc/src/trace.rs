@@ -1,0 +1,215 @@
+//! Streaming consumers for per-slice traces.
+//!
+//! The simulator used to buffer every [`SliceTrace`] of a traced run in a
+//! `Vec`, so a multi-minute trace grew O(n_slices) memory on every worker.
+//! A [`TraceSink`] decouples *producing* slices from *storing* them: the
+//! slice loop hands each record to the sink as soon as the slice resolves,
+//! and the sink decides whether to collect ([`VecTraceSink`]), forward
+//! through a bounded channel ([`ChannelTraceSink`]), or invoke a callback
+//! ([`FnTraceSink`]). With the channel sink a traced run's memory stays flat
+//! regardless of length: at most `capacity` slices are in flight.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use crate::report::SliceTrace;
+
+/// A consumer of per-slice trace records.
+///
+/// [`SocSimulator::run_streaming`] calls [`TraceSink::record`] exactly once
+/// per simulated slice, in slice order, from the simulating thread. A sink
+/// must therefore be cheap or apply its own backpressure (as the bounded
+/// [`ChannelTraceSink`] does); the simulator never buffers on the sink's
+/// behalf.
+///
+/// [`SocSimulator::run_streaming`]: crate::SocSimulator::run_streaming
+pub trait TraceSink: Send {
+    /// Consumes one slice record.
+    fn record(&mut self, slice: SliceTrace);
+}
+
+/// The collecting sink: buffers every slice in a `Vec`, reproducing the
+/// classic `run_with_trace` behaviour.
+#[derive(Debug, Default)]
+pub struct VecTraceSink {
+    slices: Vec<SliceTrace>,
+}
+
+impl VecTraceSink {
+    /// Creates an empty collecting sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slices collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// `true` if nothing has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Consumes the sink, returning the collected slices.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<SliceTrace> {
+        self.slices
+    }
+}
+
+impl TraceSink for VecTraceSink {
+    fn record(&mut self, slice: SliceTrace) {
+        self.slices.push(slice);
+    }
+}
+
+/// A sink that forwards slices through a *bounded* channel to a consumer
+/// thread.
+///
+/// At most `capacity` slices are buffered; when the consumer lags, the
+/// simulating thread blocks until space frees up, so a traced run of any
+/// length holds O(capacity) trace memory. If the receiving end is dropped,
+/// the sink stops forwarding (remaining slices are discarded) instead of
+/// failing the simulation; [`ChannelTraceSink::is_disconnected`] reports
+/// that state.
+#[derive(Debug)]
+pub struct ChannelTraceSink {
+    sender: Option<SyncSender<SliceTrace>>,
+}
+
+impl ChannelTraceSink {
+    /// Creates a sink/receiver pair over a channel bounded to `capacity`
+    /// in-flight slices.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> (Self, Receiver<SliceTrace>) {
+        let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
+        (
+            Self {
+                sender: Some(sender),
+            },
+            receiver,
+        )
+    }
+
+    /// Creates a sink from an existing bounded sender (e.g. a clone shared
+    /// by several concurrently traced runs feeding one consumer).
+    #[must_use]
+    pub fn from_sender(sender: SyncSender<SliceTrace>) -> Self {
+        Self {
+            sender: Some(sender),
+        }
+    }
+
+    /// `true` once the receiving end has gone away and forwarding stopped.
+    #[must_use]
+    pub fn is_disconnected(&self) -> bool {
+        self.sender.is_none()
+    }
+}
+
+impl TraceSink for ChannelTraceSink {
+    fn record(&mut self, slice: SliceTrace) {
+        // `send` blocks while the channel is full (backpressure) and errors
+        // only when the receiver is gone (stop forwarding).
+        if let Some(sender) = &self.sender {
+            if sender.send(slice).is_err() {
+                self.sender = None;
+            }
+        }
+    }
+}
+
+/// A sink that invokes a callback for every slice (e.g. incremental
+/// aggregation or writing a row to disk without retaining it).
+pub struct FnTraceSink<F: FnMut(SliceTrace) + Send> {
+    callback: F,
+}
+
+impl<F: FnMut(SliceTrace) + Send> FnTraceSink<F> {
+    /// Wraps a callback as a sink.
+    pub fn new(callback: F) -> Self {
+        Self { callback }
+    }
+}
+
+impl<F: FnMut(SliceTrace) + Send> std::fmt::Debug for FnTraceSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnTraceSink").finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(SliceTrace) + Send> TraceSink for FnTraceSink<F> {
+    fn record(&mut self, slice: SliceTrace) {
+        (self.callback)(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale_types::SimTime;
+
+    fn slice(i: usize) -> SliceTrace {
+        SliceTrace {
+            at: SimTime::from_millis(i as f64),
+            demanded_gib_s: i as f64,
+            served_gib_s: i as f64,
+            power_w: 1.0,
+            operating_point: 0,
+            cpu_freq_ghz: 1.0,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecTraceSink::new();
+        assert!(sink.is_empty());
+        for i in 0..5 {
+            sink.record(slice(i));
+        }
+        assert_eq!(sink.len(), 5);
+        let v = sink.into_vec();
+        assert_eq!(v.len(), 5);
+        assert!((v[3].demanded_gib_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fn_sink_invokes_callback_per_slice() {
+        let mut seen = 0usize;
+        {
+            let mut sink = FnTraceSink::new(|s: SliceTrace| {
+                assert!(s.power_w > 0.0);
+                seen += 1;
+            });
+            for i in 0..7 {
+                sink.record(slice(i));
+            }
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn channel_sink_applies_backpressure_and_survives_disconnect() {
+        let (mut sink, receiver) = ChannelTraceSink::bounded(2);
+        // Producer blocks once the bound is hit, so drain concurrently.
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                sink.record(slice(i));
+            }
+            sink
+        });
+        let received: Vec<SliceTrace> = receiver.iter().take(100).collect();
+        assert_eq!(received.len(), 100);
+        assert!((received[99].demanded_gib_s - 99.0).abs() < 1e-12);
+        let mut sink = producer.join().unwrap();
+        assert!(!sink.is_disconnected());
+        // Receiver dropped: recording becomes a no-op instead of an error.
+        drop(receiver);
+        sink.record(slice(0));
+        sink.record(slice(1));
+        assert!(sink.is_disconnected());
+    }
+}

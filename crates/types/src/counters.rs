@@ -6,7 +6,6 @@
 //! counters (bandwidth, C-state residency, QoS violations) used by the
 //! experiments and the baselines.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// The kinds of performance counters the PMU can sample.
@@ -52,6 +51,29 @@ impl CounterKind {
         CounterKind::IoRpq,
     ];
 
+    /// Every counter kind, in declaration (= `Ord`) order. This is the
+    /// iteration order of [`CounterSet::iter`].
+    pub const ALL: [CounterKind; 12] = [
+        CounterKind::GfxLlcMisses,
+        CounterKind::LlcOccupancyTracer,
+        CounterKind::LlcStalls,
+        CounterKind::IoRpq,
+        CounterKind::MemoryBandwidthBytes,
+        CounterKind::IsochronousBandwidthBytes,
+        CounterKind::InstructionsRetired,
+        CounterKind::FramesRendered,
+        CounterKind::C0ResidencySeconds,
+        CounterKind::SelfRefreshSeconds,
+        CounterKind::QosViolations,
+        CounterKind::DvfsTransitions,
+    ];
+
+    /// Dense index of this kind in [`CounterKind::ALL`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short name matching the paper's nomenclature where applicable.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -83,6 +105,13 @@ impl fmt::Display for CounterKind {
 /// Counters not present read as zero, mirroring hardware counters that are
 /// not incremented during a period.
 ///
+/// The storage is a fixed inline array indexed by [`CounterKind::index`]
+/// plus a presence bitmask: creating, writing, merging, and dropping a
+/// counter set performs **no heap allocation**, which keeps the simulator's
+/// per-slice sampling loop allocation-free. Iteration yields present
+/// counters in [`CounterKind::ALL`] (declaration) order, so sums over a set
+/// are reproducible.
+///
 /// ```
 /// use sysscale_types::{CounterKind, CounterSet};
 /// let mut c = CounterSet::new();
@@ -91,10 +120,17 @@ impl fmt::Display for CounterKind {
 /// assert_eq!(c.value(CounterKind::LlcStalls), 150.0);
 /// assert_eq!(c.value(CounterKind::IoRpq), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CounterSet {
-    values: BTreeMap<CounterKind, f64>,
+    // Invariant: a slot whose presence bit is clear always holds 0.0, so the
+    // derived PartialEq matches the map semantics (same present kinds with
+    // the same values).
+    values: [f64; CounterKind::ALL.len()],
+    present: u16,
 }
+
+// The presence mask must be able to hold one bit per counter kind.
+const _: () = assert!(CounterKind::ALL.len() <= u16::BITS as usize);
 
 impl CounterSet {
     /// Creates an empty (all-zero) counter set.
@@ -106,40 +142,47 @@ impl CounterSet {
     /// Reads a counter value (zero if never written).
     #[must_use]
     pub fn value(&self, kind: CounterKind) -> f64 {
-        self.values.get(&kind).copied().unwrap_or(0.0)
+        self.values[kind.index()]
     }
 
     /// Sets a counter to an absolute value.
     pub fn set(&mut self, kind: CounterKind, value: f64) {
-        self.values.insert(kind, value);
+        self.values[kind.index()] = value;
+        self.present |= 1 << kind.index();
     }
 
     /// Increments a counter by `delta`.
     pub fn add(&mut self, kind: CounterKind, delta: f64) {
-        *self.values.entry(kind).or_insert(0.0) += delta;
+        self.values[kind.index()] += delta;
+        self.present |= 1 << kind.index();
     }
 
     /// Merges another counter set into this one by summation.
     pub fn merge(&mut self, other: &CounterSet) {
-        for (&k, &v) in &other.values {
+        for (k, v) in other.iter() {
             self.add(k, v);
         }
     }
 
     /// Resets all counters to zero.
     pub fn clear(&mut self) {
-        self.values.clear();
+        self.values = [0.0; CounterKind::ALL.len()];
+        self.present = 0;
     }
 
     /// Returns `true` if no counter has been written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.present == 0
     }
 
-    /// Iterates over `(kind, value)` pairs in a stable order.
+    /// Iterates over `(kind, value)` pairs of the counters that have been
+    /// written, in [`CounterKind::ALL`] order.
     pub fn iter(&self) -> impl Iterator<Item = (CounterKind, f64)> + '_ {
-        self.values.iter().map(|(&k, &v)| (k, v))
+        CounterKind::ALL
+            .iter()
+            .filter(|k| self.present & (1 << k.index()) != 0)
+            .map(|&k| (k, self.values[k.index()]))
     }
 }
 
@@ -159,6 +202,16 @@ impl CounterWindow {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty window with room for `samples` samples, so a caller
+    /// that pushes at most that many between [`CounterWindow::clear`]s never
+    /// reallocates (the simulator sizes this to one evaluation interval).
+    #[must_use]
+    pub fn with_capacity(samples: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(samples),
+        }
     }
 
     /// Appends one sample (the counters accumulated over one sample period).
@@ -290,6 +343,51 @@ mod tests {
     fn averages_of_empty_window_are_empty() {
         let w = CounterWindow::new();
         assert!(w.averages().is_empty());
+    }
+
+    #[test]
+    fn all_list_matches_declaration_order_and_indices() {
+        assert_eq!(CounterKind::ALL.len(), 12);
+        for (i, kind) in CounterKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let mut sorted = CounterKind::ALL.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, CounterKind::ALL.to_vec(), "ALL is in Ord order");
+    }
+
+    #[test]
+    fn iteration_yields_written_counters_in_declaration_order() {
+        let mut c = CounterSet::new();
+        c.set(CounterKind::DvfsTransitions, 2.0);
+        c.set(CounterKind::GfxLlcMisses, 1.0);
+        c.set(CounterKind::FramesRendered, 0.0);
+        let kinds: Vec<CounterKind> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CounterKind::GfxLlcMisses,
+                CounterKind::FramesRendered,
+                CounterKind::DvfsTransitions,
+            ]
+        );
+        // A counter explicitly written to zero is present (unlike an
+        // untouched one), mirroring the previous map-backed semantics.
+        let mut untouched = CounterSet::new();
+        untouched.set(CounterKind::GfxLlcMisses, 1.0);
+        untouched.set(CounterKind::DvfsTransitions, 2.0);
+        assert_ne!(c, untouched);
+        assert_eq!(c.value(CounterKind::LlcStalls), 0.0);
+    }
+
+    #[test]
+    fn window_with_capacity_behaves_like_new() {
+        let mut w = CounterWindow::with_capacity(30);
+        assert!(w.is_empty());
+        w.push(CounterSet::new());
+        assert_eq!(w.len(), 1);
+        w.clear();
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -139,6 +139,12 @@ impl Component {
         Component::Dram,
     ];
 
+    /// Dense index of this component in [`Component::ALL`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// The domain the component belongs to.
     #[must_use]
     pub fn domain(self) -> Domain {

@@ -26,6 +26,7 @@ mod battery;
 mod generator;
 mod graphics;
 mod micro;
+mod schedule;
 mod spec;
 mod workload;
 
@@ -36,6 +37,7 @@ pub use graphics::{
     GRAPHICS_BENCHMARKS,
 };
 pub use micro::{idle_display_on, stream_peak_bandwidth};
+pub use schedule::{PhaseCursor, PhaseSchedule, ResolvedPhase};
 pub use spec::{
     build_workload, build_workload_with_threads, spec_cpu2006_rate_suite, spec_cpu2006_suite,
     spec_workload, PhasePattern, SpecDescriptor, SPEC_CPU2006,

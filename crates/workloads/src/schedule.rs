@@ -1,0 +1,374 @@
+//! Precompiled phase schedules for the simulator's slice loop.
+//!
+//! [`Workload::phase_at`] re-sums the iteration length and linearly scans
+//! the phase list on every call, and the simulator additionally re-derived
+//! half a dozen scalars from the returned phase on every slice. For a run of
+//! hundreds of thousands of slices that is pure overhead: the phase list is
+//! immutable for the whole run.
+//!
+//! [`PhaseSchedule::compile`] resolves every phase **once** into a
+//! [`ResolvedPhase`] — the phase demands plus every derived scalar the slice
+//! loop consumes (C-state fractions, leakage, activity flags, and the
+//! peripheral-scaled IO/isochronous bandwidth demands) — and stores the
+//! cumulative phase end times. [`PhaseCursor`] then answers "which phase is
+//! active at `t`?" in O(1) amortized time for the monotonically advancing
+//! timestamps the slice loop produces, falling back to a forward scan only
+//! on wraparound.
+//!
+//! Lookup semantics are identical (bit for bit) to the fixed
+//! [`Workload::phase_index_at`]: the wrapped offset `t mod iteration_length`
+//! is computed with the exact IEEE-754 remainder and compared against
+//! cumulative phase end times, so phase boundaries stay exact no matter how
+//! many iterations the run wraps through.
+
+use std::sync::Arc;
+
+use sysscale_compute::{CpuPhaseDemand, GfxPhaseDemand};
+use sysscale_types::{Bandwidth, SimTime};
+
+use crate::workload::Workload;
+
+/// One phase of a [`Workload`], fully resolved for the slice loop: the raw
+/// demands plus every derived scalar the simulator would otherwise recompute
+/// per slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedPhase {
+    /// Duration of the phase.
+    pub duration: SimTime,
+    /// CPU demand during the phase.
+    pub cpu: CpuPhaseDemand,
+    /// Graphics demand during the phase.
+    pub gfx: GfxPhaseDemand,
+    /// C0 residency ([`CStateProfile::active_fraction`]).
+    ///
+    /// [`CStateProfile::active_fraction`]: sysscale_compute::CStateProfile::active_fraction
+    pub active_fraction: f64,
+    /// Fraction of time DRAM is out of self-refresh
+    /// ([`CStateProfile::dram_active_fraction`]).
+    ///
+    /// [`CStateProfile::dram_active_fraction`]: sysscale_compute::CStateProfile::dram_active_fraction
+    pub dram_active_fraction: f64,
+    /// Average powered-on fraction of the uncore
+    /// ([`CStateProfile::uncore_activity`]).
+    ///
+    /// [`CStateProfile::uncore_activity`]: sysscale_compute::CStateProfile::uncore_activity
+    pub uncore_activity: f64,
+    /// Average compute-leakage fraction
+    /// ([`CStateProfile::compute_leakage_fraction`]).
+    ///
+    /// [`CStateProfile::compute_leakage_fraction`]: sysscale_compute::CStateProfile::compute_leakage_fraction
+    pub compute_leakage_fraction: f64,
+    /// `true` if any CPU thread executes during the phase.
+    pub cpu_active: bool,
+    /// `true` if the graphics engine renders during the phase.
+    pub gfx_active: bool,
+    /// Isochronous (display + ISP) bandwidth demand of the slice: the
+    /// workload's static peripheral demand scaled by the DRAM-active
+    /// fraction.
+    pub iso_demand: Bandwidth,
+    /// Best-effort IO bandwidth demand of the slice: the larger of the
+    /// static peripheral demand and the phase's own IO activity, scaled by
+    /// the DRAM-active fraction.
+    pub io_demand: Bandwidth,
+    /// Cumulative end time of the phase within one iteration, in seconds
+    /// (the running sum of durations up to and including this phase).
+    pub end_secs: f64,
+}
+
+/// An immutable, pre-resolved view of a [`Workload`]'s phase sequence,
+/// shared behind an [`Arc`] so cursors are cheap to create and to move
+/// across threads.
+///
+/// Compile once per run ([`PhaseSchedule::compile`]), then look phases up
+/// through a [`PhaseCursor`] (amortized O(1)) or positionally through
+/// [`PhaseSchedule::index_at`] / [`PhaseSchedule::phase`].
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    phases: Arc<[ResolvedPhase]>,
+    iteration_secs: f64,
+}
+
+impl PhaseSchedule {
+    /// Resolves every phase of `workload` into the flat, derived form the
+    /// slice loop consumes.
+    #[must_use]
+    pub fn compile(workload: &Workload) -> Self {
+        let static_iso = workload.peripherals.isochronous_demand();
+        let static_io = workload.peripherals.best_effort_demand();
+        let mut end = 0.0f64;
+        let phases: Arc<[ResolvedPhase]> = workload
+            .phases
+            .iter()
+            .map(|p| {
+                end += p.duration.as_secs();
+                let dram_active = p.cstates.dram_active_fraction();
+                ResolvedPhase {
+                    duration: p.duration,
+                    cpu: p.cpu,
+                    gfx: p.gfx,
+                    active_fraction: p.cstates.active_fraction(),
+                    dram_active_fraction: dram_active,
+                    uncore_activity: p.cstates.uncore_activity(),
+                    compute_leakage_fraction: p.cstates.compute_leakage_fraction(),
+                    cpu_active: p.cpu.active_threads > 0,
+                    gfx_active: !p.gfx.is_idle(),
+                    iso_demand: static_iso * dram_active,
+                    io_demand: static_io.max(p.io.bandwidth_demand()) * dram_active,
+                    end_secs: end,
+                }
+            })
+            .collect();
+        Self {
+            phases,
+            iteration_secs: end,
+        }
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// `true` if the schedule has no phases (only possible for a
+    /// hand-constructed empty workload; [`Workload::new`] rejects those).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sum of all phase durations (one iteration of the sequence).
+    #[must_use]
+    pub fn iteration_length(&self) -> SimTime {
+        SimTime::from_secs(self.iteration_secs)
+    }
+
+    /// The resolved phase at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn phase(&self, index: usize) -> &ResolvedPhase {
+        &self.phases[index]
+    }
+
+    /// Index of the phase active at time `t`, wrapping around the sequence.
+    /// Stateless O(n) lookup, bit-identical to
+    /// [`Workload::phase_index_at`]; the slice loop uses a [`PhaseCursor`]
+    /// instead.
+    #[must_use]
+    pub fn index_at(&self, t: SimTime) -> usize {
+        if self.iteration_secs == 0.0 {
+            return 0;
+        }
+        let wrapped = t.as_secs() % self.iteration_secs;
+        self.phases
+            .iter()
+            .position(|p| wrapped < p.end_secs)
+            .unwrap_or(self.phases.len().saturating_sub(1))
+    }
+
+    /// Creates a cursor positioned at the first phase.
+    #[must_use]
+    pub fn cursor(&self) -> PhaseCursor {
+        PhaseCursor {
+            phases: Arc::clone(&self.phases),
+            iteration_secs: self.iteration_secs,
+            idx: 0,
+        }
+    }
+}
+
+/// A stateful lookup cursor over a [`PhaseSchedule`].
+///
+/// [`PhaseCursor::index_at`] returns exactly what
+/// [`PhaseSchedule::index_at`] (and [`Workload::phase_index_at`]) would, but
+/// starts the boundary scan at the phase found by the previous call. For
+/// the monotonically advancing timestamps of the slice loop each call
+/// advances at most one phase forward per phase actually crossed —
+/// amortized O(1) with an O(n) rescan only when the wrapped offset jumps
+/// backwards (iteration wraparound or a non-monotonic probe).
+#[derive(Debug, Clone)]
+pub struct PhaseCursor {
+    phases: Arc<[ResolvedPhase]>,
+    iteration_secs: f64,
+    idx: usize,
+}
+
+impl PhaseCursor {
+    /// Index of the phase active at time `t`.
+    pub fn index_at(&mut self, t: SimTime) -> usize {
+        if self.iteration_secs == 0.0 || self.phases.is_empty() {
+            return 0;
+        }
+        let wrapped = t.as_secs() % self.iteration_secs;
+        // A wrapped offset before the current phase's start means the time
+        // wrapped around (or moved backwards): restart the scan.
+        let start = if self.idx == 0 {
+            0.0
+        } else {
+            self.phases[self.idx - 1].end_secs
+        };
+        if wrapped < start {
+            self.idx = 0;
+        }
+        // Advance to the first phase whose cumulative end lies beyond the
+        // wrapped offset — the same "first `end` with `wrapped < end`" rule
+        // as the stateless lookup, so the result is bit-identical.
+        while wrapped >= self.phases[self.idx].end_secs {
+            if self.idx + 1 == self.phases.len() {
+                break; // floating-point edge: wrapped == iteration length
+            }
+            self.idx += 1;
+        }
+        self.idx
+    }
+
+    /// The resolved phase active at time `t`.
+    pub fn phase_at(&mut self, t: SimTime) -> &ResolvedPhase {
+        let idx = self.index_at(t);
+        &self.phases[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{PerfUnit, WorkloadClass, WorkloadPhase};
+    use sysscale_compute::CpuPhaseDemand;
+    use sysscale_iodev::PeripheralConfig;
+    use sysscale_types::rng::SplitMix64;
+
+    fn phase_ms(duration_ms: f64, mpki: f64) -> WorkloadPhase {
+        WorkloadPhase::cpu_only(
+            SimTime::from_millis(duration_ms),
+            CpuPhaseDemand {
+                base_cpi: 1.0,
+                mpki,
+                blocking_fraction: 0.3,
+                active_threads: 1,
+            },
+        )
+    }
+
+    fn workload(phases: Vec<WorkloadPhase>) -> Workload {
+        Workload::new(
+            "schedule-test",
+            WorkloadClass::CpuSingleThread,
+            PerfUnit::Instructions,
+            phases,
+            PeripheralConfig::single_hd_display(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_resolves_durations_demands_and_derived_scalars() {
+        let w = workload(vec![phase_ms(10.0, 1.0), phase_ms(20.0, 5.0)]);
+        let s = PhaseSchedule::compile(&w);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.iteration_length(), w.iteration_length());
+        let p0 = s.phase(0);
+        assert_eq!(p0.cpu.mpki, 1.0);
+        assert_eq!(p0.active_fraction, 1.0);
+        assert_eq!(p0.dram_active_fraction, 1.0);
+        assert_eq!(p0.uncore_activity, 1.0);
+        assert_eq!(p0.compute_leakage_fraction, 1.0);
+        assert!(p0.cpu_active);
+        assert!(!p0.gfx_active);
+        // Peripheral-derived demands match the simulator's per-slice math.
+        let iso = w.peripherals.isochronous_demand();
+        assert_eq!(p0.iso_demand, iso * p0.dram_active_fraction);
+        assert_eq!(
+            p0.io_demand,
+            w.peripherals.best_effort_demand() * p0.dram_active_fraction
+        );
+        // Cumulative ends accumulate in order.
+        assert_eq!(p0.end_secs, 0.01);
+        assert_eq!(s.phase(1).end_secs, 0.01 + 0.02);
+    }
+
+    #[test]
+    fn cursor_walks_and_wraps_like_the_stateless_lookup() {
+        let w = workload(vec![
+            phase_ms(10.0, 1.0),
+            phase_ms(20.0, 5.0),
+            phase_ms(30.0, 20.0),
+        ]);
+        let s = PhaseSchedule::compile(&w);
+        let mut c = s.cursor();
+        for (ms, want) in [
+            (5.0, 0),
+            (15.0, 1),
+            (45.0, 2),
+            (65.0, 0),  // wraparound
+            (105.0, 2), // second iteration
+            (125.0, 0), // wrap again
+        ] {
+            let t = SimTime::from_millis(ms);
+            assert_eq!(c.index_at(t), want, "t={ms} ms");
+            assert_eq!(s.index_at(t), want, "stateless t={ms} ms");
+            assert_eq!(w.phase_index_at(t), want, "workload t={ms} ms");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_phase_index_at_on_randomized_workloads() {
+        // Property test: for randomized workloads (1–16 phases, random
+        // durations) the cursor agrees with `Workload::phase_index_at` on
+        // 10k sequential (slice-loop-style, multi-iteration wraparound) and
+        // 10k random (non-monotonic) timestamps.
+        let mut rng = SplitMix64::new(0x5ca1_ab1e);
+        for case in 0..40 {
+            let n_phases = 1 + (rng.next_u64() % 16) as usize;
+            let phases: Vec<WorkloadPhase> = (0..n_phases)
+                .map(|i| phase_ms(rng.gen_range(0.3, 45.0), i as f64))
+                .collect();
+            let w = workload(phases);
+            let s = PhaseSchedule::compile(&w);
+            let total = s.iteration_length().as_secs();
+
+            // Sequential timestamps: 1 ms slices crossing the iteration
+            // several times over.
+            let mut c = s.cursor();
+            let slice = 0.001;
+            let n = ((total / slice) as usize * 3 + 7).min(10_000);
+            for k in 0..n {
+                let t = SimTime::from_secs(k as f64 * slice);
+                assert_eq!(
+                    c.index_at(t),
+                    w.phase_index_at(t),
+                    "case {case}: sequential t={t:?}"
+                );
+            }
+
+            // Random timestamps, including far beyond one iteration.
+            let mut c = s.cursor();
+            for probe in 0..10_000 / 40 {
+                let t = SimTime::from_secs(rng.gen_range(0.0, total * 20.0));
+                assert_eq!(
+                    c.index_at(t),
+                    w.phase_index_at(t),
+                    "case {case} probe {probe}: random t={t:?}"
+                );
+                assert_eq!(s.index_at(t), w.phase_index_at(t));
+            }
+
+            // Exact cumulative boundaries, wrapped through many iterations.
+            let mut c = s.cursor();
+            for i in 0..s.len() {
+                let end = s.phase(i).end_secs;
+                for k in [0u32, 1, 13] {
+                    let t = SimTime::from_secs(f64::from(k) * total + end);
+                    assert_eq!(
+                        c.index_at(t),
+                        w.phase_index_at(t),
+                        "case {case}: boundary {i} k={k}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -156,20 +156,39 @@ impl Workload {
     /// sequence for runs longer than one iteration.
     #[must_use]
     pub fn phase_at(&self, t: SimTime) -> &WorkloadPhase {
+        &self.phases[self.phase_index_at(t)]
+    }
+
+    /// Index of the phase active at simulated time `t` (same wraparound
+    /// semantics as [`Workload::phase_at`]).
+    ///
+    /// The wrapped offset `t mod iteration_length` is compared against the
+    /// *cumulative* phase end times (each the running sum of the durations
+    /// so far), never against a repeatedly decremented remainder. Repeated
+    /// subtraction accumulates one rounding error per phase, which on long
+    /// runs could land a slice that starts exactly on a phase boundary in
+    /// the neighbouring phase; the cumulative comparison keeps boundaries
+    /// exact. [`crate::PhaseCursor`] implements the same contract in O(1)
+    /// amortized time.
+    #[must_use]
+    pub fn phase_index_at(&self, t: SimTime) -> usize {
         let total = self.iteration_length();
-        let mut remaining = if total.is_zero() {
-            SimTime::ZERO
-        } else {
-            SimTime::from_secs(t.as_secs() % total.as_secs())
-        };
-        for phase in &self.phases {
-            if remaining < phase.duration {
-                return phase;
-            }
-            remaining -= phase.duration;
+        if total.is_zero() {
+            return 0;
         }
-        // Floating-point edge: t landed exactly on the boundary.
-        self.phases.last().expect("validated to be non-empty")
+        // IEEE-754 remainder is exact, so the wrapped offset itself carries
+        // no error even after thousands of iterations.
+        let wrapped = t.as_secs() % total.as_secs();
+        let mut end = 0.0;
+        for (i, phase) in self.phases.iter().enumerate() {
+            end += phase.duration.as_secs();
+            if wrapped < end {
+                return i;
+            }
+        }
+        // Unreachable for positive durations (wrapped < total == final end),
+        // but keep the floating-point edge well-defined.
+        self.phases.len() - 1
     }
 
     /// Average main-memory bandwidth demand *hint* across the phases (at a
@@ -246,6 +265,47 @@ mod tests {
         // Wraps around after one iteration.
         assert_eq!(w.phase_at(SimTime::from_millis(65.0)).cpu.mpki, 1.0);
         assert_eq!(w.phase_at(SimTime::from_millis(105.0)).cpu.mpki, 20.0);
+    }
+
+    #[test]
+    fn phase_boundaries_are_exact_even_where_subtraction_drifts() {
+        // Regression test for the floating-point wraparound drift: with
+        // phases of 10/20/30 ms, the binary value of 0.01 + 0.02 s is
+        // strictly below the literal 0.03 s, so the former subtraction-based
+        // lookup (`remaining -= duration`) accumulated one rounding error
+        // per phase and classified the exact start of phase 2 — and every
+        // wrapped copy of it — as still belonging to phase 1.
+        let w = workload(vec![phase(10.0, 1.0), phase(20.0, 5.0), phase(30.0, 20.0)]);
+        let total = w.iteration_length().as_secs();
+        let boundary = 0.01_f64 + 0.02_f64; // cumulative end of phase 1
+                                            // The drift the old algorithm exhibited: subtracting the first
+                                            // phase's duration from the boundary is inexact, so the comparison
+                                            // against the second duration misfires.
+        assert!(
+            boundary - 0.01 < 0.02,
+            "this test exercises the inexact subtraction"
+        );
+
+        // A slice timestamp produced exactly like the simulator's
+        // (slice_idx × slice_length) lands on that boundary at 150 ms into
+        // the run — after wrapping once through the 60 ms iteration the
+        // exact remainder is bit-equal to the cumulative boundary. The old
+        // lookup returned phase 1 here.
+        let t150 = SimTime::from_secs(1500.0 * 0.000_1);
+        assert_eq!((t150.as_secs() % total).to_bits(), boundary.to_bits());
+        assert_eq!(w.phase_index_at(t150), 2, "exact boundary starts phase 2");
+
+        // First iteration: exactly on the boundary belongs to phase 2, one
+        // ulp below still to phase 1.
+        assert_eq!(w.phase_index_at(SimTime::from_secs(boundary)), 2);
+        let just_below = f64::from_bits(boundary.to_bits() - 1);
+        assert_eq!(w.phase_index_at(SimTime::from_secs(just_below)), 1);
+
+        // Interior timestamps are untouched by the fix.
+        assert_eq!(w.phase_index_at(SimTime::from_millis(5.0)), 0);
+        assert_eq!(w.phase_index_at(SimTime::from_millis(15.0)), 1);
+        assert_eq!(w.phase_index_at(SimTime::from_millis(45.0)), 2);
+        assert_eq!(w.phase_index_at(SimTime::from_millis(65.0)), 0);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Slice-loop performance contracts: the untraced hot path performs no
+//! per-slice heap allocation, and the memory fixed point's iteration count
+//! stays within its contract.
+//!
+//! This file holds a single test so the process-global allocation counter is
+//! not polluted by concurrently running tests in the same binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sysscale::{FixedGovernor, SocConfig, SocSimulator};
+use sysscale_types::SimTime;
+use sysscale_workloads::spec_workload;
+
+/// System allocator wrapper that counts allocation calls (the default
+/// `realloc`/`alloc_zeroed` route through `alloc`, so growth is counted
+/// too).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn untraced_run_allocations_are_independent_of_slice_count() {
+    let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
+    let lbm = spec_workload("lbm").unwrap();
+
+    // Warm-up: first run pays one-time lazy initialisation.
+    sim.run(
+        &lbm,
+        &mut FixedGovernor::baseline(),
+        SimTime::from_millis(300.0),
+    )
+    .unwrap();
+
+    let (short_allocs, short_report) = allocations_during(|| {
+        sim.run(
+            &lbm,
+            &mut FixedGovernor::baseline(),
+            SimTime::from_millis(300.0),
+        )
+        .unwrap()
+    });
+    let (long_allocs, long_report) = allocations_during(|| {
+        sim.run(
+            &lbm,
+            &mut FixedGovernor::baseline(),
+            SimTime::from_millis(6_000.0),
+        )
+        .unwrap()
+    });
+    assert_eq!(short_report.loop_stats.slices, 300);
+    assert_eq!(long_report.loop_stats.slices, 6_000);
+
+    // Sanity: the counter is live (a run allocates its per-run state — the
+    // compiled phase schedule, the counter window, the report strings) and
+    // that state is small.
+    assert!(short_allocs > 0, "allocation counter must be hooked");
+    assert!(
+        short_allocs < 64,
+        "per-run setup should allocate O(1) times, got {short_allocs}"
+    );
+
+    // 20x the slices must not buy additional allocations: everything the
+    // slice loop touches (counter sets, power breakdowns, the phase
+    // schedule, the counter window) is fixed-size or preallocated per run.
+    // A small slack absorbs allocator-internal bookkeeping.
+    assert!(
+        long_allocs <= short_allocs + 4,
+        "allocations grew with slice count: {short_allocs} for 300 slices, \
+         {long_allocs} for 6000 slices"
+    );
+}
