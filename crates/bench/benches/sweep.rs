@@ -1,0 +1,79 @@
+//! Benchmark of the sharded sweep executor: the full Fig. 10 TDP sweep as
+//! one platform-sharded batch versus the old one-matrix-per-point path.
+//!
+//! Emits one machine-readable `{"kind":"sweep_perf",…}` JSON line per
+//! measurement (cells/sec over the whole sweep) next to the `matrix_perf` /
+//! `slice_perf` lines the other benches produce, and appends them to the
+//! `SYSSCALE_BENCH_HISTORY` JSONL file when that variable is set (tagged
+//! via `SYSSCALE_BENCH_TAG`).
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench sweep            # full fig10 sweep
+//! cargo bench -p sysscale-bench --bench sweep -- --short # CI smoke
+//! ```
+
+use sysscale::experiments::sensitivity;
+use sysscale::{DemandPredictor, SessionPool};
+use sysscale_bench::timing::time_sweep;
+use sysscale_types::exec;
+use sysscale_workloads::spec_cpu2006_suite;
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let predictor = DemandPredictor::skylake_default();
+
+    let tdps: &[f64] = if short {
+        &[3.5, 15.0]
+    } else {
+        &[3.5, 4.5, 7.0, 15.0]
+    };
+    // Each TDP point is one SPEC suite × {baseline, sysscale} member.
+    let cells_per_point = spec_cpu2006_suite().len() * 2;
+    let cells = cells_per_point * tdps.len();
+    let threads = exec::default_threads();
+    let label = if short { "fig10_smoke" } else { "fig10_full" };
+
+    // The sweep path: every TDP point in a single platform-sharded batch on
+    // one pool.
+    let (sweep_perf, sweep_points) = time_sweep(
+        "sweep",
+        &format!("{label}_sweep"),
+        tdps.len(),
+        cells,
+        threads,
+        || {
+            sensitivity::fig10_in(&mut SessionPool::new(), threads, &predictor, tdps)
+                .expect("fig10 sweep executes")
+        },
+    );
+
+    // Reference: the old per-point path on an equally fresh pool.
+    let (per_point_perf, per_point_points) = time_sweep(
+        "sweep",
+        &format!("{label}_per_point"),
+        tdps.len(),
+        cells,
+        threads,
+        || {
+            sensitivity::fig10_per_point_in(&mut SessionPool::new(), threads, &predictor, tdps)
+                .expect("fig10 per-point executes")
+        },
+    );
+
+    assert_eq!(
+        sweep_points, per_point_points,
+        "sweep output must be byte-identical to the per-point path"
+    );
+    assert!(sweep_perf.cells_per_sec() > 0.0);
+    assert!(per_point_perf.cells_per_sec() > 0.0);
+
+    println!(
+        "sweep/{label}: {:.0} cells/sec sharded sweep vs {:.0} cells/sec per-point \
+         ({} members, {} cells, {} workers)",
+        sweep_perf.cells_per_sec(),
+        per_point_perf.cells_per_sec(),
+        tdps.len(),
+        cells,
+        sweep_perf.threads,
+    );
+}

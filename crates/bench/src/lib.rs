@@ -449,6 +449,79 @@ pub mod timing {
         (perf, out)
     }
 
+    /// Wall-clock measurement of one whole-sweep execution — a multi-
+    /// configuration study (e.g. the full Fig. 10 TDP sweep) flattened into
+    /// a single sharded batch — emitted as a machine-readable JSON line
+    /// (`"kind":"sweep_perf"`). Where [`MatrixPerf`] tracks one matrix,
+    /// this tracks sweep-level throughput: cells/sec across every
+    /// configuration point of the batch.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct SweepPerf {
+        /// Number of member batches (configuration points) in the sweep.
+        pub members: usize,
+        /// Total scenario cells across all members.
+        pub cells: usize,
+        /// Worker-thread count the sweep ran at.
+        pub threads: usize,
+        /// Wall-clock time of the execution.
+        pub wall: Duration,
+    }
+
+    impl SweepPerf {
+        /// Cells executed per wall-clock second over the whole sweep.
+        #[must_use]
+        pub fn cells_per_sec(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.cells as f64 / secs
+            } else {
+                0.0
+            }
+        }
+
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"sweep_perf","bench":…,"sweep":…,"members":…,"cells":…,
+        /// "threads":…,"wall_clock_ms":…,"cells_per_sec":…}` — and appends
+        /// it to the [`HISTORY_ENV`] file when configured.
+        pub fn emit(&self, bench: &str, sweep: &str) {
+            let line = format!(
+                "{{\"kind\":\"sweep_perf\",\"bench\":\"{bench}\",\"sweep\":\"{sweep}\",\
+                 \"members\":{},\"cells\":{},\"threads\":{},\"wall_clock_ms\":{:.3},\
+                 \"cells_per_sec\":{:.3}}}",
+                self.members,
+                self.cells,
+                self.threads,
+                self.wall.as_secs_f64() * 1e3,
+                self.cells_per_sec(),
+            );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
+    /// Times `run` once, emits the sweep-perf JSON record, and returns the
+    /// measurement together with `run`'s output. The recorded thread count
+    /// is clamped to the cell count, mirroring the executor.
+    pub fn time_sweep<T>(
+        bench: &str,
+        sweep: &str,
+        members: usize,
+        cells: usize,
+        threads: usize,
+        run: impl FnOnce() -> T,
+    ) -> (SweepPerf, T) {
+        let start = Instant::now();
+        let out = run();
+        let perf = SweepPerf {
+            members,
+            cells,
+            threads: sysscale_types::exec::effective_workers(threads, cells),
+            wall: start.elapsed(),
+        };
+        perf.emit(bench, sweep);
+        (perf, out)
+    }
+
     /// Result of one measurement.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Measurement {
@@ -523,6 +596,23 @@ mod tests {
         assert_eq!(perf.threads, 4);
         assert!(perf.cells_per_sec() > 0.0);
         let zero = timing::MatrixPerf {
+            cells: 1,
+            threads: 1,
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(zero.cells_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sweep_perf_json_has_the_expected_fields() {
+        let (perf, value) = timing::time_sweep("test", "demo_sweep", 4, 64, 8, || 7);
+        assert_eq!(value, 7);
+        assert_eq!(perf.members, 4);
+        assert_eq!(perf.cells, 64);
+        assert_eq!(perf.threads, 8);
+        assert!(perf.cells_per_sec() > 0.0);
+        let zero = timing::SweepPerf {
+            members: 1,
             cells: 1,
             threads: 1,
             wall: std::time::Duration::ZERO,

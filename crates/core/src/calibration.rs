@@ -12,10 +12,14 @@
 
 use sysscale_soc::SocConfig;
 use sysscale_types::{stats, CounterKind, CounterSet, SimResult, SimTime};
-use sysscale_workloads::{Workload, WorkloadClass};
+use sysscale_workloads::{Workload, WorkloadClass, WorkloadSource};
 
 use crate::predictor::{DemandPredictor, ImpactModel, PredictorThresholds};
-use crate::scenario::{Scenario, ScenarioSet, SessionPool, SimSession};
+use crate::scenario::{
+    platform_fingerprint, GovernorFactory, GovernorRegistry, RunSet, Scenario, ScenarioSource,
+    SessionPool, SimSession, SweepSet,
+};
+use std::sync::Arc;
 use sysscale_soc::SimReport;
 use sysscale_types::exec;
 
@@ -143,6 +147,135 @@ fn sample_from_reports(
     }
 }
 
+/// The high/low governor columns every calibration run pair uses.
+const CALIBRATION_GOVERNORS: [&str; 2] = ["baseline", "md-dvfs"];
+
+/// A [`ScenarioSource`] streaming the calibration measurement cells of a
+/// workload population: for workload `i` of the population, cells `2i` and
+/// `2i + 1` run it at the high (`baseline`) and low (`md-dvfs`) operating
+/// points on `config`.
+///
+/// The population itself is a [`WorkloadSource`], so a generator-backed
+/// population is produced on the fly per shard — each pool worker holds one
+/// live workload while streaming, no matter how many cells the study has.
+/// Built with [`calibration_source`]; consumed by [`measure_population_from`]
+/// or pushed into a larger [`SweepSet`] (the Fig. 6 study batches nine of
+/// these into one sweep).
+pub struct CalibrationScenarioSource<'a> {
+    config: &'a SocConfig,
+    population: &'a dyn WorkloadSource,
+    duration: SimTime,
+    high: Arc<dyn GovernorFactory>,
+    low: Arc<dyn GovernorFactory>,
+}
+
+impl std::fmt::Debug for CalibrationScenarioSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalibrationScenarioSource")
+            .field("population", &self.population.len())
+            .field("duration", &self.duration)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSource for CalibrationScenarioSource<'_> {
+    fn len(&self) -> usize {
+        2 * self.population.len()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Scenario> + Send + '_> {
+        let mut workloads = self.population.stream();
+        let mut pending: Option<Scenario> = None;
+        Box::new(std::iter::from_fn(move || {
+            if let Some(low_cell) = pending.take() {
+                return Some(low_cell);
+            }
+            // One shared workload handle per high/low pair; both cells are
+            // adjacent in the stream, so only the low cell is ever buffered.
+            let shared = Arc::new(workloads.next()?);
+            let build = |factory: &Arc<dyn GovernorFactory>| {
+                Scenario::builder(Arc::clone(&shared))
+                    .config(self.config.clone())
+                    .governor_factory(Arc::clone(factory))
+                    .duration(self.duration)
+                    .build()
+                    .expect("validated by calibration_source")
+            };
+            pending = Some(build(&self.low));
+            Some(build(&self.high))
+        }))
+    }
+
+    fn shard_keys(&self) -> Vec<u64> {
+        // Neither calibration governor restricts the platform, so every cell
+        // shares `config` — one fingerprint, computed once (no streaming
+        // pass over the population).
+        vec![platform_fingerprint(self.config); ScenarioSource::len(self)]
+    }
+}
+
+/// Builds the streaming calibration source for a population: the exact cell
+/// sequence [`measure_population`] runs, as a [`ScenarioSource`].
+///
+/// # Errors
+///
+/// Returns [`sysscale_types::SimError::InvalidConfig`] if `config` is
+/// invalid, and [`sysscale_types::SimError::EmptySimulation`] if the
+/// configured duration is not positive — the checks that otherwise surface
+/// per scenario surface once here, which is what makes the lazy iterator
+/// infallible.
+pub fn calibration_source<'a>(
+    config: &'a SocConfig,
+    population: &'a dyn WorkloadSource,
+    cal: &CalibrationConfig,
+) -> SimResult<CalibrationScenarioSource<'a>> {
+    config.validate()?;
+    if cal.sim_duration <= SimTime::ZERO {
+        return Err(sysscale_types::SimError::EmptySimulation);
+    }
+    let registry = GovernorRegistry::builtin();
+    Ok(CalibrationScenarioSource {
+        config,
+        population,
+        duration: cal.sim_duration,
+        high: registry.resolve(CALIBRATION_GOVERNORS[0])?,
+        low: registry.resolve(CALIBRATION_GOVERNORS[1])?,
+    })
+}
+
+/// Converts one member [`RunSet`] produced from a [`calibration_source`]
+/// back into per-workload samples, re-streaming the population for the
+/// workload metadata (name, class) so nothing was ever materialized.
+///
+/// # Panics
+///
+/// Panics if `runs` does not hold exactly the `2 × population` records of
+/// the source (a contract violation, not a runtime condition).
+#[must_use]
+pub fn samples_from_runs(
+    config: &SocConfig,
+    population: &dyn WorkloadSource,
+    cal: &CalibrationConfig,
+    runs: &RunSet,
+) -> Vec<CalibrationSample> {
+    assert_eq!(
+        runs.len(),
+        2 * population.len(),
+        "run set does not match the calibration population"
+    );
+    // Workload names may repeat in synthetic populations, so samples are
+    // extracted positionally (records 2i / 2i+1), not by name.
+    population
+        .stream()
+        .enumerate()
+        .map(|(i, workload)| {
+            let high = &runs.records()[2 * i].report;
+            let low = &runs.records()[2 * i + 1].report;
+            sample_from_reports(&workload, config, cal, high, low)
+        })
+        .collect()
+}
+
 /// Measures every workload of a population at both ends of the ladder as
 /// one parallel batch on the caller's [`SessionPool`] and returns one
 /// [`CalibrationSample`] per workload, in population order.
@@ -161,31 +294,34 @@ pub fn measure_population(
     cal: &CalibrationConfig,
     threads: usize,
 ) -> SimResult<Vec<CalibrationSample>> {
-    let mut set = ScenarioSet::new();
-    for workload in population {
-        // Workload names may repeat in synthetic populations, so samples are
-        // extracted positionally (records 2i / 2i+1), not by name.
-        let shared = std::sync::Arc::new(workload.clone());
-        for governor in ["baseline", "md-dvfs"] {
-            set.push(
-                Scenario::builder(std::sync::Arc::clone(&shared))
-                    .config(config.clone())
-                    .governor(governor)
-                    .duration(cal.sim_duration)
-                    .build()?,
-            );
-        }
-    }
-    let runs = set.run_parallel(pool, threads)?;
-    Ok(population
-        .iter()
-        .enumerate()
-        .map(|(i, workload)| {
-            let high = &runs.records()[2 * i].report;
-            let low = &runs.records()[2 * i + 1].report;
-            sample_from_reports(workload, config, cal, high, low)
-        })
-        .collect())
+    measure_population_from(pool, config, &population, cal, threads)
+}
+
+/// Like [`measure_population`], but over any [`WorkloadSource`] — including
+/// generator-backed streams, which are produced on the fly per shard so a
+/// million-cell synthetic population runs in O(workers) workload memory.
+///
+/// The samples are identical to the materialized path for the same
+/// population (the streaming property test pins this).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_population_from(
+    pool: &mut SessionPool,
+    config: &SocConfig,
+    population: &dyn WorkloadSource,
+    cal: &CalibrationConfig,
+    threads: usize,
+) -> SimResult<Vec<CalibrationSample>> {
+    let source = calibration_source(config, population, cal)?;
+    let mut sweep = SweepSet::new();
+    sweep.push_source(&source, None);
+    let runs = sweep
+        .run_parallel(pool, threads)?
+        .pop()
+        .expect("single-member sweep");
+    Ok(samples_from_runs(config, population, cal, &runs))
 }
 
 /// Runs the full calibration over a workload population, sharding the

@@ -14,7 +14,9 @@ use sysscale_workloads::{battery_life_suite, graphics_suite, spec_cpu2006_suite,
 
 use crate::baselines::project_redistributed_speedup;
 use crate::predictor::DemandPredictor;
-use crate::scenario::{sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SessionPool};
+use crate::scenario::{
+    sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SessionPool, SweepSet,
+};
 
 /// Per-workload comparison row (Figs. 7 and 8).
 #[derive(Debug, Clone, PartialEq)]
@@ -115,11 +117,45 @@ pub fn evaluation_matrix_in(
     predictor: &DemandPredictor,
     workloads: &[Workload],
 ) -> SimResult<RunSet> {
+    let mut runs = evaluation_sweep_in(
+        pool,
+        exec::default_threads(),
+        config,
+        predictor,
+        &[workloads],
+    )?;
+    Ok(runs.pop().expect("single-suite sweep"))
+}
+
+/// Runs several suites' evaluation matrices as **one** sharded [`SweepSet`]
+/// batch and returns one [`RunSet`] per suite, in suite order.
+///
+/// The evaluation's governor columns span two platforms (the full platform
+/// for baseline/SysScale, the restricted one for MemScale/CoScale), so the
+/// sweep's platform sharding keeps each platform's simulator on one worker
+/// across every suite. Each returned `RunSet` is byte-identical to
+/// [`evaluation_matrix`] run on that suite alone, at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_sweep_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+    suites: &[&[Workload]],
+) -> SimResult<Vec<RunSet>> {
     let mut registry = GovernorRegistry::builtin();
     registry.register(sysscale_factory(*predictor));
-    ScenarioSet::matrix_with(&registry, config, workloads, &EVALUATION_GOVERNORS)?
-        .with_baseline("baseline")
-        .run_parallel(pool, exec::default_threads())
+    let mut sweep = SweepSet::new();
+    for suite in suites {
+        sweep.push_set(
+            ScenarioSet::matrix_with(&registry, config, suite, &EVALUATION_GOVERNORS)?
+                .with_baseline("baseline"),
+        );
+    }
+    sweep.run_parallel(pool, threads)
 }
 
 fn row_from_runs(
@@ -160,6 +196,38 @@ fn row_from_runs(
     })
 }
 
+fn fig7_from_runs(
+    config: &SocConfig,
+    runs: &RunSet,
+    suite: &[Workload],
+) -> SimResult<SpeedupFigure> {
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let scalability = cpu_scalability(config, w);
+            row_from_runs(config, runs, w, false, scalability)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+    Ok(SpeedupFigure::from_rows(rows))
+}
+
+fn fig8_from_runs(
+    config: &SocConfig,
+    runs: &RunSet,
+    suite: &[Workload],
+) -> SimResult<SpeedupFigure> {
+    let rows = suite
+        .iter()
+        .map(|w| {
+            // Graphics FPS is assumed fully scalable with engine frequency as
+            // long as bandwidth suffices (Sec. 7.2); the simulator itself
+            // enforces the bandwidth limit for the measured SysScale numbers.
+            row_from_runs(config, runs, w, true, 1.0)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+    Ok(SpeedupFigure::from_rows(rows))
+}
+
 /// Fig. 7: SPEC CPU2006 performance improvements.
 ///
 /// # Errors
@@ -168,14 +236,7 @@ fn row_from_runs(
 pub fn fig7(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
     let suite = spec_cpu2006_suite();
     let runs = evaluation_matrix(config, predictor, &suite)?;
-    let rows = suite
-        .iter()
-        .map(|w| {
-            let scalability = cpu_scalability(config, w);
-            row_from_runs(config, &runs, w, false, scalability)
-        })
-        .collect::<SimResult<Vec<_>>>()?;
-    Ok(SpeedupFigure::from_rows(rows))
+    fig7_from_runs(config, &runs, &suite)
 }
 
 /// Fig. 8: 3DMark performance improvements.
@@ -186,16 +247,7 @@ pub fn fig7(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<Speedu
 pub fn fig8(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<SpeedupFigure> {
     let suite = graphics_suite();
     let runs = evaluation_matrix(config, predictor, &suite)?;
-    let rows = suite
-        .iter()
-        .map(|w| {
-            // Graphics FPS is assumed fully scalable with engine frequency as
-            // long as bandwidth suffices (Sec. 7.2); the simulator itself
-            // enforces the bandwidth limit for the measured SysScale numbers.
-            row_from_runs(config, &runs, w, true, 1.0)
-        })
-        .collect::<SimResult<Vec<_>>>()?;
-    Ok(SpeedupFigure::from_rows(rows))
+    fig8_from_runs(config, &runs, &suite)
 }
 
 /// Per-workload battery-life row (Fig. 9).
@@ -232,6 +284,10 @@ pub struct PowerReductionFigure {
 pub fn fig9(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<PowerReductionFigure> {
     let suite = battery_life_suite();
     let runs = evaluation_matrix(config, predictor, &suite)?;
+    fig9_from_runs(&runs, &suite)
+}
+
+fn fig9_from_runs(runs: &RunSet, suite: &[Workload]) -> SimResult<PowerReductionFigure> {
     let rows = suite
         .iter()
         .map(|w| {
@@ -254,6 +310,37 @@ pub fn fig9(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<PowerR
         sysscale_max_pct: sys.iter().copied().fold(0.0, f64::max),
         rows,
     })
+}
+
+/// Runs the whole main evaluation — Figs. 7, 8, and 9 — as **one** sharded
+/// sweep: the three suites' matrices (SPEC CPU2006, 3DMark, battery life)
+/// flatten into a single cell list on one pool, so no worker idles between
+/// figures and the two evaluation platforms are each built once. Every
+/// figure is byte-identical to its standalone [`fig7`]/[`fig8`]/[`fig9`]
+/// counterpart at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_figures(
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+) -> SimResult<(SpeedupFigure, SpeedupFigure, PowerReductionFigure)> {
+    let spec = spec_cpu2006_suite();
+    let gfx = graphics_suite();
+    let battery = battery_life_suite();
+    let runs = evaluation_sweep_in(
+        &mut SessionPool::new(),
+        exec::default_threads(),
+        config,
+        predictor,
+        &[&spec, &gfx, &battery],
+    )?;
+    Ok((
+        fig7_from_runs(config, &runs[0], &spec)?,
+        fig8_from_runs(config, &runs[1], &gfx)?,
+        fig9_from_runs(&runs[2], &battery)?,
+    ))
 }
 
 #[cfg(test)]

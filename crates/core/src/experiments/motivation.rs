@@ -1,8 +1,10 @@
 //! Motivation experiments: Table 1, Fig. 2(a–c), Fig. 3(a–b), and Fig. 4.
 
+use std::sync::{Arc, Mutex};
+
 use sysscale_compute::{CpuModel, GfxModel};
 use sysscale_iodev::{DisplayController, DisplayPanel, IspEngine, IspMode, Resolution};
-use sysscale_soc::SocConfig;
+use sysscale_soc::{FnTraceSink, SocConfig};
 use sysscale_types::{exec, Freq, SimError, SimResult, SimTime, Voltage};
 use sysscale_workloads::{graphics_workload, spec_workload, stream_peak_bandwidth, Workload};
 
@@ -176,39 +178,158 @@ pub struct BandwidthTrace {
     pub peak_gib_s: f64,
 }
 
-/// Runs each workload once with tracing enabled (one parallel batch) and
-/// converts the slice traces into demand-over-time series.
+/// Reservoir capacity of the streaming bandwidth-trace reducer: large
+/// enough that every motivation-figure trace (a few seconds of 1 ms slices)
+/// is captured exactly, while any longer run's trace memory stays
+/// O(capacity).
+pub const TRACE_RESERVOIR_CAPACITY: usize = 16_384;
+
+/// Streaming reducer over a bandwidth-demand trace: exact running
+/// average/peak over **every** slice, plus a fixed-capacity reservoir of
+/// `(time, demand)` samples.
+///
+/// The reservoir decimates deterministically: it keeps slices whose index is
+/// a multiple of the current stride, and when it fills it drops every other
+/// kept sample and doubles the stride. Runs no longer than the capacity are
+/// therefore reproduced exactly (stride 1), and longer runs keep a uniformly
+/// spaced downsample of at least `capacity / 2` points — with peak trace
+/// memory O(capacity) regardless of run length, which is what lets Fig. 3(a)
+/// stream its samples instead of buffering whole traces on every worker.
+#[derive(Debug, Clone)]
+pub struct BandwidthReducer {
+    capacity: usize,
+    stride: u64,
+    seen: u64,
+    sum: f64,
+    peak: f64,
+    samples: Vec<(f64, f64)>,
+}
+
+impl BandwidthReducer {
+    /// An empty reducer holding at most `capacity` reservoir samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            stride: 1,
+            seen: 0,
+            sum: 0.0,
+            peak: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Consumes one slice sample.
+    pub fn record(&mut self, at_secs: f64, demand_gib_s: f64) {
+        self.sum += demand_gib_s;
+        self.peak = self.peak.max(demand_gib_s);
+        if self.seen % self.stride == 0 {
+            if self.samples.len() == self.capacity {
+                // Compact: keep every other sample (original indices that
+                // are multiples of the doubled stride) and re-test this one.
+                let mut keep = 0usize;
+                self.samples.retain(|_| {
+                    let kept = keep % 2 == 0;
+                    keep += 1;
+                    kept
+                });
+                self.stride *= 2;
+            }
+            if self.seen % self.stride == 0 {
+                self.samples.push((at_secs, demand_gib_s));
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Number of slices consumed so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of reservoir samples currently held (≤ capacity).
+    #[must_use]
+    pub fn reservoir_len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Exact average demand over every consumed slice, GiB/s.
+    #[must_use]
+    pub fn average_gib_s(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.sum / self.seen as f64
+        }
+    }
+
+    /// Exact peak demand over every consumed slice, GiB/s.
+    #[must_use]
+    pub fn peak_gib_s(&self) -> f64 {
+        self.peak
+    }
+
+    /// Finishes the reduction into a figure series.
+    #[must_use]
+    pub fn into_trace(self, workload: impl Into<String>) -> BandwidthTrace {
+        BandwidthTrace {
+            workload: workload.into(),
+            average_gib_s: self.average_gib_s(),
+            peak_gib_s: self.peak_gib_s(),
+            samples: self.samples,
+        }
+    }
+}
+
+/// Runs each workload once (one parallel batch), streaming every slice
+/// through a per-run [`BandwidthReducer`] behind an [`FnTraceSink`] — no
+/// full trace is ever buffered; each worker holds O(reservoir) trace memory.
 fn bandwidth_traces(
     config: &SocConfig,
     workloads: Vec<Workload>,
 ) -> SimResult<Vec<BandwidthTrace>> {
+    let reducers: Vec<Arc<Mutex<BandwidthReducer>>> = workloads
+        .iter()
+        .map(|_| Arc::new(Mutex::new(BandwidthReducer::new(TRACE_RESERVOIR_CAPACITY))))
+        .collect();
     let mut set = ScenarioSet::new();
-    for workload in workloads {
+    for (workload, reducer) in workloads.into_iter().zip(&reducers) {
+        let reducer = Arc::clone(reducer);
         set.push(
             Scenario::builder(workload)
                 .config(config.clone())
-                .trace(true)
+                .stream_trace(move || {
+                    let reducer = Arc::clone(&reducer);
+                    Box::new(FnTraceSink::new(move |slice| {
+                        reducer
+                            .lock()
+                            .expect("reducer mutex poisoned")
+                            .record(slice.at.as_secs(), slice.demanded_gib_s);
+                    }))
+                })
                 .build()?,
         );
     }
     let runs = set.run_parallel(&mut SessionPool::new(), exec::default_threads())?;
+    // The scenarios' sink factories hold the last Arc clones; dropping the
+    // set makes each reducer uniquely owned again.
+    drop(set);
     Ok(runs
         .records()
         .iter()
-        .map(|record| {
-            let trace = record.trace.as_ref().expect("trace was requested");
-            let samples: Vec<(f64, f64)> = trace
-                .iter()
-                .map(|t| (t.at.as_secs(), t.demanded_gib_s))
-                .collect();
-            let avg = samples.iter().map(|(_, b)| b).sum::<f64>() / samples.len().max(1) as f64;
-            let peak = samples.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-            BandwidthTrace {
-                workload: record.workload.clone(),
-                samples,
-                average_gib_s: avg,
-                peak_gib_s: peak,
-            }
+        .zip(reducers)
+        .map(|(record, reducer)| {
+            let reducer = Arc::into_inner(reducer)
+                .expect("all sinks dropped after the batch")
+                .into_inner()
+                .expect("reducer mutex poisoned");
+            reducer.into_trace(record.workload.clone())
         })
         .collect())
 }
@@ -453,6 +574,78 @@ mod tests {
         assert!((three_hd.fraction_of_peak / hd.fraction_of_peak - 3.0).abs() < 1e-9);
         assert!(rows.iter().any(|r| r.configuration.starts_with("isp")));
         assert!(rows.iter().any(|r| r.configuration.starts_with("gfx")));
+    }
+
+    #[test]
+    fn reducer_reproduces_short_traces_exactly() {
+        let mut reducer = BandwidthReducer::new(64);
+        let samples: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 * 1e-3, (i % 7) as f64 + 0.25))
+            .collect();
+        for (t, b) in &samples {
+            reducer.record(*t, *b);
+        }
+        assert_eq!(reducer.seen(), 50);
+        assert_eq!(reducer.reservoir_len(), 50);
+        let expected_avg = samples.iter().map(|(_, b)| b).sum::<f64>() / 50.0;
+        assert_eq!(reducer.average_gib_s(), expected_avg);
+        assert_eq!(reducer.peak_gib_s(), 6.25);
+        let trace = reducer.into_trace("t");
+        assert_eq!(trace.samples, samples);
+    }
+
+    #[test]
+    fn reducer_memory_is_bounded_while_stats_stay_exact() {
+        // 1M slices through a 256-slot reservoir: the running stats must be
+        // exact, the reservoir bounded and uniformly strided.
+        let capacity = 256;
+        let mut reducer = BandwidthReducer::new(capacity);
+        let n: u64 = 1_000_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let b = ((i * 37) % 1000) as f64 / 100.0;
+            sum += b;
+            reducer.record(i as f64 * 1e-3, b);
+        }
+        assert_eq!(reducer.seen(), n);
+        assert!(reducer.reservoir_len() <= capacity, "O(capacity) memory");
+        assert!(
+            reducer.reservoir_len() > capacity / 2,
+            "decimation keeps at least half the reservoir"
+        );
+        assert_eq!(reducer.average_gib_s(), sum / n as f64);
+        assert_eq!(reducer.peak_gib_s(), 9.99);
+        // Kept samples are uniformly strided: timestamps step by a constant
+        // power-of-two multiple of the slice length.
+        let trace = reducer.into_trace("long");
+        let stride = trace.samples[1].0 - trace.samples[0].0;
+        for pair in trace.samples.windows(2) {
+            assert!((pair[1].0 - pair[0].0 - stride).abs() < 1e-9);
+        }
+        assert_eq!(trace.samples[0].0, 0.0, "stride-anchored at slice 0");
+    }
+
+    #[test]
+    fn fig2c_streams_and_keeps_the_papers_demand_ordering() {
+        // Shape + paper property; the byte-level streamed-vs-collected diff
+        // lives in the integration harness (tests/integration_sweeps.rs).
+        let config = SocConfig::skylake_default();
+        let rows = fig2c(&config).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(!row.samples.is_empty());
+            assert!(row.samples.len() <= TRACE_RESERVOIR_CAPACITY);
+            // Tolerance: on a constant-demand trace, summation rounding can
+            // put the average an ulp above the peak.
+            assert!(row.peak_gib_s >= row.average_gib_s - 1e-9);
+        }
+        let lbm = rows.iter().find(|r| r.workload.contains("lbm")).unwrap();
+        let perl = rows.iter().find(|r| r.workload.contains("perl")).unwrap();
+        assert!(
+            lbm.average_gib_s > perl.average_gib_s,
+            "{lbm:?} vs {perl:?}"
+        );
+        assert!(lbm.peak_gib_s > perl.peak_gib_s);
     }
 
     #[test]

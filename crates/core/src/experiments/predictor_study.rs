@@ -16,12 +16,12 @@ use sysscale_soc::SocConfig;
 use sysscale_types::{
     exec, stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint,
 };
-use sysscale_workloads::{Workload, WorkloadClass, WorkloadGenerator};
+use sysscale_workloads::{ClassBucketSource, GeneratorConfig, WorkloadClass};
 
 use crate::calibration::{
-    fit_impact_model, measure_population, CalibrationConfig, CalibrationSample,
+    calibration_source, fit_impact_model, samples_from_runs, CalibrationConfig, CalibrationSample,
 };
-use crate::scenario::SessionPool;
+use crate::scenario::{SessionPool, SweepSet};
 
 /// One panel of Fig. 6: a (frequency pair, workload class) combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,36 +103,30 @@ pub fn frequency_pair_configs(base: &SocConfig) -> Vec<(f64, f64, SocConfig)> {
     ]
 }
 
-/// Generates the study population for one frequency pair: the class-bucketed
-/// workloads, filled to `quota` per class with the same alternation the
-/// measurement loop used to drive (generation is independent of the
-/// measurements, so it is split out and the measurement itself batches).
-fn generate_buckets(seed: u64, quota: usize) -> Vec<(WorkloadClass, Vec<Workload>)> {
-    let mut generator = WorkloadGenerator::with_seed(seed);
-    let mut by_class: Vec<(WorkloadClass, Vec<Workload>)> = vec![
-        (WorkloadClass::CpuSingleThread, Vec::new()),
-        (WorkloadClass::CpuMultiThread, Vec::new()),
-        (WorkloadClass::Graphics, Vec::new()),
-    ];
-    while by_class.iter().any(|(_, v)| v.len() < quota) {
-        let workload = if by_class[2].1.len() < quota {
-            // Alternate sources so the graphics quota fills too.
-            if by_class[0].1.len() + by_class[1].1.len() < 2 * quota {
-                generator.next_cpu_workload()
-            } else {
-                generator.next_graphics_workload()
-            }
-        } else {
-            generator.next_cpu_workload()
-        };
-        if let Some((_, bucket)) = by_class
-            .iter_mut()
-            .find(|(class, v)| *class == workload.class && v.len() < quota)
-        {
-            bucket.push(workload);
-        }
-    }
-    by_class
+/// The three class buckets of the study, in panel order.
+const PANEL_CLASSES: [WorkloadClass; 3] = [
+    WorkloadClass::CpuSingleThread,
+    WorkloadClass::CpuMultiThread,
+    WorkloadClass::Graphics,
+];
+
+/// The streaming population recipe of one panel: the class's bucket of the
+/// frequency pair's `(seed, quota)` population, generated on the fly (see
+/// [`ClassBucketSource`]). One generator seed per pair, so every pair sees
+/// the same population.
+fn panel_population(
+    study: &PredictorStudyConfig,
+    pair_idx: usize,
+    class: WorkloadClass,
+) -> ClassBucketSource {
+    ClassBucketSource::new(
+        GeneratorConfig {
+            seed: study.seed + pair_idx as u64,
+            ..GeneratorConfig::default()
+        },
+        study.workloads_per_panel,
+        class,
+    )
 }
 
 fn panel_from_samples(
@@ -178,27 +172,76 @@ fn panel_from_samples(
     }
 }
 
-/// Runs the full Fig. 6 study: 3 frequency pairs × 3 workload classes.
+/// Runs the full Fig. 6 study: 3 frequency pairs × 3 workload classes, as
+/// one sharded sweep on a fresh pool at [`exec::default_threads`]; see
+/// [`fig6_in`].
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<PredictorPanel>> {
-    let mut panels = Vec::new();
-    // One pool for the whole study: each worker keeps its per-platform
-    // simulators across the three frequency pairs.
-    let mut pool = SessionPool::new();
-    let threads = exec::default_threads();
-    for (pair_idx, (high, low, config)) in frequency_pair_configs(base).into_iter().enumerate() {
-        // One generator per pair so every pair sees the same population.
-        let buckets = generate_buckets(study.seed + pair_idx as u64, study.workloads_per_panel);
-        for (class, workloads) in &buckets {
-            let samples =
-                measure_population(&mut pool, &config, workloads, &study.calibration, threads)?;
-            panels.push(panel_from_samples(*class, high, low, &samples, study));
-        }
+    fig6_in(
+        &mut SessionPool::new(),
+        exec::default_threads(),
+        base,
+        study,
+    )
+}
+
+/// [`fig6`] on a caller-provided pool and worker count.
+///
+/// All nine panels — `3 frequency pairs × 3 workload classes`, each a
+/// `2 × population` measurement — flatten into **one** [`SweepSet`] batch:
+/// cells are hash-sharded by platform fingerprint (each pair's
+/// configuration lands on one worker for the whole study), and every
+/// panel's synthetic population streams from a [`ClassBucketSource`] recipe
+/// per shard instead of being materialized up front, so the study's
+/// workload memory is O(workers) no matter how large
+/// [`PredictorStudyConfig::workloads_per_panel`] grows.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    base: &SocConfig,
+    study: &PredictorStudyConfig,
+) -> SimResult<Vec<PredictorPanel>> {
+    let pairs = frequency_pair_configs(base);
+    // Panel shapes in sweep-member order: (pair, class) nested like the
+    // original per-panel loop.
+    let shapes: Vec<(usize, WorkloadClass)> = (0..pairs.len())
+        .flat_map(|pair_idx| PANEL_CLASSES.iter().map(move |&class| (pair_idx, class)))
+        .collect();
+    let populations: Vec<ClassBucketSource> = shapes
+        .iter()
+        .map(|&(pair_idx, class)| panel_population(study, pair_idx, class))
+        .collect();
+    let sources = shapes
+        .iter()
+        .zip(&populations)
+        .map(|(&(pair_idx, _), population)| {
+            calibration_source(&pairs[pair_idx].2, population, &study.calibration)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+
+    let mut sweep = SweepSet::new();
+    for source in &sources {
+        sweep.push_source(source, None);
     }
-    Ok(panels)
+    let member_runs = sweep.run_parallel(pool, threads)?;
+
+    Ok(shapes
+        .iter()
+        .zip(&populations)
+        .zip(&member_runs)
+        .map(|((&(pair_idx, class), population), runs)| {
+            let (high, low, config) = &pairs[pair_idx];
+            let samples = samples_from_runs(config, population, &study.calibration, runs);
+            panel_from_samples(class, *high, *low, &samples, study)
+        })
+        .collect())
 }
 
 /// Convenience: total average power of the study platform (used by the

@@ -2,9 +2,15 @@
 //! frequency/type sensitivity, the Sec. 5 overhead accounting, and the
 //! design-choice ablations called out in DESIGN.md.
 //!
-//! All sweeps are [`ScenarioSet`] matrices; the ablations express each
-//! design variant as a platform-restricting [`FnGovernorFactory`], so the
-//! whole study is a single `workloads × variants` batch.
+//! The multi-configuration studies (Fig. 10, DRAM sensitivity) are
+//! [`SweepSet`]s: every configuration point's matrix is flattened into one
+//! cell list and submitted to the pool as a single sharded batch, with cells
+//! hash-sharded by platform fingerprint so each platform's simulator is
+//! built once for the whole sweep. The `*_per_point` functions keep the old
+//! one-matrix-per-point path alive as the reference the differential test
+//! harness compares the sweeps against. The ablations express each design
+//! variant as a platform-restricting [`FnGovernorFactory`], so that study is
+//! a single `workloads × variants` batch already.
 
 use std::sync::Arc;
 
@@ -19,7 +25,7 @@ use crate::governor::SysScaleGovernor;
 use crate::predictor::DemandPredictor;
 use crate::scenario::{
     sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell, RunSet,
-    Scenario, ScenarioSet, SessionPool, SimSession,
+    Scenario, ScenarioSet, SessionPool, SimSession, SweepSet,
 };
 
 /// One TDP point of Fig. 10.
@@ -33,25 +39,39 @@ pub struct TdpPoint {
     pub summary: Summary,
 }
 
+/// The `suite × {baseline, sysscale}` matrix for one configuration point,
+/// with `predictor` wired into the sysscale column — the building block of
+/// both sensitivity sweeps.
+fn baseline_vs_sysscale_matrix(
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+    workloads: &[Workload],
+) -> SimResult<ScenarioSet> {
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale_factory(*predictor));
+    Ok(
+        ScenarioSet::matrix_with(&registry, config, workloads, &["baseline", "sysscale"])?
+            .with_baseline("baseline"),
+    )
+}
+
 fn baseline_vs_sysscale(
+    pool: &mut SessionPool,
+    threads: usize,
     config: &SocConfig,
     predictor: &DemandPredictor,
     workloads: &[Workload],
 ) -> SimResult<RunSet> {
-    let mut registry = GovernorRegistry::builtin();
-    registry.register(sysscale_factory(*predictor));
-    ScenarioSet::matrix_with(&registry, config, workloads, &["baseline", "sysscale"])?
-        .with_baseline("baseline")
-        .run_parallel(&mut SessionPool::new(), exec::default_threads())
+    baseline_vs_sysscale_matrix(config, predictor, workloads)?.run_parallel(pool, threads)
 }
 
+/// Reads the per-workload sysscale metric column off one configuration
+/// point's [`RunSet`].
 fn sysscale_cells(
-    config: &SocConfig,
-    predictor: &DemandPredictor,
+    runs: &RunSet,
     workloads: &[Workload],
     metric: impl Fn(&RunCell) -> f64,
 ) -> SimResult<Vec<f64>> {
-    let runs = baseline_vs_sysscale(config, predictor, workloads)?;
     workloads
         .iter()
         .map(|w| {
@@ -62,23 +82,81 @@ fn sysscale_cells(
         .collect()
 }
 
+fn tdp_point(tdp: f64, runs: &RunSet, suite: &[Workload]) -> SimResult<TdpPoint> {
+    let speedups = sysscale_cells(runs, suite, |c| c.speedup_pct)?;
+    Ok(TdpPoint {
+        tdp_w: tdp,
+        summary: Summary::of(&speedups),
+        speedups_pct: speedups,
+    })
+}
+
 /// Fig. 10: SysScale benefit versus TDP on the SPEC-like suite.
+///
+/// All TDP points run as **one** sharded [`SweepSet`] batch on a fresh pool
+/// at [`exec::default_threads`]; see [`fig10_in`].
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn fig10(predictor: &DemandPredictor, tdps_w: &[f64]) -> SimResult<Vec<TdpPoint>> {
+    fig10_in(
+        &mut SessionPool::new(),
+        exec::default_threads(),
+        predictor,
+        tdps_w,
+    )
+}
+
+/// [`fig10`] on a caller-provided pool and worker count: the whole
+/// `TDPs × suite × {baseline, sysscale}` sweep is flattened into a single
+/// platform-sharded batch, so each TDP point's simulator is built once for
+/// the sweep and no worker idles at point boundaries. The result is
+/// byte-identical to [`fig10_per_point_in`] at any `threads`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    predictor: &DemandPredictor,
+    tdps_w: &[f64],
+) -> SimResult<Vec<TdpPoint>> {
+    let suite = spec_cpu2006_suite();
+    let mut sweep = SweepSet::new();
+    for &tdp in tdps_w {
+        let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
+        sweep.push_set(baseline_vs_sysscale_matrix(&config, predictor, &suite)?);
+    }
+    let run_sets = sweep.run_parallel(pool, threads)?;
+    tdps_w
+        .iter()
+        .zip(&run_sets)
+        .map(|(&tdp, runs)| tdp_point(tdp, runs, &suite))
+        .collect()
+}
+
+/// The pre-sweep Fig. 10 path — one matrix per TDP point, submitted to the
+/// pool point by point — retained as the reference implementation the
+/// differential test harness compares [`fig10_in`] against.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_per_point_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    predictor: &DemandPredictor,
+    tdps_w: &[f64],
+) -> SimResult<Vec<TdpPoint>> {
     let suite = spec_cpu2006_suite();
     tdps_w
         .iter()
         .map(|&tdp| {
             let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
-            let speedups = sysscale_cells(&config, predictor, &suite, |c| c.speedup_pct)?;
-            Ok(TdpPoint {
-                tdp_w: tdp,
-                summary: Summary::of(&speedups),
-                speedups_pct: speedups,
-            })
+            let runs = baseline_vs_sysscale(pool, threads, &config, predictor, &suite)?;
+            tdp_point(tdp, &runs, &suite)
         })
         .collect()
 }
@@ -101,29 +179,29 @@ pub struct DramSensitivity {
     pub three_point_avg_speedup_pct: f64,
 }
 
-fn battery_avg_power_reduction(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<f64> {
-    let reductions = sysscale_cells(config, predictor, &battery_life_suite(), |c| {
-        c.power_reduction_pct
-    })?;
-    Ok(sysscale_types::stats::mean(&reductions))
-}
-
-fn spec_avg_speedup(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<f64> {
-    let speedups = sysscale_cells(config, predictor, &spec_cpu2006_suite(), |c| c.speedup_pct)?;
-    Ok(sysscale_types::stats::mean(&speedups))
-}
-
-/// Runs the DRAM type / operating-point-count sensitivity study.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn dram_sensitivity(predictor: &DemandPredictor) -> SimResult<DramSensitivity> {
+/// The four `(configuration, suite)` measurement legs of the DRAM study, in
+/// the order the sweep flattens them: LPDDR3 battery, DDR4 battery,
+/// two-point SPEC, three-point SPEC.
+fn dram_sensitivity_legs() -> Vec<(SocConfig, Vec<Workload>)> {
     let tdp = Power::from_watts(4.5);
-    let lpddr3 = battery_avg_power_reduction(&SocConfig::skylake_m_6y75(tdp), predictor)?;
-    let ddr4 = battery_avg_power_reduction(&SocConfig::skylake_ddr4(tdp), predictor)?;
-    let two_point = spec_avg_speedup(&SocConfig::skylake_m_6y75(tdp), predictor)?;
-    let three_point = spec_avg_speedup(&SocConfig::skylake_three_point(tdp), predictor)?;
+    vec![
+        (SocConfig::skylake_m_6y75(tdp), battery_life_suite()),
+        (SocConfig::skylake_ddr4(tdp), battery_life_suite()),
+        (SocConfig::skylake_m_6y75(tdp), spec_cpu2006_suite()),
+        (SocConfig::skylake_three_point(tdp), spec_cpu2006_suite()),
+    ]
+}
+
+fn dram_sensitivity_from_legs(leg_runs: &[RunSet]) -> SimResult<DramSensitivity> {
+    let legs = dram_sensitivity_legs();
+    let leg_mean = |idx: usize, metric: fn(&RunCell) -> f64| -> SimResult<f64> {
+        let values = sysscale_cells(&leg_runs[idx], &legs[idx].1, metric)?;
+        Ok(sysscale_types::stats::mean(&values))
+    };
+    let lpddr3 = leg_mean(0, |c| c.power_reduction_pct)?;
+    let ddr4 = leg_mean(1, |c| c.power_reduction_pct)?;
+    let two_point = leg_mean(2, |c| c.speedup_pct)?;
+    let three_point = leg_mean(3, |c| c.speedup_pct)?;
     Ok(DramSensitivity {
         lpddr3_avg_power_reduction_pct: lpddr3,
         ddr4_avg_power_reduction_pct: ddr4,
@@ -135,6 +213,57 @@ pub fn dram_sensitivity(predictor: &DemandPredictor) -> SimResult<DramSensitivit
         two_point_avg_speedup_pct: two_point,
         three_point_avg_speedup_pct: three_point,
     })
+}
+
+/// Runs the DRAM type / operating-point-count sensitivity study as one
+/// sharded [`SweepSet`] batch on a fresh pool at [`exec::default_threads`];
+/// see [`dram_sensitivity_in`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn dram_sensitivity(predictor: &DemandPredictor) -> SimResult<DramSensitivity> {
+    dram_sensitivity_in(&mut SessionPool::new(), exec::default_threads(), predictor)
+}
+
+/// [`dram_sensitivity`] on a caller-provided pool and worker count: the four
+/// measurement legs (two DRAM types × battery suite, two ladder shapes ×
+/// SPEC suite) flatten into one platform-sharded batch. Byte-identical to
+/// [`dram_sensitivity_per_point_in`] at any `threads`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn dram_sensitivity_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    predictor: &DemandPredictor,
+) -> SimResult<DramSensitivity> {
+    let legs = dram_sensitivity_legs();
+    let mut sweep = SweepSet::new();
+    for (config, suite) in &legs {
+        sweep.push_set(baseline_vs_sysscale_matrix(config, predictor, suite)?);
+    }
+    let leg_runs = sweep.run_parallel(pool, threads)?;
+    dram_sensitivity_from_legs(&leg_runs)
+}
+
+/// The pre-sweep DRAM-sensitivity path — one matrix per leg — retained as
+/// the reference implementation for the differential test harness.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn dram_sensitivity_per_point_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    predictor: &DemandPredictor,
+) -> SimResult<DramSensitivity> {
+    let leg_runs = dram_sensitivity_legs()
+        .iter()
+        .map(|(config, suite)| baseline_vs_sysscale(pool, threads, config, predictor, suite))
+        .collect::<SimResult<Vec<_>>>()?;
+    dram_sensitivity_from_legs(&leg_runs)
 }
 
 /// The Sec. 5 implementation-overhead accounting.

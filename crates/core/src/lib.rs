@@ -82,17 +82,18 @@ pub use baselines::{
     RedistProjection,
 };
 pub use calibration::{
-    calibrate, derive_thresholds, fit_impact_model, measure_population, measure_sample,
-    measure_sample_in, CalibrationConfig, CalibrationOutcome, CalibrationSample,
+    calibrate, calibration_source, derive_thresholds, fit_impact_model, measure_population,
+    measure_population_from, measure_sample, measure_sample_in, samples_from_runs,
+    CalibrationConfig, CalibrationOutcome, CalibrationSample, CalibrationScenarioSource,
 };
 pub use governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
 pub use predictor::{
     DemandCondition, DemandPredictor, ImpactModel, Prediction, PredictorThresholds,
 };
 pub use scenario::{
-    auto_duration, sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell,
-    RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, SessionPool, SimSession,
-    TraceSinkFactory,
+    auto_duration, platform_fingerprint, sysscale_factory, FnGovernorFactory, GovernorFactory,
+    GovernorRegistry, RunCell, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet,
+    ScenarioSource, SessionPool, SimSession, SweepSet, SweepSharding, TraceSinkFactory,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the

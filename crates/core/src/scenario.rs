@@ -18,6 +18,13 @@
 //!   matrix) executed through one call, sequentially
 //!   ([`ScenarioSet::run`]) or across a deterministic worker pool
 //!   ([`ScenarioSet::run_parallel`]);
+//! * [`ScenarioSource`] — a lazy, replayable scenario stream, so
+//!   generator-backed populations are produced per shard instead of
+//!   materialized up front;
+//! * [`SweepSet`] — a whole sweep (many batches across configuration
+//!   points) flattened into one cell list and submitted to the pool as a
+//!   single sharded batch, hash-sharded by platform fingerprint so each
+//!   platform's simulator is built once for the whole sweep;
 //! * [`RunSet`] / [`RunCell`] — the structured result, keyed by
 //!   `(workload, governor)`, with speedup/power/energy deltas computed
 //!   against a designated baseline governor.
@@ -860,6 +867,327 @@ impl ScenarioSet {
 }
 
 // ---------------------------------------------------------------------------
+// ScenarioSource / SweepSet
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of a platform configuration, used as the shard key of keyed
+/// sweep execution: scenarios whose effective configurations are equal
+/// always produce equal fingerprints, so [`SweepSharding::ByPlatform`] lands
+/// them on the same pool worker and that worker's cached simulator is reused
+/// across every cell of the sweep that shares the platform.
+///
+/// The fingerprint is FNV-1a over the configuration's `Debug` rendering —
+/// deterministic across runs and toolchains. It only steers *scheduling*:
+/// a collision (or a `Debug` rendering that under-reports a difference)
+/// merely places two platforms on one worker, never changes results,
+/// because the per-worker [`SimSession`] still keys its simulator cache on
+/// full configuration equality.
+#[must_use]
+pub fn platform_fingerprint(config: &SocConfig) -> u64 {
+    let rendered = format!("{config:?}");
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in rendered.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A lazily-produced, replayable stream of scenarios with a known length.
+///
+/// Where a [`ScenarioSet`] materializes its cells, a source is a *recipe*:
+/// every [`ScenarioSource::stream`] call starts a fresh pass yielding the
+/// identical sequence, so each worker of a [`SweepSet`] batch pulls its own
+/// iterator and generates only the cells it is assigned — a million-cell
+/// synthetic population (e.g. a
+/// [`sysscale_workloads::WorkloadSource`]-backed calibration stream) runs in
+/// O(workers) workload memory instead of materializing up front.
+pub trait ScenarioSource: Sync {
+    /// Number of scenarios the stream yields.
+    fn len(&self) -> usize;
+
+    /// `true` when the stream yields nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fresh iterator over the full stream, starting at scenario 0.
+    /// Repeated calls must yield bit-identical scenario sequences.
+    ///
+    /// Named `stream` (not `scenarios`) so the trait never collides with
+    /// inherent accessors like [`ScenarioSet::scenarios`].
+    fn stream(&self) -> Box<dyn Iterator<Item = Scenario> + Send + '_>;
+
+    /// One shard key per scenario (see [`platform_fingerprint`]); cells
+    /// sharing a key are executed by the same pool worker under
+    /// [`SweepSharding::ByPlatform`]. The default derives the keys from one
+    /// streaming pass; sources whose cells all share a platform should
+    /// override it to skip that pass.
+    fn shard_keys(&self) -> Vec<u64> {
+        self.stream()
+            .map(|s| platform_fingerprint(&s.effective_config()))
+            .collect()
+    }
+}
+
+impl ScenarioSource for ScenarioSet {
+    fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Scenario> + Send + '_> {
+        Box::new(self.scenarios.iter().cloned())
+    }
+
+    fn shard_keys(&self) -> Vec<u64> {
+        // A matrix typically spans a handful of distinct platforms across
+        // many cells; fingerprint each distinct configuration once instead
+        // of rendering it per cell.
+        let mut seen: Vec<(SocConfig, u64)> = Vec::new();
+        self.scenarios
+            .iter()
+            .map(|scenario| {
+                let config = scenario.effective_config();
+                match seen.iter().find(|(c, _)| *c == config) {
+                    Some((_, key)) => *key,
+                    None => {
+                        let key = platform_fingerprint(&config);
+                        seen.push((config, key));
+                        key
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// How a [`SweepSet`]'s flattened cells are assigned to pool workers.
+///
+/// Both strategies produce byte-identical [`RunSet`]s (every run executes on
+/// a freshly reset simulator with a freshly built governor); they differ
+/// only in simulator-cache locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepSharding {
+    /// Flat cell `i` runs on worker `i % threads` — maximally even load,
+    /// but a platform used by many members is rebuilt on every worker.
+    RoundRobin,
+    /// Cells are grouped by [`platform_fingerprint`] of their effective
+    /// configuration and the groups are spread over the workers by dense
+    /// rank (see [`exec::Shard::ByKey`]): with at least as many platforms as
+    /// workers, each platform's simulator is built by exactly one worker for
+    /// the whole sweep; with fewer platforms than workers, the workers are
+    /// partitioned among the platforms (every worker stays busy, and each
+    /// platform still touches the fewest workers possible). The default.
+    ByPlatform,
+}
+
+enum MemberSource<'a> {
+    Set(ScenarioSet),
+    Source(&'a dyn ScenarioSource),
+}
+
+impl MemberSource<'_> {
+    fn as_source(&self) -> &dyn ScenarioSource {
+        match self {
+            MemberSource::Set(set) => set,
+            MemberSource::Source(source) => *source,
+        }
+    }
+}
+
+impl fmt::Debug for MemberSource<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberSource::Set(set) => f.debug_tuple("Set").field(&set.len()).finish(),
+            MemberSource::Source(source) => f.debug_tuple("Source").field(&source.len()).finish(),
+        }
+    }
+}
+
+/// A whole sweep — several scenario batches (one per configuration point of
+/// a study such as Fig. 10's TDP sweep) — flattened into **one** cell list
+/// and submitted to the [`SessionPool`] as a single sharded batch.
+///
+/// Compared to running one [`ScenarioSet::run_parallel`] per configuration
+/// point, a sweep keeps every worker busy across point boundaries (no
+/// per-matrix barrier) and, under the default
+/// [`SweepSharding::ByPlatform`], builds each distinct platform's simulator
+/// on the fewest workers possible (exactly one when platforms ≥ workers)
+/// instead of once per `(worker, platform)`.
+///
+/// Members are either materialized [`ScenarioSet`]s ([`SweepSet::push_set`])
+/// or lazy [`ScenarioSource`]s ([`SweepSet::push_source`]); the result is
+/// one [`RunSet`] per member, in member order, each **byte-identical** to
+/// running that member alone through the sequential path at any thread
+/// count.
+#[derive(Debug, Default)]
+pub struct SweepSet<'a> {
+    members: Vec<(MemberSource<'a>, Option<String>)>,
+}
+
+impl<'a> SweepSet<'a> {
+    /// An empty sweep.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            members: Vec::new(),
+        }
+    }
+
+    /// Adds a materialized scenario batch as the next member; its designated
+    /// baseline (see [`ScenarioSet::with_baseline`]) carries over to the
+    /// member's [`RunSet`].
+    pub fn push_set(&mut self, set: ScenarioSet) -> &mut Self {
+        let baseline = set.baseline.clone();
+        self.members.push((MemberSource::Set(set), baseline));
+        self
+    }
+
+    /// Adds a lazy scenario stream as the next member, with an optional
+    /// baseline governor for the member's [`RunSet`] deltas.
+    pub fn push_source(
+        &mut self,
+        source: &'a dyn ScenarioSource,
+        baseline: Option<&str>,
+    ) -> &mut Self {
+        self.members.push((
+            MemberSource::Source(source),
+            baseline.map(ToString::to_string),
+        ));
+        self
+    }
+
+    /// Number of member batches.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total number of cells across all members.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.members.iter().map(|(m, _)| m.as_source().len()).sum()
+    }
+
+    /// Executes the whole sweep as one batch across up to `threads` pool
+    /// workers with the default [`SweepSharding::ByPlatform`] strategy, and
+    /// returns one [`RunSet`] per member, in member order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in flat cell order.
+    pub fn run_parallel(&self, pool: &mut SessionPool, threads: usize) -> SimResult<Vec<RunSet>> {
+        self.run_parallel_sharded(pool, threads, SweepSharding::ByPlatform)
+    }
+
+    /// Like [`SweepSet::run_parallel`], but with an explicit sharding
+    /// strategy. Useful to measure what platform-keyed sharding buys: both
+    /// strategies return byte-identical `RunSet`s, but
+    /// [`SweepSharding::RoundRobin`] rebuilds shared platforms on every
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in flat cell order.
+    pub fn run_parallel_sharded(
+        &self,
+        pool: &mut SessionPool,
+        threads: usize,
+        sharding: SweepSharding,
+    ) -> SimResult<Vec<RunSet>> {
+        let lens: Vec<usize> = self
+            .members
+            .iter()
+            .map(|(m, _)| m.as_source().len())
+            .collect();
+        let offsets: Vec<usize> = lens
+            .iter()
+            .scan(0usize, |acc, len| {
+                let start = *acc;
+                *acc += len;
+                Some(start)
+            })
+            .collect();
+        let total: usize = lens.iter().sum();
+        let keys: Vec<u64> = match sharding {
+            SweepSharding::RoundRobin => Vec::new(),
+            SweepSharding::ByPlatform => self
+                .members
+                .iter()
+                .flat_map(|(m, _)| m.as_source().shard_keys())
+                .collect(),
+        };
+        let shard = match sharding {
+            SweepSharding::RoundRobin => exec::Shard::RoundRobin,
+            SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
+        };
+
+        // Each worker owns a session plus one lazy cursor per lazy member;
+        // the executor visits a worker's cells in ascending flat order, so
+        // each cursor is a single forward pass over its member's stream and
+        // at most one generated scenario per worker is live at a time.
+        // Materialized members are indexed directly — no clones, no cursor.
+        struct Cursor<'s> {
+            iter: Box<dyn Iterator<Item = Scenario> + Send + 's>,
+            next: usize,
+        }
+        struct WorkerCtx<'s> {
+            session: &'s mut SimSession,
+            cursors: Vec<Option<Cursor<'s>>>,
+        }
+
+        let workers = exec::effective_workers(threads, total);
+        let mut contexts: Vec<WorkerCtx<'_>> = pool
+            .workers_mut(workers)
+            .iter_mut()
+            .map(|session| WorkerCtx {
+                session,
+                cursors: self.members.iter().map(|_| None).collect(),
+            })
+            .collect();
+
+        let results = exec::map_indices_with_workers(&mut contexts, total, shard, |ctx, flat| {
+            let member = offsets.partition_point(|&start| start <= flat) - 1;
+            let local = flat - offsets[member];
+            let source = match &self.members[member].0 {
+                MemberSource::Set(set) => return ctx.session.run(&set.scenarios()[local]),
+                MemberSource::Source(source) => *source,
+            };
+            let cursor = ctx.cursors[member].get_or_insert_with(|| Cursor {
+                iter: source.stream(),
+                next: 0,
+            });
+            debug_assert!(cursor.next <= local, "cursor moved backwards");
+            // Generate-and-drop the cells assigned to other workers.
+            while cursor.next < local {
+                cursor.iter.next();
+                cursor.next += 1;
+            }
+            let scenario = cursor
+                .iter
+                .next()
+                .unwrap_or_else(|| panic!("scenario source shorter than its len() at {local}"));
+            cursor.next += 1;
+            ctx.session.run(&scenario)
+        });
+
+        let mut records = results
+            .into_iter()
+            .collect::<SimResult<Vec<RunRecord>>>()?
+            .into_iter();
+        Ok(self
+            .members
+            .iter()
+            .zip(&lens)
+            .map(|((_, baseline), &len)| RunSet {
+                records: records.by_ref().take(len).collect(),
+                baseline: baseline.clone(),
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // RunSet
 // ---------------------------------------------------------------------------
 
@@ -1207,6 +1535,158 @@ mod tests {
             assert_eq!(expected.report, runs.records()[i].report);
             assert!(runs.records()[i].trace.is_none());
         }
+    }
+
+    #[test]
+    fn platform_fingerprints_follow_configuration_equality() {
+        let a = SocConfig::skylake_default();
+        let b = SocConfig::skylake_default();
+        assert_eq!(platform_fingerprint(&a), platform_fingerprint(&b));
+        let restricted = memscale_config(&a);
+        assert_ne!(platform_fingerprint(&a), platform_fingerprint(&restricted));
+        let other_tdp = SocConfig::skylake_m_6y75(sysscale_types::Power::from_watts(9.0));
+        assert_ne!(platform_fingerprint(&a), platform_fingerprint(&other_tdp));
+    }
+
+    #[test]
+    fn scenario_set_is_a_replayable_source() {
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let set = ScenarioSet::matrix(
+            &SocConfig::skylake_default(),
+            &workloads,
+            &["baseline", "memscale"],
+        )
+        .unwrap();
+        assert_eq!(ScenarioSource::len(&set), 4);
+        let first: Vec<String> = set.stream().map(|s| s.workload().name.clone()).collect();
+        let second: Vec<String> = set.stream().map(|s| s.workload().name.clone()).collect();
+        assert_eq!(first, second);
+        // Shard keys distinguish the full platform from the restricted one.
+        let keys = set.shard_keys();
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[0], keys[1], "baseline cells share the full platform");
+        assert_eq!(keys[2], keys[3], "memscale cells share the restricted one");
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    #[test]
+    fn sweep_matches_per_member_execution_under_both_shardings() {
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let config_a = SocConfig::skylake_default();
+        let config_b = SocConfig::skylake_m_6y75(sysscale_types::Power::from_watts(9.0));
+        let make = |config: &SocConfig| {
+            ScenarioSet::matrix(config, &workloads, &["baseline", "md-dvfs"])
+                .unwrap()
+                .with_baseline("baseline")
+        };
+
+        // Reference: one matrix at a time, sequentially.
+        let expected: Vec<RunSet> = [&config_a, &config_b]
+            .iter()
+            .map(|c| make(c).run(&mut SimSession::new()).unwrap())
+            .collect();
+
+        let mut sweep = SweepSet::new();
+        sweep.push_set(make(&config_a)).push_set(make(&config_b));
+        assert_eq!(sweep.members(), 2);
+        assert_eq!(sweep.cells(), 8);
+        for threads in [1, 2, 8] {
+            for sharding in [SweepSharding::ByPlatform, SweepSharding::RoundRobin] {
+                let got = sweep
+                    .run_parallel_sharded(&mut SessionPool::new(), threads, sharding)
+                    .unwrap();
+                assert_eq!(got, expected, "threads={threads} sharding={sharding:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn platform_sharding_builds_each_platform_once() {
+        // Two members on two distinct platforms, flattened contiguously:
+        // round-robin spreads both platforms across both workers (4 cached
+        // simulators), platform sharding builds each platform on exactly one
+        // worker (2 cached).
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+            spec_workload("astar").unwrap(),
+        ];
+        let config_a = SocConfig::skylake_default();
+        let config_b = SocConfig::skylake_m_6y75(sysscale_types::Power::from_watts(9.0));
+        let mut sweep = SweepSet::new();
+        for config in [&config_a, &config_b] {
+            sweep.push_set(ScenarioSet::matrix(config, &workloads, &["baseline"]).unwrap());
+        }
+
+        let mut round_robin_pool = SessionPool::new();
+        let rr = sweep
+            .run_parallel_sharded(&mut round_robin_pool, 2, SweepSharding::RoundRobin)
+            .unwrap();
+        let mut keyed_pool = SessionPool::new();
+        let keyed = sweep.run_parallel(&mut keyed_pool, 2).unwrap();
+        assert_eq!(rr, keyed);
+        assert_eq!(round_robin_pool.cached_platforms(), 4);
+        assert_eq!(keyed_pool.cached_platforms(), 2);
+    }
+
+    #[test]
+    fn source_backed_sweep_members_stream_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // A source that counts how many scenarios were generated in total:
+        // each worker replays the stream, so the count is bounded by
+        // workers x len, and results still match the materialized member.
+        #[derive(Debug)]
+        struct CountingSource {
+            set: ScenarioSet,
+            generated: AtomicUsize,
+        }
+        impl ScenarioSource for CountingSource {
+            fn len(&self) -> usize {
+                ScenarioSource::len(&self.set)
+            }
+            fn stream(&self) -> Box<dyn Iterator<Item = Scenario> + Send + '_> {
+                Box::new(self.set.stream().inspect(|_| {
+                    self.generated.fetch_add(1, Ordering::Relaxed);
+                }))
+            }
+        }
+
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let set = ScenarioSet::matrix(
+            &SocConfig::skylake_default(),
+            &workloads,
+            &["baseline", "md-dvfs"],
+        )
+        .unwrap();
+        let expected = set
+            .clone()
+            .with_baseline("baseline")
+            .run(&mut SimSession::new())
+            .unwrap();
+
+        let source = CountingSource {
+            set,
+            generated: AtomicUsize::new(0),
+        };
+        let mut sweep = SweepSet::new();
+        sweep.push_source(&source, Some("baseline"));
+        let got = sweep.run_parallel(&mut SessionPool::new(), 2).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], expected);
+        // shard_keys() pass + at most one full replay per participating
+        // worker.
+        let generated = source.generated.load(Ordering::Relaxed);
+        assert!(generated <= 3 * 4, "{generated} scenarios generated");
     }
 
     #[test]

@@ -4,17 +4,24 @@
 //! independent simulation cells. This module provides the minimal execution
 //! primitive that matrix needs — and deliberately nothing more:
 //!
-//! * **static sharding** — worker `w` of `n` processes items
-//!   `w, w + n, w + 2n, …` (round-robin). There is no work stealing and no
-//!   shared queue, so the item→worker assignment is a pure function of
-//!   `(item index, worker count)` and every run of the same input is
-//!   scheduled identically;
+//! * **static sharding** — the item→worker assignment is a pure function of
+//!   `(item index, worker count, shard strategy)`. There is no work stealing
+//!   and no shared queue, so every run of the same input is scheduled
+//!   identically. Two strategies exist ([`Shard`]): plain round-robin
+//!   (worker `w` of `n` processes items `w, w + n, w + 2n, …`) and keyed
+//!   sharding (items sharing a key — e.g. simulation cells on the same
+//!   platform — are grouped onto as few workers as possible while keeping
+//!   every worker busy; see [`Shard::ByKey`]);
 //! * **stable output order** — results are returned indexed by the *input*
 //!   position, never by completion order, so callers observe output that is
 //!   independent of thread interleaving;
 //! * **scoped threads** — built on [`std::thread::scope`], so borrowed items
 //!   and per-worker contexts need no `'static` lifetimes and no reference
-//!   counting.
+//!   counting;
+//! * **index-driven streaming** — [`map_indices_with_workers`] hands workers
+//!   bare indices (always in ascending order per worker) instead of slice
+//!   elements, so callers can pull items from a lazy per-worker generator
+//!   and never materialize the full input.
 //!
 //! Determinism caveat: the pool guarantees deterministic *scheduling* and
 //! *ordering*. Bit-identical results additionally require that the mapped
@@ -68,6 +75,89 @@ pub fn default_threads() -> usize {
         .min(MAX_AUTO_THREADS)
 }
 
+/// How items are assigned to workers.
+///
+/// Both strategies are static: the assignment is a pure function of the item
+/// index, the worker count, and (for keyed sharding) the caller-provided key
+/// slice — never of timing. Changing the strategy changes *which worker*
+/// processes an item, not the result order, so any mapped function that is a
+/// pure function of `(index, item)` with interchangeable worker contexts
+/// produces identical output under either strategy.
+#[derive(Debug, Clone, Copy)]
+pub enum Shard<'k> {
+    /// Item `i` runs on worker `i % workers`. Balances load evenly across
+    /// workers regardless of item content.
+    RoundRobin,
+    /// Items are grouped by key, with the key *values* irrelevant beyond
+    /// equality: distinct keys are dense-ranked by first appearance (`K`
+    /// distinct keys), so raw hash values can never collide two groups onto
+    /// one worker while another sits idle.
+    ///
+    /// * `K ≥ workers` — group `g` runs entirely on worker `g % workers`:
+    ///   items sharing a key always land on the same worker, so a
+    ///   per-worker cache keyed on the same property (e.g. a simulator per
+    ///   platform configuration) is built once per key instead of once per
+    ///   `(worker, key)` pair, and the groups spread evenly.
+    /// * `K < workers` — the workers are partitioned into `K` contiguous
+    ///   groups and each key's items round-robin *within* their group:
+    ///   every worker stays busy (a single-key batch degrades to plain
+    ///   round-robin, not to one serialized worker) while each key's items
+    ///   still touch the fewest workers possible.
+    ByKey(&'k [u64]),
+}
+
+impl Shard<'_> {
+    /// Computes the worker index for every item, as a pure function of
+    /// `(len, workers)` and (for keyed sharding) the key slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, or (for [`Shard::ByKey`]) if the key
+    /// slice is shorter than `len`.
+    #[must_use]
+    pub fn assignments(&self, len: usize, workers: usize) -> Vec<usize> {
+        assert!(workers > 0, "shard requires at least one worker");
+        match self {
+            Shard::RoundRobin => (0..len).map(|i| i % workers).collect(),
+            Shard::ByKey(keys) => {
+                assert!(
+                    keys.len() >= len,
+                    "shard keys ({}) shorter than the input ({len})",
+                    keys.len()
+                );
+                // Dense-rank the keys by first appearance.
+                let mut rank_of: std::collections::HashMap<u64, usize> =
+                    std::collections::HashMap::new();
+                let ranks: Vec<usize> = keys[..len]
+                    .iter()
+                    .map(|&key| {
+                        let next = rank_of.len();
+                        *rank_of.entry(key).or_insert(next)
+                    })
+                    .collect();
+                let distinct = rank_of.len().max(1);
+                if distinct >= workers {
+                    return ranks.into_iter().map(|rank| rank % workers).collect();
+                }
+                // Fewer keys than workers: give rank `g` the contiguous
+                // worker range [g·W/K, (g+1)·W/K) and round-robin its items
+                // within it.
+                let mut occurrence = vec![0usize; distinct];
+                ranks
+                    .into_iter()
+                    .map(|rank| {
+                        let start = rank * workers / distinct;
+                        let width = (rank + 1) * workers / distinct - start;
+                        let slot = occurrence[rank] % width;
+                        occurrence[rank] += 1;
+                        start + slot
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Maps `f` over `items` on up to `threads` scoped workers and returns the
 /// results in input order.
 ///
@@ -107,31 +197,90 @@ where
     R: Send,
     F: Fn(&mut C, usize, &T) -> R + Sync,
 {
+    map_with_workers_sharded(contexts, items, Shard::RoundRobin, f)
+}
+
+/// Like [`map_with_workers`], but with an explicit [`Shard`] strategy
+/// choosing which worker processes each item.
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty, if a [`Shard::ByKey`] key slice is shorter
+/// than `items`, or propagates a panic from `f`.
+pub fn map_with_workers_sharded<C, T, R, F>(
+    contexts: &mut [C],
+    items: &[T],
+    shard: Shard<'_>,
+    f: F,
+) -> Vec<R>
+where
+    C: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    map_indices_with_workers(contexts, items.len(), shard, |ctx, i| f(ctx, i, &items[i]))
+}
+
+/// The index-driven core of the pool: runs `f(ctx, i)` for every
+/// `i ∈ 0..len`, with item `i` assigned to worker `shard.worker_for(i)` and
+/// each worker visiting its indices in **ascending order**. Results come
+/// back in index order.
+///
+/// Because workers receive bare indices, `f` is free to produce the item for
+/// index `i` however it likes — typically by advancing a lazy per-worker
+/// generator kept inside the worker context `C`, which the ascending-order
+/// guarantee makes a single forward pass. This is what lets million-cell
+/// scenario populations stream through the pool in O(workers) item memory.
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty, if a [`Shard::ByKey`] key slice is shorter
+/// than `len`, or propagates a panic from `f`.
+pub fn map_indices_with_workers<C, R, F>(
+    contexts: &mut [C],
+    len: usize,
+    shard: Shard<'_>,
+    f: F,
+) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
     assert!(!contexts.is_empty(), "exec requires at least one worker");
-    if contexts.len() == 1 || items.len() <= 1 {
+    if contexts.len() == 1 || len <= 1 {
+        // Validate the keys on the inline path (without computing the full
+        // assignment) so misuse surfaces identically at every worker count.
+        if let Shard::ByKey(keys) = shard {
+            assert!(
+                keys.len() >= len,
+                "shard keys ({}) shorter than the input ({len})",
+                keys.len()
+            );
+        }
         let ctx = &mut contexts[0];
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, x)| f(ctx, i, x))
-            .collect();
+        return (0..len).map(|i| f(ctx, i)).collect();
     }
     let threads = contexts.len();
+    // One O(len) pass builds each worker's index list; workers then walk
+    // their own (ascending) list instead of rescanning the whole range.
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
+        shards[w].push(i);
+    }
     merge_in_order(
-        items.len(),
+        len,
         std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> = contexts
                 .iter_mut()
-                .enumerate()
-                .map(|(w, ctx)| {
+                .zip(shards)
+                .map(|(ctx, indices)| {
                     scope.spawn(move || {
-                        items
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(threads)
-                            .map(|(i, x)| (i, f(ctx, i, x)))
+                        indices
+                            .into_iter()
+                            .map(|i| (i, f(ctx, i)))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -215,6 +364,108 @@ mod tests {
         });
         assert_eq!(out, vec![1, 2, 3]);
         assert_eq!(ctx[0], 6);
+    }
+
+    #[test]
+    fn keyed_sharding_groups_items_by_key_with_identical_output() {
+        // 24 items over 2 "platforms" (keys 10 and 11), laid out in two
+        // contiguous halves — the layout where round-robin spreads every
+        // platform across every worker.
+        let items: Vec<usize> = (0..24).collect();
+        let keys: Vec<u64> = (0..24).map(|i| if i < 12 { 10 } else { 11 }).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x + 100).collect();
+
+        for workers in [1, 2, 3, 8] {
+            let mut seen: Vec<Vec<u64>> = vec![Vec::new(); workers];
+            let got =
+                map_with_workers_sharded(&mut seen, &items, Shard::ByKey(&keys), |b, i, x| {
+                    b.push(keys[i]);
+                    x + 100
+                });
+            assert_eq!(got, expected, "workers={workers}");
+            let owners = |key: u64| -> Vec<usize> {
+                seen.iter()
+                    .enumerate()
+                    .filter(|(_, bucket)| bucket.contains(&key))
+                    .map(|(w, _)| w)
+                    .collect()
+            };
+            let (a, b) = (owners(10), owners(11));
+            if workers >= 2 {
+                // With two keys and at least two workers the keys' worker
+                // sets are disjoint (locality) and every worker is busy
+                // (no idle workers from raw-key collisions).
+                assert!(a.iter().all(|w| !b.contains(w)), "{a:?} vs {b:?}");
+                assert_eq!(a.len() + b.len(), workers, "workers={workers}");
+            }
+            if workers == 2 {
+                // As many keys as workers: whole key groups, one per worker.
+                assert_eq!((a.len(), b.len()), (1, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_sharding_uses_every_worker_for_a_single_key() {
+        // One platform, many workers: the batch must round-robin instead of
+        // serializing on one worker.
+        let keys = vec![42u64; 12];
+        let assignment = Shard::ByKey(&keys).assignments(12, 4);
+        assert_eq!(assignment, (0..12).map(|i| i % 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_sharding_is_insensitive_to_raw_key_values() {
+        // Adversarial keys that collide modulo the worker count: dense
+        // ranking still spreads the four groups over all four workers.
+        let keys: Vec<u64> = (0..16).map(|i| (i as u64 / 4) * 8).collect();
+        let assignment = Shard::ByKey(&keys).assignments(16, 4);
+        let mut used: Vec<usize> = assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used, vec![0, 1, 2, 3], "{assignment:?}");
+        // Each group of four identical keys stays on one worker.
+        for group in assignment.chunks(4) {
+            assert!(group.windows(2).all(|w| w[0] == w[1]), "{assignment:?}");
+        }
+    }
+
+    #[test]
+    fn index_driven_mapping_visits_each_worker_shard_in_ascending_order() {
+        let mut orders: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        let out = map_indices_with_workers(&mut orders, 20, Shard::RoundRobin, |bucket, i| {
+            bucket.push(i);
+            i * 2
+        });
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        for bucket in &orders {
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "{bucket:?}");
+        }
+    }
+
+    #[test]
+    fn shard_assignments_are_a_pure_function_of_keys_and_workers() {
+        let keys = [7u64, 8, 9, 7];
+        assert_eq!(Shard::RoundRobin.assignments(5, 3), vec![0, 1, 2, 0, 1]);
+        // Dense ranks: 7 -> 0, 8 -> 1, 9 -> 2; three keys on three workers.
+        assert_eq!(Shard::ByKey(&keys).assignments(4, 3), vec![0, 1, 2, 0]);
+        // Single worker: everything lands on worker 0 under any strategy.
+        assert_eq!(Shard::ByKey(&keys).assignments(4, 1), vec![0; 4]);
+        // Two keys, five workers: contiguous groups [0, 2) and [2, 5), each
+        // round-robined by its own items.
+        let two = [5u64, 5, 5, 6, 6, 6, 5];
+        assert_eq!(
+            Shard::ByKey(&two).assignments(7, 5),
+            vec![0, 1, 0, 2, 3, 4, 1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard keys")]
+    fn short_key_slices_are_rejected() {
+        let keys = [1u64];
+        let mut ctx = [(), ()];
+        let _ = map_indices_with_workers(&mut ctx, 5, Shard::ByKey(&keys), |_, i| i);
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! characteristics (CPI, MPKI, memory-level parallelism, thread count,
 //! graphics intensity) span the same space. The same population is used for
 //! the offline threshold-calibration step of Sec. 4.2.
+//!
+//! ## Streaming sources
+//!
+//! Populations can be consumed two ways: materialized up front
+//! ([`WorkloadGenerator::population`] / [`class_buckets`]) or streamed
+//! through a [`WorkloadSource`] ([`PopulationSource`] /
+//! [`ClassBucketSource`]). A source is a *recipe* — seed plus shape — whose
+//! [`WorkloadSource::stream`] replays the exact materialized sequence from a
+//! fresh SplitMix64 stream on every call, so consumers (one per executor
+//! worker) generate workloads on the fly and hold **O(1) workloads live**
+//! no matter how large the population is. Million-cell predictor-study
+//! populations run in O(workers) workload memory this way.
 
 use sysscale_compute::{CpuPhaseDemand, GfxPhaseDemand};
 use sysscale_iodev::PeripheralConfig;
@@ -148,19 +160,296 @@ impl WorkloadGenerator {
         .expect("generated parameters are within validated ranges")
     }
 
+    /// The class-mix rule of the mixed population: every third workload is
+    /// graphics, the rest CPU. The single definition shared by the
+    /// materialized ([`WorkloadGenerator::population`]) and streaming
+    /// ([`PopulationSource`]) paths, so they cannot drift apart.
+    fn next_mixed_workload(&mut self, index: usize) -> Workload {
+        if index % 3 == 2 {
+            self.next_graphics_workload()
+        } else {
+            self.next_cpu_workload()
+        }
+    }
+
     /// Generates a mixed population of `count` workloads with the class mix
     /// of the Fig. 6 study (1/3 single-thread CPU, 1/3 multi-thread CPU,
     /// 1/3 graphics — approximately, driven by the configured probability).
     pub fn population(&mut self, count: usize) -> Vec<Workload> {
-        (0..count)
-            .map(|i| {
-                if i % 3 == 2 {
-                    self.next_graphics_workload()
-                } else {
-                    self.next_cpu_workload()
+        (0..count).map(|i| self.next_mixed_workload(i)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming workload sources
+// ---------------------------------------------------------------------------
+
+/// A lazily-generated, replayable stream of workloads with a known length.
+///
+/// Implementations are *recipes*, not buffers: every [`WorkloadSource::stream`]
+/// call starts a fresh pass that yields the identical sequence (same
+/// workloads, same order) as [`WorkloadSource::materialize`], so several
+/// executor workers can each pull an independent iterator and a consumer
+/// never holds more than the workload it is currently using.
+pub trait WorkloadSource: Sync {
+    /// Number of workloads the stream yields.
+    fn len(&self) -> usize;
+
+    /// `true` when the stream yields nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fresh iterator over the full stream, starting at workload 0.
+    /// Repeated calls yield bit-identical sequences.
+    ///
+    /// Named `stream` (not `iter`) so bringing the trait into scope never
+    /// shadows inherent `iter` methods on `Vec`/slices.
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_>;
+
+    /// Collects the stream into a `Vec` — the materialized reference path
+    /// the differential tests compare the streaming path against.
+    fn materialize(&self) -> Vec<Workload> {
+        self.stream().collect()
+    }
+}
+
+/// Already-materialized workloads are trivially a source: iteration clones
+/// each element on demand.
+impl WorkloadSource for [Workload] {
+    fn len(&self) -> usize {
+        <[Workload]>::len(self)
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_> {
+        Box::new(self.iter().cloned())
+    }
+
+    fn materialize(&self) -> Vec<Workload> {
+        self.to_vec()
+    }
+}
+
+/// Borrowed slices are sources too (`&[Workload]` is `Sized`, so a
+/// `&&[Workload]` coerces to `&dyn WorkloadSource` where the unsized
+/// `[Workload]` itself cannot) — this is what lets callers forward a
+/// borrowed population with no upfront copy.
+impl WorkloadSource for &[Workload] {
+    fn len(&self) -> usize {
+        <[Workload]>::len(self)
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_> {
+        (**self).stream()
+    }
+
+    fn materialize(&self) -> Vec<Workload> {
+        self.to_vec()
+    }
+}
+
+impl WorkloadSource for Vec<Workload> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_> {
+        self.as_slice().stream()
+    }
+
+    fn materialize(&self) -> Vec<Workload> {
+        self.clone()
+    }
+}
+
+/// A generator-backed [`WorkloadSource`] yielding exactly the sequence of
+/// [`WorkloadGenerator::population`] for the same configuration — without
+/// materializing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationSource {
+    config: GeneratorConfig,
+    count: usize,
+}
+
+impl PopulationSource {
+    /// A source producing `count` workloads from `config`'s seed.
+    #[must_use]
+    pub fn new(config: GeneratorConfig, count: usize) -> Self {
+        Self { config, count }
+    }
+
+    /// A source with the default configuration and a caller-chosen seed.
+    #[must_use]
+    pub fn with_seed(seed: u64, count: usize) -> Self {
+        Self::new(
+            GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
+            count,
+        )
+    }
+}
+
+impl WorkloadSource for PopulationSource {
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_> {
+        let mut generator = WorkloadGenerator::new(self.config);
+        Box::new((0..self.count).map(move |i| generator.next_mixed_workload(i)))
+    }
+}
+
+const BUCKET_CLASSES: [WorkloadClass; 3] = [
+    WorkloadClass::CpuSingleThread,
+    WorkloadClass::CpuMultiThread,
+    WorkloadClass::Graphics,
+];
+
+fn bucket_index(class: WorkloadClass) -> Option<usize> {
+    BUCKET_CLASSES.iter().position(|&c| c == class)
+}
+
+/// Generates the next workload of the class-bucketed stream given the
+/// current bucket fill counts — the single definition of the Fig. 6
+/// population's alternation policy, shared by the materialized and streaming
+/// paths so they cannot drift apart.
+fn next_bucket_candidate(
+    generator: &mut WorkloadGenerator,
+    counts: &[usize; 3],
+    quota: usize,
+) -> Workload {
+    if counts[2] < quota {
+        // Alternate sources so the graphics quota fills too.
+        if counts[0] + counts[1] < 2 * quota {
+            generator.next_cpu_workload()
+        } else {
+            generator.next_graphics_workload()
+        }
+    } else {
+        generator.next_cpu_workload()
+    }
+}
+
+/// Generates the Fig. 6 study population for one frequency pair: three
+/// class buckets (single-thread CPU, multi-thread CPU, graphics), each
+/// filled to `quota` workloads, in bucket-class order.
+///
+/// This is the materialized reference; [`ClassBucketSource`] streams any one
+/// bucket of the same population without holding the others.
+#[must_use]
+pub fn class_buckets(config: GeneratorConfig, quota: usize) -> Vec<(WorkloadClass, Vec<Workload>)> {
+    let mut generator = WorkloadGenerator::new(config);
+    let mut counts = [0usize; 3];
+    let mut buckets: Vec<(WorkloadClass, Vec<Workload>)> = BUCKET_CLASSES
+        .iter()
+        .map(|&class| (class, Vec::new()))
+        .collect();
+    while counts.iter().any(|&c| c < quota) {
+        let workload = next_bucket_candidate(&mut generator, &counts, quota);
+        if let Some(idx) = bucket_index(workload.class) {
+            if counts[idx] < quota {
+                counts[idx] += 1;
+                buckets[idx].1.push(workload);
+            }
+        }
+    }
+    buckets
+}
+
+/// A [`WorkloadSource`] streaming one class bucket of the Fig. 6 population:
+/// the exact workloads [`class_buckets`] would place in `class`'s bucket, in
+/// the same order, generated on the fly.
+///
+/// The stream replays the alternation policy with three fill *counters*
+/// instead of three buckets, yields only the workloads accepted into the
+/// target class, and stops once that class reaches its quota — so a consumer
+/// holds one live workload while the other classes' candidates are generated
+/// and immediately dropped.
+///
+/// Like [`class_buckets`], the stream assumes the generator's configuration
+/// can produce every class (a `multithread_probability` of exactly 0 or 1
+/// would starve one CPU bucket and never terminate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassBucketSource {
+    config: GeneratorConfig,
+    quota: usize,
+    class: WorkloadClass,
+}
+
+impl ClassBucketSource {
+    /// A source for `class`'s bucket of the `(config, quota)` population.
+    ///
+    /// `class` must be one of the three bucketed classes (single-thread CPU,
+    /// multi-thread CPU, graphics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a bucketed class.
+    #[must_use]
+    pub fn new(config: GeneratorConfig, quota: usize, class: WorkloadClass) -> Self {
+        assert!(
+            bucket_index(class).is_some(),
+            "{class:?} is not a Fig. 6 bucket class"
+        );
+        Self {
+            config,
+            quota,
+            class,
+        }
+    }
+
+    /// A source with the default generator configuration and a caller-chosen
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a bucketed class.
+    #[must_use]
+    pub fn with_seed(seed: u64, quota: usize, class: WorkloadClass) -> Self {
+        Self::new(
+            GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
+            quota,
+            class,
+        )
+    }
+
+    /// The class this source streams.
+    #[must_use]
+    pub fn class(&self) -> WorkloadClass {
+        self.class
+    }
+}
+
+impl WorkloadSource for ClassBucketSource {
+    fn len(&self) -> usize {
+        self.quota
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Workload> + Send + '_> {
+        let mut generator = WorkloadGenerator::new(self.config);
+        let mut counts = [0usize; 3];
+        let target = bucket_index(self.class).expect("validated at construction");
+        let quota = self.quota;
+        Box::new(std::iter::from_fn(move || {
+            while counts[target] < quota {
+                let workload = next_bucket_candidate(&mut generator, &counts, quota);
+                if let Some(idx) = bucket_index(workload.class) {
+                    if counts[idx] < quota {
+                        counts[idx] += 1;
+                        if idx == target {
+                            return Some(workload);
+                        }
+                    }
                 }
-            })
-            .collect()
+            }
+            None
+        }))
     }
 }
 
@@ -222,6 +511,56 @@ mod tests {
                 assert!(p.validate().is_ok(), "{}", w.name);
             }
         }
+    }
+
+    #[test]
+    fn population_source_streams_the_materialized_sequence() {
+        for seed in [0, 7, 0xF166, u64::MAX] {
+            let materialized = WorkloadGenerator::with_seed(seed).population(21);
+            let source = PopulationSource::with_seed(seed, 21);
+            assert_eq!(WorkloadSource::len(&source), 21);
+            let streamed: Vec<Workload> = source.stream().collect();
+            assert_eq!(streamed, materialized, "seed {seed}");
+            // A second pass replays the identical stream.
+            assert_eq!(source.materialize(), materialized, "seed {seed} replay");
+        }
+    }
+
+    #[test]
+    fn class_bucket_sources_stream_exactly_their_materialized_bucket() {
+        for seed in [1, 42, 0xF167] {
+            let config = GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            };
+            let reference = class_buckets(config, 9);
+            assert_eq!(reference.len(), 3);
+            for (class, bucket) in &reference {
+                assert_eq!(bucket.len(), 9, "{class:?}");
+                let source = ClassBucketSource::new(config, 9, *class);
+                assert_eq!(source.class(), *class);
+                let streamed: Vec<Workload> = source.stream().collect();
+                assert_eq!(&streamed, bucket, "seed {seed} {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_and_vecs_are_sources() {
+        let pop = WorkloadGenerator::with_seed(9).population(5);
+        let via_slice: Vec<Workload> = pop.as_slice().stream().collect();
+        assert_eq!(via_slice, pop);
+        assert_eq!(WorkloadSource::len(&pop), 5);
+        assert!(!WorkloadSource::is_empty(&pop));
+        assert_eq!(WorkloadSource::materialize(&pop), pop);
+        let empty: Vec<Workload> = Vec::new();
+        assert!(WorkloadSource::is_empty(&empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Fig. 6 bucket class")]
+    fn non_bucket_classes_are_rejected() {
+        let _ = ClassBucketSource::with_seed(1, 4, WorkloadClass::BatteryLife);
     }
 
     #[test]

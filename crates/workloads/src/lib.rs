@@ -31,7 +31,10 @@ mod spec;
 mod workload;
 
 pub use battery::{battery_life_suite, battery_workload, BATTERY_LIFE_NAMES};
-pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use generator::{
+    class_buckets, ClassBucketSource, GeneratorConfig, PopulationSource, WorkloadGenerator,
+    WorkloadSource,
+};
 pub use graphics::{
     build_graphics_workload, graphics_suite, graphics_workload, GraphicsDescriptor,
     GRAPHICS_BENCHMARKS,

@@ -1,31 +1,39 @@
-//! Slice-loop performance contracts: the untraced hot path performs no
-//! per-slice heap allocation, and the memory fixed point's iteration count
-//! stays within its contract.
+//! Performance contracts pinned by a counting global allocator: the
+//! untraced slice loop performs no per-slice heap allocation, and streaming
+//! a generator-backed workload population holds live workload memory
+//! independent of the population size.
 //!
-//! This file holds a single test so the process-global allocation counter is
-//! not polluted by concurrently running tests in the same binary.
+//! The allocator counters are process-global, so this file's tests serialize
+//! on one mutex instead of relying on `--test-threads=1`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use sysscale::{FixedGovernor, SocConfig, SocSimulator};
 use sysscale_types::SimTime;
-use sysscale_workloads::spec_workload;
+use sysscale_workloads::{spec_workload, PopulationSource, WorkloadSource};
 
-/// System allocator wrapper that counts allocation calls (the default
-/// `realloc`/`alloc_zeroed` route through `alloc`, so growth is counted
-/// too).
+/// System allocator wrapper that counts allocation calls and tracks
+/// live/peak heap bytes (the default `realloc`/`alloc_zeroed` route through
+/// `alloc`, so growth is counted too).
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let live =
+            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 }
@@ -33,14 +41,27 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Serializes the allocator-observing tests (the counters are global).
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
 fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let result = f();
     (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
 }
 
+/// Peak heap growth (bytes above the level at entry) while `f` runs.
+fn peak_growth_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let baseline = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(baseline, Ordering::Relaxed);
+    let result = f();
+    let peak = PEAK_BYTES.load(Ordering::Relaxed);
+    (peak.saturating_sub(baseline), result)
+}
+
 #[test]
 fn untraced_run_allocations_are_independent_of_slice_count() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
     let mut sim = SocSimulator::new(SocConfig::skylake_default()).unwrap();
     let lbm = spec_workload("lbm").unwrap();
 
@@ -88,5 +109,50 @@ fn untraced_run_allocations_are_independent_of_slice_count() {
         long_allocs <= short_allocs + 4,
         "allocations grew with slice count: {short_allocs} for 300 slices, \
          {long_allocs} for 6000 slices"
+    );
+}
+
+#[test]
+fn streaming_a_population_holds_workload_memory_independent_of_size() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+
+    // Drain a generator-backed stream, keeping only a scalar digest: live
+    // workload memory must stay flat because each workload is dropped before
+    // the next is generated.
+    let drain = |count: usize| -> u64 {
+        let source = PopulationSource::with_seed(0x0A110C, count);
+        let (peak, digest) = peak_growth_during(|| {
+            source
+                .stream()
+                .map(|w| w.name.len() as u64 + w.phases.len() as u64)
+                .sum::<u64>()
+        });
+        assert!(digest > 0, "stream was consumed");
+        peak
+    };
+
+    // Warm-up pass absorbs one-time lazy state.
+    let _ = drain(1_000);
+    let small_peak = drain(10_000);
+    let large_peak = drain(100_000);
+
+    // Reference scale: materializing the large population holds every
+    // workload at once.
+    let source = PopulationSource::with_seed(0x0A110C, 100_000);
+    let (materialized_peak, population) = peak_growth_during(|| source.materialize());
+    assert_eq!(population.len(), 100_000);
+    drop(population);
+
+    // 10x the population must not grow the streaming peak: a generous
+    // absolute slack (64 KiB) absorbs allocator bookkeeping noise, while
+    // the materialized path is megabytes.
+    assert!(
+        large_peak <= small_peak + 64 * 1024,
+        "streaming peak grew with population size: {small_peak} B for 10k, \
+         {large_peak} B for 100k"
+    );
+    assert!(
+        materialized_peak > 20 * large_peak.max(1),
+        "materializing should dwarf streaming: {materialized_peak} B vs {large_peak} B"
     );
 }
