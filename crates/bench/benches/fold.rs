@@ -1,0 +1,102 @@
+//! Benchmark of the fold-based streaming result pipeline: the Fig. 10 TDP
+//! sweep aggregated through `SweepSet::run_parallel_fold`
+//! (`sensitivity::fig10_fold_in`) versus the materialized-`RunSet` path
+//! (`sensitivity::fig10_in`), measuring both throughput (cells/sec) and —
+//! via a live-bytes tracking global allocator — the peak result memory each
+//! path holds.
+//!
+//! Emits one machine-readable `{"kind":"fold_perf",…}` JSON line per mode
+//! (`"fold"` and `"materialized"`) next to the other benches' records, and
+//! appends them to the `SYSSCALE_BENCH_HISTORY` JSONL file when that
+//! variable is set (tagged via `SYSSCALE_BENCH_TAG`).
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench fold            # full fig10 sweep
+//! cargo bench -p sysscale-bench --bench fold -- --short # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use sysscale::experiments::sensitivity;
+use sysscale::{DemandPredictor, SessionPool};
+use sysscale_alloctrack::{peak_growth_during, TrackingAllocator};
+use sysscale_bench::timing::FoldPerf;
+use sysscale_types::exec;
+use sysscale_workloads::spec_cpu2006_suite;
+
+#[global_allocator]
+static ALLOCATOR: TrackingAllocator = TrackingAllocator;
+
+/// Peak heap growth (bytes above entry level) and wall clock while `f` runs.
+fn measure<R>(f: impl FnOnce() -> R) -> (u64, std::time::Duration, R) {
+    let start = Instant::now();
+    let (peak, result) = peak_growth_during(f);
+    (peak, start.elapsed(), result)
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let predictor = DemandPredictor::skylake_default();
+
+    let tdps: &[f64] = if short {
+        &[3.5, 15.0]
+    } else {
+        &[3.5, 4.5, 7.0, 15.0]
+    };
+    let cells = spec_cpu2006_suite().len() * 2 * tdps.len();
+    let threads = exec::default_threads();
+    let label = if short { "fig10_smoke" } else { "fig10_full" };
+
+    // Warm pools keep one-time simulator construction out of both
+    // measurements, so peak bytes reflect result handling.
+    let mut fold_pool = SessionPool::new();
+    let _ = sensitivity::fig10_fold_in(&mut fold_pool, threads, &predictor, tdps)
+        .expect("fig10 fold warm-up");
+    let (fold_peak, fold_wall, fold_points) = measure(|| {
+        sensitivity::fig10_fold_in(&mut fold_pool, threads, &predictor, tdps)
+            .expect("fig10 fold executes")
+    });
+
+    let mut mat_pool = SessionPool::new();
+    let _ = sensitivity::fig10_in(&mut mat_pool, threads, &predictor, tdps)
+        .expect("fig10 materialized warm-up");
+    let (mat_peak, mat_wall, mat_points) = measure(|| {
+        sensitivity::fig10_in(&mut mat_pool, threads, &predictor, tdps)
+            .expect("fig10 materialized executes")
+    });
+
+    assert_eq!(
+        fold_points, mat_points,
+        "fold output must be byte-identical to the materialized path"
+    );
+
+    let effective = exec::effective_workers(threads, cells);
+    let fold_perf = FoldPerf {
+        cells,
+        threads: effective,
+        wall: fold_wall,
+        peak_result_bytes: fold_peak,
+    };
+    fold_perf.emit("fold", label, "fold");
+    let mat_perf = FoldPerf {
+        cells,
+        threads: effective,
+        wall: mat_wall,
+        peak_result_bytes: mat_peak,
+    };
+    mat_perf.emit("fold", label, "materialized");
+
+    assert!(fold_perf.cells_per_sec() > 0.0);
+    assert!(mat_perf.cells_per_sec() > 0.0);
+
+    println!(
+        "fold/{label}: {:.0} cells/sec at {} B peak (fold) vs {:.0} cells/sec at {} B peak \
+         (materialized), {} cells, {} workers",
+        fold_perf.cells_per_sec(),
+        fold_perf.peak_result_bytes,
+        mat_perf.cells_per_sec(),
+        mat_perf.peak_result_bytes,
+        cells,
+        effective,
+    );
+}

@@ -522,6 +522,64 @@ pub mod timing {
         (perf, out)
     }
 
+    /// Wall-clock **and peak-result-memory** measurement of one fold-based
+    /// (or materialized reference) sweep execution, emitted as a
+    /// machine-readable JSON line (`"kind":"fold_perf"`). Where
+    /// [`SweepPerf`] tracks sweep throughput alone, this additionally
+    /// records the peak heap growth observed while the sweep's results were
+    /// aggregated — the number the fold pipeline exists to hold flat. The
+    /// `fold` bench emits one record per mode (`"fold"` vs
+    /// `"materialized"`) so the memory and throughput deltas land in the
+    /// same history file.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct FoldPerf {
+        /// Total scenario cells across the sweep.
+        pub cells: usize,
+        /// Worker-thread count the sweep ran at.
+        pub threads: usize,
+        /// Wall-clock time of the execution.
+        pub wall: Duration,
+        /// Peak heap growth (bytes above entry level) during the
+        /// execution — result records, accumulators, and scheduling
+        /// metadata; the bench binary measures it with a live-bytes
+        /// tracking allocator.
+        pub peak_result_bytes: u64,
+    }
+
+    impl FoldPerf {
+        /// Cells executed per wall-clock second.
+        #[must_use]
+        pub fn cells_per_sec(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.cells as f64 / secs
+            } else {
+                0.0
+            }
+        }
+
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"fold_perf","bench":…,"sweep":…,"mode":…,"cells":…,
+        /// "threads":…,"wall_clock_ms":…,"cells_per_sec":…,
+        /// "peak_result_bytes":…}` — and appends it to the [`HISTORY_ENV`]
+        /// file when configured. `mode` distinguishes the fold pipeline
+        /// from its materialized reference.
+        pub fn emit(&self, bench: &str, sweep: &str, mode: &str) {
+            let line = format!(
+                "{{\"kind\":\"fold_perf\",\"bench\":\"{bench}\",\"sweep\":\"{sweep}\",\
+                 \"mode\":\"{mode}\",\"cells\":{},\"threads\":{},\"wall_clock_ms\":{:.3},\
+                 \"cells_per_sec\":{:.3},\"peak_result_bytes\":{}}}",
+                self.cells,
+                self.threads,
+                self.wall.as_secs_f64() * 1e3,
+                self.cells_per_sec(),
+                self.peak_result_bytes,
+            );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
     /// Result of one measurement.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Measurement {

@@ -16,8 +16,8 @@ use sysscale_workloads::{Workload, WorkloadClass, WorkloadSource};
 
 use crate::predictor::{DemandPredictor, ImpactModel, PredictorThresholds};
 use crate::scenario::{
-    platform_fingerprint, GovernorFactory, GovernorRegistry, RunSet, Scenario, ScenarioSource,
-    SessionPool, SimSession, SweepSet,
+    platform_fingerprint, CellId, GovernorFactory, GovernorRegistry, GroupFold, RunRecord, RunSet,
+    Scenario, ScenarioSource, SessionPool, SimSession, SweepSet,
 };
 use std::sync::Arc;
 use sysscale_soc::SimReport;
@@ -125,6 +125,21 @@ fn sample_from_reports(
     high: &SimReport,
     low: &SimReport,
 ) -> CalibrationSample {
+    sample_from_parts(&workload.name, workload.class, config, cal, high, low)
+}
+
+/// The single definition of the pair → sample reduction, shared by the
+/// materialized ([`samples_from_runs`]) and fold-based
+/// ([`measure_population_from`]) aggregation paths — which is what makes
+/// their samples bit-identical.
+fn sample_from_parts(
+    name: &str,
+    class: WorkloadClass,
+    config: &SocConfig,
+    cal: &CalibrationConfig,
+    high: &SimReport,
+    low: &SimReport,
+) -> CalibrationSample {
     let high_perf = high.metrics.throughput();
     let degradation = if high_perf > 0.0 {
         (1.0 - low.metrics.throughput() / high_perf).max(0.0)
@@ -140,8 +155,8 @@ fn sample_from_reports(
         averages.set(kind, total / slices);
     }
     CalibrationSample {
-        workload: workload.name.clone(),
-        class: workload.class,
+        workload: name.to_string(),
+        class,
         counters: averages,
         actual_degradation: degradation,
     }
@@ -276,6 +291,59 @@ pub fn samples_from_runs(
         .collect()
 }
 
+/// The fold-based pair → sample aggregation shared by
+/// [`measure_population_from`] and the Fig. 6 study: one [`GroupFold`] over
+/// the high/low pairs of one or more [`calibration_source`] members.
+///
+/// `configs` holds one platform configuration per member, `member_pairs`
+/// the member's workload (pair) count, and `classes` one
+/// [`WorkloadClass`] per pair, flat across members in member order. Each
+/// pair reduces to its [`CalibrationSample`] the moment both halves have
+/// run — via the same reduction as [`samples_from_runs`], so the assembled
+/// samples are bit-identical to the materialized path — and the half
+/// reports are dropped on the spot instead of living in a `RunSet` until
+/// the whole sweep drains.
+#[allow(clippy::type_complexity)] // opaque closure pair; cannot be aliased
+pub(crate) fn sample_fold_consumer(
+    configs: Vec<SocConfig>,
+    cal: CalibrationConfig,
+    member_pairs: Vec<usize>,
+    classes: Vec<WorkloadClass>,
+) -> GroupFold<
+    impl Fn(CellId) -> (usize, usize) + Sync,
+    impl Fn(usize, Vec<RunRecord>) -> CalibrationSample + Sync,
+> {
+    assert_eq!(configs.len(), member_pairs.len(), "one config per member");
+    let offsets: Vec<usize> = member_pairs
+        .iter()
+        .scan(0usize, |acc, len| {
+            let start = *acc;
+            *acc += len;
+            Some(start)
+        })
+        .collect();
+    let total: usize = member_pairs.iter().sum();
+    assert_eq!(classes.len(), total, "one class per pair");
+    let map_offsets = offsets.clone();
+    GroupFold::new(
+        total,
+        2,
+        // Cells 2i / 2i + 1 of a member are workload i's high/low pair.
+        move |cell: CellId| (map_offsets[cell.member] + cell.local / 2, cell.local % 2),
+        move |group, records: Vec<RunRecord>| {
+            let member = offsets.partition_point(|&start| start <= group) - 1;
+            sample_from_parts(
+                &records[0].workload,
+                classes[group],
+                &configs[member],
+                &cal,
+                &records[0].report,
+                &records[1].report,
+            )
+        },
+    )
+}
+
 /// Measures every workload of a population at both ends of the ladder as
 /// one parallel batch on the caller's [`SessionPool`] and returns one
 /// [`CalibrationSample`] per workload, in population order.
@@ -301,8 +369,15 @@ pub fn measure_population(
 /// generator-backed streams, which are produced on the fly per shard so a
 /// million-cell synthetic population runs in O(workers) workload memory.
 ///
-/// The samples are identical to the materialized path for the same
-/// population (the streaming property test pins this).
+/// Since the fold refactor this path never materializes a `RunSet` either:
+/// the sweep folds each workload's high/low pair into its
+/// [`CalibrationSample`] the moment both halves have run
+/// ([`SweepSet::run_parallel_fold`]), so *result* memory is the sample
+/// vector plus O(in-flight pairs) instead of `2 × population` full
+/// records. The samples are bit-identical to the materialized reference —
+/// [`calibration_source`] + [`SweepSet::run_parallel`] +
+/// [`samples_from_runs`] — at any worker count (the fold differential test
+/// pins this).
 ///
 /// # Errors
 ///
@@ -315,13 +390,16 @@ pub fn measure_population_from(
     threads: usize,
 ) -> SimResult<Vec<CalibrationSample>> {
     let source = calibration_source(config, population, cal)?;
+    // One metadata pass over the population recipe (workloads are generated
+    // and dropped one at a time): the per-pair classes the records alone
+    // cannot supply.
+    let classes: Vec<WorkloadClass> = population.stream().map(|w| w.class).collect();
+    let consumer =
+        sample_fold_consumer(vec![config.clone()], *cal, vec![population.len()], classes);
     let mut sweep = SweepSet::new();
     sweep.push_source(&source, None);
-    let runs = sweep
-        .run_parallel(pool, threads)?
-        .pop()
-        .expect("single-member sweep");
-    Ok(samples_from_runs(config, population, cal, &runs))
+    let acc = sweep.run_parallel_fold(pool, threads, &consumer)?;
+    Ok(consumer.into_outputs(acc))
 }
 
 /// Runs the full calibration over a workload population, sharding the

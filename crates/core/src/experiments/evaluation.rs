@@ -15,7 +15,8 @@ use sysscale_workloads::{battery_life_suite, graphics_suite, spec_cpu2006_suite,
 use crate::baselines::project_redistributed_speedup;
 use crate::predictor::DemandPredictor;
 use crate::scenario::{
-    sysscale_factory, GovernorRegistry, RunSet, ScenarioSet, SessionPool, SweepSet,
+    sysscale_factory, CellId, GovernorRegistry, GroupFold, RunRecord, RunSet, ScenarioSet,
+    SessionPool, SweepSet,
 };
 
 /// Per-workload comparison row (Figs. 7 and 8).
@@ -158,6 +159,43 @@ pub fn evaluation_sweep_in(
     sweep.run_parallel(pool, threads)
 }
 
+/// The record-level speedup-row reduction — the single definition shared by
+/// the materialized ([`fig7`]/[`fig8`]) and fold-based
+/// ([`evaluation_figures_fold_in`]) aggregation paths, which is what keeps
+/// their rows bit-identical.
+fn speedup_row_from_records(
+    config: &SocConfig,
+    baseline: &RunRecord,
+    sys: &RunRecord,
+    mem: &RunRecord,
+    co: &RunRecord,
+    gfx_priority: bool,
+    scalability: f64,
+) -> SimResult<SpeedupRow> {
+    // MemScale / CoScale ran power-save-only on the restricted platform;
+    // project their -Redist performance from the measured savings (Sec. 6).
+    let mem_proj = project_redistributed_speedup(
+        config,
+        &baseline.report,
+        &mem.report,
+        scalability,
+        gfx_priority,
+    )?;
+    let co_proj = project_redistributed_speedup(
+        config,
+        &baseline.report,
+        &co.report,
+        scalability,
+        gfx_priority,
+    )?;
+    Ok(SpeedupRow {
+        workload: baseline.workload.clone(),
+        memscale_redist_pct: mem_proj.projected_speedup_pct.max(0.0),
+        coscale_redist_pct: co_proj.projected_speedup_pct.max(0.0),
+        sysscale_pct: sys.report.speedup_pct_over(&baseline.report),
+    })
+}
+
 fn row_from_runs(
     config: &SocConfig,
     runs: &RunSet,
@@ -166,34 +204,15 @@ fn row_from_runs(
     scalability: f64,
 ) -> SimResult<SpeedupRow> {
     let name = workload.name.as_str();
-    let baseline = runs.require(name, "baseline")?;
-
-    // MemScale / CoScale ran power-save-only on the restricted platform;
-    // project their -Redist performance from the measured savings (Sec. 6).
-    let mem = runs.require(name, "memscale")?;
-    let mem_proj = project_redistributed_speedup(
+    speedup_row_from_records(
         config,
-        &baseline.report,
-        &mem.report,
-        scalability,
+        runs.require(name, "baseline")?,
+        runs.require(name, "sysscale")?,
+        runs.require(name, "memscale")?,
+        runs.require(name, "coscale")?,
         gfx_priority,
-    )?;
-    let co = runs.require(name, "coscale")?;
-    let co_proj = project_redistributed_speedup(
-        config,
-        &baseline.report,
-        &co.report,
         scalability,
-        gfx_priority,
-    )?;
-
-    let sysscale = runs.require_cell(name, "sysscale")?;
-    Ok(SpeedupRow {
-        workload: workload.name.clone(),
-        memscale_redist_pct: mem_proj.projected_speedup_pct.max(0.0),
-        coscale_redist_pct: co_proj.projected_speedup_pct.max(0.0),
-        sysscale_pct: sysscale.speedup_pct,
-    })
+    )
 }
 
 fn fig7_from_runs(
@@ -287,29 +306,47 @@ pub fn fig9(config: &SocConfig, predictor: &DemandPredictor) -> SimResult<PowerR
     fig9_from_runs(&runs, &suite)
 }
 
+/// The record-level power-reduction-row reduction — like
+/// [`speedup_row_from_records`], the single definition shared by the
+/// materialized and fold-based paths.
+fn power_row_from_records(
+    baseline: &RunRecord,
+    sys: &RunRecord,
+    mem: &RunRecord,
+    co: &RunRecord,
+) -> PowerReductionRow {
+    PowerReductionRow {
+        workload: baseline.workload.clone(),
+        memscale_redist_pct: mem.report.power_reduction_pct_vs(&baseline.report).max(0.0),
+        coscale_redist_pct: co.report.power_reduction_pct_vs(&baseline.report).max(0.0),
+        sysscale_pct: sys.report.power_reduction_pct_vs(&baseline.report),
+        baseline_power_w: baseline.report.average_power().as_watts(),
+    }
+}
+
+fn fig9_figure_from_rows(rows: Vec<PowerReductionRow>) -> PowerReductionFigure {
+    let sys: Vec<f64> = rows.iter().map(|r| r.sysscale_pct).collect();
+    PowerReductionFigure {
+        sysscale_avg_pct: stats::mean(&sys),
+        sysscale_max_pct: sys.iter().copied().fold(0.0, f64::max),
+        rows,
+    }
+}
+
 fn fig9_from_runs(runs: &RunSet, suite: &[Workload]) -> SimResult<PowerReductionFigure> {
     let rows = suite
         .iter()
         .map(|w| {
             let name = w.name.as_str();
-            let mem = runs.require_cell(name, "memscale")?;
-            let co = runs.require_cell(name, "coscale")?;
-            let sys = runs.require_cell(name, "sysscale")?;
-            Ok(PowerReductionRow {
-                workload: w.name.clone(),
-                memscale_redist_pct: mem.power_reduction_pct.max(0.0),
-                coscale_redist_pct: co.power_reduction_pct.max(0.0),
-                sysscale_pct: sys.power_reduction_pct,
-                baseline_power_w: sys.baseline_power_w,
-            })
+            Ok(power_row_from_records(
+                runs.require(name, "baseline")?,
+                runs.require(name, "sysscale")?,
+                runs.require(name, "memscale")?,
+                runs.require(name, "coscale")?,
+            ))
         })
         .collect::<SimResult<Vec<_>>>()?;
-    let sys: Vec<f64> = rows.iter().map(|r| r.sysscale_pct).collect();
-    Ok(PowerReductionFigure {
-        sysscale_avg_pct: stats::mean(&sys),
-        sysscale_max_pct: sys.iter().copied().fold(0.0, f64::max),
-        rows,
-    })
+    Ok(fig9_figure_from_rows(rows))
 }
 
 /// Runs the whole main evaluation — Figs. 7, 8, and 9 — as **one** sharded
@@ -341,6 +378,157 @@ pub fn evaluation_figures(
         fig8_from_runs(config, &runs[1], &gfx)?,
         fig9_from_runs(&runs[2], &battery)?,
     ))
+}
+
+/// A fold-reduced evaluation row: Figs. 7/8 rows are speedups, Fig. 9 rows
+/// power reductions.
+enum EvalRow {
+    Speedup(SpeedupRow),
+    Power(PowerReductionRow),
+}
+
+/// [`evaluation_figures`] through the fold-based result pipeline
+/// ([`SweepSet::run_parallel_fold`]): the same three-suite sharded sweep,
+/// but each workload's four governor runs reduce to its figure row the
+/// moment the last one finishes — via the same record-level row reductions
+/// the materialized path applies after collecting — so no `RunSet` is ever
+/// materialized and the figures are **byte-identical** to
+/// [`evaluation_figures`] at any thread count (the fold differential test
+/// pins this).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_figures_fold(
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+) -> SimResult<(SpeedupFigure, SpeedupFigure, PowerReductionFigure)> {
+    evaluation_figures_fold_in(
+        &mut SessionPool::new(),
+        exec::default_threads(),
+        config,
+        predictor,
+    )
+}
+
+/// [`evaluation_figures_fold`] on a caller-provided pool and worker count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn evaluation_figures_fold_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    config: &SocConfig,
+    predictor: &DemandPredictor,
+) -> SimResult<(SpeedupFigure, SpeedupFigure, PowerReductionFigure)> {
+    let spec = spec_cpu2006_suite();
+    let gfx = graphics_suite();
+    let battery = battery_life_suite();
+    let suites: [&[Workload]; 3] = [&spec, &gfx, &battery];
+
+    let mut registry = GovernorRegistry::builtin();
+    registry.register(sysscale_factory(*predictor));
+    let sets: Vec<ScenarioSet> = suites
+        .iter()
+        .map(|suite| {
+            Ok(
+                ScenarioSet::matrix_with(&registry, config, suite, &EVALUATION_GOVERNORS)?
+                    .with_baseline("baseline"),
+            )
+        })
+        .collect::<SimResult<_>>()?;
+    let mut sweep = SweepSet::new();
+    for set in &sets {
+        sweep.push_set_ref(set);
+    }
+
+    // Group = flat workload index across the three suites; slot = governor
+    // column in EVALUATION_GOVERNORS order (baseline, sysscale, memscale,
+    // coscale). Member cell layout is governors outer, workloads inner.
+    let widths = [spec.len(), gfx.len(), battery.len()];
+    let offsets = [0, widths[0], widths[0] + widths[1]];
+    let total: usize = widths.iter().sum();
+    // Per-group row recipe: which figure the workload belongs to, and the
+    // speedup rows' scalability input (a pure function of config and
+    // workload, computed in the same order the materialized path does).
+    enum RowSpec {
+        Speedup {
+            gfx_priority: bool,
+            scalability: f64,
+        },
+        Power,
+    }
+    let specs: Vec<RowSpec> = spec
+        .iter()
+        .map(|w| RowSpec::Speedup {
+            gfx_priority: false,
+            scalability: cpu_scalability(config, w),
+        })
+        .chain(gfx.iter().map(|_| RowSpec::Speedup {
+            // Graphics FPS is assumed fully scalable with engine frequency
+            // as long as bandwidth suffices (Sec. 7.2).
+            gfx_priority: true,
+            scalability: 1.0,
+        }))
+        .chain(battery.iter().map(|_| RowSpec::Power))
+        .collect();
+    let row_config = config.clone();
+    let consumer = GroupFold::new(
+        total,
+        EVALUATION_GOVERNORS.len(),
+        move |cell: CellId| {
+            (
+                offsets[cell.member] + cell.local % widths[cell.member],
+                cell.local / widths[cell.member],
+            )
+        },
+        move |group, records: Vec<RunRecord>| -> SimResult<EvalRow> {
+            let (baseline, sys, mem, co) = (&records[0], &records[1], &records[2], &records[3]);
+            match specs[group] {
+                RowSpec::Speedup {
+                    gfx_priority,
+                    scalability,
+                } => Ok(EvalRow::Speedup(speedup_row_from_records(
+                    &row_config,
+                    baseline,
+                    sys,
+                    mem,
+                    co,
+                    gfx_priority,
+                    scalability,
+                )?)),
+                RowSpec::Power => Ok(EvalRow::Power(power_row_from_records(
+                    baseline, sys, mem, co,
+                ))),
+            }
+        },
+    );
+
+    let acc = sweep.run_parallel_fold(pool, threads, &consumer)?;
+    let mut rows = consumer
+        .into_outputs(acc)
+        .into_iter()
+        .collect::<SimResult<Vec<EvalRow>>>()?
+        .into_iter();
+    let take_speedups = |rows: &mut dyn Iterator<Item = EvalRow>, n: usize| -> Vec<SpeedupRow> {
+        rows.take(n)
+            .map(|row| match row {
+                EvalRow::Speedup(row) => row,
+                EvalRow::Power(_) => unreachable!("speedup group produced a power row"),
+            })
+            .collect()
+    };
+    let fig7 = SpeedupFigure::from_rows(take_speedups(&mut rows, widths[0]));
+    let fig8 = SpeedupFigure::from_rows(take_speedups(&mut rows, widths[1]));
+    let fig9 = fig9_figure_from_rows(
+        rows.map(|row| match row {
+            EvalRow::Power(row) => row,
+            EvalRow::Speedup(_) => unreachable!("power group produced a speedup row"),
+        })
+        .collect(),
+    );
+    Ok((fig7, fig8, fig9))
 }
 
 #[cfg(test)]

@@ -16,10 +16,11 @@ use sysscale_soc::SocConfig;
 use sysscale_types::{
     exec, stats, Freq, OperatingPointTable, Power, SimResult, UncoreOperatingPoint,
 };
-use sysscale_workloads::{ClassBucketSource, GeneratorConfig, WorkloadClass};
+use sysscale_workloads::{ClassBucketSource, GeneratorConfig, WorkloadClass, WorkloadSource};
 
 use crate::calibration::{
-    calibration_source, fit_impact_model, samples_from_runs, CalibrationConfig, CalibrationSample,
+    calibration_source, fit_impact_model, sample_fold_consumer, samples_from_runs,
+    CalibrationConfig, CalibrationSample,
 };
 use crate::scenario::{SessionPool, SweepSet};
 
@@ -188,6 +189,33 @@ pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<Pre
     )
 }
 
+/// The nine panel shapes of the study — `(pair index, class)` in member
+/// order — together with their streaming populations and platform
+/// configurations, shared by the fold-based and materialized paths.
+struct StudyLayout {
+    pairs: Vec<(f64, f64, SocConfig)>,
+    shapes: Vec<(usize, WorkloadClass)>,
+    populations: Vec<ClassBucketSource>,
+}
+
+fn study_layout(base: &SocConfig, study: &PredictorStudyConfig) -> StudyLayout {
+    let pairs = frequency_pair_configs(base);
+    // Panel shapes in sweep-member order: (pair, class) nested like the
+    // original per-panel loop.
+    let shapes: Vec<(usize, WorkloadClass)> = (0..pairs.len())
+        .flat_map(|pair_idx| PANEL_CLASSES.iter().map(move |&class| (pair_idx, class)))
+        .collect();
+    let populations: Vec<ClassBucketSource> = shapes
+        .iter()
+        .map(|&(pair_idx, class)| panel_population(study, pair_idx, class))
+        .collect();
+    StudyLayout {
+        pairs,
+        shapes,
+        populations,
+    }
+}
+
 /// [`fig6`] on a caller-provided pool and worker count.
 ///
 /// All nine panels — `3 frequency pairs × 3 workload classes`, each a
@@ -199,6 +227,13 @@ pub fn fig6(base: &SocConfig, study: &PredictorStudyConfig) -> SimResult<Vec<Pre
 /// workload memory is O(workers) no matter how large
 /// [`PredictorStudyConfig::workloads_per_panel`] grows.
 ///
+/// The panels aggregate through a fold consumer
+/// ([`SweepSet::run_parallel_fold`]): each workload's high/low pair reduces
+/// to its calibration sample as soon as both halves have run, so *result*
+/// memory never holds the study's `18 × population` records either. The
+/// panels are bit-identical to the materialized reference path
+/// ([`fig6_collected_in`]) at any worker count.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
@@ -208,21 +243,72 @@ pub fn fig6_in(
     base: &SocConfig,
     study: &PredictorStudyConfig,
 ) -> SimResult<Vec<PredictorPanel>> {
-    let pairs = frequency_pair_configs(base);
-    // Panel shapes in sweep-member order: (pair, class) nested like the
-    // original per-panel loop.
-    let shapes: Vec<(usize, WorkloadClass)> = (0..pairs.len())
-        .flat_map(|pair_idx| PANEL_CLASSES.iter().map(move |&class| (pair_idx, class)))
-        .collect();
-    let populations: Vec<ClassBucketSource> = shapes
+    let layout = study_layout(base, study);
+    let sources = layout
+        .shapes
         .iter()
-        .map(|&(pair_idx, class)| panel_population(study, pair_idx, class))
-        .collect();
-    let sources = shapes
-        .iter()
-        .zip(&populations)
+        .zip(&layout.populations)
         .map(|(&(pair_idx, _), population)| {
-            calibration_source(&pairs[pair_idx].2, population, &study.calibration)
+            calibration_source(&layout.pairs[pair_idx].2, population, &study.calibration)
+        })
+        .collect::<SimResult<Vec<_>>>()?;
+
+    // Every pair of a panel reduces to one sample; the consumer spans all
+    // nine members with per-member platform configurations and classes.
+    let member_pairs: Vec<usize> = layout.populations.iter().map(WorkloadSource::len).collect();
+    let configs: Vec<SocConfig> = layout
+        .shapes
+        .iter()
+        .map(|&(pair_idx, _)| layout.pairs[pair_idx].2.clone())
+        .collect();
+    let classes: Vec<WorkloadClass> = layout
+        .shapes
+        .iter()
+        .zip(&member_pairs)
+        .flat_map(|(&(_, class), &pairs)| std::iter::repeat(class).take(pairs))
+        .collect();
+    let consumer = sample_fold_consumer(configs, study.calibration, member_pairs.clone(), classes);
+
+    let mut sweep = SweepSet::new();
+    for source in &sources {
+        sweep.push_source(source, None);
+    }
+    let acc = sweep.run_parallel_fold(pool, threads, &consumer)?;
+    let mut samples = consumer.into_outputs(acc).into_iter();
+
+    Ok(layout
+        .shapes
+        .iter()
+        .zip(&member_pairs)
+        .map(|(&(pair_idx, class), &pairs)| {
+            let member_samples: Vec<CalibrationSample> = samples.by_ref().take(pairs).collect();
+            let (high, low, _) = &layout.pairs[pair_idx];
+            panel_from_samples(class, *high, *low, &member_samples, study)
+        })
+        .collect())
+}
+
+/// The materialized reference path of the Fig. 6 study — collect every
+/// member's [`crate::RunSet`], then convert to samples via
+/// [`samples_from_runs`] — retained for the fold differential test harness
+/// to compare [`fig6_in`] against.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_collected_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    base: &SocConfig,
+    study: &PredictorStudyConfig,
+) -> SimResult<Vec<PredictorPanel>> {
+    let layout = study_layout(base, study);
+    let sources = layout
+        .shapes
+        .iter()
+        .zip(&layout.populations)
+        .map(|(&(pair_idx, _), population)| {
+            calibration_source(&layout.pairs[pair_idx].2, population, &study.calibration)
         })
         .collect::<SimResult<Vec<_>>>()?;
 
@@ -232,12 +318,13 @@ pub fn fig6_in(
     }
     let member_runs = sweep.run_parallel(pool, threads)?;
 
-    Ok(shapes
+    Ok(layout
+        .shapes
         .iter()
-        .zip(&populations)
+        .zip(&layout.populations)
         .zip(&member_runs)
         .map(|((&(pair_idx, class), population), runs)| {
-            let (high, low, config) = &pairs[pair_idx];
+            let (high, low, config) = &layout.pairs[pair_idx];
             let samples = samples_from_runs(config, population, &study.calibration, runs);
             panel_from_samples(class, *high, *low, &samples, study)
         })

@@ -24,8 +24,8 @@ use sysscale_workloads::{battery_life_suite, spec_cpu2006_suite, spec_workload, 
 use crate::governor::SysScaleGovernor;
 use crate::predictor::DemandPredictor;
 use crate::scenario::{
-    sysscale_factory, FnGovernorFactory, GovernorFactory, GovernorRegistry, RunCell, RunSet,
-    Scenario, ScenarioSet, SessionPool, SimSession, SweepSet,
+    sysscale_factory, CellId, FnGovernorFactory, GovernorFactory, GovernorRegistry, GroupFold,
+    RunCell, RunRecord, RunSet, Scenario, ScenarioSet, SessionPool, SimSession, SweepSet,
 };
 
 /// One TDP point of Fig. 10.
@@ -135,6 +135,58 @@ pub fn fig10_in(
         .zip(&run_sets)
         .map(|(&tdp, runs)| tdp_point(tdp, runs, &suite))
         .collect()
+}
+
+/// The fold-based Fig. 10 path: the same single platform-sharded sweep as
+/// [`fig10_in`], but instead of materializing one [`RunSet`] per TDP point,
+/// a [`GroupFold`] consumer reduces every workload's `(baseline, sysscale)`
+/// pair to its speedup the moment both runs finish, and the TDP points are
+/// assembled from the per-workload speedups alone. Result memory is the
+/// speedup vector — `TDPs × suite` f64s — plus O(in-flight pairs), never
+/// the sweep's full record matrix.
+///
+/// Byte-identical to [`fig10_in`] and [`fig10_per_point_in`] at any
+/// `threads`: each speedup is computed by the same
+/// [`sysscale_soc::SimReport::speedup_pct_over`] call on the same report
+/// pair, and [`Summary::of`] sees the speedups in the same workload order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_fold_in(
+    pool: &mut SessionPool,
+    threads: usize,
+    predictor: &DemandPredictor,
+    tdps_w: &[f64],
+) -> SimResult<Vec<TdpPoint>> {
+    let suite = spec_cpu2006_suite();
+    let width = suite.len();
+    let mut sweep = SweepSet::new();
+    for &tdp in tdps_w {
+        let config = SocConfig::skylake_m_6y75(Power::from_watts(tdp));
+        sweep.push_set(baseline_vs_sysscale_matrix(&config, predictor, &suite)?);
+    }
+    // Member cell layout (governors outer, workloads inner): local j is the
+    // baseline run of workload j, local width + j its sysscale run.
+    let consumer = GroupFold::new(
+        tdps_w.len() * width,
+        2,
+        move |cell: CellId| (cell.member * width + cell.local % width, cell.local / width),
+        |_, records: Vec<RunRecord>| records[1].report.speedup_pct_over(&records[0].report),
+    );
+    let acc = sweep.run_parallel_fold(pool, threads, &consumer)?;
+    let mut speedups = consumer.into_outputs(acc).into_iter();
+    Ok(tdps_w
+        .iter()
+        .map(|&tdp| {
+            let point: Vec<f64> = speedups.by_ref().take(width).collect();
+            TdpPoint {
+                tdp_w: tdp,
+                summary: Summary::of(&point),
+                speedups_pct: point,
+            }
+        })
+        .collect())
 }
 
 /// The pre-sweep Fig. 10 path — one matrix per TDP point, submitted to the

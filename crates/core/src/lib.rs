@@ -18,8 +18,10 @@
 //! * the [`scenario`] module — the unified run API: a builder-based
 //!   [`Scenario`], the [`SimSession`] executor, the [`SessionPool`]-backed
 //!   deterministic parallel batch runner ([`ScenarioSet::run_parallel`]),
-//!   and the [`ScenarioSet`] matrix producing a [`RunSet`] keyed by
-//!   `(workload, governor)`;
+//!   the [`ScenarioSet`] matrix producing a [`RunSet`] keyed by
+//!   `(workload, governor)`, and the fold-based streaming result pipeline
+//!   ([`RunConsumer`], [`SweepSet::run_parallel_fold`]) that aggregates
+//!   arbitrarily large sweeps in O(workers) result memory;
 //! * the [`experiments`] module — one function per table/figure of the
 //!   paper's evaluation, implemented on top of the scenario API.
 //!
@@ -89,11 +91,13 @@ pub use calibration::{
 pub use governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
 pub use predictor::{
     DemandCondition, DemandPredictor, ImpactModel, Prediction, PredictorThresholds,
+    TriggeredConditions,
 };
 pub use scenario::{
-    auto_duration, platform_fingerprint, sysscale_factory, FnGovernorFactory, GovernorFactory,
-    GovernorRegistry, RunCell, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet,
-    ScenarioSource, SessionPool, SimSession, SweepSet, SweepSharding, TraceSinkFactory,
+    auto_duration, platform_fingerprint, sysscale_factory, CellId, CollectRuns, FnGovernorFactory,
+    GovernorFactory, GovernorRegistry, GroupAcc, GroupFold, RunCell, RunConsumer, RunRecord,
+    RunSet, Scenario, ScenarioBuilder, ScenarioSet, ScenarioSource, SessionPool, SimSession,
+    SweepSet, SweepSharding, TraceSinkFactory,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the

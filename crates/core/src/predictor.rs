@@ -44,6 +44,78 @@ impl DemandCondition {
     ];
 }
 
+/// The set of triggered [`DemandCondition`]s of one prediction — a fixed
+/// inline array, so building a [`Prediction`] never heap-allocates (the
+/// governor runs one prediction per evaluation interval on the simulator's
+/// allocation-free hot path; `tests/integration_perf.rs` pins this).
+///
+/// Conditions are stored in [`DemandCondition::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriggeredConditions {
+    conditions: [Option<DemandCondition>; DemandCondition::ALL.len()],
+    len: usize,
+}
+
+impl TriggeredConditions {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, condition: DemandCondition) {
+        assert!(
+            self.len < self.conditions.len(),
+            "a prediction triggers each of the {} demand conditions at most once",
+            DemandCondition::ALL.len()
+        );
+        self.conditions[self.len] = Some(condition);
+        self.len += 1;
+    }
+
+    /// Number of triggered conditions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no condition triggered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `condition` triggered.
+    #[must_use]
+    pub fn contains(&self, condition: DemandCondition) -> bool {
+        self.iter().any(|c| c == condition)
+    }
+
+    /// The triggered conditions, in [`DemandCondition::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = DemandCondition> + '_ {
+        self.conditions
+            .iter()
+            .take(self.len)
+            .map(|c| c.expect("first `len` slots are filled"))
+    }
+}
+
+impl PartialEq<Vec<DemandCondition>> for TriggeredConditions {
+    fn eq(&self, other: &Vec<DemandCondition>) -> bool {
+        self.len == other.len() && self.iter().zip(other).all(|(a, &b)| a == b)
+    }
+}
+
+impl FromIterator<DemandCondition> for TriggeredConditions {
+    fn from_iter<I: IntoIterator<Item = DemandCondition>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for condition in iter {
+            set.push(condition);
+        }
+        set
+    }
+}
+
 /// Calibrated thresholds for one pair of adjacent operating points.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictorThresholds {
@@ -112,7 +184,7 @@ pub struct Prediction {
     /// `true` if the SoC must run at the higher operating point.
     pub needs_high_performance: bool,
     /// The conditions that triggered (empty when low demand).
-    pub triggered: Vec<DemandCondition>,
+    pub triggered: TriggeredConditions,
     /// Linear estimate of the performance impact of the lower operating
     /// point (fraction, 0.0–1.0).
     pub estimated_impact: f64,
@@ -167,7 +239,7 @@ impl DemandPredictor {
         peak_bandwidth: Bandwidth,
     ) -> Prediction {
         let t = &self.thresholds;
-        let mut triggered = Vec::new();
+        let mut triggered = TriggeredConditions::new();
         if static_demand.ratio(peak_bandwidth) > t.static_bw_fraction {
             triggered.push(DemandCondition::StaticBandwidth);
         }

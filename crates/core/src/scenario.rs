@@ -25,9 +25,16 @@
 //!   points) flattened into one cell list and submitted to the pool as a
 //!   single sharded batch, hash-sharded by platform fingerprint so each
 //!   platform's simulator is built once for the whole sweep;
+//! * [`RunConsumer`] / [`GroupFold`] — streaming result aggregation: a
+//!   consumer folds each finished cell into a per-worker accumulator
+//!   ([`SweepSet::run_parallel_fold`]), merged deterministically in worker
+//!   order, so arbitrarily large sweeps aggregate on the fly in O(workers)
+//!   result memory instead of materializing one record per cell;
 //! * [`RunSet`] / [`RunCell`] — the structured result, keyed by
 //!   `(workload, governor)`, with speedup/power/energy deltas computed
-//!   against a designated baseline governor.
+//!   against a designated baseline governor. Collecting a `RunSet` is just
+//!   the trivial consumer ([`CollectRuns`]); the materializing APIs are
+//!   thin wrappers over the fold core.
 //!
 //! ## Determinism
 //!
@@ -852,17 +859,33 @@ impl ScenarioSet {
     /// error the sequential path would report, though later scenarios may
     /// already have executed on other workers).
     pub fn run_parallel(&self, pool: &mut SessionPool, threads: usize) -> SimResult<RunSet> {
-        let workers = exec::effective_workers(threads, self.scenarios.len());
-        let sessions = pool.workers_mut(workers);
-        let records = exec::map_with_workers(sessions, &self.scenarios, |session, _, scenario| {
-            session.run(scenario)
-        })
-        .into_iter()
-        .collect::<SimResult<Vec<_>>>()?;
-        Ok(RunSet {
-            records,
-            baseline: self.baseline.clone(),
-        })
+        let mut sweep = SweepSet::new();
+        sweep.push_set_ref(self);
+        Ok(sweep
+            .run_parallel_sharded(pool, threads, SweepSharding::RoundRobin)?
+            .pop()
+            .expect("single-member sweep"))
+    }
+
+    /// Executes the set across up to `threads` pool workers, folding every
+    /// finished run into `consumer` instead of materializing a [`RunSet`] —
+    /// the batch spelling of [`SweepSet::run_parallel_fold`] for a single
+    /// matrix, with the same static round-robin shard as
+    /// [`ScenarioSet::run_parallel`]. Result memory is O(workers)
+    /// accumulators no matter how many scenarios the set holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in scenario order.
+    pub fn run_parallel_fold<Q: RunConsumer>(
+        &self,
+        pool: &mut SessionPool,
+        threads: usize,
+        consumer: &Q,
+    ) -> SimResult<Q::Acc> {
+        let mut sweep = SweepSet::new();
+        sweep.push_set_ref(self);
+        sweep.run_parallel_fold_sharded(pool, threads, SweepSharding::RoundRobin, consumer)
     }
 }
 
@@ -973,16 +996,32 @@ pub enum SweepSharding {
     RoundRobin,
     /// Cells are grouped by [`platform_fingerprint`] of their effective
     /// configuration and the groups are spread over the workers by dense
-    /// rank (see [`exec::Shard::ByKey`]): with at least as many platforms as
-    /// workers, each platform's simulator is built by exactly one worker for
-    /// the whole sweep; with fewer platforms than workers, the workers are
-    /// partitioned among the platforms (every worker stays busy, and each
-    /// platform still touches the fewest workers possible). The default.
+    /// rank of the fingerprint value (see [`exec::Shard::ByKey`] — the
+    /// worker that owns a platform is a pure function of the sweep's
+    /// fingerprint set and the worker count, never of member insertion
+    /// order): with at least as many platforms as workers, each platform's
+    /// simulator is built by exactly one worker for the whole sweep; with
+    /// fewer platforms than workers, the workers are partitioned among the
+    /// platforms (every worker stays busy, and each platform still touches
+    /// the fewest workers possible). The default.
     ByPlatform,
+    /// [`SweepSharding::ByPlatform`] with hot-platform splitting
+    /// ([`exec::Shard::SplitHotKeys`]): a platform owning more than
+    /// `⌈cells / threads⌉` cells — whose single worker would otherwise be
+    /// the sweep's critical path — has its cells split across its
+    /// proportional share of the workers (deterministically, into balanced
+    /// *contiguous* occurrence blocks, so adjacent cells such as a
+    /// calibration high/low pair still land on one worker except at block
+    /// boundaries), while platforms at or below the threshold keep full
+    /// `ByPlatform` locality. Costs one extra simulator build per extra
+    /// worker the hot platform touches; use it for skewed sweeps where one
+    /// configuration dominates the cell count.
+    SplitHotKeys,
 }
 
 enum MemberSource<'a> {
     Set(ScenarioSet),
+    SetRef(&'a ScenarioSet),
     Source(&'a dyn ScenarioSource),
 }
 
@@ -990,6 +1029,7 @@ impl MemberSource<'_> {
     fn as_source(&self) -> &dyn ScenarioSource {
         match self {
             MemberSource::Set(set) => set,
+            MemberSource::SetRef(set) => *set,
             MemberSource::Source(source) => *source,
         }
     }
@@ -999,6 +1039,7 @@ impl fmt::Debug for MemberSource<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemberSource::Set(set) => f.debug_tuple("Set").field(&set.len()).finish(),
+            MemberSource::SetRef(set) => f.debug_tuple("SetRef").field(&set.len()).finish(),
             MemberSource::Source(source) => f.debug_tuple("Source").field(&source.len()).finish(),
         }
     }
@@ -1043,6 +1084,14 @@ impl<'a> SweepSet<'a> {
         self
     }
 
+    /// Like [`SweepSet::push_set`], but borrowing the batch instead of
+    /// taking it — cells are indexed in place, no scenarios are cloned.
+    pub fn push_set_ref(&mut self, set: &'a ScenarioSet) -> &mut Self {
+        let baseline = set.baseline.clone();
+        self.members.push((MemberSource::SetRef(set), baseline));
+        self
+    }
+
     /// Adds a lazy scenario stream as the next member, with an optional
     /// baseline governor for the member's [`RunSet`] deltas.
     pub fn push_source(
@@ -1081,10 +1130,16 @@ impl<'a> SweepSet<'a> {
     }
 
     /// Like [`SweepSet::run_parallel`], but with an explicit sharding
-    /// strategy. Useful to measure what platform-keyed sharding buys: both
+    /// strategy. Useful to measure what platform-keyed sharding buys: all
     /// strategies return byte-identical `RunSet`s, but
     /// [`SweepSharding::RoundRobin`] rebuilds shared platforms on every
     /// worker.
+    ///
+    /// This is the trivial-consumer spelling of the fold core: every record
+    /// is collected via [`CollectRuns`] and regrouped into one [`RunSet`]
+    /// per member. Sweeps whose result is an aggregate should use
+    /// [`SweepSet::run_parallel_fold`] instead and never materialize the
+    /// records.
     ///
     /// # Errors
     ///
@@ -1095,6 +1150,63 @@ impl<'a> SweepSet<'a> {
         threads: usize,
         sharding: SweepSharding,
     ) -> SimResult<Vec<RunSet>> {
+        let lens: Vec<usize> = self
+            .members
+            .iter()
+            .map(|(m, _)| m.as_source().len())
+            .collect();
+        let collected = self.run_parallel_fold_sharded(pool, threads, sharding, &CollectRuns)?;
+        let mut records = CollectRuns::into_records(collected).into_iter();
+        Ok(self
+            .members
+            .iter()
+            .zip(&lens)
+            .map(|((_, baseline), &len)| RunSet {
+                records: records.by_ref().take(len).collect(),
+                baseline: baseline.clone(),
+            })
+            .collect())
+    }
+
+    /// Executes the whole sweep as one batch across up to `threads` pool
+    /// workers, folding every finished cell into `consumer` instead of
+    /// materializing records — the default [`SweepSharding::ByPlatform`]
+    /// strategy. See [`RunConsumer`] for the aggregation contract and
+    /// [`SweepSet::run_parallel_fold_sharded`] for an explicit strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in flat cell order.
+    pub fn run_parallel_fold<Q: RunConsumer>(
+        &self,
+        pool: &mut SessionPool,
+        threads: usize,
+        consumer: &Q,
+    ) -> SimResult<Q::Acc> {
+        self.run_parallel_fold_sharded(pool, threads, SweepSharding::ByPlatform, consumer)
+    }
+
+    /// The fold core every sweep execution runs through: each worker folds
+    /// the cells it is assigned — in ascending flat order, each executed on
+    /// a freshly reset simulator with a freshly built governor — into its
+    /// own `consumer` accumulator, and the per-worker accumulators are
+    /// merged deterministically in worker order. Result memory is
+    /// O(workers) accumulators no matter how many cells the sweep has; no
+    /// [`RunRecord`] outlives its [`RunConsumer::fold`] call unless the
+    /// consumer keeps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in flat cell order (the same
+    /// error the sequential path would report, though later cells may
+    /// already have executed — and been folded — on other workers).
+    pub fn run_parallel_fold_sharded<Q: RunConsumer>(
+        &self,
+        pool: &mut SessionPool,
+        threads: usize,
+        sharding: SweepSharding,
+        consumer: &Q,
+    ) -> SimResult<Q::Acc> {
         let lens: Vec<usize> = self
             .members
             .iter()
@@ -1111,7 +1223,7 @@ impl<'a> SweepSet<'a> {
         let total: usize = lens.iter().sum();
         let keys: Vec<u64> = match sharding {
             SweepSharding::RoundRobin => Vec::new(),
-            SweepSharding::ByPlatform => self
+            SweepSharding::ByPlatform | SweepSharding::SplitHotKeys => self
                 .members
                 .iter()
                 .flat_map(|(m, _)| m.as_source().shard_keys())
@@ -1120,6 +1232,7 @@ impl<'a> SweepSet<'a> {
         let shard = match sharding {
             SweepSharding::RoundRobin => exec::Shard::RoundRobin,
             SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
+            SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
         };
 
         // Each worker owns a session plus one lazy cursor per lazy member;
@@ -1136,6 +1249,14 @@ impl<'a> SweepSet<'a> {
             cursors: Vec<Option<Cursor<'s>>>,
         }
 
+        // A worker's fold state: the consumer accumulator plus the
+        // earliest error the worker hit (after which its remaining cells
+        // are skipped — the batch fails anyway).
+        struct FoldState<A> {
+            acc: A,
+            error: Option<(usize, SimError)>,
+        }
+
         let workers = exec::effective_workers(threads, total);
         let mut contexts: Vec<WorkerCtx<'_>> = pool
             .workers_mut(workers)
@@ -1146,44 +1267,327 @@ impl<'a> SweepSet<'a> {
             })
             .collect();
 
-        let results = exec::map_indices_with_workers(&mut contexts, total, shard, |ctx, flat| {
-            let member = offsets.partition_point(|&start| start <= flat) - 1;
-            let local = flat - offsets[member];
-            let source = match &self.members[member].0 {
-                MemberSource::Set(set) => return ctx.session.run(&set.scenarios()[local]),
-                MemberSource::Source(source) => *source,
-            };
-            let cursor = ctx.cursors[member].get_or_insert_with(|| Cursor {
-                iter: source.stream(),
-                next: 0,
-            });
-            debug_assert!(cursor.next <= local, "cursor moved backwards");
-            // Generate-and-drop the cells assigned to other workers.
-            while cursor.next < local {
-                cursor.iter.next();
-                cursor.next += 1;
-            }
-            let scenario = cursor
-                .iter
-                .next()
-                .unwrap_or_else(|| panic!("scenario source shorter than its len() at {local}"));
-            cursor.next += 1;
-            ctx.session.run(&scenario)
-        });
+        let merged = exec::fold_indices_with_workers(
+            &mut contexts,
+            total,
+            shard,
+            || FoldState {
+                acc: consumer.accumulator(),
+                error: None,
+            },
+            |ctx, state: &mut FoldState<Q::Acc>, flat| {
+                if state.error.is_some() {
+                    return;
+                }
+                let member = offsets.partition_point(|&start| start <= flat) - 1;
+                let local = flat - offsets[member];
+                let result = match &self.members[member].0 {
+                    MemberSource::Set(set) => ctx.session.run(&set.scenarios()[local]),
+                    MemberSource::SetRef(set) => ctx.session.run(&set.scenarios()[local]),
+                    MemberSource::Source(source) => {
+                        let cursor = ctx.cursors[member].get_or_insert_with(|| Cursor {
+                            iter: source.stream(),
+                            next: 0,
+                        });
+                        debug_assert!(cursor.next <= local, "cursor moved backwards");
+                        // Generate-and-drop the cells assigned to other workers.
+                        while cursor.next < local {
+                            cursor.iter.next();
+                            cursor.next += 1;
+                        }
+                        let scenario = cursor.iter.next().unwrap_or_else(|| {
+                            panic!("scenario source shorter than its len() at {local}")
+                        });
+                        cursor.next += 1;
+                        ctx.session.run(&scenario)
+                    }
+                };
+                match result {
+                    Ok(record) => consumer.fold(
+                        &mut state.acc,
+                        CellId {
+                            member,
+                            local,
+                            flat,
+                        },
+                        record,
+                    ),
+                    Err(error) => state.error = Some((flat, error)),
+                }
+            },
+            |into, from| {
+                // Each worker's error is its smallest-index one (ascending
+                // visit order), so the minimum across workers is the first
+                // error in flat cell order — what the sequential path
+                // reports.
+                into.error = match (into.error.take(), from.error) {
+                    (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+                    (a, b) => a.or(b),
+                };
+                consumer.merge(&mut into.acc, from.acc);
+            },
+        );
+        match merged.error {
+            Some((_, error)) => Err(error),
+            None => Ok(merged.acc),
+        }
+    }
+}
 
-        let mut records = results
+// ---------------------------------------------------------------------------
+// RunConsumer / GroupFold
+// ---------------------------------------------------------------------------
+
+/// Identifies one cell of a sweep while it is being folded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId {
+    /// Index of the member batch the cell belongs to.
+    pub member: usize,
+    /// Cell index within the member.
+    pub local: usize,
+    /// Flat index across the whole sweep (`member` offsets + `local`).
+    pub flat: usize,
+}
+
+/// Streaming aggregation of sweep results: a consumer folds each finished
+/// cell's [`RunRecord`] into a per-worker accumulator, and the accumulators
+/// are merged deterministically in worker order
+/// ([`SweepSet::run_parallel_fold`]).
+///
+/// ## Contract
+///
+/// * **fold** is called exactly once per cell, with each worker receiving
+///   its cells in ascending flat order. The record is passed by value — a
+///   consumer that drops it (after extracting its aggregate) is what makes
+///   sweep result memory O(workers).
+/// * **merge** combines two accumulators. For the final accumulator to be
+///   bit-identical at every worker count and under every
+///   [`SweepSharding`], the fold/merge pair must be insensitive to how the
+///   cell stream is partitioned across workers: either each accumulator
+///   entry is owned by a fixed cell subset (per-cell or per-group slots, as
+///   [`GroupFold`] provides), or the folded operation is associative *and*
+///   commutative in exact arithmetic. Plain floating-point accumulation is
+///   neither — fold per-cell values into slots and reduce them in a fixed
+///   order instead.
+/// * **accumulator** builds one fresh (empty) accumulator per worker;
+///   merging an untouched accumulator must be a no-op.
+pub trait RunConsumer: Sync {
+    /// The per-worker accumulator type.
+    type Acc: Send;
+
+    /// One fresh, empty accumulator.
+    fn accumulator(&self) -> Self::Acc;
+
+    /// Folds one finished cell into the accumulator.
+    fn fold(&self, acc: &mut Self::Acc, cell: CellId, record: RunRecord);
+
+    /// Merges a later worker's accumulator into an earlier worker's.
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc);
+}
+
+/// The trivial consumer: collects every record, tagged with its flat index.
+/// [`SweepSet::run_parallel_sharded`] (and therefore every materializing
+/// API) is this consumer plus a regroup into member [`RunSet`]s — which is
+/// exactly why those paths hold O(cells) result memory and fold-based
+/// aggregation does not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectRuns;
+
+impl CollectRuns {
+    /// Restores a collected accumulator to flat cell order.
+    #[must_use]
+    pub fn into_records(mut acc: Vec<(usize, RunRecord)>) -> Vec<RunRecord> {
+        acc.sort_unstable_by_key(|(flat, _)| *flat);
+        acc.into_iter().map(|(_, record)| record).collect()
+    }
+}
+
+impl RunConsumer for CollectRuns {
+    type Acc = Vec<(usize, RunRecord)>;
+
+    fn accumulator(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, cell: CellId, record: RunRecord) {
+        acc.push((cell.flat, record));
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        into.extend(from);
+    }
+}
+
+/// A [`RunConsumer`] that reduces fixed-size cell groups into one output
+/// each, as early as possible: `map` assigns every cell a `(group, slot)`
+/// position, and the moment a group's last record arrives — on whichever
+/// worker holds its other records after a merge — `reduce` turns the
+/// group's records (in slot order) into one output value and the records
+/// are dropped.
+///
+/// This is the workhorse consumer of the fold-based experiment paths: a
+/// calibration pair (2 slots) reduces to one [`crate::CalibrationSample`],
+/// an evaluation workload's governor column (4 slots) to one figure row.
+/// Because every output is a pure function of its own group's records, the
+/// assembled output vector (see [`GroupFold::into_outputs`]) is
+/// bit-identical at every worker count — the merge just moves records and
+/// outputs around, it never re-associates arithmetic.
+///
+/// Memory: completed outputs (the result itself, O(groups)) plus records
+/// of groups split across in-flight workers. Under sharding strategies
+/// that keep a group's cells on one worker the pending window stays small;
+/// in the worst case (every group spread over all workers) it degrades
+/// toward the materializing path — but never beyond it.
+pub struct GroupFold<M, R> {
+    groups: usize,
+    slots: usize,
+    map: M,
+    reduce: R,
+}
+
+/// Accumulator of a [`GroupFold`]: completed `(group, output)` pairs plus
+/// the records of groups still missing slots.
+pub struct GroupAcc<T> {
+    done: Vec<(usize, T)>,
+    pending: std::collections::BTreeMap<usize, Vec<Option<RunRecord>>>,
+}
+
+impl<T> fmt::Debug for GroupAcc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupAcc")
+            .field("done", &self.done.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<M, R, T> GroupFold<M, R>
+where
+    M: Fn(CellId) -> (usize, usize) + Sync,
+    R: Fn(usize, Vec<RunRecord>) -> T + Sync,
+    T: Send,
+{
+    /// A consumer over `groups` groups of `slots` cells each. `map` must
+    /// place every cell of the sweep into a distinct `(group, slot)` with
+    /// `group < groups` and `slot < slots`; `reduce` receives a completed
+    /// group's records in slot order.
+    pub fn new(groups: usize, slots: usize, map: M, reduce: R) -> Self {
+        assert!(slots > 0, "groups need at least one slot");
+        Self {
+            groups,
+            slots,
+            map,
+            reduce,
+        }
+    }
+
+    /// Completes a group whose last slot just filled.
+    fn complete(&self, done: &mut Vec<(usize, T)>, group: usize, records: Vec<Option<RunRecord>>) {
+        let records: Vec<RunRecord> = records
             .into_iter()
-            .collect::<SimResult<Vec<RunRecord>>>()?
-            .into_iter();
-        Ok(self
-            .members
-            .iter()
-            .zip(&lens)
-            .map(|((_, baseline), &len)| RunSet {
-                records: records.by_ref().take(len).collect(),
-                baseline: baseline.clone(),
-            })
-            .collect())
+            .map(|r| r.expect("complete group"))
+            .collect();
+        done.push((group, (self.reduce)(group, records)));
+    }
+
+    /// Places one record into a group's slot, reducing the group if that
+    /// filled it.
+    fn place(&self, acc: &mut GroupAcc<T>, group: usize, slot: usize, record: RunRecord) {
+        assert!(
+            group < self.groups && slot < self.slots,
+            "cell mapped outside the {}x{} group space: ({group}, {slot})",
+            self.groups,
+            self.slots
+        );
+        let records = acc
+            .pending
+            .entry(group)
+            .or_insert_with(|| (0..self.slots).map(|_| None).collect());
+        assert!(
+            records[slot].is_none(),
+            "slot ({group}, {slot}) filled twice"
+        );
+        records[slot] = Some(record);
+        if records.iter().all(Option::is_some) {
+            let records = acc.pending.remove(&group).expect("just inserted");
+            self.complete(&mut acc.done, group, records);
+        }
+    }
+
+    /// Dissolves a final accumulator into the per-group outputs, in group
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is incomplete or missing — a contract violation
+    /// of the `map` closure (the sweep's cells did not tile the group
+    /// space), not a runtime condition.
+    #[must_use]
+    pub fn into_outputs(&self, mut acc: GroupAcc<T>) -> Vec<T> {
+        assert!(
+            acc.pending.is_empty(),
+            "{} groups never completed",
+            acc.pending.len()
+        );
+        assert_eq!(acc.done.len(), self.groups, "group space not tiled");
+        acc.done.sort_unstable_by_key(|(group, _)| *group);
+        acc.done.into_iter().map(|(_, output)| output).collect()
+    }
+}
+
+impl<M, R, T> RunConsumer for GroupFold<M, R>
+where
+    M: Fn(CellId) -> (usize, usize) + Sync,
+    R: Fn(usize, Vec<RunRecord>) -> T + Sync,
+    T: Send,
+{
+    type Acc = GroupAcc<T>;
+
+    fn accumulator(&self) -> Self::Acc {
+        GroupAcc {
+            done: Vec::new(),
+            pending: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, cell: CellId, record: RunRecord) {
+        let (group, slot) = (self.map)(cell);
+        self.place(acc, group, slot, record);
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        into.done.extend(from.done);
+        for (group, records) in from.pending {
+            match into.pending.entry(group) {
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    entry.insert(records);
+                }
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    for (slot, record) in records.into_iter().enumerate() {
+                        if let Some(record) = record {
+                            assert!(
+                                entry.get()[slot].is_none(),
+                                "slot ({group}, {slot}) filled twice across workers"
+                            );
+                            entry.get_mut()[slot] = Some(record);
+                        }
+                    }
+                    if entry.get().iter().all(Option::is_some) {
+                        let records = entry.remove();
+                        self.complete(&mut into.done, group, records);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<M, R> fmt::Debug for GroupFold<M, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupFold")
+            .field("groups", &self.groups)
+            .field("slots", &self.slots)
+            .finish_non_exhaustive()
     }
 }
 

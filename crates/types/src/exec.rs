@@ -7,11 +7,14 @@
 //! * **static sharding** — the item→worker assignment is a pure function of
 //!   `(item index, worker count, shard strategy)`. There is no work stealing
 //!   and no shared queue, so every run of the same input is scheduled
-//!   identically. Two strategies exist ([`Shard`]): plain round-robin
-//!   (worker `w` of `n` processes items `w, w + n, w + 2n, …`) and keyed
+//!   identically. Three strategies exist ([`Shard`]): plain round-robin
+//!   (worker `w` of `n` processes items `w, w + n, w + 2n, …`), keyed
 //!   sharding (items sharing a key — e.g. simulation cells on the same
 //!   platform — are grouped onto as few workers as possible while keeping
-//!   every worker busy; see [`Shard::ByKey`]);
+//!   every worker busy; see [`Shard::ByKey`]), and hot-key splitting
+//!   ([`Shard::SplitHotKeys`], keyed sharding that additionally splits any
+//!   key owning more than its fair share of the input across several
+//!   workers, so one dominant key cannot serialize a batch);
 //! * **stable output order** — results are returned indexed by the *input*
 //!   position, never by completion order, so callers observe output that is
 //!   independent of thread interleaving;
@@ -21,7 +24,11 @@
 //! * **index-driven streaming** — [`map_indices_with_workers`] hands workers
 //!   bare indices (always in ascending order per worker) instead of slice
 //!   elements, so callers can pull items from a lazy per-worker generator
-//!   and never materialize the full input.
+//!   and never materialize the full input;
+//! * **streaming folds** — [`fold_indices_with_workers`] lets each worker
+//!   fold its (ascending) index stream into a per-worker accumulator that
+//!   is merged deterministically in worker order, so callers can aggregate
+//!   arbitrarily large batches without materializing one result per item.
 //!
 //! Determinism caveat: the pool guarantees deterministic *scheduling* and
 //! *ordering*. Bit-identical results additionally require that the mapped
@@ -89,9 +96,12 @@ pub enum Shard<'k> {
     /// workers regardless of item content.
     RoundRobin,
     /// Items are grouped by key, with the key *values* irrelevant beyond
-    /// equality: distinct keys are dense-ranked by first appearance (`K`
-    /// distinct keys), so raw hash values can never collide two groups onto
-    /// one worker while another sits idle.
+    /// equality and order: distinct keys are dense-ranked by ascending key
+    /// value (`K` distinct keys), so raw hash values can never collide two
+    /// groups onto one worker while another sits idle, and the
+    /// group→worker mapping is a pure function of the key *multiset* — the
+    /// order keys first appear in (e.g. the insertion order of sweep
+    /// members) cannot change which worker owns a group.
     ///
     /// * `K ≥ workers` — group `g` runs entirely on worker `g % workers`:
     ///   items sharing a key always land on the same worker, so a
@@ -99,60 +109,167 @@ pub enum Shard<'k> {
     ///   platform configuration) is built once per key instead of once per
     ///   `(worker, key)` pair, and the groups spread evenly.
     /// * `K < workers` — the workers are partitioned into `K` contiguous
-    ///   groups and each key's items round-robin *within* their group:
-    ///   every worker stays busy (a single-key batch degrades to plain
-    ///   round-robin, not to one serialized worker) while each key's items
-    ///   still touch the fewest workers possible.
+    ///   ranges and each key's items split into a balanced contiguous
+    ///   partition of its range (block sizes within one of each other, one
+    ///   block per worker): every worker stays busy whenever its key has at
+    ///   least as many items as its range is wide (a single-key batch
+    ///   degrades to an even contiguous partition, not to one serialized
+    ///   worker) while each key's items still touch the fewest workers
+    ///   possible — and *consecutive* items of a key stay on one worker
+    ///   except at the ≤ `workers − 1` block boundaries, so fold consumers
+    ///   that pair up adjacent cells (e.g. a calibration high/low pair)
+    ///   hold O(workers) records in flight, not O(items).
     ByKey(&'k [u64]),
+    /// [`Shard::ByKey`] with hot-key splitting: any key owning more than
+    /// `⌈len / workers⌉` items (its fair share of the input) is split into
+    /// its proportional share of the workers — `⌈count·workers/len⌉`
+    /// subgroups (at least 2), each holding at most the fair-share
+    /// threshold — and the subgroups are spread like independent keys. A
+    /// single dominant key can no longer serialize a batch on one worker
+    /// (a key owning the whole input spreads over *every* worker), while
+    /// keys at or below the threshold keep the full [`Shard::ByKey`]
+    /// locality (one group, fewest workers possible).
+    ///
+    /// The split is deterministic and order-insensitive at the group level:
+    /// subgroup ids derive from the value-sorted dense rank of the key and
+    /// the occurrence index of the item within its key (a balanced
+    /// contiguous partition — occurrence `o` of `count` items split `k`
+    /// ways lands in subgroup `o·k / count`, so subgroup sizes stay within
+    /// one of each other, never exceed the threshold, and adjacent cells
+    /// stay together for pairing fold consumers), and the *set* of workers
+    /// that own a key is again a pure function of the key multiset and the
+    /// worker count.
+    SplitHotKeys(&'k [u64]),
+}
+
+/// Dense-ranks `keys` by ascending key value: returns one rank per item and
+/// the number of distinct keys. Pure function of the key multiset — the
+/// order in which keys first appear is irrelevant.
+fn dense_ranks(keys: &[u64]) -> (Vec<usize>, usize) {
+    let mut sorted: Vec<u64> = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let ranks = keys
+        .iter()
+        .map(|key| sorted.binary_search(key).expect("key present"))
+        .collect();
+    (ranks, sorted.len())
+}
+
+/// Spreads group-labelled items over `workers`: with at least as many
+/// groups as workers, group `g` runs entirely on worker `g % workers`;
+/// with fewer groups, the workers are partitioned into contiguous ranges
+/// (one per group) and each group's occurrences split into a *balanced
+/// contiguous partition* over its range (occurrence `o` of `count` items on
+/// `width` workers lands on slot `o·width / count`) — so consecutive items
+/// of a group stay on one worker except at the `width − 1` boundaries,
+/// block sizes differ by at most one, and every worker of the range
+/// receives items whenever the group has at least `width` of them.
+fn spread_groups(group_of: Vec<usize>, groups: usize, workers: usize) -> Vec<usize> {
+    let groups = groups.max(1);
+    if groups >= workers {
+        return group_of.into_iter().map(|g| g % workers).collect();
+    }
+    let mut counts = vec![0usize; groups];
+    for &g in &group_of {
+        counts[g] += 1;
+    }
+    let mut occurrence = vec![0usize; groups];
+    group_of
+        .into_iter()
+        .map(|g| {
+            let start = g * workers / groups;
+            let width = (g + 1) * workers / groups - start;
+            let slot = occurrence[g] * width / counts[g];
+            occurrence[g] += 1;
+            start + slot
+        })
+        .collect()
 }
 
 impl Shard<'_> {
+    /// The key slice of a keyed strategy (`None` for round-robin).
+    fn keys(&self) -> Option<&[u64]> {
+        match self {
+            Shard::RoundRobin => None,
+            Shard::ByKey(keys) | Shard::SplitHotKeys(keys) => Some(keys),
+        }
+    }
+
+    /// Validates that a keyed strategy's key slice covers `len` items.
+    fn validate(&self, len: usize) {
+        if let Some(keys) = self.keys() {
+            assert!(
+                keys.len() >= len,
+                "shard keys ({}) shorter than the input ({len})",
+                keys.len()
+            );
+        }
+    }
+
     /// Computes the worker index for every item, as a pure function of
-    /// `(len, workers)` and (for keyed sharding) the key slice.
+    /// `(len, workers)` and (for keyed sharding) the key slice — and, for
+    /// the keyed strategies, of the key *multiset* only: permuting the
+    /// items (and their keys) permutes the assignment identically but never
+    /// changes which workers own a key.
     ///
     /// # Panics
     ///
-    /// Panics if `workers` is zero, or (for [`Shard::ByKey`]) if the key
-    /// slice is shorter than `len`.
+    /// Panics if `workers` is zero, or (for the keyed strategies) if the
+    /// key slice is shorter than `len`.
     #[must_use]
     pub fn assignments(&self, len: usize, workers: usize) -> Vec<usize> {
         assert!(workers > 0, "shard requires at least one worker");
+        self.validate(len);
         match self {
             Shard::RoundRobin => (0..len).map(|i| i % workers).collect(),
             Shard::ByKey(keys) => {
-                assert!(
-                    keys.len() >= len,
-                    "shard keys ({}) shorter than the input ({len})",
-                    keys.len()
-                );
-                // Dense-rank the keys by first appearance.
-                let mut rank_of: std::collections::HashMap<u64, usize> =
-                    std::collections::HashMap::new();
-                let ranks: Vec<usize> = keys[..len]
+                let (ranks, distinct) = dense_ranks(&keys[..len]);
+                spread_groups(ranks, distinct, workers)
+            }
+            Shard::SplitHotKeys(keys) => {
+                let (ranks, distinct) = dense_ranks(&keys[..len]);
+                // A key's fair share of the input; owning more makes it hot.
+                let threshold = len.div_ceil(workers).max(1);
+                let mut counts = vec![0usize; distinct];
+                for &rank in &ranks {
+                    counts[rank] += 1;
+                }
+                // Key `rank` owns subgroup ids [base[rank], base[rank] + splits[rank]).
+                // A hot key splits into its *proportional share* of the
+                // workers, `⌈c·workers/len⌉` — at least 2 (it is hot), and
+                // enough subgroups that a single dominant key fills every
+                // worker instead of just `⌈c/threshold⌉` of them; each
+                // subgroup still holds at most `⌈c / k⌉ ≤ threshold` items.
+                let splits: Vec<usize> = counts
                     .iter()
-                    .map(|&key| {
-                        let next = rank_of.len();
-                        *rank_of.entry(key).or_insert(next)
+                    .map(|&c| {
+                        if c > threshold {
+                            (c * workers).div_ceil(len)
+                        } else {
+                            1
+                        }
                     })
                     .collect();
-                let distinct = rank_of.len().max(1);
-                if distinct >= workers {
-                    return ranks.into_iter().map(|rank| rank % workers).collect();
+                let mut base = Vec::with_capacity(distinct);
+                let mut total_groups = 0usize;
+                for &k in &splits {
+                    base.push(total_groups);
+                    total_groups += k;
                 }
-                // Fewer keys than workers: give rank `g` the contiguous
-                // worker range [g·W/K, (g+1)·W/K) and round-robin its items
-                // within it.
                 let mut occurrence = vec![0usize; distinct];
-                ranks
+                let groups: Vec<usize> = ranks
                     .into_iter()
                     .map(|rank| {
-                        let start = rank * workers / distinct;
-                        let width = (rank + 1) * workers / distinct - start;
-                        let slot = occurrence[rank] % width;
+                        let o = occurrence[rank];
                         occurrence[rank] += 1;
-                        start + slot
+                        // Balanced contiguous occurrence blocks (each at
+                        // most `threshold` items, sizes within one):
+                        // adjacent cells stay together.
+                        base[rank] + o * splits[rank] / counts[rank]
                     })
-                    .collect()
+                    .collect();
+                spread_groups(groups, total_groups, workers)
             }
         }
     }
@@ -248,49 +365,129 @@ where
     R: Send,
     F: Fn(&mut C, usize) -> R + Sync,
 {
+    // Mapping is the fold whose accumulator is the `(index, result)` list:
+    // each worker collects its own pairs, the per-worker lists concatenate
+    // in worker order, and one slot pass restores input order.
+    let pairs = fold_indices_with_workers(
+        contexts,
+        len,
+        shard,
+        Vec::new,
+        |ctx, acc: &mut Vec<(usize, R)>, i| acc.push((i, f(ctx, i))),
+        |into, from| into.extend(from),
+    );
+    merge_in_order(len, pairs)
+}
+
+/// The fold-capable core of the pool: runs `fold(ctx, acc, i)` for every
+/// `i ∈ 0..len`, with item `i` assigned to a worker by `shard` and each
+/// worker folding its indices in **ascending order** into its own
+/// accumulator (built by `make_acc`). The per-worker accumulators are then
+/// merged **deterministically in worker order** — `merge(&mut acc₀, acc₁)`,
+/// then `merge(&mut acc₀, acc₂)`, … — and the combined accumulator is
+/// returned.
+///
+/// This is what lets arbitrarily large batches aggregate on the fly: where
+/// [`map_indices_with_workers`] materializes one result per index, a fold
+/// keeps only `contexts.len()` accumulators alive, so result memory is
+/// O(workers) no matter how large `len` grows.
+///
+/// ## Determinism
+///
+/// The schedule (which worker folds which indices, in which order) and the
+/// merge order are pure functions of `(len, contexts.len(), shard)`. For
+/// the *final accumulator* to be identical at every worker count, the
+/// caller's `fold`/`merge` pair must additionally be insensitive to how the
+/// index stream is partitioned — e.g. because the accumulator keeps
+/// per-index slots, or because the folded operation is associative and
+/// commutative in exact arithmetic. Plain floating-point accumulation is
+/// *not* (addition order changes the bits); fold per-index values and
+/// reduce them in a fixed order instead.
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty, if a keyed [`Shard`]'s key slice is
+/// shorter than `len`, or propagates a panic from `fold`.
+pub fn fold_indices_with_workers<C, A, FInit, F, M>(
+    contexts: &mut [C],
+    len: usize,
+    shard: Shard<'_>,
+    make_acc: FInit,
+    fold: F,
+    mut merge: M,
+) -> A
+where
+    C: Send,
+    A: Send,
+    FInit: Fn() -> A + Sync,
+    F: Fn(&mut C, &mut A, usize) + Sync,
+    M: FnMut(&mut A, A),
+{
     assert!(!contexts.is_empty(), "exec requires at least one worker");
     if contexts.len() == 1 || len <= 1 {
         // Validate the keys on the inline path (without computing the full
         // assignment) so misuse surfaces identically at every worker count.
-        if let Shard::ByKey(keys) = shard {
-            assert!(
-                keys.len() >= len,
-                "shard keys ({}) shorter than the input ({len})",
-                keys.len()
-            );
-        }
+        shard.validate(len);
         let ctx = &mut contexts[0];
-        return (0..len).map(|i| f(ctx, i)).collect();
+        let mut acc = make_acc();
+        for i in 0..len {
+            fold(ctx, &mut acc, i);
+        }
+        return acc;
     }
     let threads = contexts.len();
-    // One O(len) pass builds each worker's index list; workers then walk
-    // their own (ascending) list instead of rescanning the whole range.
-    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); threads];
-    for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
-        shards[w].push(i);
-    }
-    merge_in_order(
-        len,
-        std::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = contexts
-                .iter_mut()
-                .zip(shards)
-                .map(|(ctx, indices)| {
-                    scope.spawn(move || {
-                        indices
-                            .into_iter()
-                            .map(|i| (i, f(ctx, i)))
-                            .collect::<Vec<_>>()
-                    })
+    // Round-robin needs no materialized schedule — worker `w` walks the
+    // stepped range `w, w + threads, …` — so a round-robin fold's memory
+    // really is O(workers). For the keyed strategies one O(len) pass builds
+    // each worker's index list; workers then walk their own (ascending)
+    // list instead of rescanning the whole range.
+    let mut shards: Vec<Option<Vec<usize>>> = match shard {
+        Shard::RoundRobin => vec![None; threads],
+        Shard::ByKey(_) | Shard::SplitHotKeys(_) => {
+            let mut lists: Vec<Vec<usize>> = vec![Vec::new(); threads];
+            for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
+                lists[w].push(i);
+            }
+            lists.into_iter().map(Some).collect()
+        }
+    };
+    let accs = std::thread::scope(|scope| {
+        let fold = &fold;
+        let make_acc = &make_acc;
+        let handles: Vec<_> = contexts
+            .iter_mut()
+            .zip(shards.drain(..))
+            .enumerate()
+            .map(|(w, (ctx, indices))| {
+                scope.spawn(move || {
+                    let mut acc = make_acc();
+                    match indices {
+                        None => {
+                            for i in (w..len).step_by(threads) {
+                                fold(ctx, &mut acc, i);
+                            }
+                        }
+                        Some(indices) => {
+                            for i in indices {
+                                fold(ctx, &mut acc, i);
+                            }
+                        }
+                    }
+                    acc
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("exec worker panicked"))
-                .collect::<Vec<_>>()
-        }),
-    )
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exec worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut accs = accs.into_iter();
+    let mut merged = accs.next().expect("at least one worker");
+    for acc in accs {
+        merge(&mut merged, acc);
+    }
+    merged
 }
 
 /// The worker count actually used for an input: at least 1, never more than
@@ -300,14 +497,12 @@ pub fn effective_workers(threads: usize, items: usize) -> usize {
     threads.max(1).min(items.max(1))
 }
 
-/// Merges per-worker `(index, result)` shards back into input order.
-fn merge_in_order<R>(len: usize, shards: Vec<Vec<(usize, R)>>) -> Vec<R> {
+/// Merges concatenated `(index, result)` pairs back into input order.
+fn merge_in_order<R>(len: usize, pairs: Vec<(usize, R)>) -> Vec<R> {
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
-    for shard in shards {
-        for (i, r) in shard {
-            debug_assert!(slots[i].is_none(), "index {i} produced twice");
-            slots[i] = Some(r);
-        }
+    for (i, r) in pairs {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
     }
     slots
         .into_iter()
@@ -407,11 +602,12 @@ mod tests {
 
     #[test]
     fn keyed_sharding_uses_every_worker_for_a_single_key() {
-        // One platform, many workers: the batch must round-robin instead of
-        // serializing on one worker.
+        // One platform, many workers: the batch must spread over every
+        // worker (in contiguous, equal blocks) instead of serializing on
+        // one worker.
         let keys = vec![42u64; 12];
         let assignment = Shard::ByKey(&keys).assignments(12, 4);
-        assert_eq!(assignment, (0..12).map(|i| i % 4).collect::<Vec<_>>());
+        assert_eq!(assignment, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
     }
 
     #[test]
@@ -451,12 +647,13 @@ mod tests {
         assert_eq!(Shard::ByKey(&keys).assignments(4, 3), vec![0, 1, 2, 0]);
         // Single worker: everything lands on worker 0 under any strategy.
         assert_eq!(Shard::ByKey(&keys).assignments(4, 1), vec![0; 4]);
-        // Two keys, five workers: contiguous groups [0, 2) and [2, 5), each
-        // round-robined by its own items.
+        // Two keys, five workers: contiguous worker ranges [0, 2) and
+        // [2, 5), each key's occurrences split into contiguous blocks (key
+        // 5: four occurrences, block 2; key 6: three occurrences, block 1).
         let two = [5u64, 5, 5, 6, 6, 6, 5];
         assert_eq!(
             Shard::ByKey(&two).assignments(7, 5),
-            vec![0, 1, 0, 2, 3, 4, 1]
+            vec![0, 0, 1, 2, 3, 4, 1]
         );
     }
 
@@ -466,6 +663,185 @@ mod tests {
         let keys = [1u64];
         let mut ctx = [(), ()];
         let _ = map_indices_with_workers(&mut ctx, 5, Shard::ByKey(&keys), |_, i| i);
+    }
+
+    /// The set of workers each distinct key's items land on.
+    fn owners_by_key(keys: &[u64], assignment: &[usize]) -> Vec<(u64, Vec<usize>)> {
+        let mut distinct: Vec<u64> = keys.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct
+            .into_iter()
+            .map(|key| {
+                let mut workers: Vec<usize> = keys
+                    .iter()
+                    .zip(assignment)
+                    .filter(|(k, _)| **k == key)
+                    .map(|(_, w)| *w)
+                    .collect();
+                workers.sort_unstable();
+                workers.dedup();
+                (key, workers)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keyed_ranking_is_a_pure_function_of_the_key_multiset() {
+        // Reversing (or otherwise permuting) the items must not change
+        // which worker owns a key: ranking is by key value, not by first
+        // appearance. A first-appearance ranking fails this immediately.
+        let keys: Vec<u64> = (0..24).map(|i| 100 + (i as u64 / 6)).collect();
+        let reversed: Vec<u64> = keys.iter().rev().copied().collect();
+        for workers in [2, 3, 4, 8] {
+            for shard in [Shard::ByKey, Shard::SplitHotKeys] {
+                let forward = owners_by_key(&keys, &shard(&keys).assignments(24, workers));
+                let backward = owners_by_key(&reversed, &shard(&reversed).assignments(24, workers));
+                assert_eq!(forward, backward, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_hot_keys_spreads_a_dominant_key_over_several_workers() {
+        // Key 7 owns 20 of 24 items (>80 %); key 9 owns 4. With as many
+        // keys as workers, ByKey serializes key 7 entirely on one worker —
+        // the critical path the refinement exists to break. SplitHotKeys
+        // must hand key 7 to >= 2 workers while key 9 keeps exactly one.
+        let keys: Vec<u64> = (0..24).map(|i| if i < 20 { 7 } else { 9 }).collect();
+        let by_key = owners_by_key(&keys, &Shard::ByKey(&keys).assignments(24, 2));
+        assert_eq!(by_key[0].1.len(), 1, "{by_key:?}");
+
+        for workers in [2usize, 4] {
+            let split = Shard::SplitHotKeys(&keys).assignments(24, workers);
+            let owners = owners_by_key(&keys, &split);
+            assert!(
+                owners[0].1.len() >= 2,
+                "hot key not split at {workers} workers: {owners:?}"
+            );
+            assert_eq!(
+                owners[1].1.len(),
+                1,
+                "cold key lost locality at {workers} workers: {owners:?}"
+            );
+            // No worker holds more of the hot key than the fair-share
+            // threshold of ceil(24/workers).
+            let threshold = 24usize.div_ceil(workers);
+            for worker in 0..workers {
+                let cells = split
+                    .iter()
+                    .zip(&keys)
+                    .filter(|(w, k)| **w == worker && **k == 7)
+                    .count();
+                assert!(
+                    cells <= threshold,
+                    "worker {worker} holds {cells} hot cells"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_sharding_keeps_every_worker_busy_when_items_cover_the_range() {
+        // Regression: ceil-sized blocks once left workers idle whenever a
+        // key's count did not divide its worker range (9 items on 8 workers
+        // used only 5 of them). The balanced partition must hand every
+        // worker of the range at least one item when count >= width, with
+        // block sizes within one of each other.
+        for (len, workers) in [(9usize, 8usize), (11, 8), (13, 5), (24, 7), (8, 8)] {
+            let keys = vec![77u64; len];
+            for shard in [Shard::ByKey(&keys), Shard::SplitHotKeys(&keys)] {
+                let assignment = shard.assignments(len, workers);
+                let mut loads = vec![0usize; workers];
+                for &w in &assignment {
+                    loads[w] += 1;
+                }
+                assert!(
+                    loads.iter().all(|&l| l > 0),
+                    "{shard:?} idles workers for {len} items on {workers}: {loads:?}"
+                );
+                let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+                assert!(max - min <= 1, "{shard:?} unbalanced: {loads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_hot_keys_matches_by_key_when_no_key_is_hot() {
+        // Four keys of equal share at 4 workers: nothing exceeds the
+        // threshold, so the split strategy degenerates to plain ByKey.
+        let keys: Vec<u64> = (0..16).map(|i| i as u64 / 4).collect();
+        assert_eq!(
+            Shard::SplitHotKeys(&keys).assignments(16, 4),
+            Shard::ByKey(&keys).assignments(16, 4)
+        );
+    }
+
+    #[test]
+    fn fold_merges_worker_accumulators_in_worker_order() {
+        // Accumulate the visited indices: the merged list must be the
+        // concatenation of the worker shards, each ascending, in worker
+        // order — the documented merge contract.
+        let mut ctxs = vec![(); 3];
+        let folded = fold_indices_with_workers(
+            &mut ctxs,
+            10,
+            Shard::RoundRobin,
+            Vec::new,
+            |_, acc: &mut Vec<usize>, i| acc.push(i),
+            |into, from| into.extend(from),
+        );
+        assert_eq!(folded, vec![0, 3, 6, 9, 1, 4, 7, 2, 5, 8]);
+    }
+
+    #[test]
+    fn fold_with_per_index_slots_is_worker_count_invariant() {
+        // A fold whose accumulator keeps per-index slots (the pattern the
+        // scenario-layer consumers use) produces bit-identical output at
+        // every worker count, under every strategy.
+        let len = 37usize;
+        let keys: Vec<u64> = (0..len).map(|i| (i as u64) % 5).collect();
+        let expected: Vec<u64> = (0..len as u64).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8] {
+            for shard in [
+                Shard::RoundRobin,
+                Shard::ByKey(&keys),
+                Shard::SplitHotKeys(&keys),
+            ] {
+                let mut ctxs = vec![(); workers];
+                let folded = fold_indices_with_workers(
+                    &mut ctxs,
+                    len,
+                    shard,
+                    || vec![0u64; len],
+                    |_, slots: &mut Vec<u64>, i| slots[i] = (i as u64) * (i as u64),
+                    |into, from| {
+                        for (slot, value) in into.iter_mut().zip(from) {
+                            *slot += value;
+                        }
+                    },
+                );
+                assert_eq!(folded, expected, "workers={workers} {shard:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_runs_inline_with_one_worker() {
+        let mut ctxs = vec![0u64];
+        let sum = fold_indices_with_workers(
+            &mut ctxs,
+            5,
+            Shard::RoundRobin,
+            || 0u64,
+            |ctx, acc, i| {
+                *ctx += 1;
+                *acc += i as u64;
+            },
+            |_, _| panic!("no merge with one worker"),
+        );
+        assert_eq!(sum, 10);
+        assert_eq!(ctxs[0], 5, "inline path visits every index");
     }
 
     #[test]

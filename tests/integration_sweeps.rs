@@ -1,13 +1,25 @@
-//! Differential harness for the sharded sweep executor.
+//! Differential harness for the sharded sweep executor and the fold-based
+//! streaming result pipeline.
 //!
-//! Pins the PR-level invariants of `SweepSet` and the generator-backed
-//! scenario streams:
+//! Pins the PR-level invariants of `SweepSet`, the generator-backed
+//! scenario streams, and the `RunConsumer` fold paths:
 //!
 //! * `fig10` and `dram_sensitivity` produce **byte-identical** output
 //!   between the old one-matrix-per-point path and the new single sharded
 //!   sweep, at 1, 2, 4, and 8 workers;
+//! * every fold-based aggregate — population calibration samples, `fig10`
+//!   TDP summaries, the Fig. 6 predictor panels, and the Figs. 7/8/9
+//!   evaluation figures — is **bit-identical** to the materialized-`RunSet`
+//!   aggregation it replaced, at the same worker counts;
 //! * hash-sharding by platform fingerprint strictly reduces simulator
-//!   rebuilds versus round-robin on a two-platform sweep;
+//!   rebuilds versus round-robin on a two-platform sweep, and
+//!   `SweepSharding::SplitHotKeys` spreads a dominant platform (>80 % of
+//!   cells) over several workers while still beating round-robin's rebuild
+//!   count;
+//! * the keyed assignment's platform→worker ownership is a pure function
+//!   of the fingerprint multiset and the worker count — permuting member
+//!   insertion order (or the cells themselves) never changes which workers
+//!   own a platform;
 //! * a generator-backed `ScenarioSource` yields the same population, in the
 //!   same order, as the materialized `Vec` path (10 000 sampled seeds);
 //! * streamed calibration samples equal the materialized batch exactly;
@@ -18,11 +30,14 @@
 //! worker counts below, so the differential holds under both env-driven and
 //! pinned thread counts.
 
-use sysscale::experiments::{evaluation, motivation, sensitivity};
+use sysscale::experiments::predictor_study::PredictorStudyConfig;
+use sysscale::experiments::{evaluation, motivation, predictor_study, sensitivity};
 use sysscale::{
-    measure_population, measure_population_from, CalibrationConfig, DemandPredictor, Scenario,
-    ScenarioSet, SessionPool, SimSession, SocConfig, SweepSet, SweepSharding,
+    calibration_source, measure_population, measure_population_from, samples_from_runs,
+    CalibrationConfig, DemandPredictor, Scenario, ScenarioSet, ScenarioSource, SessionPool,
+    SimSession, SocConfig, SweepSet, SweepSharding,
 };
+use sysscale_types::exec::Shard;
 use sysscale_types::rng::SplitMix64;
 use sysscale_types::{Power, SimTime};
 use sysscale_workloads::{
@@ -206,6 +221,274 @@ fn streamed_calibration_samples_equal_the_materialized_batch() {
                 .unwrap();
         assert_eq!(streamed, reference, "threads={threads}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fold-based streaming result pipeline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fold_calibration_samples_are_bit_identical_to_materialized_aggregation() {
+    // Reference: the materialized pipeline — collect the full RunSet, then
+    // aggregate with samples_from_runs. Fold: measure_population_from,
+    // which reduces each high/low pair the moment both halves have run and
+    // never materializes a record.
+    let config = SocConfig::skylake_default();
+    let cal = CalibrationConfig {
+        degradation_bound: 0.01,
+        sim_duration: SimTime::from_millis(40.0),
+    };
+    let population = PopulationSource::with_seed(0xF01D, 8);
+
+    let source = calibration_source(&config, &population, &cal).unwrap();
+    let mut sweep = SweepSet::new();
+    sweep.push_source(&source, None);
+    let runs = sweep
+        .run_parallel(&mut SessionPool::new(), 1)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let reference = samples_from_runs(&config, &population, &cal, &runs);
+    assert_eq!(reference.len(), 8);
+
+    for threads in THREAD_COUNTS {
+        let folded =
+            measure_population_from(&mut SessionPool::new(), &config, &population, &cal, threads)
+                .unwrap();
+        assert_eq!(folded, reference, "threads={threads}");
+        // Bit-identical includes the Debug rendering (downstream snapshots).
+        assert_eq!(format!("{folded:?}"), format!("{reference:?}"));
+    }
+}
+
+#[test]
+fn fold_fig10_summaries_are_bit_identical_to_the_materialized_path() {
+    let predictor = DemandPredictor::skylake_default();
+    let tdps = [3.5, 15.0];
+    let reference = sensitivity::fig10_in(&mut SessionPool::new(), 1, &predictor, &tdps).unwrap();
+
+    for threads in THREAD_COUNTS {
+        let folded =
+            sensitivity::fig10_fold_in(&mut SessionPool::new(), threads, &predictor, &tdps)
+                .unwrap();
+        assert_eq!(
+            folded, reference,
+            "fig10 fold diverged from the materialized path at {threads} workers"
+        );
+        assert_eq!(format!("{folded:?}"), format!("{reference:?}"));
+    }
+}
+
+#[test]
+fn fold_fig6_panels_are_bit_identical_to_the_collected_reference() {
+    let study = PredictorStudyConfig {
+        workloads_per_panel: 8,
+        calibration: CalibrationConfig {
+            degradation_bound: 0.02,
+            sim_duration: SimTime::from_millis(30.0),
+        },
+        ..PredictorStudyConfig::default()
+    };
+    let base = SocConfig::skylake_default();
+    let reference =
+        predictor_study::fig6_collected_in(&mut SessionPool::new(), 1, &base, &study).unwrap();
+    assert_eq!(reference.len(), 9);
+
+    for threads in THREAD_COUNTS {
+        let folded =
+            predictor_study::fig6_in(&mut SessionPool::new(), threads, &base, &study).unwrap();
+        assert_eq!(
+            folded, reference,
+            "fig6 fold panels diverged at {threads} workers"
+        );
+        assert_eq!(format!("{folded:?}"), format!("{reference:?}"));
+    }
+}
+
+#[test]
+fn fold_evaluation_figures_are_bit_identical_to_the_materialized_figures() {
+    let config = SocConfig::skylake_default();
+    let predictor = DemandPredictor::skylake_default();
+    let reference = evaluation::evaluation_figures(&config, &predictor).unwrap();
+
+    for threads in [1, 8] {
+        let folded = evaluation::evaluation_figures_fold_in(
+            &mut SessionPool::new(),
+            threads,
+            &config,
+            &predictor,
+        )
+        .unwrap();
+        assert_eq!(
+            folded, reference,
+            "evaluation fold figures diverged at {threads} workers"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: ownership purity and hot-platform splitting
+// ---------------------------------------------------------------------------
+
+/// Both keyed strategies over one key slice.
+fn keyed_strategies(keys: &[u64]) -> [Shard<'_>; 2] {
+    [Shard::ByKey(keys), Shard::SplitHotKeys(keys)]
+}
+
+/// The sorted worker set each distinct key's items land on.
+fn owners_by_key(keys: &[u64], assignment: &[usize]) -> Vec<(u64, Vec<usize>)> {
+    let mut distinct: Vec<u64> = keys.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct
+        .into_iter()
+        .map(|key| {
+            let mut workers: Vec<usize> = keys
+                .iter()
+                .zip(assignment)
+                .filter(|(k, _)| **k == key)
+                .map(|(_, w)| *w)
+                .collect();
+            workers.sort_unstable();
+            workers.dedup();
+            (key, workers)
+        })
+        .collect()
+}
+
+#[test]
+fn keyed_worker_ownership_is_a_pure_function_of_fingerprints_and_threads() {
+    // Property test over random key multisets: permuting the cells (and
+    // with them, the order keys first appear in) must not change which
+    // workers own a key — dense ranking is by key value, so the assignment
+    // is a pure function of (fingerprint multiset, threads). A
+    // first-appearance ranking fails this on the first reversed input.
+    let mut rng = SplitMix64::new(0x0BDE7_0BDE7);
+    for round in 0..500u32 {
+        let len = 2 + (rng.next_u64() % 48) as usize;
+        let distinct = 1 + rng.next_u64() % 6;
+        let keys: Vec<u64> = (0..len)
+            .map(|_| (rng.next_u64() % distinct).wrapping_mul(0x9E37_79B9_97F4_A7C1))
+            .collect();
+        let workers = 1 + (rng.next_u64() % 8) as usize;
+        let mut permuted = keys.clone();
+        permuted.rotate_left((rng.next_u64() as usize) % len);
+        permuted.reverse();
+
+        for (original_shard, permuted_shard) in keyed_strategies(&keys)
+            .into_iter()
+            .zip(keyed_strategies(&permuted))
+        {
+            let original = owners_by_key(&keys, &original_shard.assignments(len, workers));
+            let shuffled = owners_by_key(&permuted, &permuted_shard.assignments(len, workers));
+            assert_eq!(
+                original, shuffled,
+                "round {round}: {original_shard:?} ownership changed under permutation \
+                 (len={len}, workers={workers})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_member_insertion_order_does_not_change_platform_ownership() {
+    // The sweep-level spelling of the purity property: two SweepSets whose
+    // members arrive in opposite order must schedule every platform onto
+    // the same workers, because dense ranking is by fingerprint value, not
+    // first appearance.
+    let workloads = vec![
+        spec_workload("gamess").unwrap(),
+        spec_workload("lbm").unwrap(),
+        spec_workload("astar").unwrap(),
+    ];
+    let config_a = SocConfig::skylake_default();
+    let config_b = SocConfig::skylake_m_6y75(Power::from_watts(9.0));
+    let make = |config: &SocConfig| {
+        ScenarioSet::matrix(config, &workloads, &["baseline", "md-dvfs"]).unwrap()
+    };
+
+    let keys_of = |configs: [&SocConfig; 2]| -> Vec<u64> {
+        configs
+            .iter()
+            .flat_map(|config| make(config).shard_keys())
+            .collect()
+    };
+    let forward = keys_of([&config_a, &config_b]);
+    let backward = keys_of([&config_b, &config_a]);
+
+    for workers in [2usize, 3, 8] {
+        for (forward_shard, backward_shard) in keyed_strategies(&forward)
+            .into_iter()
+            .zip(keyed_strategies(&backward))
+        {
+            let fwd = owners_by_key(&forward, &forward_shard.assignments(forward.len(), workers));
+            let bwd = owners_by_key(
+                &backward,
+                &backward_shard.assignments(backward.len(), workers),
+            );
+            assert_eq!(fwd, bwd, "workers={workers} {forward_shard:?}");
+        }
+    }
+}
+
+#[test]
+fn split_hot_keys_spreads_a_dominant_platform_and_still_beats_round_robin() {
+    // Platform A owns 20 of 24 cells (>80 %): under ByPlatform its single
+    // worker is the sweep's critical path. SplitHotKeys must spread A over
+    // both workers (one extra simulator build) while still rebuilding less
+    // than round-robin — and all three strategies stay byte-identical.
+    let config_a = SocConfig::skylake_default();
+    let config_b = SocConfig::skylake_m_6y75(Power::from_watts(9.0));
+    let hot_workloads: Vec<_> = ["gamess", "lbm", "astar", "milc", "namd"]
+        .iter()
+        .map(|n| spec_workload(n).unwrap())
+        .collect();
+    let cold_workloads = vec![
+        spec_workload("gamess").unwrap(),
+        spec_workload("lbm").unwrap(),
+    ];
+    let mut sweep = SweepSet::new();
+    // 5 workloads x {baseline, md-dvfs, sysscale, sysscale-no-redist} on A
+    // = 20 cells (all four governors share the full platform).
+    sweep.push_set(
+        ScenarioSet::matrix(
+            &config_a,
+            &hot_workloads,
+            &["baseline", "md-dvfs", "sysscale", "sysscale-no-redist"],
+        )
+        .unwrap(),
+    );
+    // 2 workloads x {baseline, md-dvfs} on B = 4 cells.
+    sweep.push_set(
+        ScenarioSet::matrix(&config_b, &cold_workloads, &["baseline", "md-dvfs"]).unwrap(),
+    );
+    assert_eq!(sweep.cells(), 24);
+
+    let mut rr_pool = SessionPool::new();
+    let rr = sweep
+        .run_parallel_sharded(&mut rr_pool, 2, SweepSharding::RoundRobin)
+        .unwrap();
+    let mut keyed_pool = SessionPool::new();
+    let keyed = sweep
+        .run_parallel_sharded(&mut keyed_pool, 2, SweepSharding::ByPlatform)
+        .unwrap();
+    let mut split_pool = SessionPool::new();
+    let split = sweep
+        .run_parallel_sharded(&mut split_pool, 2, SweepSharding::SplitHotKeys)
+        .unwrap();
+
+    assert_eq!(rr, keyed);
+    assert_eq!(rr, split);
+
+    // Round-robin: both platforms on both workers (4 builds). ByPlatform:
+    // one worker per platform (2 builds). SplitHotKeys: the hot platform on
+    // both workers, the cold one on one (3 builds) — the hot platform is
+    // demonstrably assigned to >= 2 workers, and the rebuild-reduction
+    // assertion versus round-robin still holds.
+    assert_eq!(rr_pool.cached_platforms(), 4);
+    assert_eq!(keyed_pool.cached_platforms(), 2);
+    assert_eq!(split_pool.cached_platforms(), 3);
+    assert!(split_pool.cached_platforms() < rr_pool.cached_platforms());
 }
 
 #[test]
