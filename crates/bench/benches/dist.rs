@@ -1,0 +1,103 @@
+//! Benchmark of the multi-process distributed sweep executor: the Fig. 10
+//! TDP sweep run through `sysscale_dist::run_distributed` (dispatcher +
+//! worker OS processes + framed pipe protocol) versus the in-process
+//! `SweepSet::run_parallel` reference on the identical recipe — asserting
+//! the results are byte-identical before timing anything.
+//!
+//! Emits one machine-readable `{"kind":"dist_perf",…}` JSON line per mode
+//! (`"in_process"`, then `"procs<N>"` per measured process count) and
+//! appends them to the `SYSSCALE_BENCH_HISTORY` JSONL file when that
+//! variable is set (tagged via `SYSSCALE_BENCH_TAG`).
+//!
+//! The distributed timings deliberately *include* worker spawn, recipe
+//! shipping, and result streaming — the wire overhead is the thing this
+//! bench exists to track.
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench dist            # full fig10 sweep
+//! cargo bench -p sysscale-bench --bench dist -- --short # CI smoke
+//! ```
+//!
+//! The worker binary must exist next to the bench profile's output: run
+//! `cargo build --release -p sysscale-dist` first (CI's dist-smoke job
+//! does), or point `SYSSCALE_DIST_WORKER` at a built worker.
+
+use std::time::Instant;
+
+use sysscale::{SessionPool, SweepSharding};
+use sysscale_bench::timing::DistPerf;
+use sysscale_dist::{run_distributed, sweep_from_sets, DistOptions, SweepRecipe};
+use sysscale_types::exec;
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let tdps: &[f64] = if short {
+        &[3.5, 15.0]
+    } else {
+        &[3.5, 4.5, 7.0, 15.0]
+    };
+    let recipe = SweepRecipe::fig10(tdps);
+    assert_eq!(recipe.sharding, SweepSharding::ByPlatform);
+    let cells = recipe.total_cells();
+    let label = if short { "fig10_smoke" } else { "fig10_full" };
+
+    // In-process reference: same recipe, warm pool, default threads.
+    let sets = recipe.build().expect("fig10 recipe builds");
+    let sweep = sweep_from_sets(&sets);
+    let threads = exec::default_threads();
+    let mut pool = SessionPool::new();
+    let _ = sweep
+        .run_parallel(&mut pool, threads)
+        .expect("in-process warm-up");
+    let start = Instant::now();
+    let reference = sweep
+        .run_parallel(&mut pool, threads)
+        .expect("in-process sweep");
+    let in_process = DistPerf {
+        cells,
+        procs: 1,
+        wall: start.elapsed(),
+        result_frames: 0,
+        reissued_leases: 0,
+    };
+    in_process.emit("dist", label, "in_process");
+
+    // Distributed runs: 1 process, plus the resolved default when distinct.
+    let default_procs = exec::default_procs();
+    let mut proc_counts = vec![1];
+    if default_procs > 1 {
+        proc_counts.push(default_procs);
+    }
+    for procs in proc_counts {
+        let options = DistOptions {
+            procs: Some(procs),
+            ..DistOptions::default()
+        };
+        let start = Instant::now();
+        let (run_sets, stats) = run_distributed(&recipe, &options).expect("distributed sweep");
+        let wall = start.elapsed();
+        assert_eq!(
+            run_sets, reference,
+            "distributed fig10 at {procs} proc(s) must be byte-identical to in-process"
+        );
+        assert_eq!(stats.reissued_leases, 0, "healthy run, no worker deaths");
+        let perf = DistPerf {
+            cells,
+            procs,
+            wall,
+            result_frames: stats.result_frames,
+            reissued_leases: stats.reissued_leases,
+        };
+        perf.emit("dist", label, &format!("procs{procs}"));
+        assert!(perf.cells_per_sec() > 0.0);
+        println!(
+            "dist/{label}: {:.0} cells/sec over {} process(es) vs {:.0} cells/sec in-process \
+             ({} cells, {} result frames)",
+            perf.cells_per_sec(),
+            procs,
+            in_process.cells_per_sec(),
+            cells,
+            stats.result_frames,
+        );
+    }
+}

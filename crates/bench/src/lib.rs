@@ -580,6 +580,64 @@ pub mod timing {
         }
     }
 
+    /// Wall-clock measurement of one *distributed* sweep execution
+    /// (dispatcher + worker OS processes), emitted as a machine-readable
+    /// JSON line (`"kind":"dist_perf"`). Where [`FoldPerf`] tracks the
+    /// in-process fold, this tracks the cross-process executor: throughput
+    /// *including* process spawn and wire-protocol overhead, plus the
+    /// protocol traffic that produced it. The `dist` bench emits one record
+    /// per mode (`"in_process"` reference vs `"procs<N>"`) so the
+    /// distribution overhead lands in the same history file.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct DistPerf {
+        /// Total scenario cells across the sweep.
+        pub cells: usize,
+        /// Worker process count (1 for the in-process reference).
+        pub procs: usize,
+        /// Wall-clock time of the execution, including worker spawn,
+        /// recipe shipping, and result streaming.
+        pub wall: Duration,
+        /// Result frames received over the wire (0 for the in-process
+        /// reference).
+        pub result_frames: u64,
+        /// Leases re-issued after worker deaths (0 in a healthy run).
+        pub reissued_leases: usize,
+    }
+
+    impl DistPerf {
+        /// Cells executed per wall-clock second.
+        #[must_use]
+        pub fn cells_per_sec(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.cells as f64 / secs
+            } else {
+                0.0
+            }
+        }
+
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"dist_perf","bench":…,"sweep":…,"mode":…,"cells":…,
+        /// "procs":…,"wall_clock_ms":…,"cells_per_sec":…,"result_frames":…,
+        /// "reissued_leases":…}` — and appends it to the [`HISTORY_ENV`]
+        /// file when configured.
+        pub fn emit(&self, bench: &str, sweep: &str, mode: &str) {
+            let line = format!(
+                "{{\"kind\":\"dist_perf\",\"bench\":\"{bench}\",\"sweep\":\"{sweep}\",\
+                 \"mode\":\"{mode}\",\"cells\":{},\"procs\":{},\"wall_clock_ms\":{:.3},\
+                 \"cells_per_sec\":{:.3},\"result_frames\":{},\"reissued_leases\":{}}}",
+                self.cells,
+                self.procs,
+                self.wall.as_secs_f64() * 1e3,
+                self.cells_per_sec(),
+                self.result_frames,
+                self.reissued_leases,
+            );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
     /// Result of one measurement.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Measurement {

@@ -796,6 +796,13 @@ impl ScenarioSet {
         self
     }
 
+    /// The designated baseline governor, if any (see
+    /// [`ScenarioSet::with_baseline`]).
+    #[must_use]
+    pub fn baseline(&self) -> Option<&str> {
+        self.baseline.as_deref()
+    }
+
     /// The scenarios in the set.
     #[must_use]
     pub fn scenarios(&self) -> &[Scenario] {
@@ -1045,6 +1052,37 @@ impl fmt::Debug for MemberSource<'_> {
     }
 }
 
+/// One worker's forward pass over a lazy member's stream: the executor
+/// visits each worker's cells in ascending flat order, so the cursor only
+/// ever advances and at most one generated scenario per worker is live at a
+/// time.
+struct MemberCursor<'s> {
+    iter: Box<dyn Iterator<Item = Scenario> + Send + 's>,
+    next: usize,
+}
+
+/// One pool worker's execution context for a sweep batch: its session plus
+/// one lazy cursor slot per member (materialized members are indexed
+/// directly — no clones, no cursor). `'p` borrows the session from the
+/// pool; `'s` borrows the member streams from the sweep.
+struct SweepWorker<'p, 's> {
+    session: &'p mut SimSession,
+    cursors: Vec<Option<MemberCursor<'s>>>,
+}
+
+/// An error produced by one specific sweep cell: the failing flat index
+/// alongside the simulator error. [`SweepSet::run_flat_indices`] reports
+/// errors in this form so callers that execute disjoint index subsets (e.g.
+/// the distributed dispatcher's leases) can still order failures in flat
+/// cell order across subsets.
+#[derive(Debug)]
+pub struct CellError {
+    /// Flat index of the failing cell.
+    pub flat: usize,
+    /// The simulator error the cell produced.
+    pub error: SimError,
+}
+
 /// A whole sweep — several scenario batches (one per configuration point of
 /// a study such as Fig. 10's TDP sweep) — flattened into **one** cell list
 /// and submitted to the [`SessionPool`] as a single sharded batch.
@@ -1207,20 +1245,7 @@ impl<'a> SweepSet<'a> {
         sharding: SweepSharding,
         consumer: &Q,
     ) -> SimResult<Q::Acc> {
-        let lens: Vec<usize> = self
-            .members
-            .iter()
-            .map(|(m, _)| m.as_source().len())
-            .collect();
-        let offsets: Vec<usize> = lens
-            .iter()
-            .scan(0usize, |acc, len| {
-                let start = *acc;
-                *acc += len;
-                Some(start)
-            })
-            .collect();
-        let total: usize = lens.iter().sum();
+        let (offsets, total) = self.member_offsets();
         let keys: Vec<u64> = match sharding {
             SweepSharding::RoundRobin => Vec::new(),
             SweepSharding::ByPlatform | SweepSharding::SplitHotKeys => self
@@ -1235,20 +1260,6 @@ impl<'a> SweepSet<'a> {
             SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
         };
 
-        // Each worker owns a session plus one lazy cursor per lazy member;
-        // the executor visits a worker's cells in ascending flat order, so
-        // each cursor is a single forward pass over its member's stream and
-        // at most one generated scenario per worker is live at a time.
-        // Materialized members are indexed directly — no clones, no cursor.
-        struct Cursor<'s> {
-            iter: Box<dyn Iterator<Item = Scenario> + Send + 's>,
-            next: usize,
-        }
-        struct WorkerCtx<'s> {
-            session: &'s mut SimSession,
-            cursors: Vec<Option<Cursor<'s>>>,
-        }
-
         // A worker's fold state: the consumer accumulator plus the
         // earliest error the worker hit (after which its remaining cells
         // are skipped — the batch fails anyway).
@@ -1258,14 +1269,7 @@ impl<'a> SweepSet<'a> {
         }
 
         let workers = exec::effective_workers(threads, total);
-        let mut contexts: Vec<WorkerCtx<'_>> = pool
-            .workers_mut(workers)
-            .iter_mut()
-            .map(|session| WorkerCtx {
-                session,
-                cursors: self.members.iter().map(|_| None).collect(),
-            })
-            .collect();
+        let mut contexts = self.sweep_workers(pool, workers);
 
         let merged = exec::fold_indices_with_workers(
             &mut contexts,
@@ -1279,39 +1283,9 @@ impl<'a> SweepSet<'a> {
                 if state.error.is_some() {
                     return;
                 }
-                let member = offsets.partition_point(|&start| start <= flat) - 1;
-                let local = flat - offsets[member];
-                let result = match &self.members[member].0 {
-                    MemberSource::Set(set) => ctx.session.run(&set.scenarios()[local]),
-                    MemberSource::SetRef(set) => ctx.session.run(&set.scenarios()[local]),
-                    MemberSource::Source(source) => {
-                        let cursor = ctx.cursors[member].get_or_insert_with(|| Cursor {
-                            iter: source.stream(),
-                            next: 0,
-                        });
-                        debug_assert!(cursor.next <= local, "cursor moved backwards");
-                        // Generate-and-drop the cells assigned to other workers.
-                        while cursor.next < local {
-                            cursor.iter.next();
-                            cursor.next += 1;
-                        }
-                        let scenario = cursor.iter.next().unwrap_or_else(|| {
-                            panic!("scenario source shorter than its len() at {local}")
-                        });
-                        cursor.next += 1;
-                        ctx.session.run(&scenario)
-                    }
-                };
+                let (cell, result) = self.run_cell(ctx, &offsets, flat);
                 match result {
-                    Ok(record) => consumer.fold(
-                        &mut state.acc,
-                        CellId {
-                            member,
-                            local,
-                            flat,
-                        },
-                        record,
-                    ),
+                    Ok(record) => consumer.fold(&mut state.acc, cell, record),
                     Err(error) => state.error = Some((flat, error)),
                 }
             },
@@ -1331,6 +1305,156 @@ impl<'a> SweepSet<'a> {
             Some((_, error)) => Err(error),
             None => Ok(merged.acc),
         }
+    }
+
+    /// Executes an explicit subset of the sweep's flat cells — `flats`, in
+    /// strictly ascending order — and returns the `(flat, record)` pairs
+    /// sorted by flat index. Cells are spread over up to `threads` pool
+    /// workers (static round-robin over the subset positions, so each
+    /// worker still visits its cells in ascending flat order and lazy
+    /// member streams stay single forward passes).
+    ///
+    /// This is the worker half of the distributed executor: a lease names a
+    /// flat-index subset, the worker runs exactly those cells, and —
+    /// because every cell executes on a freshly reset simulator with a
+    /// freshly built governor — each returned record is **bit-identical**
+    /// to the record the full in-process batch produces for that flat
+    /// index, no matter how the sweep is partitioned into subsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell in flat order as a [`CellError`]
+    /// (later cells of the subset may already have executed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flats` is not strictly ascending or indexes past the
+    /// sweep's cell count.
+    pub fn run_flat_indices(
+        &self,
+        pool: &mut SessionPool,
+        threads: usize,
+        flats: &[usize],
+    ) -> Result<Vec<(usize, RunRecord)>, CellError> {
+        let (offsets, total) = self.member_offsets();
+        assert!(
+            flats.windows(2).all(|w| w[0] < w[1]),
+            "flat indices must be strictly ascending"
+        );
+        if let Some(&last) = flats.last() {
+            assert!(last < total, "flat index {last} out of range ({total})");
+        }
+        struct SubsetState {
+            pairs: Vec<(usize, RunRecord)>,
+            error: Option<CellError>,
+        }
+        let workers = exec::effective_workers(threads, flats.len());
+        let mut contexts = self.sweep_workers(pool, workers);
+        let merged = exec::fold_indices_with_workers(
+            &mut contexts,
+            flats.len(),
+            exec::Shard::RoundRobin,
+            || SubsetState {
+                pairs: Vec::new(),
+                error: None,
+            },
+            |ctx, state: &mut SubsetState, position| {
+                if state.error.is_some() {
+                    return;
+                }
+                let flat = flats[position];
+                let (_, result) = self.run_cell(ctx, &offsets, flat);
+                match result {
+                    Ok(record) => state.pairs.push((flat, record)),
+                    Err(error) => state.error = Some(CellError { flat, error }),
+                }
+            },
+            |into, from| {
+                into.error = match (into.error.take(), from.error) {
+                    (Some(a), Some(b)) => Some(if b.flat < a.flat { b } else { a }),
+                    (a, b) => a.or(b),
+                };
+                into.pairs.extend(from.pairs);
+            },
+        );
+        match merged.error {
+            Some(error) => Err(error),
+            None => {
+                let mut pairs = merged.pairs;
+                pairs.sort_unstable_by_key(|(flat, _)| *flat);
+                Ok(pairs)
+            }
+        }
+    }
+
+    /// Member start offsets (by flat index) and the total cell count.
+    fn member_offsets(&self) -> (Vec<usize>, usize) {
+        let mut offsets = Vec::with_capacity(self.members.len());
+        let mut total = 0usize;
+        for (member, _) in &self.members {
+            offsets.push(total);
+            total += member.as_source().len();
+        }
+        (offsets, total)
+    }
+
+    /// Builds one [`SweepWorker`] per pool session for a batch of `workers`.
+    fn sweep_workers<'p, 's>(
+        &'s self,
+        pool: &'p mut SessionPool,
+        workers: usize,
+    ) -> Vec<SweepWorker<'p, 's>> {
+        pool.workers_mut(workers)
+            .iter_mut()
+            .map(|session| SweepWorker {
+                session,
+                cursors: self.members.iter().map(|_| None).collect(),
+            })
+            .collect()
+    }
+
+    /// Executes one flat cell on a worker context: resolves the owning
+    /// member, produces the scenario (indexing materialized members in
+    /// place, advancing the worker's forward-pass cursor for lazy members)
+    /// and runs it on the worker's session.
+    fn run_cell<'s>(
+        &'s self,
+        ctx: &mut SweepWorker<'_, 's>,
+        offsets: &[usize],
+        flat: usize,
+    ) -> (CellId, SimResult<RunRecord>) {
+        let member = offsets.partition_point(|&start| start <= flat) - 1;
+        let local = flat - offsets[member];
+        let result = match &self.members[member].0 {
+            MemberSource::Set(set) => ctx.session.run(&set.scenarios()[local]),
+            MemberSource::SetRef(set) => ctx.session.run(&set.scenarios()[local]),
+            MemberSource::Source(source) => {
+                let cursor = ctx.cursors[member].get_or_insert_with(|| MemberCursor {
+                    iter: source.stream(),
+                    next: 0,
+                });
+                debug_assert!(cursor.next <= local, "cursor moved backwards");
+                // Generate-and-drop the cells assigned to other workers.
+                while cursor.next < local {
+                    cursor.iter.next();
+                    cursor.next += 1;
+                }
+                let scenario = cursor
+                    .iter
+                    .next()
+                    .unwrap_or_else(|| panic!("scenario source shorter than its len() at {local}"));
+                cursor.next += 1;
+                ctx.session.run(&scenario)
+            }
+        };
+        (
+            CellId {
+                member,
+                local,
+                flat,
+            },
+            result,
+        )
     }
 }
 
@@ -1626,6 +1750,19 @@ pub struct RunSet {
 }
 
 impl RunSet {
+    /// Assembles a run set from records already in execution (scenario)
+    /// order, with an optional designated baseline governor.
+    ///
+    /// This is the reconstruction hook for results that crossed a process
+    /// boundary: a set rebuilt from another set's `records()` and
+    /// `baseline_governor()` is `PartialEq`-identical to the original. The
+    /// caller owns the ordering contract — records must be in the same
+    /// scenario order the executing batch used.
+    #[must_use]
+    pub fn from_records(records: Vec<RunRecord>, baseline: Option<String>) -> Self {
+        Self { records, baseline }
+    }
+
     /// Every run in execution order.
     #[must_use]
     pub fn records(&self) -> &[RunRecord] {

@@ -1,0 +1,225 @@
+//! Wire codecs for the simulation result types.
+//!
+//! A [`RunRecord`] crossing the dispatcher↔worker boundary must rebuild
+//! **`PartialEq`-identically** on the other side: every `f64` travels as its
+//! bit pattern ([`crate::wire`]), sparse structures ([`CounterSet`],
+//! [`EnergyAccount`]) travel as their present `(key, value)` pairs in
+//! canonical iteration order, and decoding rebuilds them through the same
+//! public mutation paths the simulator uses — so a record that took a
+//! round-trip is indistinguishable from one that never left the process.
+
+use sysscale::{RunRecord, SimReport, SliceLoopStats};
+use sysscale_power::EnergyAccount;
+use sysscale_soc::{SliceTrace, TransitionStats};
+use sysscale_types::{Component, CounterKind, CounterSet, Energy, RunMetrics, SimTime};
+
+use crate::wire::{Dec, Enc, WireError};
+
+fn put_sim_time(enc: &mut Enc, t: SimTime) {
+    enc.put_f64(t.as_secs());
+}
+
+fn get_sim_time(dec: &mut Dec<'_>) -> Result<SimTime, WireError> {
+    Ok(SimTime::from_secs(dec.f64()?))
+}
+
+fn component_from_index(index: u8) -> Result<Component, WireError> {
+    Component::ALL
+        .get(index as usize)
+        .copied()
+        .ok_or_else(|| WireError::malformed(format!("component index {index}")))
+}
+
+fn counter_from_index(index: u8) -> Result<CounterKind, WireError> {
+    CounterKind::ALL
+        .get(index as usize)
+        .copied()
+        .ok_or_else(|| WireError::malformed(format!("counter index {index}")))
+}
+
+fn put_energy_account(enc: &mut Enc, account: &EnergyAccount) {
+    put_sim_time(enc, account.duration());
+    let parts: Vec<(Component, Energy)> = account.iter().collect();
+    enc.put_u8(parts.len() as u8);
+    for (component, energy) in parts {
+        enc.put_u8(component.index() as u8);
+        enc.put_f64(energy.as_joules());
+    }
+}
+
+fn get_energy_account(dec: &mut Dec<'_>) -> Result<EnergyAccount, WireError> {
+    let duration = get_sim_time(dec)?;
+    let count = dec.u8()?;
+    let mut parts = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let component = component_from_index(dec.u8()?)?;
+        let energy = Energy::from_joules(dec.f64()?);
+        parts.push((component, energy));
+    }
+    Ok(EnergyAccount::from_parts(duration, parts))
+}
+
+fn put_counters(enc: &mut Enc, counters: &CounterSet) {
+    let entries: Vec<(CounterKind, f64)> = counters.iter().collect();
+    enc.put_u8(entries.len() as u8);
+    for (kind, value) in entries {
+        enc.put_u8(kind.index() as u8);
+        enc.put_f64(value);
+    }
+}
+
+fn get_counters(dec: &mut Dec<'_>) -> Result<CounterSet, WireError> {
+    let count = dec.u8()?;
+    let mut counters = CounterSet::new();
+    for _ in 0..count {
+        let kind = counter_from_index(dec.u8()?)?;
+        let value = dec.f64()?;
+        counters.set(kind, value);
+    }
+    Ok(counters)
+}
+
+fn put_trace_slice(enc: &mut Enc, slice: &SliceTrace) {
+    put_sim_time(enc, slice.at);
+    enc.put_f64(slice.demanded_gib_s);
+    enc.put_f64(slice.served_gib_s);
+    enc.put_f64(slice.power_w);
+    enc.put_usize(slice.operating_point);
+    enc.put_f64(slice.cpu_freq_ghz);
+}
+
+fn get_trace_slice(dec: &mut Dec<'_>) -> Result<SliceTrace, WireError> {
+    Ok(SliceTrace {
+        at: get_sim_time(dec)?,
+        demanded_gib_s: dec.f64()?,
+        served_gib_s: dec.f64()?,
+        power_w: dec.f64()?,
+        operating_point: dec.usize()?,
+        cpu_freq_ghz: dec.f64()?,
+    })
+}
+
+/// Encodes one [`RunRecord`] (including its optional trace) into `enc`.
+pub fn put_record(enc: &mut Enc, record: &RunRecord) {
+    enc.put_str(&record.workload);
+    enc.put_str(&record.governor);
+    let report = &record.report;
+    enc.put_str(&report.workload);
+    enc.put_str(&report.governor);
+    put_sim_time(enc, report.metrics.duration);
+    enc.put_f64(report.metrics.energy.as_joules());
+    enc.put_f64(report.metrics.work_done);
+    put_energy_account(enc, &report.energy);
+    put_counters(enc, &report.counters);
+    enc.put_u64(report.transitions.count);
+    put_sim_time(enc, report.transitions.total_stall);
+    put_sim_time(enc, report.transitions.max_stall);
+    enc.put_u64(report.qos_violations);
+    enc.put_f64(report.low_op_residency);
+    enc.put_f64(report.average_fps);
+    enc.put_f64(report.average_cpu_freq_ghz);
+    enc.put_f64(report.average_gfx_freq_ghz);
+    enc.put_u64(report.loop_stats.slices);
+    enc.put_u64(report.loop_stats.fixed_point_iters);
+    match &record.trace {
+        None => enc.put_bool(false),
+        Some(slices) => {
+            enc.put_bool(true);
+            enc.put_usize(slices.len());
+            for slice in slices {
+                put_trace_slice(enc, slice);
+            }
+        }
+    }
+}
+
+/// Decodes one [`RunRecord`] from `dec` — the exact inverse of
+/// [`put_record`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Malformed`] for any truncated or out-of-range
+/// payload.
+pub fn get_record(dec: &mut Dec<'_>) -> Result<RunRecord, WireError> {
+    let workload = dec.str()?;
+    let governor = dec.str()?;
+    let report_workload = dec.str()?;
+    let report_governor = dec.str()?;
+    let metrics = RunMetrics {
+        duration: get_sim_time(dec)?,
+        energy: Energy::from_joules(dec.f64()?),
+        work_done: dec.f64()?,
+    };
+    let energy = get_energy_account(dec)?;
+    let counters = get_counters(dec)?;
+    let transitions = TransitionStats {
+        count: dec.u64()?,
+        total_stall: get_sim_time(dec)?,
+        max_stall: get_sim_time(dec)?,
+    };
+    let report = SimReport {
+        workload: report_workload,
+        governor: report_governor,
+        metrics,
+        energy,
+        counters,
+        transitions,
+        qos_violations: dec.u64()?,
+        low_op_residency: dec.f64()?,
+        average_fps: dec.f64()?,
+        average_cpu_freq_ghz: dec.f64()?,
+        average_gfx_freq_ghz: dec.f64()?,
+        loop_stats: SliceLoopStats {
+            slices: dec.u64()?,
+            fixed_point_iters: dec.u64()?,
+        },
+    };
+    let trace = if dec.bool()? {
+        let len = dec.usize()?;
+        let mut slices = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            slices.push(get_trace_slice(dec)?);
+        }
+        Some(slices)
+    } else {
+        None
+    };
+    Ok(RunRecord {
+        workload,
+        governor,
+        report,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale::{Scenario, SimSession};
+    use sysscale_workloads::spec_workload;
+
+    fn round_trip(record: &RunRecord) -> RunRecord {
+        let mut enc = Enc::new();
+        put_record(&mut enc, record);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let decoded = get_record(&mut dec).expect("decode");
+        dec.finish().expect("payload fully consumed");
+        decoded
+    }
+
+    #[test]
+    fn simulated_record_round_trips_identically() {
+        let workload = spec_workload("mcf").expect("known workload");
+        let mut session = SimSession::new();
+        let plain = Scenario::builder(workload.clone()).build().unwrap();
+        let record = session.run(&plain).unwrap();
+        assert_eq!(round_trip(&record), record);
+
+        // With a collected trace (exercises the Some(trace) arm).
+        let traced = Scenario::builder(workload).trace(true).build().unwrap();
+        let record = session.run(&traced).unwrap();
+        assert!(record.trace.is_some());
+        assert_eq!(round_trip(&record), record);
+    }
+}

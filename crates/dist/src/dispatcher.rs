@@ -1,0 +1,755 @@
+//! The dispatcher half of the distributed executor.
+//!
+//! The dispatcher owns the sweep: it plans **leases** (ascending flat-index
+//! chunks of one virtual worker slot's shard), spawns one worker OS process
+//! per slot, streams each worker its leases, and folds the `Result` frames
+//! coming back into per-lease consumer accumulators. Because every lease is
+//! replayed through the same [`RunConsumer`] fold the in-process executor
+//! uses — cells in ascending flat order within a lease, leases merged in
+//! plan order within a slot, slots merged in slot order — the merged
+//! accumulator is **bit-identical** to
+//! [`sysscale::SweepSet::run_parallel_fold_sharded`] with the same sharding, at any
+//! process count.
+//!
+//! Leases are *replayable*: a lease is only retired when its `LeaseDone`
+//! frame arrives with every cell accounted for. If a worker dies mid-lease
+//! (crash, OOM-kill, `kill -9`), the dispatcher discards the partial
+//! accumulators of that worker's unfinished leases, respawns the slot, and
+//! re-issues exactly those leases — re-executing at most the cells the dead
+//! worker had claimed, never corrupting cells other slots own.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Sender};
+use std::time::{Duration, Instant};
+
+use sysscale::types::exec;
+use sysscale::{
+    CellId, CollectRuns, RunConsumer, RunSet, ScenarioSet, ScenarioSource, SweepSharding,
+};
+use sysscale_types::{SimError, SimResult};
+
+use crate::proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
+use crate::recipe::SweepRecipe;
+use crate::worker::FAULT_ENV;
+
+/// Environment variable naming the worker binary, overriding the default
+/// next-to-the-current-executable discovery.
+pub const WORKER_ENV: &str = "SYSSCALE_DIST_WORKER";
+
+/// How long the dispatcher waits for a TCP worker to dial back before
+/// declaring the spawn failed.
+const TCP_ACCEPT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Times a single lease may execute before the dispatcher gives up on it
+/// (first execution + re-issues after worker deaths).
+const MAX_LEASE_EXECUTIONS: usize = 3;
+
+/// The byte channel family between dispatcher and workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The worker child's stdin/stdout pipes (default; no network at all).
+    #[default]
+    Pipes,
+    /// A loopback TCP socket per worker (`--connect <addr>`); same frames,
+    /// same protocol, useful as the template for off-host workers.
+    Tcp,
+}
+
+/// Deliberate worker sacrifice for fault-tolerance tests: the given slot's
+/// *first* process kills itself (SIGKILL, no cleanup) right after streaming
+/// `after_results` result frames. Respawns of the slot run clean.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerFault {
+    /// The victim slot.
+    pub slot: usize,
+    /// Result frames to stream before dying.
+    pub after_results: u64,
+}
+
+/// Tuning knobs for [`run_distributed`] / [`run_distributed_fold`].
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Worker process count; `None` resolves via
+    /// [`exec::resolve_parallelism`] (`SYSSCALE_PROCS`, then detected
+    /// cores).
+    pub procs: Option<usize>,
+    /// In-process fold threads *inside* each worker (default 1: processes
+    /// replace threads rather than multiplying them).
+    pub worker_threads: usize,
+    /// Leases to cut each slot's shard into (default 4). More leases bound
+    /// re-execution after a death more tightly but cost more protocol
+    /// round-trips.
+    pub leases_per_worker: usize,
+    /// Cells a worker executes between heartbeats (default 8).
+    pub batch_cells: usize,
+    /// Pipe or TCP framing.
+    pub transport: TransportKind,
+    /// Explicit worker binary path (default: [`WORKER_ENV`], then
+    /// `sysscale-dist-worker` next to the current executable).
+    pub worker_binary: Option<PathBuf>,
+    /// Total respawn budget across the whole run (default 8); exceeded
+    /// deaths fail the sweep.
+    pub max_respawns: usize,
+    /// Test-only deliberate worker sacrifice.
+    pub fault: Option<WorkerFault>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        Self {
+            procs: None,
+            worker_threads: 1,
+            leases_per_worker: 4,
+            batch_cells: 8,
+            transport: TransportKind::default(),
+            worker_binary: None,
+            max_respawns: 8,
+            fault: None,
+        }
+    }
+}
+
+/// What a distributed run did, beyond its results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Virtual worker slots (the resolved process count, capped by cells).
+    pub slots: usize,
+    /// Worker processes actually spawned (slots + respawns).
+    pub workers_spawned: usize,
+    /// Leases planned.
+    pub leases: usize,
+    /// Leases re-issued after a worker death.
+    pub reissued_leases: usize,
+    /// Cells whose partial results were discarded and re-executed because
+    /// their worker died mid-lease.
+    pub reexecuted_cells: usize,
+    /// Result frames received (including discarded partials).
+    pub result_frames: u64,
+    /// Heartbeat frames received.
+    pub heartbeats: u64,
+}
+
+/// One planned lease and its in-flight fold state.
+struct LeaseState<A> {
+    slot: usize,
+    flats: Vec<usize>,
+    acc: A,
+    received: usize,
+    executions: usize,
+    done: bool,
+}
+
+/// A live worker process bound to one slot.
+struct WorkerSlot {
+    child: Child,
+    tx: Box<dyn Write + Send>,
+    generation: u64,
+    alive: bool,
+}
+
+/// What a reader thread reports back to the dispatcher loop.
+enum Event {
+    Frame {
+        slot: usize,
+        generation: u64,
+        message: Message,
+    },
+    Closed {
+        slot: usize,
+        generation: u64,
+        error: Option<String>,
+    },
+}
+
+fn dist_error(context: impl std::fmt::Display) -> SimError {
+    SimError::invalid_config(format!("distributed executor: {context}"))
+}
+
+/// Resolves the worker binary: explicit option, then [`WORKER_ENV`], then
+/// `sysscale-dist-worker` in the current executable's directory (popping a
+/// trailing `deps/` so cargo test binaries find the sibling bin target).
+fn worker_binary(options: &DistOptions) -> PathBuf {
+    if let Some(path) = &options.worker_binary {
+        return path.clone();
+    }
+    if let Ok(path) = std::env::var(WORKER_ENV) {
+        if !path.trim().is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    let mut dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(std::path::Path::to_path_buf))
+        .unwrap_or_default();
+    if dir.file_name().is_some_and(|name| name == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("sysscale-dist-worker");
+    if candidate.exists() {
+        candidate
+    } else {
+        PathBuf::from("sysscale-dist-worker")
+    }
+}
+
+/// Spawns one worker process for `slot`, wires its transport, starts its
+/// reader thread, and sends the opening `Job` frame.
+fn spawn_worker(
+    binary: &std::path::Path,
+    slot: usize,
+    generation: u64,
+    options: &DistOptions,
+    recipe_bytes: &[u8],
+    fault_after: Option<u64>,
+    events: &Sender<Event>,
+) -> SimResult<WorkerSlot> {
+    let mut command = Command::new(binary);
+    command.stderr(Stdio::inherit());
+    // Never inherit a fault directive from the environment; only a spawn
+    // the dispatcher deliberately sacrifices gets one.
+    command.env_remove(FAULT_ENV);
+    if let Some(after) = fault_after {
+        command.env(FAULT_ENV, after.to_string());
+    }
+
+    match options.transport {
+        TransportKind::Pipes => {
+            command.stdin(Stdio::piped()).stdout(Stdio::piped());
+            let mut child = command
+                .spawn()
+                .map_err(|e| dist_error(format!("spawning {}: {e}", binary.display())))?;
+            let stdin = child.stdin.take().expect("piped stdin");
+            let stdout = child.stdout.take().expect("piped stdout");
+            finish_spawn(
+                child,
+                Box::new(PipeTransport { stdin, stdout }),
+                slot,
+                generation,
+                options,
+                recipe_bytes,
+                events,
+            )
+        }
+        TransportKind::Tcp => {
+            let listener = TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| dist_error(format!("binding worker listener: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| dist_error(format!("listener address: {e}")))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| dist_error(format!("listener mode: {e}")))?;
+            command.stdin(Stdio::null()).stdout(Stdio::inherit());
+            command.arg("--connect").arg(addr.to_string());
+            let mut child = command
+                .spawn()
+                .map_err(|e| dist_error(format!("spawning {}: {e}", binary.display())))?;
+            // Spawn-then-accept, one worker at a time, keeps the
+            // connection↔slot mapping trivial: the next accepted stream is
+            // this child's.
+            let started = Instant::now();
+            let stream = loop {
+                match listener.accept() {
+                    Ok((stream, _)) => break stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            return Err(dist_error(format!(
+                                "worker exited before connecting ({status})"
+                            )));
+                        }
+                        if started.elapsed() > TCP_ACCEPT_TIMEOUT {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(dist_error("worker never dialed back"));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(dist_error(format!("accepting worker: {e}"))),
+                }
+            };
+            stream
+                .set_nonblocking(false)
+                .map_err(|e| dist_error(format!("stream mode: {e}")))?;
+            finish_spawn(
+                child,
+                Box::new(TcpTransport { stream }),
+                slot,
+                generation,
+                options,
+                recipe_bytes,
+                events,
+            )
+        }
+    }
+}
+
+fn finish_spawn(
+    child: Child,
+    transport: Box<dyn WorkerTransport>,
+    slot: usize,
+    generation: u64,
+    options: &DistOptions,
+    recipe_bytes: &[u8],
+    events: &Sender<Event>,
+) -> SimResult<WorkerSlot> {
+    let (read_half, mut tx) = transport.split();
+    let events = events.clone();
+    std::thread::spawn(move || read_loop(read_half, slot, generation, &events));
+    // A send failure here means the worker already died; the reader's
+    // Closed event drives the respawn, so don't fail the run for it.
+    let _ = Message::Job {
+        worker_slot: slot as u32,
+        threads: options.worker_threads.max(1) as u32,
+        batch_cells: options.batch_cells.max(1) as u32,
+        recipe: recipe_bytes.to_vec(),
+    }
+    .write_to(&mut tx);
+    Ok(WorkerSlot {
+        child,
+        tx,
+        generation,
+        alive: true,
+    })
+}
+
+fn read_loop(
+    read_half: Box<dyn Read + Send>,
+    slot: usize,
+    generation: u64,
+    events: &Sender<Event>,
+) {
+    let mut rx = BufReader::new(read_half);
+    loop {
+        match Message::read_from(&mut rx) {
+            Ok(Some(message)) => {
+                if events
+                    .send(Event::Frame {
+                        slot,
+                        generation,
+                        message,
+                    })
+                    .is_err()
+                {
+                    return; // dispatcher gone
+                }
+            }
+            Ok(None) => {
+                let _ = events.send(Event::Closed {
+                    slot,
+                    generation,
+                    error: None,
+                });
+                return;
+            }
+            Err(error) => {
+                let _ = events.send(Event::Closed {
+                    slot,
+                    generation,
+                    error: Some(error.to_string()),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn kill_all(workers: &mut [Option<WorkerSlot>]) {
+    for worker in workers.iter_mut().flatten() {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+        worker.alive = false;
+    }
+}
+
+/// Sends a lease to a worker; send failures are left to the reader's
+/// `Closed` event (the worker is already dead or dying).
+fn send_lease(worker: &mut WorkerSlot, lease_id: usize, flats: &[usize]) {
+    let _ = Message::Lease {
+        lease_id: lease_id as u64,
+        indices: LeaseIndices::from_flats(flats),
+    }
+    .write_to(&mut worker.tx);
+}
+
+/// Cuts one slot's ascending cell list into up to `leases_per_worker`
+/// contiguous chunks of near-equal size.
+fn plan_slot_leases(cells: &[usize], leases_per_worker: usize) -> Vec<Vec<usize>> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let chunks = leases_per_worker.clamp(1, cells.len());
+    (0..chunks)
+        .map(|c| cells[c * cells.len() / chunks..(c + 1) * cells.len() / chunks].to_vec())
+        .collect()
+}
+
+/// Executes `recipe` across worker processes and returns one [`RunSet`] per
+/// recipe member (byte-identical to
+/// [`sysscale::SweepSet::run_parallel`] on the rebuilt sets), plus run
+/// statistics.
+///
+/// # Errors
+///
+/// Fails on unbuildable recipes, spawn/transport failures, exhausted
+/// respawn budgets, or a failing cell (reported by the worker that ran it).
+pub fn run_distributed(
+    recipe: &SweepRecipe,
+    options: &DistOptions,
+) -> SimResult<(Vec<RunSet>, DistStats)> {
+    let sets = recipe.build()?;
+    let (collected, stats) = dispatch(recipe, &sets, options, &CollectRuns)?;
+    let mut records = CollectRuns::into_records(collected).into_iter();
+    let run_sets = sets
+        .iter()
+        .map(|set| {
+            let len = set.scenarios().len();
+            RunSet::from_records(
+                records.by_ref().take(len).collect(),
+                set.baseline().map(str::to_string),
+            )
+        })
+        .collect();
+    Ok((run_sets, stats))
+}
+
+/// Like [`run_distributed`], but folding every cell into `consumer` —
+/// the distributed twin of [`sysscale::SweepSet::run_parallel_fold_sharded`]
+/// with the recipe's sharding strategy.
+///
+/// # Errors
+///
+/// See [`run_distributed`].
+pub fn run_distributed_fold<Q: RunConsumer>(
+    recipe: &SweepRecipe,
+    options: &DistOptions,
+    consumer: &Q,
+) -> SimResult<(Q::Acc, DistStats)> {
+    let sets = recipe.build()?;
+    dispatch(recipe, &sets, options, consumer)
+}
+
+/// The dispatcher event loop over pre-built sets.
+fn dispatch<Q: RunConsumer>(
+    recipe: &SweepRecipe,
+    sets: &[ScenarioSet],
+    options: &DistOptions,
+    consumer: &Q,
+) -> SimResult<(Q::Acc, DistStats)> {
+    let lens: Vec<usize> = sets.iter().map(|set| set.scenarios().len()).collect();
+    let mut offsets = Vec::with_capacity(lens.len());
+    let mut total = 0usize;
+    for &len in &lens {
+        offsets.push(total);
+        total += len;
+    }
+
+    let mut stats = DistStats::default();
+    if total == 0 {
+        return Ok((consumer.accumulator(), stats));
+    }
+
+    let procs = exec::resolve_parallelism(options.procs, exec::PROCS_ENV);
+    let slots = exec::effective_workers(procs, total);
+    stats.slots = slots;
+
+    // The same cell→worker assignment the in-process fold core computes.
+    let keys: Vec<u64> = match recipe.sharding {
+        SweepSharding::RoundRobin => Vec::new(),
+        SweepSharding::ByPlatform | SweepSharding::SplitHotKeys => {
+            sets.iter().flat_map(ScenarioSource::shard_keys).collect()
+        }
+    };
+    let shard = match recipe.sharding {
+        SweepSharding::RoundRobin => exec::Shard::RoundRobin,
+        SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
+        SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
+    };
+    let assignment = shard.assignments(total, slots);
+    let mut slot_cells: Vec<Vec<usize>> = vec![Vec::new(); slots];
+    for (flat, &slot) in assignment.iter().enumerate() {
+        slot_cells[slot].push(flat);
+    }
+
+    // Plan leases: ascending contiguous chunks of each slot's cell list.
+    let mut leases: Vec<LeaseState<Q::Acc>> = Vec::new();
+    let mut slot_leases: Vec<Vec<usize>> = vec![Vec::new(); slots];
+    for (slot, cells) in slot_cells.iter().enumerate() {
+        for flats in plan_slot_leases(cells, options.leases_per_worker) {
+            slot_leases[slot].push(leases.len());
+            leases.push(LeaseState {
+                slot,
+                flats,
+                acc: consumer.accumulator(),
+                received: 0,
+                executions: 1,
+                done: false,
+            });
+        }
+    }
+    stats.leases = leases.len();
+    let mut remaining = leases.len();
+
+    let cell_id = |flat: usize| {
+        let member = offsets.partition_point(|&start| start <= flat) - 1;
+        CellId {
+            member,
+            local: flat - offsets[member],
+            flat,
+        }
+    };
+
+    let binary = worker_binary(options);
+    let recipe_bytes = recipe.encode();
+    let (events_tx, events_rx) = channel();
+
+    let mut workers: Vec<Option<WorkerSlot>> = Vec::with_capacity(slots);
+    let mut respawns_left = options.max_respawns;
+    for (slot, lease_ids) in slot_leases.iter().enumerate() {
+        if lease_ids.is_empty() {
+            workers.push(None);
+            continue;
+        }
+        let fault_after = options
+            .fault
+            .as_ref()
+            .filter(|fault| fault.slot == slot)
+            .map(|fault| fault.after_results);
+        let worker = spawn_worker(
+            &binary,
+            slot,
+            0,
+            options,
+            &recipe_bytes,
+            fault_after,
+            &events_tx,
+        );
+        let mut worker = match worker {
+            Ok(worker) => worker,
+            Err(error) => {
+                kill_all(&mut workers);
+                return Err(error);
+            }
+        };
+        stats.workers_spawned += 1;
+        for &lease_id in lease_ids {
+            send_lease(&mut worker, lease_id, &leases[lease_id].flats);
+        }
+        workers.push(Some(worker));
+    }
+
+    let mut failure: Option<SimError> = None;
+    while remaining > 0 && failure.is_none() {
+        let event = match events_rx.recv() {
+            Ok(event) => event,
+            Err(_) => {
+                failure = Some(dist_error("event channel closed unexpectedly"));
+                break;
+            }
+        };
+        match event {
+            Event::Frame {
+                slot,
+                generation,
+                message,
+            } => {
+                let current = workers[slot].as_ref().map(|w| w.generation);
+                if current != Some(generation) {
+                    continue; // stale frame from a replaced worker
+                }
+                match message {
+                    Message::Result {
+                        lease_id,
+                        flat,
+                        record,
+                    } => {
+                        stats.result_frames += 1;
+                        let Some(lease) = leases.get_mut(lease_id as usize) else {
+                            failure = Some(dist_error(format!("unknown lease {lease_id}")));
+                            break;
+                        };
+                        let expected = (!lease.done && lease.slot == slot)
+                            .then(|| lease.flats.get(lease.received).copied())
+                            .flatten();
+                        if expected != Some(flat as usize) {
+                            failure = Some(dist_error(format!(
+                                "slot {slot} sent cell {flat} out of order for lease {lease_id}"
+                            )));
+                            break;
+                        }
+                        consumer.fold(&mut lease.acc, cell_id(flat as usize), *record);
+                        lease.received += 1;
+                    }
+                    Message::LeaseDone { lease_id, cells } => {
+                        let Some(lease) = leases.get_mut(lease_id as usize) else {
+                            failure = Some(dist_error(format!("unknown lease {lease_id}")));
+                            break;
+                        };
+                        if lease.done
+                            || lease.slot != slot
+                            || cells as usize != lease.flats.len()
+                            || lease.received != lease.flats.len()
+                        {
+                            failure = Some(dist_error(format!(
+                                "slot {slot} completed lease {lease_id} with {} of {} cells",
+                                lease.received,
+                                lease.flats.len()
+                            )));
+                            break;
+                        }
+                        lease.done = true;
+                        remaining -= 1;
+                    }
+                    Message::Heartbeat { .. } => stats.heartbeats += 1,
+                    Message::WorkerError { flat, message, .. } => {
+                        failure = Some(SimError::invalid_config(format!(
+                            "cell {flat} failed on worker slot {slot}: {message}"
+                        )));
+                        break;
+                    }
+                    other => {
+                        failure = Some(dist_error(format!(
+                            "unexpected frame from slot {slot}: {other:?}"
+                        )));
+                        break;
+                    }
+                }
+            }
+            Event::Closed {
+                slot,
+                generation,
+                error,
+            } => {
+                let Some(worker) = workers[slot].as_mut() else {
+                    continue;
+                };
+                if worker.generation != generation {
+                    continue; // the replaced worker's reader winding down
+                }
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+                worker.alive = false;
+
+                let incomplete: Vec<usize> = slot_leases[slot]
+                    .iter()
+                    .copied()
+                    .filter(|&id| !leases[id].done)
+                    .collect();
+                if incomplete.is_empty() {
+                    // Finished every lease and hung up early — benign.
+                    continue;
+                }
+                if respawns_left == 0 {
+                    failure = Some(dist_error(format!(
+                        "slot {slot} died with {} lease(s) outstanding ({}) and no respawn \
+                         budget left",
+                        incomplete.len(),
+                        error.unwrap_or_else(|| "stream closed".to_string()),
+                    )));
+                    break;
+                }
+                respawns_left -= 1;
+                for &lease_id in &incomplete {
+                    let lease = &mut leases[lease_id];
+                    if lease.executions >= MAX_LEASE_EXECUTIONS {
+                        failure = Some(dist_error(format!(
+                            "lease {lease_id} failed {} times; giving up",
+                            lease.executions
+                        )));
+                        break;
+                    }
+                    stats.reissued_leases += 1;
+                    stats.reexecuted_cells += lease.received;
+                    lease.acc = consumer.accumulator();
+                    lease.received = 0;
+                    lease.executions += 1;
+                }
+                if failure.is_some() {
+                    break;
+                }
+                // Respawn the slot — never re-arming the fault, so a
+                // sacrificed worker's replacement runs clean.
+                match spawn_worker(
+                    &binary,
+                    slot,
+                    generation + 1,
+                    options,
+                    &recipe_bytes,
+                    None,
+                    &events_tx,
+                ) {
+                    Ok(mut replacement) => {
+                        stats.workers_spawned += 1;
+                        for &lease_id in &incomplete {
+                            send_lease(&mut replacement, lease_id, &leases[lease_id].flats);
+                        }
+                        workers[slot] = Some(replacement);
+                    }
+                    Err(spawn_error) => {
+                        failure = Some(spawn_error);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(error) = failure {
+        kill_all(&mut workers);
+        return Err(error);
+    }
+
+    // Orderly shutdown: every lease is done, tell workers to exit and reap.
+    for worker in workers.iter_mut().flatten() {
+        if worker.alive {
+            let _ = Message::Shutdown.write_to(&mut worker.tx);
+        }
+    }
+    for worker in workers.iter_mut().flatten() {
+        if worker.alive {
+            let _ = worker.child.wait();
+            worker.alive = false;
+        }
+    }
+
+    // The deterministic merge: leases in plan order within a slot, slots in
+    // slot order — the exact partition the in-process fold core merges by.
+    let mut merged = consumer.accumulator();
+    for lease_ids in &slot_leases {
+        for &lease_id in lease_ids {
+            let acc = std::mem::replace(&mut leases[lease_id].acc, consumer.accumulator());
+            consumer.merge(&mut merged, acc);
+        }
+    }
+    Ok((merged, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_leases_are_contiguous_ascending_chunks() {
+        let cells: Vec<usize> = (0..10).map(|i| i * 3).collect();
+        let plan = plan_slot_leases(&cells, 4);
+        assert_eq!(plan.len(), 4);
+        let rejoined: Vec<usize> = plan.iter().flatten().copied().collect();
+        assert_eq!(rejoined, cells, "chunks must cover the slot in order");
+        assert!(plan.iter().all(|chunk| !chunk.is_empty()));
+
+        // Fewer cells than the lease budget: one lease per cell.
+        assert_eq!(plan_slot_leases(&[5, 9], 4).len(), 2);
+        assert!(plan_slot_leases(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn worker_binary_resolution_prefers_explicit_option() {
+        let options = DistOptions {
+            worker_binary: Some(PathBuf::from("/tmp/custom-worker")),
+            ..DistOptions::default()
+        };
+        assert_eq!(worker_binary(&options), PathBuf::from("/tmp/custom-worker"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-process distributed sweep executor.
+//!
+//! Scales SysScale sweeps past one OS process while keeping the repo's
+//! core determinism contract: [`run_distributed`] at **any** process count
+//! is bit-identical to the in-process
+//! [`sysscale::SweepSet::run_parallel_fold`] on the same sweep — including
+//! when a worker process is killed mid-run and its leases are replayed.
+//!
+//! The subsystem has four layers, bottom up:
+//!
+//! - [`wire`]: hand-rolled length-prefixed binary framing and scalar
+//!   codecs (`f64`s travel as bit patterns — the offline container has no
+//!   serde, and bit-exactness is a feature, not a workaround).
+//! - [`codec`]: [`sysscale::RunRecord`] ↔ bytes, `PartialEq`-identical
+//!   across the boundary.
+//! - [`recipe`]: *replayable sweep recipes* — a [`recipe::SweepRecipe`]
+//!   names platforms, workloads (including seeded generator populations),
+//!   and governors instead of carrying built objects, so a few hundred
+//!   bytes regenerate byte-identical scenarios in every worker process.
+//!   Platform fingerprints are pinned at encode time to catch
+//!   dispatcher/worker binary drift.
+//! - [`proto`] / [`dispatcher`] / [`worker`]: the lease protocol. The
+//!   dispatcher cuts each virtual worker slot's shard (the same
+//!   [`sysscale::SweepSharding`] assignment the in-process fold core uses)
+//!   into ascending **leases**, streams them to one worker process per
+//!   slot (stdin/stdout pipes, or TCP behind the same
+//!   [`proto::WorkerTransport`] trait), folds the streamed-back results
+//!   per lease, and merges lease accumulators in plan order — the exact
+//!   partition the in-process merge uses. A lease only retires on its
+//!   `LeaseDone` frame; when a worker dies mid-lease the partial
+//!   accumulators are discarded and exactly the unfinished leases are
+//!   re-issued to a fresh process on the same slot.
+//!
+//! ```no_run
+//! use sysscale_dist::{run_distributed, DistOptions, SweepRecipe};
+//!
+//! let recipe = SweepRecipe::fig10(&[3.5, 4.5, 6.0]);
+//! let (run_sets, stats) = run_distributed(&recipe, &DistOptions::default())?;
+//! assert_eq!(run_sets.len(), recipe.members.len());
+//! assert_eq!(stats.reissued_leases, 0);
+//! # Ok::<(), sysscale::types::SimError>(())
+//! ```
+
+pub mod codec;
+pub mod dispatcher;
+pub mod proto;
+pub mod recipe;
+pub mod wire;
+pub mod worker;
+
+pub use dispatcher::{
+    run_distributed, run_distributed_fold, DistOptions, DistStats, TransportKind, WorkerFault,
+    WORKER_ENV,
+};
+pub use proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
+pub use recipe::{
+    sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec,
+};
+pub use wire::{Dec, Enc, WireError};
+pub use worker::{worker_main, FAULT_ENV};

@@ -1,0 +1,235 @@
+//! The worker half of the distributed executor.
+//!
+//! A worker process speaks the [`crate::proto`] protocol over an arbitrary
+//! byte channel (stdin/stdout pipes by default, a TCP socket with
+//! `--connect`): it receives one `Job` frame naming its worker slot and
+//! carrying the encoded sweep recipe, rebuilds the sweep locally, then
+//! executes each granted `Lease` against a warm [`SessionPool`] — streaming
+//! every finished cell back as a `Result` frame in ascending flat order,
+//! a `Heartbeat` after each sub-batch, and a `LeaseDone` once the lease is
+//! exhausted. `Shutdown` (or clean EOF) ends the session.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use sysscale::SessionPool;
+
+use crate::proto::Message;
+use crate::recipe::{sweep_from_sets, SweepRecipe};
+
+/// Fault-injection hook for the dispatcher's re-issue tests: when set to
+/// `n`, the worker kills itself — hard, no cleanup — right after streaming
+/// its `n`-th `Result` frame. The dispatcher sets this only on deliberately
+/// sacrificed processes and never on respawns.
+pub const FAULT_ENV: &str = "SYSSCALE_DIST_FAULT_AFTER";
+
+/// Dies as abruptly as `kill -9`: try SIGKILL via the system `kill`
+/// utility, and if that is unavailable fall back to an abort. Neither path
+/// flushes buffers or unwinds, which is the point — the dispatcher must
+/// cope with a worker vanishing mid-lease.
+fn die_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    std::process::abort();
+}
+
+/// Runs the worker protocol loop over the given byte channel until
+/// `Shutdown` or clean EOF.
+///
+/// # Errors
+///
+/// Returns a rendered error on protocol violations, transport failures, or
+/// an unbuildable recipe. A failing *cell* is reported to the dispatcher as
+/// a `WorkerError` frame first and then surfaces here, so the process exits
+/// nonzero either way.
+pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
+    let mut rx = BufReader::new(rx);
+    let mut tx = BufWriter::new(tx);
+
+    let fault_after: Option<u64> = std::env::var(FAULT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+    let mut results_sent = 0u64;
+
+    // The session opens with exactly one Job frame.
+    let (threads, batch_cells, recipe_bytes) = match Message::read_from(&mut rx) {
+        Ok(Some(Message::Job {
+            threads,
+            batch_cells,
+            recipe,
+            ..
+        })) => (threads.max(1) as usize, batch_cells.max(1) as usize, recipe),
+        Ok(Some(other)) => return Err(format!("expected Job frame, got {other:?}")),
+        Ok(None) => return Err("stream closed before Job frame".to_string()),
+        Err(error) => return Err(format!("reading Job frame: {error}")),
+    };
+
+    let recipe = SweepRecipe::decode(&recipe_bytes).map_err(|e| format!("decoding recipe: {e}"))?;
+    let sets = recipe
+        .build()
+        .map_err(|e| format!("building recipe: {e}"))?;
+    let sweep = sweep_from_sets(&sets);
+    let total = sweep.cells();
+    let mut pool = SessionPool::new();
+
+    loop {
+        match Message::read_from(&mut rx) {
+            Ok(Some(Message::Lease { lease_id, indices })) => {
+                let flats = indices.expand();
+                if flats.last().is_some_and(|&last| last >= total) {
+                    return Err(format!(
+                        "lease {lease_id} indexes past the sweep ({total} cells)"
+                    ));
+                }
+                let mut done_cells = 0u64;
+                for batch in flats.chunks(batch_cells) {
+                    match sweep.run_flat_indices(&mut pool, threads, batch) {
+                        Ok(pairs) => {
+                            for (flat, record) in pairs {
+                                Message::Result {
+                                    lease_id,
+                                    flat: flat as u64,
+                                    record: Box::new(record),
+                                }
+                                .write_to(&mut tx)
+                                .map_err(|e| format!("streaming result: {e}"))?;
+                                results_sent += 1;
+                                if fault_after.is_some_and(|n| results_sent >= n) {
+                                    die_hard();
+                                }
+                            }
+                            done_cells += batch.len() as u64;
+                            Message::Heartbeat {
+                                lease_id,
+                                done_cells,
+                            }
+                            .write_to(&mut tx)
+                            .map_err(|e| format!("streaming heartbeat: {e}"))?;
+                        }
+                        Err(cell_error) => {
+                            Message::WorkerError {
+                                lease_id,
+                                flat: cell_error.flat as u64,
+                                message: cell_error.error.to_string(),
+                            }
+                            .write_to(&mut tx)
+                            .map_err(|e| format!("streaming error: {e}"))?;
+                            return Err(format!(
+                                "cell {} failed: {}",
+                                cell_error.flat, cell_error.error
+                            ));
+                        }
+                    }
+                }
+                Message::LeaseDone {
+                    lease_id,
+                    cells: flats.len() as u64,
+                }
+                .write_to(&mut tx)
+                .map_err(|e| format!("completing lease: {e}"))?;
+            }
+            Ok(Some(Message::Shutdown)) | Ok(None) => return Ok(()),
+            Ok(Some(other)) => return Err(format!("unexpected frame: {other:?}")),
+            Err(error) => return Err(format!("reading frame: {error}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::LeaseIndices;
+    use crate::recipe::{GovernorSpec, MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec};
+
+    /// A 2×2 sweep small enough to execute for real in a unit test.
+    fn tiny_recipe() -> SweepRecipe {
+        SweepRecipe::single(MatrixRecipe {
+            platform: PlatformSpec::SkylakeDefault,
+            workloads: WorkloadsSpec::SpecNamed(vec!["mcf".to_string(), "lbm".to_string()]),
+            governors: vec![
+                GovernorSpec::Registry("baseline".to_string()),
+                GovernorSpec::SysScaleDefault,
+            ],
+            baseline: Some("baseline".to_string()),
+            duration_secs: Some(0.5),
+            pinned_fingerprint: None,
+        })
+    }
+
+    /// Drives a worker end-to-end in-process over byte buffers: Job, one
+    /// lease covering the whole (tiny) sweep, Shutdown — and checks the
+    /// result stream is ascending and complete.
+    #[test]
+    fn worker_executes_a_lease_and_streams_ascending_results() {
+        let recipe = tiny_recipe();
+        let total = recipe.total_cells();
+        assert!(total >= 2, "single-platform recipe should have cells");
+        let flats: Vec<usize> = (0..total).collect();
+
+        let mut input = Vec::new();
+        Message::Job {
+            worker_slot: 0,
+            threads: 1,
+            batch_cells: 2,
+            recipe: recipe.encode(),
+        }
+        .write_to(&mut input)
+        .unwrap();
+        Message::Lease {
+            lease_id: 0,
+            indices: LeaseIndices::from_flats(&flats),
+        }
+        .write_to(&mut input)
+        .unwrap();
+        Message::Shutdown.write_to(&mut input).unwrap();
+
+        let mut output = Vec::new();
+        worker_main(&input[..], &mut output).expect("worker session");
+
+        let mut cursor = std::io::Cursor::new(output);
+        let mut seen = Vec::new();
+        let mut lease_done = false;
+        while let Some(message) = Message::read_from(&mut cursor).unwrap() {
+            match message {
+                Message::Result { lease_id, flat, .. } => {
+                    assert_eq!(lease_id, 0);
+                    seen.push(flat as usize);
+                }
+                Message::Heartbeat { .. } => {}
+                Message::LeaseDone { lease_id, cells } => {
+                    assert_eq!((lease_id, cells as usize), (0, total));
+                    lease_done = true;
+                }
+                other => panic!("unexpected worker frame: {other:?}"),
+            }
+        }
+        assert!(lease_done, "lease must complete");
+        assert_eq!(seen, flats, "results must stream in ascending flat order");
+    }
+
+    #[test]
+    fn worker_rejects_a_lease_past_the_sweep() {
+        let recipe = tiny_recipe();
+        let total = recipe.total_cells();
+        let mut input = Vec::new();
+        Message::Job {
+            worker_slot: 0,
+            threads: 1,
+            batch_cells: 4,
+            recipe: recipe.encode(),
+        }
+        .write_to(&mut input)
+        .unwrap();
+        Message::Lease {
+            lease_id: 9,
+            indices: LeaseIndices::from_flats(&[total]),
+        }
+        .write_to(&mut input)
+        .unwrap();
+
+        let mut output = Vec::new();
+        let err = worker_main(&input[..], &mut output).unwrap_err();
+        assert!(err.contains("lease 9"), "got: {err}");
+    }
+}

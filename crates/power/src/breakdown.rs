@@ -105,6 +105,29 @@ impl EnergyAccount {
         Self::default()
     }
 
+    /// Reconstructs an account from its observable parts: the accumulated
+    /// duration plus the `(component, energy)` pairs of [`Self::iter`].
+    ///
+    /// This is the exact inverse of `iter()`/`duration()` — feeding one
+    /// account's parts back yields a `PartialEq`-identical account — and is
+    /// the deserialization hook wire codecs use: an account that crossed a
+    /// process boundary as its part list rebuilds bit-identically.
+    #[must_use]
+    pub fn from_parts(
+        duration: SimTime,
+        parts: impl IntoIterator<Item = (Component, Energy)>,
+    ) -> Self {
+        let mut account = Self {
+            duration,
+            ..Self::default()
+        };
+        for (component, energy) in parts {
+            account.entries[component.index()] = energy;
+            account.present |= 1 << component.index();
+        }
+        account
+    }
+
     /// Accumulates one slice: every component's power integrated over `dt`.
     pub fn accumulate(&mut self, breakdown: &PowerBreakdown, dt: SimTime) {
         for (component, power) in breakdown.iter() {
@@ -232,6 +255,23 @@ mod tests {
         assert!((acc.domain(Domain::Memory).as_mj() - 8.5).abs() < 1e-9);
         assert!((acc.rail(Rail::VSa).as_mj() - 5.5).abs() < 1e-9);
         assert!(acc.component(Component::CpuCores) > Energy::ZERO);
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_account_exactly() {
+        let mut acc = EnergyAccount::new();
+        let b = sample_breakdown();
+        for i in 0..7 {
+            acc.accumulate(&b, SimTime::from_millis(0.1 + i as f64 * 0.013));
+        }
+        let rebuilt = EnergyAccount::from_parts(acc.duration(), acc.iter());
+        assert_eq!(rebuilt, acc);
+        // Empty accounts round-trip too.
+        let empty = EnergyAccount::new();
+        assert_eq!(
+            EnergyAccount::from_parts(empty.duration(), empty.iter()),
+            empty
+        );
     }
 
     #[test]

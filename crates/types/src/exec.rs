@@ -58,28 +58,79 @@ use std::num::NonZeroUsize;
 /// Environment variable overriding [`default_threads`].
 pub const THREADS_ENV: &str = "SYSSCALE_THREADS";
 
-/// Upper bound [`default_threads`] applies to the detected parallelism (an
-/// explicit [`THREADS_ENV`] value may exceed it).
+/// Environment variable overriding [`default_procs`] (the worker *process*
+/// count the distributed executor spawns, as opposed to the in-process
+/// thread count governed by [`THREADS_ENV`]).
+pub const PROCS_ENV: &str = "SYSSCALE_PROCS";
+
+/// Upper bound [`default_threads`] / [`default_procs`] apply to the
+/// *detected* parallelism (an explicit CLI or environment value may exceed
+/// it).
 pub const MAX_AUTO_THREADS: usize = 16;
 
-/// The worker count batch executors use when the caller does not pin one:
-/// the `SYSSCALE_THREADS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`] capped at
-/// [`MAX_AUTO_THREADS`] (one simulation cell saturates one core; beyond the
-/// physical core count extra workers only cost memory).
+/// The single worker-count resolution rule every layer shares, with the
+/// documented precedence **CLI argument > environment variable > detected
+/// cores**:
+///
+/// 1. `cli` — an explicit caller-provided count (e.g. a `--threads`/`--procs`
+///    flag). Used verbatim when positive; `Some(0)` is treated like `None`
+///    so callers can pass a raw parsed flag through without special-casing.
+/// 2. `env_var` — the named environment variable (usually [`THREADS_ENV`]
+///    or [`PROCS_ENV`]) if set to a positive integer.
+/// 3. [`std::thread::available_parallelism`] capped at [`MAX_AUTO_THREADS`]
+///    (one simulation cell saturates one core; beyond the physical core
+///    count extra workers only cost memory).
+///
+/// Explicit values (CLI or env) are deliberately *not* capped: pinning more
+/// workers than cores is a legitimate oversubscription experiment.
 #[must_use]
-pub fn default_threads() -> usize {
-    if let Ok(value) = std::env::var(THREADS_ENV) {
+pub fn resolve_parallelism(cli: Option<usize>, env_var: &str) -> usize {
+    resolve_from(
+        cli,
+        std::env::var(env_var).ok().as_deref(),
+        detected_parallelism(),
+    )
+}
+
+/// The pure core of [`resolve_parallelism`], separated so the precedence
+/// rule is testable without mutating process-global environment state.
+fn resolve_from(cli: Option<usize>, env_value: Option<&str>, detected: usize) -> usize {
+    if let Some(n) = cli {
+        if n >= 1 {
+            return n;
+        }
+    }
+    if let Some(value) = env_value {
         if let Ok(n) = value.trim().parse::<usize>() {
             if n >= 1 {
                 return n;
             }
         }
     }
+    detected.max(1)
+}
+
+/// Detected hardware parallelism, capped at [`MAX_AUTO_THREADS`].
+fn detected_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .min(MAX_AUTO_THREADS)
+}
+
+/// The worker *thread* count batch executors use when the caller does not
+/// pin one: [`resolve_parallelism`] over [`THREADS_ENV`] with no CLI value.
+#[must_use]
+pub fn default_threads() -> usize {
+    resolve_parallelism(None, THREADS_ENV)
+}
+
+/// The worker *process* count the distributed executor uses when the caller
+/// does not pin one: [`resolve_parallelism`] over [`PROCS_ENV`] with no CLI
+/// value.
+#[must_use]
+pub fn default_procs() -> usize {
+    resolve_parallelism(None, PROCS_ENV)
 }
 
 /// How items are assigned to workers.
@@ -855,5 +906,24 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+        assert!(default_procs() >= 1);
+    }
+
+    #[test]
+    fn resolve_parallelism_prefers_cli_then_env_then_detected() {
+        // CLI beats env beats detected.
+        assert_eq!(resolve_from(Some(3), Some("7"), 16), 3);
+        assert_eq!(resolve_from(None, Some("7"), 16), 7);
+        assert_eq!(resolve_from(None, None, 16), 16);
+        // A zero CLI value falls through to the env, a zero/garbage env
+        // value falls through to the detected count.
+        assert_eq!(resolve_from(Some(0), Some("5"), 16), 5);
+        assert_eq!(resolve_from(None, Some("0"), 4), 4);
+        assert_eq!(resolve_from(None, Some("not a number"), 4), 4);
+        assert_eq!(resolve_from(None, Some(" 12 "), 4), 12);
+        // Explicit values are not capped; the detected floor is 1.
+        assert_eq!(resolve_from(Some(64), None, 2), 64);
+        assert_eq!(resolve_from(None, Some("64"), 2), 64);
+        assert_eq!(resolve_from(None, None, 0), 1);
     }
 }
