@@ -1,0 +1,221 @@
+//! Benchmark of cost-model-driven sweep scheduling: a pathologically skewed
+//! sweep — one ~100×-cost cell among hundreds of short ones, all on one
+//! platform — executed under count-based hot-key splitting
+//! (`SweepSharding::SplitHotKeys`, the "before") and cost-weighted splitting
+//! (`SweepSharding::SplitHotCost`, the "after").
+//!
+//! Emits one machine-readable `{"kind":"sched_perf",…}` JSON line per
+//! sharding mode (wall-clock imbalance ratio, worst-worker share, cells/sec)
+//! and appends them to the `SYSSCALE_BENCH_HISTORY` JSONL file when that
+//! variable is set (tagged via `SYSSCALE_BENCH_TAG`). Both modes must
+//! produce byte-identical records — the strategies differ only in schedule.
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench sched            # full skew sweep
+//! cargo bench -p sysscale-bench --bench sched -- --short # CI smoke
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sysscale::{
+    CellId, RunConsumer, RunRecord, Scenario, ScenarioSet, ScenarioSource, SessionPool, SweepSet,
+    SweepSharding,
+};
+use sysscale_bench::timing::SchedPerf;
+use sysscale_types::{exec, SimTime};
+use sysscale_workloads::spec_workload;
+
+/// Worker threads for the pathological case: enough that a balanced
+/// schedule beats a serialized one 4×, few enough that the dominant cell's
+/// fair share still matters.
+const WORKERS: usize = 4;
+
+/// One worker's observed execution: its start→last-fold span plus the
+/// records it folded (kept for the cross-strategy byte-identity check).
+struct WorkerTrace {
+    started: Instant,
+    last: Instant,
+    pairs: Vec<(usize, RunRecord)>,
+}
+
+/// A consumer that measures per-worker busy spans while collecting records:
+/// each worker's accumulator is created when the worker starts and stamps
+/// every fold, so `last - started` is that worker's busy wall-clock — the
+/// quantity the imbalance ratio is built from.
+struct BalanceProbe;
+
+impl RunConsumer for BalanceProbe {
+    type Acc = Vec<WorkerTrace>;
+
+    fn accumulator(&self) -> Self::Acc {
+        let now = Instant::now();
+        vec![WorkerTrace {
+            started: now,
+            last: now,
+            pairs: Vec::new(),
+        }]
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, cell: CellId, record: RunRecord) {
+        let trace = &mut acc[0];
+        trace.last = Instant::now();
+        trace.pairs.push((cell.flat, record));
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        into.extend(from);
+    }
+}
+
+/// The pathological sweep: `short_cells` sub-second cells cycling through a
+/// few SPEC workloads, plus one long-horizon cell (~100× the estimated
+/// cost) inserted mid-sweep. A single platform, so count-based splitting
+/// must cut the one hot key into count-equal blocks — the dominant cell
+/// drags a full block of cheap neighbours onto its worker.
+fn pathological_set(short_cells: usize, short_secs: f64, long_secs: f64) -> ScenarioSet {
+    let names = ["mcf", "lbm", "milc", "gcc", "astar", "povray"];
+    let mut set = ScenarioSet::new();
+    for i in 0..short_cells {
+        if i == short_cells / 2 {
+            let dominant = spec_workload("lbm").expect("known workload");
+            set.push(
+                Scenario::builder(dominant)
+                    .duration(SimTime::from_secs(long_secs))
+                    .build()
+                    .expect("dominant scenario"),
+            );
+        }
+        let workload = spec_workload(names[i % names.len()]).expect("known workload");
+        set.push(
+            Scenario::builder(workload)
+                .duration(SimTime::from_secs(short_secs))
+                .build()
+                .expect("short scenario"),
+        );
+    }
+    set
+}
+
+/// Runs the sweep under one sharding strategy and returns the balance
+/// measurement plus the folded records sorted by flat index.
+fn run_mode(set: &ScenarioSet, sharding: SweepSharding) -> (SchedPerf, Vec<(usize, RunRecord)>) {
+    let mut sweep = SweepSet::new();
+    sweep.push_set_ref(set);
+    let cells = sweep.cells();
+    let mut pool = SessionPool::new();
+    let start = Instant::now();
+    let traces = sweep
+        .run_parallel_fold_sharded(&mut pool, WORKERS, sharding, &BalanceProbe)
+        .expect("sweep executes");
+    let wall = start.elapsed();
+
+    let worker_busy: Vec<Duration> = traces
+        .iter()
+        .filter(|t| !t.pairs.is_empty())
+        .map(|t| t.last.duration_since(t.started))
+        .collect();
+    let mut pairs: Vec<(usize, RunRecord)> = traces.into_iter().flat_map(|t| t.pairs).collect();
+    pairs.sort_by_key(|(flat, _)| *flat);
+    (
+        SchedPerf {
+            cells,
+            threads: exec::effective_workers(WORKERS, cells),
+            wall,
+            worker_busy,
+        },
+        pairs,
+    )
+}
+
+/// The busiest worker's share of total *estimated* cost under an
+/// assignment — the deterministic (timing-free) twin of
+/// [`SchedPerf::worst_worker_share`].
+fn estimated_worst_share(assignment: &[usize], costs: &[u64]) -> f64 {
+    let mut per_worker = [0u128; WORKERS];
+    for (i, &w) in assignment.iter().enumerate() {
+        per_worker[w] += u128::from(costs[i].max(1));
+    }
+    let total: u128 = per_worker.iter().sum();
+    let worst = per_worker.iter().copied().max().unwrap_or(0);
+    worst as f64 / total as f64
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let (short_cells, short_secs, long_secs) = if short {
+        (120, 0.02, 1.2)
+    } else {
+        (240, 0.025, 3.0)
+    };
+    let label = if short { "skew_smoke" } else { "skew_full" };
+
+    let set = pathological_set(short_cells, short_secs, long_secs);
+    let cells = ScenarioSource::len(&set);
+
+    // The deterministic half of the story first: the cost model alone must
+    // already predict the scheduling win, independent of wall clocks.
+    let keys = set.shard_keys();
+    let costs = set.cell_costs();
+    let (min_cost, max_cost) = (
+        costs.iter().copied().min().unwrap_or(1),
+        costs.iter().copied().max().unwrap_or(1),
+    );
+    let count_share = estimated_worst_share(
+        &exec::Shard::SplitHotKeys(&keys).assignments(cells, WORKERS),
+        &costs,
+    );
+    let cost_share = estimated_worst_share(
+        &exec::Shard::SplitHotCost {
+            keys: &keys,
+            costs: &costs,
+        }
+        .assignments(cells, WORKERS),
+        &costs,
+    );
+    println!(
+        "sched/{label}: dominant cell {max_cost} vs short {min_cost} estimated cost \
+         ({:.0}x); estimated worst-worker share {count_share:.3} (count) -> \
+         {cost_share:.3} (cost)",
+        max_cost as f64 / min_cost as f64,
+    );
+    assert!(
+        max_cost >= 50 * min_cost,
+        "the dominant cell must dwarf the short ones"
+    );
+    assert!(
+        cost_share < count_share,
+        "cost-weighted splitting must shrink the estimated critical path"
+    );
+
+    // Then the measured halves: before (count-split) and after (cost-split).
+    let (count_perf, count_pairs) = run_mode(&set, SweepSharding::SplitHotKeys);
+    count_perf.emit("sched", label, "split_hot_keys");
+    let (cost_perf, cost_pairs) = run_mode(&set, SweepSharding::SplitHotCost);
+    cost_perf.emit("sched", label, "split_hot_cost");
+
+    assert_eq!(
+        count_pairs, cost_pairs,
+        "sharding strategies must not change a single byte of the results"
+    );
+    // Wall-clock balance follows the estimate; allow slack for noisy CI.
+    assert!(
+        cost_perf.worst_worker_share() <= count_perf.worst_worker_share() * 1.05,
+        "cost-weighted splitting regressed the measured worst-worker share \
+         ({:.3} vs {:.3})",
+        cost_perf.worst_worker_share(),
+        count_perf.worst_worker_share(),
+    );
+
+    println!(
+        "sched/{label}: worst-worker share {:.3} -> {:.3}, imbalance {:.2} -> {:.2}, \
+         {:.0} -> {:.0} cells/sec ({} cells, {} workers)",
+        count_perf.worst_worker_share(),
+        cost_perf.worst_worker_share(),
+        count_perf.imbalance_ratio(),
+        cost_perf.imbalance_ratio(),
+        count_perf.cells_per_sec(),
+        cost_perf.cells_per_sec(),
+        cells,
+        count_perf.threads,
+    );
+}

@@ -94,10 +94,10 @@ pub use predictor::{
     TriggeredConditions,
 };
 pub use scenario::{
-    auto_duration, platform_fingerprint, sysscale_factory, CellError, CellId, CollectRuns,
-    FnGovernorFactory, GovernorFactory, GovernorRegistry, GroupAcc, GroupFold, RunCell,
-    RunConsumer, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet, ScenarioSource,
-    SessionPool, SimSession, SweepSet, SweepSharding, TraceSinkFactory,
+    auto_duration, platform_fingerprint, scenario_cost, sysscale_factory, CellError, CellId,
+    CollectRuns, FnGovernorFactory, GovernorFactory, GovernorRegistry, GroupAcc, GroupFold,
+    RunCell, RunConsumer, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet,
+    ScenarioSource, SessionPool, SimSession, SweepSet, SweepSharding, TraceSinkFactory,
 };
 
 // Re-export the simulator entry points so downstream users can depend on the

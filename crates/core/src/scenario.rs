@@ -77,7 +77,7 @@ use sysscale_soc::{
     FixedGovernor, Governor, SimReport, SliceTrace, SocConfig, SocSimulator, TraceSink,
 };
 use sysscale_types::{exec, SimError, SimResult, SimTime};
-use sysscale_workloads::Workload;
+use sysscale_workloads::{PhaseSchedule, Workload};
 
 use crate::baselines::memscale_config;
 use crate::governor::{CoScaleGovernor, MemScaleGovernor, SysScaleGovernor};
@@ -923,6 +923,21 @@ pub fn platform_fingerprint(config: &SocConfig) -> u64 {
     hash
 }
 
+/// Estimated execution cost of one scenario, used as the shard weight of
+/// cost-keyed sweep execution ([`SweepSharding::ByCost`] /
+/// [`SweepSharding::SplitHotCost`]).
+///
+/// The estimate is [`PhaseSchedule::estimated_cost`] over the scenario's
+/// effective duration — derived purely from the workload's resolved phase
+/// structure, never from timing, so it is deterministic across runs,
+/// processes, and machines. Like the platform fingerprint it only steers
+/// *scheduling*: a poor estimate merely unbalances worker wall-clock, never
+/// changes results.
+#[must_use]
+pub fn scenario_cost(scenario: &Scenario) -> u64 {
+    PhaseSchedule::compile(scenario.workload()).estimated_cost(scenario.duration())
+}
+
 /// A lazily-produced, replayable stream of scenarios with a known length.
 ///
 /// Where a [`ScenarioSet`] materializes its cells, a source is a *recipe*:
@@ -958,6 +973,15 @@ pub trait ScenarioSource: Sync {
             .map(|s| platform_fingerprint(&s.effective_config()))
             .collect()
     }
+
+    /// One estimated execution cost per scenario (see [`scenario_cost`]);
+    /// cost-keyed sweep strategies balance worker load by these weights
+    /// instead of cell counts. The default derives the costs from one
+    /// streaming pass; sources that know their cells' costs up front (or
+    /// share workloads across many cells) should override it.
+    fn cell_costs(&self) -> Vec<u64> {
+        self.stream().map(|s| scenario_cost(&s)).collect()
+    }
 }
 
 impl ScenarioSource for ScenarioSet {
@@ -984,6 +1008,32 @@ impl ScenarioSource for ScenarioSet {
                         let key = platform_fingerprint(&config);
                         seen.push((config, key));
                         key
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn cell_costs(&self) -> Vec<u64> {
+        // A matrix shares each workload across its governor column; compile
+        // the phase schedule once per shared workload instance (the `Arc`
+        // makes sharing observable) instead of once per cell. Distinct
+        // durations over one workload still cost separate estimates.
+        let mut seen: Vec<(*const Workload, SimTime, u64)> = Vec::new();
+        self.scenarios
+            .iter()
+            .map(|scenario| {
+                let workload: *const Workload = scenario.workload();
+                let duration = scenario.duration();
+                match seen
+                    .iter()
+                    .find(|(w, d, _)| *w == workload && *d == duration)
+                {
+                    Some((_, _, cost)) => *cost,
+                    None => {
+                        let cost = scenario_cost(scenario);
+                        seen.push((workload, duration, cost));
+                        cost
                     }
                 }
             })
@@ -1024,6 +1074,25 @@ pub enum SweepSharding {
     /// worker the hot platform touches; use it for skewed sweeps where one
     /// configuration dominates the cell count.
     SplitHotKeys,
+    /// [`SweepSharding::ByPlatform`] weighted by the per-cell cost model
+    /// ([`exec::Shard::ByCostKeyed`] over [`scenario_cost`] estimates):
+    /// whole platforms are placed on workers greedily by **summed estimated
+    /// cost** instead of cell count, so a platform whose cells are
+    /// individually expensive (long traces, memory-bound phases) no longer
+    /// counts the same as one full of sub-second cells. Keeps full platform
+    /// locality — use it when per-cell runtimes are skewed but no single
+    /// platform dominates the total.
+    ByCost,
+    /// [`SweepSharding::ByCost`] with hot-platform splitting
+    /// ([`exec::Shard::SplitHotCost`]): a platform whose *summed estimated
+    /// cost* exceeds its fair share `⌈total cost / threads⌉` is split
+    /// across its cost-proportional share of the workers, with the split
+    /// balanced by per-cell cost rather than occurrence count — one
+    /// ~100×-cost cell among hundreds of short ones runs alone on a worker
+    /// instead of serializing a count-balanced block. Cold platforms keep
+    /// full locality. The strongest strategy for pathologically skewed
+    /// sweeps; results remain byte-identical to every other strategy.
+    SplitHotCost,
 }
 
 enum MemberSource<'a> {
@@ -1156,6 +1225,18 @@ impl<'a> SweepSet<'a> {
         self.members.iter().map(|(m, _)| m.as_source().len()).sum()
     }
 
+    /// Estimated execution cost of every cell, in flat order (see
+    /// [`scenario_cost`] and [`ScenarioSource::cell_costs`]). This is the
+    /// weight vector the cost-keyed sharding strategies balance by, and what
+    /// the distributed dispatcher sizes lease index-ranges with.
+    #[must_use]
+    pub fn cell_costs(&self) -> Vec<u64> {
+        self.members
+            .iter()
+            .flat_map(|(m, _)| m.as_source().cell_costs())
+            .collect()
+    }
+
     /// Executes the whole sweep as one batch across up to `threads` pool
     /// workers with the default [`SweepSharding::ByPlatform`] strategy, and
     /// returns one [`RunSet`] per member, in member order.
@@ -1248,16 +1329,31 @@ impl<'a> SweepSet<'a> {
         let (offsets, total) = self.member_offsets();
         let keys: Vec<u64> = match sharding {
             SweepSharding::RoundRobin => Vec::new(),
-            SweepSharding::ByPlatform | SweepSharding::SplitHotKeys => self
+            SweepSharding::ByPlatform
+            | SweepSharding::SplitHotKeys
+            | SweepSharding::ByCost
+            | SweepSharding::SplitHotCost => self
                 .members
                 .iter()
                 .flat_map(|(m, _)| m.as_source().shard_keys())
                 .collect(),
         };
+        let costs: Vec<u64> = match sharding {
+            SweepSharding::ByCost | SweepSharding::SplitHotCost => self.cell_costs(),
+            _ => Vec::new(),
+        };
         let shard = match sharding {
             SweepSharding::RoundRobin => exec::Shard::RoundRobin,
             SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
             SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
+            SweepSharding::ByCost => exec::Shard::ByCostKeyed {
+                keys: &keys,
+                costs: &costs,
+            },
+            SweepSharding::SplitHotCost => exec::Shard::SplitHotCost {
+                keys: &keys,
+                costs: &costs,
+            },
         };
 
         // A worker's fold state: the consumer accumulator plus the

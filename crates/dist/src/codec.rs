@@ -11,7 +11,10 @@
 use sysscale::{RunRecord, SimReport, SliceLoopStats};
 use sysscale_power::EnergyAccount;
 use sysscale_soc::{SliceTrace, TransitionStats};
-use sysscale_types::{Component, CounterKind, CounterSet, Energy, RunMetrics, SimTime};
+use sysscale_types::{
+    Bandwidth, Component, CounterKind, CounterSet, Domain, Energy, Power, RunMetrics, SimError,
+    SimTime,
+};
 
 use crate::wire::{Dec, Enc, WireError};
 
@@ -96,6 +99,85 @@ fn get_trace_slice(dec: &mut Dec<'_>) -> Result<SliceTrace, WireError> {
         power_w: dec.f64()?,
         operating_point: dec.usize()?,
         cpu_freq_ghz: dec.f64()?,
+    })
+}
+
+/// Encodes a [`SimError`] structurally: a variant discriminant followed by
+/// the variant's payload fields (floats as bit patterns, [`Domain`] by its
+/// [`Domain::ALL`] index) — not a rendered message. A worker-reported error
+/// therefore rebuilds as the *same* [`SimError`] value on the dispatcher
+/// side, so distributed failures match the in-process executor's errors
+/// `PartialEq`-identically, not just textually.
+pub fn put_sim_error(enc: &mut Enc, error: &SimError) {
+    match error {
+        SimError::InvalidConfig { reason } => {
+            enc.put_u8(0);
+            enc.put_str(reason);
+        }
+        SimError::UnknownOperatingPoint { index, ladder_len } => {
+            enc.put_u8(1);
+            enc.put_usize(*index);
+            enc.put_usize(*ladder_len);
+        }
+        SimError::QosViolation { demanded, provided } => {
+            enc.put_u8(2);
+            enc.put_f64(demanded.as_gib_s());
+            enc.put_f64(provided.as_gib_s());
+        }
+        SimError::BudgetExceeded {
+            domain,
+            budget,
+            measured,
+        } => {
+            enc.put_u8(3);
+            let index = Domain::ALL
+                .iter()
+                .position(|d| d == domain)
+                .expect("domain in Domain::ALL");
+            enc.put_u8(index as u8);
+            enc.put_f64(budget.as_watts());
+            enc.put_f64(measured.as_watts());
+        }
+        SimError::UnknownWorkload { name } => {
+            enc.put_u8(4);
+            enc.put_str(name);
+        }
+        SimError::EmptySimulation => enc.put_u8(5),
+    }
+}
+
+/// Decodes a [`SimError`] — the exact inverse of [`put_sim_error`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Malformed`] for an unknown discriminant, an
+/// out-of-range domain index, or a truncated payload.
+pub fn get_sim_error(dec: &mut Dec<'_>) -> Result<SimError, WireError> {
+    Ok(match dec.u8()? {
+        0 => SimError::InvalidConfig { reason: dec.str()? },
+        1 => SimError::UnknownOperatingPoint {
+            index: dec.usize()?,
+            ladder_len: dec.usize()?,
+        },
+        2 => SimError::QosViolation {
+            demanded: Bandwidth::from_gib_s(dec.f64()?),
+            provided: Bandwidth::from_gib_s(dec.f64()?),
+        },
+        3 => {
+            let index = dec.u8()?;
+            let domain = Domain::ALL
+                .get(index as usize)
+                .copied()
+                .ok_or_else(|| WireError::malformed(format!("domain index {index}")))?;
+            SimError::BudgetExceeded {
+                domain,
+                budget: Power::from_watts(dec.f64()?),
+                measured: Power::from_watts(dec.f64()?),
+            }
+        }
+        4 => SimError::UnknownWorkload { name: dec.str()? },
+        5 => SimError::EmptySimulation,
+        tag => return Err(WireError::malformed(format!("error discriminant {tag}"))),
     })
 }
 
@@ -221,5 +303,48 @@ mod tests {
         let record = session.run(&traced).unwrap();
         assert!(record.trace.is_some());
         assert_eq!(round_trip(&record), record);
+    }
+
+    /// Satellite: every [`SimError`] variant — payload fields included —
+    /// survives the wire `PartialEq`-identically, across randomly sampled
+    /// payloads.
+    #[test]
+    fn sim_errors_round_trip_structurally_property() {
+        use sysscale_types::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x51E7_7071);
+        for round in 0..200 {
+            let error = match rng.next_u64() % 6 {
+                0 => SimError::InvalidConfig {
+                    reason: format!("reason #{round} \u{2014} non-ascii ✓"),
+                },
+                1 => SimError::UnknownOperatingPoint {
+                    index: (rng.next_u64() % 1000) as usize,
+                    ladder_len: (rng.next_u64() % 100) as usize,
+                },
+                2 => SimError::QosViolation {
+                    demanded: Bandwidth::from_gib_s(rng.gen_range(0.0, 50.0)),
+                    provided: Bandwidth::from_gib_s(rng.gen_range(0.0, 50.0)),
+                },
+                3 => SimError::BudgetExceeded {
+                    domain: Domain::ALL[(rng.next_u64() % 3) as usize],
+                    budget: Power::from_watts(rng.gen_range(0.0, 15.0)),
+                    measured: Power::from_watts(rng.gen_range(0.0, 20.0)),
+                },
+                4 => SimError::UnknownWorkload {
+                    name: format!("bench-{}", rng.next_u64() % 1000),
+                },
+                _ => SimError::EmptySimulation,
+            };
+            let mut enc = Enc::new();
+            put_sim_error(&mut enc, &error);
+            let bytes = enc.into_bytes();
+            let mut dec = Dec::new(&bytes);
+            let decoded = get_sim_error(&mut dec).expect("decode");
+            dec.finish().expect("payload fully consumed");
+            assert_eq!(decoded, error, "round {round}");
+        }
+        // Unknown discriminants are rejected, not misread.
+        let mut dec = Dec::new(&[6]);
+        assert!(get_sim_error(&mut dec).is_err());
     }
 }

@@ -33,11 +33,19 @@ use sysscale_types::{SimError, SimResult};
 
 use crate::proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
 use crate::recipe::SweepRecipe;
-use crate::worker::FAULT_ENV;
+use crate::worker::{FAULT_ENV, HANG_ENV};
 
 /// Environment variable naming the worker binary, overriding the default
 /// next-to-the-current-executable discovery.
 pub const WORKER_ENV: &str = "SYSSCALE_DIST_WORKER";
+
+/// Environment variable enabling the dispatcher's heartbeat watchdog: a
+/// worker slot with outstanding leases that streams no frame for this many
+/// milliseconds is declared hung, killed, and its leases re-issued through
+/// the same generation-tagged death path a crashed worker takes. Unset (or
+/// 0) disables the watchdog; [`DistOptions::heartbeat_timeout`] overrides
+/// the environment.
+pub const HEARTBEAT_TIMEOUT_ENV: &str = "SYSSCALE_DIST_HEARTBEAT_TIMEOUT_MS";
 
 /// How long the dispatcher waits for a TCP worker to dial back before
 /// declaring the spawn failed.
@@ -59,14 +67,19 @@ pub enum TransportKind {
 }
 
 /// Deliberate worker sacrifice for fault-tolerance tests: the given slot's
-/// *first* process kills itself (SIGKILL, no cleanup) right after streaming
+/// *first* process kills itself (SIGKILL, no cleanup) — or, with `hang`,
+/// sleeps forever with the stream open — right after streaming
 /// `after_results` result frames. Respawns of the slot run clean.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerFault {
     /// The victim slot.
     pub slot: usize,
-    /// Result frames to stream before dying.
+    /// Result frames to stream before dying (or hanging).
     pub after_results: u64,
+    /// `false`: SIGKILL (the reader sees EOF and the death path fires on
+    /// its own). `true`: hang with the stream open — only the heartbeat
+    /// watchdog ([`HEARTBEAT_TIMEOUT_ENV`]) can recover.
+    pub hang: bool,
 }
 
 /// Tuning knobs for [`run_distributed`] / [`run_distributed_fold`].
@@ -93,6 +106,11 @@ pub struct DistOptions {
     /// Total respawn budget across the whole run (default 8); exceeded
     /// deaths fail the sweep.
     pub max_respawns: usize,
+    /// Heartbeat watchdog timeout: a slot with outstanding leases that
+    /// streams no frame for this long is killed and its leases re-issued.
+    /// `None` (default) falls back to [`HEARTBEAT_TIMEOUT_ENV`]; unset
+    /// there too disables the watchdog.
+    pub heartbeat_timeout: Option<Duration>,
     /// Test-only deliberate worker sacrifice.
     pub fault: Option<WorkerFault>,
 }
@@ -107,6 +125,7 @@ impl Default for DistOptions {
             transport: TransportKind::default(),
             worker_binary: None,
             max_respawns: 8,
+            heartbeat_timeout: None,
             fault: None,
         }
     }
@@ -130,6 +149,8 @@ pub struct DistStats {
     pub result_frames: u64,
     /// Heartbeat frames received.
     pub heartbeats: u64,
+    /// Hung-but-alive workers the heartbeat watchdog killed.
+    pub watchdog_kills: usize,
 }
 
 /// One planned lease and its in-flight fold state.
@@ -203,7 +224,7 @@ fn spawn_worker(
     generation: u64,
     options: &DistOptions,
     recipe_bytes: &[u8],
-    fault_after: Option<u64>,
+    fault: Option<WorkerFault>,
     events: &Sender<Event>,
 ) -> SimResult<WorkerSlot> {
     let mut command = Command::new(binary);
@@ -211,8 +232,12 @@ fn spawn_worker(
     // Never inherit a fault directive from the environment; only a spawn
     // the dispatcher deliberately sacrifices gets one.
     command.env_remove(FAULT_ENV);
-    if let Some(after) = fault_after {
-        command.env(FAULT_ENV, after.to_string());
+    command.env_remove(HANG_ENV);
+    if let Some(fault) = fault {
+        command.env(FAULT_ENV, fault.after_results.to_string());
+        if fault.hang {
+            command.env(HANG_ENV, "1");
+        }
     }
 
     match options.transport {
@@ -386,6 +411,45 @@ fn plan_slot_leases(cells: &[usize], leases_per_worker: usize) -> Vec<Vec<usize>
         .collect()
 }
 
+/// Like [`plan_slot_leases`], but the chunk boundaries fall on cost-prefix
+/// quantiles instead of index quantiles: chunk `c` ends at the first cell
+/// whose cumulative cost reaches `(c+1)/chunks` of the slot's total, so an
+/// expensive cell no longer drags a count-equal share of cheap neighbours
+/// into its lease. Every chunk keeps at least one cell, chunks stay
+/// contiguous and ascending, and the plan is a pure function of
+/// `(cells, costs, leases_per_worker)` — replay after a death re-issues
+/// identical leases. Zero costs count as one, mirroring the shard layer.
+fn plan_slot_leases_by_cost(
+    cells: &[usize],
+    costs: &[u64],
+    leases_per_worker: usize,
+) -> Vec<Vec<usize>> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let chunks = leases_per_worker.clamp(1, cells.len());
+    let cost_of = |flat: usize| u128::from(costs[flat].max(1));
+    let total: u128 = cells.iter().map(|&flat| cost_of(flat)).sum();
+    let mut plan: Vec<Vec<usize>> = Vec::with_capacity(chunks);
+    let mut current = Vec::new();
+    let mut prefix: u128 = 0;
+    for (i, &flat) in cells.iter().enumerate() {
+        current.push(flat);
+        prefix += cost_of(flat);
+        let built = plan.len() + 1; // chunks complete once `current` closes
+        let cells_left = cells.len() - (i + 1);
+        let chunks_left = chunks - built;
+        // Close the chunk at its cost quantile — or when exactly enough
+        // cells remain to keep every later chunk non-empty.
+        let reached = prefix * chunks as u128 >= built as u128 * total;
+        if built < chunks && (cells_left == chunks_left || (reached && cells_left >= chunks_left)) {
+            plan.push(std::mem::take(&mut current));
+        }
+    }
+    plan.push(current);
+    plan
+}
+
 /// Executes `recipe` across worker processes and returns one [`RunSet`] per
 /// recipe member (byte-identical to
 /// [`sysscale::SweepSet::run_parallel`] on the rebuilt sets), plus run
@@ -458,14 +522,29 @@ fn dispatch<Q: RunConsumer>(
     // The same cell→worker assignment the in-process fold core computes.
     let keys: Vec<u64> = match recipe.sharding {
         SweepSharding::RoundRobin => Vec::new(),
-        SweepSharding::ByPlatform | SweepSharding::SplitHotKeys => {
-            sets.iter().flat_map(ScenarioSource::shard_keys).collect()
+        SweepSharding::ByPlatform
+        | SweepSharding::SplitHotKeys
+        | SweepSharding::ByCost
+        | SweepSharding::SplitHotCost => sets.iter().flat_map(ScenarioSource::shard_keys).collect(),
+    };
+    let costs: Vec<u64> = match recipe.sharding {
+        SweepSharding::ByCost | SweepSharding::SplitHotCost => {
+            sets.iter().flat_map(ScenarioSource::cell_costs).collect()
         }
+        _ => Vec::new(),
     };
     let shard = match recipe.sharding {
         SweepSharding::RoundRobin => exec::Shard::RoundRobin,
         SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
         SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
+        SweepSharding::ByCost => exec::Shard::ByCostKeyed {
+            keys: &keys,
+            costs: &costs,
+        },
+        SweepSharding::SplitHotCost => exec::Shard::SplitHotCost {
+            keys: &keys,
+            costs: &costs,
+        },
     };
     let assignment = shard.assignments(total, slots);
     let mut slot_cells: Vec<Vec<usize>> = vec![Vec::new(); slots];
@@ -473,11 +552,18 @@ fn dispatch<Q: RunConsumer>(
         slot_cells[slot].push(flat);
     }
 
-    // Plan leases: ascending contiguous chunks of each slot's cell list.
+    // Plan leases: ascending contiguous chunks of each slot's cell list —
+    // index-sized normally, cost-sized under a cost-based sharding so one
+    // expensive cell doesn't fill a lease with cheap followers.
     let mut leases: Vec<LeaseState<Q::Acc>> = Vec::new();
     let mut slot_leases: Vec<Vec<usize>> = vec![Vec::new(); slots];
     for (slot, cells) in slot_cells.iter().enumerate() {
-        for flats in plan_slot_leases(cells, options.leases_per_worker) {
+        let chunks = if costs.is_empty() {
+            plan_slot_leases(cells, options.leases_per_worker)
+        } else {
+            plan_slot_leases_by_cost(cells, &costs, options.leases_per_worker)
+        };
+        for flats in chunks {
             slot_leases[slot].push(leases.len());
             leases.push(LeaseState {
                 slot,
@@ -512,20 +598,8 @@ fn dispatch<Q: RunConsumer>(
             workers.push(None);
             continue;
         }
-        let fault_after = options
-            .fault
-            .as_ref()
-            .filter(|fault| fault.slot == slot)
-            .map(|fault| fault.after_results);
-        let worker = spawn_worker(
-            &binary,
-            slot,
-            0,
-            options,
-            &recipe_bytes,
-            fault_after,
-            &events_tx,
-        );
+        let fault = options.fault.filter(|fault| fault.slot == slot);
+        let worker = spawn_worker(&binary, slot, 0, options, &recipe_bytes, fault, &events_tx);
         let mut worker = match worker {
             Ok(worker) => worker,
             Err(error) => {
@@ -540,15 +614,62 @@ fn dispatch<Q: RunConsumer>(
         workers.push(Some(worker));
     }
 
+    // Heartbeat watchdog state: when enabled, every live slot's last frame
+    // time; a slot with outstanding leases that stays silent past the
+    // timeout is killed, which closes its stream and drives the ordinary
+    // generation-tagged death path below — re-issue, respawn, replay.
+    let heartbeat_timeout = options.heartbeat_timeout.or_else(|| {
+        std::env::var(HEARTBEAT_TIMEOUT_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    });
+    let mut last_seen: Vec<Instant> = vec![Instant::now(); slots];
+
     let mut failure: Option<SimError> = None;
     while remaining > 0 && failure.is_none() {
-        let event = match events_rx.recv() {
-            Ok(event) => event,
-            Err(_) => {
-                failure = Some(dist_error("event channel closed unexpectedly"));
-                break;
+        let event = match heartbeat_timeout {
+            None => match events_rx.recv() {
+                Ok(event) => Some(event),
+                Err(_) => {
+                    failure = Some(dist_error("event channel closed unexpectedly"));
+                    break;
+                }
+            },
+            Some(timeout) => {
+                // Poll at a fraction of the timeout so a hang is noticed at
+                // most ~1.25 timeouts after the last frame.
+                let poll = (timeout / 4).max(Duration::from_millis(10));
+                match events_rx.recv_timeout(poll) {
+                    Ok(event) => Some(event),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        failure = Some(dist_error("event channel closed unexpectedly"));
+                        break;
+                    }
+                }
             }
         };
+        if let Some(timeout) = heartbeat_timeout {
+            for slot in 0..slots {
+                let hung = workers[slot].as_ref().is_some_and(|w| w.alive)
+                    && slot_leases[slot].iter().any(|&id| !leases[id].done)
+                    && last_seen[slot].elapsed() > timeout;
+                if hung {
+                    // Kill the hung process; its reader thread then reports
+                    // `Closed` for this generation and the death path
+                    // re-issues the slot's unfinished leases. Clearing
+                    // `alive` keeps the watchdog from re-killing the slot
+                    // while that event is in flight.
+                    stats.watchdog_kills += 1;
+                    let worker = workers[slot].as_mut().expect("checked above");
+                    let _ = worker.child.kill();
+                    worker.alive = false;
+                }
+            }
+        }
+        let Some(event) = event else { continue };
         match event {
             Event::Frame {
                 slot,
@@ -559,6 +680,7 @@ fn dispatch<Q: RunConsumer>(
                 if current != Some(generation) {
                     continue; // stale frame from a replaced worker
                 }
+                last_seen[slot] = Instant::now();
                 match message {
                     Message::Result {
                         lease_id,
@@ -603,10 +725,11 @@ fn dispatch<Q: RunConsumer>(
                         remaining -= 1;
                     }
                     Message::Heartbeat { .. } => stats.heartbeats += 1,
-                    Message::WorkerError { flat, message, .. } => {
-                        failure = Some(SimError::invalid_config(format!(
-                            "cell {flat} failed on worker slot {slot}: {message}"
-                        )));
+                    Message::WorkerError { error, .. } => {
+                        // The structured error round-trips the wire intact,
+                        // so callers see the exact SimError the in-process
+                        // executor would have returned for this cell.
+                        failure = Some(error);
                         break;
                     }
                     other => {
@@ -686,6 +809,7 @@ fn dispatch<Q: RunConsumer>(
                             send_lease(&mut replacement, lease_id, &leases[lease_id].flats);
                         }
                         workers[slot] = Some(replacement);
+                        last_seen[slot] = Instant::now();
                     }
                     Err(spawn_error) => {
                         failure = Some(spawn_error);
@@ -742,6 +866,31 @@ mod tests {
         // Fewer cells than the lease budget: one lease per cell.
         assert_eq!(plan_slot_leases(&[5, 9], 4).len(), 2);
         assert!(plan_slot_leases(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn cost_sized_leases_cut_on_cost_quantiles_not_index_quantiles() {
+        // Ten cells, cell 0 carrying ~90% of the slot's cost: the first
+        // lease must be just that cell, with the cheap tail spread over the
+        // remaining leases — where index-quantile chunks would give lease 0
+        // two or three cells including the expensive one.
+        let cells: Vec<usize> = (0..10).collect();
+        let mut costs = vec![1u64; 10];
+        costs[0] = 90;
+        let plan = plan_slot_leases_by_cost(&cells, &costs, 4);
+        assert_eq!(plan.len(), 4);
+        let rejoined: Vec<usize> = plan.iter().flatten().copied().collect();
+        assert_eq!(rejoined, cells, "chunks must cover the slot in order");
+        assert!(plan.iter().all(|chunk| !chunk.is_empty()));
+        assert_eq!(plan[0], vec![0], "the dominant cell gets its own lease");
+
+        // Uniform costs degrade to near-equal counts, like the index plan.
+        let plan = plan_slot_leases_by_cost(&cells, &[7; 10], 4);
+        assert!(plan.iter().all(|chunk| (2..=3).contains(&chunk.len())));
+
+        // Fewer cells than the lease budget: one lease per cell.
+        assert_eq!(plan_slot_leases_by_cost(&[5, 9], &[1; 10], 4).len(), 2);
+        assert!(plan_slot_leases_by_cost(&[], &[], 4).is_empty());
     }
 
     #[test]

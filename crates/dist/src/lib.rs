@@ -50,11 +50,11 @@ pub mod worker;
 
 pub use dispatcher::{
     run_distributed, run_distributed_fold, DistOptions, DistStats, TransportKind, WorkerFault,
-    WORKER_ENV,
+    HEARTBEAT_TIMEOUT_ENV, WORKER_ENV,
 };
 pub use proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
 pub use recipe::{
     sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec,
 };
 pub use wire::{Dec, Enc, WireError};
-pub use worker::{worker_main, FAULT_ENV};
+pub use worker::{worker_main, FAULT_ENV, HANG_ENV};

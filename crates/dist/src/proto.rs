@@ -11,7 +11,7 @@
 //! | 3    | `Result`      | worker → dispatcher | lease id, flat index, encoded [`RunRecord`] |
 //! | 4    | `LeaseDone`   | worker → dispatcher | lease id, cell count |
 //! | 5    | `Heartbeat`   | worker → dispatcher | lease id, cells completed so far |
-//! | 6    | `WorkerError` | worker → dispatcher | lease id, failing flat index, rendered error |
+//! | 6    | `WorkerError` | worker → dispatcher | lease id, failing flat index, structured [`SimError`] (discriminant + payload fields) |
 //! | 7    | `Shutdown`    | dispatcher → worker | empty |
 //!
 //! The `Job` frame opens with a protocol magic and version so a worker
@@ -23,6 +23,7 @@ use std::net::TcpStream;
 use std::process::{ChildStdin, ChildStdout};
 
 use sysscale::RunRecord;
+use sysscale_types::SimError;
 
 use crate::codec;
 use crate::wire::{read_frame, write_frame, Dec, Enc, WireError};
@@ -31,7 +32,9 @@ use crate::wire::{read_frame, write_frame, Dec, Enc, WireError};
 pub const PROTO_MAGIC: u32 = 0x5353_4450;
 
 /// Protocol version; bump on any frame-layout change.
-pub const PROTO_VERSION: u16 = 1;
+/// v2: `WorkerError` carries a structured [`SimError`] instead of a
+/// rendered message.
+pub const PROTO_VERSION: u16 = 2;
 
 const FT_JOB: u8 = 1;
 const FT_LEASE: u8 = 2;
@@ -215,8 +218,10 @@ pub enum Message {
         lease_id: u64,
         /// Flat index of the failing cell.
         flat: u64,
-        /// Rendered simulator error.
-        message: String,
+        /// The structured simulator error ([`crate::codec::put_sim_error`]):
+        /// the dispatcher surfaces the *same* [`SimError`] value the
+        /// in-process executor would return, payload fields intact.
+        error: SimError,
     },
     /// Orderly end of session; the worker exits cleanly.
     Shutdown,
@@ -276,11 +281,11 @@ impl Message {
             Message::WorkerError {
                 lease_id,
                 flat,
-                message,
+                error,
             } => {
                 enc.put_u64(*lease_id);
                 enc.put_u64(*flat);
-                enc.put_str(message);
+                codec::put_sim_error(&mut enc, error);
                 FT_WORKER_ERROR
             }
             Message::Shutdown => FT_SHUTDOWN,
@@ -337,7 +342,7 @@ impl Message {
             FT_WORKER_ERROR => Message::WorkerError {
                 lease_id: dec.u64()?,
                 flat: dec.u64()?,
-                message: dec.str()?,
+                error: codec::get_sim_error(&mut dec)?,
             },
             FT_SHUTDOWN => Message::Shutdown,
             tag => return Err(WireError::malformed(format!("frame type {tag}"))),
@@ -467,7 +472,9 @@ mod tests {
         Message::WorkerError {
             lease_id: 7,
             flat: 4,
-            message: "boom".to_string(),
+            error: SimError::UnknownWorkload {
+                name: "boom".to_string(),
+            },
         }
         .write_to(&mut stream)
         .unwrap();
@@ -513,8 +520,16 @@ mod tests {
             Message::WorkerError {
                 lease_id,
                 flat,
-                message,
-            } => assert_eq!((lease_id, flat, message.as_str()), (7, 4, "boom")),
+                error,
+            } => {
+                assert_eq!((lease_id, flat), (7, 4));
+                assert_eq!(
+                    error,
+                    SimError::UnknownWorkload {
+                        name: "boom".to_string()
+                    }
+                );
+            }
             other => panic!("expected WorkerError, got {other:?}"),
         }
         assert!(matches!(

@@ -476,6 +476,8 @@ impl SweepRecipe {
             SweepSharding::RoundRobin => 0,
             SweepSharding::ByPlatform => 1,
             SweepSharding::SplitHotKeys => 2,
+            SweepSharding::ByCost => 3,
+            SweepSharding::SplitHotCost => 4,
         });
         enc.put_u32(self.members.len() as u32);
         for member in &self.members {
@@ -508,6 +510,8 @@ impl SweepRecipe {
             0 => SweepSharding::RoundRobin,
             1 => SweepSharding::ByPlatform,
             2 => SweepSharding::SplitHotKeys,
+            3 => SweepSharding::ByCost,
+            4 => SweepSharding::SplitHotCost,
             tag => return Err(WireError::malformed(format!("sharding tag {tag}"))),
         };
         let member_count = dec.u32()?;

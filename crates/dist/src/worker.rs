@@ -22,6 +22,13 @@ use crate::recipe::{sweep_from_sets, SweepRecipe};
 /// sacrificed processes and never on respawns.
 pub const FAULT_ENV: &str = "SYSSCALE_DIST_FAULT_AFTER";
 
+/// Companion to [`FAULT_ENV`] for the heartbeat-watchdog tests: when set
+/// (any non-empty value) alongside [`FAULT_ENV`]`=n`, the worker *hangs*
+/// after its `n`-th `Result` frame — process alive, stream open, no further
+/// frames — instead of dying. Only the dispatcher's heartbeat timeout can
+/// recover from this shape of failure.
+pub const HANG_ENV: &str = "SYSSCALE_DIST_FAULT_HANG";
+
 /// Dies as abruptly as `kill -9`: try SIGKILL via the system `kill`
 /// utility, and if that is unavailable fall back to an abort. Neither path
 /// flushes buffers or unwinds, which is the point — the dispatcher must
@@ -32,6 +39,15 @@ fn die_hard() -> ! {
         .args(["-9", &pid])
         .status();
     std::process::abort();
+}
+
+/// Hangs forever without closing the transport — the "stuck but alive"
+/// failure mode ([`HANG_ENV`]): the dispatcher's reader thread sees no EOF,
+/// so only the heartbeat watchdog notices.
+fn hang_forever() -> ! {
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 /// Runs the worker protocol loop over the given byte channel until
@@ -50,6 +66,7 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
     let fault_after: Option<u64> = std::env::var(FAULT_ENV)
         .ok()
         .and_then(|v| v.trim().parse().ok());
+    let fault_hangs = std::env::var(HANG_ENV).is_ok_and(|v| !v.trim().is_empty());
     let mut results_sent = 0u64;
 
     // The session opens with exactly one Job frame.
@@ -82,6 +99,15 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
                         "lease {lease_id} indexes past the sweep ({total} cells)"
                     ));
                 }
+                // Signal liveness before the first (possibly long) batch so
+                // the dispatcher's heartbeat watchdog never mistakes lease
+                // startup for a hang.
+                Message::Heartbeat {
+                    lease_id,
+                    done_cells: 0,
+                }
+                .write_to(&mut tx)
+                .map_err(|e| format!("streaming heartbeat: {e}"))?;
                 let mut done_cells = 0u64;
                 for batch in flats.chunks(batch_cells) {
                     match sweep.run_flat_indices(&mut pool, threads, batch) {
@@ -96,6 +122,9 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
                                 .map_err(|e| format!("streaming result: {e}"))?;
                                 results_sent += 1;
                                 if fault_after.is_some_and(|n| results_sent >= n) {
+                                    if fault_hangs {
+                                        hang_forever();
+                                    }
                                     die_hard();
                                 }
                             }
@@ -111,7 +140,7 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
                             Message::WorkerError {
                                 lease_id,
                                 flat: cell_error.flat as u64,
-                                message: cell_error.error.to_string(),
+                                error: cell_error.error.clone(),
                             }
                             .write_to(&mut tx)
                             .map_err(|e| format!("streaming error: {e}"))?;

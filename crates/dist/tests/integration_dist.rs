@@ -166,6 +166,7 @@ fn killed_worker_leases_replay_bit_identically() {
     let fault = WorkerFault {
         slot: 1,
         after_results: 5,
+        hang: false,
     };
     let leases_per_worker = 4;
     let (got, stats) = run_distributed(
@@ -201,6 +202,72 @@ fn killed_worker_leases_replay_bit_identically() {
         cells + fault.after_results,
         "every cell once, plus the discarded partials"
     );
+}
+
+/// Satellite: a hung-but-alive worker (stream open, no frames) stalls the
+/// sweep forever without a watchdog — with `heartbeat_timeout` set, the
+/// dispatcher kills the silent slot and replays its leases through the same
+/// generation-tagged death path a crash takes, bit-identically.
+#[test]
+fn hung_worker_is_killed_by_the_watchdog_and_leases_replay_bit_identically() {
+    let recipe = SweepRecipe::fig10(&[4.5, 6.0]);
+    let cells = recipe.total_cells() as u64;
+    let expected = in_process(&recipe, 3);
+
+    let fault = WorkerFault {
+        slot: 1,
+        after_results: 3,
+        hang: true,
+    };
+    // Small batches keep healthy workers' frame gaps far below the timeout,
+    // so only the genuinely hung slot trips the watchdog.
+    let (got, stats) = run_distributed(
+        &recipe,
+        &DistOptions {
+            fault: Some(fault),
+            heartbeat_timeout: Some(std::time::Duration::from_millis(2500)),
+            batch_cells: 2,
+            ..options(2)
+        },
+    )
+    .expect("distributed sweep survives the hang");
+
+    assert_eq!(
+        got, expected,
+        "a mid-sweep worker hang must not change a single byte of the result"
+    );
+    assert_eq!(stats.watchdog_kills, 1, "exactly one hang detected");
+    assert_eq!(
+        stats.workers_spawned, 3,
+        "exactly one respawn replaces the hung worker"
+    );
+    assert!(stats.reissued_leases >= 1, "the hung lease must re-issue");
+    assert_eq!(
+        stats.result_frames,
+        cells + fault.after_results,
+        "every cell once, plus the hung worker's discarded partials"
+    );
+}
+
+/// Tentpole acceptance: cost-sized leases (recipe sharded by
+/// [`sysscale::SweepSharding::SplitHotCost`]) produce RunSets byte-identical
+/// to the in-process executor at 1, 2, and 4 worker processes.
+#[test]
+fn cost_sized_leases_are_bit_identical_at_every_process_count() {
+    let mut recipe = small_recipe();
+    recipe.sharding = sysscale::SweepSharding::SplitHotCost;
+    let cells = recipe.total_cells() as u64;
+    let expected = in_process(&recipe, 3);
+
+    for procs in [1, 2, 4] {
+        let (got, stats) =
+            run_distributed(&recipe, &options(procs)).expect("distributed sweep succeeds");
+        assert_eq!(
+            got, expected,
+            "{procs}-process cost-sharded run must be bit-identical to in-process"
+        );
+        assert_clean(&stats, cells);
+    }
 }
 
 #[test]

@@ -7,14 +7,18 @@
 //! * **static sharding** — the item→worker assignment is a pure function of
 //!   `(item index, worker count, shard strategy)`. There is no work stealing
 //!   and no shared queue, so every run of the same input is scheduled
-//!   identically. Three strategies exist ([`Shard`]): plain round-robin
+//!   identically. Five strategies exist ([`Shard`]): plain round-robin
 //!   (worker `w` of `n` processes items `w, w + n, w + 2n, …`), keyed
 //!   sharding (items sharing a key — e.g. simulation cells on the same
 //!   platform — are grouped onto as few workers as possible while keeping
-//!   every worker busy; see [`Shard::ByKey`]), and hot-key splitting
+//!   every worker busy; see [`Shard::ByKey`]), hot-key splitting
 //!   ([`Shard::SplitHotKeys`], keyed sharding that additionally splits any
 //!   key owning more than its fair share of the input across several
-//!   workers, so one dominant key cannot serialize a batch);
+//!   workers, so one dominant key cannot serialize a batch), and their
+//!   cost-weighted counterparts ([`Shard::ByCostKeyed`] and
+//!   [`Shard::SplitHotCost`], which balance by a caller-supplied per-item
+//!   cost weight instead of item count, so one dominant-*cost* item cannot
+//!   serialize a batch either);
 //! * **stable output order** — results are returned indexed by the *input*
 //!   position, never by completion order, so callers observe output that is
 //!   independent of thread interleaving;
@@ -191,6 +195,45 @@ pub enum Shard<'k> {
     /// that own a key is again a pure function of the key multiset and the
     /// worker count.
     SplitHotKeys(&'k [u64]),
+    /// Keyed sharding balanced by per-item **cost** instead of item count:
+    /// items sharing a key stay grouped (full [`Shard::ByKey`] locality),
+    /// but whole key groups are placed on workers by greedy
+    /// longest-processing-time assignment over their *summed costs*
+    /// (groups in descending cost order, each to the least-loaded worker),
+    /// so a worker owning one expensive key is not also handed a cheap one
+    /// while another worker idles. With fewer keys than workers, each key
+    /// receives a contiguous worker range sized by its cost share (capped
+    /// at its item count) and its items split cost-balanced over the range.
+    ///
+    /// Costs are opaque weights (a zero cost is treated as one). The
+    /// assignment is a pure function of the `(key, cost)` pair multiset and
+    /// the worker count: permuting the items permutes the assignment
+    /// identically but never changes which workers own a key.
+    ByCostKeyed {
+        /// One key per item (shared key ⇒ same group), as [`Shard::ByKey`].
+        keys: &'k [u64],
+        /// One cost weight per item (relative units; zero counts as one).
+        costs: &'k [u64],
+    },
+    /// [`Shard::ByCostKeyed`] with hot-key splitting by **summed cost**:
+    /// any key whose summed cost exceeds `⌈total / workers⌉` (its fair
+    /// share of the total cost) is split into its proportional share of
+    /// the workers — `⌈key_cost·workers/total⌉` subgroups, at least 2,
+    /// never more than the key's item count — with the key's items
+    /// partitioned over the subgroups by descending-cost greedy balancing
+    /// (prefix-sum cost, not index arithmetic), so one dominant-cost cell
+    /// among hundreds of short ones no longer serializes the batch on one
+    /// worker. Keys at or below the fair share keep full locality.
+    ///
+    /// Like every strategy here the split only steers *scheduling*: which
+    /// worker runs an item, never the result order. Ownership is a pure
+    /// function of the `(key, cost)` pair multiset and the worker count.
+    SplitHotCost {
+        /// One key per item (shared key ⇒ same group), as [`Shard::ByKey`].
+        keys: &'k [u64],
+        /// One cost weight per item (relative units; zero counts as one).
+        costs: &'k [u64],
+    },
 }
 
 /// Dense-ranks `keys` by ascending key value: returns one rank per item and
@@ -238,22 +281,190 @@ fn spread_groups(group_of: Vec<usize>, groups: usize, workers: usize) -> Vec<usi
         .collect()
 }
 
+/// The worker/part with the lowest load (ties resolved to the lowest
+/// index, so the choice is deterministic).
+fn least_loaded(loads: &[u128]) -> usize {
+    let mut best = 0;
+    for (i, &load) in loads.iter().enumerate() {
+        if load < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Splits one group's items into `parts` cost-balanced subgroups by greedy
+/// longest-processing-time assignment: items in descending cost order go to
+/// the currently cheapest subgroup. Returns one part index per item
+/// (parallel to `items`). Ties between equal costs keep arrival order —
+/// equal-cost items of one group are interchangeable, so the per-cost part
+/// multiset (and with it, worker ownership) stays a pure function of the
+/// cost multiset. Every part receives at least one item when the group has
+/// at least `parts` items (the first `parts` items land on distinct parts).
+fn lpt_partition(items: &[usize], cost_of: &dyn Fn(usize) -> u128, parts: usize) -> Vec<usize> {
+    if parts <= 1 {
+        return vec![0; items.len()];
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| cost_of(items[b]).cmp(&cost_of(items[a])).then(a.cmp(&b)));
+    let mut load = vec![0u128; parts];
+    let mut part_of = vec![0usize; items.len()];
+    for j in order {
+        let p = least_loaded(&load);
+        part_of[j] = p;
+        load[p] += cost_of(items[j]);
+    }
+    part_of
+}
+
+/// The shared core of the cost-weighted strategies: dense-ranks the keys,
+/// splits each key into `1` (cold) or its proportional cost share (hot,
+/// when `split_hot`) of subgroups, then places the subgroups on workers by
+/// summed cost — greedy LPT when there are at least as many subgroups as
+/// workers, or cost-proportional contiguous worker ranges (with the items
+/// cost-balanced over each range) when there are fewer.
+fn cost_assignments(keys: &[u64], costs: &[u64], workers: usize, split_hot: bool) -> Vec<usize> {
+    let len = keys.len();
+    let (ranks, distinct) = dense_ranks(keys);
+    // Costs are opaque relative weights; zero would make an item invisible
+    // to the balance, so it is clamped to one. Sums use u128 so a full
+    // u64-cost input cannot overflow.
+    let cost_of = move |i: usize| u128::from(costs[i].max(1));
+    let total: u128 = (0..len).map(cost_of).sum();
+    let mut key_cost = vec![0u128; distinct];
+    let mut key_items: Vec<Vec<usize>> = vec![Vec::new(); distinct];
+    for (i, &r) in ranks.iter().enumerate() {
+        key_cost[r] += cost_of(i);
+        key_items[r].push(i);
+    }
+    // A key's fair share of the total cost; summing more makes it hot. A
+    // hot key splits into `⌈key_cost·workers/total⌉` subgroups (at least
+    // 2 — it is hot — and never more than its item count: a single
+    // expensive item cannot be split).
+    let fair = total.div_ceil(workers as u128).max(1);
+    let splits: Vec<usize> = (0..distinct)
+        .map(|r| {
+            if split_hot && key_cost[r] > fair {
+                let share = (key_cost[r] * workers as u128).div_ceil(total.max(1)) as usize;
+                share.max(2).min(key_items[r].len()).max(1)
+            } else {
+                1
+            }
+        })
+        .collect();
+    let total_groups: usize = splits.iter().sum();
+
+    // Subgroup ids are rank-major, part-minor — a pure function of the
+    // value-sorted key ranks, never of first-appearance order.
+    let mut group_of = vec![0usize; len];
+    let mut group_cost = vec![0u128; total_groups];
+    let mut group_items: Vec<Vec<usize>> = vec![Vec::new(); total_groups];
+    let mut base = 0usize;
+    for r in 0..distinct {
+        let part_of = lpt_partition(&key_items[r], &cost_of, splits[r]);
+        for (j, &i) in key_items[r].iter().enumerate() {
+            let g = base + part_of[j];
+            group_of[i] = g;
+            group_cost[g] += cost_of(i);
+            group_items[g].push(i);
+        }
+        base += splits[r];
+    }
+
+    if total_groups >= workers {
+        // Whole subgroups placed by greedy LPT over their summed costs:
+        // subgroups in descending cost order (ties by ascending subgroup
+        // id) each go to the least-loaded worker. With every cost at least
+        // one, the first `workers` subgroups land on distinct workers.
+        let mut order: Vec<usize> = (0..total_groups).collect();
+        order.sort_by(|&a, &b| group_cost[b].cmp(&group_cost[a]).then(a.cmp(&b)));
+        let mut load = vec![0u128; workers];
+        let mut worker_of_group = vec![0usize; total_groups];
+        for g in order {
+            let w = least_loaded(&load);
+            worker_of_group[g] = w;
+            load[w] += group_cost[g];
+        }
+        return group_of.into_iter().map(|g| worker_of_group[g]).collect();
+    }
+
+    // Fewer subgroups than workers: each subgroup receives a contiguous
+    // worker range. Every subgroup gets one worker; the surplus workers go
+    // one at a time to the subgroup with the highest cost per allotted
+    // worker that still has more items than workers (deterministic greedy,
+    // ties to the lowest subgroup id). A range can never outgrow its item
+    // count, so no worker is handed an empty block while another subgroup
+    // still has items to spread.
+    let mut width = vec![1usize; total_groups];
+    let mut surplus = workers - total_groups;
+    while surplus > 0 {
+        let mut best: Option<usize> = None;
+        for g in 0..total_groups {
+            if width[g] >= group_items[g].len() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // cost[g]/width[g] > cost[b]/width[b], cross-multiplied.
+                Some(b) => group_cost[g] * width[b] as u128 > group_cost[b] * width[g] as u128,
+            };
+            if better {
+                best = Some(g);
+            }
+        }
+        let Some(g) = best else {
+            break; // fewer items than workers overall: idle workers remain
+        };
+        width[g] += 1;
+        surplus -= 1;
+    }
+    let mut start = vec![0usize; total_groups];
+    for g in 1..total_groups {
+        start[g] = start[g - 1] + width[g - 1];
+    }
+    let mut assignment = vec![0usize; len];
+    for g in 0..total_groups {
+        let part_of = lpt_partition(&group_items[g], &cost_of, width[g]);
+        for (j, &i) in group_items[g].iter().enumerate() {
+            assignment[i] = start[g] + part_of[j];
+        }
+    }
+    assignment
+}
+
 impl Shard<'_> {
     /// The key slice of a keyed strategy (`None` for round-robin).
     fn keys(&self) -> Option<&[u64]> {
         match self {
             Shard::RoundRobin => None,
             Shard::ByKey(keys) | Shard::SplitHotKeys(keys) => Some(keys),
+            Shard::ByCostKeyed { keys, .. } | Shard::SplitHotCost { keys, .. } => Some(keys),
         }
     }
 
-    /// Validates that a keyed strategy's key slice covers `len` items.
+    /// The cost slice of a cost-weighted strategy (`None` otherwise).
+    fn costs(&self) -> Option<&[u64]> {
+        match self {
+            Shard::RoundRobin | Shard::ByKey(_) | Shard::SplitHotKeys(_) => None,
+            Shard::ByCostKeyed { costs, .. } | Shard::SplitHotCost { costs, .. } => Some(costs),
+        }
+    }
+
+    /// Validates that a keyed strategy's key (and cost) slices cover `len`
+    /// items.
     fn validate(&self, len: usize) {
         if let Some(keys) = self.keys() {
             assert!(
                 keys.len() >= len,
                 "shard keys ({}) shorter than the input ({len})",
                 keys.len()
+            );
+        }
+        if let Some(costs) = self.costs() {
+            assert!(
+                costs.len() >= len,
+                "shard costs ({}) shorter than the input ({len})",
+                costs.len()
             );
         }
     }
@@ -321,6 +532,12 @@ impl Shard<'_> {
                     })
                     .collect();
                 spread_groups(groups, total_groups, workers)
+            }
+            Shard::ByCostKeyed { keys, costs } => {
+                cost_assignments(&keys[..len], &costs[..len], workers, false)
+            }
+            Shard::SplitHotCost { keys, costs } => {
+                cost_assignments(&keys[..len], &costs[..len], workers, true)
             }
         }
     }
@@ -492,15 +709,14 @@ where
     // really is O(workers). For the keyed strategies one O(len) pass builds
     // each worker's index list; workers then walk their own (ascending)
     // list instead of rescanning the whole range.
-    let mut shards: Vec<Option<Vec<usize>>> = match shard {
-        Shard::RoundRobin => vec![None; threads],
-        Shard::ByKey(_) | Shard::SplitHotKeys(_) => {
-            let mut lists: Vec<Vec<usize>> = vec![Vec::new(); threads];
-            for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
-                lists[w].push(i);
-            }
-            lists.into_iter().map(Some).collect()
+    let mut shards: Vec<Option<Vec<usize>>> = if shard.keys().is_none() {
+        vec![None; threads]
+    } else {
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
+            lists[w].push(i);
         }
+        lists.into_iter().map(Some).collect()
     };
     let accs = std::thread::scope(|scope| {
         let fold = &fold;
@@ -829,6 +1045,172 @@ mod tests {
     }
 
     #[test]
+    fn split_hot_cost_isolates_a_dominant_cost_item() {
+        // One key, 13 items: item 0 costs 100, the rest cost 1. Count-based
+        // splitting would hand the worker owning item 0 a third of the
+        // remaining items too; cost-based splitting must leave the dominant
+        // item alone on its worker while the cheap items spread over the
+        // others.
+        let keys = vec![7u64; 13];
+        let mut costs = vec![1u64; 13];
+        costs[0] = 100;
+        let shard = Shard::SplitHotCost {
+            keys: &keys,
+            costs: &costs,
+        };
+        let assignment = shard.assignments(13, 4);
+        let hot_worker = assignment[0];
+        let companions = assignment[1..].iter().filter(|&&w| w == hot_worker).count();
+        assert_eq!(
+            companions, 0,
+            "dominant-cost item must run alone: {assignment:?}"
+        );
+        // Every worker is busy, and the cheap items spread evenly.
+        let mut loads = [0usize; 4];
+        for &w in &assignment {
+            loads[w] += 1;
+        }
+        assert!(loads.iter().all(|&l| l > 0), "{assignment:?}");
+    }
+
+    #[test]
+    fn cost_strategies_keep_cold_key_locality() {
+        // Two keys of equal modest cost at 2 workers: nothing is hot, so
+        // both cost strategies behave like ByKey — one whole key per
+        // worker, disjoint owner sets.
+        let keys: Vec<u64> = (0..8).map(|i| i as u64 / 4).collect();
+        let costs = vec![3u64; 8];
+        for shard in [
+            Shard::ByCostKeyed {
+                keys: &keys,
+                costs: &costs,
+            },
+            Shard::SplitHotCost {
+                keys: &keys,
+                costs: &costs,
+            },
+        ] {
+            let owners = owners_by_key(&keys, &shard.assignments(8, 2));
+            assert_eq!(owners[0].1.len(), 1, "{shard:?}: {owners:?}");
+            assert_eq!(owners[1].1.len(), 1, "{shard:?}: {owners:?}");
+            assert_ne!(owners[0].1, owners[1].1, "{shard:?}: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn by_cost_keyed_balances_worker_cost_not_item_count() {
+        // Four keys at 2 workers: key 0 costs 90, keys 1-3 cost 10 each.
+        // ByKey's rank % workers puts keys {0, 2} vs {1, 3} => 100 vs 20.
+        // Cost-LPT must pair the expensive key alone against the three
+        // cheap ones: 90 vs 30.
+        let keys: Vec<u64> = (0..8).map(|i| i as u64 / 2).collect();
+        let costs: Vec<u64> = (0..8).map(|i| if i < 2 { 45 } else { 5 }).collect();
+        let shard = Shard::ByCostKeyed {
+            keys: &keys,
+            costs: &costs,
+        };
+        let assignment = shard.assignments(8, 2);
+        let mut worker_cost = [0u64; 2];
+        for (i, &w) in assignment.iter().enumerate() {
+            worker_cost[w] += costs[i];
+        }
+        let worst = worker_cost.iter().max().unwrap();
+        assert_eq!(*worst, 90, "{assignment:?} -> {worker_cost:?}");
+        // And the expensive key kept locality: exactly one owner.
+        let owners = owners_by_key(&keys, &assignment);
+        assert_eq!(owners[0].1.len(), 1, "{owners:?}");
+    }
+
+    #[test]
+    fn cost_ownership_is_a_pure_function_of_the_key_cost_multiset() {
+        // The cost-weighted spelling of the purity property: permuting the
+        // (key, cost) pairs never changes which workers own a key.
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0xC057_C057);
+        for round in 0..200u32 {
+            let len = 2 + (rng.next_u64() % 40) as usize;
+            let distinct = 1 + rng.next_u64() % 5;
+            let pairs: Vec<(u64, u64)> = (0..len)
+                .map(|_| {
+                    let key = (rng.next_u64() % distinct).wrapping_mul(0x9E37_79B9);
+                    let cost = 1 + rng.next_u64() % 50;
+                    (key, cost)
+                })
+                .collect();
+            let mut permuted = pairs.clone();
+            permuted.rotate_left((rng.next_u64() as usize) % len);
+            permuted.reverse();
+            let workers = 1 + (rng.next_u64() % 8) as usize;
+            let unzip = |p: &[(u64, u64)]| -> (Vec<u64>, Vec<u64>) { p.iter().copied().unzip() };
+            let (keys, costs) = unzip(&pairs);
+            let (pkeys, pcosts) = unzip(&permuted);
+            for hot in [false, true] {
+                let shard = |k: &'_ [u64], c: &'_ [u64]| {
+                    if hot {
+                        Shard::SplitHotCost { keys: k, costs: c }.assignments(len, workers)
+                    } else {
+                        Shard::ByCostKeyed { keys: k, costs: c }.assignments(len, workers)
+                    }
+                };
+                let original = owners_by_key(&keys, &shard(&keys, &costs));
+                let shuffled = owners_by_key(&pkeys, &shard(&pkeys, &pcosts));
+                assert_eq!(
+                    original, shuffled,
+                    "round {round}: cost ownership changed under permutation \
+                     (len={len}, workers={workers}, hot={hot})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_strategies_with_uniform_costs_keep_every_worker_busy() {
+        // Uniform costs degrade to count balancing: every worker must stay
+        // busy whenever there are at least as many items as workers.
+        for (len, workers) in [(9usize, 8usize), (11, 8), (13, 5), (24, 7), (8, 8)] {
+            let keys = vec![77u64; len];
+            let costs = vec![5u64; len];
+            for shard in [
+                Shard::ByCostKeyed {
+                    keys: &keys,
+                    costs: &costs,
+                },
+                Shard::SplitHotCost {
+                    keys: &keys,
+                    costs: &costs,
+                },
+            ] {
+                let assignment = shard.assignments(len, workers);
+                let mut loads = vec![0usize; workers];
+                for &w in &assignment {
+                    loads[w] += 1;
+                }
+                assert!(
+                    loads.iter().all(|&l| l > 0),
+                    "{shard:?} idles workers for {len} items on {workers}: {loads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard costs")]
+    fn short_cost_slices_are_rejected() {
+        let keys = [1u64; 5];
+        let costs = [1u64];
+        let mut ctx = [(), ()];
+        let _ = map_indices_with_workers(
+            &mut ctx,
+            5,
+            Shard::ByCostKeyed {
+                keys: &keys,
+                costs: &costs,
+            },
+            |_, i| i,
+        );
+    }
+
+    #[test]
     fn fold_merges_worker_accumulators_in_worker_order() {
         // Accumulate the visited indices: the merged list must be the
         // concatenation of the worker shards, each ascending, in worker
@@ -852,12 +1234,21 @@ mod tests {
         // every worker count, under every strategy.
         let len = 37usize;
         let keys: Vec<u64> = (0..len).map(|i| (i as u64) % 5).collect();
+        let costs: Vec<u64> = (0..len).map(|i| 1 + (i as u64 % 7) * 13).collect();
         let expected: Vec<u64> = (0..len as u64).map(|i| i * i).collect();
         for workers in [1, 2, 3, 8] {
             for shard in [
                 Shard::RoundRobin,
                 Shard::ByKey(&keys),
                 Shard::SplitHotKeys(&keys),
+                Shard::ByCostKeyed {
+                    keys: &keys,
+                    costs: &costs,
+                },
+                Shard::SplitHotCost {
+                    keys: &keys,
+                    costs: &costs,
+                },
             ] {
                 let mut ctxs = vec![(); workers];
                 let folded = fold_indices_with_workers(

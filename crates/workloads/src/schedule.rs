@@ -169,6 +169,64 @@ impl PhaseSchedule {
             .unwrap_or(self.phases.len().saturating_sub(1))
     }
 
+    /// A deterministic, structural **cost estimate** for simulating this
+    /// schedule over `horizon`: the number of 1 ms slices times a
+    /// conservative iterations-per-slice estimate, plus a demand-transition
+    /// term — the quantity sweep schedulers weight cells by.
+    ///
+    /// The estimate is derived *purely* from the resolved phase structure —
+    /// no timing, no sampling — so it is bit-stable across processes and
+    /// runs, and sharding decisions built on it keep the executor's
+    /// determinism contract. It mirrors what the slice loop actually pays
+    /// (`SliceLoopStats`): every slice runs the CPU↔memory-latency fixed
+    /// point, which converges after one iteration when the phase generates
+    /// no memory traffic, and approaches the 4-iteration cap as the phase's
+    /// traffic demand saturates the memory service; every phase boundary
+    /// additionally forces the fixed point to re-converge. The absolute
+    /// value is in "estimated fixed-point iterations" and only relative
+    /// magnitudes matter: a cell of cost 200 is expected to take ~2× the
+    /// wall clock of a cost-100 cell.
+    #[must_use]
+    pub fn estimated_cost(&self, horizon: SimTime) -> u64 {
+        /// MPKI at which a phase's CPU traffic is treated as saturating the
+        /// memory service (the top of the SPEC-like suite's range); the
+        /// per-slice estimate approaches the fixed-point cap there.
+        const MPKI_SATURATION: f64 = 30.0;
+        /// Extra fixed-point iterations charged per phase transition
+        /// crossed within the horizon (the re-convergence slices).
+        const TRANSITION_COST: f64 = 2.0;
+
+        let slices = (horizon.as_secs() * 1e3).ceil().max(1.0);
+        if self.phases.is_empty() || self.iteration_secs <= 0.0 {
+            return slices as u64;
+        }
+        // Duration-weighted iterations-per-slice over one iteration of the
+        // phase sequence (the slice loop wraps through it uniformly).
+        let mut per_slice_avg = 0.0f64;
+        for p in self.phases.iter() {
+            let weight = p.duration.as_secs() / self.iteration_secs;
+            let mut per_slice = 1.0;
+            if p.cpu_active || p.gfx_active {
+                // An active phase pays at least one extra probe/serve
+                // pair, and memory-intensive phases approach the cap:
+                // queueing latency keeps moving while demand is a large
+                // fraction of service capacity. MPKI is the structural
+                // intensity proxy for CPU traffic; a rendering graphics
+                // engine contributes its own stream.
+                per_slice += 1.0;
+                let mut pressure = p.cpu.mpki / MPKI_SATURATION;
+                if p.gfx_active {
+                    pressure += 0.5;
+                }
+                per_slice += 2.0 * pressure.min(1.0);
+            }
+            per_slice_avg += weight * per_slice;
+        }
+        let transitions = self.phases.len() as f64 * (horizon.as_secs() / self.iteration_secs);
+        let cost = slices * per_slice_avg + TRANSITION_COST * transitions;
+        cost.ceil().max(1.0) as u64
+    }
+
     /// Creates a cursor positioned at the first phase.
     #[must_use]
     pub fn cursor(&self) -> PhaseCursor {
@@ -288,6 +346,45 @@ mod tests {
         // Cumulative ends accumulate in order.
         assert_eq!(p0.end_secs, 0.01);
         assert_eq!(s.phase(1).end_secs, 0.01 + 0.02);
+    }
+
+    #[test]
+    fn estimated_cost_scales_with_horizon_and_memory_intensity() {
+        let light = workload(vec![phase_ms(10.0, 0.5)]);
+        let heavy = workload(vec![phase_ms(10.0, 25.0)]);
+        let ls = PhaseSchedule::compile(&light);
+        let hs = PhaseSchedule::compile(&heavy);
+
+        // Cost is (roughly) linear in the horizon: a 10x longer run costs
+        // ~10x more.
+        let short = ls.estimated_cost(SimTime::from_millis(300.0));
+        let long = ls.estimated_cost(SimTime::from_millis(3000.0));
+        assert!(long >= 9 * short && long <= 11 * short, "{short} vs {long}");
+
+        // Memory-intensive phases cost more per slice than light ones, and
+        // both stay within [1, 4] iterations per slice.
+        let h = hs.estimated_cost(SimTime::from_millis(300.0));
+        let l = ls.estimated_cost(SimTime::from_millis(300.0));
+        assert!(h > l, "heavy {h} must out-cost light {l}");
+        assert!(l >= 300, "at least one iteration per slice: {l}");
+        assert!(h <= 4 * 300 + 300, "bounded by the cap: {h}");
+    }
+
+    #[test]
+    fn estimated_cost_is_deterministic_and_positive() {
+        let mut rng = SplitMix64::new(0xC057);
+        for _ in 0..100 {
+            let n = 1 + (rng.next_u64() % 8) as usize;
+            let phases: Vec<WorkloadPhase> = (0..n)
+                .map(|_| phase_ms(rng.gen_range(0.5, 40.0), rng.gen_range(0.0, 30.0)))
+                .collect();
+            let s = PhaseSchedule::compile(&workload(phases));
+            let horizon = SimTime::from_millis(rng.gen_range(1.0, 2000.0));
+            let a = s.estimated_cost(horizon);
+            let b = s.estimated_cost(horizon);
+            assert_eq!(a, b, "cost must be a pure function of the schedule");
+            assert!(a >= 1);
+        }
     }
 
     #[test]

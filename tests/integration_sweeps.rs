@@ -491,6 +491,265 @@ fn split_hot_keys_spreads_a_dominant_platform_and_still_beats_round_robin() {
     assert!(split_pool.cached_platforms() < rr_pool.cached_platforms());
 }
 
+// ---------------------------------------------------------------------------
+// Cost-model-driven scheduling
+// ---------------------------------------------------------------------------
+
+/// A pathologically skewed single-platform set: `short_cells` short-horizon
+/// cells plus one long-horizon cell (inserted mid-set) whose estimated cost
+/// dwarfs every other cell's.
+fn skewed_set(short_cells: usize) -> ScenarioSet {
+    let names = ["mcf", "lbm", "gcc"];
+    let mut set = ScenarioSet::new();
+    for i in 0..short_cells {
+        if i == short_cells / 2 {
+            set.push(
+                Scenario::builder(spec_workload("lbm").unwrap())
+                    .duration(SimTime::from_secs(1.0))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        set.push(
+            Scenario::builder(spec_workload(names[i % names.len()]).unwrap())
+                .duration(SimTime::from_secs(0.04))
+                .build()
+                .unwrap(),
+        );
+    }
+    set
+}
+
+#[test]
+fn cost_sharded_sweeps_are_byte_identical_to_count_sharded_at_every_worker_count() {
+    // The tentpole's determinism contract on the pathological-skew shape:
+    // weighting the schedule by estimated cost must not change a single
+    // byte of the results relative to any count-based strategy, at 1, 2,
+    // and 8 workers.
+    let set = skewed_set(24);
+    let costs = set.cell_costs();
+    let (min_cost, max_cost) = (
+        costs.iter().copied().min().unwrap(),
+        costs.iter().copied().max().unwrap(),
+    );
+    assert!(
+        max_cost >= 20 * min_cost,
+        "the skew must be pathological: {max_cost} vs {min_cost}"
+    );
+
+    let mut sweep = SweepSet::new();
+    sweep.push_set_ref(&set);
+    let reference = sweep
+        .run_parallel_sharded(&mut SessionPool::new(), 1, SweepSharding::RoundRobin)
+        .unwrap();
+
+    for threads in [1, 2, 8] {
+        for sharding in [SweepSharding::ByCost, SweepSharding::SplitHotCost] {
+            let got = sweep
+                .run_parallel_sharded(&mut SessionPool::new(), threads, sharding)
+                .unwrap();
+            assert_eq!(
+                got, reference,
+                "{sharding:?} diverged from count-sharded at {threads} workers"
+            );
+            assert_eq!(format!("{got:?}"), format!("{reference:?}"));
+        }
+    }
+}
+
+#[test]
+fn estimated_cell_costs_rank_correlate_with_actual_slice_loop_work() {
+    // Cost-model accuracy, in two halves. The estimate only has to *order*
+    // cells like the work the simulator actually does
+    // (`loop_stats.fixed_point_iters`) — scheduling quality is a function
+    // of ranks, not scale.
+    //
+    // (a) On the Fig. 10 matrix (SPEC suite × {baseline, sysscale}), auto
+    // durations make real per-cell work near-constant (every slice runs
+    // the full fixed-point budget), so the one strong ordering signal is
+    // the long-iteration outlier — the estimate must agree with the
+    // measurement on which cell dominates each member.
+    let config = SocConfig::skylake_m_6y75(Power::from_watts(4.5));
+    let suite = sysscale_workloads::spec_cpu2006_suite();
+    let mut sweep = SweepSet::new();
+    sweep.push_set(ScenarioSet::matrix(&config, &suite, &["baseline", "sysscale"]).unwrap());
+
+    let estimated = sweep.cell_costs();
+    let runs = sweep
+        .run_parallel(&mut SessionPool::new(), 4)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let actual: Vec<u64> = runs
+        .records()
+        .iter()
+        .map(|r| r.report.loop_stats.fixed_point_iters)
+        .collect();
+    assert_eq!(estimated.len(), actual.len());
+    let argmax = |values: &[u64]| {
+        values
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let half = suite.len();
+    for (governor, range) in [("baseline", 0..half), ("sysscale", half..2 * half)] {
+        assert_eq!(
+            argmax(&estimated[range.clone()]),
+            argmax(&actual[range.clone()]),
+            "estimate must identify the dominant {governor} cell"
+        );
+    }
+
+    // (b) On a duration-graded column of the same suite — geometric ×2
+    // horizons, the spread a skewed sweep actually schedules over — the
+    // full ranking must rank-correlate with the measured work, pinned at
+    // Spearman rho ≥ 0.85.
+    let mut graded = ScenarioSet::new();
+    for (i, workload) in suite.iter().enumerate() {
+        let secs = 0.05 * f64::from(1u32 << (i % 6));
+        graded.push(
+            Scenario::builder(workload.clone())
+                .config(config.clone())
+                .duration(SimTime::from_secs(secs))
+                .build()
+                .unwrap(),
+        );
+    }
+    let mut graded_sweep = SweepSet::new();
+    graded_sweep.push_set_ref(&graded);
+    let estimated: Vec<f64> = graded_sweep
+        .cell_costs()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let runs = graded_sweep
+        .run_parallel(&mut SessionPool::new(), 4)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let actual: Vec<f64> = runs
+        .records()
+        .iter()
+        .map(|r| r.report.loop_stats.fixed_point_iters as f64)
+        .collect();
+    let rho = spearman_rank_correlation(&estimated, &actual);
+    assert!(
+        rho >= 0.85,
+        "estimated cost must rank-order cells like the real slice-loop work \
+         (Spearman rho = {rho:.3})"
+    );
+}
+
+/// Spearman rank correlation with average ranks for ties.
+fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    fn ranks(values: &[f64]) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
+        let mut out = vec![0.0; values.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i;
+            while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for &k in &order[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = ra.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        var_a += (x - mean) * (x - mean);
+        var_b += (y - mean) * (y - mean);
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// The sorted worker set each distinct `(key, cost)` class's items land on.
+fn owners_by_cost_class(
+    keys: &[u64],
+    costs: &[u64],
+    assignment: &[usize],
+) -> Vec<((u64, u64), Vec<usize>)> {
+    let mut classes: Vec<(u64, u64)> = keys.iter().copied().zip(costs.iter().copied()).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+        .into_iter()
+        .map(|class| {
+            let mut workers: Vec<usize> = keys
+                .iter()
+                .zip(costs)
+                .zip(assignment)
+                .filter(|((k, c), _)| (**k, **c) == class)
+                .map(|(_, w)| *w)
+                .collect();
+            workers.sort_unstable();
+            workers.dedup();
+            (class, workers)
+        })
+        .collect()
+}
+
+#[test]
+fn cost_weighted_ownership_is_a_pure_function_of_the_key_cost_multiset() {
+    // The cost-weighted mirror of the keyed purity property: permuting the
+    // cells must not change which workers own a `(key, cost)` class —
+    // ranking is by key value and canonical (cost-descending) order within
+    // a key, never by first appearance.
+    let mut rng = SplitMix64::new(0x0C05_70BD);
+    for round in 0..500u32 {
+        let len = 2 + (rng.next_u64() % 48) as usize;
+        let distinct = 1 + rng.next_u64() % 6;
+        let keys: Vec<u64> = (0..len)
+            .map(|_| (rng.next_u64() % distinct).wrapping_mul(0x9E37_79B9_97F4_A7C1))
+            .collect();
+        // Few distinct cost levels, so equal-cost collisions inside a key
+        // are common — the case a naive first-appearance split gets wrong.
+        let costs: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % 5).collect();
+        let workers = 1 + (rng.next_u64() % 8) as usize;
+
+        let mut order: Vec<usize> = (0..len).collect();
+        order.rotate_left((rng.next_u64() as usize) % len);
+        order.reverse();
+        let permuted_keys: Vec<u64> = order.iter().map(|&i| keys[i]).collect();
+        let permuted_costs: Vec<u64> = order.iter().map(|&i| costs[i]).collect();
+
+        for split_hot in [false, true] {
+            let shard = |k: &[u64], c: &[u64]| {
+                if split_hot {
+                    Shard::SplitHotCost { keys: k, costs: c }.assignments(len, workers)
+                } else {
+                    Shard::ByCostKeyed { keys: k, costs: c }.assignments(len, workers)
+                }
+            };
+            let original = owners_by_cost_class(&keys, &costs, &shard(&keys, &costs));
+            let shuffled = owners_by_cost_class(
+                &permuted_keys,
+                &permuted_costs,
+                &shard(&permuted_keys, &permuted_costs),
+            );
+            assert_eq!(
+                original, shuffled,
+                "round {round}: split_hot={split_hot} ownership changed under \
+                 permutation (len={len}, workers={workers})"
+            );
+        }
+    }
+}
+
 #[test]
 fn fig3a_streaming_reducer_reproduces_the_collected_figure() {
     // Reference: the pre-streaming path — collect every slice, then reduce —
