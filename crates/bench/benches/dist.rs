@@ -59,6 +59,10 @@ fn main() {
         wall: start.elapsed(),
         result_frames: 0,
         reissued_leases: 0,
+        frames_rejected: 0,
+        quarantined_cells: 0,
+        journal_resumes: 0,
+        retries: 0,
     };
     in_process.emit("dist", label, "in_process");
 
@@ -87,6 +91,10 @@ fn main() {
             wall,
             result_frames: stats.result_frames,
             reissued_leases: stats.reissued_leases,
+            frames_rejected: stats.frames_rejected,
+            quarantined_cells: stats.quarantined_cells,
+            journal_resumes: stats.journal_resumes,
+            retries: stats.retries,
         };
         perf.emit("dist", label, &format!("procs{procs}"));
         assert!(perf.cells_per_sec() > 0.0);

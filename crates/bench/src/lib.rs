@@ -602,6 +602,15 @@ pub mod timing {
         pub result_frames: u64,
         /// Leases re-issued after worker deaths (0 in a healthy run).
         pub reissued_leases: usize,
+        /// Frames dropped as duplicates/stale (0 without wire faults).
+        pub frames_rejected: u64,
+        /// Cells quarantined into the partial-result manifest (0 outside
+        /// quarantine mode).
+        pub quarantined_cells: usize,
+        /// Leases restored from a checkpoint journal (0 without a resume).
+        pub journal_resumes: usize,
+        /// Transient I/O retries absorbed (connect backoff, `WouldBlock`).
+        pub retries: u64,
     }
 
     impl DistPerf {
@@ -619,19 +628,26 @@ pub mod timing {
         /// Prints the canonical one-line JSON record:
         /// `{"kind":"dist_perf","bench":…,"sweep":…,"mode":…,"cells":…,
         /// "procs":…,"wall_clock_ms":…,"cells_per_sec":…,"result_frames":…,
-        /// "reissued_leases":…}` — and appends it to the [`HISTORY_ENV`]
-        /// file when configured.
+        /// "reissued_leases":…,"frames_rejected":…,"quarantined_cells":…,
+        /// "journal_resumes":…,"retries":…}` — and appends it to the
+        /// [`HISTORY_ENV`] file when configured.
         pub fn emit(&self, bench: &str, sweep: &str, mode: &str) {
             let line = format!(
                 "{{\"kind\":\"dist_perf\",\"bench\":\"{bench}\",\"sweep\":\"{sweep}\",\
                  \"mode\":\"{mode}\",\"cells\":{},\"procs\":{},\"wall_clock_ms\":{:.3},\
-                 \"cells_per_sec\":{:.3},\"result_frames\":{},\"reissued_leases\":{}}}",
+                 \"cells_per_sec\":{:.3},\"result_frames\":{},\"reissued_leases\":{},\
+                 \"frames_rejected\":{},\"quarantined_cells\":{},\"journal_resumes\":{},\
+                 \"retries\":{}}}",
                 self.cells,
                 self.procs,
                 self.wall.as_secs_f64() * 1e3,
                 self.cells_per_sec(),
                 self.result_frames,
                 self.reissued_leases,
+                self.frames_rejected,
+                self.quarantined_cells,
+                self.journal_resumes,
+                self.retries,
             );
             println!("{line}");
             append_history(&line);

@@ -1591,6 +1591,14 @@ pub struct CellId {
 ///   order instead.
 /// * **accumulator** builds one fresh (empty) accumulator per worker;
 ///   merging an untouched accumulator must be a no-op.
+/// * **partial sweeps**: an executor running in explicit partial-result
+///   mode (the distributed executor's quarantine path) simply never calls
+///   `fold` for a quarantined cell — the "exactly once per cell" guarantee
+///   becomes "at most once, exactly once for every non-quarantined cell",
+///   the ascending-order and merge contracts are unchanged, and the
+///   skipped cells are reported out of band. Consumers that require a
+///   value for every slot (e.g. fixed-size group reductions) should not be
+///   used with partial sweeps unless they tolerate unfilled slots.
 pub trait RunConsumer: Sync {
     /// The per-worker accumulator type.
     type Acc: Send;
@@ -1619,6 +1627,15 @@ impl CollectRuns {
     pub fn into_records(mut acc: Vec<(usize, RunRecord)>) -> Vec<RunRecord> {
         acc.sort_unstable_by_key(|(flat, _)| *flat);
         acc.into_iter().map(|(_, record)| record).collect()
+    }
+
+    /// Restores a collected accumulator to flat cell order, keeping each
+    /// record's flat index — the partial-sweep spelling, where absent
+    /// (quarantined) cells leave gaps the caller regroups around.
+    #[must_use]
+    pub fn into_flat_records(mut acc: Vec<(usize, RunRecord)>) -> Vec<(usize, RunRecord)> {
+        acc.sort_unstable_by_key(|(flat, _)| *flat);
+        acc
     }
 }
 

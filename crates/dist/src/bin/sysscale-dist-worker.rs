@@ -5,10 +5,9 @@
 //! stdin/stdout by default, or over TCP with `--connect <addr>` (the
 //! dispatcher picks; both carry identical frames).
 
-use std::net::TcpStream;
 use std::process::ExitCode;
 
-use sysscale_dist::worker_main;
+use sysscale_dist::{connect_with_backoff, worker_main};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -40,7 +39,10 @@ fn main() -> ExitCode {
     }
 
     let outcome = match connect {
-        Some(addr) => match TcpStream::connect(&addr) {
+        // Bounded exponential backoff with deterministic jitter: a worker
+        // that races the dispatcher's listener setup (or lands on a
+        // transiently refused port) retries instead of dying at birth.
+        Some(addr) => match connect_with_backoff(&addr) {
             Ok(stream) => {
                 let read = match stream.try_clone() {
                     Ok(read) => read,

@@ -17,6 +17,24 @@
 //! accumulators of that worker's unfinished leases, respawns the slot, and
 //! re-issues exactly those leases — re-executing at most the cells the dead
 //! worker had claimed, never corrupting cells other slots own.
+//!
+//! On top of the lease protocol sit three fault-tolerance layers:
+//!
+//! * **checkpoint/resume** ([`DistOptions::journal`]): completed leases are
+//!   journaled ([`crate::journal::SweepJournal`]) as they retire, so a
+//!   killed dispatcher restarted with the same recipe and plan replays
+//!   only the unfinished leases — and merges byte-identically to an
+//!   uninterrupted run;
+//! * **poisoned-cell quarantine** ([`run_distributed_partial`]): a cell
+//!   that fails (or kills its worker [`MAX_LEASE_EXECUTIONS`] times, after
+//!   which its lease is bisected down to the single offending flat) is
+//!   recorded in a [`FailedCells`] manifest and the sweep *completes*
+//!   around it in explicit partial-result mode;
+//! * **wire hardening**: frames carry CRCs ([`crate::wire`]), duplicated
+//!   `Result`/`LeaseDone` frames are absorbed idempotently (counted in
+//!   [`DistStats::frames_rejected`]), and a deterministic fault injector
+//!   ([`crate::fault::FaultPlan`]) proves every corruption mode ends in a
+//!   clean rejection+replay, never silent corruption.
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpListener;
@@ -31,9 +49,13 @@ use sysscale::{
 };
 use sysscale_types::{SimError, SimResult};
 
+use crate::fault::{FaultPlan, FaultReader};
+use crate::journal::{JournalHeader, SweepJournal};
+use crate::net;
 use crate::proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
 use crate::recipe::SweepRecipe;
-use crate::worker::{FAULT_ENV, HANG_ENV};
+use crate::wire::WireError;
+use crate::worker::{FAULT_ENV, HANG_ENV, POISON_CRASH_ENV, POISON_FLAT_ENV};
 
 /// Environment variable naming the worker binary, overriding the default
 /// next-to-the-current-executable discovery.
@@ -52,8 +74,12 @@ pub const HEARTBEAT_TIMEOUT_ENV: &str = "SYSSCALE_DIST_HEARTBEAT_TIMEOUT_MS";
 const TCP_ACCEPT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Times a single lease may execute before the dispatcher gives up on it
-/// (first execution + re-issues after worker deaths).
-const MAX_LEASE_EXECUTIONS: usize = 3;
+/// (first execution + re-issues after worker deaths). A death is charged to
+/// the lease the worker was executing — the slot's first unfinished lease
+/// in plan order — not to queued leases that never started. In quarantine
+/// mode "giving up" means bisecting a multi-cell lease (or quarantining a
+/// single-cell one) instead of failing the run.
+pub const MAX_LEASE_EXECUTIONS: usize = 3;
 
 /// The byte channel family between dispatcher and workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +106,21 @@ pub struct WorkerFault {
     /// its own). `true`: hang with the stream open — only the heartbeat
     /// watchdog ([`HEARTBEAT_TIMEOUT_ENV`]) can recover.
     pub hang: bool,
+}
+
+/// Deterministic always-failing-cell injection for the quarantine tests:
+/// the given flat index fails (or crashes its worker) in **every** process
+/// that executes it, respawns included — a cell that is broken for cause,
+/// not by chance. Forwarded to workers via [`POISON_FLAT_ENV`] /
+/// [`POISON_CRASH_ENV`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonFault {
+    /// The flat index of the poisoned cell.
+    pub flat: usize,
+    /// `false`: the cell fails with a structured error (clean shape).
+    /// `true`: the cell SIGKILLs its worker (the shape only bisection can
+    /// isolate).
+    pub crash: bool,
 }
 
 /// Tuning knobs for [`run_distributed`] / [`run_distributed_fold`].
@@ -113,6 +154,20 @@ pub struct DistOptions {
     pub heartbeat_timeout: Option<Duration>,
     /// Test-only deliberate worker sacrifice.
     pub fault: Option<WorkerFault>,
+    /// Checkpoint journal path: when set, completed leases are journaled
+    /// there and a compatible existing journal is resumed (see
+    /// [`crate::journal`]). Deleted automatically when the sweep succeeds.
+    pub journal: Option<PathBuf>,
+    /// Deterministic wire-fault plan seed; `None` falls back to
+    /// [`crate::fault::FAULT_PLAN_ENV`], and `Some(0)` forces injection
+    /// off regardless of the environment.
+    pub fault_plan: Option<u64>,
+    /// Test hook: abort the run (workers killed, journal left behind)
+    /// after this many leases have retired — a deterministic stand-in for
+    /// killing the dispatcher mid-run in resume tests.
+    pub halt_after_leases: Option<usize>,
+    /// Test hook: a deterministically failing cell (see [`PoisonFault`]).
+    pub poison: Option<PoisonFault>,
 }
 
 impl Default for DistOptions {
@@ -127,6 +182,10 @@ impl Default for DistOptions {
             max_respawns: 8,
             heartbeat_timeout: None,
             fault: None,
+            journal: None,
+            fault_plan: None,
+            halt_after_leases: None,
+            poison: None,
         }
     }
 }
@@ -151,6 +210,97 @@ pub struct DistStats {
     pub heartbeats: u64,
     /// Hung-but-alive workers the heartbeat watchdog killed.
     pub watchdog_kills: usize,
+    /// Cells quarantined into the [`FailedCells`] manifest (always 0
+    /// outside quarantine mode — non-quarantine runs fail instead).
+    pub quarantined_cells: usize,
+    /// Leases restored from a checkpoint journal instead of executed.
+    pub journal_resumes: usize,
+    /// Frames dropped as duplicates or stale (dedup absorption; protocol
+    /// *violations* still fail the run).
+    pub frames_rejected: u64,
+    /// Transient I/O retries absorbed during the run (`Interrupted`,
+    /// bounded `WouldBlock`, TCP connect backoff) — the delta of
+    /// [`crate::net::transient_retries`] across the dispatch. Process-wide:
+    /// concurrent runs in one process may attribute each other's retries.
+    pub retries: u64,
+}
+
+/// One quarantined cell: identity, the structured error it failed with,
+/// and how many executions its lease burned before isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedCell {
+    /// The cell (member/local/flat), as [`RunConsumer::fold`] would see it.
+    pub cell: CellId,
+    /// The structured failure — either the worker-reported [`SimError`] or
+    /// a synthesized one for cells that killed their workers outright.
+    pub error: SimError,
+    /// Lease executions burned when the cell was quarantined.
+    pub executions: usize,
+}
+
+/// The quarantine manifest of a partial-result run: every poisoned cell,
+/// ascending by flat index. Empty for a fully-clean sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailedCells {
+    cells: Vec<FailedCell>,
+}
+
+impl FailedCells {
+    /// Records a quarantined cell, keeping the manifest ascending by flat
+    /// index and idempotent (a replayed quarantine updates in place).
+    fn insert(&mut self, cell: CellId, error: SimError, executions: usize) {
+        match self.cells.binary_search_by_key(&cell.flat, |c| c.cell.flat) {
+            Ok(i) => {
+                self.cells[i] = FailedCell {
+                    cell,
+                    error,
+                    executions,
+                };
+            }
+            Err(i) => self.cells.insert(
+                i,
+                FailedCell {
+                    cell,
+                    error,
+                    executions,
+                },
+            ),
+        }
+    }
+
+    /// The quarantined cells, ascending by flat index.
+    #[must_use]
+    pub fn cells(&self) -> &[FailedCell] {
+        &self.cells
+    }
+
+    /// Number of quarantined cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sweep completed with no quarantined cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether the given flat index is quarantined.
+    #[must_use]
+    pub fn contains_flat(&self, flat: usize) -> bool {
+        self.cells
+            .binary_search_by_key(&flat, |c| c.cell.flat)
+            .is_ok()
+    }
+
+    /// Drops quarantine entries for the given (ascending) flats: aborting a
+    /// lease voids the execution that produced them, and a retried cell
+    /// that now succeeds must not stay in the manifest.
+    fn remove_flats(&mut self, flats: &[usize]) {
+        self.cells
+            .retain(|c| flats.binary_search(&c.cell.flat).is_err());
+    }
 }
 
 /// One planned lease and its in-flight fold state.
@@ -159,8 +309,18 @@ struct LeaseState<A> {
     flats: Vec<usize>,
     acc: A,
     received: usize,
+    /// Cells of this lease quarantined via `WorkerError` (quarantine mode
+    /// only); `received + failed` is the lease's stream progress.
+    failed: usize,
     executions: usize,
     done: bool,
+}
+
+impl<A> LeaseState<A> {
+    /// Stream progress: results folded plus failures recorded.
+    fn progress(&self) -> usize {
+        self.received + self.failed
+    }
 }
 
 /// A live worker process bound to one slot.
@@ -218,6 +378,7 @@ fn worker_binary(options: &DistOptions) -> PathBuf {
 
 /// Spawns one worker process for `slot`, wires its transport, starts its
 /// reader thread, and sends the opening `Job` frame.
+#[allow(clippy::too_many_arguments)] // a private call site with one caller
 fn spawn_worker(
     binary: &std::path::Path,
     slot: usize,
@@ -225,18 +386,30 @@ fn spawn_worker(
     options: &DistOptions,
     recipe_bytes: &[u8],
     fault: Option<WorkerFault>,
+    quarantine: bool,
+    fault_plan: Option<FaultPlan>,
     events: &Sender<Event>,
 ) -> SimResult<WorkerSlot> {
     let mut command = Command::new(binary);
     command.stderr(Stdio::inherit());
     // Never inherit a fault directive from the environment; only a spawn
-    // the dispatcher deliberately sacrifices gets one.
+    // the dispatcher deliberately sacrifices gets one. Poison directives,
+    // by contrast, model a cell that is broken *for cause*, so they ride
+    // on every spawn — respawns included.
     command.env_remove(FAULT_ENV);
     command.env_remove(HANG_ENV);
+    command.env_remove(POISON_FLAT_ENV);
+    command.env_remove(POISON_CRASH_ENV);
     if let Some(fault) = fault {
         command.env(FAULT_ENV, fault.after_results.to_string());
         if fault.hang {
             command.env(HANG_ENV, "1");
+        }
+    }
+    if let Some(poison) = options.poison {
+        command.env(POISON_FLAT_ENV, poison.flat.to_string());
+        if poison.crash {
+            command.env(POISON_CRASH_ENV, "1");
         }
     }
 
@@ -255,6 +428,8 @@ fn spawn_worker(
                 generation,
                 options,
                 recipe_bytes,
+                quarantine,
+                fault_plan,
                 events,
             )
         }
@@ -305,12 +480,15 @@ fn spawn_worker(
                 generation,
                 options,
                 recipe_bytes,
+                quarantine,
+                fault_plan,
                 events,
             )
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)] // a private call site with one caller
 fn finish_spawn(
     child: Child,
     transport: Box<dyn WorkerTransport>,
@@ -318,9 +496,19 @@ fn finish_spawn(
     generation: u64,
     options: &DistOptions,
     recipe_bytes: &[u8],
+    quarantine: bool,
+    fault_plan: Option<FaultPlan>,
     events: &Sender<Event>,
 ) -> SimResult<WorkerSlot> {
     let (read_half, mut tx) = transport.split();
+    // The fault injector sits between the transport and the frame parser,
+    // sabotaging this connection's byte stream if the plan says so (only
+    // ever on generation 0 — respawn streams run clean).
+    let read_half: Box<dyn Read + Send> =
+        match fault_plan.and_then(|plan| plan.connection_fault(slot, generation)) {
+            Some(wire_fault) => Box::new(FaultReader::new(read_half, wire_fault)),
+            None => read_half,
+        };
     let events = events.clone();
     std::thread::spawn(move || read_loop(read_half, slot, generation, &events));
     // A send failure here means the worker already died; the reader's
@@ -329,6 +517,7 @@ fn finish_spawn(
         worker_slot: slot as u32,
         threads: options.worker_threads.max(1) as u32,
         batch_cells: options.batch_cells.max(1) as u32,
+        quarantine,
         recipe: recipe_bytes.to_vec(),
     }
     .write_to(&mut tx);
@@ -464,7 +653,8 @@ pub fn run_distributed(
     options: &DistOptions,
 ) -> SimResult<(Vec<RunSet>, DistStats)> {
     let sets = recipe.build()?;
-    let (collected, stats) = dispatch(recipe, &sets, options, &CollectRuns)?;
+    let (collected, failed, stats) = dispatch(recipe, &sets, options, &CollectRuns, false)?;
+    debug_assert!(failed.is_empty(), "non-quarantine runs fail, not degrade");
     let mut records = CollectRuns::into_records(collected).into_iter();
     let run_sets = sets
         .iter()
@@ -492,16 +682,91 @@ pub fn run_distributed_fold<Q: RunConsumer>(
     consumer: &Q,
 ) -> SimResult<(Q::Acc, DistStats)> {
     let sets = recipe.build()?;
-    dispatch(recipe, &sets, options, consumer)
+    let (acc, failed, stats) = dispatch(recipe, &sets, options, consumer, false)?;
+    debug_assert!(failed.is_empty(), "non-quarantine runs fail, not degrade");
+    Ok((acc, stats))
 }
 
-/// The dispatcher event loop over pre-built sets.
+/// [`run_distributed`] in **explicit partial-result mode**: instead of
+/// failing on the first poisoned cell, the sweep completes around it. A
+/// cell that fails cleanly is quarantined immediately; a cell that *kills*
+/// its worker [`MAX_LEASE_EXECUTIONS`] times is isolated by bisecting its
+/// lease down to the single offending flat index, then quarantined. The
+/// returned [`FailedCells`] manifest lists every quarantined cell (id,
+/// structured [`SimError`], execution count); every *other* cell's record
+/// is byte-identical to a clean run's, and its member `RunSet` simply
+/// omits the quarantined rows.
+///
+/// # Errors
+///
+/// Still fails on unbuildable recipes, spawn/transport failures, protocol
+/// violations, and exhausted respawn budgets — quarantine absorbs cell
+/// failures, not infrastructure failures.
+pub fn run_distributed_partial(
+    recipe: &SweepRecipe,
+    options: &DistOptions,
+) -> SimResult<(Vec<RunSet>, FailedCells, DistStats)> {
+    let sets = recipe.build()?;
+    let (collected, failed, stats) = dispatch(recipe, &sets, options, &CollectRuns, true)?;
+    // Regroup the surviving records by member; quarantined flats are
+    // simply absent, so members are cut by flat-index ranges rather than
+    // by scenario counts.
+    let mut offsets = Vec::with_capacity(sets.len());
+    let mut total = 0usize;
+    for set in &sets {
+        offsets.push(total);
+        total += set.scenarios().len();
+    }
+    let mut records = CollectRuns::into_flat_records(collected)
+        .into_iter()
+        .peekable();
+    let run_sets = sets
+        .iter()
+        .enumerate()
+        .map(|(member, set)| {
+            let end = offsets[member] + set.scenarios().len();
+            let mut member_records = Vec::new();
+            while records.peek().is_some_and(|(flat, _)| *flat < end) {
+                member_records.push(records.next().expect("peeked").1);
+            }
+            RunSet::from_records(member_records, set.baseline().map(str::to_string))
+        })
+        .collect();
+    Ok((run_sets, failed, stats))
+}
+
+/// [`run_distributed_fold`] in explicit partial-result mode: quarantined
+/// cells are skipped by the fold (never passed to [`RunConsumer::fold`])
+/// and reported in the [`FailedCells`] manifest instead.
+///
+/// # Errors
+///
+/// See [`run_distributed_partial`].
+pub fn run_distributed_fold_partial<Q: RunConsumer>(
+    recipe: &SweepRecipe,
+    options: &DistOptions,
+    consumer: &Q,
+) -> SimResult<(Q::Acc, FailedCells, DistStats)> {
+    let sets = recipe.build()?;
+    dispatch(recipe, &sets, options, consumer, true)
+}
+
+/// Converts a journal I/O failure into the executor's error type.
+fn journal_error(error: WireError) -> SimError {
+    dist_error(format!("checkpoint journal: {error}"))
+}
+
+/// The dispatcher event loop over pre-built sets. With `quarantine` set the
+/// sweep runs in explicit partial-result mode (see
+/// [`run_distributed_partial`]); otherwise the returned [`FailedCells`] is
+/// always empty and the first cell failure fails the run.
 fn dispatch<Q: RunConsumer>(
     recipe: &SweepRecipe,
     sets: &[ScenarioSet],
     options: &DistOptions,
     consumer: &Q,
-) -> SimResult<(Q::Acc, DistStats)> {
+    quarantine: bool,
+) -> SimResult<(Q::Acc, FailedCells, DistStats)> {
     let lens: Vec<usize> = sets.iter().map(|set| set.scenarios().len()).collect();
     let mut offsets = Vec::with_capacity(lens.len());
     let mut total = 0usize;
@@ -511,9 +776,15 @@ fn dispatch<Q: RunConsumer>(
     }
 
     let mut stats = DistStats::default();
+    let retries_at_start = net::transient_retries();
     if total == 0 {
-        return Ok((consumer.accumulator(), stats));
+        return Ok((consumer.accumulator(), FailedCells::default(), stats));
     }
+    let fault_plan = match options.fault_plan {
+        Some(0) => None,
+        Some(seed) => FaultPlan::new(seed),
+        None => FaultPlan::from_env(),
+    };
 
     let procs = exec::resolve_parallelism(options.procs, exec::PROCS_ENV);
     let slots = exec::effective_workers(procs, total);
@@ -570,6 +841,7 @@ fn dispatch<Q: RunConsumer>(
                 flats,
                 acc: consumer.accumulator(),
                 received: 0,
+                failed: 0,
                 executions: 1,
                 done: false,
             });
@@ -587,6 +859,59 @@ fn dispatch<Q: RunConsumer>(
         }
     };
 
+    // Adopt a checkpoint journal: leases a prior (killed) dispatcher proved
+    // complete are restored from disk instead of re-executed. A restored
+    // lease must tile its planned flats exactly — results in fold order
+    // interleaved with quarantine entries — or it is ignored and re-runs.
+    let mut manifest = FailedCells::default();
+    let mut journal: Option<SweepJournal> = None;
+    if let Some(path) = &options.journal {
+        let header = JournalHeader {
+            recipe_fingerprint: recipe.fingerprint64(),
+            slots: slots as u64,
+            leases: leases.len() as u64,
+            cells: total as u64,
+        };
+        let (opened, replay) = SweepJournal::open(path, &header).map_err(journal_error)?;
+        for replayed in replay.map(|r| r.leases).unwrap_or_default() {
+            let Some(lease) = leases.get_mut(replayed.lease_id as usize) else {
+                continue; // a bisection child of the prior run; re-discovered live
+            };
+            if lease.done || (!quarantine && !replayed.quarantined.is_empty()) {
+                continue;
+            }
+            let mut results = replayed.results.iter().map(|(flat, _)| *flat).peekable();
+            let mut failed = replayed.quarantined.iter().map(|q| q.flat).peekable();
+            let tiles = lease.flats.iter().all(|&flat| {
+                if results.peek() == Some(&(flat as u64)) {
+                    results.next();
+                    true
+                } else if failed.peek() == Some(&(flat as u64)) {
+                    failed.next();
+                    true
+                } else {
+                    false
+                }
+            }) && results.peek().is_none()
+                && failed.peek().is_none();
+            if !tiles {
+                continue;
+            }
+            lease.received = replayed.results.len();
+            lease.failed = replayed.quarantined.len();
+            for (flat, record) in replayed.results {
+                consumer.fold(&mut lease.acc, cell_id(flat as usize), record);
+            }
+            for q in replayed.quarantined {
+                manifest.insert(cell_id(q.flat as usize), q.error, q.executions as usize);
+            }
+            lease.done = true;
+            remaining -= 1;
+            stats.journal_resumes += 1;
+        }
+        journal = Some(opened);
+    }
+
     let binary = worker_binary(options);
     let recipe_bytes = recipe.encode();
     let (events_tx, events_rx) = channel();
@@ -594,12 +919,28 @@ fn dispatch<Q: RunConsumer>(
     let mut workers: Vec<Option<WorkerSlot>> = Vec::with_capacity(slots);
     let mut respawns_left = options.max_respawns;
     for (slot, lease_ids) in slot_leases.iter().enumerate() {
-        if lease_ids.is_empty() {
+        // A resumed run only spawns slots with unfinished leases.
+        let pending: Vec<usize> = lease_ids
+            .iter()
+            .copied()
+            .filter(|&id| !leases[id].done)
+            .collect();
+        if pending.is_empty() {
             workers.push(None);
             continue;
         }
         let fault = options.fault.filter(|fault| fault.slot == slot);
-        let worker = spawn_worker(&binary, slot, 0, options, &recipe_bytes, fault, &events_tx);
+        let worker = spawn_worker(
+            &binary,
+            slot,
+            0,
+            options,
+            &recipe_bytes,
+            fault,
+            quarantine,
+            fault_plan,
+            &events_tx,
+        );
         let mut worker = match worker {
             Ok(worker) => worker,
             Err(error) => {
@@ -608,7 +949,7 @@ fn dispatch<Q: RunConsumer>(
             }
         };
         stats.workers_spawned += 1;
-        for &lease_id in lease_ids {
+        for &lease_id in &pending {
             send_lease(&mut worker, lease_id, &leases[lease_id].flats);
         }
         workers.push(Some(worker));
@@ -628,6 +969,7 @@ fn dispatch<Q: RunConsumer>(
     let mut last_seen: Vec<Instant> = vec![Instant::now(); slots];
 
     let mut failure: Option<SimError> = None;
+    let mut leases_retired = 0usize;
     while remaining > 0 && failure.is_none() {
         let event = match heartbeat_timeout {
             None => match events_rx.recv() {
@@ -678,6 +1020,7 @@ fn dispatch<Q: RunConsumer>(
             } => {
                 let current = workers[slot].as_ref().map(|w| w.generation);
                 if current != Some(generation) {
+                    stats.frames_rejected += 1;
                     continue; // stale frame from a replaced worker
                 }
                 last_seen[slot] = Instant::now();
@@ -692,14 +1035,38 @@ fn dispatch<Q: RunConsumer>(
                             failure = Some(dist_error(format!("unknown lease {lease_id}")));
                             break;
                         };
-                        let expected = (!lease.done && lease.slot == slot)
-                            .then(|| lease.flats.get(lease.received).copied())
-                            .flatten();
-                        if expected != Some(flat as usize) {
+                        if lease.done {
+                            stats.frames_rejected += 1;
+                            continue; // late duplicate of a retired lease
+                        }
+                        if lease.slot != slot {
+                            failure = Some(dist_error(format!(
+                                "slot {slot} sent cell {flat} for foreign lease {lease_id}"
+                            )));
+                            break;
+                        }
+                        let progress = lease.progress();
+                        if lease.flats[..progress]
+                            .binary_search(&(flat as usize))
+                            .is_ok()
+                        {
+                            // A duplicated `Result` frame (e.g. injected by
+                            // the fault plan): the record is already folded,
+                            // absorb the copy idempotently.
+                            stats.frames_rejected += 1;
+                            continue;
+                        }
+                        if lease.flats.get(progress).copied() != Some(flat as usize) {
                             failure = Some(dist_error(format!(
                                 "slot {slot} sent cell {flat} out of order for lease {lease_id}"
                             )));
                             break;
+                        }
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(error) = journal.record_result(lease_id, flat, &record) {
+                                failure = Some(journal_error(error));
+                                break;
+                            }
                         }
                         consumer.fold(&mut lease.acc, cell_id(flat as usize), *record);
                         lease.received += 1;
@@ -709,28 +1076,90 @@ fn dispatch<Q: RunConsumer>(
                             failure = Some(dist_error(format!("unknown lease {lease_id}")));
                             break;
                         };
-                        if lease.done
-                            || lease.slot != slot
+                        if lease.done {
+                            stats.frames_rejected += 1;
+                            continue; // duplicated retirement, absorb
+                        }
+                        if lease.slot != slot
                             || cells as usize != lease.flats.len()
-                            || lease.received != lease.flats.len()
+                            || lease.progress() != lease.flats.len()
                         {
                             failure = Some(dist_error(format!(
                                 "slot {slot} completed lease {lease_id} with {} of {} cells",
-                                lease.received,
+                                lease.progress(),
                                 lease.flats.len()
                             )));
                             break;
                         }
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(error) = journal.record_done(lease_id, lease.received as u64)
+                            {
+                                failure = Some(journal_error(error));
+                                break;
+                            }
+                        }
                         lease.done = true;
                         remaining -= 1;
+                        leases_retired += 1;
+                        if options
+                            .halt_after_leases
+                            .is_some_and(|n| leases_retired >= n)
+                            && remaining > 0
+                        {
+                            // Deterministic stand-in for a dispatcher kill:
+                            // fail here, journal flushed and left behind.
+                            failure = Some(dist_error(format!(
+                                "halted after {leases_retired} lease(s) (test hook)"
+                            )));
+                            break;
+                        }
                     }
                     Message::Heartbeat { .. } => stats.heartbeats += 1,
-                    Message::WorkerError { error, .. } => {
-                        // The structured error round-trips the wire intact,
-                        // so callers see the exact SimError the in-process
-                        // executor would have returned for this cell.
-                        failure = Some(error);
-                        break;
+                    Message::WorkerError {
+                        lease_id,
+                        flat,
+                        error,
+                    } => {
+                        if !quarantine {
+                            // The structured error round-trips the wire
+                            // intact, so callers see the exact SimError the
+                            // in-process executor would have returned.
+                            failure = Some(error);
+                            break;
+                        }
+                        // Partial-result mode: one cell failed cleanly; the
+                        // worker keeps streaming, we quarantine and go on.
+                        let Some(lease) = leases.get_mut(lease_id as usize) else {
+                            failure = Some(dist_error(format!("unknown lease {lease_id}")));
+                            break;
+                        };
+                        if lease.done {
+                            stats.frames_rejected += 1;
+                            continue;
+                        }
+                        let progress = lease.progress();
+                        if lease.slot != slot
+                            || lease.flats.get(progress).copied() != Some(flat as usize)
+                        {
+                            failure = Some(dist_error(format!(
+                                "slot {slot} reported cell {flat} failed out of order for \
+                                 lease {lease_id}"
+                            )));
+                            break;
+                        }
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(journal_failure) = journal.record_quarantine(
+                                lease_id,
+                                flat,
+                                lease.executions as u64,
+                                &error,
+                            ) {
+                                failure = Some(journal_error(journal_failure));
+                                break;
+                            }
+                        }
+                        manifest.insert(cell_id(flat as usize), error, lease.executions);
+                        lease.failed += 1;
                     }
                     other => {
                         failure = Some(dist_error(format!(
@@ -773,27 +1202,132 @@ fn dispatch<Q: RunConsumer>(
                     )));
                     break;
                 }
-                respawns_left -= 1;
+                // A worker executes its leases strictly in plan order, so
+                // the death happened *in* the slot's first unfinished lease
+                // — later leases never started and re-issue without being
+                // charged an execution (else a poisoned lease at the head
+                // of the queue would exhaust its innocent neighbours'
+                // budgets without them ever running).
+                let active = incomplete[0];
                 for &lease_id in &incomplete {
                     let lease = &mut leases[lease_id];
-                    if lease.executions >= MAX_LEASE_EXECUTIONS {
+                    if lease_id != active || lease.executions < MAX_LEASE_EXECUTIONS {
+                        // Plain re-issue: discard partials, replay whole.
+                        stats.reissued_leases += 1;
+                        stats.reexecuted_cells += lease.received;
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(journal_failure) = journal.record_abort(lease_id as u64) {
+                                failure = Some(journal_error(journal_failure));
+                                break;
+                            }
+                        }
+                        manifest.remove_flats(&lease.flats);
+                        lease.acc = consumer.accumulator();
+                        lease.received = 0;
+                        lease.failed = 0;
+                        if lease_id == active {
+                            lease.executions += 1;
+                        }
+                        continue;
+                    }
+                    // The active lease's execution budget is exhausted:
+                    // some cell in it kills every worker that touches it.
+                    if !quarantine {
                         failure = Some(dist_error(format!(
                             "lease {lease_id} failed {} times; giving up",
                             lease.executions
                         )));
                         break;
                     }
-                    stats.reissued_leases += 1;
-                    stats.reexecuted_cells += lease.received;
-                    lease.acc = consumer.accumulator();
-                    lease.received = 0;
-                    lease.executions += 1;
+                    if let Some(journal) = journal.as_mut() {
+                        if let Err(journal_failure) = journal.record_abort(lease_id as u64) {
+                            failure = Some(journal_error(journal_failure));
+                            break;
+                        }
+                    }
+                    manifest.remove_flats(&lease.flats);
+                    if lease.flats.len() > 1 {
+                        // Bisect: we cannot see *which* cell is the killer,
+                        // so split the lease and let the halves isolate it.
+                        // The parent retires in place and two child leases
+                        // take its position in the slot's plan order, so
+                        // the deterministic merge is unchanged.
+                        stats.reexecuted_cells += lease.received;
+                        let mid = lease.flats.len() / 2;
+                        let right = lease.flats.split_off(mid);
+                        let left = std::mem::take(&mut lease.flats);
+                        lease.acc = consumer.accumulator();
+                        lease.received = 0;
+                        lease.failed = 0;
+                        lease.done = true;
+                        let left_id = leases.len();
+                        for flats in [left, right] {
+                            leases.push(LeaseState {
+                                slot,
+                                flats,
+                                acc: consumer.accumulator(),
+                                received: 0,
+                                failed: 0,
+                                executions: 1,
+                                done: false,
+                            });
+                        }
+                        let pos = slot_leases[slot]
+                            .iter()
+                            .position(|&id| id == lease_id)
+                            .expect("bisected lease is in its slot's plan");
+                        slot_leases[slot].splice(pos..=pos, [left_id, left_id + 1]);
+                        stats.leases += 2;
+                        remaining += 1; // parent retired, two children opened
+                    } else {
+                        // Isolated to a single flat: quarantine the cell
+                        // with a synthesized error (the worker never got to
+                        // report one — it was killed) and retire the lease.
+                        let flat = lease.flats[0];
+                        let executions = lease.executions;
+                        let cell_error = SimError::invalid_config(format!(
+                            "poisoned cell {flat}: killed its worker in {executions} \
+                             consecutive executions; quarantined"
+                        ));
+                        if let Some(journal) = journal.as_mut() {
+                            let journaled = journal
+                                .record_quarantine(
+                                    lease_id as u64,
+                                    flat as u64,
+                                    executions as u64,
+                                    &cell_error,
+                                )
+                                .and_then(|()| journal.record_done(lease_id as u64, 0));
+                            if let Err(journal_failure) = journaled {
+                                failure = Some(journal_error(journal_failure));
+                                break;
+                            }
+                        }
+                        manifest.insert(cell_id(flat), cell_error, executions);
+                        lease.acc = consumer.accumulator();
+                        lease.received = 0;
+                        lease.failed = 0;
+                        lease.done = true;
+                        remaining -= 1;
+                    }
                 }
                 if failure.is_some() {
                     break;
                 }
-                // Respawn the slot — never re-arming the fault, so a
-                // sacrificed worker's replacement runs clean.
+                let pending: Vec<usize> = slot_leases[slot]
+                    .iter()
+                    .copied()
+                    .filter(|&id| !leases[id].done)
+                    .collect();
+                if pending.is_empty() {
+                    // Every outstanding lease quarantined away — nothing
+                    // left for this slot, no respawn needed.
+                    continue;
+                }
+                respawns_left -= 1;
+                // Respawn the slot — never re-arming the wire/worker fault,
+                // so a sacrificed worker's replacement runs clean. Poison
+                // directives still apply (the cell is broken for cause).
                 match spawn_worker(
                     &binary,
                     slot,
@@ -801,11 +1335,13 @@ fn dispatch<Q: RunConsumer>(
                     options,
                     &recipe_bytes,
                     None,
+                    quarantine,
+                    fault_plan,
                     &events_tx,
                 ) {
                     Ok(mut replacement) => {
                         stats.workers_spawned += 1;
-                        for &lease_id in &incomplete {
+                        for &lease_id in &pending {
                             send_lease(&mut replacement, lease_id, &leases[lease_id].flats);
                         }
                         workers[slot] = Some(replacement);
@@ -822,6 +1358,11 @@ fn dispatch<Q: RunConsumer>(
 
     if let Some(error) = failure {
         kill_all(&mut workers);
+        // The journal survives a failed run — that is the whole point:
+        // flush what we know so a restart resumes from it.
+        if let Some(journal) = journal.as_mut() {
+            let _ = journal.flush();
+        }
         return Err(error);
     }
 
@@ -838,8 +1379,18 @@ fn dispatch<Q: RunConsumer>(
         }
     }
 
+    // The sweep succeeded: a finished journal must never replay into a
+    // later run, so delete it (best effort — the results stand regardless).
+    if let Some(journal) = journal.take() {
+        let _ = journal.finish();
+    }
+    stats.quarantined_cells = manifest.len();
+    stats.retries = net::transient_retries().saturating_sub(retries_at_start);
+
     // The deterministic merge: leases in plan order within a slot, slots in
     // slot order — the exact partition the in-process fold core merges by.
+    // Bisected parents were spliced out of the plan, so children merge at
+    // the parent's position and the order matches an unfaulted run.
     let mut merged = consumer.accumulator();
     for lease_ids in &slot_leases {
         for &lease_id in lease_ids {
@@ -847,7 +1398,7 @@ fn dispatch<Q: RunConsumer>(
             consumer.merge(&mut merged, acc);
         }
     }
-    Ok((merged, stats))
+    Ok((merged, manifest, stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,565 @@
+//! The sweep checkpoint journal: crash-safe progress for the dispatcher.
+//!
+//! A [`SweepJournal`] is an append-only file of [`crate::wire`] frames (the
+//! same CRC-protected framing the transports use — no serde, and a torn
+//! tail from a killed dispatcher is detected exactly like a torn TCP
+//! write). The dispatcher appends every folded `Result`, a `Done` marker
+//! when a lease retires, an `Abort` when a lease's partials are discarded
+//! for re-issue, and a `Quarantine` entry for every poisoned cell. On
+//! restart with the same recipe (keyed by
+//! [`crate::recipe::SweepRecipe::fingerprint64`]) and slot/lease plan, the
+//! journal replays **completed leases only** — a lease is restored iff its
+//! recorded results and quarantines exactly tile its planned flat indices —
+//! and the dispatcher re-executes just the unfinished remainder. Because
+//! records round-trip the codec bit-exactly and restored leases merge in
+//! the same plan order, a resumed sweep is byte-identical to an
+//! uninterrupted one.
+//!
+//! Lifecycle: created (or adopted) at dispatch start, appended during the
+//! run, **deleted on success** ([`SweepJournal::finish`]); any failure path
+//! leaves it behind for the next attempt. A journal whose header doesn't
+//! match the current (fingerprint, slots, leases, cells) tuple — a
+//! different recipe, process count, or lease plan — is discarded and
+//! rewritten fresh rather than misapplied.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use sysscale::RunRecord;
+use sysscale_types::SimError;
+
+use crate::codec;
+use crate::wire::{read_frame, write_frame, Dec, Enc, WireError, FRAME_HEADER_LEN};
+
+/// Magic prefix of a journal header frame (`"SSJL"`).
+pub const JOURNAL_MAGIC: u32 = 0x5353_4A4C;
+
+/// Journal format version; bump on any entry-layout change.
+pub const JOURNAL_VERSION: u16 = 1;
+
+const JF_HEADER: u8 = 1;
+const JF_RESULT: u8 = 2;
+const JF_DONE: u8 = 3;
+const JF_ABORT: u8 = 4;
+const JF_QUARANTINE: u8 = 5;
+
+/// Identifies the exact run a journal belongs to: same recipe bytes, same
+/// slot count, same lease plan. Any mismatch means the journal cannot be
+/// replayed (flat indices would map to different cells or leases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`crate::recipe::SweepRecipe::fingerprint64`] of the recipe.
+    pub recipe_fingerprint: u64,
+    /// Virtual worker slots the plan was cut for.
+    pub slots: u64,
+    /// Total leases in the plan.
+    pub leases: u64,
+    /// Total cells in the sweep.
+    pub cells: u64,
+}
+
+impl JournalHeader {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_u32(JOURNAL_MAGIC);
+        enc.put_u16(JOURNAL_VERSION);
+        enc.put_u64(self.recipe_fingerprint);
+        enc.put_u64(self.slots);
+        enc.put_u64(self.leases);
+        enc.put_u64(self.cells);
+        enc.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Dec::new(payload);
+        let magic = dec.u32()?;
+        if magic != JOURNAL_MAGIC {
+            return Err(WireError::malformed(format!(
+                "bad journal magic {magic:#010x}"
+            )));
+        }
+        let version = dec.u16()?;
+        if version != JOURNAL_VERSION {
+            return Err(WireError::malformed(format!(
+                "journal version {version} (this build speaks {JOURNAL_VERSION})"
+            )));
+        }
+        let header = Self {
+            recipe_fingerprint: dec.u64()?,
+            slots: dec.u64()?,
+            leases: dec.u64()?,
+            cells: dec.u64()?,
+        };
+        dec.finish()?;
+        Ok(header)
+    }
+}
+
+/// One quarantined cell restored from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedQuarantine {
+    /// Flat index of the poisoned cell.
+    pub flat: u64,
+    /// How many times its lease had executed when it was quarantined.
+    pub executions: u64,
+    /// The structured error it was quarantined with.
+    pub error: SimError,
+}
+
+/// One *completed* lease restored from a journal: every result in the
+/// order it was folded, plus any quarantined cells.
+#[derive(Debug)]
+pub struct ReplayedLease {
+    /// The lease's dispatcher-global id.
+    pub lease_id: u64,
+    /// `(flat, record)` pairs in fold (ascending-flat) order.
+    pub results: Vec<(u64, RunRecord)>,
+    /// Quarantined cells of the lease, in stream order.
+    pub quarantined: Vec<ReplayedQuarantine>,
+}
+
+/// Everything a prior run's journal can prove finished.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Completed leases, in the order their `Done` markers were journaled.
+    pub leases: Vec<ReplayedLease>,
+}
+
+/// An append-mode sweep checkpoint journal (see the module docs).
+pub struct SweepJournal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for SweepJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJournal")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scans an existing journal body after a validated header, returning the
+/// completed leases and the byte offset of the last fully-valid frame (the
+/// truncation point for a torn tail). Aborted leases drop their pending
+/// entries; a `Done` whose result count disagrees with its pending entries
+/// is ignored rather than trusted.
+fn scan_body(
+    r: &mut impl std::io::Read,
+    mut valid_end: u64,
+) -> (Vec<ReplayedLease>, Vec<u64>, u64) {
+    let mut pending_results: HashMap<u64, Vec<(u64, RunRecord)>> = HashMap::new();
+    let mut pending_quarantine: HashMap<u64, Vec<ReplayedQuarantine>> = HashMap::new();
+    let mut completed: Vec<ReplayedLease> = Vec::new();
+    // A clean EOF, torn tail, or trailing garbage all stop the scan at the
+    // last frame that parsed (`valid_end` already points there).
+    while let Ok(Some((frame_type, payload))) = read_frame(r) {
+        let consumed = (FRAME_HEADER_LEN + payload.len()) as u64;
+        let mut dec = Dec::new(&payload);
+        let applied = match frame_type {
+            JF_RESULT => (|| {
+                let lease = dec.u64()?;
+                let flat = dec.u64()?;
+                let record = codec::get_record(&mut dec)?;
+                dec.finish()?;
+                pending_results
+                    .entry(lease)
+                    .or_default()
+                    .push((flat, record));
+                Ok::<(), WireError>(())
+            })()
+            .is_ok(),
+            JF_DONE => (|| {
+                let lease = dec.u64()?;
+                let results = dec.u64()?;
+                dec.finish()?;
+                let recorded = pending_results.remove(&lease).unwrap_or_default();
+                let quarantined = pending_quarantine.remove(&lease).unwrap_or_default();
+                if recorded.len() as u64 == results {
+                    completed.push(ReplayedLease {
+                        lease_id: lease,
+                        results: recorded,
+                        quarantined,
+                    });
+                }
+                Ok::<(), WireError>(())
+            })()
+            .is_ok(),
+            JF_ABORT => (|| {
+                let lease = dec.u64()?;
+                dec.finish()?;
+                pending_results.remove(&lease);
+                pending_quarantine.remove(&lease);
+                Ok::<(), WireError>(())
+            })()
+            .is_ok(),
+            JF_QUARANTINE => (|| {
+                let lease = dec.u64()?;
+                let flat = dec.u64()?;
+                let executions = dec.u64()?;
+                let error = codec::get_sim_error(&mut dec)?;
+                dec.finish()?;
+                pending_quarantine
+                    .entry(lease)
+                    .or_default()
+                    .push(ReplayedQuarantine {
+                        flat,
+                        executions,
+                        error,
+                    });
+                Ok::<(), WireError>(())
+            })()
+            .is_ok(),
+            _ => false,
+        };
+        if !applied {
+            break;
+        }
+        valid_end += consumed;
+    }
+    let dangling: Vec<u64> = {
+        let mut ids: Vec<u64> = pending_results
+            .keys()
+            .chain(pending_quarantine.keys())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    (completed, dangling, valid_end)
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal at `path` for the run described by
+    /// `header`.
+    ///
+    /// If a journal already exists there **and** its header matches, the
+    /// completed leases it proves are returned for replay, any torn tail is
+    /// truncated away, and dangling partial leases are explicitly aborted
+    /// so they never mix with the re-execution's entries. Otherwise —
+    /// missing file, foreign recipe, different plan, or an unreadable
+    /// header — a fresh journal is written in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating, truncating, or writing the
+    /// file.
+    pub fn open(
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<(Self, Option<JournalReplay>), WireError> {
+        let mut adoption: Option<(Vec<ReplayedLease>, Vec<u64>, u64)> = None;
+        if let Ok(file) = File::open(path) {
+            let mut r = BufReader::new(file);
+            if let Ok(Some((JF_HEADER, payload))) = read_frame(&mut r) {
+                if JournalHeader::decode(&payload).is_ok_and(|found| found == *header) {
+                    let header_end = (FRAME_HEADER_LEN + payload.len()) as u64;
+                    adoption = Some(scan_body(&mut r, header_end));
+                }
+            }
+        }
+        match adoption {
+            Some((completed, dangling, valid_end)) => {
+                let mut file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(valid_end)?;
+                file.seek(SeekFrom::Start(valid_end))?;
+                let mut journal = Self {
+                    writer: BufWriter::new(file),
+                    path: path.to_path_buf(),
+                };
+                for lease in dangling {
+                    journal.record_abort(lease)?;
+                }
+                journal.flush()?;
+                Ok((journal, Some(JournalReplay { leases: completed })))
+            }
+            None => {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(path)?;
+                let mut journal = Self {
+                    writer: BufWriter::new(file),
+                    path: path.to_path_buf(),
+                };
+                write_frame(&mut journal.writer, JF_HEADER, &header.encode())?;
+                Ok((journal, None))
+            }
+        }
+    }
+
+    /// Appends one folded result. Buffered; durability comes from the
+    /// [`SweepJournal::record_done`] flush that retires the lease.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_result(
+        &mut self,
+        lease_id: u64,
+        flat: u64,
+        record: &RunRecord,
+    ) -> Result<(), WireError> {
+        let mut enc = Enc::new();
+        enc.put_u64(lease_id);
+        enc.put_u64(flat);
+        codec::put_record(&mut enc, record);
+        write_frame(&mut self.writer, JF_RESULT, &enc.into_bytes())
+    }
+
+    /// Marks a lease complete with `results` recorded results and flushes —
+    /// after this returns, a killed dispatcher will restore the lease.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_done(&mut self, lease_id: u64, results: u64) -> Result<(), WireError> {
+        let mut enc = Enc::new();
+        enc.put_u64(lease_id);
+        enc.put_u64(results);
+        write_frame(&mut self.writer, JF_DONE, &enc.into_bytes())?;
+        self.flush()
+    }
+
+    /// Discards a lease's journaled partial results (worker death → the
+    /// lease re-executes; its old entries must not double-fold on resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_abort(&mut self, lease_id: u64) -> Result<(), WireError> {
+        let mut enc = Enc::new();
+        enc.put_u64(lease_id);
+        write_frame(&mut self.writer, JF_ABORT, &enc.into_bytes())
+    }
+
+    /// Records a quarantined cell (flat index, lease execution count, and
+    /// the structured error) and flushes — quarantine decisions survive any
+    /// later crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_quarantine(
+        &mut self,
+        lease_id: u64,
+        flat: u64,
+        executions: u64,
+        error: &SimError,
+    ) -> Result<(), WireError> {
+        let mut enc = Enc::new();
+        enc.put_u64(lease_id);
+        enc.put_u64(flat);
+        enc.put_u64(executions);
+        codec::put_sim_error(&mut enc, error);
+        write_frame(&mut self.writer, JF_QUARANTINE, &enc.into_bytes())?;
+        self.flush()
+    }
+
+    /// Flushes buffered entries to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// The sweep completed: flush, close, and **delete** the journal (a
+    /// finished run must not be replayed into a later one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(mut self) -> Result<(), WireError> {
+        self.writer.flush()?;
+        let path = self.path.clone();
+        drop(self);
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysscale::{Scenario, SimSession};
+    use sysscale_workloads::spec_workload;
+
+    fn sample_record(tag: &str) -> RunRecord {
+        let workload = spec_workload("mcf").expect("known workload");
+        let mut session = SimSession::new();
+        let scenario = Scenario::builder(workload).build().unwrap();
+        let mut record = session.run(&scenario).unwrap();
+        record.workload = tag.to_string();
+        record
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            recipe_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            slots: 2,
+            leases: 3,
+            cells: 6,
+        }
+    }
+
+    #[test]
+    fn completed_leases_replay_and_partials_do_not() {
+        let dir = std::env::temp_dir().join(format!("ssjl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let r0 = sample_record("cell0");
+        let r1 = sample_record("cell1");
+        let r2 = sample_record("cell2");
+        {
+            let (mut journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+            assert!(replay.is_none(), "fresh file has nothing to replay");
+            journal.record_result(0, 0, &r0).unwrap();
+            journal.record_result(0, 1, &r1).unwrap();
+            journal.record_done(0, 2).unwrap();
+            // Lease 1: one result, never done — a dangling partial.
+            journal.record_result(1, 2, &r2).unwrap();
+            journal.flush().unwrap();
+        }
+
+        let (journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+        let replay = replay.expect("matching header must replay");
+        assert_eq!(replay.leases.len(), 1, "only the Done lease restores");
+        let lease = &replay.leases[0];
+        assert_eq!(lease.lease_id, 0);
+        assert_eq!(lease.results.len(), 2);
+        assert_eq!(lease.results[0].0, 0);
+        assert_eq!(
+            lease.results[0].1, r0,
+            "records must round-trip bit-exactly"
+        );
+        assert_eq!(lease.results[1].1, r1);
+        assert!(lease.quarantined.is_empty());
+        journal.finish().unwrap();
+        assert!(!path.exists(), "finish() deletes the journal");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_journal_stays_usable() {
+        let dir = std::env::temp_dir().join(format!("ssjl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let record = sample_record("cell0");
+        {
+            let (mut journal, _) = SweepJournal::open(&path, &header()).unwrap();
+            journal.record_result(0, 0, &record).unwrap();
+            journal.record_done(0, 1).unwrap();
+            journal.record_result(1, 1, &record).unwrap();
+            journal.flush().unwrap();
+        }
+        // Tear the last frame, as a SIGKILL mid-write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (mut journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+        let replay = replay.expect("header still matches");
+        assert_eq!(replay.leases.len(), 1, "the torn lease must not restore");
+        // And the file is append-consistent again: a new entry lands on a
+        // frame boundary and the journal reopens cleanly.
+        journal.record_result(1, 1, &record).unwrap();
+        journal.record_done(1, 1).unwrap();
+        drop(journal);
+        let (journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+        assert_eq!(replay.expect("replay").leases.len(), 2);
+        journal.finish().unwrap();
+    }
+
+    #[test]
+    fn foreign_or_drifted_headers_start_fresh() {
+        let dir = std::env::temp_dir().join(format!("ssjl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let record = sample_record("cell0");
+        {
+            let (mut journal, _) = SweepJournal::open(&path, &header()).unwrap();
+            journal.record_result(0, 0, &record).unwrap();
+            journal.record_done(0, 1).unwrap();
+        }
+        // Same path, different plan (more slots): nothing replays.
+        let other = JournalHeader {
+            slots: 4,
+            ..header()
+        };
+        let (journal, replay) = SweepJournal::open(&path, &other).unwrap();
+        assert!(replay.is_none(), "a drifted plan must not replay");
+        drop(journal);
+        // The rewrite also wiped the old contents.
+        let (journal, replay) = SweepJournal::open(&path, &other).unwrap();
+        assert!(replay.is_some_and(|r| r.leases.is_empty()));
+        journal.finish().unwrap();
+    }
+
+    #[test]
+    fn aborted_leases_drop_their_pending_results() {
+        let dir = std::env::temp_dir().join(format!("ssjl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("abort.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let record = sample_record("cell0");
+        {
+            let (mut journal, _) = SweepJournal::open(&path, &header()).unwrap();
+            journal.record_result(0, 0, &record).unwrap();
+            journal.record_abort(0).unwrap();
+            // Re-execution after the abort: fresh entries, then done.
+            journal.record_result(0, 0, &record).unwrap();
+            journal.record_result(0, 1, &record).unwrap();
+            journal.record_done(0, 2).unwrap();
+        }
+        let (journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+        let replay = replay.expect("replay");
+        assert_eq!(replay.leases.len(), 1);
+        assert_eq!(
+            replay.leases[0].results.len(),
+            2,
+            "only post-abort entries count toward Done"
+        );
+        journal.finish().unwrap();
+    }
+
+    #[test]
+    fn quarantine_entries_ride_with_their_lease() {
+        let dir = std::env::temp_dir().join(format!("ssjl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let record = sample_record("cell0");
+        let poison = SimError::invalid_config("poisoned cell 1");
+        {
+            let (mut journal, _) = SweepJournal::open(&path, &header()).unwrap();
+            journal.record_result(0, 0, &record).unwrap();
+            journal.record_quarantine(0, 1, 3, &poison).unwrap();
+            journal.record_done(0, 1).unwrap();
+        }
+        let (journal, replay) = SweepJournal::open(&path, &header()).unwrap();
+        let replay = replay.expect("replay");
+        assert_eq!(replay.leases.len(), 1);
+        assert_eq!(
+            replay.leases[0].quarantined,
+            vec![ReplayedQuarantine {
+                flat: 1,
+                executions: 3,
+                error: poison,
+            }]
+        );
+        journal.finish().unwrap();
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! | type | message       | direction          | payload |
 //! |------|---------------|--------------------|---------|
-//! | 1    | `Job`         | dispatcher → worker | magic, version, worker slot, threads, batch cells, recipe blob |
+//! | 1    | `Job`         | dispatcher → worker | magic, version, worker slot, threads, batch cells, quarantine flag, recipe blob |
 //! | 2    | `Lease`       | dispatcher → worker | lease id, flat-index plan (stepped or explicit) |
 //! | 3    | `Result`      | worker → dispatcher | lease id, flat index, encoded [`RunRecord`] |
 //! | 4    | `LeaseDone`   | worker → dispatcher | lease id, cell count |
@@ -34,15 +34,19 @@ pub const PROTO_MAGIC: u32 = 0x5353_4450;
 /// Protocol version; bump on any frame-layout change.
 /// v2: `WorkerError` carries a structured [`SimError`] instead of a
 /// rendered message.
-pub const PROTO_VERSION: u16 = 2;
+/// v3: every frame header carries a CRC-32 over type+length+payload
+/// ([`crate::wire`]), and `Job` carries the quarantine flag (a worker in
+/// quarantine mode isolates a failing cell per-cell and keeps going instead
+/// of exiting on the first `WorkerError`).
+pub const PROTO_VERSION: u16 = 3;
 
-const FT_JOB: u8 = 1;
-const FT_LEASE: u8 = 2;
-const FT_RESULT: u8 = 3;
-const FT_LEASE_DONE: u8 = 4;
-const FT_HEARTBEAT: u8 = 5;
-const FT_WORKER_ERROR: u8 = 6;
-const FT_SHUTDOWN: u8 = 7;
+pub(crate) const FT_JOB: u8 = 1;
+pub(crate) const FT_LEASE: u8 = 2;
+pub(crate) const FT_RESULT: u8 = 3;
+pub(crate) const FT_LEASE_DONE: u8 = 4;
+pub(crate) const FT_HEARTBEAT: u8 = 5;
+pub(crate) const FT_WORKER_ERROR: u8 = 6;
+pub(crate) const FT_SHUTDOWN: u8 = 7;
 
 /// The flat-index plan of one lease.
 ///
@@ -179,6 +183,10 @@ pub enum Message {
         threads: u32,
         /// Cells per execution sub-batch (heartbeat cadence).
         batch_cells: u32,
+        /// Quarantine mode: on a failing cell, re-run the batch cell by
+        /// cell, report each failure as a `WorkerError`, and continue —
+        /// instead of exiting after the first failure.
+        quarantine: bool,
         /// Encoded sweep recipe.
         recipe: Vec<u8>,
     },
@@ -240,6 +248,7 @@ impl Message {
                 worker_slot,
                 threads,
                 batch_cells,
+                quarantine,
                 recipe,
             } => {
                 enc.put_u32(PROTO_MAGIC);
@@ -247,6 +256,7 @@ impl Message {
                 enc.put_u32(*worker_slot);
                 enc.put_u32(*threads);
                 enc.put_u32(*batch_cells);
+                enc.put_bool(*quarantine);
                 enc.put_bytes(recipe);
                 FT_JOB
             }
@@ -319,6 +329,7 @@ impl Message {
                     worker_slot: dec.u32()?,
                     threads: dec.u32()?,
                     batch_cells: dec.u32()?,
+                    quarantine: dec.bool()?,
                     recipe: dec.bytes()?.to_vec(),
                 }
             }
@@ -447,6 +458,7 @@ mod tests {
             worker_slot: 3,
             threads: 2,
             batch_cells: 16,
+            quarantine: true,
             recipe: vec![1, 2, 3],
         }
         .write_to(&mut stream)
@@ -486,11 +498,12 @@ mod tests {
                 worker_slot,
                 threads,
                 batch_cells,
+                quarantine,
                 recipe,
             } => {
                 assert_eq!(
-                    (worker_slot, threads, batch_cells, recipe),
-                    (3, 2, 16, vec![1, 2, 3])
+                    (worker_slot, threads, batch_cells, quarantine, recipe),
+                    (3, 2, 16, true, vec![1, 2, 3])
                 );
             }
             other => panic!("expected Job, got {other:?}"),
@@ -541,19 +554,40 @@ mod tests {
 
     #[test]
     fn job_frames_from_a_drifted_protocol_are_rejected() {
+        // A frame whose CRC is *valid* but whose Job payload speaks an older
+        // protocol version: the version check itself must reject it (a
+        // drifted-but-honest peer, not wire corruption).
+        let mut enc = Enc::new();
+        enc.put_u32(PROTO_MAGIC);
+        enc.put_u16(PROTO_VERSION - 1);
+        enc.put_u32(0); // worker_slot
+        enc.put_u32(1); // threads
+        enc.put_u32(1); // batch_cells
+        enc.put_bytes(&[]); // recipe
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FT_JOB, &enc.into_bytes()).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let err = Message::read_from(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("protocol version"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupted_job_frames_fail_the_crc_before_parsing() {
         let mut stream = Vec::new();
         Message::Job {
             worker_slot: 0,
             threads: 1,
             batch_cells: 1,
+            quarantine: false,
             recipe: Vec::new(),
         }
         .write_to(&mut stream)
         .unwrap();
-        // Corrupt the version field (bytes 5..7 of the payload: after the
-        // frame header of 5 bytes and the 4-byte magic).
-        stream[5 + 4] ^= 0xFF;
+        // Flip a bit in the version field (after the 9-byte frame header
+        // and the 4-byte magic): the CRC catches it.
+        stream[crate::wire::FRAME_HEADER_LEN + 4] ^= 0xFF;
         let mut cursor = std::io::Cursor::new(stream);
-        assert!(Message::read_from(&mut cursor).is_err());
+        let err = Message::read_from(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "got: {err}");
     }
 }

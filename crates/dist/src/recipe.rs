@@ -466,6 +466,16 @@ impl SweepRecipe {
         self.members.iter().map(MatrixRecipe::len).sum()
     }
 
+    /// A 64-bit content fingerprint of the encoded recipe (FNV-1a over
+    /// [`SweepRecipe::encode`]), including the pinned platform fingerprints.
+    /// [`crate::journal::SweepJournal`] keys checkpoint files by it, so a
+    /// journal left by a *different* sweep — or by the same sweep on a
+    /// drifted binary — is ignored instead of replayed.
+    #[must_use]
+    pub fn fingerprint64(&self) -> u64 {
+        crate::net::fnv1a64(&self.encode())
+    }
+
     /// Serializes the recipe, pinning every member's platform fingerprint.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {

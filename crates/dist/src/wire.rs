@@ -9,21 +9,117 @@
 //!   round-trip **bit-exactly** — the foundation of the executor's
 //!   bit-identical merge contract;
 //! * strings and byte blobs are `u32` length + raw bytes (strings UTF-8);
-//! * a frame on the transport is `type: u8`, `len: u32`, `payload` —
-//!   see [`write_frame`]/[`read_frame`].
+//! * a frame on the transport is `type: u8`, `len: u32`, `crc: u32`,
+//!   `payload` — see [`write_frame`]/[`read_frame`]. The CRC-32 covers the
+//!   type byte, the length prefix, and the payload, so a bit flip anywhere
+//!   in a frame is detected before the payload is parsed.
 //!
 //! Decoding is total: every malformed input surfaces as a [`WireError`],
 //! never a panic, so a corrupt or truncated stream from a dying worker is an
-//! ordinary error path.
+//! ordinary error path. Transient I/O conditions (`Interrupted`, and
+//! `WouldBlock` up to a bounded budget) are retried inside the frame
+//! helpers and counted via [`crate::net::transient_retries`], so a
+//! momentarily-stalled socket never surfaces as a frame error.
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
+
+use crate::net::note_transient_retry;
 
 /// Upper bound on one frame's payload, guarding the dispatcher against a
 /// corrupt length prefix allocating unbounded memory. Generous: the largest
 /// real frame (a serialized [`RunRecord`](sysscale::RunRecord) with a
 /// collected trace) is a few megabytes.
 pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// Bytes of a frame header on the wire: type (`u8`), payload length
+/// (`u32`), CRC-32 (`u32`).
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// How many consecutive `WouldBlock` results a single read or write call
+/// tolerates before giving up and surfacing the error. `Interrupted` is
+/// always retried (it carries no backpressure meaning).
+const TRANSIENT_RETRY_LIMIT: u32 = 4096;
+
+/// Pause between `WouldBlock` retries, long enough to let the peer drain a
+/// buffer, short enough (≪ a heartbeat interval) to never look like a hang.
+const TRANSIENT_RETRY_PAUSE: Duration = Duration::from_micros(500);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) lookup table,
+/// built at compile time — the offline container has no crc crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 (IEEE) over one or more byte segments.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds a segment.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            let index = (self.state ^ u32::from(byte)) & 0xFF;
+            self.state = (self.state >> 8) ^ CRC32_TABLE[index as usize];
+        }
+    }
+
+    /// The final checksum value.
+    #[must_use]
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// The checksum a frame carries: CRC-32 over type byte, length prefix, and
+/// payload — so corruption of the *header* is caught too, not just payload
+/// bit flips.
+fn frame_crc(frame_type: u8, len: u32, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&[frame_type]);
+    crc.update(&len.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
 
 /// An error produced by the wire layer: transport I/O failures plus every
 /// way a peer's bytes can fail to parse.
@@ -225,8 +321,83 @@ impl<'a> Dec<'a> {
     }
 }
 
-/// Writes one frame — `type` byte, `u32` payload length, payload — and
-/// flushes, so a frame is visible to the peer the moment the call returns.
+/// One `read` call with transient conditions retried: `Interrupted` always,
+/// `WouldBlock` up to [`TRANSIENT_RETRY_LIMIT`] times with a short pause.
+/// Every retry bumps the process-global counter behind
+/// [`crate::net::transient_retries`].
+pub(crate) fn read_retrying(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut budget = TRANSIENT_RETRY_LIMIT;
+    loop {
+        match r.read(buf) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                note_transient_retry();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && budget > 0 => {
+                budget -= 1;
+                note_transient_retry();
+                std::thread::sleep(TRANSIENT_RETRY_PAUSE);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Fills `buf` completely via [`read_retrying`]; EOF before the buffer
+/// fills is `UnexpectedEof`.
+fn read_exact_retrying(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match read_retrying(r, &mut buf[filled..])? {
+            0 => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+            n => filled += n,
+        }
+    }
+    Ok(())
+}
+
+/// Writes `buf` completely with the same transient-retry policy as
+/// [`read_retrying`].
+pub(crate) fn write_all_retrying(w: &mut impl Write, mut buf: &[u8]) -> std::io::Result<()> {
+    let mut budget = TRANSIENT_RETRY_LIMIT;
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                note_transient_retry();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && budget > 0 => {
+                budget -= 1;
+                note_transient_retry();
+                std::thread::sleep(TRANSIENT_RETRY_PAUSE);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Flushes with the transient-retry policy of [`read_retrying`].
+fn flush_retrying(w: &mut impl Write) -> std::io::Result<()> {
+    let mut budget = TRANSIENT_RETRY_LIMIT;
+    loop {
+        match w.flush() {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                note_transient_retry();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && budget > 0 => {
+                budget -= 1;
+                note_transient_retry();
+                std::thread::sleep(TRANSIENT_RETRY_PAUSE);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Writes one frame — `type` byte, `u32` payload length, `u32` CRC-32 over
+/// type+length+payload, payload — and flushes, so a frame is visible to the
+/// peer the moment the call returns.
 ///
 /// # Errors
 ///
@@ -238,33 +409,32 @@ pub fn write_frame(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> Result
         .ok_or_else(|| {
             WireError::malformed(format!("frame payload {} too large", payload.len()))
         })?;
-    w.write_all(&[frame_type])?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
+    let crc = frame_crc(frame_type, len, payload);
+    write_all_retrying(w, &[frame_type])?;
+    write_all_retrying(w, &len.to_le_bytes())?;
+    write_all_retrying(w, &crc.to_le_bytes())?;
+    write_all_retrying(w, payload)?;
+    flush_retrying(w)?;
     Ok(())
 }
 
-/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF at a
-/// frame boundary — how a closed pipe or socket looks); EOF *inside* a frame
-/// is malformed (the peer died mid-write).
+/// Reads one frame and verifies its CRC. Returns `Ok(None)` on a clean
+/// end-of-stream (EOF at a frame boundary — how a closed pipe or socket
+/// looks); EOF *inside* a frame is malformed (the peer died mid-write).
 ///
 /// # Errors
 ///
 /// Propagates transport errors; rejects length prefixes over
-/// [`MAX_FRAME_LEN`] and truncated frames.
+/// [`MAX_FRAME_LEN`], truncated frames, and checksum mismatches.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
     let mut type_byte = [0u8; 1];
-    loop {
-        match r.read(&mut type_byte) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
+    match read_retrying(r, &mut type_byte) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e.into()),
     }
     let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)
+    read_exact_retrying(r, &mut len_bytes)
         .map_err(|_| WireError::malformed("stream ended inside a frame header"))?;
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME_LEN {
@@ -272,9 +442,21 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError>
             "frame length {len} exceeds cap"
         )));
     }
+    let mut crc_bytes = [0u8; 4];
+    read_exact_retrying(r, &mut crc_bytes)
+        .map_err(|_| WireError::malformed("stream ended inside a frame header"))?;
+    let expected = u32::from_le_bytes(crc_bytes);
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
+    read_exact_retrying(r, &mut payload)
         .map_err(|_| WireError::malformed("stream ended inside a frame payload"))?;
+    let actual = frame_crc(type_byte[0], len, &payload);
+    if actual != expected {
+        return Err(WireError::malformed(format!(
+            "frame crc mismatch (type {}, len {len}): computed {actual:#010x}, header carries \
+             {expected:#010x}",
+            type_byte[0]
+        )));
+    }
     Ok(Some((type_byte[0], payload)))
 }
 
@@ -393,5 +575,30 @@ mod tests {
             read_frame(&mut cursor),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 (IEEE 802.3) check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_frame_is_detected() {
+        let mut clean = Vec::new();
+        write_frame(&mut clean, 3, &[0xAB, 0x00, 0xFF, 0x42]).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(corrupt);
+                let outcome = read_frame(&mut cursor);
+                assert!(
+                    outcome.is_err(),
+                    "flip at byte {byte} bit {bit} slipped through: {outcome:?}"
+                );
+            }
+        }
     }
 }

@@ -29,6 +29,27 @@ pub const FAULT_ENV: &str = "SYSSCALE_DIST_FAULT_AFTER";
 /// recover from this shape of failure.
 pub const HANG_ENV: &str = "SYSSCALE_DIST_FAULT_HANG";
 
+/// Poison-injection hook for the quarantine tests: when set to a flat cell
+/// index, that cell deterministically *fails* (a structured
+/// `InvalidConfig`) in every worker that would execute it — the
+/// "always-failing cell" the quarantine machinery must isolate. The
+/// dispatcher forwards this to every spawn, respawns included, mirroring a
+/// cell that fails for cause rather than by chance.
+pub const POISON_FLAT_ENV: &str = "SYSSCALE_DIST_POISON_FLAT";
+
+/// Companion to [`POISON_FLAT_ENV`]: when set (any non-empty value), the
+/// poisoned cell *kills the worker outright* (no `WorkerError` frame,
+/// `kill -9` semantics) instead of failing cleanly — the failure shape
+/// that forces the dispatcher to bisect the lease down to the offending
+/// cell.
+pub const POISON_CRASH_ENV: &str = "SYSSCALE_DIST_POISON_CRASH";
+
+/// The structured error a poisoned cell fails with (also what the
+/// dispatcher's manifest ends up holding for it).
+pub(crate) fn poison_error(flat: usize) -> sysscale_types::SimError {
+    sysscale_types::SimError::invalid_config(format!("poisoned cell {flat} (injected failure)"))
+}
+
 /// Dies as abruptly as `kill -9`: try SIGKILL via the system `kill`
 /// utility, and if that is unavailable fall back to an abort. Neither path
 /// flushes buffers or unwinds, which is the point — the dispatcher must
@@ -67,16 +88,26 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
         .ok()
         .and_then(|v| v.trim().parse().ok());
     let fault_hangs = std::env::var(HANG_ENV).is_ok_and(|v| !v.trim().is_empty());
+    let poison_flat: Option<usize> = std::env::var(POISON_FLAT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+    let poison_crash = std::env::var(POISON_CRASH_ENV).is_ok_and(|v| !v.trim().is_empty());
     let mut results_sent = 0u64;
 
     // The session opens with exactly one Job frame.
-    let (threads, batch_cells, recipe_bytes) = match Message::read_from(&mut rx) {
+    let (threads, batch_cells, quarantine, recipe_bytes) = match Message::read_from(&mut rx) {
         Ok(Some(Message::Job {
             threads,
             batch_cells,
+            quarantine,
             recipe,
             ..
-        })) => (threads.max(1) as usize, batch_cells.max(1) as usize, recipe),
+        })) => (
+            threads.max(1) as usize,
+            batch_cells.max(1) as usize,
+            quarantine,
+            recipe,
+        ),
         Ok(Some(other)) => return Err(format!("expected Job frame, got {other:?}")),
         Ok(None) => return Err("stream closed before Job frame".to_string()),
         Err(error) => return Err(format!("reading Job frame: {error}")),
@@ -110,7 +141,20 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
                 .map_err(|e| format!("streaming heartbeat: {e}"))?;
                 let mut done_cells = 0u64;
                 for batch in flats.chunks(batch_cells) {
-                    match sweep.run_flat_indices(&mut pool, threads, batch) {
+                    // A crash-mode poisoned cell takes the whole process
+                    // down, `kill -9` style — the failure shape the
+                    // dispatcher can only isolate by bisecting the lease.
+                    if poison_crash && poison_flat.is_some_and(|p| batch.contains(&p)) {
+                        die_hard();
+                    }
+                    let outcome = match poison_flat.filter(|p| batch.contains(p)) {
+                        Some(p) => Err(sysscale::CellError {
+                            flat: p,
+                            error: poison_error(p),
+                        }),
+                        None => sweep.run_flat_indices(&mut pool, threads, batch),
+                    };
+                    match outcome {
                         Ok(pairs) => {
                             for (flat, record) in pairs {
                                 Message::Result {
@@ -126,6 +170,59 @@ pub fn worker_main(rx: impl Read, tx: impl Write) -> Result<(), String> {
                                         hang_forever();
                                     }
                                     die_hard();
+                                }
+                            }
+                            done_cells += batch.len() as u64;
+                            Message::Heartbeat {
+                                lease_id,
+                                done_cells,
+                            }
+                            .write_to(&mut tx)
+                            .map_err(|e| format!("streaming heartbeat: {e}"))?;
+                        }
+                        Err(_) if quarantine => {
+                            // Quarantine mode: isolate the failure by
+                            // re-running the batch cell by cell, ascending.
+                            // Failing cells become WorkerError frames (in
+                            // the same stream position their Result would
+                            // occupy); healthy cells still stream, and the
+                            // worker keeps going.
+                            for &flat in batch {
+                                let single = match poison_flat.filter(|&p| p == flat) {
+                                    Some(p) => Err(sysscale::CellError {
+                                        flat: p,
+                                        error: poison_error(p),
+                                    }),
+                                    None => sweep.run_flat_indices(&mut pool, threads, &[flat]),
+                                };
+                                match single {
+                                    Ok(pairs) => {
+                                        for (flat, record) in pairs {
+                                            Message::Result {
+                                                lease_id,
+                                                flat: flat as u64,
+                                                record: Box::new(record),
+                                            }
+                                            .write_to(&mut tx)
+                                            .map_err(|e| format!("streaming result: {e}"))?;
+                                            results_sent += 1;
+                                            if fault_after.is_some_and(|n| results_sent >= n) {
+                                                if fault_hangs {
+                                                    hang_forever();
+                                                }
+                                                die_hard();
+                                            }
+                                        }
+                                    }
+                                    Err(cell_error) => {
+                                        Message::WorkerError {
+                                            lease_id,
+                                            flat: cell_error.flat as u64,
+                                            error: cell_error.error.clone(),
+                                        }
+                                        .write_to(&mut tx)
+                                        .map_err(|e| format!("streaming error: {e}"))?;
+                                    }
                                 }
                             }
                             done_cells += batch.len() as u64;
@@ -201,6 +298,7 @@ mod tests {
             worker_slot: 0,
             threads: 1,
             batch_cells: 2,
+            quarantine: false,
             recipe: recipe.encode(),
         }
         .write_to(&mut input)
@@ -246,6 +344,7 @@ mod tests {
             worker_slot: 0,
             threads: 1,
             batch_cells: 4,
+            quarantine: false,
             recipe: recipe.encode(),
         }
         .write_to(&mut input)

@@ -1,0 +1,304 @@
+//! Checkpoint/resume tests: a killed dispatcher, restarted with the same
+//! recipe and journal, must produce results **byte-identical** to an
+//! uninterrupted run — replaying finished leases from disk and executing
+//! only the remainder.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use sysscale::{RunSet, SessionPool};
+use sysscale_dist::dispatcher::PoisonFault;
+use sysscale_dist::{
+    run_distributed, run_distributed_partial, sweep_from_sets, DistOptions, GovernorSpec,
+    MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec,
+};
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sysscale-dist-worker"))
+}
+
+fn fig10_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sysscale-dist-fig10"))
+}
+
+fn options(procs: usize) -> DistOptions {
+    DistOptions {
+        procs: Some(procs),
+        worker_binary: Some(worker_binary()),
+        fault_plan: Some(0), // isolate from an ambient CI fault plan
+        ..DistOptions::default()
+    }
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sysscale-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.journal"))
+}
+
+/// A compact two-platform sweep: 2 platforms × 6 workloads × 2 governors.
+fn small_recipe() -> SweepRecipe {
+    let member = |tdp_w: f64| MatrixRecipe {
+        platform: PlatformSpec::SkylakeM6y75 { tdp_w },
+        workloads: WorkloadsSpec::SpecNamed(
+            ["mcf", "lbm", "gcc", "milc", "povray", "astar"]
+                .map(str::to_string)
+                .to_vec(),
+        ),
+        governors: vec![
+            GovernorSpec::Registry("baseline".to_string()),
+            GovernorSpec::SysScaleDefault,
+        ],
+        baseline: Some("baseline".to_string()),
+        duration_secs: Some(0.5),
+        pinned_fingerprint: None,
+    };
+    SweepRecipe {
+        members: vec![member(4.5), member(6.0)],
+        sharding: sysscale::SweepSharding::ByPlatform,
+    }
+}
+
+fn in_process(recipe: &SweepRecipe) -> Vec<RunSet> {
+    let sets = recipe.build().expect("buildable recipe");
+    let sweep = sweep_from_sets(&sets);
+    let mut pool = SessionPool::new();
+    sweep
+        .run_parallel_sharded(&mut pool, 3, recipe.sharding)
+        .expect("in-process sweep")
+}
+
+#[test]
+fn halted_dispatcher_resumes_byte_identically_at_every_process_count() {
+    let recipe = small_recipe();
+    let expected = in_process(&recipe);
+
+    for procs in [1, 2, 4] {
+        let path = journal_path(&format!("halt-{procs}"));
+        let _ = std::fs::remove_file(&path);
+
+        // First attempt: journal on, abort after two retired leases — the
+        // deterministic stand-in for `kill -9` on the dispatcher.
+        let mut first = options(procs);
+        first.journal = Some(path.clone());
+        first.halt_after_leases = Some(2);
+        let error = run_distributed(&recipe, &first).expect_err("the halt hook must fire");
+        assert!(
+            error.to_string().contains("halted after"),
+            "{procs} procs: unexpected failure: {error}"
+        );
+        assert!(path.exists(), "a failed run must leave its journal behind");
+
+        // Resume: same recipe, same plan, no halt.
+        let mut second = options(procs);
+        second.journal = Some(path.clone());
+        let (got, stats) = run_distributed(&recipe, &second).expect("the resume must succeed");
+        assert_eq!(
+            got, expected,
+            "{procs} procs: resumed results must be byte-identical to an \
+             uninterrupted run"
+        );
+        assert_eq!(
+            stats.journal_resumes, 2,
+            "{procs} procs: exactly the two retired leases replay from disk"
+        );
+        assert!(
+            !path.exists(),
+            "a successful run must delete its journal ({procs} procs)"
+        );
+    }
+}
+
+#[test]
+fn a_foreign_journal_is_ignored_and_rewritten() {
+    let path = journal_path("foreign");
+    let _ = std::fs::remove_file(&path);
+
+    // Leave behind a journal for a *different* recipe (3 members).
+    let foreign = {
+        let mut recipe = small_recipe();
+        recipe.members.push(recipe.members[0].clone());
+        recipe
+    };
+    let mut halted = options(2);
+    halted.journal = Some(path.clone());
+    halted.halt_after_leases = Some(1);
+    run_distributed(&foreign, &halted).expect_err("halt");
+    assert!(path.exists());
+
+    // A run of the real recipe against the same path must not replay any
+    // of the foreign leases — fingerprints differ.
+    let recipe = small_recipe();
+    let expected = in_process(&recipe);
+    let mut opts = options(2);
+    opts.journal = Some(path.clone());
+    let (got, stats) = run_distributed(&recipe, &opts).expect("clean run over a foreign journal");
+    assert_eq!(stats.journal_resumes, 0, "foreign journals must not replay");
+    assert_eq!(got, expected);
+    assert!(!path.exists());
+}
+
+#[test]
+fn quarantine_decisions_survive_a_halt_and_resume() {
+    let recipe = small_recipe();
+    let path = journal_path("quarantine-resume");
+    let _ = std::fs::remove_file(&path);
+    let poisoned = 2usize;
+
+    let poison = Some(PoisonFault {
+        flat: poisoned,
+        crash: false,
+    });
+    let mut first = options(2);
+    first.journal = Some(path.clone());
+    first.halt_after_leases = Some(3);
+    first.poison = poison;
+    run_distributed_partial(&recipe, &first).expect_err("halt");
+
+    let mut second = options(2);
+    second.journal = Some(path.clone());
+    second.poison = poison;
+    let (got, failed, stats) =
+        run_distributed_partial(&recipe, &second).expect("resumed partial run");
+    assert_eq!(failed.len(), 1, "the quarantine decision must persist");
+    assert!(failed.contains_flat(poisoned));
+    assert!(stats.journal_resumes > 0);
+
+    // Reference: the same partial sweep run uninterrupted, no journal.
+    let mut reference = options(2);
+    reference.poison = poison;
+    let (clean, clean_failed, _) =
+        run_distributed_partial(&recipe, &reference).expect("uninterrupted partial run");
+    assert_eq!(got, clean, "resumed partial results must be byte-identical");
+    assert_eq!(failed.cells(), clean_failed.cells());
+}
+
+/// End-to-end through the probe binary: halt (exit code 3, the stand-in for
+/// a dispatcher SIGKILL), resume, and compare the result hash against an
+/// uninterrupted run's.
+#[test]
+fn fig10_probe_halt_resume_hash_matches_a_clean_run() {
+    let path = journal_path("fig10-probe");
+    let _ = std::fs::remove_file(&path);
+    let base = |extra: &[&str]| {
+        let mut cmd = Command::new(fig10_binary());
+        cmd.args([
+            "--tdps",
+            "3.5",
+            "--procs",
+            "2",
+            "--duration",
+            "0.25",
+            "--fault-plan",
+            "0",
+        ])
+        .args(extra)
+        .env("SYSSCALE_DIST_WORKER", worker_binary());
+        cmd
+    };
+
+    let clean = base(&[]).output().expect("clean probe run");
+    assert!(clean.status.success(), "clean run: {clean:?}");
+    let clean_json = String::from_utf8_lossy(&clean.stdout).to_string();
+
+    let journal_arg = path.to_string_lossy().to_string();
+    let halted = base(&["--journal", &journal_arg, "--halt-after", "2"])
+        .output()
+        .expect("halted probe run");
+    assert_eq!(
+        halted.status.code(),
+        Some(3),
+        "a halt must exit with the distinct code: {halted:?}"
+    );
+    assert!(path.exists(), "the halted probe leaves its journal");
+
+    let resumed = base(&["--journal", &journal_arg])
+        .output()
+        .expect("resumed probe run");
+    assert!(resumed.status.success(), "resume: {resumed:?}");
+    let resumed_json = String::from_utf8_lossy(&resumed.stdout).to_string();
+
+    let hash = |json: &str| {
+        json.split("\"hash\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no hash in probe output: {json}"))
+    };
+    assert_eq!(
+        hash(&clean_json),
+        hash(&resumed_json),
+        "resumed probe hash must equal the uninterrupted run's \
+         (clean: {clean_json} resumed: {resumed_json})"
+    );
+    assert!(
+        resumed_json.contains("\"journal_resumes\":2"),
+        "the resume must actually replay the two retired leases: {resumed_json}"
+    );
+}
+
+/// A real `kill -9` on the dispatcher process, mid-sweep: whatever the
+/// journal captured before the kill, the resume must reproduce the clean
+/// run's hash exactly.
+#[cfg(unix)]
+#[test]
+fn fig10_probe_survives_a_real_dispatcher_sigkill() {
+    let path = journal_path("fig10-sigkill");
+    let _ = std::fs::remove_file(&path);
+    let journal_arg = path.to_string_lossy().to_string();
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(fig10_binary());
+        cmd.args([
+            "--tdps",
+            "3.5,4.5",
+            "--procs",
+            "2",
+            "--duration",
+            "0.25",
+            "--fault-plan",
+            "0",
+        ])
+        .args(extra)
+        .env("SYSSCALE_DIST_WORKER", worker_binary());
+        cmd
+    };
+
+    let clean = run(&[]).output().expect("clean probe run");
+    assert!(clean.status.success(), "clean run: {clean:?}");
+
+    let mut victim = run(&["--journal", &journal_arg])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim dispatcher");
+    // Let it make some progress, then kill it without ceremony. The exact
+    // timing doesn't matter: the resume contract holds whether the journal
+    // caught zero, some, or all leases.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let _ = victim.kill(); // SIGKILL on unix
+    let _ = victim.wait();
+
+    let resumed = run(&["--journal", &journal_arg])
+        .output()
+        .expect("resumed probe run");
+    assert!(
+        resumed.status.success(),
+        "resume after SIGKILL: {resumed:?}"
+    );
+    let clean_json = String::from_utf8_lossy(&clean.stdout).to_string();
+    let resumed_json = String::from_utf8_lossy(&resumed.stdout).to_string();
+    let hash = |json: &str| {
+        json.split("\"hash\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no hash in probe output: {json}"))
+    };
+    assert_eq!(
+        hash(&clean_json),
+        hash(&resumed_json),
+        "post-SIGKILL resume must be byte-identical \
+         (clean: {clean_json} resumed: {resumed_json})"
+    );
+    assert!(!path.exists(), "the successful resume deletes the journal");
+}
