@@ -1,0 +1,163 @@
+//! Stress benchmark of the sweep service (`sysscale_dist::serve`): a
+//! rising-load schedule against one long-running `SweepService`, the way
+//! llamaburn stress-tests an inference server.
+//!
+//! Each stage doubles the concurrent client count; every client submits a
+//! burst of identical small sweeps over an in-memory connection and
+//! collects its results. Because one executor thread owns the shared warm
+//! pool, rising admission concurrency deepens the queue — the measured
+//! queue-depth vs throughput curve — while per-sweep results stay
+//! byte-identical to the in-process fold (asserted before anything is
+//! timed). After all stages run, the degradation point of the schedule is
+//! detected (`sysscale_dist::degradation_point`) and one
+//! `{"kind":"stress_perf",…}` JSON record per stage is emitted and
+//! appended to the `SYSSCALE_BENCH_HISTORY` JSONL file when that variable
+//! is set (tagged via `SYSSCALE_BENCH_TAG`).
+//!
+//! ```text
+//! cargo bench -p sysscale-bench --bench stress            # full schedule
+//! cargo bench -p sysscale-bench --bench stress -- --short # CI smoke
+//! ```
+
+use sysscale::{CollectRuns, RunRecord, SessionPool};
+use sysscale_bench::timing::StressPerf;
+use sysscale_dist::{
+    degradation_point, sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, ServeOptions,
+    StressMetrics, SweepRecipe, SweepService, WorkloadsSpec,
+};
+use sysscale_types::exec;
+
+/// The unit of load: a compact 4-cell sweep (2 workloads × 2 governors),
+/// small enough that a stage is dominated by serving, not simulating.
+fn unit_recipe() -> SweepRecipe {
+    SweepRecipe::single(MatrixRecipe {
+        platform: PlatformSpec::SkylakeM6y75 { tdp_w: 4.5 },
+        workloads: WorkloadsSpec::SpecNamed(["gamess", "lbm"].map(str::to_string).to_vec()),
+        governors: vec![
+            GovernorSpec::Registry("baseline".to_string()),
+            GovernorSpec::SysScaleDefault,
+        ],
+        baseline: Some("baseline".to_string()),
+        duration_secs: Some(0.25),
+        pinned_fingerprint: None,
+    })
+}
+
+/// The in-process reference stream the served results must match.
+fn in_process(recipe: &SweepRecipe) -> Vec<(usize, RunRecord)> {
+    let sets = recipe.build().expect("buildable recipe");
+    let sweep = sweep_from_sets(&sets);
+    let mut pool = SessionPool::new();
+    let acc = sweep
+        .run_parallel_fold_sharded(&mut pool, 3, recipe.sharding, &CollectRuns)
+        .expect("in-process sweep");
+    CollectRuns::into_flat_records(acc)
+}
+
+/// Runs one stage: `clients` concurrent connections, each submitting
+/// `burst` sweeps up front and collecting them all. Returns the stage's
+/// metrics plus the raw counters the perf record carries.
+fn run_stage(
+    recipe: &SweepRecipe,
+    expected: &[(usize, RunRecord)],
+    clients: usize,
+    burst: usize,
+    workers: usize,
+) -> (StressMetrics, u64, u64) {
+    let service = SweepService::start(&ServeOptions { workers });
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let mut client = service.connect();
+            scope.spawn(move || {
+                let ids: Vec<u64> = (0..burst)
+                    .map(|_| client.submit(recipe, 0).expect("submit"))
+                    .collect();
+                let outcomes = client.collect(&ids).expect("collect");
+                for id in &ids {
+                    let outcome = &outcomes[id];
+                    assert!(outcome.error.is_none(), "healthy sweep failed");
+                    assert_eq!(
+                        outcome.records, expected,
+                        "served records must be byte-identical to the in-process fold"
+                    );
+                }
+                client.close();
+            });
+        }
+    });
+    let stats = service.shutdown();
+    assert_eq!(stats.submissions, (clients * burst) as u64);
+    assert_eq!(stats.errors, 0, "healthy schedule must not error");
+    assert_eq!(stats.frames_rejected, 0, "healthy schedule rejects nothing");
+    (
+        stats.metrics(),
+        stats.max_queue_depth,
+        stats.frames_rejected,
+    )
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let (client_stages, burst): (&[usize], usize) = if short {
+        (&[1, 4], 2)
+    } else {
+        (&[1, 2, 4, 8], 3)
+    };
+    let label = if short {
+        "serve_smoke"
+    } else {
+        "serve_rising_load"
+    };
+    let workers = exec::default_threads();
+    let recipe = unit_recipe();
+    let expected = in_process(&recipe);
+
+    let stages: Vec<(StressMetrics, u64, u64, usize)> = client_stages
+        .iter()
+        .map(|&clients| {
+            let (metrics, max_queue_depth, frames_rejected) =
+                run_stage(&recipe, &expected, clients, burst, workers);
+            println!(
+                "stress/{label}: {clients} client(s) -> {:.1} req/s, p95 {:.1} ms, \
+                 queue depth {max_queue_depth}",
+                metrics.requests_per_sec, metrics.p95_latency_ms,
+            );
+            (metrics, max_queue_depth, frames_rejected, clients)
+        })
+        .collect();
+
+    let metrics_only: Vec<StressMetrics> = stages.iter().map(|s| s.0).collect();
+    let degradation_stage =
+        degradation_point(&metrics_only).map_or(-1, |stage| i64::try_from(stage).unwrap_or(-1));
+
+    for (stage, (metrics, max_queue_depth, frames_rejected, clients)) in stages.iter().enumerate() {
+        let perf = StressPerf {
+            stage,
+            clients: *clients,
+            workers,
+            requests: metrics.requests,
+            errors: metrics.errors,
+            cells: (metrics.requests) * recipe.total_cells() as u64,
+            requests_per_sec: metrics.requests_per_sec,
+            cells_per_sec: metrics.cells_per_sec,
+            p50_latency_ms: metrics.p50_latency_ms,
+            p95_latency_ms: metrics.p95_latency_ms,
+            p99_latency_ms: metrics.p99_latency_ms,
+            p999_latency_ms: metrics.p999_latency_ms,
+            queue_share: metrics.queue_share,
+            error_rate: metrics.error_rate,
+            max_queue_depth: *max_queue_depth,
+            frames_rejected: *frames_rejected,
+            degradation_stage,
+        };
+        perf.emit("stress", label);
+        assert!(perf.requests_per_sec > 0.0);
+        assert!(perf.p50_latency_ms <= perf.p95_latency_ms);
+        assert!(perf.p95_latency_ms <= perf.p99_latency_ms);
+        assert!(perf.p99_latency_ms <= perf.p999_latency_ms);
+    }
+    match degradation_stage {
+        -1 => println!("stress/{label}: no degradation point across the schedule"),
+        stage => println!("stress/{label}: degradation point at stage {stage}"),
+    }
+}

@@ -654,6 +654,100 @@ pub mod timing {
         }
     }
 
+    /// Load measurement of one stage of the sweep-service stress schedule,
+    /// emitted as a machine-readable JSON line (`"kind":"stress_perf"`).
+    /// Where [`DistPerf`] tracks one sweep through the cross-process
+    /// executor, this tracks the *serving* layer under rising load: each
+    /// record is one stage of the schedule (a fixed client count, every
+    /// client submitting a burst of sweeps to one `SweepService`), carrying
+    /// the llamaburn-style summary — requests/sec, p50/p95/p99/p999
+    /// latency, error rate — plus the queue depth that produced the
+    /// throughput, so the history file holds the whole queue-depth vs
+    /// throughput curve. Every record of a schedule carries the same
+    /// `degradation_stage`: the first stage index whose latency blew past
+    /// the first stage's (see `sysscale_dist::degradation_point`), or `-1`
+    /// while the service degrades gracefully.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct StressPerf {
+        /// Stage index within the schedule (0-based).
+        pub stage: usize,
+        /// Concurrent clients this stage ran.
+        pub clients: usize,
+        /// Fold workers the service executed sweeps with.
+        pub workers: usize,
+        /// Submissions this stage completed.
+        pub requests: u64,
+        /// Submissions that failed.
+        pub errors: u64,
+        /// Total cells folded across the stage.
+        pub cells: u64,
+        /// Completed submissions per second of service wall time.
+        pub requests_per_sec: f64,
+        /// Cells folded per second of service wall time.
+        pub cells_per_sec: f64,
+        /// Median admission→completion latency, milliseconds.
+        pub p50_latency_ms: f64,
+        /// 95th-percentile latency, milliseconds.
+        pub p95_latency_ms: f64,
+        /// 99th-percentile latency, milliseconds.
+        pub p99_latency_ms: f64,
+        /// 99.9th-percentile latency, milliseconds.
+        pub p999_latency_ms: f64,
+        /// Mean queueing share of total latency (0..=1).
+        pub queue_share: f64,
+        /// `errors / requests`.
+        pub error_rate: f64,
+        /// Deepest executor queue observed during the stage.
+        pub max_queue_depth: u64,
+        /// Frames the service rejected (CRC/protocol); 0 on a healthy run.
+        pub frames_rejected: u64,
+        /// First degraded stage of the whole schedule, `-1` for none.
+        pub degradation_stage: i64,
+    }
+
+    impl StressPerf {
+        /// Prints the canonical one-line JSON record:
+        /// `{"kind":"stress_perf","bench":…,"schedule":…,"stage":…,
+        /// "clients":…,"workers":…,"requests":…,"errors":…,"cells":…,
+        /// "requests_per_sec":…,"cells_per_sec":…,"p50_latency_ms":…,
+        /// "p95_latency_ms":…,"p99_latency_ms":…,"p999_latency_ms":…,
+        /// "queue_share":…,"error_rate":…,"max_queue_depth":…,
+        /// "frames_rejected":…,"degradation_stage":…}` — and appends it to
+        /// the [`HISTORY_ENV`] file when configured.
+        pub fn emit(&self, bench: &str, schedule: &str) {
+            let line = format!(
+                "{{\"kind\":\"stress_perf\",\"bench\":\"{bench}\",\
+                 \"schedule\":\"{schedule}\",\"stage\":{},\"clients\":{},\
+                 \"workers\":{},\"requests\":{},\"errors\":{},\"cells\":{},\
+                 \"requests_per_sec\":{:.3},\"cells_per_sec\":{:.3},\
+                 \"p50_latency_ms\":{:.3},\"p95_latency_ms\":{:.3},\
+                 \"p99_latency_ms\":{:.3},\"p999_latency_ms\":{:.3},\
+                 \"queue_share\":{:.4},\"error_rate\":{:.4},\
+                 \"max_queue_depth\":{},\"frames_rejected\":{},\
+                 \"degradation_stage\":{}}}",
+                self.stage,
+                self.clients,
+                self.workers,
+                self.requests,
+                self.errors,
+                self.cells,
+                self.requests_per_sec,
+                self.cells_per_sec,
+                self.p50_latency_ms,
+                self.p95_latency_ms,
+                self.p99_latency_ms,
+                self.p999_latency_ms,
+                self.queue_share,
+                self.error_rate,
+                self.max_queue_depth,
+                self.frames_rejected,
+                self.degradation_stage,
+            );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
     /// Wall-clock **load-balance** measurement of one sweep execution,
     /// emitted as a machine-readable JSON line (`"kind":"sched_perf"`).
     /// Where [`SweepPerf`] tracks aggregate throughput, this tracks how

@@ -96,7 +96,7 @@ pub use predictor::{
 pub use scenario::{
     auto_duration, platform_fingerprint, scenario_cost, sysscale_factory, CellError, CellId,
     CollectRuns, FnGovernorFactory, GovernorFactory, GovernorRegistry, GroupAcc, GroupFold,
-    RunCell, RunConsumer, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet,
+    ProgressTap, RunCell, RunConsumer, RunRecord, RunSet, Scenario, ScenarioBuilder, ScenarioSet,
     ScenarioSource, SessionPool, SimSession, SweepSet, SweepSharding, TraceSinkFactory,
 };
 

@@ -1828,6 +1828,95 @@ impl<M, R> fmt::Debug for GroupFold<M, R> {
     }
 }
 
+/// A [`RunConsumer`] decorator that publishes **monotone progress
+/// snapshots** while an inner consumer aggregates, without touching the
+/// final accumulator: `fold`/`merge`/`accumulator` delegate verbatim to the
+/// inner consumer (so the merged result is bit-identical to running the
+/// inner consumer alone), and on the side a shared counter tracks how many
+/// cells have folded across *all* workers. Every `every` cells — and always
+/// on the final cell — `publish` is called with `(done, total)`.
+///
+/// This is what gives a long-running sweep a live readout (the sweep
+/// service's `Progress` frames) for free: the snapshot channel is pure
+/// observability layered on the same [`RunConsumer`] contract the
+/// deterministic aggregation rides on.
+///
+/// ## Snapshot semantics
+///
+/// * the counter is exact: each fold increments it once, so published
+///   `done` values are drawn from the true completion count in `1..=total`;
+/// * successive *values* are strictly increasing, but the `publish` calls
+///   themselves may race across worker threads — two workers can invoke
+///   `publish` out of value order. A consumer that needs monotone
+///   *delivery* (not just monotone values) serializes in `publish`: check
+///   the value against the last delivered one under the same lock used to
+///   deliver (see the sweep service's progress gate);
+/// * `publish` runs on worker threads inside the fold hot path — keep it
+///   cheap and never block on the sweep's own completion.
+pub struct ProgressTap<'a, Q, P> {
+    inner: &'a Q,
+    every: u64,
+    total: u64,
+    done: std::sync::atomic::AtomicU64,
+    publish: P,
+}
+
+impl<'a, Q, P> ProgressTap<'a, Q, P>
+where
+    Q: RunConsumer,
+    P: Fn(u64, u64) + Sync,
+{
+    /// Decorates `inner`, publishing every `every` folded cells of `total`
+    /// (and always on the last). `every == 0` publishes only the final
+    /// snapshot.
+    pub fn new(inner: &'a Q, every: u64, total: u64, publish: P) -> Self {
+        Self {
+            inner,
+            every,
+            total,
+            done: std::sync::atomic::AtomicU64::new(0),
+            publish,
+        }
+    }
+}
+
+impl<Q, P> RunConsumer for ProgressTap<'_, Q, P>
+where
+    Q: RunConsumer,
+    P: Fn(u64, u64) + Sync,
+{
+    type Acc = Q::Acc;
+
+    fn accumulator(&self) -> Self::Acc {
+        self.inner.accumulator()
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, cell: CellId, record: RunRecord) {
+        self.inner.fold(acc, cell, record);
+        let done = self.done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if done == self.total || (self.every > 0 && done % self.every == 0) {
+            (self.publish)(done, self.total);
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        self.inner.merge(into, from);
+    }
+}
+
+impl<Q, P> fmt::Debug for ProgressTap<'_, Q, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressTap")
+            .field("every", &self.every)
+            .field("total", &self.total)
+            .field(
+                "done",
+                &self.done.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // RunSet
 // ---------------------------------------------------------------------------
@@ -2368,5 +2457,100 @@ mod tests {
         assert!(lbm.power_reduction_pct > 3.0, "{lbm:?}");
         // cells() excludes the baseline column.
         assert_eq!(runs.cells().len(), 2);
+    }
+
+    /// A small 4-cell batch with short scenarios, for the progress-tap
+    /// tests.
+    fn tiny_progress_set() -> ScenarioSet {
+        let workloads = [
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let registry = GovernorRegistry::builtin();
+        let mut set = ScenarioSet::new();
+        for governor in ["baseline", "md-dvfs"] {
+            for w in &workloads {
+                set.push(
+                    Scenario::builder(w.clone())
+                        .governor_factory(registry.resolve(governor).unwrap())
+                        .duration(SimTime::from_millis(60.0))
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn progress_tap_preserves_the_inner_accumulator_and_counts_every_cell() {
+        use std::sync::Mutex;
+
+        let set = tiny_progress_set();
+        let mut sweep = SweepSet::new();
+        sweep.push_set_ref(&set);
+        let total = sweep.cells() as u64;
+        let mut pool = SessionPool::new();
+        let plain =
+            CollectRuns::into_records(sweep.run_parallel_fold(&mut pool, 3, &CollectRuns).unwrap());
+
+        for threads in [1usize, 2, 4] {
+            let published: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+            let tap = ProgressTap::new(&CollectRuns, 1, total, |done, of| {
+                published.lock().unwrap().push((done, of));
+            });
+            let tapped = sweep.run_parallel_fold(&mut pool, threads, &tap).unwrap();
+            // Observability only: the tapped accumulator is bit-identical
+            // to the undecorated consumer's.
+            assert_eq!(CollectRuns::into_records(tapped), plain);
+
+            let mut snaps = published.into_inner().unwrap();
+            snaps.sort_unstable();
+            let expected: Vec<(u64, u64)> = (1..=total).map(|done| (done, total)).collect();
+            assert_eq!(
+                snaps, expected,
+                "every=1 publishes each completion exactly once ({threads} threads)"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_tap_every_zero_publishes_only_the_final_snapshot() {
+        use std::sync::Mutex;
+
+        let set = tiny_progress_set();
+        let mut sweep = SweepSet::new();
+        sweep.push_set_ref(&set);
+        let total = sweep.cells() as u64;
+        let published: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        let tap = ProgressTap::new(&CollectRuns, 0, total, |done, of| {
+            published.lock().unwrap().push((done, of));
+        });
+        let _ = sweep
+            .run_parallel_fold(&mut SessionPool::new(), 2, &tap)
+            .unwrap();
+        assert_eq!(published.into_inner().unwrap(), vec![(total, total)]);
+    }
+
+    #[test]
+    fn progress_tap_cadence_hits_multiples_and_the_final_cell() {
+        use std::sync::Mutex;
+
+        let set = tiny_progress_set();
+        let mut sweep = SweepSet::new();
+        sweep.push_set_ref(&set);
+        let total = sweep.cells() as u64;
+        assert_eq!(total, 4);
+        let published: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        let tap = ProgressTap::new(&CollectRuns, 3, total, |done, of| {
+            published.lock().unwrap().push((done, of));
+        });
+        let _ = sweep
+            .run_parallel_fold(&mut SessionPool::new(), 1, &tap)
+            .unwrap();
+        let mut snaps = published.into_inner().unwrap();
+        snaps.sort_unstable();
+        // Multiples of 3 within 1..=4, plus the final cell.
+        assert_eq!(snaps, vec![(3, total), (4, total)]);
     }
 }

@@ -219,9 +219,10 @@ pub struct DistStats {
     /// *violations* still fail the run).
     pub frames_rejected: u64,
     /// Transient I/O retries absorbed during the run (`Interrupted`,
-    /// bounded `WouldBlock`, TCP connect backoff) — the delta of
-    /// [`crate::net::transient_retries`] across the dispatch. Process-wide:
-    /// concurrent runs in one process may attribute each other's retries.
+    /// bounded `WouldBlock`, TCP connect backoff), counted by this run's
+    /// [`crate::net::RetryScope`] — per-run accounting, so concurrent
+    /// dispatches in one process never attribute each other's retries
+    /// ([`crate::net::transient_retries`] remains the process total).
     pub retries: u64,
 }
 
@@ -389,6 +390,7 @@ fn spawn_worker(
     quarantine: bool,
     fault_plan: Option<FaultPlan>,
     events: &Sender<Event>,
+    retry_scope: &net::RetryScope,
 ) -> SimResult<WorkerSlot> {
     let mut command = Command::new(binary);
     command.stderr(Stdio::inherit());
@@ -431,6 +433,7 @@ fn spawn_worker(
                 quarantine,
                 fault_plan,
                 events,
+                retry_scope,
             )
         }
         TransportKind::Tcp => {
@@ -483,6 +486,7 @@ fn spawn_worker(
                 quarantine,
                 fault_plan,
                 events,
+                retry_scope,
             )
         }
     }
@@ -499,6 +503,7 @@ fn finish_spawn(
     quarantine: bool,
     fault_plan: Option<FaultPlan>,
     events: &Sender<Event>,
+    retry_scope: &net::RetryScope,
 ) -> SimResult<WorkerSlot> {
     let (read_half, mut tx) = transport.split();
     // The fault injector sits between the transport and the frame parser,
@@ -510,7 +515,14 @@ fn finish_spawn(
             None => read_half,
         };
     let events = events.clone();
-    std::thread::spawn(move || read_loop(read_half, slot, generation, &events));
+    // The reader thread performs this run's wire reads, so it must carry
+    // the run's retry scope: transient conditions it absorbs count toward
+    // this dispatch, not whichever run happens to snapshot the global.
+    let retry_scope = retry_scope.clone();
+    std::thread::spawn(move || {
+        let _scope = retry_scope.enter();
+        read_loop(read_half, slot, generation, &events);
+    });
     // A send failure here means the worker already died; the reader's
     // Closed event drives the respawn, so don't fail the run for it.
     let _ = Message::Job {
@@ -776,7 +788,11 @@ fn dispatch<Q: RunConsumer>(
     }
 
     let mut stats = DistStats::default();
-    let retries_at_start = net::transient_retries();
+    // Per-run retry accounting: one scope for this dispatch, installed on
+    // this thread and every reader thread it spawns. The process-global
+    // total (net::transient_retries) keeps ticking for all runs combined.
+    let retry_scope = net::RetryScope::new();
+    let _retry_guard = retry_scope.enter();
     if total == 0 {
         return Ok((consumer.accumulator(), FailedCells::default(), stats));
     }
@@ -940,6 +956,7 @@ fn dispatch<Q: RunConsumer>(
             quarantine,
             fault_plan,
             &events_tx,
+            &retry_scope,
         );
         let mut worker = match worker {
             Ok(worker) => worker,
@@ -1338,6 +1355,7 @@ fn dispatch<Q: RunConsumer>(
                     quarantine,
                     fault_plan,
                     &events_tx,
+                    &retry_scope,
                 ) {
                     Ok(mut replacement) => {
                         stats.workers_spawned += 1;
@@ -1385,7 +1403,7 @@ fn dispatch<Q: RunConsumer>(
         let _ = journal.finish();
     }
     stats.quarantined_cells = manifest.len();
-    stats.retries = net::transient_retries().saturating_sub(retries_at_start);
+    stats.retries = retry_scope.count();
 
     // The deterministic merge: leases in plan order within a slot, slots in
     // slot order — the exact partition the in-process fold core merges by.

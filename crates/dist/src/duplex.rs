@@ -1,0 +1,231 @@
+//! In-memory byte pipes for exercising stream protocols without sockets.
+//!
+//! The serve loop ([`crate::serve`]) is written against plain
+//! [`std::io::Read`]/[`std::io::Write`] halves so the same code drives a
+//! `TcpStream` in production and these Mutex+Condvar pipes in tests — the
+//! "pipes for tests, TCP for real use" split the dispatcher already uses,
+//! minus the child process. `std` has no anonymous in-process pipe at the
+//! toolchain floor this repo targets, so the pipe is hand-rolled: a shared
+//! `VecDeque<u8>` with blocking reads, explicit EOF on writer drop, and
+//! `BrokenPipe` on writes after the reader is gone. No artificial capacity
+//! bound — a sweep's result stream is produced and consumed concurrently,
+//! and the framing layer above already caps individual frame sizes.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Buffer plus the two hangup flags that turn it into a unidirectional
+/// pipe: `writer_closed` makes an empty buffer mean EOF instead of "wait",
+/// `reader_closed` turns further writes into `BrokenPipe`.
+#[derive(Debug, Default)]
+struct PipeState {
+    data: VecDeque<u8>,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct PipeShared {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+/// The write half of an in-memory pipe. Dropping it signals EOF to the
+/// reader once the buffered bytes drain.
+#[derive(Debug)]
+pub struct PipeWriter {
+    shared: Arc<PipeShared>,
+}
+
+/// The read half of an in-memory pipe. Reads block until bytes arrive or
+/// the writer hangs up.
+#[derive(Debug)]
+pub struct PipeReader {
+    shared: Arc<PipeShared>,
+}
+
+/// A unidirectional in-memory byte pipe: bytes written to the
+/// [`PipeWriter`] come out of the [`PipeReader`] in order.
+#[must_use]
+pub fn byte_pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(PipeShared::default());
+    (
+        PipeWriter {
+            shared: Arc::clone(&shared),
+        },
+        PipeReader { shared },
+    )
+}
+
+/// One endpoint of an in-memory duplex connection: a read half fed by the
+/// peer and a write half feeding it. Implements both [`Read`] and
+/// [`Write`], and splits into owned halves for use on separate threads.
+#[derive(Debug)]
+pub struct DuplexEnd {
+    /// Bytes arriving from the peer.
+    pub reader: PipeReader,
+    /// Bytes headed to the peer.
+    pub writer: PipeWriter,
+}
+
+impl DuplexEnd {
+    /// Splits into independently-owned halves.
+    #[must_use]
+    pub fn split(self) -> (PipeReader, PipeWriter) {
+        (self.reader, self.writer)
+    }
+}
+
+impl Read for DuplexEnd {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl Write for DuplexEnd {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// An in-memory duplex connection: two [`DuplexEnd`]s wired so each end's
+/// writes surface as the other end's reads — an anonymous socket pair.
+#[must_use]
+pub fn duplex() -> (DuplexEnd, DuplexEnd) {
+    let (a_writer, b_reader) = byte_pipe();
+    let (b_writer, a_reader) = byte_pipe();
+    (
+        DuplexEnd {
+            reader: a_reader,
+            writer: a_writer,
+        },
+        DuplexEnd {
+            reader: b_reader,
+            writer: b_writer,
+        },
+    )
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.shared.state.lock().expect("pipe lock poisoned");
+        if state.reader_closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe reader dropped",
+            ));
+        }
+        state.data.extend(buf);
+        self.shared.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("pipe lock poisoned");
+        state.writer_closed = true;
+        self.shared.readable.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.shared.state.lock().expect("pipe lock poisoned");
+        while state.data.is_empty() {
+            if state.writer_closed {
+                return Ok(0); // clean EOF at a byte boundary
+            }
+            state = self
+                .shared
+                .readable
+                .wait(state)
+                .expect("pipe lock poisoned");
+        }
+        let take = state.data.len().min(buf.len());
+        for slot in buf.iter_mut().take(take) {
+            *slot = state.data.pop_front().expect("checked non-empty");
+        }
+        Ok(take)
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("pipe lock poisoned");
+        state.reader_closed = true;
+        // Wake any writer-side observer; writes fail fast from here on.
+        self.shared.readable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order_and_eof_follows_writer_drop() {
+        let (mut writer, mut reader) = byte_pipe();
+        writer.write_all(b"hello ").unwrap();
+        writer.write_all(b"world").unwrap();
+        drop(writer);
+        let mut out = String::new();
+        reader.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello world");
+    }
+
+    #[test]
+    fn reads_block_until_the_writer_produces() {
+        let (mut writer, mut reader) = byte_pipe();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            reader.read_exact(&mut buf).unwrap();
+            buf
+        });
+        // The reader is (very probably) parked by now; produce the bytes.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        writer.write_all(b"ping").unwrap();
+        assert_eq!(&handle.join().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn writing_after_the_reader_drops_is_a_broken_pipe() {
+        let (mut writer, reader) = byte_pipe();
+        drop(reader);
+        let err = writer.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn duplex_ends_talk_both_ways() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"to-b").unwrap();
+        b.write_all(b"to-a").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-b");
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-a");
+    }
+
+    #[test]
+    fn frames_survive_the_duplex_round_trip() {
+        let (mut a, mut b) = duplex();
+        crate::wire::write_frame(&mut a, 0x42, b"payload").unwrap();
+        let (frame_type, payload) = crate::wire::read_frame(&mut b).unwrap().unwrap();
+        assert_eq!(frame_type, 0x42);
+        assert_eq!(payload, b"payload");
+    }
+}

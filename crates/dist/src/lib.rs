@@ -63,11 +63,13 @@
 
 pub mod codec;
 pub mod dispatcher;
+pub mod duplex;
 pub mod fault;
 pub mod journal;
 pub mod net;
 pub mod proto;
 pub mod recipe;
+pub mod serve;
 pub mod wire;
 pub mod worker;
 
@@ -76,12 +78,17 @@ pub use dispatcher::{
     DistOptions, DistStats, FailedCell, FailedCells, PoisonFault, TransportKind, WorkerFault,
     HEARTBEAT_TIMEOUT_ENV, MAX_LEASE_EXECUTIONS, WORKER_ENV,
 };
+pub use duplex::{byte_pipe, duplex, DuplexEnd, PipeReader, PipeWriter};
 pub use fault::{FaultKind, FaultPlan, FaultReader, WireFault, FAULT_PLAN_ENV};
 pub use journal::{JournalHeader, JournalReplay, ReplayedLease, ReplayedQuarantine, SweepJournal};
-pub use net::{connect_with_backoff, transient_retries};
+pub use net::{connect_with_backoff, transient_retries, RetryScope, RetryScopeGuard};
 pub use proto::{LeaseIndices, Message, PipeTransport, TcpTransport, WorkerTransport};
 pub use recipe::{
     sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec,
+};
+pub use serve::{
+    degradation_point, RequestSample, ServeClient, ServeEvent, ServeOptions, ServeStats,
+    StressMetrics, SweepOutcome, SweepService,
 };
 pub use wire::{Dec, Enc, WireError};
 pub use worker::{worker_main, FAULT_ENV, HANG_ENV, POISON_CRASH_ENV, POISON_FLAT_ENV};

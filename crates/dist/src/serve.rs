@@ -1,0 +1,1104 @@
+//! The sweep engine as a long-running service.
+//!
+//! [`SweepService`] is a server loop that accepts many concurrent sweep
+//! submissions over the crate's framed wire protocol — in-memory duplex
+//! pipes ([`crate::duplex`]) for tests, TCP for real use — and executes
+//! them against **one shared warm [`SessionPool`]** through the same
+//! [`RunConsumer`](sysscale::RunConsumer) fold core every other execution
+//! path uses. The determinism contract carries over unchanged: the record
+//! stream a client gets back for a submission is **byte-identical** to an
+//! in-process [`SweepSet::run_parallel_fold`](sysscale::SweepSet) of the
+//! same recipe, for every interleaving of concurrent submissions, because
+//! submissions are executed serially by one executor thread that owns the
+//! pool — concurrency lives in admission and transport, never inside a
+//! sweep's arithmetic.
+//!
+//! ## Topology
+//!
+//! ```text
+//!  client A ──Submit──▶ reader thread A ──┐            ┌─▶ frames to A
+//!  client B ──Submit──▶ reader thread B ──┼─▶ queue ──▶│ executor thread
+//!  client C ──Submit──▶ reader thread C ──┘  (mpsc)    │ (owns SessionPool)
+//!                                                      └─▶ frames to C
+//! ```
+//!
+//! Each connection gets a reader thread that decodes [`FT_SUBMIT`] frames,
+//! acknowledges them immediately (an `Accepted` frame carrying the queue
+//! depth at admission), and enqueues them on the executor's channel. The
+//! executor dequeues submissions in admission order, runs each sweep with
+//! [`SweepSet::run_parallel_fold_sharded`](sysscale::SweepSet) over the
+//! shared pool, and streams the collected records back in flat-cell order,
+//! closing with a `SweepDone` (or `SweepError`) frame. Queueing delay and
+//! execution time are measured per request into [`RequestSample`]s, which
+//! [`StressMetrics::from_samples`] reduces to the llamaburn-style load
+//! summary (requests/sec, p50/p95/p99/p999 latency, error rate) that the
+//! stress bench emits as `{"kind":"stress_perf"}` records.
+//!
+//! ## Progress snapshots
+//!
+//! A submission may ask for progress every N cells: the executor wraps the
+//! collecting consumer in a [`ProgressTap`], whose publish callback is
+//! gated by a per-submission monotone counter — `Progress` frames carry
+//! strictly increasing `done` counts in order on the wire, even though the
+//! underlying fold workers race. The tap is observability only: the final
+//! accumulator is bit-identical to the undecorated consumer's.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use sysscale::{CollectRuns, ProgressTap, RunRecord, SessionPool};
+use sysscale_types::SimError;
+
+use crate::codec::{get_record, get_sim_error, put_record, put_sim_error};
+use crate::duplex::duplex;
+use crate::recipe::{sweep_from_sets, SweepRecipe};
+use crate::wire::{read_frame, write_frame, Dec, Enc, WireError};
+
+/// Client→server: a sweep submission (`magic`, `version`, `submit_id`,
+/// `progress_every`, encoded [`SweepRecipe`]).
+pub const FT_SUBMIT: u8 = 0x60;
+/// Client→server: orderly hangup; the reader thread exits.
+pub const FT_CLOSE: u8 = 0x61;
+/// Server→client: submission admitted (`submit_id`, `total_cells`,
+/// `queue_depth` at admission).
+pub const FT_ACCEPTED: u8 = 0x70;
+/// Server→client: progress snapshot (`submit_id`, `done`, `total`).
+pub const FT_PROGRESS: u8 = 0x71;
+/// Server→client: one result record (`submit_id`, `flat`, record).
+pub const FT_CELL: u8 = 0x72;
+/// Server→client: submission finished (`submit_id`, `cells`,
+/// `queued_micros`, `exec_micros`).
+pub const FT_SWEEP_DONE: u8 = 0x73;
+/// Server→client: submission failed (`submit_id`, [`SimError`]).
+pub const FT_SWEEP_ERROR: u8 = 0x74;
+
+/// Submit-frame magic ("SVSW" little-endian), catching a client that
+/// frames correctly but speaks a different protocol.
+const SERVE_MAGIC: u32 = 0x5753_5653;
+
+/// Submission payload layout version.
+const SERVE_VERSION: u16 = 1;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Fold workers per sweep (the `threads` argument of
+    /// [`SweepSet::run_parallel_fold_sharded`](sysscale::SweepSet)). The
+    /// byte-identity contract holds at every value.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { workers: 2 }
+    }
+}
+
+/// One request's measured life cycle, recorded by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSample {
+    /// Cells the submission's sweep ran.
+    pub cells: u64,
+    /// Queue depth at admission (this submission included).
+    pub queue_depth: u64,
+    /// Microseconds between admission and execution start.
+    pub queued_micros: u64,
+    /// Microseconds executing the sweep and streaming its results.
+    pub exec_micros: u64,
+    /// Microseconds between admission and completion frame.
+    pub total_micros: u64,
+    /// Whether the submission completed (vs. a `SweepError`).
+    pub ok: bool,
+}
+
+/// Shared mutable server state: counters the reader threads bump and the
+/// samples the executor appends.
+#[derive(Debug, Default)]
+struct ServeShared {
+    submissions: AtomicU64,
+    errors: AtomicU64,
+    frames_rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    samples: Mutex<Vec<RequestSample>>,
+}
+
+/// The server half of one client connection: a writer every server thread
+/// shares. A [`Mutex`] serializes frames — `Accepted` acks from the reader
+/// thread interleave with result frames from the executor on the same
+/// stream, and a frame must never be torn.
+struct ClientPort {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ClientPort {
+    fn send(&self, frame_type: u8, payload: &[u8]) -> Result<(), WireError> {
+        let mut writer = self.writer.lock().expect("client writer poisoned");
+        write_frame(&mut *writer, frame_type, payload)
+    }
+}
+
+impl std::fmt::Debug for ClientPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPort").finish_non_exhaustive()
+    }
+}
+
+/// An admitted submission travelling from a reader thread to the executor.
+struct Submission {
+    port: Arc<ClientPort>,
+    submit_id: u64,
+    recipe: SweepRecipe,
+    progress_every: u64,
+    queue_depth: u64,
+    accepted: Instant,
+}
+
+/// A running sweep service. Create with [`SweepService::start`], attach
+/// clients with [`SweepService::connect`] (in-memory) /
+/// [`SweepService::listen_tcp`] (sockets), and finish with
+/// [`SweepService::shutdown`] to collect [`ServeStats`].
+#[derive(Debug)]
+pub struct SweepService {
+    shared: Arc<ServeShared>,
+    submit_tx: Option<Sender<Submission>>,
+    executor: Option<std::thread::JoinHandle<(usize, usize)>>,
+    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    acceptors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl SweepService {
+    /// Starts the executor thread (owning the shared warm [`SessionPool`])
+    /// and returns the service handle.
+    #[must_use]
+    pub fn start(options: &ServeOptions) -> Self {
+        let shared = Arc::new(ServeShared::default());
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+        let workers = options.workers.max(1);
+        let executor_shared = Arc::clone(&shared);
+        let executor =
+            std::thread::spawn(move || executor_loop(&submit_rx, workers, &executor_shared));
+        Self {
+            shared,
+            submit_tx: Some(submit_tx),
+            executor: Some(executor),
+            readers: Mutex::new(Vec::new()),
+            acceptors: Mutex::new(Vec::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attaches one client connection: spawns a reader thread decoding
+    /// submissions from `reader` and shares `writer` between that thread
+    /// (acks) and the executor (results).
+    pub fn attach(&self, reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) {
+        let port = Arc::new(ClientPort {
+            writer: Mutex::new(writer),
+        });
+        let shared = Arc::clone(&self.shared);
+        let submit_tx = self
+            .submit_tx
+            .as_ref()
+            .expect("attach after shutdown")
+            .clone();
+        let handle = std::thread::spawn(move || client_loop(reader, &port, &submit_tx, &shared));
+        self.readers.lock().expect("readers poisoned").push(handle);
+    }
+
+    /// Connects an in-memory client over a [`crate::duplex::duplex`] pair —
+    /// the test transport.
+    #[must_use]
+    pub fn connect(&self) -> ServeClient {
+        let (client_end, server_end) = duplex();
+        let (server_reader, server_writer) = server_end.split();
+        self.attach(Box::new(server_reader), Box::new(server_writer));
+        let (client_reader, client_writer) = client_end.split();
+        ServeClient::new(Box::new(client_reader), Box::new(client_writer))
+    }
+
+    /// Binds a TCP listener on `addr` (e.g. `"127.0.0.1:0"`) and spawns an
+    /// accept thread attaching every connection until shutdown. Returns the
+    /// bound address — with port 0, the one the OS picked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn listen_tcp(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::clone(&self.stop);
+        let shared = Arc::clone(&self.shared);
+        let submit_tx = self
+            .submit_tx
+            .as_ref()
+            .expect("listen after shutdown")
+            .clone();
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let acceptor_readers = Arc::clone(&readers);
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let write_half = match stream.try_clone() {
+                            Ok(clone) => clone,
+                            Err(_) => continue,
+                        };
+                        let port = Arc::new(ClientPort {
+                            writer: Mutex::new(Box::new(write_half) as Box<dyn Write + Send>),
+                        });
+                        let shared = Arc::clone(&shared);
+                        let submit_tx = submit_tx.clone();
+                        let reader = std::thread::spawn(move || {
+                            client_loop(Box::new(stream), &port, &submit_tx, &shared);
+                        });
+                        acceptor_readers
+                            .lock()
+                            .expect("tcp readers poisoned")
+                            .push(reader);
+                    }
+                    Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Orderly drain: connected clients finish their streams.
+            for reader in acceptor_readers
+                .lock()
+                .expect("tcp readers poisoned")
+                .drain(..)
+            {
+                let _ = reader.join();
+            }
+        });
+        self.acceptors
+            .lock()
+            .expect("acceptors poisoned")
+            .push(handle);
+        Ok(local)
+    }
+
+    /// Stops accepting, waits for attached clients to hang up, drains the
+    /// queue, and returns the measured [`ServeStats`].
+    ///
+    /// Orderly-shutdown contract: clients must close (drop their write
+    /// half or send [`FT_CLOSE`]) for their reader threads — and therefore
+    /// this call — to finish.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop.store(true, Ordering::SeqCst);
+        for acceptor in self.acceptors.lock().expect("acceptors poisoned").drain(..) {
+            let _ = acceptor.join();
+        }
+        for reader in self.readers.lock().expect("readers poisoned").drain(..) {
+            let _ = reader.join();
+        }
+        // Every reader (each holding a Sender clone) has exited; dropping
+        // ours lets the executor drain the queue and return.
+        drop(self.submit_tx.take());
+        let (pool_workers, pool_cached_platforms) = self
+            .executor
+            .take()
+            .expect("executor joined twice")
+            .join()
+            .expect("executor panicked");
+        let shared = &self.shared;
+        ServeStats {
+            submissions: shared.submissions.load(Ordering::SeqCst),
+            errors: shared.errors.load(Ordering::SeqCst),
+            frames_rejected: shared.frames_rejected.load(Ordering::SeqCst),
+            max_queue_depth: shared.max_queue_depth.load(Ordering::SeqCst),
+            wall_micros: micros_since(self.started),
+            samples: shared.samples.lock().expect("samples poisoned").clone(),
+            pool_workers,
+            pool_cached_platforms,
+        }
+    }
+}
+
+/// Saturating microseconds since `instant`.
+fn micros_since(instant: Instant) -> u64 {
+    u64::try_from(instant.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One connection's reader loop: decode frames, admit submissions, exit on
+/// hangup. Framing errors (a CRC mismatch, a torn frame) drop the
+/// connection — the stream position is unrecoverable — and count toward
+/// [`ServeStats::frames_rejected`]; an unknown-but-well-framed frame type
+/// is counted and skipped.
+fn client_loop(
+    mut reader: Box<dyn Read + Send>,
+    port: &Arc<ClientPort>,
+    submit_tx: &Sender<Submission>,
+    shared: &Arc<ServeShared>,
+) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some((FT_SUBMIT, payload))) => {
+                if !admit_submission(&payload, port, submit_tx, shared) {
+                    break;
+                }
+            }
+            Ok(Some((FT_CLOSE, _))) => break,
+            Ok(Some((_, _))) => {
+                shared.frames_rejected.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(WireError::Malformed(_)) => {
+                shared.frames_rejected.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+        }
+    }
+}
+
+/// Decodes and admits one submission payload. Returns `false` when the
+/// connection should drop (undecodable header, or the executor is gone).
+fn admit_submission(
+    payload: &[u8],
+    port: &Arc<ClientPort>,
+    submit_tx: &Sender<Submission>,
+    shared: &Arc<ServeShared>,
+) -> bool {
+    let mut dec = Dec::new(payload);
+    let header = (|| -> Result<(u64, u64, Vec<u8>), WireError> {
+        let magic = dec.u32()?;
+        if magic != SERVE_MAGIC {
+            return Err(WireError::malformed(format!(
+                "bad submit magic {magic:#010x}"
+            )));
+        }
+        let version = dec.u16()?;
+        if version != SERVE_VERSION {
+            return Err(WireError::malformed(format!(
+                "submit version {version} (this build speaks {SERVE_VERSION})"
+            )));
+        }
+        let submit_id = dec.u64()?;
+        let progress_every = dec.u64()?;
+        let recipe_bytes = dec.bytes()?.to_vec();
+        dec.finish()?;
+        Ok((submit_id, progress_every, recipe_bytes))
+    })();
+    let (submit_id, progress_every, recipe_bytes) = match header {
+        Ok(parts) => parts,
+        Err(_) => {
+            // Can't even name the submission: count and drop the client.
+            shared.frames_rejected.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+    };
+    let recipe = match SweepRecipe::decode(&recipe_bytes) {
+        Ok(recipe) => recipe,
+        Err(error) => {
+            // The submission is addressable; answer it with a SweepError
+            // instead of killing the connection.
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            shared.submissions.fetch_add(1, Ordering::SeqCst);
+            let sim_error = SimError::InvalidConfig {
+                reason: format!("undecodable sweep recipe: {error}"),
+            };
+            let _ = port.send(FT_SWEEP_ERROR, &encode_sweep_error(submit_id, &sim_error));
+            return true;
+        }
+    };
+    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.max_queue_depth.fetch_max(depth, Ordering::SeqCst);
+    shared.submissions.fetch_add(1, Ordering::SeqCst);
+    let total_cells = recipe.total_cells() as u64;
+    let _ = port.send(FT_ACCEPTED, &encode_accepted(submit_id, total_cells, depth));
+    submit_tx
+        .send(Submission {
+            port: Arc::clone(port),
+            submit_id,
+            recipe,
+            progress_every,
+            queue_depth: depth,
+            accepted: Instant::now(),
+        })
+        .is_ok()
+}
+
+/// The executor loop: one thread, one warm pool, submissions in admission
+/// order. Returns the pool's final `(workers, cached_platforms)` so
+/// shutdown can assert boundedness.
+fn executor_loop(
+    submit_rx: &Receiver<Submission>,
+    workers: usize,
+    shared: &Arc<ServeShared>,
+) -> (usize, usize) {
+    let mut pool = SessionPool::new();
+    while let Ok(submission) = submit_rx.recv() {
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let queued_micros = micros_since(submission.accepted);
+        let exec_started = Instant::now();
+        let ok = run_submission(&mut pool, workers, &submission, queued_micros);
+        if !ok {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        let sample = RequestSample {
+            cells: submission.recipe.total_cells() as u64,
+            queue_depth: submission.queue_depth,
+            queued_micros,
+            exec_micros: micros_since(exec_started),
+            total_micros: micros_since(submission.accepted),
+            ok,
+        };
+        shared
+            .samples
+            .lock()
+            .expect("samples poisoned")
+            .push(sample);
+    }
+    (pool.workers(), pool.cached_platforms())
+}
+
+/// Runs one submission to completion: build, fold with a monotone-gated
+/// progress tap, stream records in flat order, close with done/error.
+/// Returns whether the sweep succeeded.
+fn run_submission(
+    pool: &mut SessionPool,
+    workers: usize,
+    submission: &Submission,
+    queued_micros: u64,
+) -> bool {
+    let port = &submission.port;
+    let submit_id = submission.submit_id;
+    let outcome = (|| -> Result<Vec<(usize, RunRecord)>, SimError> {
+        let sets = submission.recipe.build()?;
+        let sweep = sweep_from_sets(&sets);
+        let total = sweep.cells() as u64;
+        // The gate makes delivered progress strictly monotone even though
+        // fold workers publish concurrently.
+        let gate = Mutex::new(0u64);
+        let tap = ProgressTap::new(
+            &CollectRuns,
+            submission.progress_every,
+            total,
+            |done, of| {
+                let mut last = gate.lock().expect("progress gate poisoned");
+                if done > *last {
+                    *last = done;
+                    let _ = port.send(FT_PROGRESS, &encode_progress(submit_id, done, of));
+                }
+            },
+        );
+        let acc =
+            sweep.run_parallel_fold_sharded(pool, workers, submission.recipe.sharding, &tap)?;
+        Ok(CollectRuns::into_flat_records(acc))
+    })();
+    match outcome {
+        Ok(records) => {
+            let cells = records.len() as u64;
+            for (flat, record) in &records {
+                let _ = port.send(FT_CELL, &encode_cell(submit_id, *flat, record));
+            }
+            let exec_micros = micros_since(submission.accepted).saturating_sub(queued_micros);
+            let _ = port.send(
+                FT_SWEEP_DONE,
+                &encode_sweep_done(submit_id, cells, queued_micros, exec_micros),
+            );
+            true
+        }
+        Err(error) => {
+            let _ = port.send(FT_SWEEP_ERROR, &encode_sweep_error(submit_id, &error));
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame payload codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`FT_SUBMIT`] payload.
+#[must_use]
+pub fn encode_submit(submit_id: u64, progress_every: u64, recipe: &SweepRecipe) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u32(SERVE_MAGIC);
+    enc.put_u16(SERVE_VERSION);
+    enc.put_u64(submit_id);
+    enc.put_u64(progress_every);
+    enc.put_bytes(&recipe.encode());
+    enc.into_bytes()
+}
+
+fn encode_accepted(submit_id: u64, total_cells: u64, queue_depth: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    enc.put_u64(total_cells);
+    enc.put_u64(queue_depth);
+    enc.into_bytes()
+}
+
+fn encode_progress(submit_id: u64, done: u64, total: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    enc.put_u64(done);
+    enc.put_u64(total);
+    enc.into_bytes()
+}
+
+fn encode_cell(submit_id: u64, flat: usize, record: &RunRecord) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    enc.put_usize(flat);
+    put_record(&mut enc, record);
+    enc.into_bytes()
+}
+
+fn encode_sweep_done(submit_id: u64, cells: u64, queued_micros: u64, exec_micros: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    enc.put_u64(cells);
+    enc.put_u64(queued_micros);
+    enc.put_u64(exec_micros);
+    enc.into_bytes()
+}
+
+fn encode_sweep_error(submit_id: u64, error: &SimError) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    put_sim_error(&mut enc, error);
+    enc.into_bytes()
+}
+
+/// One server→client frame, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// Submission admitted.
+    Accepted {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// Cells the sweep will run.
+        total_cells: u64,
+        /// Executor queue depth at admission (this submission included).
+        queue_depth: u64,
+    },
+    /// Progress snapshot; `done` is strictly increasing per submission.
+    Progress {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// Cells folded so far.
+        done: u64,
+        /// Total cells in the sweep.
+        total: u64,
+    },
+    /// One result record, streamed in ascending flat-cell order.
+    Cell {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// Flat cell index within the sweep.
+        flat: usize,
+        /// The cell's run record, bit-identical to in-process execution.
+        record: Box<RunRecord>,
+    },
+    /// Submission completed.
+    SweepDone {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// Records streamed.
+        cells: u64,
+        /// Microseconds queued before execution.
+        queued_micros: u64,
+        /// Microseconds executing.
+        exec_micros: u64,
+    },
+    /// Submission failed.
+    SweepError {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// The failure, round-tripped through the wire codec.
+        error: SimError,
+    },
+}
+
+/// Decodes one server→client frame.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on an unknown frame type or a payload that does
+/// not parse as that type's layout.
+pub fn decode_event(frame_type: u8, payload: &[u8]) -> Result<ServeEvent, WireError> {
+    let mut dec = Dec::new(payload);
+    let event = match frame_type {
+        FT_ACCEPTED => ServeEvent::Accepted {
+            submit_id: dec.u64()?,
+            total_cells: dec.u64()?,
+            queue_depth: dec.u64()?,
+        },
+        FT_PROGRESS => ServeEvent::Progress {
+            submit_id: dec.u64()?,
+            done: dec.u64()?,
+            total: dec.u64()?,
+        },
+        FT_CELL => ServeEvent::Cell {
+            submit_id: dec.u64()?,
+            flat: dec.usize()?,
+            record: Box::new(get_record(&mut dec)?),
+        },
+        FT_SWEEP_DONE => ServeEvent::SweepDone {
+            submit_id: dec.u64()?,
+            cells: dec.u64()?,
+            queued_micros: dec.u64()?,
+            exec_micros: dec.u64()?,
+        },
+        FT_SWEEP_ERROR => ServeEvent::SweepError {
+            submit_id: dec.u64()?,
+            error: get_sim_error(&mut dec)?,
+        },
+        other => return Err(WireError::malformed(format!("server frame type {other}"))),
+    };
+    dec.finish()?;
+    Ok(event)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Everything a client saw for one finished submission.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// `(flat, record)` pairs in arrival order — ascending flat order on
+    /// the healthy path, byte-identical to
+    /// [`CollectRuns::into_flat_records`] of an in-process fold.
+    pub records: Vec<(usize, RunRecord)>,
+    /// `(done, total)` progress snapshots in arrival order.
+    pub progress: Vec<(u64, u64)>,
+    /// Queue depth reported by the `Accepted` frame.
+    pub queue_depth: u64,
+    /// Total cells reported by the `Accepted` frame.
+    pub total_cells: u64,
+    /// Microseconds queued, from `SweepDone`.
+    pub queued_micros: u64,
+    /// Microseconds executing, from `SweepDone`.
+    pub exec_micros: u64,
+    /// The failure, if the submission ended in `SweepError`.
+    pub error: Option<SimError>,
+    /// Whether `SweepDone`/`SweepError` arrived.
+    pub finished: bool,
+}
+
+/// A client connection to a [`SweepService`]: submit recipes, read events.
+pub struct ServeClient {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    next_submit_id: u64,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("next_submit_id", &self.next_submit_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// A client over arbitrary stream halves (an in-memory duplex end, a
+    /// socket pair, …).
+    #[must_use]
+    pub fn new(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            reader,
+            writer,
+            next_submit_id: 1,
+        }
+    }
+
+    /// Dials a TCP service (with the crate's bounded connect backoff).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Self> {
+        let stream = crate::net::connect_with_backoff(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Self::new(Box::new(stream), Box::new(write_half)))
+    }
+
+    /// Submits a sweep, returning the submission id to match events
+    /// against. `progress_every` ≥ 1 requests a progress snapshot every
+    /// that many cells (plus a final one); 0 requests only the final one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn submit(&mut self, recipe: &SweepRecipe, progress_every: u64) -> Result<u64, WireError> {
+        let submit_id = self.next_submit_id;
+        self.next_submit_id += 1;
+        write_frame(
+            &mut self.writer,
+            FT_SUBMIT,
+            &encode_submit(submit_id, progress_every, recipe),
+        )?;
+        Ok(submit_id)
+    }
+
+    /// Reads the next server event; `None` on a clean server hangup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed frames.
+    pub fn recv(&mut self) -> Result<Option<ServeEvent>, WireError> {
+        match read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some((frame_type, payload)) => decode_event(frame_type, &payload).map(Some),
+        }
+    }
+
+    /// Reads events until every submission in `ids` has finished, folding
+    /// frames into per-submission [`SweepOutcome`]s. Events for ids not in
+    /// the set are folded too (and returned), so interleaved clients can
+    /// collect everything in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; errors if the server hangs up before
+    /// every requested id finishes.
+    pub fn collect(&mut self, ids: &[u64]) -> Result<BTreeMap<u64, SweepOutcome>, WireError> {
+        let mut outcomes: BTreeMap<u64, SweepOutcome> = BTreeMap::new();
+        let finished = |outcomes: &BTreeMap<u64, SweepOutcome>| {
+            ids.iter()
+                .all(|id| outcomes.get(id).is_some_and(|o| o.finished))
+        };
+        while !finished(&outcomes) {
+            let event = self.recv()?.ok_or_else(|| {
+                WireError::malformed("server hung up before every submission finished")
+            })?;
+            match event {
+                ServeEvent::Accepted {
+                    submit_id,
+                    total_cells,
+                    queue_depth,
+                } => {
+                    let o = outcomes.entry(submit_id).or_default();
+                    o.total_cells = total_cells;
+                    o.queue_depth = queue_depth;
+                }
+                ServeEvent::Progress {
+                    submit_id,
+                    done,
+                    total,
+                    ..
+                } => outcomes
+                    .entry(submit_id)
+                    .or_default()
+                    .progress
+                    .push((done, total)),
+                ServeEvent::Cell {
+                    submit_id,
+                    flat,
+                    record,
+                } => outcomes
+                    .entry(submit_id)
+                    .or_default()
+                    .records
+                    .push((flat, *record)),
+                ServeEvent::SweepDone {
+                    submit_id,
+                    queued_micros,
+                    exec_micros,
+                    ..
+                } => {
+                    let o = outcomes.entry(submit_id).or_default();
+                    o.queued_micros = queued_micros;
+                    o.exec_micros = exec_micros;
+                    o.finished = true;
+                }
+                ServeEvent::SweepError { submit_id, error } => {
+                    let o = outcomes.entry(submit_id).or_default();
+                    o.error = Some(error);
+                    o.finished = true;
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Submits one sweep and blocks until it finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; a sweep-level failure arrives as
+    /// [`SweepOutcome::error`], not an `Err`.
+    pub fn run_sweep(
+        &mut self,
+        recipe: &SweepRecipe,
+        progress_every: u64,
+    ) -> Result<SweepOutcome, WireError> {
+        let id = self.submit(recipe, progress_every)?;
+        let mut outcomes = self.collect(&[id])?;
+        Ok(outcomes.remove(&id).unwrap_or_default())
+    }
+
+    /// Sends an orderly close. Dropping the client without calling this is
+    /// equivalent (the reader thread sees EOF).
+    pub fn close(mut self) {
+        let _ = write_frame(&mut self.writer, FT_CLOSE, &[]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load metrics
+// ---------------------------------------------------------------------------
+
+/// Everything the service measured over its lifetime, returned by
+/// [`SweepService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Submissions admitted (including undecodable-recipe rejections).
+    pub submissions: u64,
+    /// Submissions that ended in `SweepError`.
+    pub errors: u64,
+    /// Frames dropped for framing/protocol reasons (CRC mismatch, unknown
+    /// type, bad submit header). Zero on the healthy path.
+    pub frames_rejected: u64,
+    /// Deepest executor queue observed at any admission.
+    pub max_queue_depth: u64,
+    /// Service lifetime, start to shutdown.
+    pub wall_micros: u64,
+    /// Per-request life cycles, in completion order.
+    pub samples: Vec<RequestSample>,
+    /// Pool worker sessions at shutdown — bounded by the configured
+    /// worker count, never per-request.
+    pub pool_workers: usize,
+    /// Cached `(worker, platform)` simulators at shutdown.
+    pub pool_cached_platforms: usize,
+}
+
+impl ServeStats {
+    /// Reduces the samples to a [`StressMetrics`] summary.
+    #[must_use]
+    pub fn metrics(&self) -> StressMetrics {
+        StressMetrics::from_samples(&self.samples, self.wall_micros)
+    }
+}
+
+/// The llamaburn-style load summary: throughput, latency percentiles,
+/// error rate — the payload of a `{"kind":"stress_perf"}` bench record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressMetrics {
+    /// Requests measured.
+    pub requests: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Completed requests per second of service wall time.
+    pub requests_per_sec: f64,
+    /// Cells folded per second of service wall time.
+    pub cells_per_sec: f64,
+    /// Median request latency (admission→completion), milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// 99.9th-percentile request latency, milliseconds.
+    pub p999_latency_ms: f64,
+    /// Mean queueing share of total latency (0..=1).
+    pub queue_share: f64,
+    /// `errors / requests` (0 when no requests).
+    pub error_rate: f64,
+}
+
+impl StressMetrics {
+    /// Reduces request samples over a `wall_micros` observation window.
+    /// Percentiles are nearest-rank over total latency, so
+    /// p50 ≤ p95 ≤ p99 ≤ p999 by construction.
+    #[must_use]
+    pub fn from_samples(samples: &[RequestSample], wall_micros: u64) -> Self {
+        let requests = samples.len() as u64;
+        let errors = samples.iter().filter(|s| !s.ok).count() as u64;
+        let wall_secs = (wall_micros.max(1) as f64) / 1e6;
+        let cells: u64 = samples.iter().map(|s| s.cells).sum();
+        let mut latencies: Vec<u64> = samples.iter().map(|s| s.total_micros).collect();
+        latencies.sort_unstable();
+        let percentile = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+            latencies[rank - 1] as f64 / 1e3
+        };
+        let queued: u64 = samples.iter().map(|s| s.queued_micros).sum();
+        let total: u64 = samples.iter().map(|s| s.total_micros).sum();
+        Self {
+            requests,
+            errors,
+            requests_per_sec: requests as f64 / wall_secs,
+            cells_per_sec: cells as f64 / wall_secs,
+            p50_latency_ms: percentile(0.50),
+            p95_latency_ms: percentile(0.95),
+            p99_latency_ms: percentile(0.99),
+            p999_latency_ms: percentile(0.999),
+            queue_share: if total == 0 {
+                0.0
+            } else {
+                queued as f64 / total as f64
+            },
+            error_rate: if requests == 0 {
+                0.0
+            } else {
+                errors as f64 / requests as f64
+            },
+        }
+    }
+}
+
+/// Detects the degradation point of a rising-load schedule: the first
+/// stage whose p95 latency exceeds 4× the first stage's (plus a 2ms floor,
+/// so microsecond-scale baselines don't trip on noise) or that saw any
+/// errors. `None` while the service degrades gracefully.
+#[must_use]
+pub fn degradation_point(stages: &[StressMetrics]) -> Option<usize> {
+    let baseline = stages.first()?;
+    let threshold = baseline.p95_latency_ms * 4.0 + 2.0;
+    stages
+        .iter()
+        .position(|stage| stage.errors > 0 || stage.p95_latency_ms > threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(total_micros: u64, ok: bool) -> RequestSample {
+        RequestSample {
+            cells: 4,
+            queue_depth: 1,
+            queued_micros: total_micros / 4,
+            exec_micros: total_micros - total_micros / 4,
+            total_micros,
+            ok,
+        }
+    }
+
+    #[test]
+    fn stress_metrics_percentiles_are_monotone_and_rates_positive() {
+        let samples: Vec<RequestSample> = (1..=100).map(|i| sample(i * 1000, true)).collect();
+        let metrics = StressMetrics::from_samples(&samples, 2_000_000);
+        assert_eq!(metrics.requests, 100);
+        assert_eq!(metrics.errors, 0);
+        assert!((metrics.requests_per_sec - 50.0).abs() < 1e-9);
+        assert!(metrics.cells_per_sec > 0.0);
+        // Nearest-rank over 1..=100 ms: exact percentile values.
+        assert!((metrics.p50_latency_ms - 50.0).abs() < 1e-9);
+        assert!((metrics.p95_latency_ms - 95.0).abs() < 1e-9);
+        assert!((metrics.p99_latency_ms - 99.0).abs() < 1e-9);
+        assert!((metrics.p999_latency_ms - 100.0).abs() < 1e-9);
+        assert!(metrics.p50_latency_ms <= metrics.p95_latency_ms);
+        assert!(metrics.p95_latency_ms <= metrics.p99_latency_ms);
+        assert!(metrics.p99_latency_ms <= metrics.p999_latency_ms);
+        assert_eq!(metrics.error_rate, 0.0);
+    }
+
+    #[test]
+    fn stress_metrics_empty_samples_are_all_zeros() {
+        let metrics = StressMetrics::from_samples(&[], 1_000_000);
+        assert_eq!(metrics.requests, 0);
+        assert_eq!(metrics.p999_latency_ms, 0.0);
+        assert_eq!(metrics.error_rate, 0.0);
+    }
+
+    #[test]
+    fn degradation_point_finds_the_first_bad_stage() {
+        let stage = |p95_ms: f64, errors: u64| StressMetrics {
+            requests: 10,
+            errors,
+            requests_per_sec: 1.0,
+            cells_per_sec: 4.0,
+            p50_latency_ms: p95_ms / 2.0,
+            p95_latency_ms: p95_ms,
+            p99_latency_ms: p95_ms,
+            p999_latency_ms: p95_ms,
+            queue_share: 0.1,
+            error_rate: errors as f64 / 10.0,
+        };
+        // Graceful: latency grows but stays under 4x + 2ms.
+        assert_eq!(
+            degradation_point(&[stage(1.0, 0), stage(3.0, 0), stage(5.0, 0)]),
+            None
+        );
+        // Latency blowup at stage 2.
+        assert_eq!(
+            degradation_point(&[stage(1.0, 0), stage(2.0, 0), stage(10.0, 0)]),
+            Some(2)
+        );
+        // Errors trump latency.
+        assert_eq!(
+            degradation_point(&[stage(1.0, 0), stage(1.5, 1), stage(1.0, 0)]),
+            Some(1)
+        );
+        assert_eq!(degradation_point(&[]), None);
+    }
+
+    #[test]
+    fn submit_payload_round_trips_through_the_admission_decoder() {
+        let recipe = SweepRecipe::fig10(&[4.5]);
+        let payload = encode_submit(7, 16, &recipe);
+        let mut dec = Dec::new(&payload);
+        assert_eq!(dec.u32().unwrap(), SERVE_MAGIC);
+        assert_eq!(dec.u16().unwrap(), SERVE_VERSION);
+        assert_eq!(dec.u64().unwrap(), 7);
+        assert_eq!(dec.u64().unwrap(), 16);
+        let decoded = SweepRecipe::decode(dec.bytes().unwrap()).unwrap();
+        assert_eq!(decoded.members.len(), recipe.members.len());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn server_event_payloads_round_trip() {
+        let accepted = decode_event(FT_ACCEPTED, &encode_accepted(3, 24, 2)).unwrap();
+        assert_eq!(
+            accepted,
+            ServeEvent::Accepted {
+                submit_id: 3,
+                total_cells: 24,
+                queue_depth: 2
+            }
+        );
+        let progress = decode_event(FT_PROGRESS, &encode_progress(3, 8, 24)).unwrap();
+        assert_eq!(
+            progress,
+            ServeEvent::Progress {
+                submit_id: 3,
+                done: 8,
+                total: 24
+            }
+        );
+        let done = decode_event(FT_SWEEP_DONE, &encode_sweep_done(3, 24, 10, 90)).unwrap();
+        assert_eq!(
+            done,
+            ServeEvent::SweepDone {
+                submit_id: 3,
+                cells: 24,
+                queued_micros: 10,
+                exec_micros: 90
+            }
+        );
+        let error = SimError::InvalidConfig {
+            reason: "nope".to_string(),
+        };
+        let decoded = decode_event(FT_SWEEP_ERROR, &encode_sweep_error(3, &error)).unwrap();
+        assert_eq!(
+            decoded,
+            ServeEvent::SweepError {
+                submit_id: 3,
+                error
+            }
+        );
+        assert!(decode_event(0x55, &[]).is_err(), "unknown frame type");
+    }
+}

@@ -1,0 +1,199 @@
+//! Concurrency tests for the sweep service ([`sysscale_dist::serve`]).
+//!
+//! The contract under test: a [`SweepService`] executing many concurrent
+//! client submissions against **one shared warm pool** returns, per
+//! submission, a record stream **byte-identical** to an in-process
+//! [`SweepSet::run_parallel_fold`](sysscale::SweepSet) of the same recipe —
+//! at every configured worker count, for every interleaving — while the
+//! pool stays bounded by the worker count (no per-request session growth).
+
+use sysscale::{CollectRuns, RunRecord, SessionPool};
+use sysscale_dist::{
+    sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, ServeClient, ServeOptions,
+    SweepRecipe, SweepService, WorkloadsSpec,
+};
+
+/// A compact 4-cell sweep (2 workloads × 2 governors), distinguished per
+/// client by TDP so interleaved submissions have distinct right answers.
+fn tiny_recipe(tdp_w: f64) -> SweepRecipe {
+    SweepRecipe::single(MatrixRecipe {
+        platform: PlatformSpec::SkylakeM6y75 { tdp_w },
+        workloads: WorkloadsSpec::SpecNamed(["gamess", "lbm"].map(str::to_string).to_vec()),
+        governors: vec![
+            GovernorSpec::Registry("baseline".to_string()),
+            GovernorSpec::SysScaleDefault,
+        ],
+        baseline: Some("baseline".to_string()),
+        duration_secs: Some(0.25),
+        pinned_fingerprint: None,
+    })
+}
+
+/// The in-process reference stream for a recipe: flat-indexed records from
+/// `run_parallel_fold`, at a thread count deliberately different from any
+/// the service runs with.
+fn in_process(recipe: &SweepRecipe) -> Vec<(usize, RunRecord)> {
+    let sets = recipe.build().expect("buildable recipe");
+    let sweep = sweep_from_sets(&sets);
+    let mut pool = SessionPool::new();
+    let acc = sweep
+        .run_parallel_fold_sharded(&mut pool, 3, recipe.sharding, &CollectRuns)
+        .expect("in-process sweep");
+    CollectRuns::into_flat_records(acc)
+}
+
+#[test]
+fn interleaved_clients_get_byte_identical_results_at_every_worker_count() {
+    const CLIENTS: usize = 4;
+    let recipes: Vec<SweepRecipe> = (0..CLIENTS)
+        .map(|i| tiny_recipe(4.0 + i as f64 * 0.5))
+        .collect();
+    let expected: Vec<Vec<(usize, RunRecord)>> = recipes.iter().map(in_process).collect();
+
+    for workers in [1usize, 2, 4] {
+        let service = SweepService::start(&ServeOptions { workers });
+        let mut clients: Vec<ServeClient> = (0..CLIENTS).map(|_| service.connect()).collect();
+
+        // Interleave the submissions: every client submits twice before
+        // anyone starts collecting, so the executor sees a mixed queue of
+        // eight submissions from four connections.
+        let ids: Vec<(u64, u64)> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                let first = client.submit(&recipes[i], 0).expect("submit");
+                let second = client.submit(&recipes[i], 0).expect("resubmit");
+                (first, second)
+            })
+            .collect();
+
+        for (i, (client, (first, second))) in clients.into_iter().zip(&ids).enumerate() {
+            let mut client = client;
+            let outcomes = client.collect(&[*first, *second]).expect("collect");
+            for id in [first, second] {
+                let outcome = &outcomes[id];
+                assert!(outcome.error.is_none(), "healthy sweep must not error");
+                assert_eq!(
+                    outcome.records, expected[i],
+                    "client {i} at {workers} workers must match the in-process fold"
+                );
+                // Streamed in ascending flat order, not just set-equal.
+                assert!(outcome.records.windows(2).all(|w| w[0].0 < w[1].0));
+                assert_eq!(outcome.total_cells, expected[i].len() as u64);
+            }
+            client.close();
+        }
+
+        let stats = service.shutdown();
+        assert_eq!(stats.submissions, (CLIENTS * 2) as u64);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.frames_rejected, 0, "healthy path rejects nothing");
+        assert!(stats.max_queue_depth >= 1);
+        let metrics = stats.metrics();
+        assert_eq!(metrics.requests, (CLIENTS * 2) as u64);
+        assert!(metrics.requests_per_sec > 0.0);
+        assert!(metrics.p50_latency_ms <= metrics.p95_latency_ms);
+        assert!(metrics.p95_latency_ms <= metrics.p99_latency_ms);
+    }
+}
+
+#[test]
+fn the_shared_pool_stays_bounded_across_many_submissions() {
+    const WORKERS: usize = 2;
+    let service = SweepService::start(&ServeOptions { workers: WORKERS });
+    let mut client = service.connect();
+    let recipe = tiny_recipe(4.5);
+    for _ in 0..6 {
+        let outcome = client.run_sweep(&recipe, 0).expect("sweep");
+        assert!(outcome.error.is_none());
+    }
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.submissions, 6);
+    // One warm pool serves every request: sessions are per worker slot,
+    // never per submission.
+    assert!(
+        stats.pool_workers <= WORKERS,
+        "pool grew to {} worker sessions for {WORKERS} workers",
+        stats.pool_workers
+    );
+    // Every submission ran the same single-platform recipe: the cache
+    // holds at most one platform per worker session.
+    assert!(
+        stats.pool_cached_platforms <= WORKERS,
+        "pool cached {} simulators across {WORKERS} workers",
+        stats.pool_cached_platforms
+    );
+}
+
+#[test]
+fn progress_snapshots_are_monotone_and_reach_the_total() {
+    let service = SweepService::start(&ServeOptions { workers: 2 });
+    let mut client = service.connect();
+    let recipe = tiny_recipe(4.5);
+    let total = recipe.total_cells() as u64;
+    let outcome = client.run_sweep(&recipe, 1).expect("sweep");
+    assert!(outcome.error.is_none());
+    // Strictly increasing on the wire — the service's monotone gate —
+    // and the final snapshot is (total, total).
+    assert!(!outcome.progress.is_empty());
+    assert!(outcome
+        .progress
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 && w[0].1 == w[1].1));
+    assert_eq!(*outcome.progress.last().unwrap(), (total, total));
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn tcp_clients_get_the_same_bytes_as_in_memory_ones() {
+    let recipe = tiny_recipe(5.0);
+    let expected = in_process(&recipe);
+    let service = SweepService::start(&ServeOptions { workers: 2 });
+    let addr = service.listen_tcp("127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect_tcp(&addr.to_string()).expect("connect");
+    let outcome = client.run_sweep(&recipe, 0).expect("sweep");
+    assert!(outcome.error.is_none());
+    assert_eq!(outcome.records, expected);
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.submissions, 1);
+    assert_eq!(stats.frames_rejected, 0);
+}
+
+#[test]
+fn a_bad_recipe_fails_the_submission_not_the_connection() {
+    let service = SweepService::start(&ServeOptions { workers: 1 });
+    let mut client = service.connect();
+
+    // A recipe that decodes but cannot build (unknown workload): the
+    // service must answer with a SweepError and keep the connection
+    // serving.
+    let garbage = SweepRecipe::single(MatrixRecipe {
+        platform: PlatformSpec::SkylakeM6y75 { tdp_w: 4.5 },
+        workloads: WorkloadsSpec::SpecNamed(vec!["not-a-spec-workload".to_string()]),
+        governors: vec![GovernorSpec::Registry("baseline".to_string())],
+        baseline: None,
+        duration_secs: Some(0.25),
+        pinned_fingerprint: None,
+    });
+    let bad_id = client.submit(&garbage, 0).expect("submit");
+    let outcomes = client.collect(&[bad_id]).expect("collect");
+    assert!(
+        outcomes[&bad_id].error.is_some(),
+        "an unknown workload must surface as a SweepError"
+    );
+
+    // The same connection still serves healthy sweeps afterwards.
+    let good = tiny_recipe(4.5);
+    let outcome = client.run_sweep(&good, 0).expect("sweep after error");
+    assert!(outcome.error.is_none());
+    assert_eq!(outcome.records, in_process(&good));
+
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.submissions, 2);
+}

@@ -87,31 +87,67 @@ pub const MAX_AUTO_THREADS: usize = 16;
 ///
 /// Explicit values (CLI or env) are deliberately *not* capped: pinning more
 /// workers than cores is a legitimate oversubscription experiment.
+///
+/// **Malformed environment values are diagnosed, not swallowed**: a set but
+/// unusable value (`SYSSCALE_THREADS=4x`, `=0`, `=-2`) prints one warning
+/// per distinct `(variable, value)` pair to stderr and then falls back to
+/// the detected core count — the documented warn-and-fall-back choice, so a
+/// typo'd pin degrades loudly instead of silently running at the wrong
+/// width. A value that is empty or whitespace-only is treated as unset (the
+/// conventional `VAR=` spelling of "no override") and draws no warning.
 #[must_use]
 pub fn resolve_parallelism(cli: Option<usize>, env_var: &str) -> usize {
-    resolve_from(
-        cli,
-        std::env::var(env_var).ok().as_deref(),
-        detected_parallelism(),
-    )
+    let env_value = std::env::var(env_var).ok();
+    let (resolved, rejected) = resolve_from(cli, env_value.as_deref(), detected_parallelism());
+    if let Some(reason) = rejected {
+        warn_env_once(env_var, env_value.as_deref().unwrap_or(""), reason);
+    }
+    resolved
 }
 
 /// The pure core of [`resolve_parallelism`], separated so the precedence
 /// rule is testable without mutating process-global environment state.
-fn resolve_from(cli: Option<usize>, env_value: Option<&str>, detected: usize) -> usize {
+/// Returns the resolved count plus the reason the environment value was
+/// rejected, when it was set to something other than a positive integer or
+/// pure whitespace.
+fn resolve_from(
+    cli: Option<usize>,
+    env_value: Option<&str>,
+    detected: usize,
+) -> (usize, Option<&'static str>) {
     if let Some(n) = cli {
         if n >= 1 {
-            return n;
+            return (n, None);
         }
     }
     if let Some(value) = env_value {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        let trimmed = value.trim();
+        if !trimmed.is_empty() {
+            match trimmed.parse::<usize>() {
+                Ok(0) => return (detected.max(1), Some("must be at least 1")),
+                Ok(n) => return (n, None),
+                Err(_) => return (detected.max(1), Some("not a positive integer")),
             }
         }
+        // Empty / whitespace-only: the conventional "unset" spelling.
     }
-    detected.max(1)
+    (detected.max(1), None)
+}
+
+/// Prints one stderr warning per distinct `(variable, value)` pair — a
+/// malformed pin is worth exactly one line, not one per batch the process
+/// executes.
+fn warn_env_once(var: &str, value: &str, reason: &str) {
+    use std::sync::Mutex;
+    static WARNED: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    let mut warned = WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if warned.iter().any(|(v, val)| v == var && val == value) {
+        return;
+    }
+    warned.push((var.to_string(), value.to_string()));
+    eprintln!("warning: ignoring {var}={value:?} ({reason}); falling back to detected parallelism");
 }
 
 /// Detected hardware parallelism, capped at [`MAX_AUTO_THREADS`].
@@ -1303,18 +1339,44 @@ mod tests {
     #[test]
     fn resolve_parallelism_prefers_cli_then_env_then_detected() {
         // CLI beats env beats detected.
-        assert_eq!(resolve_from(Some(3), Some("7"), 16), 3);
-        assert_eq!(resolve_from(None, Some("7"), 16), 7);
-        assert_eq!(resolve_from(None, None, 16), 16);
-        // A zero CLI value falls through to the env, a zero/garbage env
-        // value falls through to the detected count.
-        assert_eq!(resolve_from(Some(0), Some("5"), 16), 5);
-        assert_eq!(resolve_from(None, Some("0"), 4), 4);
-        assert_eq!(resolve_from(None, Some("not a number"), 4), 4);
-        assert_eq!(resolve_from(None, Some(" 12 "), 4), 12);
+        assert_eq!(resolve_from(Some(3), Some("7"), 16), (3, None));
+        assert_eq!(resolve_from(None, Some("7"), 16), (7, None));
+        assert_eq!(resolve_from(None, None, 16), (16, None));
+        // A zero CLI value falls through to the env.
+        assert_eq!(resolve_from(Some(0), Some("5"), 16), (5, None));
+        assert_eq!(resolve_from(None, Some(" 12 "), 4), (12, None));
         // Explicit values are not capped; the detected floor is 1.
-        assert_eq!(resolve_from(Some(64), None, 2), 64);
-        assert_eq!(resolve_from(None, Some("64"), 2), 64);
-        assert_eq!(resolve_from(None, None, 0), 1);
+        assert_eq!(resolve_from(Some(64), None, 2), (64, None));
+        assert_eq!(resolve_from(None, Some("64"), 2), (64, None));
+        assert_eq!(resolve_from(None, None, 0), (1, None));
+    }
+
+    #[test]
+    fn resolve_parallelism_diagnoses_unusable_env_values() {
+        // Malformed and zero env values fall back to the detected count —
+        // but *say so*, instead of silently running at the wrong width.
+        let rejected = |value: &str, detected: usize| {
+            let (resolved, reason) = resolve_from(None, Some(value), detected);
+            assert!(
+                reason.is_some(),
+                "env value {value:?} must surface a diagnostic"
+            );
+            resolved
+        };
+        assert_eq!(rejected("0", 4), 4);
+        assert_eq!(rejected(" 0 ", 4), 4);
+        assert_eq!(rejected("4x", 4), 4);
+        assert_eq!(rejected("-2", 4), 4);
+        assert_eq!(rejected("not a number", 4), 4);
+        assert_eq!(rejected("1.5", 4), 4);
+
+        // Empty and whitespace-only values are the conventional "unset"
+        // spelling: no diagnostic, straight to the detected count.
+        assert_eq!(resolve_from(None, Some(""), 4), (4, None));
+        assert_eq!(resolve_from(None, Some("   "), 4), (4, None));
+        assert_eq!(resolve_from(None, Some("\t"), 4), (4, None));
+
+        // A CLI pin wins before the env value is even looked at.
+        assert_eq!(resolve_from(Some(3), Some("4x"), 16), (3, None));
     }
 }
