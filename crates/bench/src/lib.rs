@@ -703,6 +703,14 @@ pub mod timing {
         pub frames_rejected: u64,
         /// First degraded stage of the whole schedule, `-1` for none.
         pub degradation_stage: i64,
+        /// First post-degradation stage whose p95 recovered to within the
+        /// baseline threshold with zero errors, `-1` when the schedule
+        /// never degraded or never recovered.
+        pub recovery_stage: i64,
+        /// Wall time the schedule spent degraded (degradation through
+        /// recovery, or through the schedule's end), milliseconds; 0 when
+        /// nothing degraded.
+        pub recovery_ms: f64,
     }
 
     impl StressPerf {
@@ -712,8 +720,9 @@ pub mod timing {
         /// "requests_per_sec":…,"cells_per_sec":…,"p50_latency_ms":…,
         /// "p95_latency_ms":…,"p99_latency_ms":…,"p999_latency_ms":…,
         /// "queue_share":…,"error_rate":…,"max_queue_depth":…,
-        /// "frames_rejected":…,"degradation_stage":…}` — and appends it to
-        /// the [`HISTORY_ENV`] file when configured.
+        /// "frames_rejected":…,"degradation_stage":…,"recovery_stage":…,
+        /// "recovery_ms":…}` — and appends it to the [`HISTORY_ENV`] file
+        /// when configured.
         pub fn emit(&self, bench: &str, schedule: &str) {
             let line = format!(
                 "{{\"kind\":\"stress_perf\",\"bench\":\"{bench}\",\
@@ -724,7 +733,8 @@ pub mod timing {
                  \"p99_latency_ms\":{:.3},\"p999_latency_ms\":{:.3},\
                  \"queue_share\":{:.4},\"error_rate\":{:.4},\
                  \"max_queue_depth\":{},\"frames_rejected\":{},\
-                 \"degradation_stage\":{}}}",
+                 \"degradation_stage\":{},\"recovery_stage\":{},\
+                 \"recovery_ms\":{:.3}}}",
                 self.stage,
                 self.clients,
                 self.workers,
@@ -742,6 +752,66 @@ pub mod timing {
                 self.max_queue_depth,
                 self.frames_rejected,
                 self.degradation_stage,
+                self.recovery_stage,
+                self.recovery_ms,
+            );
+            println!("{line}");
+            append_history(&line);
+        }
+    }
+
+    /// Wall-clock **mixed-load** measurement of the sweep service: one
+    /// long-running big sweep plus a stream of small sweeps, measured once
+    /// under the serial executor and once under the shared cost-aware
+    /// scheduler (`sysscale_dist::ExecutorMode`). The record carries the
+    /// small-sweep latency percentiles — the number the shared scheduler
+    /// exists to improve — so the history file holds the serial-vs-shared
+    /// delta as a trajectory. One record per mode.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct MixedPerf {
+        /// Executor mode: `"serial"` or `"shared"`.
+        pub mode: &'static str,
+        /// Fold workers the service ran.
+        pub workers: usize,
+        /// Cells of the big background sweep.
+        pub big_cells: u64,
+        /// Small sweeps submitted while the big sweep ran.
+        pub small_requests: u64,
+        /// Cells per small sweep.
+        pub small_cells: u64,
+        /// Median small-sweep admission→completion latency, milliseconds.
+        pub small_p50_latency_ms: f64,
+        /// 95th-percentile small-sweep latency, milliseconds.
+        pub small_p95_latency_ms: f64,
+        /// Big-sweep admission→completion latency, milliseconds.
+        pub big_latency_ms: f64,
+        /// Submissions shed by the admission bound; 0 on a healthy run.
+        pub busy_shed: u64,
+        /// Submissions that failed; 0 on a healthy run.
+        pub errors: u64,
+    }
+
+    impl MixedPerf {
+        /// Prints the canonical one-line JSON record
+        /// (`{"kind":"mixed_perf","bench":…,"mode":…,…}`) and appends it
+        /// to the [`HISTORY_ENV`] file when configured.
+        pub fn emit(&self, bench: &str) {
+            let line = format!(
+                "{{\"kind\":\"mixed_perf\",\"bench\":\"{bench}\",\
+                 \"mode\":\"{}\",\"workers\":{},\"big_cells\":{},\
+                 \"small_requests\":{},\"small_cells\":{},\
+                 \"small_p50_latency_ms\":{:.3},\"small_p95_latency_ms\":{:.3},\
+                 \"big_latency_ms\":{:.3},\"busy_shed\":{},\"errors\":{}}}",
+                self.mode,
+                self.workers,
+                self.big_cells,
+                self.small_requests,
+                self.small_cells,
+                self.small_p50_latency_ms,
+                self.small_p95_latency_ms,
+                self.big_latency_ms,
+                self.busy_shed,
+                self.errors,
             );
             println!("{line}");
             append_history(&line);

@@ -708,6 +708,18 @@ impl SessionPool {
         &mut self.workers_mut(1)[0]
     }
 
+    /// Grows the pool to at least `n` sessions and returns the first `n`,
+    /// one mutable slot per worker. This is the pool-keying surface a
+    /// long-running executor uses to give each of its physical workers a
+    /// stable session: because a [`SimSession`] caches simulators by full
+    /// platform-configuration equality, submissions that pin the same
+    /// platform fingerprint hit the same warm simulator on whichever
+    /// worker slot runs their cells — across submissions, not just within
+    /// one — while the pool stays bounded by the worker count.
+    pub fn worker_sessions(&mut self, n: usize) -> &mut [SimSession] {
+        self.workers_mut(n)
+    }
+
     /// Grows the pool to at least `n` sessions and returns the first `n` as
     /// the worker contexts of one parallel batch.
     fn workers_mut(&mut self, n: usize) -> &mut [SimSession] {
@@ -1327,34 +1339,8 @@ impl<'a> SweepSet<'a> {
         consumer: &Q,
     ) -> SimResult<Q::Acc> {
         let (offsets, total) = self.member_offsets();
-        let keys: Vec<u64> = match sharding {
-            SweepSharding::RoundRobin => Vec::new(),
-            SweepSharding::ByPlatform
-            | SweepSharding::SplitHotKeys
-            | SweepSharding::ByCost
-            | SweepSharding::SplitHotCost => self
-                .members
-                .iter()
-                .flat_map(|(m, _)| m.as_source().shard_keys())
-                .collect(),
-        };
-        let costs: Vec<u64> = match sharding {
-            SweepSharding::ByCost | SweepSharding::SplitHotCost => self.cell_costs(),
-            _ => Vec::new(),
-        };
-        let shard = match sharding {
-            SweepSharding::RoundRobin => exec::Shard::RoundRobin,
-            SweepSharding::ByPlatform => exec::Shard::ByKey(&keys),
-            SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(&keys),
-            SweepSharding::ByCost => exec::Shard::ByCostKeyed {
-                keys: &keys,
-                costs: &costs,
-            },
-            SweepSharding::SplitHotCost => exec::Shard::SplitHotCost {
-                keys: &keys,
-                costs: &costs,
-            },
-        };
+        let (keys, costs) = self.shard_inputs(sharding);
+        let shard = shard_of(sharding, &keys, &costs);
 
         // A worker's fold state: the consumer accumulator plus the
         // earliest error the worker hit (after which its remaining cells
@@ -1483,6 +1469,100 @@ impl<'a> SweepSet<'a> {
         }
     }
 
+    /// The per-worker flat-index lists the parallel fold partitions this
+    /// sweep into, for `threads` requested workers under `sharding` — the
+    /// worker count is clamped exactly like
+    /// [`SweepSet::run_parallel_fold_sharded`] clamps it
+    /// ([`exec::effective_workers`]), and the shard inputs (keys, costs)
+    /// are computed by the same code path, so element `w` is precisely the
+    /// ascending cell list worker `w` of the in-process fold would visit.
+    ///
+    /// This is the planning half of an externally driven fold: a scheduler
+    /// that executes each slot's list in order (in any interleaving with
+    /// other work, e.g. via [`SweepSet::fold_flat_slice`] at lease
+    /// boundaries) and merges the slot accumulators in slot order
+    /// reproduces the in-process fold byte for byte.
+    #[must_use]
+    pub fn slot_indices(&self, threads: usize, sharding: SweepSharding) -> Vec<Vec<usize>> {
+        let total = self.cells();
+        let workers = exec::effective_workers(threads, total);
+        if total == 0 {
+            return vec![Vec::new(); workers];
+        }
+        let (keys, costs) = self.shard_inputs(sharding);
+        shard_of(sharding, &keys, &costs).worker_lists(total, workers)
+    }
+
+    /// Executes an ascending slice of flat cells on **one** session,
+    /// folding each finished record into the caller's accumulator. This is
+    /// the execution half of an externally driven fold (see
+    /// [`SweepSet::slot_indices`]): because every cell runs on a freshly
+    /// reset simulator with a freshly built governor, folding a slot's
+    /// list in order — across any number of `fold_flat_slice` calls, on
+    /// any session — produces an accumulator byte-identical to the one the
+    /// in-process worker builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell (in slice order, which is flat
+    /// order) as a [`CellError`]; cells before it have already been
+    /// folded, cells after it have not run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flats` is not strictly ascending or indexes past the
+    /// sweep's cell count.
+    pub fn fold_flat_slice<Q: RunConsumer + ?Sized>(
+        &self,
+        session: &mut SimSession,
+        flats: &[usize],
+        consumer: &Q,
+        acc: &mut Q::Acc,
+    ) -> Result<(), CellError> {
+        let (offsets, total) = self.member_offsets();
+        assert!(
+            flats.windows(2).all(|w| w[0] < w[1]),
+            "flat indices must be strictly ascending"
+        );
+        if let Some(&last) = flats.last() {
+            assert!(last < total, "flat index {last} out of range ({total})");
+        }
+        let mut ctx = SweepWorker {
+            session,
+            cursors: self.members.iter().map(|_| None).collect(),
+        };
+        for &flat in flats {
+            let (cell, result) = self.run_cell(&mut ctx, &offsets, flat);
+            match result {
+                Ok(record) => consumer.fold(acc, cell, record),
+                Err(error) => return Err(CellError { flat, error }),
+            }
+        }
+        Ok(())
+    }
+
+    /// The `(keys, costs)` inputs the sharding strategy partitions by —
+    /// shared by [`SweepSet::run_parallel_fold_sharded`] and
+    /// [`SweepSet::slot_indices`] so both compute the identical partition.
+    fn shard_inputs(&self, sharding: SweepSharding) -> (Vec<u64>, Vec<u64>) {
+        let keys: Vec<u64> = match sharding {
+            SweepSharding::RoundRobin => Vec::new(),
+            SweepSharding::ByPlatform
+            | SweepSharding::SplitHotKeys
+            | SweepSharding::ByCost
+            | SweepSharding::SplitHotCost => self
+                .members
+                .iter()
+                .flat_map(|(m, _)| m.as_source().shard_keys())
+                .collect(),
+        };
+        let costs: Vec<u64> = match sharding {
+            SweepSharding::ByCost | SweepSharding::SplitHotCost => self.cell_costs(),
+            _ => Vec::new(),
+        };
+        (keys, costs)
+    }
+
     /// Member start offsets (by flat index) and the total cell count.
     fn member_offsets(&self) -> (Vec<usize>, usize) {
         let mut offsets = Vec::with_capacity(self.members.len());
@@ -1551,6 +1631,20 @@ impl<'a> SweepSet<'a> {
             },
             result,
         )
+    }
+}
+
+/// Maps a [`SweepSharding`] strategy onto the borrowed-input
+/// [`exec::Shard`] it runs as. Kept as one function so every caller
+/// (the in-process fold, [`SweepSet::slot_indices`]) agrees on the
+/// mapping.
+fn shard_of<'a>(sharding: SweepSharding, keys: &'a [u64], costs: &'a [u64]) -> exec::Shard<'a> {
+    match sharding {
+        SweepSharding::RoundRobin => exec::Shard::RoundRobin,
+        SweepSharding::ByPlatform => exec::Shard::ByKey(keys),
+        SweepSharding::SplitHotKeys => exec::Shard::SplitHotKeys(keys),
+        SweepSharding::ByCost => exec::Shard::ByCostKeyed { keys, costs },
+        SweepSharding::SplitHotCost => exec::Shard::SplitHotCost { keys, costs },
     }
 }
 
@@ -2344,6 +2438,83 @@ mod tests {
                 let got = sweep
                     .run_parallel_sharded(&mut SessionPool::new(), threads, sharding)
                     .unwrap();
+                assert_eq!(got, expected, "threads={threads} sharding={sharding:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_indices_with_fold_flat_slice_match_the_one_shot_fold() {
+        // The externally driven fold (slot_indices + fold_flat_slice +
+        // IncrementalFold, with slots chopped into cost-quantile leases)
+        // must reproduce run_parallel_fold_sharded byte for byte — this is
+        // the determinism contract the shared sweep-service scheduler
+        // rests on.
+        let workloads = vec![
+            spec_workload("gamess").unwrap(),
+            spec_workload("lbm").unwrap(),
+        ];
+        let config_a = SocConfig::skylake_default();
+        let config_b = SocConfig::skylake_m_6y75(sysscale_types::Power::from_watts(9.0));
+        let mut sweep = SweepSet::new();
+        for config in [&config_a, &config_b] {
+            sweep.push_set(
+                ScenarioSet::matrix(config, &workloads, &["baseline", "md-dvfs"]).unwrap(),
+            );
+        }
+        let costs = sweep.cell_costs();
+
+        for sharding in [
+            SweepSharding::ByPlatform,
+            SweepSharding::ByCost,
+            SweepSharding::SplitHotCost,
+        ] {
+            for threads in [1, 2, 3] {
+                let expected = sweep
+                    .run_parallel_fold_sharded(
+                        &mut SessionPool::new(),
+                        threads,
+                        sharding,
+                        &CollectRuns,
+                    )
+                    .unwrap();
+
+                let slots = sweep.slot_indices(threads, sharding);
+                let mut fold =
+                    exec::IncrementalFold::new(slots.len(), || CollectRuns.accumulator());
+                let mut pool = SessionPool::new();
+                // Execute each slot as a sequence of cost-quantile leases,
+                // deliberately interleaved round-robin across slots (the
+                // scheduler interleaves submissions the same way).
+                let mut leases: Vec<std::collections::VecDeque<Vec<usize>>> = slots
+                    .iter()
+                    .map(|list| {
+                        exec::cost_quantile_chunks(list, |flat| costs[flat], 3)
+                            .into_iter()
+                            .collect()
+                    })
+                    .collect();
+                while leases.iter().any(|q| !q.is_empty()) {
+                    for (slot, queue) in leases.iter_mut().enumerate() {
+                        let Some(lease) = queue.pop_front() else {
+                            continue;
+                        };
+                        let first = lease.first().copied().unwrap_or(0);
+                        let mut acc = fold.checkout(slot, first);
+                        let next = lease.last().copied().unwrap_or(0) + 1;
+                        sweep
+                            .fold_flat_slice(
+                                &mut pool.worker_sessions(1)[0],
+                                &lease,
+                                &CollectRuns,
+                                &mut acc,
+                            )
+                            .unwrap();
+                        fold.restore(slot, acc, next);
+                    }
+                }
+                assert!(fold.is_idle());
+                let got = fold.finish(|into, from| CollectRuns.merge(into, from));
                 assert_eq!(got, expected, "threads={threads} sharding={sharding:?}");
             }
         }

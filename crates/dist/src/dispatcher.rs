@@ -625,30 +625,7 @@ fn plan_slot_leases_by_cost(
     costs: &[u64],
     leases_per_worker: usize,
 ) -> Vec<Vec<usize>> {
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let chunks = leases_per_worker.clamp(1, cells.len());
-    let cost_of = |flat: usize| u128::from(costs[flat].max(1));
-    let total: u128 = cells.iter().map(|&flat| cost_of(flat)).sum();
-    let mut plan: Vec<Vec<usize>> = Vec::with_capacity(chunks);
-    let mut current = Vec::new();
-    let mut prefix: u128 = 0;
-    for (i, &flat) in cells.iter().enumerate() {
-        current.push(flat);
-        prefix += cost_of(flat);
-        let built = plan.len() + 1; // chunks complete once `current` closes
-        let cells_left = cells.len() - (i + 1);
-        let chunks_left = chunks - built;
-        // Close the chunk at its cost quantile — or when exactly enough
-        // cells remain to keep every later chunk non-empty.
-        let reached = prefix * chunks as u128 >= built as u128 * total;
-        if built < chunks && (cells_left == chunks_left || (reached && cells_left >= chunks_left)) {
-            plan.push(std::mem::take(&mut current));
-        }
-    }
-    plan.push(current);
-    plan
+    exec::cost_quantile_chunks(cells, |flat| costs[flat], leases_per_worker)
 }
 
 /// Executes `recipe` across worker processes and returns one [`RunSet`] per

@@ -87,8 +87,9 @@ pub use recipe::{
     sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, SweepRecipe, WorkloadsSpec,
 };
 pub use serve::{
-    degradation_point, RequestSample, ServeClient, ServeEvent, ServeOptions, ServeStats,
-    StressMetrics, SweepOutcome, SweepService,
+    assess_stages, degradation_point, BusyShed, ExecutorMode, LoadAssessment, RequestSample,
+    ServeClient, ServeError, ServeEvent, ServeOptions, ServeStats, StressMetrics, SweepOutcome,
+    SweepService,
 };
 pub use wire::{Dec, Enc, WireError};
 pub use worker::{worker_main, FAULT_ENV, HANG_ENV, POISON_CRASH_ENV, POISON_FLAT_ENV};

@@ -2,37 +2,55 @@
 //!
 //! [`SweepService`] is a server loop that accepts many concurrent sweep
 //! submissions over the crate's framed wire protocol — in-memory duplex
-//! pipes ([`crate::duplex`]) for tests, TCP for real use — and executes
+//! pipes ([`mod@crate::duplex`]) for tests, TCP for real use — and executes
 //! them against **one shared warm [`SessionPool`]** through the same
-//! [`RunConsumer`](sysscale::RunConsumer) fold core every other execution
-//! path uses. The determinism contract carries over unchanged: the record
-//! stream a client gets back for a submission is **byte-identical** to an
-//! in-process [`SweepSet::run_parallel_fold`](sysscale::SweepSet) of the
-//! same recipe, for every interleaving of concurrent submissions, because
-//! submissions are executed serially by one executor thread that owns the
-//! pool — concurrency lives in admission and transport, never inside a
-//! sweep's arithmetic.
+//! [`RunConsumer`] fold core every other execution path uses. The
+//! determinism contract carries over unchanged: the record stream a client
+//! gets back for a submission is **byte-identical** to an in-process
+//! [`SweepSet::run_parallel_fold`] of the same recipe, for every
+//! interleaving of concurrent submissions.
 //!
-//! ## Topology
+//! ## Topology (the default [`ExecutorMode::Shared`])
 //!
 //! ```text
-//!  client A ──Submit──▶ reader thread A ──┐            ┌─▶ frames to A
-//!  client B ──Submit──▶ reader thread B ──┼─▶ queue ──▶│ executor thread
-//!  client C ──Submit──▶ reader thread C ──┘  (mpsc)    │ (owns SessionPool)
-//!                                                      └─▶ frames to C
+//!  client A ──Submit──▶ reader thread A ──┐               ┌─ worker 1 ─┐
+//!  client B ──Submit──▶ reader thread B ──┼─▶ scheduler ──┼─ worker 2 ─┼─▶ frames
+//!  client C ──Submit──▶ reader thread C ──┘  (leases)     └─ worker N ─┘
 //! ```
 //!
 //! Each connection gets a reader thread that decodes [`FT_SUBMIT`] frames,
 //! acknowledges them immediately (an `Accepted` frame carrying the queue
-//! depth at admission), and enqueues them on the executor's channel. The
-//! executor dequeues submissions in admission order, runs each sweep with
-//! [`SweepSet::run_parallel_fold_sharded`](sysscale::SweepSet) over the
-//! shared pool, and streams the collected records back in flat-cell order,
-//! closing with a `SweepDone` (or `SweepError`) frame. Queueing delay and
-//! execution time are measured per request into [`RequestSample`]s, which
-//! [`StressMetrics::from_samples`] reduces to the llamaburn-style load
-//! summary (requests/sec, p50/p95/p99/p999 latency, error rate) that the
-//! stress bench emits as `{"kind":"stress_perf"}` records.
+//! depth at admission — or a `Busy` frame when `max_pending` submissions
+//! are already in flight), builds the recipe, and hands the sweep to the
+//! **shared cost-aware scheduler**. The scheduler plans every submission
+//! exactly like the in-process fold would: the per-worker cell lists come
+//! from [`SweepSet::slot_indices`] (the same sharding strategy, the same
+//! worker clamp), each slot's list is cut into cost-prefix-quantile leases
+//! ([`exec::cost_quantile_chunks`] — the same sizing the distributed
+//! dispatcher uses), and one pool of worker threads executes leases from
+//! **all** active submissions, interleaved.
+//!
+//! The interleave policy is cost-fair: a free worker always serves the
+//! active submission with the least cost served so far (ties broken by
+//! admission order), so a small sweep rides along inside a big sweep's
+//! pool instead of queueing behind it — small-sweep latency under mixed
+//! load drops by the big sweep's residual runtime. Determinism survives
+//! the interleaving because a submission's slot accumulators live in an
+//! [`IncrementalFold`]: a worker checks a slot out at a lease boundary,
+//! folds the lease's cells in ascending flat order on a freshly reset
+//! simulator per cell, and restores the accumulator; the merge at the end
+//! is in slot order, so the result is byte-identical to
+//! [`SweepSet::run_parallel_fold`] of the same recipe at the configured
+//! worker count, regardless of what else is in flight.
+//! [`ExecutorMode::Serial`] keeps the previous one-submission-at-a-time
+//! executor for A/B comparison (the stress bench measures both).
+//!
+//! Queueing delay and execution time are measured per request into
+//! [`RequestSample`]s, which [`StressMetrics::from_samples`] reduces to
+//! the llamaburn-style load summary (requests/sec, p50/p95/p99/p999
+//! latency, error rate) that the stress bench emits as
+//! `{"kind":"stress_perf"}` records; [`assess_stages`] layers
+//! degradation/recovery detection on a staged schedule.
 //!
 //! ## Progress snapshots
 //!
@@ -43,15 +61,19 @@
 //! underlying fold workers race. The tap is observability only: the final
 //! accumulator is bit-identical to the undecorated consumer's.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use sysscale::{CollectRuns, ProgressTap, RunRecord, SessionPool};
+use sysscale::types::exec::{self, IncrementalFold};
+use sysscale::{
+    CellError, CollectRuns, ProgressTap, RunConsumer, RunRecord, ScenarioSet, SessionPool,
+    SimSession, SweepSet,
+};
 use sysscale_types::SimError;
 
 use crate::codec::{get_record, get_sim_error, put_record, put_sim_error};
@@ -76,6 +98,10 @@ pub const FT_CELL: u8 = 0x72;
 pub const FT_SWEEP_DONE: u8 = 0x73;
 /// Server→client: submission failed (`submit_id`, [`SimError`]).
 pub const FT_SWEEP_ERROR: u8 = 0x74;
+/// Server→client: submission shed at admission — the pending-submission
+/// bound was hit (`submit_id`, `queue_depth`, `max_pending`). Retryable:
+/// nothing about the submission was executed or retained.
+pub const FT_BUSY: u8 = 0x75;
 
 /// Submit-frame magic ("SVSW" little-endian), catching a client that
 /// frames correctly but speaks a different protocol.
@@ -84,18 +110,52 @@ const SERVE_MAGIC: u32 = 0x5753_5653;
 /// Submission payload layout version.
 const SERVE_VERSION: u16 = 1;
 
+/// How the service turns admitted submissions into executed sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorMode {
+    /// One executor thread runs submissions to completion in admission
+    /// order — a small sweep behind a big one waits out the whole thing.
+    /// Kept for A/B measurement (the stress bench's serial baseline).
+    Serial,
+    /// One worker pool multiplexes leases from every active submission
+    /// under the cost-fair interleave policy; per-submission record
+    /// streams stay byte-identical to the serial mode (and to the
+    /// in-process fold).
+    #[default]
+    Shared,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Fold workers per sweep (the `threads` argument of
-    /// [`SweepSet::run_parallel_fold_sharded`](sysscale::SweepSet)). The
-    /// byte-identity contract holds at every value.
+    /// [`SweepSet::run_parallel_fold_sharded`](sysscale::SweepSet)). In
+    /// [`ExecutorMode::Shared`] this is also the worker-thread count of
+    /// the shared pool. The byte-identity contract holds at every value.
     pub workers: usize,
+    /// Executor topology; defaults to [`ExecutorMode::Shared`].
+    pub mode: ExecutorMode,
+    /// Admission bound: submissions admitted (pending or executing) at
+    /// any instant. A submission arriving past the bound is shed with a
+    /// [`FT_BUSY`] frame instead of growing server memory without bound
+    /// under a client storm.
+    pub max_pending: u64,
+    /// Target cells per scheduler lease in [`ExecutorMode::Shared`]: each
+    /// slot's cell list is cut into `ceil(len / lease_cells)`
+    /// cost-quantile chunks. Smaller leases interleave submissions at a
+    /// finer grain (lower small-sweep latency) at slightly more
+    /// scheduling overhead.
+    pub lease_cells: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        Self { workers: 2 }
+        Self {
+            workers: 2,
+            mode: ExecutorMode::Shared,
+            max_pending: 256,
+            lease_cells: 4,
+        }
     }
 }
 
@@ -123,9 +183,20 @@ struct ServeShared {
     submissions: AtomicU64,
     errors: AtomicU64,
     frames_rejected: AtomicU64,
+    busy_shed: AtomicU64,
+    /// Submissions admitted and not yet completed (pending **or**
+    /// executing) — incremented at admission, decremented when the
+    /// completion frame goes out, so the depth a new admission samples
+    /// reflects actual contention, not executor pickup timing.
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
     samples: Mutex<Vec<RequestSample>>,
+}
+
+impl ServeShared {
+    fn push_sample(&self, sample: RequestSample) {
+        self.samples.lock().expect("samples poisoned").push(sample);
+    }
 }
 
 /// The server half of one client connection: a writer every server thread
@@ -149,7 +220,8 @@ impl std::fmt::Debug for ClientPort {
     }
 }
 
-/// An admitted submission travelling from a reader thread to the executor.
+/// An admitted submission travelling from a reader thread to the serial
+/// executor.
 struct Submission {
     port: Arc<ClientPort>,
     submit_id: u64,
@@ -159,40 +231,74 @@ struct Submission {
     accepted: Instant,
 }
 
+/// Where reader threads hand admitted submissions: the serial executor's
+/// channel, or the shared scheduler.
+#[derive(Clone)]
+enum Intake {
+    Serial(Sender<Submission>),
+    Shared(Arc<Scheduler>),
+}
+
 /// A running sweep service. Create with [`SweepService::start`], attach
 /// clients with [`SweepService::connect`] (in-memory) /
 /// [`SweepService::listen_tcp`] (sockets), and finish with
 /// [`SweepService::shutdown`] to collect [`ServeStats`].
-#[derive(Debug)]
 pub struct SweepService {
     shared: Arc<ServeShared>,
-    submit_tx: Option<Sender<Submission>>,
+    intake: Option<Intake>,
     executor: Option<std::thread::JoinHandle<(usize, usize)>>,
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     acceptors: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     started: Instant,
+    max_pending: u64,
+}
+
+impl std::fmt::Debug for SweepService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepService")
+            .field("max_pending", &self.max_pending)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SweepService {
-    /// Starts the executor thread (owning the shared warm [`SessionPool`])
-    /// and returns the service handle.
+    /// Starts the executor (owning the shared warm [`SessionPool`]) and
+    /// returns the service handle. [`ExecutorMode::Shared`] spawns the
+    /// worker pool under a supervisor thread; [`ExecutorMode::Serial`]
+    /// spawns the single executor thread.
     #[must_use]
     pub fn start(options: &ServeOptions) -> Self {
         let shared = Arc::new(ServeShared::default());
-        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
         let workers = options.workers.max(1);
-        let executor_shared = Arc::clone(&shared);
-        let executor =
-            std::thread::spawn(move || executor_loop(&submit_rx, workers, &executor_shared));
+        let (intake, executor) = match options.mode {
+            ExecutorMode::Serial => {
+                let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+                let executor_shared = Arc::clone(&shared);
+                let executor = std::thread::spawn(move || {
+                    executor_loop(&submit_rx, workers, &executor_shared)
+                });
+                (Intake::Serial(submit_tx), executor)
+            }
+            ExecutorMode::Shared => {
+                let scheduler = Arc::new(Scheduler::new(workers, options.lease_cells.max(1)));
+                let executor_scheduler = Arc::clone(&scheduler);
+                let executor_shared = Arc::clone(&shared);
+                let executor = std::thread::spawn(move || {
+                    shared_executor(&executor_scheduler, workers, &executor_shared)
+                });
+                (Intake::Shared(scheduler), executor)
+            }
+        };
         Self {
             shared,
-            submit_tx: Some(submit_tx),
+            intake: Some(intake),
             executor: Some(executor),
             readers: Mutex::new(Vec::new()),
             acceptors: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            max_pending: options.max_pending.max(1),
         }
     }
 
@@ -204,12 +310,10 @@ impl SweepService {
             writer: Mutex::new(writer),
         });
         let shared = Arc::clone(&self.shared);
-        let submit_tx = self
-            .submit_tx
-            .as_ref()
-            .expect("attach after shutdown")
-            .clone();
-        let handle = std::thread::spawn(move || client_loop(reader, &port, &submit_tx, &shared));
+        let intake = self.intake.as_ref().expect("attach after shutdown").clone();
+        let max_pending = self.max_pending;
+        let handle =
+            std::thread::spawn(move || client_loop(reader, &port, &intake, &shared, max_pending));
         self.readers.lock().expect("readers poisoned").push(handle);
     }
 
@@ -237,11 +341,8 @@ impl SweepService {
         listener.set_nonblocking(true)?;
         let stop = Arc::clone(&self.stop);
         let shared = Arc::clone(&self.shared);
-        let submit_tx = self
-            .submit_tx
-            .as_ref()
-            .expect("listen after shutdown")
-            .clone();
+        let max_pending = self.max_pending;
+        let intake = self.intake.as_ref().expect("listen after shutdown").clone();
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let acceptor_readers = Arc::clone(&readers);
@@ -257,9 +358,9 @@ impl SweepService {
                             writer: Mutex::new(Box::new(write_half) as Box<dyn Write + Send>),
                         });
                         let shared = Arc::clone(&shared);
-                        let submit_tx = submit_tx.clone();
+                        let intake = intake.clone();
                         let reader = std::thread::spawn(move || {
-                            client_loop(Box::new(stream), &port, &submit_tx, &shared);
+                            client_loop(Box::new(stream), &port, &intake, &shared, max_pending);
                         });
                         acceptor_readers
                             .lock()
@@ -303,9 +404,14 @@ impl SweepService {
         for reader in self.readers.lock().expect("readers poisoned").drain(..) {
             let _ = reader.join();
         }
-        // Every reader (each holding a Sender clone) has exited; dropping
-        // ours lets the executor drain the queue and return.
-        drop(self.submit_tx.take());
+        // Every reader has exited, so no further admissions: dropping the
+        // serial sender (or flagging the scheduler) lets the executor
+        // drain the in-flight work and return.
+        match self.intake.take() {
+            Some(Intake::Serial(submit_tx)) => drop(submit_tx),
+            Some(Intake::Shared(scheduler)) => scheduler.request_stop(),
+            None => {}
+        }
         let (pool_workers, pool_cached_platforms) = self
             .executor
             .take()
@@ -317,6 +423,7 @@ impl SweepService {
             submissions: shared.submissions.load(Ordering::SeqCst),
             errors: shared.errors.load(Ordering::SeqCst),
             frames_rejected: shared.frames_rejected.load(Ordering::SeqCst),
+            busy_shed: shared.busy_shed.load(Ordering::SeqCst),
             max_queue_depth: shared.max_queue_depth.load(Ordering::SeqCst),
             wall_micros: micros_since(self.started),
             samples: shared.samples.lock().expect("samples poisoned").clone(),
@@ -339,14 +446,15 @@ fn micros_since(instant: Instant) -> u64 {
 fn client_loop(
     mut reader: Box<dyn Read + Send>,
     port: &Arc<ClientPort>,
-    submit_tx: &Sender<Submission>,
+    intake: &Intake,
     shared: &Arc<ServeShared>,
+    max_pending: u64,
 ) {
     loop {
         match read_frame(&mut reader) {
             Ok(None) => break,
             Ok(Some((FT_SUBMIT, payload))) => {
-                if !admit_submission(&payload, port, submit_tx, shared) {
+                if !admit_submission(&payload, port, intake, shared, max_pending) {
                     break;
                 }
             }
@@ -368,8 +476,9 @@ fn client_loop(
 fn admit_submission(
     payload: &[u8],
     port: &Arc<ClientPort>,
-    submit_tx: &Sender<Submission>,
+    intake: &Intake,
     shared: &Arc<ServeShared>,
+    max_pending: u64,
 ) -> bool {
     let mut dec = Dec::new(payload);
     let header = (|| -> Result<(u64, u64, Vec<u8>), WireError> {
@@ -413,21 +522,45 @@ fn admit_submission(
             return true;
         }
     };
+    // Race-free admission bound: reserve a depth slot first, roll back if
+    // it overflows the bound. Shed submissions execute nothing and retain
+    // nothing — the client retries.
     let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    if depth > max_pending {
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        shared.busy_shed.fetch_add(1, Ordering::SeqCst);
+        let _ = port.send(FT_BUSY, &encode_busy(submit_id, depth, max_pending));
+        return true;
+    }
     shared.max_queue_depth.fetch_max(depth, Ordering::SeqCst);
     shared.submissions.fetch_add(1, Ordering::SeqCst);
     let total_cells = recipe.total_cells() as u64;
     let _ = port.send(FT_ACCEPTED, &encode_accepted(submit_id, total_cells, depth));
-    submit_tx
-        .send(Submission {
-            port: Arc::clone(port),
-            submit_id,
-            recipe,
-            progress_every,
-            queue_depth: depth,
-            accepted: Instant::now(),
-        })
-        .is_ok()
+    let accepted = Instant::now();
+    match intake {
+        Intake::Serial(submit_tx) => submit_tx
+            .send(Submission {
+                port: Arc::clone(port),
+                submit_id,
+                recipe,
+                progress_every,
+                queue_depth: depth,
+                accepted,
+            })
+            .is_ok(),
+        Intake::Shared(scheduler) => {
+            scheduler.admit(
+                Arc::clone(port),
+                submit_id,
+                &recipe,
+                progress_every,
+                depth,
+                accepted,
+                shared,
+            );
+            true
+        }
+    }
 }
 
 /// The executor loop: one thread, one warm pool, submissions in admission
@@ -440,26 +573,20 @@ fn executor_loop(
 ) -> (usize, usize) {
     let mut pool = SessionPool::new();
     while let Ok(submission) = submit_rx.recv() {
-        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let queued_micros = micros_since(submission.accepted);
         let exec_started = Instant::now();
-        let ok = run_submission(&mut pool, workers, &submission, queued_micros);
+        let ok = run_submission(&mut pool, workers, &submission, queued_micros, shared);
         if !ok {
             shared.errors.fetch_add(1, Ordering::SeqCst);
         }
-        let sample = RequestSample {
+        shared.push_sample(RequestSample {
             cells: submission.recipe.total_cells() as u64,
             queue_depth: submission.queue_depth,
             queued_micros,
             exec_micros: micros_since(exec_started),
             total_micros: micros_since(submission.accepted),
             ok,
-        };
-        shared
-            .samples
-            .lock()
-            .expect("samples poisoned")
-            .push(sample);
+        });
     }
     (pool.workers(), pool.cached_platforms())
 }
@@ -472,6 +599,7 @@ fn run_submission(
     workers: usize,
     submission: &Submission,
     queued_micros: u64,
+    shared: &ServeShared,
 ) -> bool {
     let port = &submission.port;
     let submit_id = submission.submit_id;
@@ -498,6 +626,11 @@ fn run_submission(
             sweep.run_parallel_fold_sharded(pool, workers, submission.recipe.sharding, &tap)?;
         Ok(CollectRuns::into_flat_records(acc))
     })();
+    // Execution is over either way: release the depth slot *before* the
+    // terminal frame goes out, so a client that retries on seeing it can
+    // never bounce off its own completed submission. Depths sampled at
+    // admission thus count pending + executing submissions.
+    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
     match outcome {
         Ok(records) => {
             let cells = records.len() as u64;
@@ -516,6 +649,421 @@ fn run_submission(
             false
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared cost-aware scheduler
+// ---------------------------------------------------------------------------
+
+/// The accumulator type every served sweep folds into.
+type CollectAcc = <CollectRuns as RunConsumer>::Acc;
+
+/// The (type-erased) per-submission consumer: a [`ProgressTap`] over
+/// [`CollectRuns`] whose publish closure owns the monotone progress gate
+/// and the client port.
+type SweepConsumer = Arc<dyn RunConsumer<Acc = CollectAcc> + Send + Sync>;
+
+/// One contiguous-by-slot-order unit of work: an ascending flat-index run
+/// plus its summed cell cost (the scheduler's fairness weight).
+struct Lease {
+    flats: Vec<usize>,
+    cost: u128,
+}
+
+/// One slot (= one in-process fold worker) of an active submission: its
+/// remaining leases in ascending order, whether a worker currently holds
+/// its accumulator, and the slot's first error if it hit one.
+struct SlotQueue {
+    leases: VecDeque<Lease>,
+    busy: bool,
+    error: Option<(usize, SimError)>,
+}
+
+/// A submission being executed by the shared pool. The `fold` holds one
+/// accumulator per slot — workers check accumulators out at lease
+/// boundaries and restore them, and the slot-order merge at completion
+/// reproduces the in-process fold's merge exactly.
+struct ActiveSweep {
+    seq: u64,
+    submit_id: u64,
+    port: Arc<ClientPort>,
+    sets: Arc<Vec<ScenarioSet>>,
+    consumer: SweepConsumer,
+    fold: IncrementalFold<CollectAcc>,
+    slots: Vec<SlotQueue>,
+    /// Total cell cost of leases handed to workers so far — the fairness
+    /// currency: a free worker serves the active submission with the
+    /// least cost served.
+    served_cost: u128,
+    queued_micros: Option<u64>,
+    queue_depth: u64,
+    total_cells: u64,
+    accepted: Instant,
+}
+
+/// What a worker carries out of the scheduler lock to execute one lease.
+struct WorkItem {
+    seq: u64,
+    sets: Arc<Vec<ScenarioSet>>,
+    consumer: SweepConsumer,
+    slot: usize,
+    flats: Vec<usize>,
+    acc: CollectAcc,
+}
+
+struct SchedState {
+    active: Vec<ActiveSweep>,
+    stop: bool,
+}
+
+/// The shared cost-aware scheduler: reader threads [`Scheduler::admit`]
+/// planned submissions, pool workers pull leases with
+/// [`Scheduler::next_lease`] and return accumulators with
+/// [`Scheduler::complete_lease`]. All policy lives here; all simulation
+/// happens outside the lock.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cvar: Condvar,
+    /// Worker-thread count — also the `threads` argument of the slot
+    /// plan, so the partition matches the in-process fold's.
+    workers: usize,
+    /// Target cells per lease (see [`ServeOptions::lease_cells`]).
+    lease_cells: usize,
+    next_seq: AtomicU64,
+}
+
+impl Scheduler {
+    fn new(workers: usize, lease_cells: usize) -> Self {
+        Self {
+            state: Mutex::new(SchedState {
+                active: Vec::new(),
+                stop: false,
+            }),
+            cvar: Condvar::new(),
+            workers,
+            lease_cells,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds and plans one admitted submission, then publishes it to the
+    /// worker pool. Runs on the reader thread, so recipe builds for
+    /// concurrent clients overlap with execution. Degenerate submissions
+    /// (build failure, zero cells) complete right here.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        port: Arc<ClientPort>,
+        submit_id: u64,
+        recipe: &SweepRecipe,
+        progress_every: u64,
+        queue_depth: u64,
+        accepted: Instant,
+        shared: &ServeShared,
+    ) {
+        // Runs before the terminal frame is sent, so a client that
+        // retries on seeing it can never bounce off its own completed
+        // submission still holding a depth slot.
+        let finish_now = |ok: bool, cells: u64| {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            let total_micros = micros_since(accepted);
+            shared.push_sample(RequestSample {
+                cells,
+                queue_depth,
+                queued_micros: 0,
+                exec_micros: total_micros,
+                total_micros,
+                ok,
+            });
+        };
+        let sets = match recipe.build() {
+            Ok(sets) => sets,
+            Err(error) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                finish_now(false, recipe.total_cells() as u64);
+                let _ = port.send(FT_SWEEP_ERROR, &encode_sweep_error(submit_id, &error));
+                return;
+            }
+        };
+        let sets = Arc::new(sets);
+        let mut sweep = SweepSet::new();
+        for set in sets.iter() {
+            sweep.push_set_ref(set);
+        }
+        let total = sweep.cells();
+        if total == 0 {
+            finish_now(true, 0);
+            let _ = port.send(FT_SWEEP_DONE, &encode_sweep_done(submit_id, 0, 0, 0));
+            return;
+        }
+
+        // The same partition the in-process fold at `workers` threads
+        // computes, each slot cut into cost-quantile leases.
+        let costs = sweep.cell_costs();
+        let slots: Vec<SlotQueue> = sweep
+            .slot_indices(self.workers, recipe.sharding)
+            .into_iter()
+            .map(|list| {
+                let leases = if list.is_empty() {
+                    VecDeque::new()
+                } else {
+                    let chunks = list.len().div_ceil(self.lease_cells);
+                    exec::cost_quantile_chunks(&list, |flat| costs[flat], chunks)
+                        .into_iter()
+                        .map(|flats| {
+                            let cost = flats.iter().map(|&f| u128::from(costs[f].max(1))).sum();
+                            Lease { flats, cost }
+                        })
+                        .collect()
+                };
+                SlotQueue {
+                    leases,
+                    busy: false,
+                    error: None,
+                }
+            })
+            .collect();
+
+        // &'static inner consumer so the tap (and the type-erased Arc)
+        // can outlive this stack frame; the gate keeps delivered progress
+        // values strictly increasing across racing workers.
+        static COLLECT: CollectRuns = CollectRuns;
+        let gate = Mutex::new(0u64);
+        let progress_port = Arc::clone(&port);
+        let tap = ProgressTap::new(&COLLECT, progress_every, total as u64, move |done, of| {
+            let mut last = gate.lock().expect("progress gate poisoned");
+            if done > *last {
+                *last = done;
+                let _ = progress_port.send(FT_PROGRESS, &encode_progress(submit_id, done, of));
+            }
+        });
+        let consumer: SweepConsumer = Arc::new(tap);
+        let fold = IncrementalFold::new(slots.len(), || consumer.accumulator());
+        let entry = ActiveSweep {
+            seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
+            submit_id,
+            port,
+            sets,
+            consumer,
+            fold,
+            slots,
+            served_cost: 0,
+            queued_micros: None,
+            queue_depth,
+            total_cells: total as u64,
+            accepted,
+        };
+        self.state
+            .lock()
+            .expect("scheduler poisoned")
+            .active
+            .push(entry);
+        self.cvar.notify_all();
+    }
+
+    /// Blocks until a lease is runnable (returning the checked-out work)
+    /// or the service is stopping with nothing left (returning `None`,
+    /// the worker's exit signal).
+    fn next_lease(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().expect("scheduler poisoned");
+        loop {
+            if let Some(item) = Self::try_pick(&mut state) {
+                return Some(item);
+            }
+            if state.stop && state.active.is_empty() {
+                return None;
+            }
+            state = self.cvar.wait(state).expect("scheduler poisoned");
+        }
+    }
+
+    /// The interleave policy: serve the runnable submission with the
+    /// least cost served so far (ties to the earliest admitted), taking
+    /// its first free slot's next lease. Cost-fair sharing means a small
+    /// sweep overtakes a big one's backlog — the big sweep's own leases
+    /// keep flowing on the remaining workers.
+    fn try_pick(state: &mut SchedState) -> Option<WorkItem> {
+        let runnable = |entry: &ActiveSweep| {
+            entry
+                .slots
+                .iter()
+                .any(|slot| !slot.busy && !slot.leases.is_empty())
+        };
+        let index = state
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| runnable(entry))
+            .min_by_key(|(_, entry)| (entry.served_cost, entry.seq))
+            .map(|(index, _)| index)?;
+        let entry = &mut state.active[index];
+        let slot = entry
+            .slots
+            .iter()
+            .position(|slot| !slot.busy && !slot.leases.is_empty())
+            .expect("runnable submission lost its lease");
+        let lease = entry.slots[slot]
+            .leases
+            .pop_front()
+            .expect("lease vanished");
+        entry.slots[slot].busy = true;
+        entry.served_cost += lease.cost;
+        if entry.queued_micros.is_none() {
+            entry.queued_micros = Some(micros_since(entry.accepted));
+        }
+        let acc = entry.fold.checkout(slot, lease.flats[0]);
+        Some(WorkItem {
+            seq: entry.seq,
+            sets: Arc::clone(&entry.sets),
+            consumer: Arc::clone(&entry.consumer),
+            slot,
+            flats: lease.flats,
+            acc,
+        })
+    }
+
+    /// Returns a lease's accumulator. A lease error poisons its slot the
+    /// way the in-process fold does: the slot's remaining leases are
+    /// dropped (its worker would skip them), other slots run to
+    /// completion, and the earliest flat-index error wins at finalize.
+    /// When this lease was the submission's last, the finished
+    /// [`ActiveSweep`] is handed back for finalizing outside the lock.
+    fn complete_lease(
+        &self,
+        seq: u64,
+        slot: usize,
+        flats: &[usize],
+        acc: CollectAcc,
+        error: Option<CellError>,
+    ) -> Option<ActiveSweep> {
+        let mut state = self.state.lock().expect("scheduler poisoned");
+        let index = state
+            .active
+            .iter()
+            .position(|entry| entry.seq == seq)
+            .expect("completed lease for unknown submission");
+        let entry = &mut state.active[index];
+        let next = flats.last().copied().unwrap_or(0) + 1;
+        entry.fold.restore(slot, acc, next);
+        entry.slots[slot].busy = false;
+        if let Some(cell_error) = error {
+            entry.slots[slot].error = Some((cell_error.flat, cell_error.error));
+            entry.slots[slot].leases.clear();
+        }
+        let done = entry
+            .slots
+            .iter()
+            .all(|slot| !slot.busy && slot.leases.is_empty());
+        let finished = done.then(|| state.active.remove(index));
+        drop(state);
+        // Wake waiters either way: the freed slot may make this
+        // submission runnable again, and a removal may complete a drain.
+        self.cvar.notify_all();
+        finished
+    }
+
+    /// Flags shutdown: workers exit once every active submission drains.
+    fn request_stop(&self) {
+        self.state.lock().expect("scheduler poisoned").stop = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// The shared-pool supervisor: owns the warm [`SessionPool`], runs one
+/// worker loop per pool session until the scheduler drains, and reports
+/// the pool's final `(workers, cached_platforms)` for shutdown's
+/// boundedness assertions. Sessions cache simulators by platform-config
+/// equality, so submissions pinning the same platform share warm
+/// simulators across submissions — per-submission pools would rebuild
+/// them every time.
+fn shared_executor(
+    scheduler: &Arc<Scheduler>,
+    workers: usize,
+    shared: &Arc<ServeShared>,
+) -> (usize, usize) {
+    let mut pool = SessionPool::new();
+    std::thread::scope(|scope| {
+        for session in pool.worker_sessions(workers) {
+            scope.spawn(|| worker_loop(scheduler, session, shared));
+        }
+    });
+    (pool.workers(), pool.cached_platforms())
+}
+
+/// One pool worker: pull a lease, fold its cells on this session, return
+/// the accumulator; finalize the submission when its last lease lands.
+fn worker_loop(scheduler: &Scheduler, session: &mut SimSession, shared: &ServeShared) {
+    while let Some(work) = scheduler.next_lease() {
+        // Rebuilding the borrow-only SweepSet per lease is a few pointer
+        // pushes; the scenario data lives in the shared Arc.
+        let mut sweep = SweepSet::new();
+        for set in work.sets.iter() {
+            sweep.push_set_ref(set);
+        }
+        let mut acc = work.acc;
+        let error = sweep
+            .fold_flat_slice(session, &work.flats, work.consumer.as_ref(), &mut acc)
+            .err();
+        if let Some(entry) = scheduler.complete_lease(work.seq, work.slot, &work.flats, acc, error)
+        {
+            finalize_submission(entry, shared);
+        }
+    }
+}
+
+/// Streams a finished submission's result frames and records its sample —
+/// outside the scheduler lock, so a slow client never stalls the pool.
+fn finalize_submission(entry: ActiveSweep, shared: &ServeShared) {
+    let ActiveSweep {
+        submit_id,
+        port,
+        consumer,
+        fold,
+        slots,
+        queued_micros,
+        queue_depth,
+        total_cells,
+        accepted,
+        ..
+    } = entry;
+    let queued_micros = queued_micros.unwrap_or(0);
+    let error = slots
+        .into_iter()
+        .filter_map(|slot| slot.error)
+        .min_by_key(|(flat, _)| *flat);
+    let ok = error.is_none();
+    // All leases have retired: release the depth slot *before* the
+    // terminal frame goes out, so a client that retries on seeing
+    // `SweepDone` can never bounce off its own completed submission.
+    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+    match error {
+        None => {
+            let acc = fold.finish(|into, from| consumer.merge(into, from));
+            let records = CollectRuns::into_flat_records(acc);
+            let cells = records.len() as u64;
+            for (flat, record) in &records {
+                let _ = port.send(FT_CELL, &encode_cell(submit_id, *flat, record));
+            }
+            let exec_micros = micros_since(accepted).saturating_sub(queued_micros);
+            let _ = port.send(
+                FT_SWEEP_DONE,
+                &encode_sweep_done(submit_id, cells, queued_micros, exec_micros),
+            );
+        }
+        Some((_, error)) => {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            let _ = port.send(FT_SWEEP_ERROR, &encode_sweep_error(submit_id, &error));
+        }
+    }
+    let total_micros = micros_since(accepted);
+    shared.push_sample(RequestSample {
+        cells: total_cells,
+        queue_depth,
+        queued_micros,
+        exec_micros: total_micros.saturating_sub(queued_micros),
+        total_micros,
+        ok,
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +1122,14 @@ fn encode_sweep_error(submit_id: u64, error: &SimError) -> Vec<u8> {
     enc.into_bytes()
 }
 
+fn encode_busy(submit_id: u64, queue_depth: u64, max_pending: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(submit_id);
+    enc.put_u64(queue_depth);
+    enc.put_u64(max_pending);
+    enc.into_bytes()
+}
+
 /// One server→client frame, decoded.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeEvent {
@@ -622,6 +1178,16 @@ pub enum ServeEvent {
         /// The failure, round-tripped through the wire codec.
         error: SimError,
     },
+    /// Submission shed at admission: the service is at its
+    /// pending-submission bound. Nothing was executed — retry later.
+    Busy {
+        /// Client-chosen submission id.
+        submit_id: u64,
+        /// Pending depth the submission would have pushed the service to.
+        queue_depth: u64,
+        /// The configured bound it exceeded.
+        max_pending: u64,
+    },
 }
 
 /// Decodes one server→client frame.
@@ -658,6 +1224,11 @@ pub fn decode_event(frame_type: u8, payload: &[u8]) -> Result<ServeEvent, WireEr
             submit_id: dec.u64()?,
             error: get_sim_error(&mut dec)?,
         },
+        FT_BUSY => ServeEvent::Busy {
+            submit_id: dec.u64()?,
+            queue_depth: dec.u64()?,
+            max_pending: dec.u64()?,
+        },
         other => return Err(WireError::malformed(format!("server frame type {other}"))),
     };
     dec.finish()?;
@@ -667,6 +1238,51 @@ pub fn decode_event(frame_type: u8, payload: &[u8]) -> Result<ServeEvent, WireEr
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
+
+/// A shed submission's details, from the server's [`FT_BUSY`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyShed {
+    /// Pending depth the submission would have pushed the service to.
+    pub queue_depth: u64,
+    /// The configured [`ServeOptions::max_pending`] bound it exceeded.
+    pub max_pending: u64,
+}
+
+/// Why a submission produced no records: shed at admission (retryable —
+/// the server executed nothing) or failed mid-sweep (not retryable — the
+/// recipe itself produces this error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Shed at admission by the pending-submission bound.
+    Busy(BusyShed),
+    /// The sweep failed (undecodable/unbuildable recipe, simulator error).
+    Sweep(SimError),
+}
+
+impl ServeError {
+    /// Whether resubmitting the identical recipe can succeed: true for
+    /// [`ServeError::Busy`] (load-dependent), false for
+    /// [`ServeError::Sweep`] (deterministic).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Busy(_))
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy(busy) => write!(
+                f,
+                "service busy: {} pending submissions at the max_pending={} bound (retryable)",
+                busy.queue_depth, busy.max_pending
+            ),
+            ServeError::Sweep(error) => write!(f, "sweep failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Everything a client saw for one finished submission.
 #[derive(Debug, Clone, Default)]
@@ -687,8 +1303,29 @@ pub struct SweepOutcome {
     pub exec_micros: u64,
     /// The failure, if the submission ended in `SweepError`.
     pub error: Option<SimError>,
-    /// Whether `SweepDone`/`SweepError` arrived.
+    /// Set when the submission was shed at admission (a `Busy` frame).
+    pub busy: Option<BusyShed>,
+    /// Whether `SweepDone`/`SweepError`/`Busy` arrived.
     pub finished: bool,
+}
+
+impl SweepOutcome {
+    /// The outcome as a typed result: the records on success, a
+    /// [`ServeError`] (with [`ServeError::is_retryable`]) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] when the submission was shed at admission,
+    /// [`ServeError::Sweep`] when it failed mid-sweep.
+    pub fn result(&self) -> Result<&[(usize, RunRecord)], ServeError> {
+        if let Some(busy) = self.busy {
+            return Err(ServeError::Busy(busy));
+        }
+        if let Some(error) = &self.error {
+            return Err(ServeError::Sweep(error.clone()));
+        }
+        Ok(&self.records)
+    }
 }
 
 /// A client connection to a [`SweepService`]: submit recipes, read events.
@@ -823,6 +1460,18 @@ impl ServeClient {
                     o.error = Some(error);
                     o.finished = true;
                 }
+                ServeEvent::Busy {
+                    submit_id,
+                    queue_depth,
+                    max_pending,
+                } => {
+                    let o = outcomes.entry(submit_id).or_default();
+                    o.busy = Some(BusyShed {
+                        queue_depth,
+                        max_pending,
+                    });
+                    o.finished = true;
+                }
             }
         }
         Ok(outcomes)
@@ -866,7 +1515,11 @@ pub struct ServeStats {
     /// Frames dropped for framing/protocol reasons (CRC mismatch, unknown
     /// type, bad submit header). Zero on the healthy path.
     pub frames_rejected: u64,
-    /// Deepest executor queue observed at any admission.
+    /// Submissions shed at admission by the [`ServeOptions::max_pending`]
+    /// bound (these do not count as `submissions` or `errors`). Zero on a
+    /// healthy run.
+    pub busy_shed: u64,
+    /// Deepest pending-submission depth observed at any admission.
     pub max_queue_depth: u64,
     /// Service lifetime, start to shutdown.
     pub wall_micros: u64,
@@ -907,10 +1560,16 @@ pub struct StressMetrics {
     pub p99_latency_ms: f64,
     /// 99.9th-percentile request latency, milliseconds.
     pub p999_latency_ms: f64,
-    /// Mean queueing share of total latency (0..=1).
+    /// Fraction of requests admitted while at least one other submission
+    /// was already pending or executing (0..=1) — contention sampled **at
+    /// admission**, so an idle service between bursts reads 0 even when
+    /// pickup bookkeeping lags.
     pub queue_share: f64,
     /// `errors / requests` (0 when no requests).
     pub error_rate: f64,
+    /// The observation window, milliseconds — what
+    /// [`LoadAssessment::recovery_ms`] sums over stages.
+    pub wall_ms: f64,
 }
 
 impl StressMetrics {
@@ -932,8 +1591,7 @@ impl StressMetrics {
             let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
             latencies[rank - 1] as f64 / 1e3
         };
-        let queued: u64 = samples.iter().map(|s| s.queued_micros).sum();
-        let total: u64 = samples.iter().map(|s| s.total_micros).sum();
+        let contended = samples.iter().filter(|s| s.queue_depth > 1).count() as u64;
         Self {
             requests,
             errors,
@@ -943,16 +1601,17 @@ impl StressMetrics {
             p95_latency_ms: percentile(0.95),
             p99_latency_ms: percentile(0.99),
             p999_latency_ms: percentile(0.999),
-            queue_share: if total == 0 {
+            queue_share: if requests == 0 {
                 0.0
             } else {
-                queued as f64 / total as f64
+                contended as f64 / requests as f64
             },
             error_rate: if requests == 0 {
                 0.0
             } else {
                 errors as f64 / requests as f64
             },
+            wall_ms: wall_micros as f64 / 1e3,
         }
     }
 }
@@ -968,6 +1627,51 @@ pub fn degradation_point(stages: &[StressMetrics]) -> Option<usize> {
     stages
         .iter()
         .position(|stage| stage.errors > 0 || stage.p95_latency_ms > threshold)
+}
+
+/// Degradation **and** recovery over a staged load schedule — what
+/// [`assess_stages`] computes from a fall-then-rise schedule's per-stage
+/// [`StressMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadAssessment {
+    /// First degraded stage ([`degradation_point`]); `None` when the
+    /// whole schedule stayed healthy.
+    pub degradation_stage: Option<usize>,
+    /// First post-degradation stage whose p95 is back within the
+    /// baseline threshold with zero errors; `None` when the service
+    /// never recovered (or never degraded).
+    pub recovery_stage: Option<usize>,
+    /// Wall time spent degraded: the sum of [`StressMetrics::wall_ms`]
+    /// over stages `[degradation..recovery)` (through the schedule's end
+    /// when recovery never came); 0 when nothing degraded.
+    pub recovery_ms: f64,
+}
+
+/// Assesses a staged schedule for degradation and recovery, using the
+/// same threshold as [`degradation_point`] (first stage's p95 × 4 + 2ms).
+#[must_use]
+pub fn assess_stages(stages: &[StressMetrics]) -> LoadAssessment {
+    let degradation_stage = degradation_point(stages);
+    let (recovery_stage, recovery_ms) = match degradation_stage {
+        None => (None, 0.0),
+        Some(degraded) => {
+            let threshold = stages[0].p95_latency_ms * 4.0 + 2.0;
+            let recovered = stages
+                .iter()
+                .enumerate()
+                .skip(degraded + 1)
+                .find(|(_, stage)| stage.errors == 0 && stage.p95_latency_ms <= threshold)
+                .map(|(index, _)| index);
+            let end = recovered.unwrap_or(stages.len());
+            let degraded_ms = stages[degraded..end].iter().map(|s| s.wall_ms).sum();
+            (recovered, degraded_ms)
+        }
+    };
+    LoadAssessment {
+        degradation_stage,
+        recovery_stage,
+        recovery_ms,
+    }
 }
 
 #[cfg(test)]
@@ -1012,9 +1716,8 @@ mod tests {
         assert_eq!(metrics.error_rate, 0.0);
     }
 
-    #[test]
-    fn degradation_point_finds_the_first_bad_stage() {
-        let stage = |p95_ms: f64, errors: u64| StressMetrics {
+    fn stage(p95_ms: f64, errors: u64) -> StressMetrics {
+        StressMetrics {
             requests: 10,
             errors,
             requests_per_sec: 1.0,
@@ -1025,7 +1728,12 @@ mod tests {
             p999_latency_ms: p95_ms,
             queue_share: 0.1,
             error_rate: errors as f64 / 10.0,
-        };
+            wall_ms: 1000.0,
+        }
+    }
+
+    #[test]
+    fn degradation_point_finds_the_first_bad_stage() {
         // Graceful: latency grows but stays under 4x + 2ms.
         assert_eq!(
             degradation_point(&[stage(1.0, 0), stage(3.0, 0), stage(5.0, 0)]),
@@ -1042,6 +1750,51 @@ mod tests {
             Some(1)
         );
         assert_eq!(degradation_point(&[]), None);
+    }
+
+    #[test]
+    fn assess_stages_reports_recovery_and_time_degraded() {
+        // Healthy end to end: nothing degrades, nothing to recover from.
+        let healthy = assess_stages(&[stage(1.0, 0), stage(2.0, 0)]);
+        assert_eq!(healthy.degradation_stage, None);
+        assert_eq!(healthy.recovery_stage, None);
+        assert_eq!(healthy.recovery_ms, 0.0);
+
+        // Fall-then-rise: degrades at stage 1, p95 back within the
+        // threshold (1.0 * 4 + 2 = 6ms) at stage 3 — two degraded stages.
+        let recovered =
+            assess_stages(&[stage(1.0, 0), stage(10.0, 0), stage(8.0, 0), stage(2.0, 0)]);
+        assert_eq!(recovered.degradation_stage, Some(1));
+        assert_eq!(recovered.recovery_stage, Some(3));
+        assert!((recovered.recovery_ms - 2000.0).abs() < 1e-9);
+
+        // A post-degradation stage with errors is not a recovery even
+        // with good latency.
+        let errored = assess_stages(&[stage(1.0, 0), stage(10.0, 0), stage(1.0, 1)]);
+        assert_eq!(errored.degradation_stage, Some(1));
+        assert_eq!(errored.recovery_stage, None);
+        assert!((errored.recovery_ms - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_share_reflects_admission_contention_not_pickup_wait() {
+        // Regression: every sample waited in the queue (queued_micros > 0)
+        // but was admitted to an otherwise idle service (depth 1) — the
+        // old pickup-time accounting called this 0.77 contention; admission
+        // depth calls it what it is: zero.
+        let idle: Vec<RequestSample> = (0..9).map(|_| sample(8000, true)).collect();
+        assert!(idle.iter().all(|s| s.queued_micros > 0));
+        let metrics = StressMetrics::from_samples(&idle, 1_000_000);
+        assert_eq!(metrics.queue_share, 0.0);
+        assert!((metrics.wall_ms - 1000.0).abs() < 1e-9);
+
+        // A third of the admissions saw another submission in flight.
+        let mut mixed = idle;
+        for s in mixed.iter_mut().take(3) {
+            s.queue_depth = 2;
+        }
+        let metrics = StressMetrics::from_samples(&mixed, 1_000_000);
+        assert!((metrics.queue_share - 3.0 / 9.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1100,5 +1853,41 @@ mod tests {
             }
         );
         assert!(decode_event(0x55, &[]).is_err(), "unknown frame type");
+        let busy = decode_event(FT_BUSY, &encode_busy(9, 5, 4)).unwrap();
+        assert_eq!(
+            busy,
+            ServeEvent::Busy {
+                submit_id: 9,
+                queue_depth: 5,
+                max_pending: 4
+            }
+        );
+    }
+
+    #[test]
+    fn busy_outcomes_surface_as_typed_retryable_errors() {
+        let outcome = SweepOutcome {
+            busy: Some(BusyShed {
+                queue_depth: 5,
+                max_pending: 4,
+            }),
+            finished: true,
+            ..SweepOutcome::default()
+        };
+        let error = outcome.result().unwrap_err();
+        assert!(error.is_retryable());
+        assert!(matches!(error, ServeError::Busy(b) if b.max_pending == 4));
+
+        let failed = SweepOutcome {
+            error: Some(SimError::InvalidConfig {
+                reason: "nope".to_string(),
+            }),
+            finished: true,
+            ..SweepOutcome::default()
+        };
+        assert!(!failed.result().unwrap_err().is_retryable());
+
+        let healthy = SweepOutcome::default();
+        assert!(healthy.result().is_ok());
     }
 }

@@ -9,9 +9,10 @@
 
 use sysscale::{CollectRuns, RunRecord, SessionPool};
 use sysscale_dist::{
-    sweep_from_sets, GovernorSpec, MatrixRecipe, PlatformSpec, ServeClient, ServeOptions,
-    SweepRecipe, SweepService, WorkloadsSpec,
+    sweep_from_sets, ExecutorMode, GovernorSpec, MatrixRecipe, PlatformSpec, ServeClient,
+    ServeError, ServeEvent, ServeOptions, SweepRecipe, SweepService, WorkloadsSpec,
 };
+use sysscale_workloads::GeneratorConfig;
 
 /// A compact 4-cell sweep (2 workloads × 2 governors), distinguished per
 /// client by TDP so interleaved submissions have distinct right answers.
@@ -27,6 +28,38 @@ fn tiny_recipe(tdp_w: f64) -> SweepRecipe {
         duration_secs: Some(0.25),
         pinned_fingerprint: None,
     })
+}
+
+/// A big synthetic-population sweep (`count` workloads × 2 governors) — the
+/// long-running tenant the mixed-load tests interleave small sweeps with.
+fn population_recipe(count: usize) -> SweepRecipe {
+    SweepRecipe::single(MatrixRecipe {
+        platform: PlatformSpec::SkylakeM6y75 { tdp_w: 6.0 },
+        workloads: WorkloadsSpec::Population {
+            config: GeneratorConfig::default(),
+            count,
+        },
+        governors: vec![
+            GovernorSpec::Registry("baseline".to_string()),
+            GovernorSpec::SysScaleDefault,
+        ],
+        baseline: Some("baseline".to_string()),
+        duration_secs: Some(0.25),
+        pinned_fingerprint: None,
+    })
+}
+
+/// Deterministic Fisher-Yates over an LCG: the "randomized" in randomized
+/// interleavings, reproducible per seed.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
 }
 
 /// The in-process reference stream for a recipe: flat-indexed records from
@@ -51,7 +84,10 @@ fn interleaved_clients_get_byte_identical_results_at_every_worker_count() {
     let expected: Vec<Vec<(usize, RunRecord)>> = recipes.iter().map(in_process).collect();
 
     for workers in [1usize, 2, 4] {
-        let service = SweepService::start(&ServeOptions { workers });
+        let service = SweepService::start(&ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        });
         let mut clients: Vec<ServeClient> = (0..CLIENTS).map(|_| service.connect()).collect();
 
         // Interleave the submissions: every client submits twice before
@@ -100,7 +136,10 @@ fn interleaved_clients_get_byte_identical_results_at_every_worker_count() {
 #[test]
 fn the_shared_pool_stays_bounded_across_many_submissions() {
     const WORKERS: usize = 2;
-    let service = SweepService::start(&ServeOptions { workers: WORKERS });
+    let service = SweepService::start(&ServeOptions {
+        workers: WORKERS,
+        ..ServeOptions::default()
+    });
     let mut client = service.connect();
     let recipe = tiny_recipe(4.5);
     for _ in 0..6 {
@@ -128,7 +167,10 @@ fn the_shared_pool_stays_bounded_across_many_submissions() {
 
 #[test]
 fn progress_snapshots_are_monotone_and_reach_the_total() {
-    let service = SweepService::start(&ServeOptions { workers: 2 });
+    let service = SweepService::start(&ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
     let mut client = service.connect();
     let recipe = tiny_recipe(4.5);
     let total = recipe.total_cells() as u64;
@@ -151,7 +193,10 @@ fn progress_snapshots_are_monotone_and_reach_the_total() {
 fn tcp_clients_get_the_same_bytes_as_in_memory_ones() {
     let recipe = tiny_recipe(5.0);
     let expected = in_process(&recipe);
-    let service = SweepService::start(&ServeOptions { workers: 2 });
+    let service = SweepService::start(&ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
     let addr = service.listen_tcp("127.0.0.1:0").expect("bind");
     let mut client = ServeClient::connect_tcp(&addr.to_string()).expect("connect");
     let outcome = client.run_sweep(&recipe, 0).expect("sweep");
@@ -165,7 +210,10 @@ fn tcp_clients_get_the_same_bytes_as_in_memory_ones() {
 
 #[test]
 fn a_bad_recipe_fails_the_submission_not_the_connection() {
-    let service = SweepService::start(&ServeOptions { workers: 1 });
+    let service = SweepService::start(&ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    });
     let mut client = service.connect();
 
     // A recipe that decodes but cannot build (unknown workload): the
@@ -196,4 +244,147 @@ fn a_bad_recipe_fails_the_submission_not_the_connection() {
     let stats = service.shutdown();
     assert_eq!(stats.errors, 1);
     assert_eq!(stats.submissions, 2);
+}
+
+#[test]
+fn mixed_load_interleavings_stay_byte_identical_in_both_modes() {
+    // The tentpole contract: one big sweep plus a handful of small ones,
+    // submitted in randomized interleavings, and every submission's record
+    // stream is byte-identical to its solo in-process fold — in the shared
+    // cost-aware scheduler exactly as in the serial executor, at 1/2/4
+    // workers.
+    let big = population_recipe(12);
+    let smalls: Vec<SweepRecipe> = (0..3).map(|i| tiny_recipe(4.0 + i as f64 * 0.5)).collect();
+    let big_expected = in_process(&big);
+    let small_expected: Vec<Vec<(usize, RunRecord)>> = smalls.iter().map(in_process).collect();
+
+    for mode in [ExecutorMode::Serial, ExecutorMode::Shared] {
+        for workers in [1usize, 2, 4] {
+            let service = SweepService::start(&ServeOptions {
+                workers,
+                mode,
+                ..ServeOptions::default()
+            });
+            let mut big_client = service.connect();
+            let mut small_clients: Vec<ServeClient> =
+                smalls.iter().map(|_| service.connect()).collect();
+
+            // Shuffle who submits when; slot 0 is the big sweep.
+            let seed = workers as u64 * 16 + u64::from(mode == ExecutorMode::Shared);
+            let mut order: Vec<usize> = (0..=smalls.len()).collect();
+            shuffle(&mut order, seed);
+            let mut big_id = 0;
+            let mut small_ids = vec![0u64; smalls.len()];
+            for &who in &order {
+                if who == 0 {
+                    big_id = big_client.submit(&big, 0).expect("submit big");
+                } else {
+                    small_ids[who - 1] = small_clients[who - 1]
+                        .submit(&smalls[who - 1], 0)
+                        .expect("submit small");
+                }
+            }
+
+            for (i, client) in small_clients.iter_mut().enumerate() {
+                let outcomes = client.collect(&[small_ids[i]]).expect("collect small");
+                assert_eq!(
+                    outcomes[&small_ids[i]].records, small_expected[i],
+                    "small {i} under {mode:?} at {workers} workers must match its solo fold"
+                );
+            }
+            let outcomes = big_client.collect(&[big_id]).expect("collect big");
+            assert_eq!(
+                outcomes[&big_id].records, big_expected,
+                "big sweep under {mode:?} at {workers} workers must match its solo fold"
+            );
+
+            big_client.close();
+            for client in small_clients {
+                client.close();
+            }
+            let stats = service.shutdown();
+            assert_eq!(stats.submissions, 1 + smalls.len() as u64);
+            assert_eq!(stats.errors, 0);
+            assert_eq!(stats.busy_shed, 0);
+            assert_eq!(stats.frames_rejected, 0);
+        }
+    }
+}
+
+#[test]
+fn small_sweeps_overtake_a_big_sweep_under_cost_fair_scheduling() {
+    // Fairness: the two small sweeps' total cost is far below one worker's
+    // share of the big sweep, so cost-fair interleaving must complete both
+    // before the big sweep finishes — the whole point of the shared
+    // scheduler over the serial executor.
+    let service = SweepService::start(&ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let mut client = service.connect();
+    let big = population_recipe(30);
+    let big_id = client.submit(&big, 0).expect("submit big");
+    let a_id = client.submit(&tiny_recipe(4.5), 0).expect("submit small a");
+    let b_id = client.submit(&tiny_recipe(5.0), 0).expect("submit small b");
+
+    // One stream, so completion order is directly observable.
+    let mut finish_order: Vec<u64> = Vec::new();
+    while finish_order.len() < 3 {
+        match client.recv().expect("recv").expect("server hung up") {
+            ServeEvent::SweepDone { submit_id, .. } => finish_order.push(submit_id),
+            ServeEvent::SweepError { submit_id, error } => {
+                panic!("submission {submit_id} failed: {error}")
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        finish_order.last(),
+        Some(&big_id),
+        "small sweeps must not wait out the big sweep (finish order {finish_order:?})"
+    );
+    assert!(finish_order.contains(&a_id) && finish_order.contains(&b_id));
+
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0);
+    // The smalls were admitted while the big sweep was in flight.
+    assert!(stats.max_queue_depth >= 2);
+}
+
+#[test]
+fn admission_bound_sheds_busy_as_a_typed_retryable_error() {
+    let service = SweepService::start(&ServeOptions {
+        workers: 1,
+        max_pending: 1,
+        ..ServeOptions::default()
+    });
+    let mut client = service.connect();
+    let big = population_recipe(10);
+    let small = tiny_recipe(4.5);
+
+    // The big sweep occupies the single admission slot for its whole
+    // lifetime; the small one must bounce off the bound.
+    let big_id = client.submit(&big, 0).expect("submit big");
+    let shed_id = client.submit(&small, 0).expect("submit small");
+    let outcomes = client.collect(&[big_id, shed_id]).expect("collect");
+
+    let shed = outcomes[&shed_id].result().expect_err("must be shed");
+    assert!(shed.is_retryable(), "busy is retryable by contract");
+    assert!(
+        matches!(&shed, ServeError::Busy(busy) if busy.max_pending == 1 && busy.queue_depth == 2),
+        "unexpected shed error: {shed:?}"
+    );
+    assert!(outcomes[&big_id].result().is_ok(), "big sweep unaffected");
+
+    // The big sweep has completed (collect saw SweepDone), freeing the
+    // slot: the retry goes through and returns the right bytes.
+    let retry = client.run_sweep(&small, 0).expect("retry");
+    assert_eq!(retry.result().expect("retry succeeds"), in_process(&small));
+
+    client.close();
+    let stats = service.shutdown();
+    assert_eq!(stats.busy_shed, 1, "exactly one submission shed");
+    assert_eq!(stats.submissions, 2, "shed submissions are not admitted");
+    assert_eq!(stats.errors, 0, "busy is not an error");
 }

@@ -577,6 +577,199 @@ impl Shard<'_> {
             }
         }
     }
+
+    /// Materializes each worker's **ascending index list** for this shard —
+    /// exactly the per-worker visit order [`fold_indices_with_workers`]
+    /// executes, as one `Vec` per worker. The concatenation of the lists is
+    /// a permutation of `0..len`, and each list is strictly ascending.
+    ///
+    /// This is the planning half of a resumable fold (see
+    /// [`IncrementalFold`]): an executor that wants to run a batch in
+    /// suspendable pieces cuts these lists into chunks (e.g. with
+    /// [`cost_quantile_chunks`]) and folds each chunk into the owning
+    /// slot's accumulator, in list order — reproducing the one-shot fold's
+    /// partition and visit order bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, or (for the keyed strategies) if the
+    /// key slice is shorter than `len`.
+    #[must_use]
+    pub fn worker_lists(&self, len: usize, workers: usize) -> Vec<Vec<usize>> {
+        assert!(workers > 0, "shard requires at least one worker");
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (i, w) in self.assignments(len, workers).into_iter().enumerate() {
+            lists[w].push(i);
+        }
+        lists
+    }
+}
+
+/// Cuts an ascending item list into up to `chunks` contiguous pieces whose
+/// boundaries fall on **cost-prefix quantiles**: piece `c` ends at the
+/// first item whose cumulative cost reaches `(c+1)/chunks` of the list's
+/// total, so an expensive item no longer drags a count-equal share of cheap
+/// neighbours into its piece. Every piece keeps at least one item, pieces
+/// stay contiguous and in order, and the plan is a pure function of
+/// `(items, costs, chunks)`. Zero costs count as one, mirroring the
+/// cost-keyed shard strategies.
+///
+/// This is the lease-sizing primitive shared by the distributed
+/// dispatcher (cutting a worker slot's shard into replayable leases) and
+/// the sweep service's multiplexing scheduler (cutting every submission's
+/// slots into interleavable leases).
+#[must_use]
+pub fn cost_quantile_chunks(
+    items: &[usize],
+    cost_of: impl Fn(usize) -> u64,
+    chunks: usize,
+) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, items.len());
+    let cost = |item: usize| u128::from(cost_of(item).max(1));
+    let total: u128 = items.iter().map(|&item| cost(item)).sum();
+    let mut plan: Vec<Vec<usize>> = Vec::with_capacity(chunks);
+    let mut current = Vec::new();
+    let mut prefix: u128 = 0;
+    for (i, &item) in items.iter().enumerate() {
+        current.push(item);
+        prefix += cost(item);
+        let built = plan.len() + 1; // chunks complete once `current` closes
+        let items_left = items.len() - (i + 1);
+        let chunks_left = chunks - built;
+        // Close the chunk at its cost quantile — or when exactly enough
+        // items remain to keep every later chunk non-empty.
+        let reached = prefix * chunks as u128 >= built as u128 * total;
+        if built < chunks && (items_left == chunks_left || (reached && items_left >= chunks_left)) {
+            plan.push(std::mem::take(&mut current));
+        }
+    }
+    plan.push(current);
+    plan
+}
+
+/// A **resumable** spelling of [`fold_indices_with_workers`]: the
+/// per-worker-slot accumulators live here instead of on worker stacks, so
+/// an executor can run a slot's index stream in pieces — checking a slot's
+/// accumulator out, folding a chunk into it, restoring it, and doing
+/// something else in between — and still finish with an accumulator
+/// bit-identical to the one-shot fold's.
+///
+/// The contract the one-shot core enforces by construction is enforced
+/// here by watermarks: each slot's chunks must arrive in ascending index
+/// order ([`IncrementalFold::checkout`] panics on a regression), at most
+/// one chunk per slot is in flight at a time (a second `checkout` while
+/// one is out panics), and [`IncrementalFold::finish`] merges the slot
+/// accumulators **in slot order** — the same merge order
+/// [`fold_indices_with_workers`] uses for its workers.
+///
+/// What this type deliberately does *not* do is schedule: which slot runs
+/// next, and on which OS thread, is the caller's policy. Any interleaving
+/// that respects the per-slot ordering yields the same final accumulator,
+/// which is what lets the sweep service multiplex many submissions over
+/// one worker pool without perturbing any submission's result.
+#[derive(Debug)]
+pub struct IncrementalFold<A> {
+    slots: Vec<FoldSlot<A>>,
+}
+
+#[derive(Debug)]
+struct FoldSlot<A> {
+    /// `None` while a chunk is checked out.
+    acc: Option<A>,
+    /// Lowest index the slot's next chunk may start at.
+    watermark: usize,
+}
+
+impl<A> IncrementalFold<A> {
+    /// One accumulator per worker slot, built by `make_acc` (fresh and
+    /// empty, per the fold contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize, mut make_acc: impl FnMut() -> A) -> Self {
+        assert!(slots > 0, "an incremental fold needs at least one slot");
+        Self {
+            slots: (0..slots)
+                .map(|_| FoldSlot {
+                    acc: Some(make_acc()),
+                    watermark: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of worker slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Checks slot `slot`'s accumulator out for a chunk starting at
+    /// `first_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot's accumulator is already checked out, or if
+    /// `first_index` is below the slot's watermark (the chunk would revisit
+    /// or reorder indices the slot already folded).
+    pub fn checkout(&mut self, slot: usize, first_index: usize) -> A {
+        let state = &mut self.slots[slot];
+        assert!(
+            first_index >= state.watermark,
+            "slot {slot} chunk starts at {first_index}, below watermark {}",
+            state.watermark
+        );
+        state
+            .acc
+            .take()
+            .unwrap_or_else(|| panic!("slot {slot} accumulator already checked out"))
+    }
+
+    /// Restores slot `slot`'s accumulator after folding a chunk whose
+    /// indices were all below `next_index` (typically `last + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot's accumulator is not checked out.
+    pub fn restore(&mut self, slot: usize, acc: A, next_index: usize) {
+        let state = &mut self.slots[slot];
+        assert!(
+            state.acc.is_none(),
+            "slot {slot} restored without a checkout"
+        );
+        state.acc = Some(acc);
+        state.watermark = state.watermark.max(next_index);
+    }
+
+    /// Whether every slot's accumulator is currently restored (no chunk in
+    /// flight).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.slots.iter().all(|s| s.acc.is_some())
+    }
+
+    /// Merges the slot accumulators in slot order — `merge(&mut acc₀,
+    /// acc₁)`, then `merge(&mut acc₀, acc₂)`, … — exactly the worker-order
+    /// merge of the one-shot fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot's accumulator is still checked out.
+    pub fn finish(self, mut merge: impl FnMut(&mut A, A)) -> A {
+        let mut accs = self.slots.into_iter().enumerate().map(|(slot, s)| {
+            s.acc
+                .unwrap_or_else(|| panic!("slot {slot} still checked out at finish"))
+        });
+        let mut merged = accs.next().expect("at least one slot");
+        for acc in accs {
+            merge(&mut merged, acc);
+        }
+        merged
+    }
 }
 
 /// Maps `f` over `items` on up to `threads` scoped workers and returns the
@@ -748,11 +941,11 @@ where
     let mut shards: Vec<Option<Vec<usize>>> = if shard.keys().is_none() {
         vec![None; threads]
     } else {
-        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); threads];
-        for (i, w) in shard.assignments(len, threads).into_iter().enumerate() {
-            lists[w].push(i);
-        }
-        lists.into_iter().map(Some).collect()
+        shard
+            .worker_lists(len, threads)
+            .into_iter()
+            .map(Some)
+            .collect()
     };
     let accs = std::thread::scope(|scope| {
         let fold = &fold;
@@ -1378,5 +1571,126 @@ mod tests {
 
         // A CLI pin wins before the env value is even looked at.
         assert_eq!(resolve_from(Some(3), Some("4x"), 16), (3, None));
+    }
+
+    #[test]
+    fn worker_lists_are_ascending_and_tile_the_input() {
+        let keys: Vec<u64> = (0..40).map(|i| [10, 10, 10, 20, 30][i % 5]).collect();
+        let costs: Vec<u64> = (0..40).map(|i| 1 + (i as u64 % 7)).collect();
+        for shard in [
+            Shard::RoundRobin,
+            Shard::ByKey(&keys),
+            Shard::SplitHotKeys(&keys),
+            Shard::ByCostKeyed {
+                keys: &keys,
+                costs: &costs,
+            },
+            Shard::SplitHotCost {
+                keys: &keys,
+                costs: &costs,
+            },
+        ] {
+            for workers in [1usize, 2, 3, 5] {
+                let lists = shard.worker_lists(40, workers);
+                assert_eq!(lists.len(), workers);
+                for list in &lists {
+                    assert!(list.windows(2).all(|w| w[0] < w[1]), "ascending per slot");
+                }
+                let mut all: Vec<usize> = lists.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..40).collect::<Vec<_>>(), "lists tile the input");
+                // The lists are exactly the assignment, regrouped.
+                let assignments = shard.assignments(40, workers);
+                for (w, list) in lists.iter().enumerate() {
+                    for &i in list {
+                        assert_eq!(assignments[i], w);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_quantile_chunks_balance_by_cost_not_count() {
+        // One 100x item among cheap ones: quantile boundaries isolate it.
+        let items: Vec<usize> = (0..10).collect();
+        let costs = |i: usize| if i == 3 { 100 } else { 1 };
+        let plan = cost_quantile_chunks(&items, costs, 4);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(
+            plan.iter().flatten().copied().collect::<Vec<_>>(),
+            items,
+            "chunks stay contiguous and in order"
+        );
+        assert!(plan.iter().all(|c| !c.is_empty()));
+        // The expensive item's chunk carries few cheap neighbours.
+        let hot = plan.iter().find(|c| c.contains(&3)).unwrap();
+        assert!(hot.len() <= 4, "hot chunk dragged {} items", hot.len());
+        // More chunks than items clamps; empty input yields no chunks.
+        assert_eq!(cost_quantile_chunks(&[5, 9], |_| 1, 4).len(), 2);
+        assert!(cost_quantile_chunks(&[], |_| 1, 4).is_empty());
+        // Zero costs count as one: no division-shaped surprises.
+        assert_eq!(cost_quantile_chunks(&items, |_| 0, 5).len(), 5);
+    }
+
+    #[test]
+    fn incremental_fold_matches_the_one_shot_fold() {
+        // Reference: one-shot fold summing (index+1)^2 per worker slot,
+        // merged in worker order into a Vec of partial sums.
+        let keys: Vec<u64> = (0..30).map(|i| (i as u64) % 4).collect();
+        let shard = Shard::ByKey(&keys);
+        let workers = 3;
+        let mut contexts = vec![(); workers];
+        let reference = fold_indices_with_workers(
+            &mut contexts,
+            30,
+            Shard::ByKey(&keys),
+            Vec::new,
+            |(), acc: &mut Vec<u64>, i| acc.push(((i as u64) + 1) * ((i as u64) + 1)),
+            |into, from| into.extend(from),
+        );
+
+        // Resumable: cut each slot's list into cost-quantile chunks and
+        // fold them in an adversarial interleaving (round-robin across
+        // slots), checking accumulators in and out at every boundary.
+        let lists = shard.worker_lists(30, workers);
+        let mut fold: IncrementalFold<Vec<u64>> = IncrementalFold::new(workers, Vec::new);
+        let mut chunks: Vec<std::collections::VecDeque<Vec<usize>>> = lists
+            .iter()
+            .map(|list| cost_quantile_chunks(list, |_| 1, 4).into())
+            .collect();
+        while chunks.iter().any(|c| !c.is_empty()) {
+            for (slot, queue) in chunks.iter_mut().enumerate() {
+                let Some(chunk) = queue.pop_front() else {
+                    continue;
+                };
+                let mut acc = fold.checkout(slot, chunk[0]);
+                for i in &chunk {
+                    acc.push(((*i as u64) + 1) * ((*i as u64) + 1));
+                }
+                let next = chunk.last().unwrap() + 1;
+                fold.restore(slot, acc, next);
+            }
+        }
+        assert!(fold.is_idle());
+        let merged = fold.finish(|into, from| into.extend(from));
+        assert_eq!(merged, reference, "interleaved fold must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "below watermark")]
+    fn incremental_fold_rejects_out_of_order_chunks() {
+        let mut fold: IncrementalFold<Vec<u64>> = IncrementalFold::new(2, Vec::new);
+        let acc = fold.checkout(0, 5);
+        fold.restore(0, acc, 10);
+        let _ = fold.checkout(0, 4); // regresses below the watermark
+    }
+
+    #[test]
+    #[should_panic(expected = "already checked out")]
+    fn incremental_fold_rejects_concurrent_slot_checkout() {
+        let mut fold: IncrementalFold<Vec<u64>> = IncrementalFold::new(1, Vec::new);
+        let _acc = fold.checkout(0, 0);
+        let _ = fold.checkout(0, 0);
     }
 }
